@@ -1,0 +1,59 @@
+// Figure 10: relative error of the p50 / p95 / p99 estimates vs n, for the
+// three data sets and four sketch families. Expected shape (paper):
+// DDSketch and HDR stay below ~0.01 everywhere; GKArray and Moments blow up
+// by orders of magnitude on the heavy-tailed pareto and span sets,
+// especially at p99; everything is tame on power.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+
+namespace dd::bench {
+namespace {
+
+std::string ErrCell(double estimate, double actual) {
+  if (std::isnan(estimate)) return "solve_fail";
+  return Fmt(RelativeError(estimate, actual), "%.3g");
+}
+
+void RunDataset(DatasetId id) {
+  std::printf("\nFigure 10 — relative error, data set: %s\n",
+              DatasetIdToString(id));
+  Table table({"n", "q", "ddsketch", "gkarray", "hdr", "moments"});
+  for (size_t n : SizeGrid(id)) {
+    const auto data = GenerateDataset(id, n);
+    ExactQuantiles truth(data);
+    auto dd = MakeDDSketch();
+    auto gk = MakeGK();
+    auto hdr = MakeHdrFor(id);
+    auto moments = MakeMoments();
+    for (double x : data) {
+      dd.Add(x);
+      gk.Add(x);
+      hdr.Record(x);
+      moments.Add(x);
+    }
+    for (double q : kQuantiles) {
+      const double actual = truth.Quantile(q);
+      table.AddRow({FmtInt(n), Fmt(q, "%.2f"),
+                    ErrCell(dd.QuantileOrNaN(q), actual),
+                    ErrCell(gk.QuantileOrNaN(q), actual),
+                    ErrCell(hdr.QuantileOrNaN(q), actual),
+                    ErrCell(moments.QuantileOrNaN(q), actual)});
+    }
+  }
+  table.Print(std::string("fig10_") + DatasetIdToString(id));
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  std::printf("=== Figure 10: relative error of p50/p95/p99 vs n ===\n");
+  for (dd::DatasetId id : dd::kPaperDatasets) dd::bench::RunDataset(id);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 11: rank error of the p50 / p95 / p99 estimates vs n, same grid as
+// Figure 10. Expected shape (paper): GKArray honors its 0.01 bound; DDSketch
+// and HDR have no rank guarantee yet do as well or better, especially at
+// the higher quantiles; Moments (average-error guarantee only) is worst.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+
+namespace dd::bench {
+namespace {
+
+std::string ErrCell(const ExactQuantiles& truth, double q, double estimate) {
+  if (std::isnan(estimate)) return "solve_fail";
+  return Fmt(RankError(truth, q, estimate), "%.3g");
+}
+
+void RunDataset(DatasetId id) {
+  std::printf("\nFigure 11 — rank error, data set: %s\n",
+              DatasetIdToString(id));
+  Table table({"n", "q", "ddsketch", "gkarray", "hdr", "moments"});
+  for (size_t n : SizeGrid(id)) {
+    const auto data = GenerateDataset(id, n);
+    ExactQuantiles truth(data);
+    auto dd = MakeDDSketch();
+    auto gk = MakeGK();
+    auto hdr = MakeHdrFor(id);
+    auto moments = MakeMoments();
+    for (double x : data) {
+      dd.Add(x);
+      gk.Add(x);
+      hdr.Record(x);
+      moments.Add(x);
+    }
+    for (double q : kQuantiles) {
+      table.AddRow({FmtInt(n), Fmt(q, "%.2f"),
+                    ErrCell(truth, q, dd.QuantileOrNaN(q)),
+                    ErrCell(truth, q, gk.QuantileOrNaN(q)),
+                    ErrCell(truth, q, hdr.QuantileOrNaN(q)),
+                    ErrCell(truth, q, moments.QuantileOrNaN(q))});
+    }
+  }
+  table.Print(std::string("fig11_") + DatasetIdToString(id));
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  std::printf("=== Figure 11: rank error of p50/p95/p99 vs n ===\n");
+  for (dd::DatasetId id : dd::kPaperDatasets) dd::bench::RunDataset(id);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5: histograms of the pareto, span and power data sets — the
+// workload characterization panel. Prints summary statistics and a
+// log-bucketed histogram per data set; pareto and span are heavy-tailed
+// over many decades, power is dense and narrow.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+
+namespace dd::bench {
+namespace {
+
+void Characterize(DatasetId id) {
+  constexpr size_t kN = 1000000;
+  auto data = GenerateDataset(id, kN);
+  ExactQuantiles truth(data);
+  std::printf("\nFigure 5 — data set %s (n=%zu)\n", DatasetIdToString(id),
+              kN);
+  std::printf(
+      "  min=%.4g p25=%.4g p50=%.4g p75=%.4g p95=%.4g p99=%.4g max=%.4g  "
+      "decades=%.1f\n",
+      truth.min(), truth.Quantile(0.25), truth.Quantile(0.5),
+      truth.Quantile(0.75), truth.Quantile(0.95), truth.Quantile(0.99),
+      truth.max(), std::log10(truth.max() / truth.min()));
+
+  // Decade-bucketed histogram (log x-axis, like the paper's log-scale
+  // panels for pareto and span).
+  const double lo = std::log10(truth.min());
+  const double hi = std::log10(truth.max());
+  constexpr int kBins = 24;
+  std::vector<size_t> bins(kBins, 0);
+  for (double x : data) {
+    const int b = std::min(
+        kBins - 1,
+        static_cast<int>((std::log10(x) - lo) / (hi - lo + 1e-12) * kBins));
+    bins[b]++;
+  }
+  const size_t peak = *std::max_element(bins.begin(), bins.end());
+  Table table({"bucket_lo", "bucket_hi", "count", "bar"});
+  for (int b = 0; b < kBins; ++b) {
+    const double bin_lo = std::pow(10.0, lo + (hi - lo) * b / kBins);
+    const double bin_hi = std::pow(10.0, lo + (hi - lo) * (b + 1) / kBins);
+    const int bar = static_cast<int>(
+        50.0 * static_cast<double>(bins[b]) / static_cast<double>(peak));
+    table.AddRow({Fmt(bin_lo, "%.3g"), Fmt(bin_hi, "%.3g"), FmtInt(bins[b]),
+                  std::string(static_cast<size_t>(bar), '#')});
+  }
+  table.Print(std::string("fig5_") + DatasetIdToString(id));
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  std::printf("=== Figure 5: the evaluation data sets ===\n");
+  for (dd::DatasetId id : dd::kPaperDatasets) dd::bench::Characterize(id);
+  return 0;
+}

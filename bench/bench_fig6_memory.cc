@@ -1,0 +1,53 @@
+// Figure 6: sketch size in memory (kB) as a function of stream size n, for
+// the three data sets and five sketch series. Expected shape (paper):
+// Moments constant-tiny; GKArray small; DDSketch small and flattening;
+// DDSketch (fast) up to ~2x DDSketch; HDR largest and flat.
+
+#include <cstdio>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+
+namespace dd::bench {
+namespace {
+
+void RunDataset(DatasetId id) {
+  std::printf("\nFigure 6 — sketch size in memory, data set: %s\n",
+              DatasetIdToString(id));
+  Table table({"n", "ddsketch_kB", "ddsketch_fast_kB", "gkarray_kB",
+               "hdr_kB", "moments_kB"});
+  for (size_t n : SizeGrid(id)) {
+    auto dd = MakeDDSketch();
+    auto fast = MakeDDSketchFast();
+    auto gk = MakeGK();
+    auto hdr = MakeHdrFor(id);
+    auto moments = MakeMoments();
+    DataStream stream(MakeDataset(id), kDefaultSeed);
+    for (size_t i = 0; i < n; ++i) {
+      const double x = stream.Next();
+      dd.Add(x);
+      fast.Add(x);
+      gk.Add(x);
+      hdr.Record(x);
+      moments.Add(x);
+    }
+    gk.Flush();
+    const double kb = 1024.0;
+    table.AddRow({FmtInt(n), Fmt(dd.size_in_bytes() / kb, "%.2f"),
+                  Fmt(fast.size_in_bytes() / kb, "%.2f"),
+                  Fmt(gk.size_in_bytes() / kb, "%.2f"),
+                  Fmt(hdr.size_in_bytes() / kb, "%.2f"),
+                  Fmt(moments.size_in_bytes() / kb, "%.2f")});
+  }
+  table.Print(std::string("fig6_") + DatasetIdToString(id));
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  std::printf("=== Figure 6: sketch size in memory (kB) vs n ===\n");
+  for (dd::DatasetId id : dd::kPaperDatasets) dd::bench::RunDataset(id);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: number of DDSketch bins for the pareto data set as n grows.
+// The paper runs to n = 1e10 and sees ~900 bins, under half the m = 2048
+// limit; growth is logarithmic in n. Default grid stops at 1e8
+// (DD_BENCH_FULL=1 extends to 1e9).
+
+#include <cstdio>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+
+int main() {
+  using namespace dd;
+  using namespace dd::bench;
+  std::printf("=== Figure 7: DDSketch bin count vs n (pareto) ===\n");
+  const size_t cap = FullScale() ? 1000000000ULL : 100000000ULL;
+  auto sketch = MakeDDSketch();
+  DataStream stream(MakeDataset(DatasetId::kPareto), kDefaultSeed);
+  Table table({"n", "bins", "limit"});
+  size_t next_report = 1000;
+  for (size_t n = 1; n <= cap; ++n) {
+    sketch.Add(stream.Next());
+    if (n == next_report) {
+      table.AddRow({FmtInt(n), FmtInt(sketch.num_buckets()),
+                    FmtInt(kDDSketchMaxBuckets)});
+      next_report *= 10;
+    }
+  }
+  table.Print("fig7_pareto_bins");
+  return 0;
+}

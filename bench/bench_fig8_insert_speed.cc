@@ -1,0 +1,57 @@
+// Figure 8: average time to add a value, per sketch, as n grows (pareto
+// data). Expected ordering (paper): GKArray slowest by far; Moments and
+// HDR fast; DDSketch (fast) fastest; DDSketch (log mapping) pays for the
+// logarithm.
+//
+// Values are pre-generated so the measured loop is sketch work only.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+
+namespace dd::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename AddFn>
+double NsPerAdd(const std::vector<double>& values, AddFn&& add) {
+  const auto start = Clock::now();
+  for (double v : values) add(v);
+  const auto stop = Clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(values.size());
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  using namespace dd;
+  using namespace dd::bench;
+  std::printf("=== Figure 8: average add time (ns/value), pareto data ===\n");
+  Table table({"n", "ddsketch", "ddsketch_fast", "gkarray", "hdr",
+               "moments"});
+  const size_t cap = FullScale() ? 100000000 : 10000000;
+  for (size_t n = 100000; n <= cap; n *= 10) {
+    const auto values = GenerateDataset(DatasetId::kPareto, n);
+    auto dd = MakeDDSketch();
+    auto fast = MakeDDSketchFast();
+    auto gk = MakeGK();
+    auto hdr = MakeHdrFor(DatasetId::kPareto);
+    auto moments = MakeMoments();
+    const double t_dd = NsPerAdd(values, [&](double v) { dd.Add(v); });
+    const double t_fast = NsPerAdd(values, [&](double v) { fast.Add(v); });
+    const double t_gk = NsPerAdd(values, [&](double v) { gk.Add(v); });
+    const double t_hdr = NsPerAdd(values, [&](double v) { hdr.Record(v); });
+    const double t_mo = NsPerAdd(values, [&](double v) { moments.Add(v); });
+    table.AddRow({FmtInt(n), Fmt(t_dd, "%.1f"), Fmt(t_fast, "%.1f"),
+                  Fmt(t_gk, "%.1f"), Fmt(t_hdr, "%.1f"), Fmt(t_mo, "%.1f")});
+  }
+  table.Print("fig8_add_ns");
+  return 0;
+}

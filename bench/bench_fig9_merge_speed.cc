@@ -1,0 +1,92 @@
+// Figure 9: average time to merge two sketches of roughly equal size, as a
+// function of the merged value count (pareto data). Expected ordering
+// (paper): Moments fastest (k additions); DDSketch ~10us at fifty million
+// values; GKArray and HDR an order of magnitude slower.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "data/datasets.h"
+
+namespace dd::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Median-of-repeats merge timing; the merge target is copied fresh per
+/// repeat so every measurement merges identical inputs.
+template <typename Sketch, typename MergeFn>
+double MergeMicros(const Sketch& a, const Sketch& b, MergeFn&& merge,
+                   int repeats = 7) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    Sketch target = a;
+    const auto start = Clock::now();
+    merge(target, b);
+    const auto stop = Clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  using namespace dd;
+  using namespace dd::bench;
+  std::printf(
+      "=== Figure 9: merge time (microseconds) vs merged value count ===\n");
+  Table table({"merged_n", "ddsketch", "ddsketch_fast", "gkarray", "hdr",
+               "moments"});
+  const size_t cap = FullScale() ? 50000000 : 5000000;
+  for (size_t half = 50000; half <= cap; half *= 10) {
+    auto dd1 = MakeDDSketch(), dd2 = MakeDDSketch();
+    auto f1 = MakeDDSketchFast(), f2 = MakeDDSketchFast();
+    auto gk1 = MakeGK(), gk2 = MakeGK();
+    auto hdr1 = MakeHdrFor(DatasetId::kPareto),
+         hdr2 = MakeHdrFor(DatasetId::kPareto);
+    auto mo1 = MakeMoments(), mo2 = MakeMoments();
+    DataStream s1(MakeDataset(DatasetId::kPareto), 1);
+    DataStream s2(MakeDataset(DatasetId::kPareto), 2);
+    for (size_t i = 0; i < half; ++i) {
+      const double x = s1.Next(), y = s2.Next();
+      dd1.Add(x);
+      dd2.Add(y);
+      f1.Add(x);
+      f2.Add(y);
+      gk1.Add(x);
+      gk2.Add(y);
+      hdr1.Record(x);
+      hdr2.Record(y);
+      mo1.Add(x);
+      mo2.Add(y);
+    }
+    gk1.Flush();
+    gk2.Flush();
+    const double t_dd = MergeMicros(
+        dd1, dd2, [](DDSketch& a, const DDSketch& b) { (void)a.MergeFrom(b); });
+    const double t_f = MergeMicros(
+        f1, f2, [](DDSketch& a, const DDSketch& b) { (void)a.MergeFrom(b); });
+    const double t_gk = MergeMicros(
+        gk1, gk2, [](GKArray& a, const GKArray& b) { a.MergeFrom(b); });
+    const double t_hdr =
+        MergeMicros(hdr1, hdr2, [](HdrDoubleHistogram& a,
+                                   const HdrDoubleHistogram& b) {
+          (void)a.MergeFrom(b);
+        });
+    const double t_mo = MergeMicros(
+        mo1, mo2,
+        [](MomentSketch& a, const MomentSketch& b) { (void)a.MergeFrom(b); });
+    table.AddRow({FmtInt(2 * half), Fmt(t_dd, "%.2f"), Fmt(t_f, "%.2f"),
+                  Fmt(t_gk, "%.2f"), Fmt(t_hdr, "%.2f"), Fmt(t_mo, "%.3f")});
+  }
+  table.Print("fig9_merge_us");
+  return 0;
+}

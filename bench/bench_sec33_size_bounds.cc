@@ -1,0 +1,72 @@
+// Section 3.3: theoretical sketch-size bounds vs observed bucket counts.
+//
+// Paper, with delta1 = delta2 = e^-10 and alpha = 0.01:
+//  * exponential(lambda): bound 51 (log(4 log n + 41) - log(0.47)) + 1,
+//    e.g. ~273 buckets suffice for the upper half of 1e6 samples;
+//  * Pareto(a=1): bound 51 (4 log n + 11) + 1, e.g. ~3380 buckets for 1e6
+//    samples — and the paper notes the observed size is far below this.
+//
+// This harness draws the samples, counts the buckets a sketch actually
+// needs for the upper-half order statistics (buckets at or above the
+// median's bucket), and prints bound vs observed.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common/params.h"
+#include "bench/common/table.h"
+#include "core/ddsketch.h"
+#include "data/distributions.h"
+#include "data/ground_truth.h"
+
+namespace dd::bench {
+namespace {
+
+// Buckets needed for the (0.5, 1)-sketch: per Proposition 4 this is the
+// index span between the median's bucket and the maximum's bucket.
+size_t UpperHalfBuckets(const DDSketch& sketch, double median, double max) {
+  return static_cast<size_t>(sketch.mapping().Index(max) -
+                             sketch.mapping().Index(median)) +
+         1;
+}
+
+void Run(const char* name, const Distribution& dist, double bound_coeff_log,
+         bool pareto_form) {
+  Table table({"n", "theory_bound", "observed_span", "observed_buckets"});
+  for (size_t n = 10000; n <= 10000000; n *= 10) {
+    auto sketch = std::move(DDSketch::Create(0.01, 0x7fffffff)).value();
+    auto data = GenerateN(dist, n, 77);
+    for (double x : data) sketch.Add(x);
+    ExactQuantiles truth(data);
+    const double logn = std::log(static_cast<double>(n));
+    // Paper's closed forms (delta = e^-10, 1/log(gamma) < 51).
+    const double bound =
+        pareto_form ? 51.0 * (4.0 * logn + 11.0) + 1.0
+                    : 51.0 * (std::log(4.0 * logn + 41.0) -
+                              std::log(bound_coeff_log)) +
+                          1.0;
+    const size_t span =
+        UpperHalfBuckets(sketch, truth.Quantile(0.5), truth.max());
+    table.AddRow({FmtInt(n), Fmt(bound, "%.0f"), FmtInt(span),
+                  FmtInt(sketch.num_buckets())});
+  }
+  std::printf("\n§3.3 — %s\n", name);
+  table.Print(std::string("sec33_") + name);
+}
+
+}  // namespace
+}  // namespace dd::bench
+
+int main() {
+  using namespace dd;
+  using namespace dd::bench;
+  std::printf(
+      "=== Section 3.3: size bounds (alpha=0.01, delta=e^-10) ===\n"
+      "The observed upper-half bucket span must sit below the theoretical "
+      "bound; the paper notes the slack is large in practice.\n");
+  Exponential exponential(1.0);
+  Run("exponential", exponential, 0.47, /*pareto_form=*/false);
+  Pareto pareto(1.0, 1.0);
+  Run("pareto", pareto, 0.0, /*pareto_form=*/true);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Minimal fixed-width table / CSV emitter for the figure harnesses. Each
+// harness prints (a) a human-readable table matching the paper's series and
+// (b) the same rows as machine-readable CSV lines prefixed with "csv,"
+// for downstream plotting.
+
+#ifndef DDSKETCH_BENCH_COMMON_TABLE_H_
+#define DDSKETCH_BENCH_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dd::bench {
+
+/// Accumulates rows and prints them aligned, plus CSV mirrors.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Prints the aligned table followed by csv lines.
+  void Print(const std::string& csv_tag) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+    for (const auto& row : rows_) {
+      std::printf("csv,%s", csv_tag.c_str());
+      for (const auto& cell : row) std::printf(",%s", cell.c_str());
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers.
+inline std::string Fmt(double v, const char* fmt = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace dd::bench
+
+#endif  // DDSKETCH_BENCH_COMMON_TABLE_H_

@@ -1,0 +1,94 @@
+// IoT sensor pipeline: negative values, the zero bucket, deletions, and
+// the sparse store.
+//
+//   build/examples/iot_pipeline
+//
+// Temperature deltas from thousands of sensors (degrees relative to a
+// setpoint) stream into regional gateways. Deltas are signed, often
+// exactly zero, and late "retraction" messages must remove previously
+// counted readings. Regional sketches use the sparse store (few distinct
+// buckets per region) and merge into a fleet-wide sketch.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/distributions.h"
+#include "util/rng.h"
+
+namespace {
+
+dd::DDSketch MakeRegional() {
+  dd::DDSketchConfig config;
+  config.relative_accuracy = 0.005;  // tighter accuracy for sensor data
+  config.store = dd::StoreType::kSparse;
+  config.max_num_buckets = 0;  // sparse + unbounded: pay per distinct bucket
+  return std::move(dd::DDSketch::Create(config)).value();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRegions = 4;
+  constexpr int kReadingsPerRegion = 200000;
+
+  dd::Rng rng(77);
+  dd::Normal drift(0.0, 1.5);      // most sensors hover near the setpoint
+  dd::Exponential overheat(0.25);  // occasional positive excursions
+
+  std::vector<dd::DDSketch> regions;
+  std::vector<std::vector<double>> retraction_log(kRegions);
+  for (int r = 0; r < kRegions; ++r) {
+    regions.push_back(MakeRegional());
+    for (int i = 0; i < kReadingsPerRegion; ++i) {
+      double delta;
+      const uint64_t kind = rng.NextBounded(100);
+      if (kind < 70) {
+        delta = drift.Sample(rng);
+      } else if (kind < 90) {
+        delta = 0.0;  // sensor reports "exactly at setpoint"
+      } else {
+        delta = overheat.Sample(rng);
+      }
+      regions[r].Add(delta);
+      // 1% of readings will later be retracted (sensor self-reported a
+      // calibration fault).
+      if (rng.NextBounded(100) == 0) retraction_log[r].push_back(delta);
+    }
+  }
+
+  // Late retractions arrive: delete the faulty readings.
+  uint64_t retracted = 0;
+  for (int r = 0; r < kRegions; ++r) {
+    for (double delta : retraction_log[r]) {
+      retracted += regions[r].Remove(delta);
+    }
+  }
+
+  // Fleet-wide rollup.
+  auto fleet = MakeRegional();
+  for (const auto& region : regions) {
+    if (dd::Status s = fleet.MergeFrom(region); !s.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("fleet readings: %llu (after %llu retractions)\n",
+              static_cast<unsigned long long>(fleet.count()),
+              static_cast<unsigned long long>(retracted));
+  std::printf("readings exactly at setpoint (zero bucket): %llu\n",
+              static_cast<unsigned long long>(fleet.zero_count()));
+  std::printf("%-10s %12s\n", "quantile", "temp delta");
+  for (double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999}) {
+    std::printf("p%-9g %12.3f\n", q * 100, fleet.QuantileOrNaN(q));
+  }
+  std::printf(
+      "\nnote the signed quantiles: p1 is a negative delta (undercooling), "
+      "p99.9 a large overheat; the zero bucket keeps the exact-setpoint "
+      "mass out of the logarithmic buckets.\n");
+  std::printf("fleet sketch footprint: %.1f kB across %zu buckets\n",
+              static_cast<double>(fleet.size_in_bytes()) / 1024.0,
+              fleet.num_buckets());
+  return 0;
+}

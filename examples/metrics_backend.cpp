@@ -1,0 +1,134 @@
+// Metrics backend: the full Figure 1 architecture in one process.
+//
+//   build/examples/metrics_backend
+//
+// Simulated fleet: three services, each with several containers shipping
+// per-interval serialized DDSketches; a SketchStore ingests the payloads,
+// answers dashboard graph queries (p50/p99 per minute), runs lossless
+// rollup compaction on aging data, and serves on-demand range aggregations
+// ("what was the p99 over the whole last hour?") — all without ever
+// storing a raw sample.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "timeseries/sketch_store.h"
+
+namespace {
+
+constexpr int64_t kBaseInterval = 10;   // seconds
+constexpr int64_t kHour = 3600;
+constexpr int kContainersPerService = 4;
+
+struct Service {
+  const char* name;
+  double scale;      // latency multiplier vs the base profile
+  int degraded_minute;  // minute during which this service regresses (-1: none)
+};
+
+}  // namespace
+
+int main() {
+  dd::SketchStoreOptions options;
+  options.base_interval_seconds = kBaseInterval;
+  options.raw_retention_seconds = 600;  // keep 10 minutes raw
+  options.rollup_factor = 6;            // then 1-minute coarse buckets
+  auto store_result = dd::SketchStore::Create(options);
+  if (!store_result.ok()) {
+    std::fprintf(stderr, "store: %s\n",
+                 store_result.status().ToString().c_str());
+    return 1;
+  }
+  dd::SketchStore store = std::move(store_result).value();
+
+  const Service services[] = {
+      {"api.request.duration", 1.0, 30},
+      {"db.query.duration", 0.2, -1},
+      {"cache.get.duration", 0.01, -1},
+  };
+
+  // --- one hour of ingestion ---
+  uint64_t payloads = 0;
+  size_t wire_bytes = 0;
+  for (const Service& service : services) {
+    for (int c = 0; c < kContainersPerService; ++c) {
+      dd::DataStream traffic(dd::MakeDataset(dd::DatasetId::kWebLatency),
+                             7000 + 31 * c + std::strlen(service.name));
+      for (int64_t t = 0; t < kHour; t += kBaseInterval) {
+        auto sketch = std::move(dd::DDSketch::Create(options.sketch)).value();
+        const bool degraded =
+            service.degraded_minute >= 0 &&
+            t / 60 == service.degraded_minute;
+        for (int i = 0; i < 50; ++i) {
+          sketch.Add(traffic.Next() * service.scale * (degraded ? 6.0 : 1.0));
+        }
+        const std::string payload = sketch.Serialize();
+        wire_bytes += payload.size();
+        if (dd::Status s = store.Ingest(service.name, t, payload); !s.ok()) {
+          std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+          return 1;
+        }
+        ++payloads;
+      }
+    }
+  }
+  std::printf(
+      "ingested %llu sketch payloads (%.1f kB on the wire) across %zu "
+      "series; store holds %zu interval sketches (%.1f kB)\n\n",
+      static_cast<unsigned long long>(payloads),
+      static_cast<double>(wire_bytes) / 1024.0, store.num_series(),
+      store.num_intervals(),
+      static_cast<double>(store.size_in_bytes()) / 1024.0);
+
+  // --- dashboard: api p50/p99 per 5 minutes, with the regression visible ---
+  std::printf("api.request.duration, 5-minute resolution:\n");
+  std::printf("  %-8s %10s %9s %9s\n", "minute", "count", "p50", "p99");
+  auto p50 = std::move(store.QuerySeries("api.request.duration", 0, kHour,
+                                          0.5, 300))
+                 .value();
+  auto p99 = std::move(store.QuerySeries("api.request.duration", 0, kHour,
+                                          0.99, 300))
+                 .value();
+  for (size_t i = 0; i < p50.size(); ++i) {
+    std::printf("  %-8lld %10llu %9.2f %9.2f%s\n",
+                static_cast<long long>(p50[i].timestamp / 60),
+                static_cast<unsigned long long>(p50[i].count), p50[i].value,
+                p99[i].value,
+                p50[i].timestamp / 60 == 30 ? "  <- regression" : "");
+  }
+
+  // --- compaction: age out raw intervals, answers unchanged ---
+  const double hour_p99_before =
+      std::move(store.QueryQuantile("api.request.duration", 0, kHour, 0.99))
+          .value();
+  const size_t intervals_before = store.num_intervals();
+  const size_t compacted = store.Compact(kHour);
+  const double hour_p99_after =
+      std::move(store.QueryQuantile("api.request.duration", 0, kHour, 0.99))
+          .value();
+  std::printf(
+      "\ncompaction: %zu raw intervals rolled up (%zu -> %zu stored); "
+      "hour-wide p99 %.2f -> %.2f (%s)\n",
+      compacted, intervals_before, store.num_intervals(), hour_p99_before,
+      hour_p99_after,
+      hour_p99_before == hour_p99_after ? "bit-identical" : "CHANGED?!");
+
+  // --- cross-service roll call over the full hour ---
+  std::printf("\nhour-wide latency per service:\n");
+  std::printf("  %-22s %10s %9s %9s %9s\n", "series", "count", "p50", "p95",
+              "p99");
+  for (const std::string& name : store.ListSeries()) {
+    auto merged = std::move(store.QueryRange(name, 0, kHour)).value();
+    std::printf("  %-22s %10llu %9.3f %9.3f %9.3f\n", name.c_str(),
+                static_cast<unsigned long long>(merged.count()),
+                merged.QuantileOrNaN(0.5), merged.QuantileOrNaN(0.95),
+                merged.QuantileOrNaN(0.99));
+  }
+  std::printf(
+      "\nevery number above is within 1%% of the exact sample quantile, "
+      "guaranteed; no raw latency ever left a container.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: the 60-second tour of the DDSketch public API.
+//
+//   build/examples/quickstart
+//
+// Covers: creating a sketch, adding values, querying quantiles, merging
+// two sketches, and shipping a sketch over the wire.
+
+#include <cstdio>
+
+#include "core/ddsketch.h"
+
+int main() {
+  // 1. Create a sketch with 1% relative accuracy (Table 2 defaults).
+  auto result = dd::DDSketch::Create(/*relative_accuracy=*/0.01);
+  if (!result.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  dd::DDSketch sketch = std::move(result).value();
+
+  // 2. Add values — any finite double works, no range declared up front.
+  for (int i = 1; i <= 100000; ++i) {
+    sketch.Add(0.5 * i);  // latencies 0.5ms .. 50s
+  }
+  sketch.Add(1e-9);  // a nanosecond outlier
+  sketch.Add(3600);  // a one-hour straggler
+
+  // 3. Query quantiles: each answer is within 1% of the true sample
+  //    quantile.
+  std::printf("count = %llu, mean = %.2f\n",
+              static_cast<unsigned long long>(sketch.count()), sketch.mean());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::printf("p%-5g = %10.2f\n", q * 100, sketch.QuantileOrNaN(q));
+  }
+
+  // 4. Merge another worker's sketch. Merging is exact: the result equals
+  //    one sketch having seen both streams.
+  auto other = std::move(dd::DDSketch::Create(0.01)).value();
+  for (int i = 0; i < 50000; ++i) other.Add(42.0);
+  if (dd::Status s = sketch.MergeFrom(other); !s.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("after merge: count = %llu, p50 = %.2f\n",
+              static_cast<unsigned long long>(sketch.count()),
+              sketch.QuantileOrNaN(0.5));
+
+  // 5. Serialize / deserialize (what an agent sends every few seconds).
+  const std::string payload = sketch.Serialize();
+  auto decoded = dd::DDSketch::Deserialize(payload);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n",
+                 decoded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wire payload: %zu bytes; decoded p99 = %.2f\n", payload.size(),
+              decoded.value().QuantileOrNaN(0.99));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Sketch shootout: all four sketch families side by side on a data set of
+// your choice — a runnable, miniature version of the paper's Section 4.
+//
+//   build/examples/sketch_shootout [pareto|span|power|web_latency] [n]
+//
+// Prints, per sketch: footprint, add throughput, and the p50/p95/p99
+// estimates with their relative and rank errors against exact ground
+// truth.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/ddsketch.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "gk/gkarray.h"
+#include "hdr/hdr_histogram.h"
+#include "moments/moment_sketch.h"
+#include "tdigest/tdigest.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Report {
+  const char* name;
+  double add_ns;
+  size_t bytes;
+  double estimates[3];
+};
+
+constexpr double kQs[3] = {0.5, 0.95, 0.99};
+
+template <typename AddFn, typename QuantileFn, typename SizeFn>
+Report Run(const char* name, const std::vector<double>& data, AddFn&& add,
+           QuantileFn&& quantile, SizeFn&& size) {
+  const auto start = Clock::now();
+  for (double x : data) add(x);
+  const auto stop = Clock::now();
+  Report report;
+  report.name = name;
+  report.add_ns =
+      std::chrono::duration<double, std::nano>(stop - start).count() /
+      static_cast<double>(data.size());
+  report.bytes = size();
+  for (int i = 0; i < 3; ++i) report.estimates[i] = quantile(kQs[i]);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dd::DatasetId id = dd::DatasetId::kPareto;
+  if (argc > 1) {
+    bool found = false;
+    for (dd::DatasetId candidate :
+         {dd::DatasetId::kPareto, dd::DatasetId::kSpan, dd::DatasetId::kPower,
+          dd::DatasetId::kWebLatency}) {
+      if (std::strcmp(argv[1], dd::DatasetIdToString(candidate)) == 0) {
+        id = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "unknown data set '%s' (try pareto, span, power, "
+                   "web_latency)\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+  const size_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1000000;
+
+  std::printf("data set: %s, n = %zu\n", dd::DatasetIdToString(id), n);
+  const auto data = dd::GenerateDataset(id, n);
+  dd::ExactQuantiles truth(data);
+  std::printf("exact: p50=%.6g p95=%.6g p99=%.6g\n\n", truth.Quantile(0.5),
+              truth.Quantile(0.95), truth.Quantile(0.99));
+
+  auto ddsketch = std::move(dd::DDSketch::Create(0.01, 2048)).value();
+  dd::DDSketchConfig fast_config;
+  fast_config.relative_accuracy = 0.01;
+  fast_config.mapping = dd::MappingType::kCubicInterpolated;
+  auto fast = std::move(dd::DDSketch::Create(fast_config)).value();
+  auto gk = std::move(dd::GKArray::Create(0.01)).value();
+  auto hdr = std::move(dd::HdrDoubleHistogram::Create(
+                           2, truth.min(), truth.max() * 1.01))
+                 .value();
+  auto moments = std::move(dd::MomentSketch::Create(20, true)).value();
+  auto tdigest = std::move(dd::TDigest::Create(100.0)).value();
+
+  Report reports[] = {
+      Run("DDSketch", data, [&](double x) { ddsketch.Add(x); },
+          [&](double q) { return ddsketch.QuantileOrNaN(q); },
+          [&] { return ddsketch.size_in_bytes(); }),
+      Run("DDSketch(fast)", data, [&](double x) { fast.Add(x); },
+          [&](double q) { return fast.QuantileOrNaN(q); },
+          [&] { return fast.size_in_bytes(); }),
+      Run("GKArray", data, [&](double x) { gk.Add(x); },
+          [&](double q) { return gk.QuantileOrNaN(q); },
+          [&] {
+            gk.Flush();
+            return gk.size_in_bytes();
+          }),
+      Run("HDRHistogram", data, [&](double x) { hdr.Record(x); },
+          [&](double q) { return hdr.QuantileOrNaN(q); },
+          [&] { return hdr.size_in_bytes(); }),
+      Run("MomentSketch", data, [&](double x) { moments.Add(x); },
+          [&](double q) { return moments.QuantileOrNaN(q); },
+          [&] { return moments.size_in_bytes(); }),
+      Run("TDigest", data, [&](double x) { tdigest.Add(x); },
+          [&](double q) { return tdigest.QuantileOrNaN(q); },
+          [&] { return tdigest.size_in_bytes(); }),
+  };
+
+  std::printf("%-15s %8s %9s  %10s %9s %9s\n", "sketch", "ns/add", "size_kB",
+              "quantile", "rel_err", "rank_err");
+  for (const Report& r : reports) {
+    for (int i = 0; i < 3; ++i) {
+      const double actual = truth.Quantile(kQs[i]);
+      if (i == 0) {
+        std::printf("%-15s %8.1f %9.2f", r.name, r.add_ns,
+                    static_cast<double>(r.bytes) / 1024.0);
+      } else {
+        std::printf("%-15s %8s %9s", "", "", "");
+      }
+      std::printf("  p%-9g %9.4f %9.4f\n", kQs[i] * 100,
+                  dd::RelativeError(r.estimates[i], actual),
+                  dd::RankError(truth, kQs[i], r.estimates[i]));
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper §4): DDSketch/HDR keep rel_err <= ~0.01 "
+      "everywhere; GK/Moments drift on heavy tails; GK keeps rank_err <= "
+      "0.01.\n");
+  return 0;
+}

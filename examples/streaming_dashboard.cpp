@@ -1,0 +1,87 @@
+// Streaming dashboard: the concurrency + windowing extensions together.
+//
+//   build/examples/streaming_dashboard
+//
+// Several ingestion threads feed a per-interval ConcurrentDDSketch
+// (sharded, thread-safe); at each interval boundary a dashboard thread
+// snapshots the closed interval, pushes it into a RollingDDSketch window,
+// and renders the last-N-intervals latency percentiles — the shape of a
+// real metrics agent's hot path, with no raw sample ever leaving the
+// ingestion threads.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent.h"
+#include "core/rolling.h"
+#include "data/datasets.h"
+
+namespace {
+
+constexpr int kIngestThreads = 4;
+constexpr int kIntervals = 10;
+constexpr int kWindow = 4;  // dashboard shows the last 4 intervals
+constexpr int kAddsPerThreadPerInterval = 50000;
+
+}  // namespace
+
+int main() {
+  dd::DDSketchConfig config;  // Table 2 defaults: alpha = 0.01, m = 2048
+
+  // One concurrent sketch per interval; threads fill interval i, the
+  // dashboard closes it and windows the snapshot.
+  std::vector<dd::ConcurrentDDSketch> intervals;
+  for (int i = 0; i < kIntervals; ++i) {
+    intervals.push_back(
+        std::move(dd::ConcurrentDDSketch::Create(config)).value());
+  }
+  auto window = std::move(dd::RollingDDSketch::Create(config, kWindow)).value();
+
+  std::printf("%d ingestion threads, %d-interval window\n\n", kIngestThreads,
+              kWindow);
+  std::printf("%-9s %10s %9s %9s %9s %11s\n", "interval", "int_count", "p50",
+              "p95", "p99", "window_p99");
+
+  std::vector<std::thread> ingest;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    ingest.emplace_back([&intervals, t] {
+      dd::DataStream stream(dd::MakeDataset(dd::DatasetId::kWebLatency),
+                            9100 + static_cast<uint64_t>(t));
+      for (int interval = 0; interval < kIntervals; ++interval) {
+        // Interval 6 simulates a latency regression on every thread.
+        const double degrade = interval == 6 ? 5.0 : 1.0;
+        for (int i = 0; i < kAddsPerThreadPerInterval; ++i) {
+          intervals[static_cast<size_t>(interval)].Add(stream.Next() *
+                                                       degrade);
+        }
+      }
+    });
+  }
+
+  constexpr uint64_t kIntervalTotal =
+      static_cast<uint64_t>(kIngestThreads) * kAddsPerThreadPerInterval;
+  for (int interval = 0; interval < kIntervals; ++interval) {
+    // Wait until every thread finished writing this interval.
+    while (intervals[static_cast<size_t>(interval)].count() < kIntervalTotal) {
+      std::this_thread::yield();
+    }
+    dd::DDSketch snapshot = intervals[static_cast<size_t>(interval)].Snapshot();
+    (void)window.MergeIntoCurrent(snapshot);
+    std::printf("%-9d %10llu %9.2f %9.2f %9.2f %11.2f%s\n", interval,
+                static_cast<unsigned long long>(snapshot.count()),
+                snapshot.QuantileOrNaN(0.5), snapshot.QuantileOrNaN(0.95),
+                snapshot.QuantileOrNaN(0.99), window.QuantileOrNaN(0.99),
+                interval == 6 ? "  <- regression lands" : "");
+    window.Advance();
+  }
+  for (auto& t : ingest) t.join();
+
+  std::printf(
+      "\nthe window p99 rises when the regression enters the window and "
+      "falls once it ages out (interval %d onward) — computed entirely "
+      "from mergeable sketches, never from raw samples.\n",
+      6 + kWindow);
+  return 0;
+}

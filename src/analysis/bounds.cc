@@ -1,0 +1,59 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+#include <string>
+
+namespace dd {
+
+SubexponentialParams ExponentialSubexpParams(double lambda) {
+  return {2.0 / lambda, 2.0 / lambda};
+}
+
+double SampleQuantileSlack(double delta1, uint64_t n) {
+  return std::sqrt(std::log(1.0 / delta1) / (2.0 * static_cast<double>(n)));
+}
+
+double SampleMaxDeviationBound(const SubexponentialParams& params,
+                               uint64_t n, double delta2) {
+  return 2.0 * params.b * std::log(static_cast<double>(n) / delta2);
+}
+
+double GammaOf(double alpha) { return (1.0 + alpha) / (1.0 - alpha); }
+
+double BucketSpan(double alpha, double x_q, double x_max) {
+  return (std::log(x_max) - std::log(x_q)) / std::log(GammaOf(alpha)) + 1.0;
+}
+
+Result<double> Theorem9SizeBound(
+    double alpha, double q, uint64_t n, double delta1, double delta2,
+    const SubexponentialParams& params, double mean,
+    const std::function<double(double)>& quantile_fn) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  const double t = SampleQuantileSlack(delta1, n);
+  if (!(t < q && q <= 0.5)) {
+    return Status::InvalidArgument(
+        "Theorem 9 requires t < q <= 1/2 (t = " + std::to_string(t) + ")");
+  }
+  const double x_max_bound =
+      SampleMaxDeviationBound(params, n, delta2) + mean;
+  const double x_q_bound = quantile_fn(q - t);
+  if (!(x_q_bound > 0.0)) {
+    return Status::InvalidArgument(
+        "quantile function must be positive at q - t");
+  }
+  return BucketSpan(alpha, x_q_bound, x_max_bound);
+}
+
+double ExponentialUpperHalfSizeBound(uint64_t n) {
+  const double logn = std::log(static_cast<double>(n));
+  return 51.0 * (std::log(4.0 * logn + 41.0) - std::log(0.47)) + 1.0;
+}
+
+double ParetoUpperHalfSizeBound(double shape, uint64_t n) {
+  const double logn = std::log(static_cast<double>(n));
+  return 51.0 / shape * (4.0 * logn + 11.0) + 1.0;
+}
+
+}  // namespace dd

@@ -1,0 +1,79 @@
+// Section 3 of the paper, as executable code: the distribution-dependent
+// sketch-size bounds for DDSketch.
+//
+// The paper's chain of reasoning (all reproduced here and Monte-Carlo
+// validated in tests/bounds_test.cc):
+//   Lemma 5       — with probability >= 1 - delta1 the sample q-quantile is
+//                   at least F^{-1}(q - t), t = sqrt(log(1/delta1) / 2n).
+//   Corollary 8   — for (sigma, b)-subexponential X, with probability
+//                   >= 1 - delta2 the sample maximum is below
+//                   2 b log(n / delta2) (+ E[X]).
+//   Theorem 9     — combining both, DDSketch is an alpha-accurate
+//                   (q, 1)-sketch of size at most
+//                   (log x_max_bound - log x_q_bound) / log(gamma) + 1.
+//   §3.3 worked examples — closed forms for the exponential distribution
+//                   (sketch of size ~273 covers the upper half of 1e6
+//                   samples) and the Pareto distribution (~3380 at 1e6).
+
+#ifndef DDSKETCH_ANALYSIS_BOUNDS_H_
+#define DDSKETCH_ANALYSIS_BOUNDS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Parameters (sigma, b) of a subexponential random variable:
+/// E[exp(lambda (X - EX))] <= exp(sigma^2 lambda^2 / 2) for
+/// 0 <= lambda <= 1/b (Definition 6).
+struct SubexponentialParams {
+  double sigma;
+  double b;
+};
+
+/// The exponential distribution with rate lambda is subexponential with
+/// parameters (2/lambda, 2/lambda) (§3.3).
+SubexponentialParams ExponentialSubexpParams(double lambda);
+
+/// Lemma 5's t: the sample q-quantile is above F^{-1}(q - t) with
+/// probability >= 1 - delta1, for t = sqrt(log(1/delta1) / (2n)).
+double SampleQuantileSlack(double delta1, uint64_t n);
+
+/// Theorem 7 / Corollary 8: upper bound on the deviation of the sample
+/// maximum of n i.i.d. (sigma, b)-subexponential variables above the mean:
+/// 2 b log(n / delta2), valid with probability >= 1 - delta2.
+double SampleMaxDeviationBound(const SubexponentialParams& params,
+                               uint64_t n, double delta2);
+
+/// Theorem 9: bound on the number of buckets DDSketch needs to be an
+/// alpha-accurate (q, 1)-sketch of n i.i.d. samples from a distribution
+/// with quantile function `quantile_fn` (the generalized inverse CDF),
+/// mean `mean`, and subexponential parameters `params`, with probability
+/// >= 1 - delta1 - delta2. Fails if the inputs put q - t outside (0, 1).
+Result<double> Theorem9SizeBound(
+    double alpha, double q, uint64_t n, double delta1, double delta2,
+    const SubexponentialParams& params, double mean,
+    const std::function<double(double)>& quantile_fn);
+
+/// §3.3 closed form for the exponential distribution with delta1 = delta2
+/// = e^-10 and alpha = 0.01: 51 (log(4 log n + 41) - log(0.47)) + 1.
+/// Valid for n > 320 and the (0.5, 1)-sketch.
+double ExponentialUpperHalfSizeBound(uint64_t n);
+
+/// §3.3 closed form for Pareto with shape a (b arbitrary), alpha = 0.01,
+/// delta = e^-10: 51 a^-1 (4 log n + 11) + 1, for the (0.5, 1)-sketch.
+double ParetoUpperHalfSizeBound(double shape, uint64_t n);
+
+/// gamma = (1 + alpha) / (1 - alpha) (used throughout §2-3).
+double GammaOf(double alpha);
+
+/// Equation 1: buckets needed to cover [x_q, x_max]:
+/// (log(x_max) - log(x_q)) / log(gamma) + 1. This is what Proposition 4
+/// requires to be <= m.
+double BucketSpan(double alpha, double x_q, double x_max);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_ANALYSIS_BOUNDS_H_

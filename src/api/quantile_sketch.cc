@@ -1,0 +1,225 @@
+#include "api/quantile_sketch.h"
+
+#include <utility>
+
+namespace dd {
+namespace {
+
+/// CRTP-free adapter template: wraps a concrete sketch type behind the
+/// QuantileSketch interface. Each specialization provides the few calls
+/// whose names/signatures differ across families.
+template <typename Impl, typename Derived>
+class AdapterBase : public QuantileSketch {
+ public:
+  explicit AdapterBase(Impl impl) : impl_(std::move(impl)) {}
+
+  Result<double> Quantile(double q) const override {
+    return impl_.Quantile(q);
+  }
+  double QuantileOrNaN(double q) const noexcept override {
+    return impl_.QuantileOrNaN(q);
+  }
+  uint64_t count() const noexcept override { return impl_.count(); }
+  size_t size_in_bytes() const noexcept override {
+    return impl_.size_in_bytes();
+  }
+  std::string Serialize() const override { return impl_.Serialize(); }
+  std::unique_ptr<QuantileSketch> Clone() const override {
+    return std::make_unique<Derived>(Impl(impl_));
+  }
+
+  const Impl& impl() const { return impl_; }
+
+ protected:
+  /// Cross-family merges fail uniformly; same-family merges delegate.
+  template <typename MergeFn>
+  Status MergeSameFamily(const QuantileSketch& other, MergeFn&& merge) {
+    const auto* peer = dynamic_cast<const Derived*>(&other);
+    if (peer == nullptr) {
+      return Status::Incompatible(std::string("cannot merge ") +
+                                  other.family() + " into " + family());
+    }
+    return merge(impl_, peer->impl());
+  }
+
+  Impl impl_;
+};
+
+class DDSketchAdapter final : public AdapterBase<DDSketch, DDSketchAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Add(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(other, [](DDSketch& a, const DDSketch& b) {
+      return a.MergeFrom(b);
+    });
+  }
+  const char* family() const noexcept override { return "ddsketch"; }
+};
+
+class GKAdapter final : public AdapterBase<GKArray, GKAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Add(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(other, [](GKArray& a, const GKArray& b) {
+      a.MergeFrom(b);
+      return Status::OK();
+    });
+  }
+  const char* family() const noexcept override { return "gk"; }
+};
+
+class HdrAdapter final
+    : public AdapterBase<HdrDoubleHistogram, HdrAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Record(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(
+        other, [](HdrDoubleHistogram& a, const HdrDoubleHistogram& b) {
+          return a.MergeFrom(b);
+        });
+  }
+  const char* family() const noexcept override { return "hdr"; }
+};
+
+class MomentsAdapter final
+    : public AdapterBase<MomentSketch, MomentsAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Add(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(other,
+                           [](MomentSketch& a, const MomentSketch& b) {
+                             return a.MergeFrom(b);
+                           });
+  }
+  const char* family() const noexcept override { return "moments"; }
+};
+
+class TDigestAdapter final : public AdapterBase<TDigest, TDigestAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Add(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(other, [](TDigest& a, const TDigest& b) {
+      a.MergeFrom(b);
+      return Status::OK();
+    });
+  }
+  const char* family() const noexcept override { return "tdigest"; }
+};
+
+class KllAdapter final : public AdapterBase<KllSketch, KllAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Add(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(other, [](KllSketch& a, const KllSketch& b) {
+      return a.MergeFrom(b);
+    });
+  }
+  const char* family() const noexcept override { return "kll"; }
+};
+
+class CkmsAdapter final : public AdapterBase<CkmsSketch, CkmsAdapter> {
+ public:
+  using AdapterBase::AdapterBase;
+  void Add(double value) override { impl_.Add(value); }
+  Status MergeFrom(const QuantileSketch& other) override {
+    return MergeSameFamily(other, [](CkmsSketch& a, const CkmsSketch& b) {
+      a.MergeFrom(b);
+      return Status::OK();
+    });
+  }
+  const char* family() const noexcept override { return "ckms"; }
+};
+
+template <typename Result_, typename Adapter>
+Result<std::unique_ptr<QuantileSketch>> WrapResult(Result_ result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<QuantileSketch>(
+      std::make_unique<Adapter>(std::move(result).value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QuantileSketch>> NewDDSketch(double relative_accuracy,
+                                                    int32_t max_num_buckets) {
+  return WrapResult<Result<DDSketch>, DDSketchAdapter>(
+      DDSketch::Create(relative_accuracy, max_num_buckets));
+}
+
+Result<std::unique_ptr<QuantileSketch>> NewGKArray(double rank_accuracy) {
+  return WrapResult<Result<GKArray>, GKAdapter>(
+      GKArray::Create(rank_accuracy));
+}
+
+Result<std::unique_ptr<QuantileSketch>> NewHdrHistogram(int significant_digits,
+                                                        double expected_min,
+                                                        double expected_max) {
+  return WrapResult<Result<HdrDoubleHistogram>, HdrAdapter>(
+      HdrDoubleHistogram::Create(significant_digits, expected_min,
+                                 expected_max));
+}
+
+Result<std::unique_ptr<QuantileSketch>> NewMomentSketch(int num_moments,
+                                                        bool compress) {
+  return WrapResult<Result<MomentSketch>, MomentsAdapter>(
+      MomentSketch::Create(num_moments, compress));
+}
+
+Result<std::unique_ptr<QuantileSketch>> NewTDigest(double compression) {
+  return WrapResult<Result<TDigest>, TDigestAdapter>(
+      TDigest::Create(compression));
+}
+
+Result<std::unique_ptr<QuantileSketch>> NewKllSketch(int k, uint64_t seed) {
+  return WrapResult<Result<KllSketch>, KllAdapter>(KllSketch::Create(k, seed));
+}
+
+Result<std::unique_ptr<QuantileSketch>> NewCkmsSketch(
+    std::vector<CkmsSketch::Target> targets) {
+  return WrapResult<Result<CkmsSketch>, CkmsAdapter>(
+      CkmsSketch::Create(std::move(targets)));
+}
+
+Result<std::unique_ptr<QuantileSketch>> DeserializeSketch(
+    std::string_view payload) {
+  if (payload.size() < 4) {
+    return Status::Corruption("payload too short to identify a sketch");
+  }
+  const std::string_view magic = payload.substr(0, 4);
+  if (magic == "DDSK") {
+    return WrapResult<Result<DDSketch>, DDSketchAdapter>(
+        DDSketch::Deserialize(payload));
+  }
+  if (magic == "GKAR") {
+    return WrapResult<Result<GKArray>, GKAdapter>(
+        GKArray::Deserialize(payload));
+  }
+  if (magic == "HDRD") {
+    return WrapResult<Result<HdrDoubleHistogram>, HdrAdapter>(
+        HdrDoubleHistogram::Deserialize(payload));
+  }
+  if (magic == "MOMT") {
+    return WrapResult<Result<MomentSketch>, MomentsAdapter>(
+        MomentSketch::Deserialize(payload));
+  }
+  if (magic == "TDIG") {
+    return WrapResult<Result<TDigest>, TDigestAdapter>(
+        TDigest::Deserialize(payload));
+  }
+  if (magic == "KLLS") {
+    return WrapResult<Result<KllSketch>, KllAdapter>(
+        KllSketch::Deserialize(payload));
+  }
+  if (magic == "CKMS") {
+    return WrapResult<Result<CkmsSketch>, CkmsAdapter>(
+        CkmsSketch::Deserialize(payload));
+  }
+  return Status::Corruption("unrecognized sketch payload magic");
+}
+
+}  // namespace dd

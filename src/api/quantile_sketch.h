@@ -1,0 +1,91 @@
+// A uniform, polymorphic facade over every quantile summary in this
+// repository. Downstream systems (the CLI, the shootout example, a
+// metrics pipeline choosing its sketch per tenant) can hold
+// `std::unique_ptr<QuantileSketch>` and stay agnostic of the family;
+// `DeserializeSketch` sniffs the wire magic and reconstructs the right
+// implementation.
+//
+// Families and their trade-offs (Table 1 of the paper plus the §1.2
+// related work — see each module's header):
+//   ddsketch  relative error, arbitrary range, fully mergeable
+//   gk        rank error, arbitrary range, one-way mergeable
+//   hdr       relative error, bounded range, fully mergeable
+//   moments   average rank error, constant size, fully mergeable
+//   tdigest   tail-biased rank error, one-way mergeable
+//   kll       rank error (randomized), fully mergeable
+//   ckms      targeted rank error, one-way mergeable
+
+#ifndef DDSKETCH_API_QUANTILE_SKETCH_H_
+#define DDSKETCH_API_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ckms/ckms_sketch.h"
+#include "core/ddsketch.h"
+#include "gk/gkarray.h"
+#include "hdr/hdr_histogram.h"
+#include "kll/kll_sketch.h"
+#include "moments/moment_sketch.h"
+#include "tdigest/tdigest.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Type-erased quantile summary.
+class QuantileSketch {
+ public:
+  virtual ~QuantileSketch() = default;
+
+  /// Adds one value.
+  virtual void Add(double value) = 0;
+  /// The q-quantile estimate; error semantics depend on family().
+  virtual Result<double> Quantile(double q) const = 0;
+  /// NaN-returning form.
+  virtual double QuantileOrNaN(double q) const noexcept = 0;
+  /// Merges a sketch of the *same family and parameters*; fails with
+  /// Incompatible otherwise. Whether merging degrades accuracy depends on
+  /// the family (one-way vs fully mergeable).
+  virtual Status MergeFrom(const QuantileSketch& other) = 0;
+
+  /// Values accepted so far.
+  virtual uint64_t count() const noexcept = 0;
+  bool empty() const noexcept { return count() == 0; }
+  /// Live memory footprint.
+  virtual size_t size_in_bytes() const noexcept = 0;
+  /// Stable family name ("ddsketch", "gk", "hdr", "moments", "tdigest",
+  /// "kll", "ckms").
+  virtual const char* family() const noexcept = 0;
+
+  /// Binary wire payload (family-specific format; self-identifying magic).
+  virtual std::string Serialize() const = 0;
+  /// Deep copy.
+  virtual std::unique_ptr<QuantileSketch> Clone() const = 0;
+};
+
+/// Factories, one per family (Table 2 parameter conventions).
+Result<std::unique_ptr<QuantileSketch>> NewDDSketch(
+    double relative_accuracy = 0.01, int32_t max_num_buckets = 2048);
+Result<std::unique_ptr<QuantileSketch>> NewGKArray(double rank_accuracy =
+                                                       0.01);
+Result<std::unique_ptr<QuantileSketch>> NewHdrHistogram(int significant_digits,
+                                                        double expected_min,
+                                                        double expected_max);
+Result<std::unique_ptr<QuantileSketch>> NewMomentSketch(int num_moments = 20,
+                                                        bool compress = true);
+Result<std::unique_ptr<QuantileSketch>> NewTDigest(double compression = 100);
+Result<std::unique_ptr<QuantileSketch>> NewKllSketch(int k = 200,
+                                                     uint64_t seed = 1);
+Result<std::unique_ptr<QuantileSketch>> NewCkmsSketch(
+    std::vector<CkmsSketch::Target> targets = CkmsSketch::DefaultTargets());
+
+/// Reconstructs a sketch from any family's wire payload by sniffing the
+/// magic bytes. Fails with Corruption for unrecognized payloads.
+Result<std::unique_ptr<QuantileSketch>> DeserializeSketch(
+    std::string_view payload);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_API_QUANTILE_SKETCH_H_

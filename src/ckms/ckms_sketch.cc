@@ -1,0 +1,272 @@
+#include "ckms/ckms_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/varint.h"
+
+namespace dd {
+
+std::vector<CkmsSketch::Target> CkmsSketch::DefaultTargets() {
+  return {{0.5, 0.02},  {0.75, 0.01},  {0.9, 0.005},
+          {0.95, 0.005}, {0.99, 0.001}, {0.999, 0.0005}};
+}
+
+CkmsSketch::CkmsSketch(std::vector<Target> targets)
+    : targets_(std::move(targets)) {
+  // Flush cadence ~ the tightest epsilon (same rationale as GKArray).
+  double tightest = 1.0;
+  for (const Target& t : targets_) tightest = std::min(tightest, t.epsilon);
+  buffer_capacity_ = static_cast<size_t>(
+      std::max(64.0, std::min(1.0 / tightest, 1e6)));
+}
+
+Result<CkmsSketch> CkmsSketch::Create(std::vector<Target> targets) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("need at least one quantile target");
+  }
+  for (const Target& t : targets) {
+    if (!(t.quantile > 0.0 && t.quantile < 1.0) ||
+        !(t.epsilon > 0.0 && t.epsilon < 1.0)) {
+      return Status::InvalidArgument(
+          "targets need quantile and epsilon in (0, 1)");
+    }
+  }
+  return CkmsSketch(std::move(targets));
+}
+
+double CkmsSketch::AllowedError(double rank) const noexcept {
+  const double n = static_cast<double>(count_);
+  double allowed = std::numeric_limits<double>::infinity();
+  for (const Target& t : targets_) {
+    double f;
+    if (rank >= t.quantile * n) {
+      f = 2.0 * t.epsilon * rank / t.quantile;
+    } else {
+      f = 2.0 * t.epsilon * (n - rank) / (1.0 - t.quantile);
+    }
+    allowed = std::min(allowed, f);
+  }
+  return std::max(allowed, 1.0);
+}
+
+void CkmsSketch::Add(double value) {
+  buffer_.push_back(value);
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (buffer_.size() >= buffer_capacity_) Flush();
+}
+
+void CkmsSketch::Flush() const {
+  if (buffer_.empty()) return;
+  std::vector<double> batch;
+  batch.swap(buffer_);
+  std::sort(batch.begin(), batch.end());
+  InsertBatch(std::move(batch));
+  Compress();
+}
+
+void CkmsSketch::InsertBatch(std::vector<double>&& batch) const {
+  // Single merge pass: walk summary and sorted batch together, tracking
+  // the rank lower bound (sum of g) at each position; new tuples get
+  // delta = floor(f(r, n)) - 1 (0 at the extremes), the CKMS INSERT rule.
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + batch.size());
+  size_t si = 0, bi = 0;
+  double rank = 0;  // sum of g of tuples already placed
+  while (si < entries_.size() || bi < batch.size()) {
+    if (bi >= batch.size() ||
+        (si < entries_.size() && entries_[si].value <= batch[bi])) {
+      rank += static_cast<double>(entries_[si].g);
+      merged.push_back(entries_[si++]);
+    } else {
+      const double v = batch[bi++];
+      uint64_t delta = 0;
+      if (!merged.empty() && si < entries_.size()) {
+        // Interior insertion: uncertainty up to half the invariant at this
+        // rank (the conservative engineering choice: slightly more tuples,
+        // observed error comfortably within each target's epsilon).
+        delta = static_cast<uint64_t>(
+            std::max(0.0, std::floor(AllowedError(rank) / 4.0) - 1.0));
+      }
+      rank += 1;
+      merged.push_back({v, 1, delta});
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+void CkmsSketch::Compress() const {
+  if (entries_.size() < 3) return;
+  // Prefix ranks of the summary before any folding; they remain valid
+  // lower bounds throughout the pass because folding only moves weight
+  // towards higher tuples.
+  std::vector<double> rank(entries_.size());
+  double cum = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    cum += static_cast<double>(entries_[i].g);
+    rank[i] = cum;
+  }
+  // Walk from the second-to-last tuple downwards (the classic COMPRESS
+  // direction), folding tuple i into its surviving successor while the
+  // combined band respects f(r_i, n). The first and last tuples are never
+  // folded (they pin the min/max ranks).
+  std::vector<Entry> kept;
+  kept.reserve(entries_.size());
+  kept.push_back(entries_.back());
+  for (size_t i = entries_.size() - 1; i-- > 0;) {
+    const Entry& current = entries_[i];
+    Entry& successor = kept.back();
+    const double band = static_cast<double>(current.g) +
+                        static_cast<double>(successor.g) +
+                        static_cast<double>(successor.delta);
+    if (i > 0 && band <= AllowedError(rank[i])) {
+      successor.g += current.g;
+    } else {
+      kept.push_back(current);
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+  entries_ = std::move(kept);
+}
+
+double CkmsSketch::QuantileOrNaN(double q) const noexcept {
+  if (empty() || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  Flush();
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const double n = static_cast<double>(count_);
+  const double target_rank = q * n;
+  const double half_band = AllowedError(target_rank) / 2.0;
+  double rank = 0;
+  for (size_t i = 0; i + 1 < entries_.size(); ++i) {
+    rank += static_cast<double>(entries_[i].g);
+    const double next_max_rank = rank + static_cast<double>(entries_[i + 1].g) +
+                                 static_cast<double>(entries_[i + 1].delta);
+    if (next_max_rank > target_rank + half_band) {
+      return entries_[i].value;
+    }
+  }
+  return entries_.back().value;
+}
+
+Result<double> CkmsSketch::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                   std::to_string(q));
+  }
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty sketch");
+  }
+  return QuantileOrNaN(q);
+}
+
+void CkmsSketch::MergeFrom(const CkmsSketch& other) {
+  if (other.empty()) return;
+  other.Flush();
+  Flush();
+  std::vector<double> weighted;
+  weighted.reserve(other.count_);
+  for (const Entry& e : other.entries_) {
+    for (uint64_t i = 0; i < e.g; ++i) weighted.push_back(e.value);
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  std::sort(weighted.begin(), weighted.end());
+  InsertBatch(std::move(weighted));
+  Compress();
+}
+
+// Wire format: "CKMS" magic, version byte, target count (varint) and per
+// target quantile/epsilon (doubles), count (varint), min/max (doubles),
+// entry count (varint), then per entry: value (double), g (varint),
+// delta (varint).
+std::string CkmsSketch::Serialize() const {
+  Flush();
+  std::string out;
+  out.reserve(32 + targets_.size() * 16 + entries_.size() * 12);
+  out.append("CKMS", 4);
+  out.push_back(1);
+  PutVarint64(&out, targets_.size());
+  for (const Target& t : targets_) {
+    PutFixedDouble(&out, t.quantile);
+    PutFixedDouble(&out, t.epsilon);
+  }
+  PutVarint64(&out, count_);
+  PutFixedDouble(&out, min_);
+  PutFixedDouble(&out, max_);
+  PutVarint64(&out, entries_.size());
+  for (const Entry& e : entries_) {
+    PutFixedDouble(&out, e.value);
+    PutVarint64(&out, e.g);
+    PutVarint64(&out, e.delta);
+  }
+  return out;
+}
+
+Result<CkmsSketch> CkmsSketch::Deserialize(std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(5, &header));
+  if (header.substr(0, 4) != "CKMS" || header[4] != 1) {
+    return Status::Corruption("not a CKMS v1 payload");
+  }
+  uint64_t n_targets = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&n_targets));
+  if (n_targets == 0 || n_targets > 64) {
+    return Status::Corruption("target count out of range");
+  }
+  std::vector<Target> targets;
+  targets.reserve(n_targets);
+  for (uint64_t i = 0; i < n_targets; ++i) {
+    Target t{};
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&t.quantile));
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&t.epsilon));
+    targets.push_back(t);
+  }
+  auto result = Create(std::move(targets));
+  if (!result.ok()) {
+    return Status::Corruption("invalid targets in payload");
+  }
+  CkmsSketch sketch = std::move(result).value();
+  DD_RETURN_IF_ERROR(in.GetVarint64(&sketch.count_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.min_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.max_));
+  uint64_t n_entries = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&n_entries));
+  if (n_entries > payload.size()) {
+    return Status::Corruption("entry count exceeds payload");
+  }
+  uint64_t total_g = 0;
+  double prev = -std::numeric_limits<double>::infinity();
+  sketch.entries_.reserve(n_entries);
+  for (uint64_t i = 0; i < n_entries; ++i) {
+    Entry e{};
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&e.value));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&e.g));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&e.delta));
+    if (!(e.value >= prev) || e.g == 0) {
+      return Status::Corruption("invalid CKMS entry");
+    }
+    prev = e.value;
+    total_g += e.g;
+    sketch.entries_.push_back(e);
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes");
+  if (total_g != sketch.count_) {
+    return Status::Corruption("entry weights do not sum to count");
+  }
+  return sketch;
+}
+
+size_t CkmsSketch::size_in_bytes() const noexcept {
+  return sizeof(*this) + targets_.capacity() * sizeof(Target) +
+         entries_.capacity() * sizeof(Entry) +
+         buffer_.capacity() * sizeof(double);
+}
+
+}  // namespace dd

@@ -1,0 +1,101 @@
+// CKMS: the biased/targeted-quantiles sketch of Cormode, Korn,
+// Muthukrishnan & Srivastava ("Effective computation of biased quantiles
+// over data streams", ICDE 2005 / PODS 2006) — references [7] and [8] of
+// the paper. §1.2 places this line of work between uniform-rank sketches
+// and t-digest: it "promises lower rank error on the quantiles further
+// away from the median by biasing the data it keeps towards the higher
+// (and lower) quantiles", but remains a rank-error sketch, so heavy-tailed
+// relative error is still unbounded, and it is only one-way mergeable.
+//
+// This is the *targeted* variant: the caller declares a set of
+// (quantile phi_j, epsilon_j) targets; the summary keeps a GK-style tuple
+// list whose allowed uncertainty at rank r is the invariant function
+//   f(r, n) = min_j  2 eps_j r / phi_j              for r >= phi_j n
+//             min_j  2 eps_j (n - r) / (1 - phi_j)  for r <  phi_j n,
+// so resolution concentrates exactly where the targets are.
+
+#ifndef DDSKETCH_CKMS_CKMS_SKETCH_H_
+#define DDSKETCH_CKMS_CKMS_SKETCH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Targeted-quantile rank-error sketch.
+class CkmsSketch {
+ public:
+  /// One accuracy target: the phi_j-quantile must carry rank error at most
+  /// epsilon_j * n.
+  struct Target {
+    double quantile;
+    double epsilon;
+  };
+
+  /// The conventional monitoring target set: median loosely, tails tightly.
+  static std::vector<Target> DefaultTargets();
+
+  /// Fails unless every target has 0 < quantile < 1 and 0 < epsilon < 1.
+  static Result<CkmsSketch> Create(std::vector<Target> targets);
+
+  /// Adds one value (buffered; folded in batches).
+  void Add(double value);
+
+  /// The q-quantile estimate. Rank error is at most epsilon_j * n when q
+  /// equals a declared target; between targets the bound interpolates via
+  /// the invariant function.
+  Result<double> Quantile(double q) const;
+  double QuantileOrNaN(double q) const noexcept;
+
+  /// One-way merge (same caveat as GK: error accumulates per generation).
+  void MergeFrom(const CkmsSketch& other);
+
+  uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  const std::vector<Target>& targets() const noexcept { return targets_; }
+
+  /// Summary tuples currently held (after a flush).
+  size_t num_entries() const noexcept { return entries_.size(); }
+  size_t size_in_bytes() const noexcept;
+
+  /// Folds the buffer into the summary (done automatically by queries).
+  void Flush() const;
+
+  /// The invariant function f(rank, n) (exposed for tests).
+  double AllowedError(double rank) const noexcept;
+
+  /// Serializes targets + summary (buffer flushed first).
+  std::string Serialize() const;
+  static Result<CkmsSketch> Deserialize(std::string_view payload);
+
+ private:
+  struct Entry {
+    double value;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  explicit CkmsSketch(std::vector<Target> targets);
+
+  void InsertBatch(std::vector<double>&& batch) const;
+  void Compress() const;
+
+  std::vector<Target> targets_;
+  size_t buffer_capacity_;
+  mutable std::vector<Entry> entries_;  // sorted by value
+  mutable std::vector<double> buffer_;
+  uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_CKMS_CKMS_SKETCH_H_

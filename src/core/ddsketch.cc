@@ -1,0 +1,285 @@
+#include "core/ddsketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dd {
+namespace {
+
+// The negative store mirrors the positive one: indices are computed on
+// |value|, so the largest indices hold the most-negative values and
+// collapses must start from the highest indices (§2.2).
+StoreType MirrorStoreType(StoreType type) {
+  switch (type) {
+    case StoreType::kCollapsingLowestDense:
+      return StoreType::kCollapsingHighestDense;
+    case StoreType::kCollapsingHighestDense:
+      return StoreType::kCollapsingLowestDense;
+    default:
+      return type;
+  }
+}
+
+}  // namespace
+
+DDSketch::DDSketch(std::unique_ptr<IndexMapping> mapping,
+                   std::unique_ptr<Store> positive,
+                   std::unique_ptr<Store> negative)
+    : mapping_(std::move(mapping)),
+      positive_(std::move(positive)),
+      negative_(std::move(negative)) {}
+
+Result<DDSketch> DDSketch::Create(const DDSketchConfig& config) {
+  auto mapping = IndexMapping::Create(config.mapping, config.relative_accuracy);
+  if (!mapping.ok()) return mapping.status();
+  auto positive = Store::Create(config.store, config.max_num_buckets);
+  if (!positive.ok()) return positive.status();
+  auto negative =
+      Store::Create(MirrorStoreType(config.store), config.max_num_buckets);
+  if (!negative.ok()) return negative.status();
+  return DDSketch(std::move(mapping).value(), std::move(positive).value(),
+                  std::move(negative).value());
+}
+
+Result<DDSketch> DDSketch::Create(double relative_accuracy,
+                                  int32_t max_num_buckets) {
+  DDSketchConfig config;
+  config.relative_accuracy = relative_accuracy;
+  config.max_num_buckets = max_num_buckets;
+  return Create(config);
+}
+
+DDSketch::DDSketch(const DDSketch& other)
+    : mapping_(other.mapping_->Clone()),
+      positive_(other.positive_->Clone()),
+      negative_(other.negative_->Clone()),
+      zero_count_(other.zero_count_),
+      rejected_count_(other.rejected_count_),
+      clamped_count_(other.clamped_count_),
+      sum_(other.sum_),
+      min_(other.min_),
+      max_(other.max_) {}
+
+DDSketch& DDSketch::operator=(const DDSketch& other) {
+  if (this == &other) return *this;
+  *this = DDSketch(other);  // copy-construct then move-assign
+  return *this;
+}
+
+void DDSketch::Add(double value, uint64_t count) noexcept {
+  if (count == 0) return;
+  if (!std::isfinite(value)) {
+    rejected_count_ += count;
+    return;
+  }
+  double magnitude = std::abs(value);
+  if (magnitude < mapping_->min_indexable_value()) {
+    zero_count_ += count;
+  } else {
+    if (magnitude > mapping_->max_indexable_value()) {
+      magnitude = mapping_->max_indexable_value();
+      clamped_count_ += count;
+    }
+    const int32_t index = mapping_->Index(magnitude);
+    if (value > 0) {
+      positive_->Add(index, count);
+    } else {
+      negative_->Add(index, count);
+    }
+  }
+  sum_ += value * static_cast<double>(count);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+uint64_t DDSketch::Remove(double value, uint64_t count) noexcept {
+  if (count == 0 || !std::isfinite(value)) return 0;
+  const double magnitude = std::abs(value);
+  uint64_t removed = 0;
+  if (magnitude < mapping_->min_indexable_value()) {
+    removed = std::min(zero_count_, count);
+    zero_count_ -= removed;
+  } else if (magnitude <= mapping_->max_indexable_value()) {
+    const int32_t index = mapping_->Index(magnitude);
+    removed = (value > 0) ? positive_->Remove(index, count)
+                          : negative_->Remove(index, count);
+  }
+  if (removed > 0) {
+    sum_ -= value * static_cast<double>(removed);
+    if (empty()) {
+      min_ = std::numeric_limits<double>::infinity();
+      max_ = -std::numeric_limits<double>::infinity();
+      sum_ = 0;
+    }
+  }
+  return removed;
+}
+
+uint64_t DDSketch::count() const noexcept {
+  return positive_->total_count() + negative_->total_count() + zero_count_;
+}
+
+double DDSketch::mean() const noexcept {
+  const uint64_t n = count();
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum_ / static_cast<double>(n);
+}
+
+Result<double> DDSketch::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                   std::to_string(q));
+  }
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty sketch");
+  }
+  return QuantileOrNaN(q);
+}
+
+double DDSketch::QuantileOrNaN(double q) const noexcept {
+  const uint64_t n = count();
+  if (n == 0 || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // The extremes are tracked exactly (§2.2).
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // Algorithm 2: find the first bucket (in value order) whose cumulative
+  // count exceeds q(n-1). Value order is: negatives from most negative
+  // (highest |value| index) up, then zeros, then positives ascending.
+  const double rank = q * static_cast<double>(n - 1);
+  const double neg_total = static_cast<double>(negative_->total_count());
+  double estimate;
+  if (rank < neg_total) {
+    estimate = -mapping_->Value(negative_->KeyAtRankDescending(rank));
+  } else if (rank < neg_total + static_cast<double>(zero_count_)) {
+    estimate = 0.0;
+  } else {
+    const double positive_rank =
+        rank - neg_total - static_cast<double>(zero_count_);
+    estimate = mapping_->Value(positive_->KeyAtRank(positive_rank));
+  }
+  // The exact extrema are tracked, so never report beyond them; this also
+  // makes q = 0 and q = 1 exact (standard sketch practice, §2.2).
+  return std::clamp(estimate, min_, max_);
+}
+
+Result<std::vector<double>> DDSketch::Quantiles(
+    std::span<const double> qs) const {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    auto r = Quantile(q);
+    if (!r.ok()) return r.status();
+    out.push_back(r.value());
+  }
+  return out;
+}
+
+double DDSketch::CdfOrNaN(double value) const noexcept {
+  const uint64_t n = count();
+  if (n == 0 || std::isnan(value)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (value >= max_) return 1.0;
+  if (value < min_) return 0.0;
+  const double total = static_cast<double>(n);
+  const double neg_total = static_cast<double>(negative_->total_count());
+  const double magnitude = std::abs(value);
+  if (value >= 0.0) {
+    // Everything negative plus the zero bucket sorts below any v >= 0
+    // (zero-bucket entries are within floating-point noise of zero).
+    double cum = neg_total + static_cast<double>(zero_count_);
+    if (magnitude >= mapping_->min_indexable_value()) {
+      const int32_t index =
+          mapping_->Index(std::min(magnitude, mapping_->max_indexable_value()));
+      const double below =
+          static_cast<double>(positive_->CumulativeCount(index - 1));
+      const double in_bucket =
+          static_cast<double>(positive_->CumulativeCount(index)) - below;
+      const double lo = mapping_->LowerBound(index);
+      const double hi = mapping_->LowerBound(index + 1);
+      const double fraction =
+          std::clamp((magnitude - lo) / (hi - lo), 0.0, 1.0);
+      cum += below + fraction * in_bucket;
+    }
+    return std::clamp(cum / total, 0.0, 1.0);
+  }
+  // value < 0: the values <= v are the negatives with magnitude >= |v|,
+  // i.e. the negative-store buckets at and above Index(|v|).
+  double cum = 0.0;
+  if (magnitude < mapping_->min_indexable_value()) {
+    // v is a negative value within noise of zero: everything negative is
+    // below it.
+    cum = neg_total;
+  } else {
+    const int32_t index =
+        mapping_->Index(std::min(magnitude, mapping_->max_indexable_value()));
+    const double up_to =
+        static_cast<double>(negative_->CumulativeCount(index));
+    const double below_bucket =
+        static_cast<double>(negative_->CumulativeCount(index - 1));
+    const double in_bucket = up_to - below_bucket;
+    const double lo = mapping_->LowerBound(index);
+    const double hi = mapping_->LowerBound(index + 1);
+    // Bucket holds negatives with magnitudes in (lo, hi]; those <= v have
+    // magnitude >= |v|.
+    const double fraction = std::clamp((hi - magnitude) / (hi - lo), 0.0, 1.0);
+    cum = (neg_total - up_to) + fraction * in_bucket;
+  }
+  return std::clamp(cum / total, 0.0, 1.0);
+}
+
+Result<double> DDSketch::Cdf(double value) const {
+  if (std::isnan(value)) {
+    return Status::InvalidArgument("CDF of NaN");
+  }
+  if (empty()) {
+    return Status::InvalidArgument("CDF of an empty sketch");
+  }
+  return CdfOrNaN(value);
+}
+
+Status DDSketch::MergeFrom(const DDSketch& other) {
+  if (!mapping_->IsCompatibleWith(*other.mapping_)) {
+    return Status::Incompatible(
+        "cannot merge sketches with different mappings (" +
+        std::string(MappingTypeToString(mapping_->type())) + " gamma=" +
+        std::to_string(mapping_->gamma()) + " vs " +
+        std::string(MappingTypeToString(other.mapping_->type())) + " gamma=" +
+        std::to_string(other.mapping_->gamma()) + ")");
+  }
+  positive_->MergeFrom(*other.positive_);
+  negative_->MergeFrom(*other.negative_);
+  zero_count_ += other.zero_count_;
+  rejected_count_ += other.rejected_count_;
+  clamped_count_ += other.clamped_count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return Status::OK();
+}
+
+size_t DDSketch::num_buckets() const noexcept {
+  return positive_->num_buckets() + negative_->num_buckets() +
+         (zero_count_ > 0 ? 1 : 0);
+}
+
+size_t DDSketch::size_in_bytes() const noexcept {
+  return sizeof(*this) + sizeof(IndexMapping) + positive_->size_in_bytes() +
+         negative_->size_in_bytes();
+}
+
+void DDSketch::Clear() noexcept {
+  positive_->Clear();
+  negative_->Clear();
+  zero_count_ = 0;
+  rejected_count_ = 0;
+  clamped_count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace dd

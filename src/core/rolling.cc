@@ -1,0 +1,56 @@
+#include "core/rolling.h"
+
+#include <string>
+
+namespace dd {
+
+RollingDDSketch::RollingDDSketch(std::vector<DDSketch> ring,
+                                 DDSketch empty_template)
+    : ring_(std::move(ring)), empty_template_(std::move(empty_template)) {}
+
+Result<RollingDDSketch> RollingDDSketch::Create(const DDSketchConfig& config,
+                                                int num_intervals) {
+  if (num_intervals < 1 || num_intervals > 1 << 20) {
+    return Status::InvalidArgument("num_intervals must be in [1, 2^20], got " +
+                                   std::to_string(num_intervals));
+  }
+  auto prototype = DDSketch::Create(config);
+  if (!prototype.ok()) return prototype.status();
+  std::vector<DDSketch> ring;
+  ring.reserve(static_cast<size_t>(num_intervals));
+  for (int i = 0; i < num_intervals; ++i) {
+    ring.push_back(prototype.value());  // deep copies of the empty sketch
+  }
+  return RollingDDSketch(std::move(ring), std::move(prototype).value());
+}
+
+void RollingDDSketch::Advance() noexcept {
+  ++advances_;
+  current_ = (current_ + 1) % ring_.size();
+  // The slot re-entering service held the interval that just left the
+  // window; Clear keeps its allocated bucket array for reuse.
+  ring_[current_].Clear();
+}
+
+DDSketch RollingDDSketch::WindowSketch() const {
+  DDSketch merged = empty_template_;
+  for (const DDSketch& interval : ring_) {
+    // Same config by construction; MergeFrom cannot fail.
+    (void)merged.MergeFrom(interval);
+  }
+  return merged;
+}
+
+uint64_t RollingDDSketch::count() const noexcept {
+  uint64_t total = 0;
+  for (const DDSketch& interval : ring_) total += interval.count();
+  return total;
+}
+
+size_t RollingDDSketch::size_in_bytes() const noexcept {
+  size_t total = sizeof(*this);
+  for (const DDSketch& interval : ring_) total += interval.size_in_bytes();
+  return total;
+}
+
+}  // namespace dd

@@ -1,0 +1,91 @@
+// RollingDDSketch: quantiles over a sliding window of time intervals.
+//
+// The paper's monitoring pipeline aggregates per-interval sketches into
+// rollups (§1: "rolling up the sums and counts to graph ... over much
+// larger time periods"). This helper packages the pattern: a ring of K
+// per-interval DDSketches; Advance() closes the current interval and
+// evicts the oldest; queries answer over the union of live intervals.
+// Because DDSketch is fully mergeable, the windowed answers are exactly
+// what a single sketch over the window's values would produce.
+
+#ifndef DDSKETCH_CORE_ROLLING_H_
+#define DDSKETCH_CORE_ROLLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A fixed-length ring of interval sketches with window queries.
+/// Not thread-safe (like DDSketch itself).
+class RollingDDSketch {
+ public:
+  /// `num_intervals` is the window length in Advance() steps.
+  static Result<RollingDDSketch> Create(const DDSketchConfig& config,
+                                        int num_intervals);
+
+  /// Adds a value to the current interval.
+  void Add(double value) noexcept { Current().Add(value); }
+  void Add(double value, uint64_t count) noexcept {
+    Current().Add(value, count);
+  }
+
+  /// Merges a remote per-interval sketch into the current interval (e.g. a
+  /// worker's serialized sketch for this interval).
+  Status MergeIntoCurrent(const DDSketch& sketch) {
+    return Current().MergeFrom(sketch);
+  }
+
+  /// Closes the current interval and opens a fresh one, evicting the
+  /// interval that left the window.
+  void Advance() noexcept;
+
+  /// Merged sketch over all live intervals; answers are identical to a
+  /// single sketch over the window's values (full mergeability).
+  DDSketch WindowSketch() const;
+
+  /// Window quantile (NaN if the window is empty).
+  double QuantileOrNaN(double q) const noexcept {
+    return WindowSketch().QuantileOrNaN(q);
+  }
+
+  /// Window CDF (NaN if the window is empty).
+  double CdfOrNaN(double value) const noexcept {
+    return WindowSketch().CdfOrNaN(value);
+  }
+
+  /// Total count across the window.
+  uint64_t count() const noexcept;
+  bool empty() const noexcept { return count() == 0; }
+
+  /// Number of Advance() calls so far.
+  uint64_t intervals_advanced() const noexcept { return advances_; }
+  /// Window length in intervals.
+  int num_intervals() const noexcept {
+    return static_cast<int>(ring_.size());
+  }
+  /// Count in the interval currently receiving adds.
+  uint64_t current_interval_count() const noexcept {
+    return ring_[current_].count();
+  }
+
+  /// Memory across all interval sketches.
+  size_t size_in_bytes() const noexcept;
+
+ private:
+  RollingDDSketch(std::vector<DDSketch> ring, DDSketch empty_template);
+
+  DDSketch& Current() noexcept { return ring_[current_]; }
+
+  std::vector<DDSketch> ring_;
+  DDSketch empty_template_;  // pristine copy used to reset evicted slots
+  size_t current_ = 0;
+  uint64_t advances_ = 0;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_CORE_ROLLING_H_

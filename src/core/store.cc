@@ -1,0 +1,415 @@
+#include "core/store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace dd {
+namespace {
+
+// Dense stores grow in chunks of this many counters to amortize reallocation.
+constexpr size_t kGrowthChunk = 64;
+
+size_t RoundUpToChunk(size_t n) {
+  return (n + kGrowthChunk - 1) / kGrowthChunk * kGrowthChunk;
+}
+
+}  // namespace
+
+const char* StoreTypeToString(StoreType type) {
+  switch (type) {
+    case StoreType::kUnboundedDense:
+      return "dense";
+    case StoreType::kCollapsingLowestDense:
+      return "collapsing_lowest";
+    case StoreType::kCollapsingHighestDense:
+      return "collapsing_highest";
+    case StoreType::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Store (generic fallbacks)
+// ---------------------------------------------------------------------------
+
+void Store::MergeFrom(const Store& other) {
+  other.ForEach([this](int32_t index, uint64_t count) { Add(index, count); });
+}
+
+int32_t Store::KeyAtRank(double rank) const noexcept {
+  assert(!empty());
+  uint64_t cum = 0;
+  int32_t result = 0;
+  bool found = false;
+  ForEach([&](int32_t index, uint64_t count) {
+    if (found) return;
+    cum += count;
+    if (static_cast<double>(cum) > rank) {
+      result = index;
+      found = true;
+    }
+  });
+  if (!found) result = max_index();
+  return result;
+}
+
+int32_t Store::KeyAtRankDescending(double rank) const noexcept {
+  assert(!empty());
+  // Collect ascending, then scan from the top. Only the sparse store uses
+  // this fallback; dense stores override with a direct reverse scan.
+  std::vector<std::pair<int32_t, uint64_t>> buckets;
+  buckets.reserve(num_buckets());
+  ForEach([&](int32_t index, uint64_t count) {
+    buckets.emplace_back(index, count);
+  });
+  uint64_t cum = 0;
+  for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
+    cum += it->second;
+    if (static_cast<double>(cum) > rank) return it->first;
+  }
+  return buckets.front().first;
+}
+
+uint64_t Store::CumulativeCount(int32_t index) const noexcept {
+  uint64_t cum = 0;
+  ForEach([&](int32_t i, uint64_t count) {
+    if (i <= index) cum += count;
+  });
+  return cum;
+}
+
+Result<std::unique_ptr<Store>> Store::Create(StoreType type,
+                                             int32_t max_num_buckets) {
+  switch (type) {
+    case StoreType::kUnboundedDense:
+      return std::unique_ptr<Store>(std::make_unique<UnboundedDenseStore>());
+    case StoreType::kCollapsingLowestDense:
+      if (max_num_buckets < 1) {
+        return Status::InvalidArgument(
+            "collapsing store requires max_num_buckets >= 1, got " +
+            std::to_string(max_num_buckets));
+      }
+      return std::unique_ptr<Store>(
+          std::make_unique<CollapsingLowestDenseStore>(max_num_buckets));
+    case StoreType::kCollapsingHighestDense:
+      if (max_num_buckets < 1) {
+        return Status::InvalidArgument(
+            "collapsing store requires max_num_buckets >= 1, got " +
+            std::to_string(max_num_buckets));
+      }
+      return std::unique_ptr<Store>(
+          std::make_unique<CollapsingHighestDenseStore>(max_num_buckets));
+    case StoreType::kSparse:
+      if (max_num_buckets < 0) {
+        return Status::InvalidArgument("max_num_buckets must be >= 0");
+      }
+      return std::unique_ptr<Store>(
+          std::make_unique<SparseStore>(max_num_buckets));
+  }
+  return Status::InvalidArgument("unknown store type");
+}
+
+// ---------------------------------------------------------------------------
+// DenseStore
+// ---------------------------------------------------------------------------
+
+void DenseStore::Extend(int32_t new_min, int32_t new_max) {
+  assert(new_min <= new_max);
+  if (counts_.empty()) {
+    counts_.assign(
+        RoundUpToChunk(static_cast<size_t>(new_max) - new_min + 1), 0);
+    offset_ = new_min;
+    return;
+  }
+  const int32_t cur_hi = offset_ + static_cast<int32_t>(counts_.size()) - 1;
+  if (new_min >= offset_ && new_max <= cur_hi) return;  // already covered
+  const int32_t lo = std::min(new_min, offset_);
+  const int32_t hi = std::max(new_max, cur_hi);
+  std::vector<uint64_t> fresh(
+      RoundUpToChunk(static_cast<size_t>(hi) - lo + 1), 0);
+  std::copy(counts_.begin(), counts_.end(),
+            fresh.begin() + (offset_ - lo));
+  counts_ = std::move(fresh);
+  offset_ = lo;
+}
+
+void DenseStore::MergeFrom(const Store& other) {
+  if (other.empty()) return;
+  const auto* dense = dynamic_cast<const DenseStore*>(&other);
+  if (dense != nullptr) {
+    const int32_t lo = total_count_ == 0
+                           ? dense->min_index_
+                           : std::min(min_index_, dense->min_index_);
+    const int32_t hi = total_count_ == 0
+                           ? dense->max_index_
+                           : std::max(max_index_, dense->max_index_);
+    if (SpanFits(lo, hi)) {
+      Extend(lo, hi);
+      for (int32_t i = dense->min_index_; i <= dense->max_index_; ++i) {
+        counts_[static_cast<size_t>(i - offset_)] +=
+            dense->counts_[static_cast<size_t>(i - dense->offset_)];
+      }
+      total_count_ += dense->total_count_;
+      min_index_ = lo;
+      max_index_ = hi;
+      return;
+    }
+  }
+  Store::MergeFrom(other);
+}
+
+void DenseStore::Add(int32_t index, uint64_t count) {
+  if (count == 0) return;
+  const size_t slot = SlotFor(index);
+  const int32_t effective = offset_ + static_cast<int32_t>(slot);
+  if (total_count_ == 0) {
+    min_index_ = max_index_ = effective;
+  } else {
+    min_index_ = std::min(min_index_, effective);
+    max_index_ = std::max(max_index_, effective);
+  }
+  counts_[slot] += count;
+  total_count_ += count;
+}
+
+uint64_t DenseStore::Remove(int32_t index, uint64_t count) {
+  if (count == 0 || total_count_ == 0) return 0;
+  if (index < min_index_ || index > max_index_) return 0;
+  uint64_t& bucket = counts_[static_cast<size_t>(index - offset_)];
+  const uint64_t removed = std::min(bucket, count);
+  bucket -= removed;
+  total_count_ -= removed;
+  if (removed > 0 && bucket == 0 && total_count_ > 0) {
+    // Re-establish min/max by scanning inward from the stale extremes.
+    while (counts_[static_cast<size_t>(min_index_ - offset_)] == 0) {
+      ++min_index_;
+    }
+    while (counts_[static_cast<size_t>(max_index_ - offset_)] == 0) {
+      --max_index_;
+    }
+  }
+  return removed;
+}
+
+int32_t DenseStore::min_index() const noexcept {
+  assert(total_count_ > 0);
+  return min_index_;
+}
+
+int32_t DenseStore::max_index() const noexcept {
+  assert(total_count_ > 0);
+  return max_index_;
+}
+
+size_t DenseStore::num_buckets() const noexcept {
+  if (total_count_ == 0) return 0;
+  size_t n = 0;
+  for (int32_t i = min_index_; i <= max_index_; ++i) {
+    if (counts_[static_cast<size_t>(i - offset_)] > 0) ++n;
+  }
+  return n;
+}
+
+void DenseStore::ForEach(
+    const std::function<void(int32_t, uint64_t)>& fn) const {
+  if (total_count_ == 0) return;
+  for (int32_t i = min_index_; i <= max_index_; ++i) {
+    const uint64_t c = counts_[static_cast<size_t>(i - offset_)];
+    if (c > 0) fn(i, c);
+  }
+}
+
+int32_t DenseStore::KeyAtRank(double rank) const noexcept {
+  assert(total_count_ > 0);
+  uint64_t cum = 0;
+  for (int32_t i = min_index_; i <= max_index_; ++i) {
+    cum += counts_[static_cast<size_t>(i - offset_)];
+    if (static_cast<double>(cum) > rank) return i;
+  }
+  return max_index_;
+}
+
+int32_t DenseStore::KeyAtRankDescending(double rank) const noexcept {
+  assert(total_count_ > 0);
+  uint64_t cum = 0;
+  for (int32_t i = max_index_; i >= min_index_; --i) {
+    cum += counts_[static_cast<size_t>(i - offset_)];
+    if (static_cast<double>(cum) > rank) return i;
+  }
+  return min_index_;
+}
+
+uint64_t DenseStore::CumulativeCount(int32_t index) const noexcept {
+  if (total_count_ == 0 || index < min_index_) return 0;
+  if (index >= max_index_) return total_count_;
+  uint64_t cum = 0;
+  for (int32_t i = min_index_; i <= index; ++i) {
+    cum += counts_[static_cast<size_t>(i - offset_)];
+  }
+  return cum;
+}
+
+size_t DenseStore::size_in_bytes() const noexcept {
+  return sizeof(*this) + counts_.capacity() * sizeof(uint64_t);
+}
+
+void DenseStore::Clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  min_index_ = max_index_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// UnboundedDenseStore
+// ---------------------------------------------------------------------------
+
+size_t UnboundedDenseStore::SlotFor(int32_t index) {
+  Extend(index, index);
+  return static_cast<size_t>(index - offset_);
+}
+
+// ---------------------------------------------------------------------------
+// CollapsingLowestDenseStore
+// ---------------------------------------------------------------------------
+
+size_t CollapsingLowestDenseStore::SlotFor(int32_t index) {
+  if (total_count_ == 0) {
+    Extend(index, index);
+    return static_cast<size_t>(index - offset_);
+  }
+  const int32_t lo = std::min(index, min_index_);
+  const int32_t hi = std::max(index, max_index_);
+  if (hi - lo < max_num_buckets_) {
+    Extend(lo, hi);
+    return static_cast<size_t>(index - offset_);
+  }
+  has_collapsed_ = true;
+  const int32_t new_min = hi - max_num_buckets_ + 1;
+  if (index <= new_min) {
+    // Incoming value is at or below the fold boundary: redirect it there.
+    Extend(new_min, hi);
+    return static_cast<size_t>(new_min - offset_);
+  }
+  // Incoming value raises the ceiling: fold existing low buckets upward.
+  // (The array may transiently address more than max_num_buckets_ slots
+  // during the fold; capacity is retained but the live span is bounded.)
+  Extend(std::min(min_index_, new_min), hi);
+  uint64_t folded = 0;
+  for (int32_t j = min_index_; j < new_min; ++j) {
+    uint64_t& c = counts_[static_cast<size_t>(j - offset_)];
+    folded += c;
+    c = 0;
+  }
+  counts_[static_cast<size_t>(new_min - offset_)] += folded;
+  if (folded > 0) {
+    min_index_ = new_min;
+  } else if (min_index_ < new_min) {
+    min_index_ = new_min;  // stale extreme with zero count
+  }
+  return static_cast<size_t>(index - offset_);
+}
+
+// ---------------------------------------------------------------------------
+// CollapsingHighestDenseStore
+// ---------------------------------------------------------------------------
+
+size_t CollapsingHighestDenseStore::SlotFor(int32_t index) {
+  if (total_count_ == 0) {
+    Extend(index, index);
+    return static_cast<size_t>(index - offset_);
+  }
+  const int32_t lo = std::min(index, min_index_);
+  const int32_t hi = std::max(index, max_index_);
+  if (hi - lo < max_num_buckets_) {
+    Extend(lo, hi);
+    return static_cast<size_t>(index - offset_);
+  }
+  has_collapsed_ = true;
+  const int32_t new_max = lo + max_num_buckets_ - 1;
+  if (index >= new_max) {
+    Extend(lo, new_max);
+    return static_cast<size_t>(new_max - offset_);
+  }
+  Extend(lo, std::max(max_index_, new_max));
+  uint64_t folded = 0;
+  for (int32_t j = max_index_; j > new_max; --j) {
+    uint64_t& c = counts_[static_cast<size_t>(j - offset_)];
+    folded += c;
+    c = 0;
+  }
+  counts_[static_cast<size_t>(new_max - offset_)] += folded;
+  if (folded > 0) {
+    max_index_ = new_max;
+  } else if (max_index_ > new_max) {
+    max_index_ = new_max;
+  }
+  return static_cast<size_t>(index - offset_);
+}
+
+// ---------------------------------------------------------------------------
+// SparseStore
+// ---------------------------------------------------------------------------
+
+void SparseStore::Add(int32_t index, uint64_t count) {
+  if (count == 0) return;
+  counts_[index] += count;
+  total_count_ += count;
+  CollapseIfNeeded();
+}
+
+void SparseStore::CollapseIfNeeded() {
+  if (max_num_buckets_ <= 0) return;
+  // Algorithm 3, literally: while too many non-empty buckets, merge the two
+  // lowest into the higher of the two.
+  while (static_cast<int32_t>(counts_.size()) > max_num_buckets_) {
+    auto lowest = counts_.begin();
+    auto second = std::next(lowest);
+    second->second += lowest->second;
+    counts_.erase(lowest);
+  }
+}
+
+uint64_t SparseStore::Remove(int32_t index, uint64_t count) {
+  if (count == 0) return 0;
+  auto it = counts_.find(index);
+  if (it == counts_.end()) return 0;
+  const uint64_t removed = std::min(it->second, count);
+  it->second -= removed;
+  if (it->second == 0) counts_.erase(it);
+  total_count_ -= removed;
+  return removed;
+}
+
+int32_t SparseStore::min_index() const noexcept {
+  assert(!counts_.empty());
+  return counts_.begin()->first;
+}
+
+int32_t SparseStore::max_index() const noexcept {
+  assert(!counts_.empty());
+  return counts_.rbegin()->first;
+}
+
+void SparseStore::ForEach(
+    const std::function<void(int32_t, uint64_t)>& fn) const {
+  for (const auto& [index, count] : counts_) fn(index, count);
+}
+
+size_t SparseStore::size_in_bytes() const noexcept {
+  // Red-black tree node: payload + parent/left/right pointers + color,
+  // rounded to the typical libstdc++ _Rb_tree_node layout.
+  constexpr size_t kNodeOverhead = 4 * sizeof(void*);
+  return sizeof(*this) +
+         counts_.size() *
+             (sizeof(std::pair<const int32_t, uint64_t>) + kNodeOverhead);
+}
+
+void SparseStore::Clear() noexcept {
+  counts_.clear();
+  total_count_ = 0;
+}
+
+}  // namespace dd

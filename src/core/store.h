@@ -1,0 +1,287 @@
+// Bucket stores: the counter containers behind DDSketch (paper §2.2).
+//
+// The paper discusses several storage strategies and we provide all of them:
+//
+//  * kUnboundedDense     — contiguous array of counters spanning
+//                          [min_index, max_index]; fastest adds, grows
+//                          without bound (the paper's "basic" sketch).
+//  * kCollapsingLowestDense  — dense array capped at max_num_buckets
+//                          *contiguous* buckets; when the span would exceed
+//                          the cap, the lowest buckets are folded upward
+//                          (Algorithm 3/4 of the paper, contiguous-range
+//                          variant: guarantees max_index - min_index <
+//                          max_num_buckets, which is the exact premise of
+//                          Proposition 4).
+//  * kCollapsingHighestDense — mirror image, folding the highest buckets
+//                          downward; used for the negative-value sketch
+//                          ("collapses start from the highest indices",
+//                          §2.2).
+//  * kSparse             — ordered map from index to counter; minimal
+//                          memory for sparse data, slower adds ("sacrificing
+//                          speed for space efficiency", §2.2). Optionally
+//                          bounded by max *non-empty* buckets, which is the
+//                          paper-literal Algorithm 3 collapse.
+//
+// All stores are fully mergeable with any other store holding the same
+// index space (merging iterates (index, count) pairs).
+
+#ifndef DDSKETCH_CORE_STORE_H_
+#define DDSKETCH_CORE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Identifies a store strategy; stable values used in serialization.
+enum class StoreType : uint8_t {
+  kUnboundedDense = 0,
+  kCollapsingLowestDense = 1,
+  kCollapsingHighestDense = 2,
+  kSparse = 3,
+};
+
+/// Returns a stable human-readable name ("dense", "collapsing_lowest", ...).
+const char* StoreTypeToString(StoreType type);
+
+/// A multiset of integer bucket indices with 64-bit counts.
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Adds `count` to bucket `index`. May collapse buckets if the store is
+  /// bounded and the new index would exceed the configured size.
+  virtual void Add(int32_t index, uint64_t count) = 0;
+  void Add(int32_t index) { Add(index, 1); }
+
+  /// Removes up to `count` from bucket `index`; returns the number actually
+  /// removed (0 if the bucket is empty or out of range). Supports the
+  /// paper's "delete items" operation; deleting a value that was previously
+  /// folded by a collapse is not tracked (same caveat as the paper's
+  /// collapsed quantiles).
+  virtual uint64_t Remove(int32_t index, uint64_t count) = 0;
+
+  /// Total count across all buckets.
+  virtual uint64_t total_count() const noexcept = 0;
+
+  /// True iff total_count() == 0.
+  bool empty() const noexcept { return total_count() == 0; }
+
+  /// Lowest index with a non-zero count. Precondition: !empty().
+  virtual int32_t min_index() const noexcept = 0;
+  /// Highest index with a non-zero count. Precondition: !empty().
+  virtual int32_t max_index() const noexcept = 0;
+
+  /// Number of non-empty buckets (Figure 7 of the paper).
+  virtual size_t num_buckets() const noexcept = 0;
+
+  /// Calls `fn(index, count)` for every non-empty bucket in ascending
+  /// index order.
+  virtual void ForEach(
+      const std::function<void(int32_t, uint64_t)>& fn) const = 0;
+
+  /// Adds every (index, count) of `other` into this store, collapsing as
+  /// needed (Algorithm 4). Works across store implementations.
+  virtual void MergeFrom(const Store& other);
+
+  /// The smallest index i such that the cumulative count of buckets
+  /// <= i strictly exceeds `rank` (0-based). Precondition: !empty() and
+  /// rank < total_count(). This is the scan of Algorithm 2.
+  virtual int32_t KeyAtRank(double rank) const noexcept;
+
+  /// Like KeyAtRank but scanning downward from the highest index: the
+  /// largest index i such that the cumulative count of buckets >= i exceeds
+  /// `rank`. Used by the negative-value sketch, whose index order is the
+  /// reverse of the value order.
+  virtual int32_t KeyAtRankDescending(double rank) const noexcept;
+
+  /// Total count of buckets with index <= `index` (the inverse of
+  /// KeyAtRank; backs the sketch's rank/CDF queries).
+  virtual uint64_t CumulativeCount(int32_t index) const noexcept;
+
+  /// Bytes of live memory retained (buffers + bookkeeping), the quantity
+  /// plotted in Figure 6.
+  virtual size_t size_in_bytes() const noexcept = 0;
+
+  /// Resets to empty without releasing capacity.
+  virtual void Clear() noexcept = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Store> Clone() const = 0;
+
+  /// The strategy tag (serialization).
+  virtual StoreType type() const noexcept = 0;
+
+  /// Upper bound on buckets (contiguous span for dense collapsing stores,
+  /// non-empty count for bounded sparse stores); 0 means unbounded.
+  virtual int32_t max_num_buckets() const noexcept { return 0; }
+
+  /// Factory. `max_num_buckets` is required (> 0) for collapsing stores,
+  /// optional (0 = unbounded) for sparse, ignored for unbounded dense.
+  static Result<std::unique_ptr<Store>> Create(StoreType type,
+                                               int32_t max_num_buckets);
+};
+
+/// Contiguous counter array over [offset, offset + counts.size()), growing
+/// in both directions in chunks. Base class of the three dense variants.
+class DenseStore : public Store {
+ public:
+  void Add(int32_t index, uint64_t count) override;
+  /// Dense-to-dense merges add the counter arrays directly (one pass, no
+  /// per-bucket virtual dispatch) whenever the combined span fits without
+  /// collapsing; otherwise falls back to the generic bucket walk.
+  void MergeFrom(const Store& other) override;
+  uint64_t Remove(int32_t index, uint64_t count) override;
+  uint64_t total_count() const noexcept override { return total_count_; }
+  int32_t min_index() const noexcept override;
+  int32_t max_index() const noexcept override;
+  size_t num_buckets() const noexcept override;
+  void ForEach(
+      const std::function<void(int32_t, uint64_t)>& fn) const override;
+  int32_t KeyAtRank(double rank) const noexcept override;
+  int32_t KeyAtRankDescending(double rank) const noexcept override;
+  uint64_t CumulativeCount(int32_t index) const noexcept override;
+  size_t size_in_bytes() const noexcept override;
+  void Clear() noexcept override;
+
+ protected:
+  /// Returns the array slot for `index`, growing or collapsing as needed;
+  /// a negative return means the add must be redirected to the slot
+  /// ~returned (collapsed boundary bucket).
+  virtual size_t SlotFor(int32_t index) = 0;
+
+  /// Grows `counts_` so that [new_min, new_max] fits, preserving contents.
+  void Extend(int32_t new_min, int32_t new_max);
+
+  /// True iff holding the contiguous span [lo, hi] requires no collapse.
+  virtual bool SpanFits(int32_t lo, int32_t hi) const noexcept {
+    (void)lo;
+    (void)hi;
+    return true;
+  }
+
+  std::vector<uint64_t> counts_;
+  int32_t offset_ = 0;          // counts_[i] holds bucket offset_ + i
+  uint64_t total_count_ = 0;
+  int32_t min_index_ = 0;       // valid iff total_count_ > 0
+  int32_t max_index_ = 0;       // valid iff total_count_ > 0
+};
+
+/// DenseStore with no size bound (the paper's basic sketch storage).
+class UnboundedDenseStore final : public DenseStore {
+ public:
+  UnboundedDenseStore() = default;
+  StoreType type() const noexcept override {
+    return StoreType::kUnboundedDense;
+  }
+  std::unique_ptr<Store> Clone() const override {
+    return std::make_unique<UnboundedDenseStore>(*this);
+  }
+
+ protected:
+  size_t SlotFor(int32_t index) override;
+};
+
+/// DenseStore whose contiguous span is capped at `max_num_buckets`; indices
+/// below max_index - max_num_buckets + 1 are folded into that lowest kept
+/// bucket. This keeps exactly the invariant Proposition 4 needs.
+class CollapsingLowestDenseStore final : public DenseStore {
+ public:
+  explicit CollapsingLowestDenseStore(int32_t max_num_buckets)
+      : max_num_buckets_(max_num_buckets) {}
+  StoreType type() const noexcept override {
+    return StoreType::kCollapsingLowestDense;
+  }
+  int32_t max_num_buckets() const noexcept override {
+    return max_num_buckets_;
+  }
+  std::unique_ptr<Store> Clone() const override {
+    return std::make_unique<CollapsingLowestDenseStore>(*this);
+  }
+  /// True iff any add has ever been folded (collapsed) — quantiles below
+  /// the fold boundary lose their accuracy guarantee.
+  bool has_collapsed() const noexcept { return has_collapsed_; }
+
+ protected:
+  size_t SlotFor(int32_t index) override;
+  bool SpanFits(int32_t lo, int32_t hi) const noexcept override {
+    return hi - lo < max_num_buckets_;
+  }
+
+ private:
+  int32_t max_num_buckets_;
+  bool has_collapsed_ = false;
+};
+
+/// Mirror of CollapsingLowestDenseStore: folds the *highest* indices
+/// downward. Used by the negative sketch, where high indices correspond to
+/// large magnitudes, i.e. the most-negative values (§2.2).
+class CollapsingHighestDenseStore final : public DenseStore {
+ public:
+  explicit CollapsingHighestDenseStore(int32_t max_num_buckets)
+      : max_num_buckets_(max_num_buckets) {}
+  StoreType type() const noexcept override {
+    return StoreType::kCollapsingHighestDense;
+  }
+  int32_t max_num_buckets() const noexcept override {
+    return max_num_buckets_;
+  }
+  std::unique_ptr<Store> Clone() const override {
+    return std::make_unique<CollapsingHighestDenseStore>(*this);
+  }
+  bool has_collapsed() const noexcept { return has_collapsed_; }
+
+ protected:
+  size_t SlotFor(int32_t index) override;
+  bool SpanFits(int32_t lo, int32_t hi) const noexcept override {
+    return hi - lo < max_num_buckets_;
+  }
+
+ private:
+  int32_t max_num_buckets_;
+  bool has_collapsed_ = false;
+};
+
+/// Ordered-map store: memory proportional to *non-empty* buckets. When
+/// `max_num_buckets` > 0, enforces the paper-literal Algorithm 3 bound on
+/// the number of non-empty buckets by merging the two lowest non-empty
+/// buckets whenever the bound is exceeded.
+class SparseStore final : public Store {
+ public:
+  explicit SparseStore(int32_t max_num_buckets = 0)
+      : max_num_buckets_(max_num_buckets) {}
+
+  void Add(int32_t index, uint64_t count) override;
+  uint64_t Remove(int32_t index, uint64_t count) override;
+  uint64_t total_count() const noexcept override { return total_count_; }
+  int32_t min_index() const noexcept override;
+  int32_t max_index() const noexcept override;
+  size_t num_buckets() const noexcept override { return counts_.size(); }
+  void ForEach(
+      const std::function<void(int32_t, uint64_t)>& fn) const override;
+  size_t size_in_bytes() const noexcept override;
+  void Clear() noexcept override;
+  StoreType type() const noexcept override { return StoreType::kSparse; }
+  int32_t max_num_buckets() const noexcept override {
+    return max_num_buckets_;
+  }
+  std::unique_ptr<Store> Clone() const override {
+    return std::make_unique<SparseStore>(*this);
+  }
+
+ private:
+  void CollapseIfNeeded();
+
+  std::map<int32_t, uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  int32_t max_num_buckets_;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_CORE_STORE_H_

@@ -1,0 +1,63 @@
+// The paper's evaluation data sets (§4.1, Figure 5), as deterministic
+// generators.
+//
+// * pareto — exactly the paper's: Pareto with a = b = 1 (infinite mean,
+//   the heavy-tail stress case).
+// * span  — SUBSTITUTION. The paper uses internal Datadog trace span
+//   durations: integers in nanoseconds spanning 1e2 .. 1.9e12 with a heavy
+//   tail. We generate a mixture of lognormal "service tiers" (cache hit,
+//   RPC, DB query, batch job) plus a Pareto tail, rounded to integer ns and
+//   clamped to the paper's observed range. This preserves the properties
+//   the paper exercises: extreme dynamic range (10 orders of magnitude),
+//   integrality, heavy tail.
+// * power — SUBSTITUTION. The paper uses the UCI household electric power
+//   data set (global active power, ~2M rows, 0.076 .. 11.122 kW,
+//   multi-modal and dense). We generate a mixture of Gaussians at the
+//   baseline-load and appliance peaks, clamped to the same range. This
+//   preserves the properties the paper exercises: narrow range, high
+//   density, multi-modality (the easy case contrasting the heavy tails).
+// * web_latency — the request-latency stream behind Figures 2-4: a
+//   lognormal body (median ~2s in the figure's units) with a Pareto tail
+//   pushing p99 into the 80-220 range, matching the quantile levels
+//   visible in Figure 4.
+
+#ifndef DDSKETCH_DATA_DATASETS_H_
+#define DDSKETCH_DATA_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/distributions.h"
+
+namespace dd {
+
+/// Identifies one of the benchmark data sets.
+enum class DatasetId {
+  kPareto,
+  kSpan,
+  kPower,
+  kWebLatency,
+};
+
+/// Stable lowercase name ("pareto", "span", "power", "web_latency").
+const char* DatasetIdToString(DatasetId id);
+
+/// Builds the generator for a data set.
+std::unique_ptr<Distribution> MakeDataset(DatasetId id);
+
+/// All three §4.1 data sets, in paper order.
+inline constexpr DatasetId kPaperDatasets[] = {
+    DatasetId::kPareto, DatasetId::kSpan, DatasetId::kPower};
+
+/// Default seed used by the figure harnesses (arbitrary but fixed).
+inline constexpr uint64_t kDefaultSeed = 0xDD5EED2019ULL;
+
+/// Generates the data set deterministically: MakeDataset(id) sampled n
+/// times with `seed`.
+std::vector<double> GenerateDataset(DatasetId id, size_t n,
+                                    uint64_t seed = kDefaultSeed);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_DATA_DATASETS_H_

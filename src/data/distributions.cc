@@ -1,0 +1,99 @@
+#include "data/distributions.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace dd {
+namespace {
+
+std::string FormatDouble(double x) {
+  std::ostringstream out;
+  out << x;
+  return out.str();
+}
+
+}  // namespace
+
+std::string Uniform::name() const {
+  return "uniform(" + FormatDouble(lo_) + "," + FormatDouble(hi_) + ")";
+}
+
+std::string Exponential::name() const {
+  return "exponential(" + FormatDouble(lambda_) + ")";
+}
+
+std::string Pareto::name() const {
+  return "pareto(" + FormatDouble(shape_) + "," + FormatDouble(scale_) + ")";
+}
+
+std::string Normal::name() const {
+  return "normal(" + FormatDouble(mean_) + "," + FormatDouble(stddev_) + ")";
+}
+
+std::string Lognormal::name() const {
+  return "lognormal";
+}
+
+std::string Weibull::name() const {
+  return "weibull(" + FormatDouble(shape_) + "," + FormatDouble(scale_) + ")";
+}
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+  double total = 0;
+  for (const auto& c : components_) {
+    assert(c.weight > 0);
+    total += c.weight;
+  }
+  double cum = 0;
+  cumulative_.reserve(components_.size());
+  for (const auto& c : components_) {
+    cum += c.weight / total;
+    cumulative_.push_back(cum);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding drift
+}
+
+Mixture::Mixture(const Mixture& other) : cumulative_(other.cumulative_) {
+  components_.reserve(other.components_.size());
+  for (const auto& c : other.components_) {
+    components_.push_back({c.weight, c.distribution->Clone()});
+  }
+}
+
+double Mixture::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Linear scan: component counts are tiny (< 10) in every workload here.
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) return components_[i].distribution->Sample(rng);
+  }
+  return components_.back().distribution->Sample(rng);
+}
+
+std::string Mixture::name() const {
+  std::string out = "mixture(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += components_[i].distribution->name();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Clamped::name() const {
+  return "clamped(" + inner_->name() + ",[" + FormatDouble(lo_) + "," +
+         FormatDouble(hi_) + "])";
+}
+
+std::string Rounded::name() const { return "rounded(" + inner_->name() + ")"; }
+
+std::vector<double> GenerateN(const Distribution& distribution, size_t n,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = distribution.Sample(rng);
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,233 @@
+// Deterministic sampling distributions for workload generation.
+//
+// All transforms are fully specified (inverse-CDF or Box-Muller on the
+// xoshiro engine), so a (distribution, seed) pair identifies a data set
+// exactly — required for the figure harnesses to be reproducible across
+// machines and standard libraries.
+
+#ifndef DDSKETCH_DATA_DISTRIBUTIONS_H_
+#define DDSKETCH_DATA_DISTRIBUTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A real-valued sampling distribution. Implementations are immutable;
+/// all sampling state lives in the caller's Rng.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample using `rng`.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Short name for reports ("pareto", "lognormal(0,2)", ...).
+  virtual std::string name() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
+};
+
+/// Uniform on [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double Sample(Rng& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.NextDouble();
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Uniform>(*this);
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential with rate lambda: F(t) = 1 - exp(-lambda t). Subexponential
+/// with parameters (2/lambda, 2/lambda) — the light-tail case of §3.3.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double lambda) : lambda_(lambda) {}
+  double Sample(Rng& rng) const override {
+    return -std::log(rng.NextDoubleOpenZero()) / lambda_;
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Exponential>(*this);
+  }
+
+ private:
+  double lambda_;
+};
+
+/// Pareto with shape a and scale b: F(t) = 1 - (b/t)^a for t >= b.
+/// The paper's heavy-tail workhorse (pareto data set uses a = b = 1,
+/// which has infinite mean).
+class Pareto final : public Distribution {
+ public:
+  Pareto(double shape, double scale) : shape_(shape), scale_(scale) {}
+  double Sample(Rng& rng) const override {
+    return scale_ * std::pow(rng.NextDoubleOpenZero(), -1.0 / shape_);
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Pareto>(*this);
+  }
+
+ private:
+  double shape_, scale_;
+};
+
+/// Gaussian via Box-Muller (both variates consumed; no cached state, so
+/// sampling stays a pure function of the Rng stream position).
+class Normal final : public Distribution {
+ public:
+  Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {}
+  double Sample(Rng& rng) const override {
+    const double u1 = rng.NextDoubleOpenZero();
+    const double u2 = rng.NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean_ + stddev_ * r * std::cos(6.283185307179586 * u2);
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Normal>(*this);
+  }
+
+ private:
+  double mean_, stddev_;
+};
+
+/// exp(Normal(mu, sigma)): the canonical latency-shaped distribution; its
+/// logarithm is subgaussian, so §3.3's bounds apply with room to spare.
+class Lognormal final : public Distribution {
+ public:
+  Lognormal(double mu, double sigma) : normal_(mu, sigma) {}
+  double Sample(Rng& rng) const override {
+    return std::exp(normal_.Sample(rng));
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Lognormal>(*this);
+  }
+
+ private:
+  Normal normal_;
+};
+
+/// Weibull with shape k and scale lambda: heavy-ish tails for k < 1.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale) : shape_(shape), scale_(scale) {}
+  double Sample(Rng& rng) const override {
+    return scale_ *
+           std::pow(-std::log(rng.NextDoubleOpenZero()), 1.0 / shape_);
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Weibull>(*this);
+  }
+
+ private:
+  double shape_, scale_;
+};
+
+/// Weighted mixture of component distributions.
+class Mixture final : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    std::unique_ptr<Distribution> distribution;
+  };
+
+  explicit Mixture(std::vector<Component> components);
+  Mixture(const Mixture& other);
+
+  double Sample(Rng& rng) const override;
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Mixture>(*this);
+  }
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;  // normalized CDF over components
+};
+
+/// Decorator clamping samples to [lo, hi].
+class Clamped final : public Distribution {
+ public:
+  Clamped(std::unique_ptr<Distribution> inner, double lo, double hi)
+      : inner_(std::move(inner)), lo_(lo), hi_(hi) {}
+  Clamped(const Clamped& other)
+      : inner_(other.inner_->Clone()), lo_(other.lo_), hi_(other.hi_) {}
+  double Sample(Rng& rng) const override {
+    const double x = inner_->Sample(rng);
+    return x < lo_ ? lo_ : (x > hi_ ? hi_ : x);
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Clamped>(*this);
+  }
+
+ private:
+  std::unique_ptr<Distribution> inner_;
+  double lo_, hi_;
+};
+
+/// Decorator rounding samples to the nearest integer (integral data sets
+/// such as nanosecond durations).
+class Rounded final : public Distribution {
+ public:
+  explicit Rounded(std::unique_ptr<Distribution> inner)
+      : inner_(std::move(inner)) {}
+  Rounded(const Rounded& other) : inner_(other.inner_->Clone()) {}
+  double Sample(Rng& rng) const override {
+    return std::round(inner_->Sample(rng));
+  }
+  std::string name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<Rounded>(*this);
+  }
+
+ private:
+  std::unique_ptr<Distribution> inner_;
+};
+
+/// Draws `n` samples with a fresh engine seeded by `seed`.
+std::vector<double> GenerateN(const Distribution& distribution, size_t n,
+                              uint64_t seed);
+
+/// A resumable stream of samples — what a monitored worker process looks
+/// like to a sketch: values arrive one at a time, unbounded.
+class DataStream {
+ public:
+  DataStream(std::unique_ptr<Distribution> distribution, uint64_t seed)
+      : distribution_(std::move(distribution)), rng_(seed) {}
+
+  /// The next sample.
+  double Next() { return distribution_->Sample(rng_); }
+
+  /// Fills `out` with the next out.size() samples.
+  void Fill(std::vector<double>& out) {
+    for (double& x : out) x = Next();
+  }
+
+  const Distribution& distribution() const { return *distribution_; }
+
+ private:
+  std::unique_ptr<Distribution> distribution_;
+  Rng rng_;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_DATA_DISTRIBUTIONS_H_

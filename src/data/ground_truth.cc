@@ -1,0 +1,66 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dd {
+
+ExactQuantiles::ExactQuantiles(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+void ExactQuantiles::AddAll(std::span<const double> values) {
+  sorted_.insert(sorted_.end(), values.begin(), values.end());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double ExactQuantiles::Quantile(double q) const {
+  assert(!sorted_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  // rank (1-based) = floor(1 + q(n-1)); index (0-based) = rank - 1.
+  const double n = static_cast<double>(sorted_.size());
+  const size_t index = static_cast<size_t>(std::floor(q * (n - 1.0)));
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+uint64_t ExactQuantiles::RankUpperOf(double value) const {
+  return static_cast<uint64_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), value) -
+      sorted_.begin());
+}
+
+uint64_t ExactQuantiles::RankLowerOf(double value) const {
+  return static_cast<uint64_t>(
+      std::lower_bound(sorted_.begin(), sorted_.end(), value) -
+      sorted_.begin());
+}
+
+double RelativeError(double estimate, double actual) {
+  if (actual == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - actual) / std::abs(actual);
+}
+
+double RankError(const ExactQuantiles& truth, double q, double estimate) {
+  assert(!truth.empty());
+  const double n = static_cast<double>(truth.size());
+  // 1-based rank of the true quantile.
+  const double target = std::floor(1.0 + q * (n - 1.0));
+  // Ranks consistent with the estimate: [#{x < v}, #{x <= v}]. For a value
+  // absent from the multiset both ends equal c(v); for a duplicated value
+  // the interval spans the whole run (the charitable convention).
+  const double lo = static_cast<double>(truth.RankLowerOf(estimate));
+  const double hi = static_cast<double>(truth.RankUpperOf(estimate));
+  double distance = 0.0;
+  if (target < lo) {
+    distance = lo - target;
+  } else if (target > hi) {
+    distance = target - hi;
+  }
+  return distance / n;
+}
+
+}  // namespace dd

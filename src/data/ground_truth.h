@@ -1,0 +1,58 @@
+// Exact order statistics and the error metrics of the paper's evaluation.
+//
+// Quantile convention (paper §1): the q-quantile of a multiset of size n is
+// the element of rank floor(1 + q(n-1)) in sorted order (1-based) — the
+// "lower quantile". Both error metrics follow §4.4:
+//   relative error:  |estimate - x_q| / |x_q|           (Figure 10)
+//   rank error:      |R(estimate) - R(x_q)| / n          (Figure 11)
+// where R(v) is the number of elements <= v; since the estimate almost
+// never equals a sample exactly, its rank is taken as the interval
+// [#\{x < v\}, #\{x <= v\}] and the error is measured to the nearest end —
+// the standard charitable convention for rank-error evaluation.
+
+#ifndef DDSKETCH_DATA_GROUND_TRUTH_H_
+#define DDSKETCH_DATA_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dd {
+
+/// Holds a sorted copy of a sample and answers exact quantile/rank queries.
+class ExactQuantiles {
+ public:
+  /// Copies and sorts `values`. O(n log n).
+  explicit ExactQuantiles(std::span<const double> values);
+
+  /// Appends more values and re-sorts.
+  void AddAll(std::span<const double> values);
+
+  /// The exact lower q-quantile. Precondition: !empty(), 0 <= q <= 1.
+  double Quantile(double q) const;
+
+  /// Number of elements <= value.
+  uint64_t RankUpperOf(double value) const;
+  /// Number of elements < value.
+  uint64_t RankLowerOf(double value) const;
+
+  size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// |estimate - actual| / |actual|; 0 when both are 0, +inf when only
+/// `actual` is 0.
+double RelativeError(double estimate, double actual);
+
+/// Rank error of `estimate` against the exact q-quantile (see file comment).
+double RankError(const ExactQuantiles& truth, double q, double estimate);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_DATA_GROUND_TRUTH_H_

@@ -1,0 +1,234 @@
+#include "gk/gkarray.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/varint.h"
+
+namespace dd {
+namespace {
+
+// Buffered adds are folded into the summary once the buffer reaches
+// ~1/epsilon values, amortizing the merge-and-compress pass.
+size_t BufferCapacityFor(double epsilon) {
+  const double c = std::ceil(1.0 / epsilon);
+  return static_cast<size_t>(std::max(16.0, std::min(c, 1e6)));
+}
+
+}  // namespace
+
+GKArray::GKArray(double rank_accuracy)
+    : rank_accuracy_(rank_accuracy),
+      buffer_capacity_(BufferCapacityFor(rank_accuracy)) {}
+
+Result<GKArray> GKArray::Create(double rank_accuracy) {
+  if (!(rank_accuracy > 0.0) || !(rank_accuracy < 1.0)) {
+    return Status::InvalidArgument("rank_accuracy must be in (0, 1), got " +
+                                   std::to_string(rank_accuracy));
+  }
+  return GKArray(rank_accuracy);
+}
+
+void GKArray::Add(double value) {
+  buffer_.push_back(value);
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (buffer_.size() >= buffer_capacity_) Flush();
+}
+
+void GKArray::Add(double value, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) Add(value);
+}
+
+void GKArray::Flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Entry> incoming;
+  incoming.reserve(buffer_.size());
+  for (double v : buffer_) {
+    // Run-length collapse exact duplicates in the batch.
+    if (!incoming.empty() && incoming.back().value == v) {
+      ++incoming.back().g;
+    } else {
+      incoming.push_back({v, 1, 0});
+    }
+  }
+  buffer_.clear();
+  CompressWith(std::move(incoming));
+}
+
+void GKArray::CompressWith(std::vector<Entry>&& incoming) const {
+  // Phase 1: merge the sorted incoming batch into the sorted summary.
+  // A new tuple placed before summary entry s gets delta = s.g + s.delta - 1,
+  // the tight sound bound on its rank uncertainty (it lies somewhere below
+  // s's max rank); a new tuple beyond the last summary entry has an exactly
+  // known rank, delta = 0.
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + incoming.size());
+  size_t si = 0, ii = 0;
+  while (si < entries_.size() || ii < incoming.size()) {
+    if (ii >= incoming.size() ||
+        (si < entries_.size() && entries_[si].value <= incoming[ii].value)) {
+      merged.push_back(entries_[si++]);
+    } else {
+      Entry e = incoming[ii++];
+      if (si < entries_.size()) {
+        e.delta += entries_[si].g + entries_[si].delta - 1;
+      }
+      merged.push_back(e);
+    }
+  }
+
+  // Phase 2: compress. Tuple i may be folded into tuple i+1 whenever the
+  // combined band g_i + g_{i+1} + delta_{i+1} stays within the invariant
+  // threshold floor(2 * eps * n).
+  const uint64_t threshold = static_cast<uint64_t>(
+      std::floor(2.0 * rank_accuracy_ * static_cast<double>(count_)));
+  std::vector<Entry> compressed;
+  compressed.reserve(merged.size());
+  uint64_t pending_g = 0;  // weight of folded-away predecessors
+  for (size_t i = 0; i + 1 < merged.size(); ++i) {
+    const Entry& cur = merged[i];
+    const Entry& next = merged[i + 1];
+    if (pending_g + cur.g + next.g + next.delta <= threshold) {
+      pending_g += cur.g;  // fold cur into next
+    } else {
+      Entry kept = cur;
+      kept.g += pending_g;
+      pending_g = 0;
+      compressed.push_back(kept);
+    }
+  }
+  if (!merged.empty()) {
+    Entry last = merged.back();
+    last.g += pending_g;
+    compressed.push_back(last);
+  }
+  entries_ = std::move(compressed);
+}
+
+double GKArray::QuantileOrNaN(double q) const noexcept {
+  if (empty() || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  Flush();
+  // Desired 1-based rank and allowed spread.
+  const double n = static_cast<double>(count_);
+  const uint64_t rank = static_cast<uint64_t>(q * (n - 1.0)) + 1;
+  const uint64_t spread =
+      static_cast<uint64_t>(rank_accuracy_ * (n - 1.0));
+  uint64_t g_sum = 0;
+  size_t i = 0;
+  for (; i < entries_.size(); ++i) {
+    g_sum += entries_[i].g;
+    if (g_sum + entries_[i].delta > rank + spread) break;
+  }
+  if (i == 0) return min_;
+  return entries_[i - 1].value;
+}
+
+Result<double> GKArray::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                   std::to_string(q));
+  }
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty sketch");
+  }
+  return QuantileOrNaN(q);
+}
+
+void GKArray::MergeFrom(const GKArray& other) {
+  if (other.empty()) return;
+  other.Flush();
+  // One-way merge: re-insert the other summary's tuples as weighted values.
+  // Representing each band by its upper value can misplace at most
+  // max(g + delta) - 1 <= 2 * eps_other * n_other ranks for any query, so
+  // the merged sketch's error is eps_self * n + 2 * eps_other * n_other:
+  // the error accumulation that makes GK only one-way mergeable (§1.2).
+  std::vector<Entry> incoming;
+  incoming.reserve(other.entries_.size());
+  for (const Entry& e : other.entries_) {
+    incoming.push_back({e.value, e.g, 0});
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  Flush();  // fold our own buffer first so thresholds use the new count
+  CompressWith(std::move(incoming));
+}
+
+size_t GKArray::size_in_bytes() const noexcept {
+  return sizeof(*this) + entries_.capacity() * sizeof(Entry) +
+         buffer_.capacity() * sizeof(double);
+}
+
+// Wire format: "GKAR" magic, version byte, epsilon (double), count
+// (varint), min/max (doubles), entry count (varint), then per entry:
+// value (double), g (varint), delta (varint).
+std::string GKArray::Serialize() const {
+  Flush();
+  std::string out;
+  out.reserve(16 + entries_.size() * 12);
+  out.append("GKAR", 4);
+  out.push_back(1);
+  PutFixedDouble(&out, rank_accuracy_);
+  PutVarint64(&out, count_);
+  PutFixedDouble(&out, min_);
+  PutFixedDouble(&out, max_);
+  PutVarint64(&out, entries_.size());
+  for (const Entry& e : entries_) {
+    PutFixedDouble(&out, e.value);
+    PutVarint64(&out, e.g);
+    PutVarint64(&out, e.delta);
+  }
+  return out;
+}
+
+Result<GKArray> GKArray::Deserialize(std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(5, &header));
+  if (header.substr(0, 4) != "GKAR" || header[4] != 1) {
+    return Status::Corruption("not a GKArray v1 payload");
+  }
+  double epsilon = 0;
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&epsilon));
+  auto sketch_result = Create(epsilon);
+  if (!sketch_result.ok()) {
+    return Status::Corruption("invalid rank accuracy in payload");
+  }
+  GKArray sketch = std::move(sketch_result).value();
+  DD_RETURN_IF_ERROR(in.GetVarint64(&sketch.count_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.min_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.max_));
+  uint64_t n_entries = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&n_entries));
+  if (n_entries > payload.size()) {
+    return Status::Corruption("entry count exceeds payload");
+  }
+  uint64_t total_g = 0;
+  double prev_value = -std::numeric_limits<double>::infinity();
+  sketch.entries_.reserve(n_entries);
+  for (uint64_t i = 0; i < n_entries; ++i) {
+    Entry e{};
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&e.value));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&e.g));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&e.delta));
+    if (!(e.value >= prev_value) || e.g == 0) {
+      return Status::Corruption("invalid GK summary entry");
+    }
+    prev_value = e.value;
+    total_g += e.g;
+    sketch.entries_.push_back(e);
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes");
+  if (total_g != sketch.count_) {
+    return Status::Corruption("summary weights do not sum to count");
+  }
+  return sketch;
+}
+
+}  // namespace dd

@@ -1,0 +1,110 @@
+// GKArray: the Greenwald-Khanna rank-error quantile sketch, array variant.
+//
+// This is the baseline the paper compares against (§1.2, §4; their Java
+// implementation is the "GKArray" of Luo et al., "Quantiles over data
+// streams: experimental comparisons, new analyses, and further
+// improvements", VLDB Journal 2016). It summarizes a stream with tuples
+// (v, g, delta) such that the rank of v lies in
+//   [ sum_{j<=i} g_j , sum_{j<=i} g_j + delta_i ],
+// maintaining the invariant g_i + delta_i <= floor(2 * epsilon * n), which
+// bounds the worst-case rank error of any quantile query by epsilon * n.
+//
+// Incoming values are buffered and folded into the summary in sorted
+// batches (the "array" optimization: no per-item tree surgery, one
+// merge-and-compress pass per batch).
+//
+// Merging is "one-way" (§1.2): a merged summary's error grows by the
+// merged-in sketch's error, so merge trees must stay shallow — exactly the
+// limitation DDSketch removes.
+
+#ifndef DDSKETCH_GK_GKARRAY_H_
+#define DDSKETCH_GK_GKARRAY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Greenwald-Khanna sketch with epsilon worst-case rank accuracy.
+class GKArray {
+ public:
+  /// One summary tuple. rank(v) is in (g-prefix-sum, g-prefix-sum + delta].
+  struct Entry {
+    double value;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  /// Fails with InvalidArgument unless 0 < rank_accuracy < 1.
+  static Result<GKArray> Create(double rank_accuracy);
+
+  /// Adds one value. Amortized O(log(1/eps)); worst case one compress pass.
+  void Add(double value);
+
+  /// Adds a value with an integer weight (used by merging).
+  void Add(double value, uint64_t count);
+
+  /// The q-quantile estimate, with rank error at most epsilon * n.
+  /// Fails with InvalidArgument if q is outside [0,1] or the sketch is
+  /// empty.
+  Result<double> Quantile(double q) const;
+
+  /// NaN-returning form of Quantile.
+  double QuantileOrNaN(double q) const noexcept;
+
+  /// One-way merge: folds `other`'s summary into this sketch. The rank
+  /// error of the result is bounded by this->epsilon + other's current
+  /// error (error accumulates across merge generations).
+  void MergeFrom(const GKArray& other);
+
+  /// Number of values added.
+  uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  /// Exact extremes.
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Configured epsilon.
+  double rank_accuracy() const noexcept { return rank_accuracy_; }
+
+  /// Live memory footprint (entries + buffer), for Figure 6.
+  size_t size_in_bytes() const noexcept;
+  /// Number of summary tuples currently held.
+  size_t num_entries() const noexcept { return entries_.size(); }
+
+  /// Removes buffered values by folding them into the summary; called
+  /// automatically by queries and merges.
+  void Flush() const;
+
+  /// Serializes the summary (buffer flushed first) to a compact binary
+  /// payload; Deserialize restores a sketch answering all queries
+  /// identically.
+  std::string Serialize() const;
+  static Result<GKArray> Deserialize(std::string_view payload);
+
+ private:
+  explicit GKArray(double rank_accuracy);
+
+  /// Sorted-batch fold of `incoming` (weighted values) into `entries_`,
+  /// then a compress pass restoring g + delta <= 2 eps n.
+  void CompressWith(std::vector<Entry>&& incoming) const;
+
+  double rank_accuracy_;
+  size_t buffer_capacity_;
+
+  // Summary state is mutable so queries (logically const) can flush the
+  // buffer. All mutation is deterministic and order-preserving.
+  mutable std::vector<Entry> entries_;      // sorted by value
+  mutable std::vector<double> buffer_;      // unsorted incoming values
+  uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_GK_GKARRAY_H_

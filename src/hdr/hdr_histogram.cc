@@ -1,0 +1,302 @@
+#include "hdr/hdr_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "util/bits.h"
+#include "util/varint.h"
+
+namespace dd {
+
+HdrHistogram::HdrHistogram(int significant_digits, uint64_t highest_trackable)
+    : significant_digits_(significant_digits),
+      highest_trackable_(highest_trackable) {
+  // The finest level must distinguish 2 * 10^d adjacent values so that
+  // within any power-of-two bucket the linear sub-buckets resolve 10^-d
+  // relative differences.
+  const uint64_t required = 2 * static_cast<uint64_t>(std::llround(
+                                    std::pow(10.0, significant_digits)));
+  sub_bucket_count_ = RoundUpToPowerOfTwo(required);
+  sub_bucket_magnitude_ = FloorLog2(sub_bucket_count_);
+  sub_bucket_half_count_ = sub_bucket_count_ / 2;
+  // Bucket b >= 1 covers [sub_bucket_half_count << b, sub_bucket_count << b).
+  int buckets = 1;
+  uint64_t max_covered = sub_bucket_count_ - 1;
+  while (max_covered < highest_trackable_) {
+    buckets += 1;
+    max_covered = (sub_bucket_count_ << (buckets - 1)) - 1;
+  }
+  bucket_count_ = buckets;
+  counts_.assign((static_cast<size_t>(bucket_count_) + 1) *
+                     sub_bucket_half_count_,
+                 0);
+}
+
+Result<HdrHistogram> HdrHistogram::Create(int significant_digits,
+                                          uint64_t highest_trackable) {
+  if (significant_digits < 1 || significant_digits > 5) {
+    return Status::InvalidArgument(
+        "significant_digits must be in [1, 5], got " +
+        std::to_string(significant_digits));
+  }
+  if (highest_trackable < 2 || highest_trackable > (uint64_t{1} << 62)) {
+    return Status::InvalidArgument("highest_trackable out of range");
+  }
+  return HdrHistogram(significant_digits, highest_trackable);
+}
+
+size_t HdrHistogram::CountsIndexFor(uint64_t value) const noexcept {
+  if (value < sub_bucket_count_) return static_cast<size_t>(value);
+  const int exponent = FloorLog2(value);  // >= sub_bucket_magnitude_
+  const int bucket = exponent - (sub_bucket_magnitude_ - 1);
+  const uint64_t sub = value >> bucket;  // in [half_count, count)
+  return static_cast<size_t>(bucket + 1) * sub_bucket_half_count_ +
+         static_cast<size_t>(sub - sub_bucket_half_count_);
+}
+
+uint64_t HdrHistogram::LowestValueAt(size_t index) const noexcept {
+  if (index < sub_bucket_count_) return index;
+  const int bucket =
+      static_cast<int>(index / sub_bucket_half_count_) - 1;
+  const uint64_t sub =
+      index % sub_bucket_half_count_ + sub_bucket_half_count_;
+  return sub << bucket;
+}
+
+uint64_t HdrHistogram::BinWidthAt(size_t index) const noexcept {
+  if (index < sub_bucket_count_) return 1;
+  const int bucket =
+      static_cast<int>(index / sub_bucket_half_count_) - 1;
+  return uint64_t{1} << bucket;
+}
+
+void HdrHistogram::Record(uint64_t value, uint64_t count) noexcept {
+  if (count == 0) return;
+  if (value > highest_trackable_) {
+    value = highest_trackable_;
+    clamped_count_ += count;
+  }
+  counts_[CountsIndexFor(value)] += count;
+  total_count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double HdrHistogram::QuantileOrNaN(double q) const noexcept {
+  if (total_count_ == 0 || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double rank = q * static_cast<double>(total_count_ - 1);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) > rank) {
+      const double mid = static_cast<double>(LowestValueAt(i)) +
+                         static_cast<double>(BinWidthAt(i)) / 2.0;
+      // Exact extremes are tracked; never report beyond them.
+      return std::clamp(mid, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+Result<double> HdrHistogram::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                   std::to_string(q));
+  }
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty histogram");
+  }
+  return QuantileOrNaN(q);
+}
+
+Status HdrHistogram::MergeFrom(const HdrHistogram& other) {
+  if (significant_digits_ != other.significant_digits_ ||
+      highest_trackable_ != other.highest_trackable_) {
+    return Status::Incompatible(
+        "HDR histograms must share configuration to merge");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_count_ += other.total_count_;
+  clamped_count_ += other.clamped_count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return Status::OK();
+}
+
+size_t HdrHistogram::size_in_bytes() const noexcept {
+  return sizeof(*this) + counts_.capacity() * sizeof(uint64_t);
+}
+
+size_t HdrHistogram::num_buckets() const noexcept {
+  size_t n = 0;
+  for (uint64_t c : counts_) n += (c > 0);
+  return n;
+}
+
+// Wire format: "HDRH" magic, version byte, significant digits byte,
+// highest_trackable (varint), total/clamped counts, min/max (varints),
+// non-empty slot count, then per slot: index delta (varint) and count
+// (varint).
+std::string HdrHistogram::Serialize() const {
+  std::string out;
+  out.append("HDRH", 4);
+  out.push_back(1);
+  out.push_back(static_cast<char>(significant_digits_));
+  PutVarint64(&out, highest_trackable_);
+  PutVarint64(&out, total_count_);
+  PutVarint64(&out, clamped_count_);
+  PutVarint64(&out, min_);
+  PutVarint64(&out, max_);
+  PutVarint64(&out, num_buckets());
+  uint64_t prev = 0;
+  bool first = true;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    PutVarint64(&out, first ? i : i - prev);
+    PutVarint64(&out, counts_[i]);
+    prev = i;
+    first = false;
+  }
+  return out;
+}
+
+Result<HdrHistogram> HdrHistogram::Deserialize(std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(6, &header));
+  if (header.substr(0, 4) != "HDRH" || header[4] != 1) {
+    return Status::Corruption("not an HdrHistogram v1 payload");
+  }
+  const int digits = static_cast<int>(header[5]);
+  uint64_t highest = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&highest));
+  auto result = Create(digits, highest);
+  if (!result.ok()) {
+    return Status::Corruption("invalid histogram configuration: " +
+                              result.status().message());
+  }
+  HdrHistogram histogram = std::move(result).value();
+  DD_RETURN_IF_ERROR(in.GetVarint64(&histogram.total_count_));
+  DD_RETURN_IF_ERROR(in.GetVarint64(&histogram.clamped_count_));
+  DD_RETURN_IF_ERROR(in.GetVarint64(&histogram.min_));
+  DD_RETURN_IF_ERROR(in.GetVarint64(&histogram.max_));
+  uint64_t n_slots = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&n_slots));
+  uint64_t slot = 0;
+  uint64_t summed = 0;
+  for (uint64_t i = 0; i < n_slots; ++i) {
+    uint64_t delta = 0, count = 0;
+    DD_RETURN_IF_ERROR(in.GetVarint64(&delta));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&count));
+    slot = (i == 0) ? delta : slot + delta;
+    if (slot >= histogram.counts_.size() || count == 0 || (i > 0 && delta == 0)) {
+      return Status::Corruption("invalid histogram slot entry");
+    }
+    histogram.counts_[slot] = count;
+    summed += count;
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes");
+  if (summed != histogram.total_count_) {
+    return Status::Corruption("slot counts do not sum to total");
+  }
+  return histogram;
+}
+
+// ---------------------------------------------------------------------------
+// HdrDoubleHistogram
+// ---------------------------------------------------------------------------
+
+Result<HdrDoubleHistogram> HdrDoubleHistogram::Create(int significant_digits,
+                                                      double expected_min,
+                                                      double expected_max) {
+  if (!(expected_min > 0.0) || !(expected_max > expected_min)) {
+    return Status::InvalidArgument(
+        "need 0 < expected_min < expected_max for the fixed-point scale");
+  }
+  // Scale so the smallest expected value lands at 2 * 10^d integer units,
+  // where a full digit of sub-bucket resolution is available.
+  const double units_at_min =
+      2.0 * std::pow(10.0, significant_digits);
+  const double scale = units_at_min / expected_min;
+  const double highest = expected_max * scale;
+  if (!(highest < std::pow(2.0, 62))) {
+    return Status::InvalidArgument(
+        "expected range too wide: scaled maximum exceeds 2^62 "
+        "(HDR histograms require a bounded range)");
+  }
+  auto histogram = HdrHistogram::Create(
+      significant_digits, static_cast<uint64_t>(std::ceil(highest)));
+  if (!histogram.ok()) return histogram.status();
+  return HdrDoubleHistogram(std::move(histogram).value(), scale);
+}
+
+void HdrDoubleHistogram::Record(double value, uint64_t count) noexcept {
+  if (!std::isfinite(value) || value < 0.0) {
+    rejected_count_ += count;
+    return;
+  }
+  histogram_.Record(static_cast<uint64_t>(std::llround(value * scale_)),
+                    count);
+}
+
+double HdrDoubleHistogram::QuantileOrNaN(double q) const noexcept {
+  return histogram_.QuantileOrNaN(q) / scale_;
+}
+
+Result<double> HdrDoubleHistogram::Quantile(double q) const {
+  auto r = histogram_.Quantile(q);
+  if (!r.ok()) return r.status();
+  return r.value() / scale_;
+}
+
+Status HdrDoubleHistogram::MergeFrom(const HdrDoubleHistogram& other) {
+  if (scale_ != other.scale_) {
+    return Status::Incompatible(
+        "HDR double histograms must share the fixed-point scale to merge");
+  }
+  rejected_count_ += other.rejected_count_;
+  return histogram_.MergeFrom(other.histogram_);
+}
+
+// Wire format: "HDRD" magic, version byte, scale (double), rejected count
+// (varint), then the embedded integer histogram payload.
+std::string HdrDoubleHistogram::Serialize() const {
+  std::string out;
+  out.append("HDRD", 4);
+  out.push_back(1);
+  PutFixedDouble(&out, scale_);
+  PutVarint64(&out, rejected_count_);
+  out += histogram_.Serialize();
+  return out;
+}
+
+Result<HdrDoubleHistogram> HdrDoubleHistogram::Deserialize(
+    std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(5, &header));
+  if (header.substr(0, 4) != "HDRD" || header[4] != 1) {
+    return Status::Corruption("not an HdrDoubleHistogram v1 payload");
+  }
+  double scale = 0;
+  uint64_t rejected = 0;
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&scale));
+  DD_RETURN_IF_ERROR(in.GetVarint64(&rejected));
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    return Status::Corruption("invalid fixed-point scale");
+  }
+  std::string_view rest;
+  DD_RETURN_IF_ERROR(in.GetBytes(in.remaining(), &rest));
+  auto inner = HdrHistogram::Deserialize(rest);
+  if (!inner.ok()) return inner.status();
+  HdrDoubleHistogram out(std::move(inner).value(), scale);
+  out.rejected_count_ = rejected;
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,152 @@
+// HDR Histogram: the bounded-range relative-error histogram of Tene
+// (http://hdrhistogram.org/), the other relative-error sketch the paper
+// evaluates (§1.2, §4).
+//
+// Values are non-negative integers in [0, highest_trackable]. Accuracy is
+// configured as d significant decimal digits: any recorded value is
+// resolved to within 10^-d of its magnitude. Internally, values are binned
+// into a two-level structure — a top level of power-of-two "buckets", each
+// split into 2^ceil(log2(2*10^d))/2 linear sub-buckets — so indexing costs
+// one count-leading-zeros and a couple of shifts (the paper: "extremely
+// fast insertion times (only requiring low-level binary operations), as
+// the bucket sizes are optimized for insertion speed instead of size").
+//
+// The trade-offs the paper calls out, all visible here: the range must be
+// chosen up front (kOutOfRange/clamping otherwise), and the counts array is
+// allocated for the whole range up front, which makes the footprint large
+// (Figure 6) and merges linear in the array size rather than in the
+// non-empty buckets (Figure 9: "fully mergeable (though very slow)").
+//
+// HdrDoubleHistogram adapts real-valued data by fixed-point scaling chosen
+// from the expected [min, max] — exactly the up-front range knowledge
+// DDSketch does not need.
+
+#ifndef DDSKETCH_HDR_HDR_HISTOGRAM_H_
+#define DDSKETCH_HDR_HDR_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Integer-valued HDR histogram.
+class HdrHistogram {
+ public:
+  /// Builds a histogram covering [0, highest_trackable] with
+  /// `significant_digits` in 1..5 decimal digits of value resolution.
+  static Result<HdrHistogram> Create(int significant_digits,
+                                     uint64_t highest_trackable);
+
+  /// Records `count` occurrences of `value`. Values above the trackable
+  /// range are clamped into the top bucket and counted in clamped_count().
+  void Record(uint64_t value, uint64_t count = 1) noexcept;
+
+  /// The q-quantile estimate (lower-quantile convention, midpoint of the
+  /// containing bin). Fails if q is outside [0,1] or the histogram is
+  /// empty.
+  Result<double> Quantile(double q) const;
+  /// NaN-returning form.
+  double QuantileOrNaN(double q) const noexcept;
+
+  /// Element-wise merge. Fails with Incompatible unless both histograms
+  /// have identical configuration. Cost is linear in the counts array
+  /// (the paper's "very slow" merge).
+  Status MergeFrom(const HdrHistogram& other);
+
+  uint64_t count() const noexcept { return total_count_; }
+  bool empty() const noexcept { return total_count_ == 0; }
+  uint64_t clamped_count() const noexcept { return clamped_count_; }
+  uint64_t min() const noexcept { return min_; }
+  uint64_t max() const noexcept { return max_; }
+
+  int significant_digits() const noexcept { return significant_digits_; }
+  uint64_t highest_trackable() const noexcept { return highest_trackable_; }
+
+  /// Full allocated footprint (the counts array dominates), for Figure 6.
+  size_t size_in_bytes() const noexcept;
+  /// Counts array length (all slots, empty or not).
+  size_t counts_array_length() const noexcept { return counts_.size(); }
+  /// Non-empty bin count.
+  size_t num_buckets() const noexcept;
+
+  /// Serializes to a compact binary payload (non-empty slots only).
+  std::string Serialize() const;
+  /// Restores a histogram; fails with Corruption on malformed input.
+  static Result<HdrHistogram> Deserialize(std::string_view payload);
+
+  /// The slot a value bins into (exposed for tests).
+  size_t CountsIndexFor(uint64_t value) const noexcept;
+  /// The lowest value binning into slot `index` (exposed for tests).
+  uint64_t LowestValueAt(size_t index) const noexcept;
+  /// The bin width at slot `index` (exposed for tests).
+  uint64_t BinWidthAt(size_t index) const noexcept;
+
+ private:
+  HdrHistogram(int significant_digits, uint64_t highest_trackable);
+
+  int significant_digits_;
+  uint64_t highest_trackable_;
+  int sub_bucket_magnitude_;      // sub_bucket_count = 2^this
+  uint64_t sub_bucket_count_;
+  uint64_t sub_bucket_half_count_;
+  int bucket_count_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  uint64_t clamped_count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// Fixed-point adapter for real-valued data: values are scaled so that
+/// `expected_min` lands at full sub-bucket resolution, then recorded into
+/// an integer HdrHistogram covering `expected_max`. Values outside the
+/// expected range lose the accuracy guarantee (below) or are clamped
+/// (above) — the bounded-range limitation the paper contrasts with
+/// DDSketch's arbitrary range.
+class HdrDoubleHistogram {
+ public:
+  /// Fails unless 0 < expected_min < expected_max and the scaled range is
+  /// trackable in 62 bits.
+  static Result<HdrDoubleHistogram> Create(int significant_digits,
+                                           double expected_min,
+                                           double expected_max);
+
+  /// Records a non-negative value (negative values are rejected and
+  /// counted).
+  void Record(double value, uint64_t count = 1) noexcept;
+
+  Result<double> Quantile(double q) const;
+  double QuantileOrNaN(double q) const noexcept;
+
+  Status MergeFrom(const HdrDoubleHistogram& other);
+
+  uint64_t count() const noexcept { return histogram_.count(); }
+  bool empty() const noexcept { return histogram_.empty(); }
+  uint64_t rejected_count() const noexcept { return rejected_count_; }
+  size_t size_in_bytes() const noexcept {
+    return sizeof(*this) - sizeof(HdrHistogram) + histogram_.size_in_bytes();
+  }
+  const HdrHistogram& integer_histogram() const noexcept {
+    return histogram_;
+  }
+
+  /// Serializes scale + the embedded integer histogram.
+  std::string Serialize() const;
+  static Result<HdrDoubleHistogram> Deserialize(std::string_view payload);
+
+ private:
+  HdrDoubleHistogram(HdrHistogram histogram, double scale)
+      : histogram_(std::move(histogram)), scale_(scale) {}
+
+  HdrHistogram histogram_;
+  double scale_;
+  uint64_t rejected_count_ = 0;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_HDR_HDR_HISTOGRAM_H_

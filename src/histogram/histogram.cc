@@ -1,0 +1,290 @@
+#include "histogram/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dd {
+namespace {
+
+// Sum and sum-of-squares prefixes over sorted data, for O(1) SSE of any
+// contiguous range [i, j).
+struct Prefixes {
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+
+  explicit Prefixes(std::span<const double> sorted) {
+    sum.resize(sorted.size() + 1, 0.0);
+    sum_sq.resize(sorted.size() + 1, 0.0);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      sum[i + 1] = sum[i] + sorted[i];
+      sum_sq[i + 1] = sum_sq[i] + sorted[i] * sorted[i];
+    }
+  }
+
+  // Squared error of representing [i, j) by its mean.
+  double Sse(size_t i, size_t j) const {
+    if (j <= i + 1) return 0.0;
+    const double n = static_cast<double>(j - i);
+    const double s = sum[j] - sum[i];
+    return std::max(0.0, (sum_sq[j] - sum_sq[i]) - s * s / n);
+  }
+
+  double Mean(size_t i, size_t j) const {
+    return (sum[j] - sum[i]) / static_cast<double>(j - i);
+  }
+};
+
+std::vector<double> SortedCopy(std::span<const double> data) {
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+Histogram BucketsFromSplits(const std::vector<double>& sorted,
+                            const Prefixes& prefixes,
+                            const std::vector<size_t>& splits) {
+  // `splits` are range starts, ascending, beginning with 0.
+  std::vector<HistogramBucket> buckets;
+  buckets.reserve(splits.size());
+  for (size_t b = 0; b < splits.size(); ++b) {
+    const size_t i = splits[b];
+    const size_t j = b + 1 < splits.size() ? splits[b + 1] : sorted.size();
+    assert(j > i);
+    buckets.push_back({sorted[i], sorted[j - 1],
+                       static_cast<uint64_t>(j - i), prefixes.Mean(i, j)});
+  }
+  return Histogram(std::move(buckets));
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<HistogramBucket> buckets)
+    : buckets_(std::move(buckets)) {
+  for (const HistogramBucket& b : buckets_) total_count_ += b.count;
+}
+
+double Histogram::QuantileOrNaN(double q) const noexcept {
+  if (total_count_ == 0 || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double rank = q * static_cast<double>(total_count_ - 1);
+  double cum = 0;
+  for (const HistogramBucket& b : buckets_) {
+    cum += static_cast<double>(b.count);
+    if (cum > rank) return b.representative;
+  }
+  return buckets_.back().representative;
+}
+
+double Histogram::SquaredError(std::span<const double> sorted_data) const {
+  double total = 0;
+  size_t bucket = 0;
+  for (double x : sorted_data) {
+    // Advance to the bucket covering x (buckets are ordered; items beyond
+    // the last bucket's hi charge against the last representative).
+    while (bucket + 1 < buckets_.size() && x > buckets_[bucket].hi) {
+      ++bucket;
+    }
+    const double d = x - buckets_[bucket].representative;
+    total += d * d;
+  }
+  return total;
+}
+
+Histogram Histogram::NaiveMerge(const Histogram& a, const Histogram& b,
+                                size_t max_buckets) {
+  // Union of boundaries -> segments; each source histogram contributes
+  // count to a segment proportionally to overlap (uniform-within-bucket
+  // assumption). This is the best one can do without the data — and is
+  // precisely why the paper calls equi-depth histograms non-mergeable.
+  std::vector<double> edges;
+  for (const auto& h : {a, b}) {
+    for (const HistogramBucket& bk : h.buckets()) {
+      edges.push_back(bk.lo);
+      edges.push_back(bk.hi);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  if (edges.size() < 2) {
+    // Degenerate: single point mass.
+    return Histogram({{edges.front(), edges.front(),
+                       a.total_count() + b.total_count(), edges.front()}});
+  }
+
+  const double last_edge = edges.back();
+  auto overlap_count = [last_edge](const Histogram& h, double lo, double hi) {
+    double count = 0;
+    for (const HistogramBucket& bk : h.buckets()) {
+      const double width = bk.hi - bk.lo;
+      if (width <= 0) {
+        // Point-mass bucket: attribute to exactly one segment (half-open,
+        // the final segment is closed at the top edge).
+        if ((bk.lo >= lo && bk.lo < hi) || (bk.lo == hi && hi == last_edge)) {
+          count += static_cast<double>(bk.count);
+        }
+        continue;
+      }
+      const double o = std::max(0.0, std::min(hi, bk.hi) - std::max(lo, bk.lo));
+      count += static_cast<double>(bk.count) * (o / width);
+    }
+    return count;
+  };
+
+  std::vector<HistogramBucket> segments;
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    const double lo = edges[i];
+    const double hi = edges[i + 1];
+    const double count = overlap_count(a, lo, hi) + overlap_count(b, lo, hi);
+    if (count <= 0) continue;
+    segments.push_back({lo, hi, static_cast<uint64_t>(std::llround(count)),
+                        (lo + hi) / 2});
+  }
+  // Reduce to max_buckets by fusing the adjacent pair with the smallest
+  // combined count.
+  while (segments.size() > max_buckets && segments.size() > 1) {
+    size_t best = 0;
+    uint64_t best_count = UINT64_MAX;
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+      const uint64_t c = segments[i].count + segments[i + 1].count;
+      if (c < best_count) {
+        best_count = c;
+        best = i;
+      }
+    }
+    HistogramBucket fused = segments[best];
+    const HistogramBucket& right = segments[best + 1];
+    const double w_l = static_cast<double>(fused.count);
+    const double w_r = static_cast<double>(right.count);
+    fused.hi = right.hi;
+    fused.representative =
+        w_l + w_r > 0
+            ? (fused.representative * w_l + right.representative * w_r) /
+                  (w_l + w_r)
+            : (fused.lo + fused.hi) / 2;
+    fused.count += right.count;
+    segments[best] = fused;
+    segments.erase(segments.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+  return Histogram(std::move(segments));
+}
+
+Result<Histogram> BuildEquiDepth(std::span<const double> data,
+                                 size_t num_buckets) {
+  if (data.empty() || num_buckets == 0) {
+    return Status::InvalidArgument("equi-depth needs data and >= 1 bucket");
+  }
+  const auto sorted = SortedCopy(data);
+  const size_t buckets = std::min(num_buckets, sorted.size());
+  std::vector<HistogramBucket> out;
+  out.reserve(buckets);
+  const size_t base = sorted.size() / buckets;
+  const size_t extra = sorted.size() % buckets;
+  size_t i = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    const size_t len = base + (b < extra ? 1 : 0);
+    const size_t j = i + len;
+    out.push_back({sorted[i], sorted[j - 1], static_cast<uint64_t>(len),
+                   sorted[i + len / 2]});  // median representative
+    i = j;
+  }
+  return Histogram(std::move(out));
+}
+
+Result<Histogram> BuildVOptimal(std::span<const double> data,
+                                size_t num_buckets) {
+  if (data.empty() || num_buckets == 0) {
+    return Status::InvalidArgument("v-optimal needs data and >= 1 bucket");
+  }
+  const size_t n = data.size();
+  if (n > 20000) {
+    return Status::ResourceExhausted(
+        "exact v-optimal is O(B n^2); use BuildVOptimalGreedy for n > 20000");
+  }
+  const auto sorted = SortedCopy(data);
+  const Prefixes prefixes(sorted);
+  const size_t buckets = std::min(num_buckets, n);
+
+  // dp[j] = best error covering the first j items with the current number
+  // of buckets; from[b][j] = split position achieving it.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(n + 1, kInf);
+  std::vector<std::vector<uint32_t>> from(
+      buckets, std::vector<uint32_t>(n + 1, 0));
+  for (size_t j = 1; j <= n; ++j) dp[j] = prefixes.Sse(0, j);
+  for (size_t b = 1; b < buckets; ++b) {
+    std::vector<double> next(n + 1, kInf);
+    for (size_t j = b + 1; j <= n; ++j) {
+      for (size_t i = b; i < j; ++i) {
+        const double candidate = dp[i] + prefixes.Sse(i, j);
+        if (candidate < next[j]) {
+          next[j] = candidate;
+          from[b][j] = static_cast<uint32_t>(i);
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+  // Backtrack the split starts.
+  std::vector<size_t> splits(buckets, 0);
+  size_t j = n;
+  for (size_t b = buckets; b-- > 1;) {
+    splits[b] = from[b][j];
+    j = splits[b];
+  }
+  return BucketsFromSplits(sorted, prefixes, splits);
+}
+
+Result<Histogram> BuildVOptimalGreedy(std::span<const double> data,
+                                      size_t num_buckets) {
+  if (data.empty() || num_buckets == 0) {
+    return Status::InvalidArgument("v-optimal needs data and >= 1 bucket");
+  }
+  const auto sorted = SortedCopy(data);
+  const Prefixes prefixes(sorted);
+  const size_t buckets = std::min(num_buckets, sorted.size());
+
+  // Ranges as [start, end) pairs; repeatedly split the range whose best
+  // split reduces SSE the most.
+  std::vector<std::pair<size_t, size_t>> ranges = {{0, sorted.size()}};
+  auto best_split = [&](size_t i, size_t j) {
+    double best_gain = 0;
+    size_t best_pos = 0;
+    const double whole = prefixes.Sse(i, j);
+    for (size_t m = i + 1; m < j; ++m) {
+      const double gain = whole - prefixes.Sse(i, m) - prefixes.Sse(m, j);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_pos = m;
+      }
+    }
+    return std::make_pair(best_gain, best_pos);
+  };
+  while (ranges.size() < buckets) {
+    double best_gain = 0;
+    size_t best_range = SIZE_MAX, best_pos = 0;
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      const auto [gain, pos] = best_split(ranges[r].first, ranges[r].second);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_range = r;
+        best_pos = pos;
+      }
+    }
+    if (best_range == SIZE_MAX) break;  // no split reduces error
+    const auto [i, j] = ranges[best_range];
+    ranges[best_range] = {i, best_pos};
+    ranges.insert(ranges.begin() + static_cast<ptrdiff_t>(best_range) + 1,
+                  {best_pos, j});
+  }
+  std::sort(ranges.begin(), ranges.end());
+  std::vector<size_t> splits;
+  splits.reserve(ranges.size());
+  for (const auto& [i, j] : ranges) splits.push_back(i);
+  return BucketsFromSplits(sorted, prefixes, splits);
+}
+
+}  // namespace dd

@@ -1,0 +1,87 @@
+// Static histogram construction — the related line of work the paper
+// contrasts with quantile sketches (§1.2, last two paragraphs):
+//
+//  * EquiDepthHistogram — B buckets of (near-)equal count. The paper names
+//    equi-depth histograms as the canonical *non-mergeable* synopsis:
+//    "there is no way to accurately combine overlapping buckets". The test
+//    suite demonstrates the failure concretely.
+//  * VOptimalHistogram — minimizes the total squared error (the L2
+//    "v-optimal" objective) with the O(B n^2) dynamic program of Jagadish
+//    et al. (VLDB '98), "usually considered to be too costly", plus a
+//    cheap greedy split approximation for larger inputs.
+//
+// These are offline, whole-data-set constructions, not streaming sketches;
+// they exist here to make the paper's Table 1 framing testable: histogram
+// error guarantees are *global* (sum over items), never per-quantile, so
+// any individual quantile query can be arbitrarily wrong.
+
+#ifndef DDSKETCH_HISTOGRAM_HISTOGRAM_H_
+#define DDSKETCH_HISTOGRAM_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// One histogram bucket over [lo, hi] holding `count` items whose
+/// within-bucket representative is `representative` (mean for v-optimal,
+/// median for equi-depth).
+struct HistogramBucket {
+  double lo;
+  double hi;
+  uint64_t count;
+  double representative;
+};
+
+/// A finished histogram: buckets ordered by value range.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<HistogramBucket> buckets);
+
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  uint64_t total_count() const { return total_count_; }
+
+  /// The q-quantile estimate: walk buckets by count, answer the
+  /// representative of the containing bucket.
+  double QuantileOrNaN(double q) const noexcept;
+
+  /// Sum over all items of (item - its bucket representative)^2 — the
+  /// v-optimal objective, evaluated against the original data.
+  double SquaredError(std::span<const double> sorted_data) const;
+
+  /// Naive merge by bucket-boundary union and count splitting under a
+  /// uniform assumption — what one would have to do to "merge" two
+  /// histograms. Provided deliberately so tests can demonstrate how much
+  /// accuracy this loses (the §1.2 non-mergeability point).
+  static Histogram NaiveMerge(const Histogram& a, const Histogram& b,
+                              size_t max_buckets);
+
+ private:
+  std::vector<HistogramBucket> buckets_;
+  uint64_t total_count_ = 0;
+};
+
+/// Builds a B-bucket equi-depth histogram of `data` (need not be sorted).
+Result<Histogram> BuildEquiDepth(std::span<const double> data,
+                                 size_t num_buckets);
+
+/// Exact v-optimal histogram via dynamic programming: O(B n^2) time,
+/// O(B n) space. Fails with InvalidArgument for empty data or zero
+/// buckets, ResourceExhausted when n is too large for the quadratic DP
+/// (use BuildVOptimalGreedy instead).
+Result<Histogram> BuildVOptimal(std::span<const double> data,
+                                size_t num_buckets);
+
+/// Greedy approximation: start with one bucket, repeatedly split the
+/// bucket contributing the most squared error at its best split point.
+/// O(n log n + B n). No optimality guarantee (the approximation-algorithm
+/// setting §1.2 cites).
+Result<Histogram> BuildVOptimalGreedy(std::span<const double> data,
+                                      size_t num_buckets);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_HISTOGRAM_HISTOGRAM_H_

@@ -1,0 +1,255 @@
+#include "kll/kll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/varint.h"
+
+namespace dd {
+namespace {
+
+// Geometric capacity decay per level below the top (the KLL paper's c;
+// 2/3 is the standard engineering choice) and the floor below which
+// levels stop shrinking.
+constexpr double kDecay = 2.0 / 3.0;
+constexpr size_t kMinLevelCapacity = 8;
+
+}  // namespace
+
+KllSketch::KllSketch(int k, uint64_t seed) : k_(k), rng_(seed) {
+  levels_.emplace_back();
+  levels_.front().reserve(static_cast<size_t>(k));
+}
+
+Result<KllSketch> KllSketch::Create(int k, uint64_t seed) {
+  if (k < 8 || k > 65535) {
+    return Status::InvalidArgument("k must be in [8, 65535], got " +
+                                   std::to_string(k));
+  }
+  return KllSketch(k, seed);
+}
+
+size_t KllSketch::LevelCapacity(size_t h, size_t num_levels) const noexcept {
+  // Top level gets k; each level below decays by kDecay.
+  const double depth = static_cast<double>(num_levels - 1 - h);
+  const double cap = static_cast<double>(k_) * std::pow(kDecay, depth);
+  return std::max(kMinLevelCapacity, static_cast<size_t>(cap));
+}
+
+size_t KllSketch::TotalCapacity() const noexcept {
+  size_t total = 0;
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    total += LevelCapacity(h, levels_.size());
+  }
+  return total;
+}
+
+void KllSketch::Add(double value) {
+  if (!std::isfinite(value)) {
+    ++rejected_count_;
+    return;
+  }
+  levels_.front().push_back(value);
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  CompactIfNeeded();
+}
+
+void KllSketch::CompactIfNeeded() {
+  while (num_retained() > TotalCapacity()) {
+    // Compact the lowest level at or over its own capacity; if none is
+    // individually full (possible after merges), compact the fullest.
+    size_t target = levels_.size();
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      if (levels_[h].size() >= LevelCapacity(h, levels_.size())) {
+        target = h;
+        break;
+      }
+    }
+    if (target == levels_.size()) {
+      size_t best = 0;
+      for (size_t h = 1; h < levels_.size(); ++h) {
+        if (levels_[h].size() > levels_[best].size()) best = h;
+      }
+      target = best;
+    }
+    if (levels_[target].size() < 2) break;  // nothing compactable
+    CompactLevel(target);
+  }
+}
+
+void KllSketch::CompactLevel(size_t h) {
+  if (h + 1 >= levels_.size()) levels_.emplace_back();
+  std::vector<double>& level = levels_[h];
+  std::sort(level.begin(), level.end());
+  // Random parity: keep the odd- or even-indexed half, promoting it with
+  // doubled weight. An odd-sized level keeps its last item in place so no
+  // weight is lost.
+  const size_t parity = rng_.NextU64() & 1;
+  std::vector<double>& above = levels_[h + 1];
+  const size_t pairs = level.size() / 2;
+  for (size_t p = 0; p < pairs; ++p) {
+    above.push_back(level[2 * p + parity]);
+  }
+  if (level.size() % 2 == 1) {
+    level[0] = level.back();
+    level.resize(1);
+  } else {
+    level.clear();
+  }
+}
+
+Status KllSketch::MergeFrom(const KllSketch& other) {
+  if (k_ != other.k_) {
+    return Status::Incompatible("KLL sketches must share k to merge");
+  }
+  if (other.empty()) return Status::OK();
+  while (levels_.size() < other.levels_.size()) levels_.emplace_back();
+  for (size_t h = 0; h < other.levels_.size(); ++h) {
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  }
+  count_ += other.count_;
+  rejected_count_ += other.rejected_count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  CompactIfNeeded();
+  return Status::OK();
+}
+
+std::vector<std::pair<double, uint64_t>> KllSketch::SortedWeighted() const {
+  std::vector<std::pair<double, uint64_t>> items;
+  items.reserve(num_retained());
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    const uint64_t weight = uint64_t{1} << h;
+    for (double v : levels_[h]) items.emplace_back(v, weight);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+double KllSketch::QuantileOrNaN(double q) const noexcept {
+  if (empty() || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const auto items = SortedWeighted();
+  // Retained weights sum to count_ exactly (compaction preserves total
+  // weight); find the first item whose cumulative weight exceeds q(n-1).
+  const double rank = q * static_cast<double>(count_ - 1);
+  double cum = 0;
+  for (const auto& [value, weight] : items) {
+    cum += static_cast<double>(weight);
+    if (cum > rank) return value;
+  }
+  return max_;
+}
+
+Result<double> KllSketch::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                   std::to_string(q));
+  }
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty sketch");
+  }
+  return QuantileOrNaN(q);
+}
+
+double KllSketch::CdfOrNaN(double value) const noexcept {
+  if (empty() || std::isnan(value)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double below = 0;
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    const double weight = static_cast<double>(uint64_t{1} << h);
+    for (double v : levels_[h]) {
+      if (v <= value) below += weight;
+    }
+  }
+  return below / static_cast<double>(count_);
+}
+
+size_t KllSketch::num_retained() const noexcept {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+size_t KllSketch::size_in_bytes() const noexcept {
+  size_t total = sizeof(*this);
+  for (const auto& level : levels_) {
+    total += sizeof(level) + level.capacity() * sizeof(double);
+  }
+  return total;
+}
+
+// Wire format: "KLLS" magic, version byte, k (varint), count/rejected
+// (varints), min/max (doubles), level count (varint), then per level:
+// item count (varint) followed by the raw item doubles.
+std::string KllSketch::Serialize() const {
+  std::string out;
+  out.reserve(32 + num_retained() * 8);
+  out.append("KLLS", 4);
+  out.push_back(1);
+  PutVarint64(&out, static_cast<uint64_t>(k_));
+  PutVarint64(&out, count_);
+  PutVarint64(&out, rejected_count_);
+  PutFixedDouble(&out, min_);
+  PutFixedDouble(&out, max_);
+  PutVarint64(&out, levels_.size());
+  for (const auto& level : levels_) {
+    PutVarint64(&out, level.size());
+    for (double v : level) PutFixedDouble(&out, v);
+  }
+  return out;
+}
+
+Result<KllSketch> KllSketch::Deserialize(std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(5, &header));
+  if (header.substr(0, 4) != "KLLS" || header[4] != 1) {
+    return Status::Corruption("not a KLL v1 payload");
+  }
+  uint64_t k = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&k));
+  if (k > 65535) return Status::Corruption("k out of range");
+  auto result = Create(static_cast<int>(k));
+  if (!result.ok()) return Status::Corruption("invalid k in payload");
+  KllSketch sketch = std::move(result).value();
+  DD_RETURN_IF_ERROR(in.GetVarint64(&sketch.count_));
+  DD_RETURN_IF_ERROR(in.GetVarint64(&sketch.rejected_count_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.min_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.max_));
+  uint64_t n_levels = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&n_levels));
+  if (n_levels == 0 || n_levels > 64) {
+    return Status::Corruption("level count out of range");
+  }
+  sketch.levels_.clear();
+  uint64_t total_weight = 0;
+  for (uint64_t h = 0; h < n_levels; ++h) {
+    uint64_t n_items = 0;
+    DD_RETURN_IF_ERROR(in.GetVarint64(&n_items));
+    if (n_items > payload.size()) {
+      return Status::Corruption("level size exceeds payload");
+    }
+    std::vector<double> level(n_items);
+    for (double& v : level) {
+      DD_RETURN_IF_ERROR(in.GetFixedDouble(&v));
+    }
+    total_weight += n_items << h;
+    sketch.levels_.push_back(std::move(level));
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes");
+  if (total_weight != sketch.count_) {
+    return Status::Corruption("level weights do not sum to count");
+  }
+  return sketch;
+}
+
+}  // namespace dd

@@ -1,0 +1,38 @@
+#include "moments/chebyshev.h"
+
+namespace dd {
+
+std::vector<std::vector<double>> ChebyshevCoefficients(size_t k) {
+  std::vector<std::vector<double>> coeffs(k + 1);
+  coeffs[0] = {1.0};
+  if (k == 0) return coeffs;
+  coeffs[1] = {0.0, 1.0};
+  for (size_t j = 2; j <= k; ++j) {
+    std::vector<double> c(j + 1, 0.0);
+    // T_j = 2x T_{j-1} - T_{j-2}
+    for (size_t i = 0; i < coeffs[j - 1].size(); ++i) {
+      c[i + 1] += 2.0 * coeffs[j - 1][i];
+    }
+    for (size_t i = 0; i < coeffs[j - 2].size(); ++i) {
+      c[i] -= coeffs[j - 2][i];
+    }
+    coeffs[j] = std::move(c);
+  }
+  return coeffs;
+}
+
+std::vector<double> PowerToChebyshevMoments(const std::vector<double>& mu) {
+  const size_t k = mu.size() - 1;
+  const auto coeffs = ChebyshevCoefficients(k);
+  std::vector<double> m(k + 1, 0.0);
+  for (size_t j = 0; j <= k; ++j) {
+    double acc = 0.0;
+    for (size_t i = 0; i < coeffs[j].size(); ++i) {
+      acc += coeffs[j][i] * mu[i];
+    }
+    m[j] = acc;
+  }
+  return m;
+}
+
+}  // namespace dd

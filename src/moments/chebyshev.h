@@ -1,0 +1,38 @@
+// Chebyshev polynomial utilities for the maximum-entropy solver.
+//
+// The solver works in the Chebyshev basis T_0..T_k on [-1, 1] because the
+// Hessian (Gram matrix of basis products under the current density) is far
+// better conditioned there than in the monomial basis — the same choice as
+// the reference momentsketch solver (Gan et al., VLDB 2018).
+
+#ifndef DDSKETCH_MOMENTS_CHEBYSHEV_H_
+#define DDSKETCH_MOMENTS_CHEBYSHEV_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dd {
+
+/// Evaluates T_0(x)..T_k(x) into `out` (size k+1) via the three-term
+/// recurrence T_{j+1} = 2x T_j - T_{j-1}.
+inline void ChebyshevValues(double x, size_t k, double* out) noexcept {
+  out[0] = 1.0;
+  if (k == 0) return;
+  out[1] = x;
+  for (size_t j = 2; j <= k; ++j) {
+    out[j] = 2.0 * x * out[j - 1] - out[j - 2];
+  }
+}
+
+/// Returns the monomial coefficients of T_0..T_k: result[j][i] is the
+/// coefficient of x^i in T_j. Used to convert power moments E[x^i] into
+/// Chebyshev moments E[T_j(x)].
+std::vector<std::vector<double>> ChebyshevCoefficients(size_t k);
+
+/// Converts power moments mu[i] = E[x^i], i = 0..k (x supported on
+/// [-1, 1]) into Chebyshev moments m[j] = E[T_j(x)].
+std::vector<double> PowerToChebyshevMoments(const std::vector<double>& mu);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_MOMENTS_CHEBYSHEV_H_

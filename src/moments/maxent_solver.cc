@@ -1,0 +1,215 @@
+#include "moments/maxent_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "moments/chebyshev.h"
+
+namespace dd {
+
+double MaxEntDensity::QuantileU(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  // First grid point with CDF >= q; interpolate within the segment.
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q);
+  if (it == cdf_.begin()) return grid_.front();
+  if (it == cdf_.end()) return grid_.back();
+  const size_t hi = static_cast<size_t>(it - cdf_.begin());
+  const size_t lo = hi - 1;
+  const double span = cdf_[hi] - cdf_[lo];
+  const double frac = span > 0.0 ? (q - cdf_[lo]) / span : 0.0;
+  return grid_[lo] + frac * (grid_[hi] - grid_[lo]);
+}
+
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, size_t n) {
+  // In-place LL^T factorization (lower triangle).
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (size_t p = 0; p < j; ++p) diag -= a[j * n + p] * a[j * n + p];
+    if (!(diag > 0.0)) return false;
+    const double root = std::sqrt(diag);
+    a[j * n + j] = root;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (size_t p = 0; p < j; ++p) v -= a[i * n + p] * a[j * n + p];
+      a[i * n + j] = v / root;
+    }
+  }
+  // Forward substitution: L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t p = 0; p < i; ++p) v -= a[i * n + p] * b[p];
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  for (size_t ir = n; ir-- > 0;) {
+    double v = b[ir];
+    for (size_t p = ir + 1; p < n; ++p) v -= a[p * n + ir] * b[p];
+    b[ir] = v / a[ir * n + ir];
+  }
+  return true;
+}
+
+namespace {
+
+/// Precomputed T_j values on the quadrature grid plus trapezoid weights.
+struct GridBasis {
+  std::vector<double> grid;     // N points on [-1, 1]
+  std::vector<double> weights;  // trapezoid quadrature weights
+  std::vector<double> basis;    // basis[j * N + p] = T_j(grid[p])
+
+  GridBasis(size_t n_points, size_t k) {
+    grid.resize(n_points);
+    weights.resize(n_points);
+    basis.resize((k + 1) * n_points);
+    const double h = 2.0 / static_cast<double>(n_points - 1);
+    std::vector<double> t(k + 1);
+    for (size_t p = 0; p < n_points; ++p) {
+      grid[p] = -1.0 + h * static_cast<double>(p);
+      weights[p] = (p == 0 || p == n_points - 1) ? h / 2.0 : h;
+      ChebyshevValues(grid[p], k, t.data());
+      for (size_t j = 0; j <= k; ++j) basis[j * n_points + p] = t[j];
+    }
+  }
+};
+
+}  // namespace
+
+Result<MaxEntDensity> SolveMaxEntropy(
+    const std::vector<double>& chebyshev_moments,
+    const MaxEntSolverOptions& options) {
+  if (chebyshev_moments.empty()) {
+    return Status::InvalidArgument("need at least the 0th moment");
+  }
+  const size_t k = chebyshev_moments.size() - 1;
+  const size_t dim = k + 1;
+  const size_t n_points = std::max<size_t>(options.grid_size, 4 * dim);
+  const GridBasis gb(n_points, k);
+
+  // Start from the uniform density on [-1, 1]: lambda_0 = log(1/2),
+  // integrating to exactly m_0 = 1.
+  std::vector<double> lambda(dim, 0.0);
+  lambda[0] = std::log(0.5);
+
+  std::vector<double> density(n_points);
+  std::vector<double> grad(dim);
+  std::vector<double> hess(dim * dim);
+  std::vector<double> step(dim);
+
+  auto evaluate = [&](const std::vector<double>& lam,
+                      std::vector<double>& dens) {
+    double potential = 0.0;
+    for (size_t p = 0; p < n_points; ++p) {
+      double e = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        e += lam[j] * gb.basis[j * n_points + p];
+      }
+      dens[p] = std::exp(e);
+      potential += gb.weights[p] * dens[p];
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      potential -= lam[j] * chebyshev_moments[j];
+    }
+    return potential;
+  };
+
+  double potential = evaluate(lambda, density);
+  bool converged = false;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient: model moments minus target moments.
+    double grad_norm = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      double g = 0.0;
+      for (size_t p = 0; p < n_points; ++p) {
+        g += gb.weights[p] * gb.basis[j * n_points + p] * density[p];
+      }
+      grad[j] = g - chebyshev_moments[j];
+      grad_norm = std::max(grad_norm, std::abs(grad[j]));
+    }
+    if (grad_norm < options.gradient_tolerance) {
+      converged = true;
+      break;
+    }
+    // Hessian: Gram matrix of the basis under the model density.
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = i; j < dim; ++j) {
+        double h = 0.0;
+        for (size_t p = 0; p < n_points; ++p) {
+          h += gb.weights[p] * gb.basis[i * n_points + p] *
+               gb.basis[j * n_points + p] * density[p];
+        }
+        hess[i * dim + j] = h;
+        hess[j * dim + i] = h;
+      }
+    }
+    // Newton step with escalating ridge until the factorization succeeds.
+    std::copy(grad.begin(), grad.end(), step.begin());
+    double ridge = options.ridge;
+    std::vector<double> h_work;
+    while (true) {
+      h_work = hess;
+      for (size_t i = 0; i < dim; ++i) h_work[i * dim + i] += ridge;
+      std::copy(grad.begin(), grad.end(), step.begin());
+      if (CholeskySolve(h_work, step, dim)) break;
+      ridge = std::max(ridge * 100.0, 1e-10);
+      if (ridge > 1e6) {
+        return Status::Internal("maxent Hessian irreparably singular");
+      }
+    }
+    // Backtracking line search on the convex potential.
+    double scale = 1.0;
+    bool improved = false;
+    std::vector<double> candidate(dim);
+    std::vector<double> cand_density(n_points);
+    for (int half = 0; half < 40; ++half) {
+      for (size_t j = 0; j < dim; ++j) {
+        candidate[j] = lambda[j] - scale * step[j];
+      }
+      const double cand_potential = evaluate(candidate, cand_density);
+      if (std::isfinite(cand_potential) && cand_potential < potential) {
+        lambda.swap(candidate);
+        density.swap(cand_density);
+        potential = cand_potential;
+        improved = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) {
+      // Stuck at numerical precision: accept the current model if the
+      // residual is small enough to be usable, else fail.
+      converged = grad_norm < 1e-4;
+      break;
+    }
+  }
+  if (!converged) {
+    // Final residual check (the loop may exhaust iterations while already
+    // being essentially converged).
+    double grad_norm = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      double g = 0.0;
+      for (size_t p = 0; p < n_points; ++p) {
+        g += gb.weights[p] * gb.basis[j * n_points + p] * density[p];
+      }
+      grad_norm = std::max(grad_norm, std::abs(g - chebyshev_moments[j]));
+    }
+    if (grad_norm > 1e-4) {
+      return Status::Internal("maxent solver did not converge");
+    }
+  }
+
+  // Build the normalized CDF over the grid (trapezoid accumulation).
+  std::vector<double> cdf(n_points, 0.0);
+  for (size_t p = 1; p < n_points; ++p) {
+    const double h = gb.grid[p] - gb.grid[p - 1];
+    cdf[p] = cdf[p - 1] + 0.5 * h * (density[p] + density[p - 1]);
+  }
+  const double total = cdf.back();
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return Status::Internal("maxent density integrates to a non-positive "
+                            "or non-finite mass");
+  }
+  for (double& c : cdf) c /= total;
+  return MaxEntDensity(gb.grid, std::move(cdf));
+}
+
+}  // namespace dd

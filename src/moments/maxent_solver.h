@@ -1,0 +1,64 @@
+// Maximum-entropy density estimation from Chebyshev moments.
+//
+// Given moments m_j = E[T_j(u)] for u supported on [-1, 1], finds the
+// maximum-entropy density f(u) = exp(sum_j lambda_j T_j(u)) whose moments
+// match, by minimizing the convex dual potential
+//   F(lambda) = integral exp(sum_j lambda_j T_j(u)) du - sum_j lambda_j m_j
+// with a damped Newton method (gradient = model moments - target moments,
+// Hessian = Gram matrix of T_i T_j under the model density). Integrals are
+// taken on a fixed uniform grid with trapezoid weights; the grid doubles as
+// the CDF support for quantile inversion. This follows the solver design of
+// the Moments sketch paper (Gan, Ding, Tai, Sharan & Bailis, VLDB 2018).
+
+#ifndef DDSKETCH_MOMENTS_MAXENT_SOLVER_H_
+#define DDSKETCH_MOMENTS_MAXENT_SOLVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Solver configuration; defaults match the reference implementation's
+/// operating point.
+struct MaxEntSolverOptions {
+  size_t grid_size = 1024;      ///< quadrature / CDF grid points on [-1, 1]
+  size_t max_iterations = 200;  ///< Newton iteration cap
+  double gradient_tolerance = 1e-9;  ///< stop when ||grad||_inf below this
+  double ridge = 1e-12;         ///< Tikhonov term if the Hessian is singular
+};
+
+/// Result of a solve: the grid and the (unnormalized) CDF over it.
+class MaxEntDensity {
+ public:
+  MaxEntDensity(std::vector<double> grid, std::vector<double> cdf)
+      : grid_(std::move(grid)), cdf_(std::move(cdf)) {}
+
+  /// The u in [-1, 1] with CDF(u) ~= q (linear interpolation on the grid).
+  double QuantileU(double q) const noexcept;
+
+  const std::vector<double>& grid() const noexcept { return grid_; }
+  const std::vector<double>& cdf() const noexcept { return cdf_; }
+
+ private:
+  std::vector<double> grid_;
+  std::vector<double> cdf_;  // normalized to cdf_.back() == 1
+};
+
+/// Solves for the maxent density matching `chebyshev_moments`
+/// (m_0 must be 1). Fails with Internal if Newton does not converge —
+/// callers typically retry with fewer moments, mirroring the reference
+/// implementation's fallback.
+Result<MaxEntDensity> SolveMaxEntropy(
+    const std::vector<double>& chebyshev_moments,
+    const MaxEntSolverOptions& options = {});
+
+/// Solves a symmetric positive-definite system in place via Cholesky;
+/// returns false if the matrix is not positive definite. `a` is row-major
+/// n x n, `b` has n entries and receives the solution. Exposed for tests.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, size_t n);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_MOMENTS_MAXENT_SOLVER_H_

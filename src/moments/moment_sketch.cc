@@ -1,0 +1,203 @@
+#include "moments/moment_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "moments/chebyshev.h"
+#include "util/varint.h"
+
+namespace dd {
+namespace {
+
+// Pascal-triangle binomials up to row n.
+std::vector<std::vector<double>> Binomials(size_t n) {
+  std::vector<std::vector<double>> c(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    c[i].assign(i + 1, 1.0);
+    for (size_t j = 1; j < i; ++j) c[i][j] = c[i - 1][j - 1] + c[i - 1][j];
+  }
+  return c;
+}
+
+}  // namespace
+
+MomentSketch::MomentSketch(int num_moments, bool compress)
+    : compress_(compress), power_sums_(static_cast<size_t>(num_moments) + 1) {}
+
+Result<MomentSketch> MomentSketch::Create(int num_moments, bool compress) {
+  if (num_moments < 2 || num_moments > 40) {
+    return Status::InvalidArgument("num_moments must be in [2, 40], got " +
+                                   std::to_string(num_moments));
+  }
+  return MomentSketch(num_moments, compress);
+}
+
+double MomentSketch::Transform(double x) const noexcept {
+  return compress_ ? std::asinh(x) : x;
+}
+
+double MomentSketch::InverseTransform(double t) const noexcept {
+  return compress_ ? std::sinh(t) : t;
+}
+
+void MomentSketch::Add(double value) noexcept { Add(value, 1); }
+
+void MomentSketch::Add(double value, uint64_t count) noexcept {
+  if (count == 0 || !std::isfinite(value)) return;
+  const double t = Transform(value);
+  min_t_ = std::min(min_t_, t);
+  max_t_ = std::max(max_t_, t);
+  count_ += count;
+  const double w = static_cast<double>(count);
+  double power = 1.0;
+  for (double& sum : power_sums_) {
+    sum += w * power;
+    power *= t;
+  }
+}
+
+Status MomentSketch::MergeFrom(const MomentSketch& other) {
+  if (power_sums_.size() != other.power_sums_.size() ||
+      compress_ != other.compress_) {
+    return Status::Incompatible(
+        "moment sketches must share k and the compression flag to merge");
+  }
+  for (size_t i = 0; i < power_sums_.size(); ++i) {
+    power_sums_[i] += other.power_sums_[i];
+  }
+  count_ += other.count_;
+  min_t_ = std::min(min_t_, other.min_t_);
+  max_t_ = std::max(max_t_, other.max_t_);
+  return Status::OK();
+}
+
+double MomentSketch::min() const noexcept { return InverseTransform(min_t_); }
+double MomentSketch::max() const noexcept { return InverseTransform(max_t_); }
+
+std::vector<double> MomentSketch::ScaledChebyshevMoments(size_t k) const {
+  // Affine map u = a t + b sending [min_t, max_t] to [-1, 1], then power
+  // moments of u via binomial expansion of (a t + b)^j over the raw power
+  // sums. This expansion is where wide data ranges lose precision: the
+  // terms are huge and alternating (the Moments sketch's documented
+  // weakness on the span data set).
+  const double range = max_t_ - min_t_;
+  const double a = 2.0 / range;
+  const double b = -(max_t_ + min_t_) / range;
+  const double n = static_cast<double>(count_);
+  const auto binom = Binomials(k);
+  std::vector<double> mu(k + 1, 0.0);
+  for (size_t j = 0; j <= k; ++j) {
+    double acc = 0.0;
+    double a_pow = 1.0;  // a^i, built up with i
+    for (size_t i = 0; i <= j; ++i) {
+      const double b_pow = std::pow(b, static_cast<double>(j - i));
+      acc += binom[j][i] * a_pow * b_pow * (power_sums_[i] / n);
+      a_pow *= a;
+    }
+    mu[j] = acc;
+  }
+  return PowerToChebyshevMoments(mu);
+}
+
+Result<std::vector<double>> MomentSketch::Quantiles(
+    std::span<const double> qs) const {
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty sketch");
+  }
+  for (double q : qs) {
+    if (!(q >= 0.0 && q <= 1.0)) {
+      return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                     std::to_string(q));
+    }
+  }
+  std::vector<double> out;
+  out.reserve(qs.size());
+  // Degenerate support: every value equal (or a single value).
+  if (!(max_t_ - min_t_ > 0.0)) {
+    for (size_t i = 0; i < qs.size(); ++i) {
+      out.push_back(InverseTransform(min_t_));
+    }
+    return out;
+  }
+  // Solve at full k; on failure retry with fewer moments (the reference
+  // solver's fallback ladder). Even k keeps the basis symmetric-friendly.
+  const size_t k_max = power_sums_.size() - 1;
+  for (size_t k = k_max;; k = (k > 4 ? k - 2 : k - 1)) {
+    auto solved = SolveMaxEntropy(ScaledChebyshevMoments(k));
+    if (solved.ok()) {
+      const MaxEntDensity& density = solved.value();
+      for (double q : qs) {
+        const double u = density.QuantileU(q);
+        const double t = (u * (max_t_ - min_t_) + max_t_ + min_t_) / 2.0;
+        out.push_back(
+            std::clamp(InverseTransform(t), min(), max()));
+      }
+      return out;
+    }
+    if (k <= 2) {
+      return Status::Internal("maxent inversion failed at every k: " +
+                              solved.status().message());
+    }
+  }
+}
+
+Result<double> MomentSketch::Quantile(double q) const {
+  auto r = Quantiles(std::span<const double>(&q, 1));
+  if (!r.ok()) return r.status();
+  return r.value()[0];
+}
+
+double MomentSketch::QuantileOrNaN(double q) const noexcept {
+  auto r = Quantile(q);
+  return r.ok() ? r.value() : std::numeric_limits<double>::quiet_NaN();
+}
+
+// Wire format: "MOMT" magic, version byte, k byte, compress byte, count
+// (varint), min_t/max_t (doubles), then k+1 power sums (doubles). This is
+// the sketch's headline property made concrete: the payload size is
+// constant, independent of n.
+std::string MomentSketch::Serialize() const {
+  std::string out;
+  out.reserve(32 + power_sums_.size() * 8);
+  out.append("MOMT", 4);
+  out.push_back(1);
+  out.push_back(static_cast<char>(num_moments()));
+  out.push_back(compress_ ? 1 : 0);
+  PutVarint64(&out, count_);
+  PutFixedDouble(&out, min_t_);
+  PutFixedDouble(&out, max_t_);
+  for (double sum : power_sums_) PutFixedDouble(&out, sum);
+  return out;
+}
+
+Result<MomentSketch> MomentSketch::Deserialize(std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(7, &header));
+  if (header.substr(0, 4) != "MOMT" || header[4] != 1) {
+    return Status::Corruption("not a MomentSketch v1 payload");
+  }
+  const int k = static_cast<int>(header[5]);
+  const bool compress = header[6] != 0;
+  auto result = Create(k, compress);
+  if (!result.ok()) {
+    return Status::Corruption("invalid moment count in payload");
+  }
+  MomentSketch sketch = std::move(result).value();
+  DD_RETURN_IF_ERROR(in.GetVarint64(&sketch.count_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.min_t_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&sketch.max_t_));
+  for (double& sum : sketch.power_sums_) {
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&sum));
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes");
+  if (sketch.count_ > 0 &&
+      std::llround(sketch.power_sums_[0]) !=
+          static_cast<long long>(sketch.count_)) {
+    return Status::Corruption("0th power sum does not match count");
+  }
+  return sketch;
+}
+
+}  // namespace dd

@@ -1,0 +1,259 @@
+#include "tdigest/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/varint.h"
+
+namespace dd {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(compression),
+      buffer_capacity_(static_cast<size_t>(
+          std::max(64.0, 5.0 * compression))) {}
+
+Result<TDigest> TDigest::Create(double compression) {
+  if (!(compression >= 10.0) || !(compression <= 10000.0)) {
+    return Status::InvalidArgument(
+        "compression must be in [10, 10000], got " +
+        std::to_string(compression));
+  }
+  return TDigest(compression);
+}
+
+double TDigest::ScaleK(double q) const noexcept {
+  return compression_ / kTwoPi * std::asin(2.0 * q - 1.0);
+}
+
+void TDigest::Add(double value) noexcept {
+  if (!std::isfinite(value)) {
+    ++rejected_count_;
+    return;
+  }
+  buffer_.push_back(value);
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (buffer_.size() >= buffer_capacity_) Flush();
+}
+
+void TDigest::Add(double value, uint64_t count) noexcept {
+  if (count == 0) return;
+  if (!std::isfinite(value)) {
+    rejected_count_ += count;
+    return;
+  }
+  if (count <= 8) {
+    for (uint64_t i = 0; i < count; ++i) Add(value);
+    return;
+  }
+  // Heavy weights go straight to a compaction as a single centroid.
+  Flush();
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  Compress({{value, count}});
+}
+
+void TDigest::Flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Centroid> incoming;
+  incoming.reserve(buffer_.size());
+  for (double v : buffer_) {
+    if (!incoming.empty() && incoming.back().mean == v) {
+      ++incoming.back().weight;
+    } else {
+      incoming.push_back({v, 1});
+    }
+  }
+  buffer_.clear();
+  Compress(std::move(incoming));
+}
+
+void TDigest::Compress(std::vector<Centroid>&& incoming) const {
+  // Merge-sort the sorted centroid list with the sorted incoming batch.
+  std::vector<Centroid> merged;
+  merged.reserve(centroids_.size() + incoming.size());
+  std::merge(centroids_.begin(), centroids_.end(), incoming.begin(),
+             incoming.end(), std::back_inserter(merged),
+             [](const Centroid& a, const Centroid& b) {
+               return a.mean < b.mean;
+             });
+  if (merged.empty()) {
+    centroids_.clear();
+    return;
+  }
+  double total = 0;
+  for (const Centroid& c : merged) total += static_cast<double>(c.weight);
+
+  // Single fuse pass under the k1 budget: neighbours combine while the
+  // resulting cluster spans less than one k-unit.
+  std::vector<Centroid> out;
+  out.reserve(merged.size());
+  double emitted = 0;  // weight already emitted
+  Centroid current = merged.front();
+  for (size_t i = 1; i < merged.size(); ++i) {
+    const Centroid& next = merged[i];
+    const double q_left = emitted / total;
+    const double q_right =
+        (emitted + static_cast<double>(current.weight) +
+         static_cast<double>(next.weight)) /
+        total;
+    if (ScaleK(q_right) - ScaleK(q_left) <= 1.0) {
+      // Weighted-mean fuse.
+      const double w = static_cast<double>(current.weight) +
+                       static_cast<double>(next.weight);
+      current.mean = (current.mean * static_cast<double>(current.weight) +
+                      next.mean * static_cast<double>(next.weight)) /
+                     w;
+      current.weight += next.weight;
+    } else {
+      emitted += static_cast<double>(current.weight);
+      out.push_back(current);
+      current = next;
+    }
+  }
+  out.push_back(current);
+  centroids_ = std::move(out);
+}
+
+double TDigest::QuantileOrNaN(double q) const noexcept {
+  if (empty() || !(q >= 0.0 && q <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  Flush();
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const double total = static_cast<double>(count_);
+  const double target = q * total;  // target weight position
+
+  // Each centroid i sits at weight position cum_before + w_i / 2.
+  double cum = 0;
+  double prev_pos = 0;
+  double prev_mean = min_;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double w = static_cast<double>(centroids_[i].weight);
+    const double pos = cum + w / 2.0;
+    if (target <= pos) {
+      const double span = pos - prev_pos;
+      const double frac = span > 0 ? (target - prev_pos) / span : 0.0;
+      return std::clamp(prev_mean + frac * (centroids_[i].mean - prev_mean),
+                        min_, max_);
+    }
+    prev_pos = pos;
+    prev_mean = centroids_[i].mean;
+    cum += w;
+  }
+  // Beyond the last centroid's midpoint: interpolate towards the maximum.
+  const double span = total - prev_pos;
+  const double frac = span > 0 ? (target - prev_pos) / span : 1.0;
+  return std::clamp(prev_mean + frac * (max_ - prev_mean), min_, max_);
+}
+
+Result<double> TDigest::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile must be in [0, 1], got " +
+                                   std::to_string(q));
+  }
+  if (empty()) {
+    return Status::InvalidArgument("quantile of an empty digest");
+  }
+  return QuantileOrNaN(q);
+}
+
+void TDigest::MergeFrom(const TDigest& other) {
+  if (other.empty()) return;
+  other.Flush();
+  Flush();
+  count_ += other.count_;
+  rejected_count_ += other.rejected_count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  std::vector<Centroid> incoming = other.centroids_;  // already sorted
+  Compress(std::move(incoming));
+}
+
+size_t TDigest::num_centroids() const {
+  Flush();
+  return centroids_.size();
+}
+
+size_t TDigest::size_in_bytes() const noexcept {
+  return sizeof(*this) + centroids_.capacity() * sizeof(Centroid) +
+         buffer_.capacity() * sizeof(double);
+}
+
+// Wire format: "TDIG" magic, version byte, compression (double),
+// count/rejected (varints), min/max (doubles), centroid count (varint),
+// then per centroid: mean (double), weight (varint).
+std::string TDigest::Serialize() const {
+  Flush();
+  std::string out;
+  out.reserve(32 + centroids_.size() * 10);
+  out.append("TDIG", 4);
+  out.push_back(1);
+  PutFixedDouble(&out, compression_);
+  PutVarint64(&out, count_);
+  PutVarint64(&out, rejected_count_);
+  PutFixedDouble(&out, min_);
+  PutFixedDouble(&out, max_);
+  PutVarint64(&out, centroids_.size());
+  for (const Centroid& c : centroids_) {
+    PutFixedDouble(&out, c.mean);
+    PutVarint64(&out, c.weight);
+  }
+  return out;
+}
+
+Result<TDigest> TDigest::Deserialize(std::string_view payload) {
+  Slice in(payload);
+  std::string_view header;
+  DD_RETURN_IF_ERROR(in.GetBytes(5, &header));
+  if (header.substr(0, 4) != "TDIG" || header[4] != 1) {
+    return Status::Corruption("not a TDigest v1 payload");
+  }
+  double compression = 0;
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&compression));
+  auto result = Create(compression);
+  if (!result.ok()) {
+    return Status::Corruption("invalid compression in payload");
+  }
+  TDigest digest = std::move(result).value();
+  DD_RETURN_IF_ERROR(in.GetVarint64(&digest.count_));
+  DD_RETURN_IF_ERROR(in.GetVarint64(&digest.rejected_count_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&digest.min_));
+  DD_RETURN_IF_ERROR(in.GetFixedDouble(&digest.max_));
+  uint64_t n_centroids = 0;
+  DD_RETURN_IF_ERROR(in.GetVarint64(&n_centroids));
+  if (n_centroids > payload.size()) {
+    return Status::Corruption("centroid count exceeds payload");
+  }
+  uint64_t total_weight = 0;
+  double prev_mean = -std::numeric_limits<double>::infinity();
+  digest.centroids_.reserve(n_centroids);
+  for (uint64_t i = 0; i < n_centroids; ++i) {
+    Centroid c{};
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&c.mean));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&c.weight));
+    if (!(c.mean >= prev_mean) || c.weight == 0) {
+      return Status::Corruption("invalid centroid");
+    }
+    prev_mean = c.mean;
+    total_weight += c.weight;
+    digest.centroids_.push_back(c);
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes");
+  if (total_weight != digest.count_) {
+    return Status::Corruption("centroid weights do not sum to count");
+  }
+  return digest;
+}
+
+}  // namespace dd

@@ -1,0 +1,100 @@
+// t-digest: the biased-rank-error quantile sketch of Dunning & Ertl
+// ("Computing extremely accurate quantiles using t-digests", 2019) — one of
+// the two sketches Elasticsearch uses and part of the related work the
+// paper positions against (§1.2: better rank error near the tails than
+// uniform-rank sketches, but "still high relative error on heavy-tailed
+// data sets", and only one-way mergeable).
+//
+// This is the *merging* t-digest variant: incoming values buffer, and a
+// compaction pass merge-sorts buffer + centroids, fusing neighbours while
+// the scale-function budget k(q_right) - k(q_left) <= 1 allows. The scale
+// function k1(q) = (delta / 2 pi) asin(2q - 1) concentrates centroid
+// resolution at both tails.
+//
+// Provided as an extension baseline beyond the paper's evaluated set; the
+// appendix bench (bench_appendix_tdigest) contrasts its rank-vs-relative
+// error trade-off with DDSketch on the paper's data sets.
+
+#ifndef DDSKETCH_TDIGEST_TDIGEST_H_
+#define DDSKETCH_TDIGEST_TDIGEST_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Merging t-digest with the k1 (arcsine) scale function.
+class TDigest {
+ public:
+  /// One weighted cluster of nearby values.
+  struct Centroid {
+    double mean;
+    uint64_t weight;
+  };
+
+  /// `compression` (delta) bounds the centroid count to ~2*delta; 100 is
+  /// the conventional default.
+  static Result<TDigest> Create(double compression = 100.0);
+
+  /// Adds one value (NaN/inf ignored, counted in rejected_count()).
+  void Add(double value) noexcept;
+  /// Adds a value with integer weight.
+  void Add(double value, uint64_t count) noexcept;
+
+  /// The q-quantile estimate via linear interpolation between centroid
+  /// means. Fails if q is outside [0,1] or the digest is empty.
+  Result<double> Quantile(double q) const;
+  /// NaN-returning form.
+  double QuantileOrNaN(double q) const noexcept;
+
+  /// One-way merge: folds `other`'s centroids into this digest. Like GK,
+  /// repeated merging degrades accuracy (each generation re-clusters).
+  void MergeFrom(const TDigest& other);
+
+  uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double compression() const noexcept { return compression_; }
+  uint64_t rejected_count() const noexcept { return rejected_count_; }
+
+  /// Centroids currently held (flushes the buffer first).
+  size_t num_centroids() const;
+  /// Live memory footprint.
+  size_t size_in_bytes() const noexcept;
+
+  /// Folds buffered values into the centroid list. Called automatically by
+  /// queries and merges.
+  void Flush() const;
+
+  /// Serializes the centroid list (buffer flushed first).
+  std::string Serialize() const;
+  static Result<TDigest> Deserialize(std::string_view payload);
+
+ private:
+  explicit TDigest(double compression);
+
+  /// The k1 scale function (normalized to [0, 1] in q).
+  double ScaleK(double q) const noexcept;
+
+  /// Merge-sort buffer + centroids, fusing while the k-budget allows.
+  void Compress(std::vector<Centroid>&& incoming) const;
+
+  double compression_;
+  size_t buffer_capacity_;
+  mutable std::vector<Centroid> centroids_;  // sorted by mean
+  mutable std::vector<double> buffer_;
+  uint64_t count_ = 0;
+  uint64_t rejected_count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_TDIGEST_TDIGEST_H_

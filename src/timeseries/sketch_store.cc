@@ -1,0 +1,139 @@
+#include "timeseries/sketch_store.h"
+
+#include <algorithm>
+
+namespace dd {
+
+SketchStore::SketchStore(const SketchStoreOptions& options,
+                         DDSketch prototype)
+    : options_(options), prototype_(std::move(prototype)) {}
+
+Result<SketchStore> SketchStore::Create(const SketchStoreOptions& options) {
+  if (options.base_interval_seconds < 1) {
+    return Status::InvalidArgument("base interval must be >= 1 second");
+  }
+  if (options.rollup_factor < 2) {
+    return Status::InvalidArgument("rollup factor must be >= 2");
+  }
+  if (options.raw_retention_seconds < options.base_interval_seconds) {
+    return Status::InvalidArgument(
+        "raw retention must cover at least one base interval");
+  }
+  auto prototype = DDSketch::Create(options.sketch);
+  if (!prototype.ok()) return prototype.status();
+  return SketchStore(options, std::move(prototype).value());
+}
+
+Status SketchStore::Ingest(const std::string& series, int64_t timestamp,
+                           std::string_view payload) {
+  auto decoded = DDSketch::Deserialize(payload);
+  if (!decoded.ok()) return decoded.status();
+  Series& s = series_[series];
+  const int64_t start = RawStart(timestamp);
+  auto [it, inserted] = s.raw.try_emplace(start, prototype_);
+  return it->second.MergeFrom(decoded.value());
+}
+
+Status SketchStore::IngestValue(const std::string& series, int64_t timestamp,
+                                double value) {
+  Series& s = series_[series];
+  const int64_t start = RawStart(timestamp);
+  auto [it, inserted] = s.raw.try_emplace(start, prototype_);
+  it->second.Add(value);
+  return Status::OK();
+}
+
+void SketchStore::MergeOverlapping(const std::map<int64_t, DDSketch>& tier,
+                                   int64_t width, int64_t start, int64_t end,
+                                   DDSketch* out) {
+  // First bucket possibly overlapping [start, end) begins at or after
+  // start - width + 1.
+  for (auto it = tier.lower_bound(start - width + 1);
+       it != tier.end() && it->first < end; ++it) {
+    (void)out->MergeFrom(it->second);  // same parameters by construction
+  }
+}
+
+Result<DDSketch> SketchStore::QueryRange(const std::string& series,
+                                         int64_t start, int64_t end) const {
+  if (start >= end) {
+    return Status::InvalidArgument("empty time range");
+  }
+  const auto it = series_.find(series);
+  if (it == series_.end()) {
+    return Status::InvalidArgument("unknown series: " + series);
+  }
+  DDSketch merged = prototype_;
+  MergeOverlapping(it->second.raw, options_.base_interval_seconds, start, end,
+                   &merged);
+  MergeOverlapping(it->second.coarse, CoarseWidth(), start, end, &merged);
+  return merged;
+}
+
+Result<double> SketchStore::QueryQuantile(const std::string& series,
+                                          int64_t start, int64_t end,
+                                          double q) const {
+  auto merged = QueryRange(series, start, end);
+  if (!merged.ok()) return merged.status();
+  return merged.value().Quantile(q);
+}
+
+Result<std::vector<SeriesPoint>> SketchStore::QuerySeries(
+    const std::string& series, int64_t start, int64_t end, double q,
+    int64_t step_seconds) const {
+  if (step_seconds < 1) {
+    return Status::InvalidArgument("step must be >= 1 second");
+  }
+  std::vector<SeriesPoint> points;
+  for (int64_t t = start; t < end; t += step_seconds) {
+    auto merged = QueryRange(series, t, std::min(t + step_seconds, end));
+    if (!merged.ok()) return merged.status();
+    if (merged.value().empty()) continue;
+    points.push_back({t, merged.value().count(),
+                      merged.value().QuantileOrNaN(q)});
+  }
+  return points;
+}
+
+size_t SketchStore::Compact(int64_t now) {
+  const int64_t cutoff = RawStart(now - options_.raw_retention_seconds);
+  size_t compacted = 0;
+  for (auto& [name, s] : series_) {
+    auto it = s.raw.begin();
+    while (it != s.raw.end() && it->first < cutoff) {
+      const int64_t coarse_start = CoarseStart(it->first);
+      auto [slot, inserted] = s.coarse.try_emplace(coarse_start, prototype_);
+      (void)slot->second.MergeFrom(it->second);
+      it = s.raw.erase(it);
+      ++compacted;
+    }
+  }
+  return compacted;
+}
+
+std::vector<std::string> SketchStore::ListSeries() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+size_t SketchStore::num_intervals() const {
+  size_t total = 0;
+  for (const auto& [name, s] : series_) {
+    total += s.raw.size() + s.coarse.size();
+  }
+  return total;
+}
+
+size_t SketchStore::size_in_bytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& [name, s] : series_) {
+    total += name.size();
+    for (const auto& [t, sketch] : s.raw) total += sketch.size_in_bytes();
+    for (const auto& [t, sketch] : s.coarse) total += sketch.size_in_bytes();
+  }
+  return total;
+}
+
+}  // namespace dd

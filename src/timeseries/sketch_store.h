@@ -1,0 +1,132 @@
+// A miniature monitoring backend: the "central processing system (usually
+// backed by a time-series database)" of the paper's introduction, storing
+// one DDSketch per (series, time interval).
+//
+// Design points that only work because DDSketch is fully mergeable:
+//  * ingest accepts serialized worker sketches and merges them into the
+//    interval's sketch — any number of workers, any arrival order;
+//  * range queries merge the covering intervals on the fly, so any
+//    aggregation window is answerable with the full accuracy guarantee
+//    ("rolling up the sums and counts ... over much larger time periods
+//    perfectly accurately" — here for quantiles);
+//  * compaction rolls raw intervals older than a retention horizon into
+//    coarser buckets without any accuracy loss: queries over compacted
+//    history return byte-identical answers.
+
+#ifndef DDSKETCH_TIMESERIES_SKETCH_STORE_H_
+#define DDSKETCH_TIMESERIES_SKETCH_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Configuration of the store's time geometry.
+struct SketchStoreOptions {
+  /// Sketch parameters for every stored interval (all must match for
+  /// merging; ingested payloads with other parameters are rejected).
+  DDSketchConfig sketch;
+  /// Width of a raw ingestion interval, in seconds.
+  int64_t base_interval_seconds = 10;
+  /// Raw intervals older than this many seconds are eligible for rollup.
+  int64_t raw_retention_seconds = 3600;
+  /// Rollup factor: one coarse bucket covers this many raw intervals.
+  int rollup_factor = 6;
+};
+
+/// One point of a graphing query: interval start and the quantile value.
+struct SeriesPoint {
+  int64_t timestamp;
+  uint64_t count;
+  double value;
+};
+
+/// Per-series, per-interval sketch storage with merge-on-read range
+/// queries and lossless time-based rollup. Not thread-safe.
+class SketchStore {
+ public:
+  static Result<SketchStore> Create(const SketchStoreOptions& options);
+
+  /// Merges a serialized worker sketch into `series` at `timestamp`.
+  /// Fails with Corruption on malformed payloads and Incompatible on
+  /// parameter mismatch.
+  Status Ingest(const std::string& series, int64_t timestamp,
+                std::string_view payload);
+
+  /// Convenience single-value ingestion (dashboards, tests).
+  Status IngestValue(const std::string& series, int64_t timestamp,
+                     double value);
+
+  /// Merged sketch over [start, end) for one series. Fails with
+  /// InvalidArgument for an unknown series or an empty window.
+  Result<DDSketch> QueryRange(const std::string& series, int64_t start,
+                              int64_t end) const;
+
+  /// The q-quantile over [start, end).
+  Result<double> QueryQuantile(const std::string& series, int64_t start,
+                               int64_t end, double q) const;
+
+  /// The graph query: one q-quantile per `step_seconds` bucket across
+  /// [start, end); buckets with no data are skipped.
+  Result<std::vector<SeriesPoint>> QuerySeries(const std::string& series,
+                                               int64_t start, int64_t end,
+                                               double q,
+                                               int64_t step_seconds) const;
+
+  /// Rolls up raw intervals older than `now - raw_retention_seconds` into
+  /// coarse buckets. Queries before and after compaction return identical
+  /// results (full mergeability); storage shrinks by ~rollup_factor for
+  /// the compacted span. Returns the number of raw intervals compacted.
+  size_t Compact(int64_t now);
+
+  /// Series names currently stored.
+  std::vector<std::string> ListSeries() const;
+
+  size_t num_series() const { return series_.size(); }
+  /// Raw + coarse interval sketches currently held across all series.
+  size_t num_intervals() const;
+  /// Total live memory of all stored sketches.
+  size_t size_in_bytes() const;
+
+  const SketchStoreOptions& options() const { return options_; }
+
+ private:
+  struct Series {
+    std::map<int64_t, DDSketch> raw;     // keyed by interval start
+    std::map<int64_t, DDSketch> coarse;  // keyed by coarse-interval start
+  };
+
+  explicit SketchStore(const SketchStoreOptions& options, DDSketch prototype);
+
+  int64_t RawStart(int64_t timestamp) const {
+    return timestamp - Mod(timestamp, options_.base_interval_seconds);
+  }
+  int64_t CoarseWidth() const {
+    return options_.base_interval_seconds * options_.rollup_factor;
+  }
+  int64_t CoarseStart(int64_t timestamp) const {
+    return timestamp - Mod(timestamp, CoarseWidth());
+  }
+  static int64_t Mod(int64_t x, int64_t m) {
+    const int64_t r = x % m;
+    return r < 0 ? r + m : r;
+  }
+
+  /// Merges every bucket of `tier` overlapping [start, end) into `out`.
+  static void MergeOverlapping(const std::map<int64_t, DDSketch>& tier,
+                               int64_t width, int64_t start, int64_t end,
+                               DDSketch* out);
+
+  SketchStoreOptions options_;
+  DDSketch prototype_;  // empty sketch with the configured parameters
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_TIMESERIES_SKETCH_STORE_H_

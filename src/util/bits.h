@@ -1,0 +1,78 @@
+// Low-level bit manipulation helpers shared by the index mappings
+// (core/mapping.h) and by HDR Histogram's power-of-two bucketing.
+//
+// The "fast" DDSketch mappings extract the IEEE-754 exponent directly from
+// the bit pattern of a double, which gives log2 floor/significand for free
+// (paper §4: "mappings [that] make the most of the binary representation of
+// floating-point values, which provides a costless way to evaluate the
+// logarithm to the base 2").
+
+#ifndef DDSKETCH_UTIL_BITS_H_
+#define DDSKETCH_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace dd {
+
+/// Reinterprets a double's bits as a u64 (no aliasing UB).
+inline uint64_t DoubleToBits(double value) noexcept {
+  return std::bit_cast<uint64_t>(value);
+}
+
+/// Reinterprets a u64 bit pattern as a double.
+inline double BitsToDouble(uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+inline constexpr uint64_t kExponentMask = 0x7ff0000000000000ULL;
+inline constexpr uint64_t kSignificandMask = 0x000fffffffffffffULL;
+inline constexpr int kExponentShift = 52;
+inline constexpr int kExponentBias = 1023;
+
+/// Unbiased IEEE-754 exponent of a finite positive double, i.e.
+/// floor(log2(value)) for normal values. Subnormals are handled by
+/// normalizing first (they only arise below ~2.2e-308).
+inline int GetExponent(double value) noexcept {
+  const uint64_t bits = DoubleToBits(value);
+  int exponent =
+      static_cast<int>((bits & kExponentMask) >> kExponentShift) - kExponentBias;
+  if (exponent == -kExponentBias) {
+    // Subnormal: value = significand * 2^-1074.
+    const uint64_t significand = bits & kSignificandMask;
+    if (significand == 0) return -kExponentBias;  // value == 0
+    exponent -= std::countl_zero(significand) - (64 - kExponentShift);
+  }
+  return exponent;
+}
+
+/// The significand of a positive normal double scaled into [1, 2).
+inline double GetSignificandPlusOne(double value) noexcept {
+  const uint64_t bits = DoubleToBits(value);
+  return BitsToDouble((bits & kSignificandMask) | 0x3ff0000000000000ULL);
+}
+
+/// Builds a double from an unbiased exponent and a significand-plus-one in
+/// [1, 2): returns significandPlusOne * 2^exponent. Inverse of the pair
+/// (GetExponent, GetSignificandPlusOne) for normal values.
+inline double BuildDouble(int exponent, double significand_plus_one) noexcept {
+  const uint64_t exp_bits =
+      static_cast<uint64_t>(exponent + kExponentBias) << kExponentShift;
+  const uint64_t sig_bits = DoubleToBits(significand_plus_one) & kSignificandMask;
+  return BitsToDouble(exp_bits | sig_bits);
+}
+
+/// floor(log2(x)) for x >= 1; 0 for x == 0. Used by HDR bucket indexing.
+inline int FloorLog2(uint64_t x) noexcept {
+  return x == 0 ? 0 : 63 - std::countl_zero(x);
+}
+
+/// Smallest power of two >= x (x <= 2^63). RoundUpToPowerOfTwo(0) == 1.
+inline uint64_t RoundUpToPowerOfTwo(uint64_t x) noexcept {
+  return x <= 1 ? 1 : (uint64_t{1} << (64 - std::countl_zero(x - 1)));
+}
+
+}  // namespace dd
+
+#endif  // DDSKETCH_UTIL_BITS_H_

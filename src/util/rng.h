@@ -1,0 +1,87 @@
+// Deterministic, seedable pseudo-random generator (xoshiro256++) used by
+// every workload generator. We do not use std::mt19937_64 because its
+// distributions are implementation-defined, which would make the figure
+// harness outputs differ across standard libraries; here both the engine and
+// the distribution transforms (data/distributions.h) are fully specified, so
+// a seed pins down a data set exactly on every platform.
+
+#ifndef DDSKETCH_UTIL_RNG_H_
+#define DDSKETCH_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dd {
+
+/// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference
+/// implementation, ported). 256-bit state, 64-bit output, period 2^256-1.
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit seed via splitmix64, the
+  /// initialization recommended by the xoshiro authors.
+  explicit Rng(uint64_t seed) noexcept { Seed(seed); }
+
+  /// Re-seeds in place.
+  void Seed(uint64_t seed) noexcept {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) state_[i] = SplitMix64(&x);
+  }
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextU64() noexcept {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 random mantissa bits, never exactly 1.
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]: never exactly 0, safe as a log() argument.
+  double NextDoubleOpenZero() noexcept {
+    return (static_cast<double>(NextU64() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift; retry on the biased low region.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) noexcept {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t Rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_UTIL_RNG_H_

@@ -1,0 +1,87 @@
+// Streaming count/sum/min/max/mean/variance accumulator.
+//
+// This is the "simple summary statistics" strawman of the paper's
+// introduction: workers keep counts, sums and sums of squares and the
+// monitoring system aggregates them. It is exact and trivially mergeable —
+// and Figure 2 of the paper (reproduced by bench_fig2_mean_vs_quantiles)
+// shows why it is not enough for skewed latency data.
+
+#ifndef DDSKETCH_UTIL_RUNNING_STATS_H_
+#define DDSKETCH_UTIL_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dd {
+
+/// Exact, mergeable first/second-moment summary of a stream.
+/// Uses Welford/Chan updates so variance stays numerically stable even for
+/// long streams of similar values.
+class RunningStats {
+ public:
+  RunningStats() noexcept = default;
+
+  /// Adds one observation.
+  void Add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator (Chan et al. pairwise update). The result is
+  /// identical (up to FP rounding) to having added both streams to one
+  /// accumulator — the "full mergeability" baseline DDSketch must match.
+  void Merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  /// Number of observations.
+  uint64_t count() const noexcept { return count_; }
+  /// Sum of observations (0 when empty).
+  double sum() const noexcept { return sum_; }
+  /// Arithmetic mean (NaN when empty).
+  double mean() const noexcept {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_;
+  }
+  /// Population variance (NaN when empty).
+  double variance() const noexcept {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                       : m2_ / static_cast<double>(count_);
+  }
+  /// Population standard deviation (NaN when empty).
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Minimum observation (+inf when empty).
+  double min() const noexcept { return min_; }
+  /// Maximum observation (-inf when empty).
+  double max() const noexcept { return max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_UTIL_RUNNING_STATS_H_

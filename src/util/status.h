@@ -1,0 +1,133 @@
+// Status / Result: exception-free error handling for fallible operations
+// (construction with invalid parameters, decoding corrupt payloads, ...).
+// Hot paths (insert/merge/query) never allocate or throw; only cold paths
+// return Status.
+
+#ifndef DDSKETCH_UTIL_STATUS_H_
+#define DDSKETCH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dd {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller supplied an out-of-domain parameter
+  kOutOfRange = 2,       ///< value outside the representable/indexable range
+  kCorruption = 3,       ///< malformed serialized payload
+  kIncompatible = 4,     ///< sketches with mismatched parameters
+  kResourceExhausted = 5,///< a configured size limit would be exceeded
+  kInternal = 6,         ///< invariant violation (bug)
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Cheap, movable success/error value. OK statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+
+  /// Constructs an error status with a diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::OK() for success");
+  }
+
+  /// Named constructors, one per category.
+  static Status OK() noexcept { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  /// The failure category (kOk on success).
+  StatusCode code() const noexcept { return code_; }
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const noexcept { return message_; }
+  /// "OK" or "<CODE>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error sum type in the RocksDB/Arrow `StatusOr` style.
+///
+/// Usage:
+///   Result<DDSketch> r = DDSketch::Create(config);
+///   if (!r.ok()) return r.status();
+///   DDSketch sketch = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const noexcept { return value_.has_value(); }
+  /// The error status (OK if a value is present).
+  const Status& status() const noexcept { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ present
+};
+
+}  // namespace dd
+
+/// Propagates a non-OK Status from the current function (RocksDB idiom).
+#define DD_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::dd::Status _dd_status = (expr);             \
+    if (!_dd_status.ok()) return _dd_status;      \
+  } while (false)
+
+#endif  // DDSKETCH_UTIL_STATUS_H_

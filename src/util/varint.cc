@@ -1,0 +1,73 @@
+#include "util/varint.h"
+
+#include <cstring>
+
+namespace dd {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  char buf[kMaxVarintBytes];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  out->append(buf, n);
+}
+
+void PutVarintSigned64(std::string* out, int64_t value) {
+  PutVarint64(out, ZigZagEncode(value));
+}
+
+void PutFixedDouble(std::string* out, double value) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &value, sizeof(double));
+  out->append(buf, sizeof(double));
+}
+
+Status Slice::GetVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (data_.empty()) {
+      return Status::Corruption("truncated varint");
+    }
+    const uint8_t byte = static_cast<uint8_t>(data_.front());
+    data_.remove_prefix(1);
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("varint overflows 64 bits");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint longer than 10 bytes");
+}
+
+Status Slice::GetVarintSigned64(int64_t* value) {
+  uint64_t raw = 0;
+  DD_RETURN_IF_ERROR(GetVarint64(&raw));
+  *value = ZigZagDecode(raw);
+  return Status::OK();
+}
+
+Status Slice::GetFixedDouble(double* value) {
+  if (data_.size() < sizeof(double)) {
+    return Status::Corruption("truncated double");
+  }
+  std::memcpy(value, data_.data(), sizeof(double));
+  data_.remove_prefix(sizeof(double));
+  return Status::OK();
+}
+
+Status Slice::GetBytes(size_t n, std::string_view* out) {
+  if (data_.size() < n) {
+    return Status::Corruption("truncated byte span");
+  }
+  *out = data_.substr(0, n);
+  data_.remove_prefix(n);
+  return Status::OK();
+}
+
+}  // namespace dd

@@ -1,0 +1,67 @@
+// LEB128 varint and zigzag codecs used by the sketch binary serialization
+// format (core/serialization.h). Bucket indices are small signed integers
+// and counts are small unsigned integers most of the time, so varints keep
+// serialized sketches compact — this matters because the paper's use case
+// ships sketches over the network every few seconds.
+
+#ifndef DDSKETCH_UTIL_VARINT_H_
+#define DDSKETCH_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Maximum encoded size of a 64-bit varint.
+inline constexpr int kMaxVarintBytes = 10;
+
+/// Appends an unsigned LEB128 varint to `out`.
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Appends a zigzag-encoded signed varint to `out`.
+void PutVarintSigned64(std::string* out, int64_t value);
+
+/// Appends a raw little-endian double (8 bytes) to `out`.
+void PutFixedDouble(std::string* out, double value);
+
+/// A consuming read cursor over a serialized payload. All Get* methods
+/// return Corruption on truncated or malformed input and leave the cursor
+/// position unspecified afterwards.
+class Slice {
+ public:
+  explicit Slice(std::string_view data) noexcept : data_(data) {}
+
+  /// Bytes not yet consumed.
+  size_t remaining() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Reads an unsigned LEB128 varint.
+  Status GetVarint64(uint64_t* value);
+  /// Reads a zigzag-encoded signed varint.
+  Status GetVarintSigned64(int64_t* value);
+  /// Reads a raw little-endian double.
+  Status GetFixedDouble(double* value);
+  /// Reads `n` raw bytes into `out`.
+  Status GetBytes(size_t n, std::string_view* out);
+
+ private:
+  std::string_view data_;
+};
+
+/// Zigzag-maps a signed integer to unsigned so small magnitudes encode small.
+inline uint64_t ZigZagEncode(int64_t v) noexcept {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline int64_t ZigZagDecode(uint64_t v) noexcept {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace dd
+
+#endif  // DDSKETCH_UTIL_VARINT_H_

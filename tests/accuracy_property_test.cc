@@ -1,0 +1,226 @@
+// Property suite for the paper's central claim: DDSketch is an
+// alpha-accurate (q0, 1)-sketch. Swept over data distributions, accuracy
+// parameters, and mapping schemes with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+struct NamedDistribution {
+  const char* name;
+  std::unique_ptr<Distribution> (*make)();
+};
+
+std::unique_ptr<Distribution> MakeUnitPareto() {
+  return std::make_unique<Pareto>(1.0, 1.0);
+}
+std::unique_ptr<Distribution> MakeSteepPareto() {
+  return std::make_unique<Pareto>(3.0, 10.0);
+}
+std::unique_ptr<Distribution> MakeExp() {
+  return std::make_unique<Exponential>(0.01);
+}
+std::unique_ptr<Distribution> MakeLognormalWide() {
+  return std::make_unique<Lognormal>(0.0, 3.0);
+}
+std::unique_ptr<Distribution> MakeUniformTiny() {
+  return std::make_unique<Uniform>(1e-6, 2e-6);
+}
+std::unique_ptr<Distribution> MakeUniformHuge() {
+  return std::make_unique<Uniform>(1e12, 5e12);
+}
+std::unique_ptr<Distribution> MakeWeibullHeavy() {
+  return std::make_unique<Weibull>(0.5, 100.0);
+}
+std::unique_ptr<Distribution> MakeSpanLike() {
+  return MakeDataset(DatasetId::kSpan);
+}
+
+const NamedDistribution kDistributions[] = {
+    {"pareto11", MakeUnitPareto},   {"pareto3", MakeSteepPareto},
+    {"exp", MakeExp},               {"lognormal_wide", MakeLognormalWide},
+    {"uniform_tiny", MakeUniformTiny}, {"uniform_huge", MakeUniformHuge},
+    {"weibull_heavy", MakeWeibullHeavy}, {"span", MakeSpanLike},
+};
+
+using Param = std::tuple<int /*distribution idx*/, double /*alpha*/,
+                         MappingType>;
+
+class AccuracyPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AccuracyPropertyTest, AllQuantilesWithinAlpha) {
+  const auto& dist = kDistributions[std::get<0>(GetParam())];
+  const double alpha = std::get<1>(GetParam());
+  const MappingType mapping = std::get<2>(GetParam());
+
+  DDSketchConfig config;
+  config.relative_accuracy = alpha;
+  config.mapping = mapping;
+  config.store = StoreType::kUnboundedDense;  // no collapse: pure guarantee
+  config.max_num_buckets = 0;
+  auto r = DDSketch::Create(config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  DDSketch sketch = std::move(r).value();
+
+  const auto data = GenerateN(*dist.make(), 30000, /*seed=*/1000 + 7 *
+                              static_cast<uint64_t>(std::get<0>(GetParam())));
+  for (double x : data) sketch.Add(x);
+  ExactQuantiles truth(data);
+
+  for (double q = 0.0; q <= 1.0; q += 0.005) {
+    const double actual = truth.Quantile(q);
+    const double estimate = sketch.QuantileOrNaN(q);
+    ASSERT_LE(RelativeError(estimate, actual), alpha * (1 + 1e-9))
+        << dist.name << " alpha=" << alpha << " q=" << q
+        << " actual=" << actual << " estimate=" << estimate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AccuracyPropertyTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(0.001, 0.01, 0.1),
+                       ::testing::Values(MappingType::kLogarithmic,
+                                         MappingType::kCubicInterpolated)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = kDistributions[std::get<0>(info.param)].name;
+      name += "_a";
+      name += std::to_string(
+          static_cast<int>(std::round(std::get<1>(info.param) * 1000)));
+      name += "_";
+      name += MappingTypeToString(std::get<2>(info.param));
+      return name;
+    });
+
+// Duplicates, near-boundary values, and adversarial bucket-edge streams.
+TEST(AccuracyEdgeCaseTest, MassOnBucketBoundaries) {
+  const double alpha = 0.01;
+  auto sketch = std::move(DDSketch::Create(alpha, 0x7fffffff)).value();
+  const double gamma = sketch.mapping().gamma();
+  std::vector<double> data;
+  // Values exactly at successive gamma powers: the worst case for index
+  // rounding.
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::pow(gamma, i % 200);
+    data.push_back(x);
+    sketch.Add(x);
+  }
+  ExactQuantiles truth(data);
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    ASSERT_LE(RelativeError(sketch.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(AccuracyEdgeCaseTest, TwoPointMassesFarApart) {
+  const double alpha = 0.02;
+  auto sketch = std::move(DDSketch::Create(alpha)).value();
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(1e-6);
+    data.push_back(1e6);
+    sketch.Add(1e-6);
+    sketch.Add(1e6);
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.0, 0.3, 0.49, 0.51, 0.7, 1.0}) {
+    ASSERT_LE(RelativeError(sketch.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(AccuracyEdgeCaseTest, AlternatingSignsHeavyTail) {
+  const double alpha = 0.01;
+  auto sketch = std::move(DDSketch::Create(alpha)).value();
+  Rng rng(222);
+  std::vector<double> data;
+  for (int i = 0; i < 40000; ++i) {
+    double x = std::pow(rng.NextDoubleOpenZero(), -0.8);
+    if (i % 2 == 0) x = -x;
+    data.push_back(x);
+    sketch.Add(x);
+  }
+  ExactQuantiles truth(data);
+  for (double q = 0.01; q < 1.0; q += 0.01) {
+    ASSERT_LE(RelativeError(sketch.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(AccuracyEdgeCaseTest, StreamWithDeletions) {
+  // The sketch supports deletion (paper §2); the guarantee must hold for
+  // the surviving multiset.
+  const double alpha = 0.01;
+  DDSketchConfig config;
+  config.relative_accuracy = alpha;
+  config.store = StoreType::kUnboundedDense;
+  auto sketch = std::move(DDSketch::Create(config)).value();
+  Rng rng(223);
+  std::vector<double> alive;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.NextDouble() * 12);
+    sketch.Add(x);
+    alive.push_back(x);
+    if (i % 3 == 0 && alive.size() > 10) {
+      // Delete a random surviving element.
+      const size_t victim = rng.NextBounded(alive.size());
+      ASSERT_EQ(sketch.Remove(alive[victim]), 1u);
+      alive[victim] = alive.back();
+      alive.pop_back();
+    }
+  }
+  ExactQuantiles truth(alive);
+  ASSERT_EQ(sketch.count(), alive.size());
+  // After removals min()/max() are conservative, so endpoint clamping can't
+  // be relied on; test interior quantiles.
+  for (double q = 0.05; q <= 0.95; q += 0.05) {
+    ASSERT_LE(RelativeError(sketch.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+// Sketch size stays logarithmic (§3): for exponential data the bucket count
+// grows like log(n), nowhere near n.
+TEST(SizeBoundTest, ExponentialDataLogarithmicBuckets) {
+  auto sketch = std::move(DDSketch::Create(0.01, 0x7fffffff)).value();
+  Rng rng(224);
+  Exponential dist(1.0);
+  size_t at_1e3 = 0, at_1e6 = 0;
+  for (int i = 1; i <= 1000000; ++i) {
+    sketch.Add(dist.Sample(rng));
+    if (i == 1000) at_1e3 = sketch.num_buckets();
+    if (i == 1000000) at_1e6 = sketch.num_buckets();
+  }
+  // Paper §3.3: a sketch of size ~273 covers the upper half of 1e6 samples;
+  // all buckets for exponential(1) stay in the low hundreds.
+  EXPECT_LT(at_1e6, 900u);
+  EXPECT_LT(at_1e6, at_1e3 + 600u);
+}
+
+TEST(SizeBoundTest, ParetoSizeMatchesSection33Bound) {
+  // §3.3, Pareto a=1, alpha=0.01, n=1e6: the theoretical bound is 3380
+  // buckets for the upper-half order statistics; the observed bucket count
+  // must respect (and in practice be far under) it.
+  auto sketch = std::move(DDSketch::Create(0.01, 0x7fffffff)).value();
+  Rng rng(225);
+  Pareto dist(1.0, 1.0);
+  for (int i = 0; i < 1000000; ++i) sketch.Add(dist.Sample(rng));
+  EXPECT_LT(sketch.num_buckets(), 3380u);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,97 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(BitsTest, DoubleBitsRoundTrip) {
+  for (double v : {1.0, -2.5, 3.14159e100, -7e-300}) {
+    EXPECT_EQ(BitsToDouble(DoubleToBits(v)), v);
+  }
+}
+
+TEST(BitsTest, ExponentOfPowersOfTwo) {
+  for (int e = -1022; e <= 1023; ++e) {
+    EXPECT_EQ(GetExponent(std::ldexp(1.0, e)), e) << "e=" << e;
+  }
+}
+
+TEST(BitsTest, ExponentIsFloorLog2) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    // Random positive normal double across a wide range.
+    const int e = static_cast<int>(rng.NextBounded(600)) - 300;
+    const double v = std::ldexp(1.0 + rng.NextDouble(), e);
+    EXPECT_EQ(GetExponent(v), static_cast<int>(std::floor(std::log2(v))))
+        << v;
+  }
+}
+
+TEST(BitsTest, ExponentOfSubnormals) {
+  const double smallest = std::numeric_limits<double>::denorm_min();  // 2^-1074
+  EXPECT_EQ(GetExponent(smallest), -1074);
+  EXPECT_EQ(GetExponent(smallest * 2), -1073);
+  const double min_normal = std::numeric_limits<double>::min();  // 2^-1022
+  EXPECT_EQ(GetExponent(min_normal), -1022);
+  EXPECT_EQ(GetExponent(min_normal / 2), -1023);
+}
+
+TEST(BitsTest, SignificandInUnitRange) {
+  Rng rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    const int e = static_cast<int>(rng.NextBounded(600)) - 300;
+    const double v = std::ldexp(1.0 + rng.NextDouble(), e);
+    const double s = GetSignificandPlusOne(v);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LT(s, 2.0);
+    // v == s * 2^exponent exactly.
+    EXPECT_EQ(std::ldexp(s, GetExponent(v)), v);
+  }
+}
+
+TEST(BitsTest, BuildDoubleInvertsDecomposition) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const int e = static_cast<int>(rng.NextBounded(2000)) - 1000;
+    const double s = 1.0 + rng.NextDouble();
+    const double v = BuildDouble(e, s);
+    EXPECT_EQ(GetExponent(v), e);
+    EXPECT_DOUBLE_EQ(GetSignificandPlusOne(v), s);
+  }
+}
+
+TEST(BitsTest, FloorLog2MatchesMath) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(UINT64_MAX), 63);
+  for (int e = 0; e < 63; ++e) {
+    const uint64_t p = uint64_t{1} << e;
+    EXPECT_EQ(FloorLog2(p), e);
+    if (p > 2) {
+      EXPECT_EQ(FloorLog2(p - 1), e - 1);
+    }
+    EXPECT_EQ(FloorLog2(p + 1), p == 1 ? 1 : e);
+  }
+}
+
+TEST(BitsTest, RoundUpToPowerOfTwo) {
+  EXPECT_EQ(RoundUpToPowerOfTwo(0), 1u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(1), 1u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(2), 2u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(3), 4u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(200), 256u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(1025), 2048u);
+  EXPECT_EQ(RoundUpToPowerOfTwo(uint64_t{1} << 62), uint64_t{1} << 62);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,158 @@
+// Monte-Carlo validation of the paper's Section 3 probabilistic claims:
+// the lemmas are proved in the paper; here we check the proved inequalities
+// actually hold (with margin) on simulated data, and that the closed-form
+// §3.3 bounds match both the paper's reported numbers and live sketches.
+
+#include "analysis/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/distributions.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(BoundsTest, GammaAndBucketSpan) {
+  EXPECT_NEAR(GammaOf(0.01), 101.0 / 99.0, 1e-12);
+  // One bucket suffices when x_q == x_max.
+  EXPECT_NEAR(BucketSpan(0.01, 5.0, 5.0), 1.0, 1e-9);
+  // Spanning one gamma factor costs exactly one extra bucket.
+  const double gamma = GammaOf(0.01);
+  EXPECT_NEAR(BucketSpan(0.01, 1.0, gamma), 2.0, 1e-9);
+  // 1/log(gamma) < 51 for alpha = 0.01 — the constant used throughout
+  // §3.3.
+  EXPECT_LT(1.0 / std::log(gamma), 51.0);
+  EXPECT_GT(1.0 / std::log(gamma), 49.0);
+}
+
+TEST(BoundsTest, SampleQuantileSlackFormula) {
+  // t = sqrt(log(1/delta)/2n): spot values.
+  EXPECT_NEAR(SampleQuantileSlack(std::exp(-10.0), 320), 0.125, 0.001);
+  EXPECT_NEAR(SampleQuantileSlack(std::exp(-10.0), 1000000),
+              std::sqrt(10.0 / 2e6), 1e-12);
+  // Monotone: more data, less slack.
+  EXPECT_LT(SampleQuantileSlack(0.01, 10000),
+            SampleQuantileSlack(0.01, 1000));
+}
+
+// Lemma 5: Pr[X_(qn) <= F^{-1}(q - t)] <= delta1. Validated by simulation
+// on the exponential distribution with a moderate delta so violations are
+// observable if the lemma were wrong.
+TEST(BoundsTest, Lemma5MonteCarlo) {
+  constexpr double kDelta1 = 0.05;
+  constexpr uint64_t kN = 2000;
+  constexpr int kTrials = 2000;
+  constexpr double kQ = 0.5;
+  const double t = SampleQuantileSlack(kDelta1, kN);
+  ASSERT_LT(t, kQ);
+  // Exponential(1): F^{-1}(p) = -log(1 - p).
+  const double threshold = -std::log(1.0 - (kQ - t));
+  Rng rng(191);
+  Exponential dist(1.0);
+  int violations = 0;
+  std::vector<double> sample(kN);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (double& x : sample) x = dist.Sample(rng);
+    std::nth_element(sample.begin(),
+                     sample.begin() + static_cast<ptrdiff_t>(kN * kQ) - 1,
+                     sample.end());
+    const double sample_median = sample[kN / 2 - 1];
+    violations += (sample_median <= threshold);
+  }
+  // Expected violation rate <= delta1; allow 3-sigma binomial slack.
+  const double rate = static_cast<double>(violations) / kTrials;
+  const double sigma = std::sqrt(kDelta1 * (1 - kDelta1) / kTrials);
+  EXPECT_LE(rate, kDelta1 + 3 * sigma) << "rate=" << rate;
+}
+
+// Corollary 8: Pr[X_(n) - EX > 2b log(n/delta2)] < delta2, for
+// subexponential X. Exponential(1) has (sigma, b) = (2, 2), EX = 1.
+TEST(BoundsTest, Corollary8MonteCarlo) {
+  constexpr double kDelta2 = 0.05;
+  constexpr uint64_t kN = 2000;
+  constexpr int kTrials = 2000;
+  const SubexponentialParams params = ExponentialSubexpParams(1.0);
+  const double bound = SampleMaxDeviationBound(params, kN, kDelta2) + 1.0;
+  Rng rng(192);
+  Exponential dist(1.0);
+  int violations = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double max_seen = 0;
+    for (uint64_t i = 0; i < kN; ++i) {
+      max_seen = std::max(max_seen, dist.Sample(rng));
+    }
+    violations += (max_seen > bound);
+  }
+  const double rate = static_cast<double>(violations) / kTrials;
+  const double sigma = std::sqrt(kDelta2 * (1 - kDelta2) / kTrials);
+  EXPECT_LE(rate, kDelta2 + 3 * sigma) << "rate=" << rate;
+  // The generic subexponential bound is loose for the exponential (the
+  // paper notes a factor of 4 can be removed); it should still be a real
+  // bound, i.e. well above the typical max ~ log(n).
+  EXPECT_GT(bound, std::log(static_cast<double>(kN)));
+}
+
+TEST(BoundsTest, Theorem9Validation) {
+  EXPECT_FALSE(Theorem9SizeBound(0.0, 0.5, 1000, 0.01, 0.01,
+                                 ExponentialSubexpParams(1.0), 1.0,
+                                 [](double p) { return p; })
+                   .ok());
+  // q too close to t for tiny n.
+  EXPECT_FALSE(Theorem9SizeBound(0.01, 0.01, 100, std::exp(-10.0), 0.01,
+                                 ExponentialSubexpParams(1.0), 1.0,
+                                 [](double p) { return p; })
+                   .ok());
+}
+
+TEST(BoundsTest, Theorem9CoversEmpiricalSketchSize) {
+  // The Theorem 9 bound must dominate the buckets a real sketch uses for
+  // the (0.5, 1) range, across stream sizes.
+  const double delta = std::exp(-10.0);
+  Rng rng(193);
+  Exponential dist(1.0);
+  for (uint64_t n : {10000ULL, 100000ULL, 1000000ULL}) {
+    auto bound = Theorem9SizeBound(
+        0.01, 0.5, n, delta, delta, ExponentialSubexpParams(1.0),
+        /*mean=*/1.0,
+        [](double p) { return -std::log(1.0 - p); });
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto sketch = std::move(DDSketch::Create(0.01, 0x7fffffff)).value();
+    std::vector<double> data(n);
+    for (double& x : data) x = dist.Sample(rng);
+    for (double x : data) sketch.Add(x);
+    std::nth_element(data.begin(), data.begin() + static_cast<ptrdiff_t>(n / 2),
+                     data.end());
+    const double median = data[n / 2];
+    const double maximum = *std::max_element(data.begin(), data.end());
+    const double used = BucketSpan(0.01, median, maximum);
+    EXPECT_LE(used, bound.value()) << "n=" << n;
+  }
+}
+
+TEST(BoundsTest, Section33PaperNumbers) {
+  // §3.3: "even with a sketch of size 273 one can 0.01-accurately maintain
+  // the upper half order statistics of over a million samples".
+  EXPECT_NEAR(ExponentialUpperHalfSizeBound(1000000), 273.0, 2.0);
+  // "we require a sketch of size 3380 ... of over a million samples" for
+  // Pareto a = 1.
+  EXPECT_NEAR(ParetoUpperHalfSizeBound(1.0, 1000000), 3380.0, 5.0);
+  // Growth is doubly-logarithmic for exponential: size 1000 handles
+  // astronomically more than 1e6 (paper: exp(exp(17))).
+  EXPECT_LT(ExponentialUpperHalfSizeBound(1000000000ULL),
+            ExponentialUpperHalfSizeBound(1000000) + 15.0);
+}
+
+TEST(BoundsTest, ExponentialSubexpParamsShape) {
+  const auto p = ExponentialSubexpParams(0.5);
+  EXPECT_DOUBLE_EQ(p.sigma, 4.0);
+  EXPECT_DOUBLE_EQ(p.b, 4.0);
+}
+
+}  // namespace
+}  // namespace dd

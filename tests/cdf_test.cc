@@ -1,0 +1,168 @@
+// Tests for the rank-space query API (Cdf / Rank / CountInRange): the dual
+// of the quantile guarantee — the returned CDF is exact for some point
+// within alpha of the queried value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+DDSketch Make(double alpha = 0.01) {
+  return std::move(DDSketch::Create(alpha, 4096)).value();
+}
+
+double ExactCdf(const std::vector<double>& sorted, double v) {
+  return static_cast<double>(std::upper_bound(sorted.begin(), sorted.end(),
+                                              v) -
+                             sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+TEST(CdfTest, EmptyAndInvalid) {
+  DDSketch s = Make();
+  EXPECT_TRUE(std::isnan(s.CdfOrNaN(1.0)));
+  EXPECT_FALSE(s.Cdf(1.0).ok());
+  s.Add(1.0);
+  EXPECT_FALSE(s.Cdf(std::nan("")).ok());
+  EXPECT_TRUE(s.Cdf(0.5).ok());
+}
+
+TEST(CdfTest, SingleValue) {
+  DDSketch s = Make();
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(11.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(9.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(-1.0), 0.0);
+}
+
+TEST(CdfTest, InfinityEndpoints) {
+  DDSketch s = Make();
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(-std::numeric_limits<double>::infinity()),
+                   0.0);
+}
+
+TEST(CdfTest, MatchesExactCdfWithinAlphaNeighborhood) {
+  // For any query v, the estimated CDF must lie between the exact CDFs of
+  // v/(1+a') and v*(1+a') — the rank-space dual of the value guarantee.
+  const double alpha = 0.01;
+  DDSketch s = Make(alpha);
+  Rng rng(121);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(std::exp(rng.NextDouble() * 12 - 6));
+    s.Add(data.back());
+  }
+  std::sort(data.begin(), data.end());
+  const double slack = 2.5 * alpha;  // both bucket ends are alpha-off
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(rng.NextDouble() * 12 - 6);
+    const double est = s.CdfOrNaN(v);
+    const double lo = ExactCdf(data, v * (1 - slack));
+    const double hi = ExactCdf(data, v * (1 + slack));
+    EXPECT_GE(est, lo - 1e-12) << "v=" << v;
+    EXPECT_LE(est, hi + 1e-12) << "v=" << v;
+  }
+}
+
+TEST(CdfTest, MonotoneInValue) {
+  DDSketch s = Make();
+  Rng rng(122);
+  for (int i = 0; i < 20000; ++i) {
+    const double mag = std::exp(rng.NextDouble() * 8 - 4);
+    s.Add((rng.NextU64() & 1) ? mag : -mag);
+  }
+  double prev = 0.0;
+  for (double v = -60.0; v <= 60.0; v += 0.25) {
+    const double cdf = s.CdfOrNaN(v);
+    EXPECT_GE(cdf, prev - 1e-12) << v;
+    prev = cdf;
+  }
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(s.max()), 1.0);
+}
+
+TEST(CdfTest, QuantileCdfRoundTrip) {
+  // Cdf(Quantile(q)) ~ q: the two queries are inverses up to bucket
+  // granularity.
+  DDSketch s = Make();
+  Rng rng(123);
+  for (int i = 0; i < 100000; ++i) s.Add(std::exp(rng.NextDouble() * 10));
+  for (double q = 0.05; q <= 0.95; q += 0.05) {
+    const double v = s.QuantileOrNaN(q);
+    EXPECT_NEAR(s.CdfOrNaN(v), q, 0.02) << q;
+  }
+}
+
+TEST(CdfTest, NegativeValuesMirror) {
+  // Point masses at -10, -1, +1. Within a bucket the CDF interpolates, so
+  // at a point mass the estimate may land anywhere between the exact CDF
+  // just below and just above the mass (the bucket-granularity dual of the
+  // quantile guarantee); between masses it must be exact.
+  DDSketch s = Make();
+  s.Add(-10.0, 100);
+  s.Add(-1.0, 100);
+  s.Add(1.0, 100);
+  EXPECT_NEAR(s.CdfOrNaN(-11.0), 0.0, 1e-12);
+  // At the -10 mass: between CDF(-10 - eps) = 0 and CDF(-10) = 1/3.
+  EXPECT_GE(s.CdfOrNaN(-10.0), 0.0);
+  EXPECT_LE(s.CdfOrNaN(-10.0), 1.0 / 3 + 1e-12);
+  // Strictly between masses: exact.
+  EXPECT_NEAR(s.CdfOrNaN(-5.0), 1.0 / 3, 1e-9);
+  // At the -1 mass: between 1/3 and 2/3.
+  EXPECT_GE(s.CdfOrNaN(-1.0), 1.0 / 3 - 1e-12);
+  EXPECT_LE(s.CdfOrNaN(-1.0), 2.0 / 3 + 1e-12);
+  EXPECT_NEAR(s.CdfOrNaN(-0.5), 2.0 / 3, 1e-9);
+  // Just below the +1 mass, inside its bucket: between 2/3 and 1.
+  EXPECT_GE(s.CdfOrNaN(0.999), 2.0 / 3 - 1e-12);
+  EXPECT_LE(s.CdfOrNaN(0.999), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfOrNaN(1.0), 1.0);
+}
+
+TEST(CdfTest, ZeroBucketAccounted) {
+  DDSketch s = Make();
+  s.Add(-2.0, 10);
+  s.Add(0.0, 30);
+  s.Add(2.0, 10);
+  // v = 0: negatives + zeros below.
+  EXPECT_NEAR(s.CdfOrNaN(0.0), 40.0 / 50.0, 1e-9);
+  EXPECT_NEAR(s.CdfOrNaN(1.0), 40.0 / 50.0, 1e-9);
+  EXPECT_NEAR(s.CdfOrNaN(-1.0), 10.0 / 50.0, 1e-9);
+}
+
+TEST(CdfTest, RankAndCountInRange) {
+  DDSketch s = Make();
+  for (int i = 1; i <= 1000; ++i) s.Add(static_cast<double>(i));
+  EXPECT_NEAR(s.RankOrNaN(500.0), 500.0, 500 * 0.03);
+  EXPECT_NEAR(s.CountInRangeOrNaN(200.0, 400.0), 200.0, 200 * 0.1);
+  EXPECT_NEAR(s.CountInRangeOrNaN(0.0, 2000.0), 1000.0, 1e-9);
+}
+
+TEST(CdfTest, SurvivesMerge) {
+  DDSketch a = Make(), b = Make();
+  Rng rng(124);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.NextDouble() * 6);
+    data.push_back(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  std::sort(data.begin(), data.end());
+  for (double v : {2.0, 10.0, 100.0, 400.0}) {
+    EXPECT_NEAR(a.CdfOrNaN(v), ExactCdf(data, v), 0.03) << v;
+  }
+}
+
+}  // namespace
+}  // namespace dd

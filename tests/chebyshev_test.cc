@@ -1,0 +1,105 @@
+#include "moments/chebyshev.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(ChebyshevTest, ValuesMatchCosineDefinition) {
+  // T_j(cos t) = cos(j t).
+  Rng rng(91);
+  std::vector<double> t(21);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double theta = rng.NextDouble() * 3.141592653589793;
+    const double x = std::cos(theta);
+    ChebyshevValues(x, 20, t.data());
+    for (int j = 0; j <= 20; ++j) {
+      EXPECT_NEAR(t[j], std::cos(j * theta), 1e-9) << "j=" << j;
+    }
+  }
+}
+
+TEST(ChebyshevTest, ValuesAtEndpoints) {
+  std::vector<double> t(11);
+  ChebyshevValues(1.0, 10, t.data());
+  for (int j = 0; j <= 10; ++j) EXPECT_DOUBLE_EQ(t[j], 1.0);
+  ChebyshevValues(-1.0, 10, t.data());
+  for (int j = 0; j <= 10; ++j) {
+    EXPECT_DOUBLE_EQ(t[j], j % 2 == 0 ? 1.0 : -1.0);
+  }
+}
+
+TEST(ChebyshevTest, CoefficientsMatchKnownPolynomials) {
+  const auto c = ChebyshevCoefficients(4);
+  // T_0 = 1
+  EXPECT_EQ(c[0], std::vector<double>({1}));
+  // T_1 = x
+  EXPECT_EQ(c[1], std::vector<double>({0, 1}));
+  // T_2 = 2x^2 - 1
+  EXPECT_EQ(c[2], std::vector<double>({-1, 0, 2}));
+  // T_3 = 4x^3 - 3x
+  EXPECT_EQ(c[3], std::vector<double>({0, -3, 0, 4}));
+  // T_4 = 8x^4 - 8x^2 + 1
+  EXPECT_EQ(c[4], std::vector<double>({1, 0, -8, 0, 8}));
+}
+
+TEST(ChebyshevTest, CoefficientsEvaluateLikeRecurrence) {
+  const size_t k = 15;
+  const auto coeffs = ChebyshevCoefficients(k);
+  std::vector<double> t(k + 1);
+  Rng rng(92);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.NextDouble() * 2 - 1;
+    ChebyshevValues(x, k, t.data());
+    for (size_t j = 0; j <= k; ++j) {
+      double poly = 0, xp = 1;
+      for (double c : coeffs[j]) {
+        poly += c * xp;
+        xp *= x;
+      }
+      EXPECT_NEAR(poly, t[j], 1e-8) << "j=" << j << " x=" << x;
+    }
+  }
+}
+
+TEST(ChebyshevTest, PowerToChebyshevOnUniformMoments) {
+  // For U on [-1,1]: E[x^i] = 0 (odd), 1/(i+1) (even).
+  // Then E[T_j] = integral T_j / 2 = 0 for odd j, and
+  // 1/(1-j^2) for even j (standard integral of T_j over [-1, 1], halved).
+  const size_t k = 10;
+  std::vector<double> mu(k + 1, 0.0);
+  for (size_t i = 0; i <= k; i += 2) mu[i] = 1.0 / static_cast<double>(i + 1);
+  const auto m = PowerToChebyshevMoments(mu);
+  EXPECT_NEAR(m[0], 1.0, 1e-12);
+  for (size_t j = 1; j <= k; ++j) {
+    const double expected =
+        j % 2 == 1 ? 0.0 : 1.0 / (1.0 - static_cast<double>(j * j));
+    EXPECT_NEAR(m[j], expected, 1e-9) << "j=" << j;
+  }
+}
+
+TEST(ChebyshevTest, PowerToChebyshevOnPointMass) {
+  // All mass at x0: E[x^i] = x0^i, so E[T_j] = T_j(x0).
+  const size_t k = 12;
+  const double x0 = 0.37;
+  std::vector<double> mu(k + 1);
+  double p = 1;
+  for (size_t i = 0; i <= k; ++i) {
+    mu[i] = p;
+    p *= x0;
+  }
+  const auto m = PowerToChebyshevMoments(mu);
+  std::vector<double> t(k + 1);
+  ChebyshevValues(x0, k, t.data());
+  for (size_t j = 0; j <= k; ++j) {
+    EXPECT_NEAR(m[j], t[j], 1e-9) << "j=" << j;
+  }
+}
+
+}  // namespace
+}  // namespace dd

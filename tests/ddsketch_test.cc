@@ -1,0 +1,404 @@
+#include "core/ddsketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+DDSketch Make(double alpha = 0.01, int32_t max_buckets = 2048) {
+  auto r = DDSketch::Create(alpha, max_buckets);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(DDSketchTest, CreateValidation) {
+  EXPECT_FALSE(DDSketch::Create(0.0).ok());
+  EXPECT_FALSE(DDSketch::Create(1.0).ok());
+  EXPECT_FALSE(DDSketch::Create(-0.1).ok());
+  DDSketchConfig bad;
+  bad.max_num_buckets = 0;
+  bad.store = StoreType::kCollapsingLowestDense;
+  EXPECT_FALSE(DDSketch::Create(bad).ok());
+  EXPECT_TRUE(DDSketch::Create(0.01).ok());
+}
+
+TEST(DDSketchTest, EmptySketch) {
+  DDSketch s = Make();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.Quantile(0.5).ok());
+  EXPECT_TRUE(std::isnan(s.QuantileOrNaN(0.5)));
+  EXPECT_TRUE(std::isnan(s.mean()));
+}
+
+TEST(DDSketchTest, QuantileArgumentValidation) {
+  DDSketch s = Make();
+  s.Add(1.0);
+  EXPECT_FALSE(s.Quantile(-0.1).ok());
+  EXPECT_FALSE(s.Quantile(1.1).ok());
+  EXPECT_FALSE(s.Quantile(std::nan("")).ok());
+  EXPECT_TRUE(s.Quantile(0.0).ok());
+  EXPECT_TRUE(s.Quantile(1.0).ok());
+}
+
+TEST(DDSketchTest, SingleValueAllQuantiles) {
+  DDSketch s = Make();
+  s.Add(12.5);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.QuantileOrNaN(q), 12.5) << q;
+  }
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 12.5);
+  EXPECT_EQ(s.max(), 12.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 12.5);
+}
+
+TEST(DDSketchTest, MinMaxExactAtEndpoints) {
+  DDSketch s = Make();
+  Rng rng(31);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 1 + rng.NextDouble() * 1000;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.0), lo);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(1.0), hi);
+}
+
+TEST(DDSketchTest, RelativeErrorGuaranteeUniform) {
+  const double alpha = 0.01;
+  DDSketch s = Make(alpha);
+  Rng rng(32);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(rng.NextDoubleOpenZero() * 1e6);
+    s.Add(data.back());
+  }
+  ExactQuantiles truth(data);
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double actual = truth.Quantile(q);
+    const double estimate = s.QuantileOrNaN(q);
+    EXPECT_LE(RelativeError(estimate, actual), alpha * (1 + 1e-9))
+        << "q=" << q;
+  }
+}
+
+TEST(DDSketchTest, HandlesNegativeValues) {
+  const double alpha = 0.02;
+  DDSketch s = Make(alpha);
+  std::vector<double> data;
+  Rng rng(33);
+  for (int i = 0; i < 20000; ++i) {
+    // Symmetric heavy-ish data spanning both signs.
+    const double mag = std::exp(rng.NextDouble() * 10 - 5);
+    const double x = (rng.NextU64() & 1) ? mag : -mag;
+    data.push_back(x);
+    s.Add(x);
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double actual = truth.Quantile(q);
+    const double estimate = s.QuantileOrNaN(q);
+    EXPECT_LE(RelativeError(estimate, actual), alpha * (1 + 1e-9))
+        << "q=" << q << " actual=" << actual << " est=" << estimate;
+  }
+}
+
+TEST(DDSketchTest, ZeroBucketCountsZeros) {
+  DDSketch s = Make();
+  s.Add(0.0);
+  s.Add(0.0);
+  s.Add(1e-320);   // subnormal, below min indexable: treated as zero
+  s.Add(-1e-320);
+  s.Add(5.0);
+  EXPECT_EQ(s.zero_count(), 4u);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.0), -1e-320);  // exact tracked min
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(1.0), 5.0);
+}
+
+TEST(DDSketchTest, MixedSignWithZerosOrdering) {
+  DDSketch s = Make(0.005);
+  // 10 negatives, 5 zeros, 10 positives.
+  for (int i = 1; i <= 10; ++i) s.Add(-static_cast<double>(i));
+  for (int i = 0; i < 5; ++i) s.Add(0.0);
+  for (int i = 1; i <= 10; ++i) s.Add(static_cast<double>(i));
+  // n = 25; q=0.5 -> 0-based rank 12 -> the zero block (ranks 10..14).
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), 0.0);
+  // q=0.2 -> rank 4.8 -> 5th smallest negative: -6. Within 0.5% rel err.
+  EXPECT_NEAR(s.QuantileOrNaN(0.2), -6.0, 6.0 * 0.005 * 1.01);
+  // q=0.8 -> rank 19.2 -> positive 5. Within rel err.
+  EXPECT_NEAR(s.QuantileOrNaN(0.8), 5.0, 5.0 * 0.005 * 1.01);
+}
+
+TEST(DDSketchTest, RejectsNonFinite) {
+  DDSketch s = Make();
+  s.Add(std::numeric_limits<double>::quiet_NaN());
+  s.Add(std::numeric_limits<double>::infinity());
+  s.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.rejected_count(), 3u);
+  s.Add(1.0);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(DDSketchTest, ClampsExtremeMagnitudes) {
+  DDSketch s = Make();
+  s.Add(std::numeric_limits<double>::max());
+  EXPECT_EQ(s.clamped_count(), 1u);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(std::isfinite(s.QuantileOrNaN(0.5)));
+}
+
+TEST(DDSketchTest, AddWithCountMatchesRepeatedAdd) {
+  DDSketch a = Make(), b = Make();
+  a.Add(3.7, 1000);
+  for (int i = 0; i < 1000; ++i) b.Add(3.7);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.sum(), b.sum(), 1e-9 * std::abs(b.sum()));
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q));
+  }
+}
+
+TEST(DDSketchTest, SumAndMeanExact) {
+  DDSketch s = Make();
+  double expected_sum = 0;
+  Rng rng(34);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100 - 50;
+    expected_sum += x;
+    s.Add(x);
+  }
+  EXPECT_NEAR(s.sum(), expected_sum, 1e-9);
+  EXPECT_NEAR(s.mean(), expected_sum / 1000, 1e-9);
+}
+
+TEST(DDSketchTest, RemoveUndoesAdd) {
+  DDSketch s = Make();
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_EQ(s.Remove(50.0), 1u);
+  EXPECT_EQ(s.count(), 99u);
+  // Removing a value never added to any bucket returns 0... but values in
+  // the same bucket are indistinguishable, so remove a far-away one:
+  EXPECT_EQ(s.Remove(1e9), 0u);
+  // Median shifts accordingly vs a fresh sketch without 50.
+  DDSketch fresh = Make();
+  for (int i = 1; i <= 100; ++i) {
+    if (i != 50) fresh.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), fresh.QuantileOrNaN(0.5));
+}
+
+TEST(DDSketchTest, RemoveZeroAndEmptyReset) {
+  DDSketch s = Make();
+  s.Add(0.0);
+  EXPECT_EQ(s.Remove(0.0), 1u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DDSketchTest, ClearResetsEverything) {
+  DDSketch s = Make();
+  s.Add(1.0);
+  s.Add(0.0);
+  s.Add(-2.0);
+  s.Add(std::nan(""));
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.zero_count(), 0u);
+  EXPECT_EQ(s.rejected_count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), 7.0);
+}
+
+TEST(DDSketchTest, CopyIsDeep) {
+  DDSketch a = Make();
+  a.Add(1.0);
+  DDSketch b = a;
+  b.Add(100.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(b.count(), 2u);
+  DDSketch c = Make(0.05);
+  c = a;
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.relative_accuracy(), 0.01);
+}
+
+TEST(DDSketchTest, QuantilesBatchMatchesSingles) {
+  DDSketch s = Make();
+  Rng rng(35);
+  for (int i = 0; i < 5000; ++i) s.Add(rng.NextDoubleOpenZero() * 100);
+  const std::vector<double> qs = {0.1, 0.5, 0.9, 0.99};
+  auto batch = s.Quantiles(qs);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch.value()[i], s.QuantileOrNaN(qs[i]));
+  }
+}
+
+TEST(DDSketchTest, CollapsedLowQuantilesLoseGuaranteeButHighKeepIt) {
+  // Small bucket budget on a wide range: low quantiles collapse, the upper
+  // ones must stay alpha-accurate (Proposition 4). With alpha = 0.01 and
+  // m = 512, the kept window spans a factor gamma^511 ~ 3e4 below the
+  // maximum; data spanning 1..1e10 therefore collapses its bottom decades.
+  const double alpha = 0.01;
+  const int32_t m = 512;
+  DDSketch s = Make(alpha, m);
+  std::vector<double> data;
+  Rng rng(36);
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(std::exp(rng.NextDouble() * 23));  // 1 .. 1e10
+    s.Add(data.back());
+  }
+  ExactQuantiles truth(data);
+  const double gamma = s.mapping().gamma();
+  // Proposition 4: quantiles with x1 <= xq * gamma^(m-1) stay accurate.
+  for (double q : {0.7, 0.8, 0.9, 0.95, 0.99, 0.999}) {
+    const double xq = truth.Quantile(q);
+    ASSERT_LE(truth.max(), xq * std::pow(gamma, m - 1))
+        << "test setup: q=" << q << " should be in the safe zone";
+    EXPECT_LE(RelativeError(s.QuantileOrNaN(q), xq), alpha * (1 + 1e-9))
+        << q;
+  }
+  // Quantiles whose buckets were folded away really do lose the guarantee
+  // (the documented trade-off of Algorithm 3).
+  EXPECT_GT(RelativeError(s.QuantileOrNaN(0.001), truth.Quantile(0.001)),
+            alpha);
+}
+
+TEST(DDSketchTest, NegativeSideCollapsesMostNegativeFirst) {
+  // §2.2: for the negative store "collapses start from the highest
+  // indices", i.e. the *most negative* values fold first, preserving
+  // accuracy near zero. Mirror-image of the positive store's behaviour.
+  const double alpha = 0.01;
+  const int32_t m = 256;
+  DDSketch s = Make(alpha, m);
+  std::vector<double> data;
+  Rng rng(41);
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(-std::exp(rng.NextDouble() * 23));  // -1 .. -1e10
+    s.Add(data.back());
+  }
+  ExactQuantiles truth(data);
+  // Quantiles near zero (high q for negatives) keep the guarantee...
+  for (double q : {0.9, 0.95, 0.99}) {
+    EXPECT_LE(RelativeError(s.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+  // ...while the far-negative end (low q) was folded and lost it.
+  EXPECT_GT(RelativeError(s.QuantileOrNaN(0.001), truth.Quantile(0.001)),
+            alpha);
+}
+
+TEST(DDSketchTest, CollapsingConfigMirrorsPerSign) {
+  // A mixed-sign stream under bucket pressure: both sides collapse their
+  // least-important end (low positives, far negatives), so the quantiles
+  // around the bulk stay accurate on both sides of zero.
+  const double alpha = 0.01;
+  DDSketch s = Make(alpha, 128);
+  std::vector<double> data;
+  Rng rng(42);
+  for (int i = 0; i < 60000; ++i) {
+    const double mag = std::exp(rng.NextDouble() * 18);  // 1 .. 6.6e7
+    const double x = (i % 2 == 0) ? mag : -mag;
+    data.push_back(x);
+    s.Add(x);
+  }
+  ExactQuantiles truth(data);
+  // Large-magnitude positives (high q) are uncollapsed.
+  for (double q : {0.95, 0.99}) {
+    EXPECT_LE(RelativeError(s.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+  // Near-zero negatives (q just below 0.5) are uncollapsed too.
+  for (double q : {0.45, 0.48}) {
+    EXPECT_LE(RelativeError(s.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(DDSketchTest, NumBucketsGrowsLogarithmically) {
+  // Paper Figure 7: bins grow ~logarithmically in n for Pareto data.
+  DDSketch s = Make(0.01, 4096);
+  Rng rng(37);
+  size_t buckets_at_1e4 = 0;
+  for (int i = 1; i <= 1000000; ++i) {
+    s.Add(std::pow(rng.NextDoubleOpenZero(), -1.0));  // Pareto(1,1)
+    if (i == 10000) buckets_at_1e4 = s.num_buckets();
+  }
+  const size_t buckets_at_1e6 = s.num_buckets();
+  // 100x more data should cost far less than 2x more buckets.
+  EXPECT_LT(buckets_at_1e6, 2 * buckets_at_1e4);
+  EXPECT_LT(buckets_at_1e6, 1200u);  // paper: ~900 bins at n=1e10
+}
+
+TEST(DDSketchTest, FastMappingVariantsKeepGuarantee) {
+  for (MappingType type :
+       {MappingType::kLinearInterpolated, MappingType::kQuadraticInterpolated,
+        MappingType::kCubicInterpolated}) {
+    DDSketchConfig config;
+    config.relative_accuracy = 0.01;
+    config.mapping = type;
+    auto r = DDSketch::Create(config);
+    ASSERT_TRUE(r.ok());
+    DDSketch s = std::move(r).value();
+    std::vector<double> data;
+    Rng rng(38);
+    for (int i = 0; i < 20000; ++i) {
+      data.push_back(std::exp(rng.NextDouble() * 20 - 10));
+      s.Add(data.back());
+    }
+    ExactQuantiles truth(data);
+    for (double q : {0.01, 0.5, 0.95, 0.99}) {
+      EXPECT_LE(RelativeError(s.QuantileOrNaN(q), truth.Quantile(q)),
+                0.01 * (1 + 1e-9))
+          << MappingTypeToString(type) << " q=" << q;
+    }
+  }
+}
+
+TEST(DDSketchTest, SparseStoreVariantEquivalentAnswers) {
+  DDSketchConfig dense_cfg, sparse_cfg;
+  sparse_cfg.store = StoreType::kSparse;
+  sparse_cfg.max_num_buckets = 0;
+  dense_cfg.store = StoreType::kUnboundedDense;
+  auto dense = std::move(DDSketch::Create(dense_cfg)).value();
+  auto sparse = std::move(DDSketch::Create(sparse_cfg)).value();
+  Rng rng(39);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoubleOpenZero() * 1e4;
+    dense.Add(x);
+    sparse.Add(x);
+  }
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(dense.QuantileOrNaN(q), sparse.QuantileOrNaN(q)) << q;
+  }
+  EXPECT_EQ(dense.num_buckets(), sparse.num_buckets());
+}
+
+TEST(DDSketchTest, SizeInBytesTracksStoreFootprint) {
+  DDSketch s = Make();
+  const size_t before = s.size_in_bytes();
+  Rng rng(40);
+  for (int i = 0; i < 10000; ++i) s.Add(std::exp(rng.NextDouble() * 10));
+  EXPECT_GT(s.size_in_bytes(), before);
+  EXPECT_LT(s.size_in_bytes(), 200 * 1024u);  // sane bound for 2048 buckets
+}
+
+}  // namespace
+}  // namespace dd

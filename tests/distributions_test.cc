@@ -1,0 +1,187 @@
+#include "data/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "data/datasets.h"
+
+namespace dd {
+namespace {
+
+double Mean(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double QuantileOf(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return xs[static_cast<size_t>(q * (static_cast<double>(xs.size()) - 1))];
+}
+
+TEST(DistributionsTest, GenerateNIsDeterministic) {
+  Pareto p(1.0, 1.0);
+  const auto a = GenerateN(p, 1000, 42);
+  const auto b = GenerateN(p, 1000, 42);
+  EXPECT_EQ(a, b);
+  const auto c = GenerateN(p, 1000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(DistributionsTest, UniformMoments) {
+  const auto xs = GenerateN(Uniform(2.0, 6.0), 200000, 1);
+  EXPECT_NEAR(Mean(xs), 4.0, 0.02);
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), 2.0);
+  EXPECT_LT(*std::max_element(xs.begin(), xs.end()), 6.0);
+}
+
+TEST(DistributionsTest, ExponentialMomentsAndQuantiles) {
+  const double lambda = 0.5;
+  const auto xs = GenerateN(Exponential(lambda), 200000, 2);
+  EXPECT_NEAR(Mean(xs), 1.0 / lambda, 0.03);
+  // Median = ln(2)/lambda.
+  EXPECT_NEAR(QuantileOf(xs, 0.5), std::log(2.0) / lambda, 0.03);
+  EXPECT_GT(*std::min_element(xs.begin(), xs.end()), 0.0);
+}
+
+TEST(DistributionsTest, ParetoQuantilesMatchClosedForm) {
+  // F^{-1}(q) = b / (1-q)^{1/a}
+  const double a = 2.0, b = 3.0;
+  const auto xs = GenerateN(Pareto(a, b), 400000, 3);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double expected = b / std::pow(1.0 - q, 1.0 / a);
+    EXPECT_NEAR(QuantileOf(xs, q) / expected, 1.0, 0.03) << q;
+  }
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), b);
+}
+
+TEST(DistributionsTest, ParetoUnitShapeIsHeavyTailed) {
+  // a=1: p99/p50 = 50x; empirical max across 1e6 draws far above p99.
+  const auto xs = GenerateN(Pareto(1.0, 1.0), 1000000, 4);
+  const double p50 = QuantileOf(xs, 0.5);
+  const double p99 = QuantileOf(xs, 0.99);
+  EXPECT_NEAR(p99 / p50, 50.0, 5.0);
+  EXPECT_GT(*std::max_element(xs.begin(), xs.end()), 10 * p99);
+}
+
+TEST(DistributionsTest, NormalMoments) {
+  const auto xs = GenerateN(Normal(10.0, 3.0), 200000, 5);
+  EXPECT_NEAR(Mean(xs), 10.0, 0.05);
+  double var = 0;
+  for (double x : xs) var += (x - 10.0) * (x - 10.0);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(var, 9.0, 0.2);
+  // Symmetry: median ~ mean.
+  EXPECT_NEAR(QuantileOf(xs, 0.5), 10.0, 0.05);
+}
+
+TEST(DistributionsTest, LognormalMedianIsExpMu) {
+  const auto xs = GenerateN(Lognormal(1.0, 0.75), 200000, 6);
+  EXPECT_NEAR(QuantileOf(xs, 0.5), std::exp(1.0), 0.05);
+  // p75/p50 = exp(0.6745 sigma).
+  EXPECT_NEAR(QuantileOf(xs, 0.75) / QuantileOf(xs, 0.5),
+              std::exp(0.6745 * 0.75), 0.03);
+}
+
+TEST(DistributionsTest, WeibullMedianMatchesClosedForm) {
+  const double k = 1.5, lambda = 2.0;
+  const auto xs = GenerateN(Weibull(k, lambda), 200000, 7);
+  const double median = lambda * std::pow(std::log(2.0), 1.0 / k);
+  EXPECT_NEAR(QuantileOf(xs, 0.5), median, 0.03);
+}
+
+TEST(DistributionsTest, MixtureWeightsRespected) {
+  std::vector<Mixture::Component> parts;
+  parts.push_back({0.7, std::make_unique<Uniform>(0.0, 1.0)});
+  parts.push_back({0.3, std::make_unique<Uniform>(10.0, 11.0)});
+  Mixture mix(std::move(parts));
+  const auto xs = GenerateN(mix, 100000, 8);
+  const double low_fraction =
+      static_cast<double>(std::count_if(xs.begin(), xs.end(),
+                                        [](double x) { return x < 5; })) /
+      static_cast<double>(xs.size());
+  EXPECT_NEAR(low_fraction, 0.7, 0.01);
+}
+
+TEST(DistributionsTest, ClampedStaysInRange) {
+  Clamped c(std::make_unique<Normal>(0.0, 100.0), -5.0, 5.0);
+  const auto xs = GenerateN(c, 10000, 9);
+  for (double x : xs) {
+    EXPECT_GE(x, -5.0);
+    EXPECT_LE(x, 5.0);
+  }
+}
+
+TEST(DistributionsTest, RoundedProducesIntegers) {
+  Rounded r(std::make_unique<Uniform>(0.0, 1000.0));
+  const auto xs = GenerateN(r, 10000, 10);
+  for (double x : xs) EXPECT_EQ(x, std::round(x));
+}
+
+TEST(DistributionsTest, CloneSamplesIdentically) {
+  auto span = MakeDataset(DatasetId::kSpan);
+  auto clone = span->Clone();
+  Rng r1(11), r2(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(span->Sample(r1), clone->Sample(r2));
+  }
+}
+
+TEST(DatasetsTest, ParetoDatasetIsUnitPareto) {
+  const auto xs = GenerateDataset(DatasetId::kPareto, 200000);
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), 1.0);
+  EXPECT_NEAR(QuantileOf(xs, 0.5), 2.0, 0.05);  // F^{-1}(.5) = 2 for a=b=1
+}
+
+TEST(DatasetsTest, SpanDatasetMatchesPaperProperties) {
+  const auto xs = GenerateDataset(DatasetId::kSpan, 500000);
+  // Integer nanoseconds.
+  for (size_t i = 0; i < xs.size(); i += 997) {
+    EXPECT_EQ(xs[i], std::round(xs[i]));
+  }
+  // Range: 1e2 .. 1.9e12 (paper §4.1).
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), 100.0);
+  EXPECT_LE(*std::max_element(xs.begin(), xs.end()), 1.9e12);
+  // Wide dynamic range actually exercised: >= 6 orders of magnitude between
+  // p1 and p99.9.
+  EXPECT_GT(QuantileOf(xs, 0.999) / QuantileOf(xs, 0.01), 1e6);
+}
+
+TEST(DatasetsTest, PowerDatasetMatchesPaperProperties) {
+  const auto xs = GenerateDataset(DatasetId::kPower, 500000);
+  EXPECT_GE(*std::min_element(xs.begin(), xs.end()), 0.076);
+  EXPECT_LE(*std::max_element(xs.begin(), xs.end()), 11.122);
+  // Dense and narrow: p99/p50 well under one order of magnitude.
+  EXPECT_LT(QuantileOf(xs, 0.99) / QuantileOf(xs, 0.5), 20.0);
+}
+
+TEST(DatasetsTest, WebLatencyMatchesFigure4Quantiles) {
+  // Figure 4 plots p50~2, p75~4, p90~10, p99 in the 80-220 band.
+  const auto xs = GenerateDataset(DatasetId::kWebLatency, 500000);
+  EXPECT_NEAR(QuantileOf(xs, 0.5), 2.0, 0.5);
+  EXPECT_NEAR(QuantileOf(xs, 0.75), 4.0, 1.0);
+  EXPECT_NEAR(QuantileOf(xs, 0.9), 10.0, 4.0);
+  const double p99 = QuantileOf(xs, 0.99);
+  EXPECT_GT(p99, 40.0);
+  EXPECT_LT(p99, 500.0);
+}
+
+TEST(DatasetsTest, StreamMatchesGenerate) {
+  DataStream stream(MakeDataset(DatasetId::kPareto), 123);
+  const auto batch = GenerateDataset(DatasetId::kPareto, 100, 123);
+  for (double expected : batch) {
+    EXPECT_EQ(stream.Next(), expected);
+  }
+}
+
+TEST(DatasetsTest, NamesAreStable) {
+  EXPECT_STREQ(DatasetIdToString(DatasetId::kPareto), "pareto");
+  EXPECT_STREQ(DatasetIdToString(DatasetId::kSpan), "span");
+  EXPECT_STREQ(DatasetIdToString(DatasetId::kPower), "power");
+  EXPECT_STREQ(DatasetIdToString(DatasetId::kWebLatency), "web_latency");
+}
+
+}  // namespace
+}  // namespace dd

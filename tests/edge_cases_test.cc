@@ -1,0 +1,192 @@
+// Cross-cutting edge cases that individual module suites don't reach:
+// interactions between deletion and collapse, cloning mid-collapse,
+// rolling windows with serialization, degenerate solver inputs, and
+// counter extremes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/ddsketch.h"
+#include "core/rolling.h"
+#include "core/store.h"
+#include "data/ground_truth.h"
+#include "moments/moment_sketch.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(EdgeCaseTest, RemoveAfterCollapseIsConsistent) {
+  // Deleting from a collapsed region removes from the fold bucket; totals
+  // stay consistent and the store never underflows.
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 0; i < 10; ++i) store.Add(i, 1);
+  // Window is [6, 9]; bucket 6 holds the folded weight 7.
+  EXPECT_EQ(store.total_count(), 10u);
+  // Removing an index inside the window works normally.
+  EXPECT_EQ(store.Remove(8, 1), 1u);
+  // Removing below the window misses (those buckets are gone).
+  EXPECT_EQ(store.Remove(2, 1), 0u);
+  // Removing the fold bucket drains the folded mass.
+  EXPECT_EQ(store.Remove(6, 100), 7u);
+  EXPECT_EQ(store.total_count(), 2u);
+}
+
+TEST(EdgeCaseTest, CloneOfCollapsedStoreKeepsState) {
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 0; i < 10; ++i) store.Add(i, 1);
+  ASSERT_TRUE(store.has_collapsed());
+  auto clone = store.Clone();
+  EXPECT_EQ(clone->total_count(), store.total_count());
+  EXPECT_EQ(clone->min_index(), store.min_index());
+  // The clone keeps collapsing with the same bound.
+  clone->Add(100, 1);
+  EXPECT_EQ(clone->max_index(), 100);
+  EXPECT_EQ(clone->min_index(), 97);
+  // Original unaffected.
+  EXPECT_EQ(store.max_index(), 9);
+}
+
+TEST(EdgeCaseTest, StoreAddAtInt32Extremes) {
+  UnboundedDenseStore store;
+  // Far-apart but not range-spanning indices (a range spanning the whole
+  // int32 domain would need a 16 GiB array; real mappings produce indices
+  // within +-2^20).
+  store.Add(-1000000, 1);
+  store.Add(1000000, 1);
+  EXPECT_EQ(store.min_index(), -1000000);
+  EXPECT_EQ(store.max_index(), 1000000);
+  EXPECT_EQ(store.KeyAtRank(0), -1000000);
+  EXPECT_EQ(store.KeyAtRank(1), 1000000);
+}
+
+TEST(EdgeCaseTest, SketchWithHugeWeights) {
+  // Counts near 2^53 (the double-precision rank arithmetic limit).
+  auto sketch = std::move(DDSketch::Create(0.01)).value();
+  const uint64_t w = uint64_t{1} << 40;
+  sketch.Add(1.0, w);
+  sketch.Add(100.0, w);
+  sketch.Add(10000.0, w);
+  EXPECT_EQ(sketch.count(), 3 * w);
+  EXPECT_NEAR(sketch.QuantileOrNaN(0.5), 100.0, 100.0 * 0.011);
+  EXPECT_NEAR(sketch.QuantileOrNaN(0.999999), 10000.0, 10000.0 * 0.011);
+  // Serialization carries the weights exactly.
+  auto decoded = DDSketch::Deserialize(sketch.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().count(), 3 * w);
+}
+
+TEST(EdgeCaseTest, RollingWindowSketchesSerialize) {
+  // A window's merged sketch round-trips the wire like any other sketch.
+  DDSketchConfig config;
+  auto window = std::move(RollingDDSketch::Create(config, 3)).value();
+  for (int i = 1; i <= 300; ++i) {
+    window.Add(static_cast<double>(i));
+    if (i % 100 == 0) window.Advance();
+  }
+  DDSketch merged = window.WindowSketch();
+  auto decoded = DDSketch::Deserialize(merged.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().count(), merged.count());
+  EXPECT_DOUBLE_EQ(decoded.value().QuantileOrNaN(0.5),
+                   merged.QuantileOrNaN(0.5));
+}
+
+TEST(EdgeCaseTest, MomentsTwoDistinctValues) {
+  // The maxent solver's hardest non-degenerate case: a two-point
+  // distribution (the density is two spikes). The solver must not crash
+  // and the median must land on one of the two points-ish.
+  auto sketch = std::move(MomentSketch::Create(20, false)).value();
+  for (int i = 0; i < 1000; ++i) {
+    sketch.Add(1.0);
+    sketch.Add(2.0);
+  }
+  const double median = sketch.QuantileOrNaN(0.5);
+  EXPECT_FALSE(std::isnan(median));
+  EXPECT_GE(median, 1.0 - 1e-6);
+  EXPECT_LE(median, 2.0 + 1e-6);
+}
+
+TEST(EdgeCaseTest, QuantileAtExactBucketBoundaryCounts) {
+  // q such that q*(n-1) is an exact integer at a bucket edge: rank
+  // arithmetic must not double count or skip (Algorithm 2's strict '>').
+  auto sketch = std::move(DDSketch::Create(0.01)).value();
+  sketch.Add(1.0, 10);
+  sketch.Add(1000.0, 10);
+  // n = 20. q = 9/19 -> 0-based rank 9 -> still in the 1.0 block.
+  EXPECT_NEAR(sketch.QuantileOrNaN(9.0 / 19.0), 1.0, 0.011);
+  // q = 10/19 -> rank 10 -> first element of the 1000.0 block.
+  EXPECT_NEAR(sketch.QuantileOrNaN(10.0 / 19.0), 1000.0, 10.1);
+}
+
+TEST(EdgeCaseTest, AlternatingAddRemoveChurn) {
+  // Long add/remove churn at a single value must neither drift counters
+  // nor leak buckets.
+  DDSketchConfig config;
+  config.store = StoreType::kUnboundedDense;
+  auto sketch = std::move(DDSketch::Create(config)).value();
+  for (int round = 0; round < 10000; ++round) {
+    sketch.Add(42.0);
+    ASSERT_EQ(sketch.Remove(42.0), 1u);
+  }
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.num_buckets(), 0u);
+  sketch.Add(7.0);
+  EXPECT_DOUBLE_EQ(sketch.QuantileOrNaN(0.5), 7.0);
+}
+
+TEST(EdgeCaseTest, MinIndexableBoundaryValues) {
+  // Values straddling the zero-bucket boundary: just below goes to the
+  // zero bucket, just above gets a real bucket; both survive round trips.
+  auto sketch = std::move(DDSketch::Create(0.01)).value();
+  const double boundary = sketch.mapping().min_indexable_value();
+  sketch.Add(boundary * 0.5);  // zero bucket
+  sketch.Add(boundary * 2.0);  // real bucket
+  EXPECT_EQ(sketch.zero_count(), 1u);
+  EXPECT_EQ(sketch.count(), 2u);
+  auto decoded = DDSketch::Deserialize(sketch.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().zero_count(), 1u);
+}
+
+TEST(EdgeCaseTest, GammaCloseToOne) {
+  // Extremely tight accuracy (alpha = 1e-4): gamma ~ 1.0002, hundreds of
+  // thousands of potential buckets; indices must stay well-behaved.
+  auto sketch = std::move(DDSketch::Create(1e-4, 1 << 20)).value();
+  Rng rng(231);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(1.0 + rng.NextDouble());
+    sketch.Add(data.back());
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(RelativeError(sketch.QuantileOrNaN(q), truth.Quantile(q)),
+              1e-4 * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(EdgeCaseTest, VeryLooseAccuracy) {
+  // alpha = 0.5 (gamma = 3): a handful of buckets covers everything; the
+  // guarantee still holds at its (loose) level.
+  auto sketch = std::move(DDSketch::Create(0.5)).value();
+  std::vector<double> data;
+  Rng rng(232);
+  for (int i = 0; i < 10000; ++i) {
+    data.push_back(std::exp(rng.NextDouble() * 10));
+    sketch.Add(data.back());
+  }
+  EXPECT_LT(sketch.num_buckets(), 16u);
+  ExactQuantiles truth(data);
+  for (double q : {0.25, 0.5, 0.9}) {
+    EXPECT_LE(RelativeError(sketch.QuantileOrNaN(q), truth.Quantile(q)),
+              0.5 * (1 + 1e-9))
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace dd

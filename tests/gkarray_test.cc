@@ -1,0 +1,210 @@
+#include "gk/gkarray.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+GKArray Make(double eps = 0.01) {
+  auto r = GKArray::Create(eps);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(GKArrayTest, CreateValidation) {
+  EXPECT_FALSE(GKArray::Create(0.0).ok());
+  EXPECT_FALSE(GKArray::Create(1.0).ok());
+  EXPECT_FALSE(GKArray::Create(-1.0).ok());
+  EXPECT_TRUE(GKArray::Create(0.001).ok());
+}
+
+TEST(GKArrayTest, EmptyAndArgumentChecks) {
+  GKArray s = Make();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Quantile(0.5).ok());
+  s.Add(1.0);
+  EXPECT_FALSE(s.Quantile(-0.1).ok());
+  EXPECT_FALSE(s.Quantile(1.5).ok());
+}
+
+TEST(GKArrayTest, SmallStreamsExact) {
+  // With n <= 1/eps everything is retained: answers are exact samples.
+  GKArray s = Make(0.01);
+  std::vector<double> xs = {5, 1, 9, 3, 7};
+  for (double x : xs) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.0), 1);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), 5);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(1.0), 9);
+}
+
+TEST(GKArrayTest, TracksExactExtremes) {
+  GKArray s = Make(0.05);
+  Rng rng(71);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble() * 1e6 - 5e5;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    s.Add(x);
+  }
+  EXPECT_EQ(s.min(), lo);
+  EXPECT_EQ(s.max(), hi);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.0), lo);
+}
+
+// The core guarantee: rank error <= eps * n, on several distributions.
+class GKRankErrorTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(GKRankErrorTest, RankErrorWithinEpsilon) {
+  const double eps = 0.01;
+  GKArray s = Make(eps);
+  const auto xs = GenerateDataset(GetParam(), 200000);
+  for (double x : xs) s.Add(x);
+  ExactQuantiles truth(xs);
+  for (double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double err = RankError(truth, q, s.QuantileOrNaN(q));
+    EXPECT_LE(err, eps * 1.05) << "q=" << q;  // small slack for ties
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, GKRankErrorTest,
+                         ::testing::ValuesIn(kPaperDatasets),
+                         [](const ::testing::TestParamInfo<DatasetId>& info) {
+                           return DatasetIdToString(info.param);
+                         });
+
+TEST(GKArrayTest, SummarySizeStaysBounded) {
+  // O((1/eps) log(eps n)) tuples; for eps=0.01, n=5e5 that is well under
+  // a couple thousand entries.
+  GKArray s = Make(0.01);
+  Rng rng(72);
+  for (int i = 0; i < 500000; ++i) s.Add(rng.NextDouble());
+  s.Flush();
+  EXPECT_LT(s.num_entries(), 2000u);
+  EXPECT_GT(s.num_entries(), 50u);
+}
+
+TEST(GKArrayTest, SizeSmallerThanRawData) {
+  GKArray s = Make(0.01);
+  Rng rng(73);
+  for (int i = 0; i < 1000000; ++i) s.Add(rng.NextDouble());
+  s.Flush();
+  EXPECT_LT(s.size_in_bytes(), 1000000 * sizeof(double) / 10);
+}
+
+TEST(GKArrayTest, WeightedAddMatchesRepeated) {
+  GKArray a = Make(0.02), b = Make(0.02);
+  Rng rng(74);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble() * 100;
+    const uint64_t w = 1 + rng.NextBounded(4);
+    a.Add(x, w);
+    for (uint64_t j = 0; j < w; ++j) b.Add(x);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q)) << q;
+  }
+}
+
+TEST(GKArrayTest, MergePreservesCountAndExtremes) {
+  GKArray a = Make(0.01), b = Make(0.01);
+  Rng rng(75);
+  for (int i = 0; i < 50000; ++i) {
+    a.Add(rng.NextDouble() * 100);
+    b.Add(200 + rng.NextDouble() * 100);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 100000u);
+  EXPECT_GT(a.max(), 200.0);
+  // Median of the union sits at the boundary between the two halves.
+  const double p50 = a.QuantileOrNaN(0.5);
+  EXPECT_GT(p50, 90.0);
+  EXPECT_LT(p50, 210.0);
+}
+
+TEST(GKArrayTest, OneWayMergeRankErrorDegradesGracefully) {
+  // Merging k same-eps sketches should keep rank error within ~3 eps
+  // (one-way mergeability: error accumulates but stays proportional).
+  const double eps = 0.01;
+  Rng rng(76);
+  std::vector<double> all;
+  GKArray merged = Make(eps);
+  for (int part = 0; part < 8; ++part) {
+    GKArray s = Make(eps);
+    for (int i = 0; i < 30000; ++i) {
+      const double x = std::exp(rng.NextDouble() * 10);
+      s.Add(x);
+      all.push_back(x);
+    }
+    merged.MergeFrom(s);
+  }
+  ExactQuantiles truth(all);
+  for (double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_LE(RankError(truth, q, merged.QuantileOrNaN(q)), 3 * eps)
+        << "q=" << q;
+  }
+}
+
+TEST(GKArrayTest, MergeEmptySides) {
+  GKArray a = Make(), b = Make();
+  a.Add(1.0);
+  a.MergeFrom(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.MergeFrom(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.QuantileOrNaN(0.5), 1.0);
+}
+
+TEST(GKArrayTest, AdversarialSortedInput) {
+  // Ascending input is the classic GK stress pattern.
+  const double eps = 0.01;
+  GKArray s = Make(eps);
+  std::vector<double> xs(100000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i);
+    s.Add(xs[i]);
+  }
+  ExactQuantiles truth(xs);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(RankError(truth, q, s.QuantileOrNaN(q)), eps * 1.05) << q;
+  }
+}
+
+TEST(GKArrayTest, AdversarialDescendingInput) {
+  const double eps = 0.01;
+  GKArray s = Make(eps);
+  std::vector<double> xs(100000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(xs.size() - i);
+    s.Add(xs[i]);
+  }
+  ExactQuantiles truth(xs);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(RankError(truth, q, s.QuantileOrNaN(q)), eps * 1.05) << q;
+  }
+}
+
+TEST(GKArrayTest, HighRelativeErrorOnHeavyTailsIsExpected) {
+  // The paper's motivating observation (Figure 10): GK's rank guarantee
+  // does not bound relative error on heavy tails. Document the behaviour:
+  // p99 relative error can exceed alpha=0.01 by a lot.
+  GKArray s = Make(0.01);
+  const auto xs = GenerateDataset(DatasetId::kPareto, 1000000);
+  for (double x : xs) s.Add(x);
+  ExactQuantiles truth(xs);
+  const double rel99 =
+      RelativeError(s.QuantileOrNaN(0.99), truth.Quantile(0.99));
+  EXPECT_GT(rel99, 0.01);  // worse than what DDSketch guarantees
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,111 @@
+// Wire-format stability: serialized sketches are consumed by other
+// processes (and, in the deployment the paper describes, other languages),
+// so the byte layout is a contract. These tests pin exact golden payloads
+// for small sketches; if an intentional format change breaks them, bump
+// the version byte instead of silently altering v1.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "api/quantile_sketch.h"
+#include "core/ddsketch.h"
+
+namespace dd {
+namespace {
+
+std::string Hex(const std::string& bytes) {
+  std::string out;
+  char buf[3];
+  for (unsigned char c : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x", c);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(GoldenFormatTest, DDSketchEmptyPayload) {
+  auto sketch = std::move(DDSketch::Create(0.01, 2048)).value();
+  // magic "DDSK", version 1, mapping 0 (log), alpha 0.01 as little-endian
+  // double (7b14ae47e17a843f), store 1 (collapsing lowest), m=2048 varint
+  // (8010), zero/rejected/clamped counts (000000), sum 0.0, min +inf, max
+  // -inf, empty positive and negative stores (0000).
+  EXPECT_EQ(Hex(sketch.Serialize()),
+            "4444534b"                // DDSK
+            "01"                      // version
+            "00"                      // mapping: log
+            "7b14ae47e17a843f"        // alpha = 0.01
+            "01"                      // store: collapsing lowest
+            "8010"                    // m = 2048
+            "00" "00" "00"            // zero/rejected/clamped
+            "0000000000000000"        // sum 0.0
+            "000000000000f07f"        // min = +inf
+            "000000000000f0ff"        // max = -inf
+            "00" "00");               // two empty stores
+}
+
+TEST(GoldenFormatTest, DDSketchSingleValuePayload) {
+  auto sketch = std::move(DDSketch::Create(0.01, 2048)).value();
+  sketch.Add(1.0);
+  // Index(1.0) = ceil(log(1)/log(gamma)) = 0; one positive bucket
+  // (index 0 zigzag -> 00, count 1 -> 01).
+  EXPECT_EQ(Hex(sketch.Serialize()),
+            "4444534b" "01" "00" "7b14ae47e17a843f" "01" "8010"
+            "00" "00" "00"
+            "000000000000f03f"   // sum = 1.0
+            "000000000000f03f"   // min = 1.0
+            "000000000000f03f"   // max = 1.0
+            "01" "00" "01"       // positive store: 1 entry, index 0, count 1
+            "00");               // negative store empty
+}
+
+TEST(GoldenFormatTest, MomentSketchPayloadPrefix) {
+  auto sketch = std::move(MomentSketch::Create(4, false)).value();
+  sketch.Add(2.0);
+  const std::string payload = sketch.Serialize();
+  // "MOMT", version 1, k=4, compress=0, count=1.
+  EXPECT_EQ(Hex(payload.substr(0, 8)), "4d4f4d54" "01" "04" "00" "01");
+  // Then min_t = max_t = 2.0, power sums 1,2,4,8,16 (little-endian
+  // doubles).
+  EXPECT_EQ(Hex(payload.substr(8, 16)),
+            "0000000000000040" "0000000000000040");
+  EXPECT_EQ(payload.size(), 8 + 2 * 8 + 5 * 8u);
+}
+
+TEST(GoldenFormatTest, MagicBytesPinned) {
+  // The sniffing dispatcher depends on these prefixes never changing.
+  struct Case {
+    std::string payload;
+    const char* magic;
+  };
+  auto dd = std::move(NewDDSketch()).value();
+  auto gk = std::move(NewGKArray()).value();
+  auto hdr = std::move(NewHdrHistogram(2, 1.0, 1e6)).value();
+  auto mo = std::move(NewMomentSketch()).value();
+  auto td = std::move(NewTDigest()).value();
+  auto kll = std::move(NewKllSketch()).value();
+  auto ckms = std::move(NewCkmsSketch()).value();
+  const Case cases[] = {
+      {dd->Serialize(), "DDSK"}, {gk->Serialize(), "GKAR"},
+      {hdr->Serialize(), "HDRD"}, {mo->Serialize(), "MOMT"},
+      {td->Serialize(), "TDIG"},  {kll->Serialize(), "KLLS"},
+      {ckms->Serialize(), "CKMS"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.payload.substr(0, 4), c.magic);
+    EXPECT_EQ(c.payload[4], 1) << c.magic;  // version byte
+  }
+}
+
+TEST(GoldenFormatTest, VersionByteGuardsDecoding) {
+  auto sketch = std::move(DDSketch::Create(0.01)).value();
+  sketch.Add(1.0);
+  std::string payload = sketch.Serialize();
+  payload[4] = 2;  // future version
+  EXPECT_FALSE(DDSketch::Deserialize(payload).ok());
+  EXPECT_FALSE(DeserializeSketch(payload).ok());
+}
+
+}  // namespace
+}  // namespace dd

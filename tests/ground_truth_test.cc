@@ -1,0 +1,116 @@
+#include "data/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(ExactQuantilesTest, PaperRankConvention) {
+  // Lower quantile: rank floor(1 + q(n-1)), 1-based.
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  ExactQuantiles t(xs);
+  EXPECT_EQ(t.Quantile(0.0), 10);
+  EXPECT_EQ(t.Quantile(0.24), 10);  // 1 + .24*4 = 1.96 -> rank 1
+  EXPECT_EQ(t.Quantile(0.25), 20);  // 1 + 1 = 2
+  EXPECT_EQ(t.Quantile(0.5), 30);
+  EXPECT_EQ(t.Quantile(0.74), 30);  // 1 + 2.96 -> 3.96 -> rank 3
+  EXPECT_EQ(t.Quantile(0.75), 40);
+  EXPECT_EQ(t.Quantile(0.99), 40);  // 1 + 3.96 = 4.96 -> rank 4
+  EXPECT_EQ(t.Quantile(1.0), 50);
+}
+
+TEST(ExactQuantilesTest, UnsortedInputSorted) {
+  ExactQuantiles t(std::vector<double>{5, 1, 4, 2, 3});
+  EXPECT_EQ(t.min(), 1);
+  EXPECT_EQ(t.max(), 5);
+  EXPECT_EQ(t.Quantile(0.5), 3);
+}
+
+TEST(ExactQuantilesTest, DuplicatesHandled) {
+  ExactQuantiles t(std::vector<double>{1, 1, 1, 1, 100});
+  EXPECT_EQ(t.Quantile(0.5), 1);
+  EXPECT_EQ(t.Quantile(0.74), 1);
+  EXPECT_EQ(t.Quantile(1.0), 100);
+}
+
+TEST(ExactQuantilesTest, AddAllExtends) {
+  ExactQuantiles t(std::vector<double>{1, 2, 3});
+  t.AddAll(std::vector<double>{0, 4});
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.min(), 0);
+  EXPECT_EQ(t.Quantile(0.5), 2);
+}
+
+TEST(ExactQuantilesTest, Ranks) {
+  ExactQuantiles t(std::vector<double>{10, 20, 20, 30});
+  EXPECT_EQ(t.RankLowerOf(5), 0u);
+  EXPECT_EQ(t.RankUpperOf(5), 0u);
+  EXPECT_EQ(t.RankLowerOf(20), 1u);
+  EXPECT_EQ(t.RankUpperOf(20), 3u);
+  EXPECT_EQ(t.RankUpperOf(30), 4u);
+  EXPECT_EQ(t.RankUpperOf(99), 4u);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(101, 100), 0.01);
+  EXPECT_DOUBLE_EQ(RelativeError(99, 100), 0.01);
+  EXPECT_DOUBLE_EQ(RelativeError(-99, -100), 0.01);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(1, 0)));
+}
+
+TEST(RankErrorTest, ZeroWhenEstimateSharesRankBand) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ExactQuantiles t(xs);
+  // Exact answer.
+  EXPECT_DOUBLE_EQ(RankError(t, 0.5, t.Quantile(0.5)), 0.0);
+  // Any value between the true quantile and the next sample has the same
+  // rank band.
+  EXPECT_DOUBLE_EQ(RankError(t, 0.5, 5.5), 0.0);
+}
+
+TEST(RankErrorTest, CountsDisplacedRanks) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ExactQuantiles t(xs);
+  // q=0.5 -> target rank 5 (value 5). Estimate 8 has rank band [7,8]:
+  // distance 2 ranks -> 0.2.
+  EXPECT_DOUBLE_EQ(RankError(t, 0.5, 8.0), 0.2);
+  // Estimate 0.5 (below everything): band [0,0], distance 5 -> 0.5.
+  EXPECT_DOUBLE_EQ(RankError(t, 0.5, 0.5), 0.5);
+}
+
+TEST(RankErrorTest, DuplicateHeavyData) {
+  // With many duplicates a single value spans a wide rank band.
+  std::vector<double> xs(100, 7.0);
+  xs.push_back(8.0);
+  ExactQuantiles t(xs);
+  EXPECT_DOUBLE_EQ(RankError(t, 0.5, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(RankError(t, 0.0, 7.0), 0.0);
+  // Estimating the max value 8 for the median: band [100, 101],
+  // target rank 51 -> 49 ranks off.
+  EXPECT_NEAR(RankError(t, 0.5, 8.0), 49.0 / 101.0, 1e-12);
+}
+
+TEST(RankErrorTest, RandomizedConsistency) {
+  Rng rng(61);
+  std::vector<double> xs(1001);
+  for (double& x : xs) x = rng.NextDouble() * 1000;
+  ExactQuantiles t(xs);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    // The exact quantile always has zero rank error; a value epsilon above
+    // the p(q+0.1) quantile has rank error ~0.1.
+    EXPECT_DOUBLE_EQ(RankError(t, q, t.Quantile(q)), 0.0) << q;
+    if (q + 0.1 <= 1.0) {
+      const double displaced = t.Quantile(q + 0.1) + 1e-9;
+      EXPECT_NEAR(RankError(t, q, displaced), 0.1, 0.01) << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,188 @@
+#include "hdr/hdr_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+HdrHistogram Make(int digits = 2, uint64_t highest = uint64_t{1} << 40) {
+  auto r = HdrHistogram::Create(digits, highest);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(HdrHistogramTest, CreateValidation) {
+  EXPECT_FALSE(HdrHistogram::Create(0, 1000).ok());
+  EXPECT_FALSE(HdrHistogram::Create(6, 1000).ok());
+  EXPECT_FALSE(HdrHistogram::Create(2, 1).ok());
+  EXPECT_FALSE(HdrHistogram::Create(2, uint64_t{1} << 63).ok());
+  EXPECT_TRUE(HdrHistogram::Create(2, 1000000).ok());
+}
+
+TEST(HdrHistogramTest, IndexingRoundTrip) {
+  HdrHistogram h = Make();
+  Rng rng(81);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t v = rng.NextBounded(uint64_t{1} << 40);
+    const size_t index = h.CountsIndexFor(v);
+    const uint64_t lo = h.LowestValueAt(index);
+    const uint64_t width = h.BinWidthAt(index);
+    EXPECT_GE(v, lo) << v;
+    EXPECT_LT(v, lo + width) << v;
+  }
+}
+
+TEST(HdrHistogramTest, IndexingIsMonotone) {
+  HdrHistogram h = Make();
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 100000; v += 7) {
+    const size_t index = h.CountsIndexFor(v);
+    EXPECT_GE(index, prev);
+    prev = index;
+  }
+}
+
+TEST(HdrHistogramTest, BinWidthRespectsSignificantDigits) {
+  // d=2: bin width / value <= 1/100 for values past the first bucket.
+  HdrHistogram h = Make(2);
+  for (uint64_t v = 1000; v < (uint64_t{1} << 39); v = v * 3 + 1) {
+    const size_t index = h.CountsIndexFor(v);
+    const double width = static_cast<double>(h.BinWidthAt(index));
+    EXPECT_LE(width / static_cast<double>(v), 0.01 * (1 + 1e-9)) << v;
+  }
+}
+
+TEST(HdrHistogramTest, RelativeErrorGuarantee) {
+  HdrHistogram h = Make(2);
+  Rng rng(82);
+  std::vector<double> data;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = 1 + rng.NextBounded(uint64_t{1} << 39);
+    data.push_back(static_cast<double>(v));
+    h.Record(v);
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const double est = h.QuantileOrNaN(q);
+    EXPECT_LE(RelativeError(est, truth.Quantile(q)), 0.01) << q;
+  }
+}
+
+TEST(HdrHistogramTest, EmptyAndValidation) {
+  HdrHistogram h = Make();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Quantile(0.5).ok());
+  h.Record(10);
+  EXPECT_FALSE(h.Quantile(-1).ok());
+  EXPECT_FALSE(h.Quantile(2).ok());
+  EXPECT_DOUBLE_EQ(h.QuantileOrNaN(0.5), 10.0);
+}
+
+TEST(HdrHistogramTest, ClampsAboveRange) {
+  HdrHistogram h = Make(2, 1 << 20);
+  h.Record(1 << 25);
+  EXPECT_EQ(h.clamped_count(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.max(), uint64_t{1} << 20);
+}
+
+TEST(HdrHistogramTest, MergeMatchesCombinedStream) {
+  HdrHistogram a = Make(), b = Make(), whole = Make();
+  Rng rng(83);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = 1 + rng.NextBounded(1 << 30);
+    (i % 2 ? a : b).Record(v);
+    whole.Record(v);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.count(), whole.count());
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), whole.QuantileOrNaN(q)) << q;
+  }
+}
+
+TEST(HdrHistogramTest, MergeRejectsMismatchedConfig) {
+  HdrHistogram a = Make(2), b = Make(3);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kIncompatible);
+  HdrHistogram c = Make(2, 1 << 20);
+  EXPECT_EQ(a.MergeFrom(c).code(), StatusCode::kIncompatible);
+}
+
+TEST(HdrHistogramTest, FootprintIsRangeDependentNotDataDependent) {
+  // The paper's point: HDR preallocates for the whole range.
+  HdrHistogram h = Make(2, uint64_t{1} << 41);
+  const size_t empty_size = h.size_in_bytes();
+  EXPECT_GT(empty_size, 30000u);  // tens of kB for d=2 over 2^41 (Figure 6)
+  for (int i = 0; i < 100000; ++i) h.Record(1 + i % 1000);
+  EXPECT_EQ(h.size_in_bytes(), empty_size);  // unchanged by data
+}
+
+TEST(HdrDoubleHistogramTest, CreateValidation) {
+  EXPECT_FALSE(HdrDoubleHistogram::Create(2, 0.0, 10.0).ok());
+  EXPECT_FALSE(HdrDoubleHistogram::Create(2, 5.0, 5.0).ok());
+  EXPECT_FALSE(HdrDoubleHistogram::Create(2, 1e-30, 1e30).ok());  // too wide
+  EXPECT_TRUE(HdrDoubleHistogram::Create(2, 0.01, 1e6).ok());
+}
+
+TEST(HdrDoubleHistogramTest, RelativeErrorOnFractionalData) {
+  auto r = HdrDoubleHistogram::Create(2, 0.076, 11.122);  // power data range
+  ASSERT_TRUE(r.ok());
+  HdrDoubleHistogram h = std::move(r).value();
+  Rng rng(84);
+  std::vector<double> data;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = 0.076 + rng.NextDouble() * (11.122 - 0.076);
+    data.push_back(v);
+    h.Record(v);
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.05, 0.5, 0.95, 0.99}) {
+    EXPECT_LE(RelativeError(h.QuantileOrNaN(q), truth.Quantile(q)), 0.011)
+        << q;
+  }
+}
+
+TEST(HdrDoubleHistogramTest, RejectsNegativeAndNonFinite) {
+  auto h = std::move(HdrDoubleHistogram::Create(2, 1.0, 1e6)).value();
+  h.Record(-5.0);
+  h.Record(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.rejected_count(), 2u);
+}
+
+TEST(HdrDoubleHistogramTest, MergeRequiresSameScale) {
+  auto a = std::move(HdrDoubleHistogram::Create(2, 1.0, 1e6)).value();
+  auto b = std::move(HdrDoubleHistogram::Create(2, 2.0, 1e6)).value();
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kIncompatible);
+  auto c = std::move(HdrDoubleHistogram::Create(2, 1.0, 1e6)).value();
+  a.Record(5.0);
+  c.Record(7.0);
+  ASSERT_TRUE(a.MergeFrom(c).ok());
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HdrDoubleHistogramTest, LosesAccuracyBelowExpectedMin) {
+  // The bounded-range caveat: values below the design minimum quantize
+  // coarsely. This is exactly the limitation the paper contrasts with
+  // DDSketch (Table 1: "bounded" range).
+  auto h = std::move(HdrDoubleHistogram::Create(2, 1.0, 1e6)).value();
+  std::vector<double> data;
+  Rng rng(85);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = 0.0001 + rng.NextDouble() * 0.001;  // far below min=1
+    data.push_back(v);
+    h.Record(v);
+  }
+  ExactQuantiles truth(data);
+  const double err = RelativeError(h.QuantileOrNaN(0.5), truth.Quantile(0.5));
+  EXPECT_GT(err, 0.01);  // guarantee does not hold out of range
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,233 @@
+#include "histogram/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(EquiDepthTest, Validation) {
+  EXPECT_FALSE(BuildEquiDepth({}, 4).ok());
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_FALSE(BuildEquiDepth(xs, 0).ok());
+  EXPECT_TRUE(BuildEquiDepth(xs, 2).ok());
+  EXPECT_TRUE(BuildEquiDepth(xs, 10).ok());  // clamps to n buckets
+}
+
+TEST(EquiDepthTest, EqualCounts) {
+  std::vector<double> xs(1000);
+  Rng rng(171);
+  for (double& x : xs) x = rng.NextDouble();
+  auto h = std::move(BuildEquiDepth(xs, 10)).value();
+  ASSERT_EQ(h.buckets().size(), 10u);
+  for (const auto& b : h.buckets()) EXPECT_EQ(b.count, 100u);
+  EXPECT_EQ(h.total_count(), 1000u);
+}
+
+TEST(EquiDepthTest, RemainderDistributed) {
+  std::vector<double> xs(103);
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  auto h = std::move(BuildEquiDepth(xs, 10)).value();
+  uint64_t total = 0;
+  for (const auto& b : h.buckets()) {
+    EXPECT_GE(b.count, 10u);
+    EXPECT_LE(b.count, 11u);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(EquiDepthTest, QuantilesFromOwnData) {
+  // With B buckets, any quantile answer is within 1/B rank of correct.
+  std::vector<double> xs(10000);
+  Rng rng(172);
+  for (double& x : xs) x = std::exp(rng.NextDouble() * 6);
+  auto h = std::move(BuildEquiDepth(xs, 50)).value();
+  ExactQuantiles truth(xs);
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(RankError(truth, q, h.QuantileOrNaN(q)), 1.0 / 50 + 0.001) << q;
+  }
+}
+
+TEST(EquiDepthTest, NonMergeabilityDemonstrated) {
+  // The paper, §1.2: "Equi-depth histograms are a good example of
+  // non-mergeable data set synopses as there is no way to accurately
+  // combine overlapping buckets." One merge under the uniform-within-
+  // bucket assumption loses a little; the paper's setting merges *many*
+  // worker synopses, and the loss compounds through the merge tree while
+  // a histogram rebuilt from the union (what a mergeable sketch delivers)
+  // keeps its 1/B resolution.
+  Rng rng(173);
+  constexpr int kParts = 64;
+  constexpr size_t kB = 32;
+  std::vector<Histogram> parts;
+  std::vector<double> all;
+  for (int p = 0; p < kParts; ++p) {
+    std::vector<double> chunk;
+    // Heavy-tailed worker streams at staggered scales: the merged
+    // histogram's wide upper buckets carry strongly non-uniform mass.
+    const double scale = std::pow(1.35, p % 16);
+    for (int i = 0; i < 2000; ++i) {
+      chunk.push_back(scale * std::pow(rng.NextDoubleOpenZero(), -1.0));
+    }
+    parts.push_back(std::move(BuildEquiDepth(chunk, kB)).value());
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  // Pairwise naive-merge tree (6 levels deep).
+  std::vector<Histogram> level = std::move(parts);
+  while (level.size() > 1) {
+    std::vector<Histogram> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Histogram::NaiveMerge(level[i], level[i + 1], kB));
+    }
+    level = std::move(next);
+  }
+  auto rebuilt = std::move(BuildEquiDepth(all, kB)).value();
+  ExactQuantiles truth(all);
+
+  // Rank space: the rebuilt histogram keeps its 1/B resolution guarantee.
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_LE(RankError(truth, q, rebuilt.QuantileOrNaN(q)),
+              1.0 / kB + 0.001)
+        << q;
+  }
+  // Value space: the naive merge tree must answer quantiles from
+  // uniform-assumption segment midpoints, which on heavy tails is
+  // catastrophically worse than answering from retained data points —
+  // "no way to accurately combine overlapping buckets".
+  double naive_worst = 0, rebuilt_worst = 0;
+  for (double q : {0.5, 0.75, 0.9}) {
+    const double actual = truth.Quantile(q);
+    naive_worst = std::max(
+        naive_worst, RelativeError(level[0].QuantileOrNaN(q), actual));
+    rebuilt_worst = std::max(
+        rebuilt_worst, RelativeError(rebuilt.QuantileOrNaN(q), actual));
+  }
+  EXPECT_GT(naive_worst, 2 * rebuilt_worst);
+}
+
+TEST(VOptimalTest, Validation) {
+  EXPECT_FALSE(BuildVOptimal({}, 4).ok());
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_FALSE(BuildVOptimal(xs, 0).ok());
+  std::vector<double> big(30000, 1.0);
+  EXPECT_EQ(BuildVOptimal(big, 4).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(BuildVOptimalGreedy(big, 4).ok());
+}
+
+TEST(VOptimalTest, PerfectFitWhenBucketsEqualClusters) {
+  // Three tight clusters, three buckets: SSE must be (near) zero and the
+  // splits land exactly between clusters.
+  std::vector<double> xs;
+  Rng rng(174);
+  for (double center : {10.0, 100.0, 1000.0}) {
+    for (int i = 0; i < 50; ++i) xs.push_back(center + rng.NextDouble());
+  }
+  auto h = std::move(BuildVOptimal(xs, 3)).value();
+  ASSERT_EQ(h.buckets().size(), 3u);
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_LT(h.SquaredError(sorted), 50.0);  // within-cluster variance only
+  EXPECT_EQ(h.buckets()[0].count, 50u);
+  EXPECT_EQ(h.buckets()[1].count, 50u);
+  EXPECT_EQ(h.buckets()[2].count, 50u);
+}
+
+TEST(VOptimalTest, MatchesBruteForceOnSmallInputs) {
+  // Exhaustive check of DP optimality: all 2-splits of 12 items.
+  Rng rng(175);
+  std::vector<double> xs(12);
+  for (double& x : xs) x = rng.NextDouble() * 100;
+  std::sort(xs.begin(), xs.end());
+  auto sse = [&](size_t i, size_t j) {
+    double mean = 0;
+    for (size_t p = i; p < j; ++p) mean += xs[p];
+    mean /= static_cast<double>(j - i);
+    double err = 0;
+    for (size_t p = i; p < j; ++p) err += (xs[p] - mean) * (xs[p] - mean);
+    return err;
+  };
+  double brute = std::numeric_limits<double>::infinity();
+  for (size_t a = 1; a < xs.size() - 1; ++a) {
+    for (size_t b = a + 1; b < xs.size(); ++b) {
+      brute = std::min(brute, sse(0, a) + sse(a, b) + sse(b, xs.size()));
+    }
+  }
+  auto h = std::move(BuildVOptimal(xs, 3)).value();
+  EXPECT_NEAR(h.SquaredError(xs), brute, 1e-9);
+}
+
+TEST(VOptimalTest, BeatsEquiDepthOnSkewedData) {
+  // The whole point of v-optimal: lower L2 error than equal-count buckets
+  // for the same B.
+  const auto xs = GenerateDataset(DatasetId::kPareto, 5000);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  constexpr size_t kB = 16;
+  auto voptimal = std::move(BuildVOptimal(xs, kB)).value();
+  auto equidepth = std::move(BuildEquiDepth(xs, kB)).value();
+  EXPECT_LT(voptimal.SquaredError(sorted), equidepth.SquaredError(sorted));
+}
+
+TEST(VOptimalTest, GreedyCloseToExact) {
+  Rng rng(176);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = std::exp(rng.NextDouble() * 4);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  constexpr size_t kB = 12;
+  auto exact = std::move(BuildVOptimal(xs, kB)).value();
+  auto greedy = std::move(BuildVOptimalGreedy(xs, kB)).value();
+  const double exact_err = exact.SquaredError(sorted);
+  const double greedy_err = greedy.SquaredError(sorted);
+  EXPECT_GE(greedy_err, exact_err * (1 - 1e-9));  // exact really is optimal
+  EXPECT_LE(greedy_err, exact_err * 3 + 1e-9);    // greedy in the ballpark
+}
+
+TEST(VOptimalTest, NoPerQuantileGuarantee) {
+  // §1.2: "there are no guarantees on the error of any particular
+  // quantile query" — the global-L2-optimal histogram can still be
+  // relatively far off on a specific quantile of skewed data, where
+  // DDSketch is pinned to alpha.
+  const auto xs = GenerateDataset(DatasetId::kPareto, 5000);
+  auto h = std::move(BuildVOptimal(xs, 16)).value();
+  ExactQuantiles truth(xs);
+  double worst = 0;
+  for (double q = 0.05; q <= 0.95; q += 0.05) {
+    worst = std::max(worst,
+                     RelativeError(h.QuantileOrNaN(q), truth.Quantile(q)));
+  }
+  EXPECT_GT(worst, 0.01);  // some quantile is worse than DDSketch's bound
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram h({{0, 1, 10, 0.5}, {1, 2, 10, 1.5}});
+  EXPECT_DOUBLE_EQ(h.QuantileOrNaN(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.QuantileOrNaN(1.0), 1.5);
+  EXPECT_TRUE(std::isnan(h.QuantileOrNaN(-0.1)));
+  EXPECT_TRUE(std::isnan(h.QuantileOrNaN(1.1)));
+}
+
+TEST(HistogramTest, NaiveMergePreservesTotalCountApproximately) {
+  Rng rng(177);
+  std::vector<double> a(5000), b(5000);
+  for (double& x : a) x = rng.NextDouble() * 10;
+  for (double& x : b) x = 5 + rng.NextDouble() * 10;
+  auto ha = std::move(BuildEquiDepth(a, 20)).value();
+  auto hb = std::move(BuildEquiDepth(b, 20)).value();
+  auto merged = Histogram::NaiveMerge(ha, hb, 20);
+  EXPECT_EQ(merged.buckets().size(), 20u);
+  // Counts survive up to the rounding of the uniform-overlap split.
+  EXPECT_NEAR(static_cast<double>(merged.total_count()), 10000.0, 50.0);
+}
+
+}  // namespace
+}  // namespace dd

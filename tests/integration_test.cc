@@ -1,0 +1,273 @@
+// End-to-end scenarios spanning all modules: the monitoring pipeline of the
+// paper's introduction (workers -> serialized sketches -> aggregator ->
+// quantile dashboards), and cross-sketch comparisons that pin down the
+// qualitative results of Section 4 / Table 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "gk/gkarray.h"
+#include "hdr/hdr_histogram.h"
+#include "moments/moment_sketch.h"
+#include "util/rng.h"
+#include "util/running_stats.h"
+
+namespace dd {
+namespace {
+
+TEST(PipelineTest, WorkersSerializeAggregatorMerges) {
+  // 50 workers, each handling a second of traffic, ship serialized sketches
+  // to an aggregator; the aggregated quantiles must be alpha-accurate for
+  // the full traffic and exactly equal to a hypothetical global sketch.
+  constexpr int kWorkers = 50;
+  constexpr int kRequestsPerWorker = 2000;
+  const double alpha = 0.01;
+
+  auto dataset = MakeDataset(DatasetId::kWebLatency);
+  std::vector<double> all_latencies;
+  std::vector<std::string> wire_payloads;
+  auto global = std::move(DDSketch::Create(alpha)).value();
+
+  for (int w = 0; w < kWorkers; ++w) {
+    DataStream stream(dataset->Clone(), /*seed=*/9000 + w);
+    auto local = std::move(DDSketch::Create(alpha)).value();
+    for (int i = 0; i < kRequestsPerWorker; ++i) {
+      const double latency = stream.Next();
+      local.Add(latency);
+      global.Add(latency);
+      all_latencies.push_back(latency);
+    }
+    wire_payloads.push_back(local.Serialize());
+  }
+
+  auto aggregated = std::move(DDSketch::Create(alpha)).value();
+  for (const std::string& payload : wire_payloads) {
+    auto decoded = DDSketch::Deserialize(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(aggregated.MergeFrom(decoded.value()).ok());
+  }
+
+  ASSERT_EQ(aggregated.count(), all_latencies.size());
+  ExactQuantiles truth(all_latencies);
+  for (double q : {0.5, 0.75, 0.9, 0.95, 0.99, 0.999}) {
+    EXPECT_LE(RelativeError(aggregated.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+    EXPECT_DOUBLE_EQ(aggregated.QuantileOrNaN(q), global.QuantileOrNaN(q))
+        << q;
+  }
+}
+
+TEST(PipelineTest, TimeRollupAcrossIntervals) {
+  // Per-second sketches rolled up to a minute and an hour: quantiles stay
+  // accurate at every rollup level (the rolling-up use case of §1).
+  const double alpha = 0.01;
+  auto dataset = MakeDataset(DatasetId::kWebLatency);
+  DataStream stream(dataset->Clone(), 424242);
+
+  std::vector<double> hour_data;
+  auto hour = std::move(DDSketch::Create(alpha)).value();
+  for (int minute = 0; minute < 60; ++minute) {
+    auto minute_sketch = std::move(DDSketch::Create(alpha)).value();
+    for (int second = 0; second < 60; ++second) {
+      auto second_sketch = std::move(DDSketch::Create(alpha)).value();
+      for (int i = 0; i < 20; ++i) {
+        const double x = stream.Next();
+        second_sketch.Add(x);
+        hour_data.push_back(x);
+      }
+      ASSERT_TRUE(minute_sketch.MergeFrom(second_sketch).ok());
+    }
+    ASSERT_TRUE(hour.MergeFrom(minute_sketch).ok());
+  }
+  ExactQuantiles truth(hour_data);
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_LE(RelativeError(hour.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(ComparisonTest, Figure2MeanIsMisleadingOnSkewedData) {
+  // The paper's Figure 2: the mean latency tracks ~p75, not the median.
+  auto dataset = MakeDataset(DatasetId::kWebLatency);
+  const auto data = GenerateN(*dataset, 200000, 31337);
+  RunningStats stats;
+  for (double x : data) stats.Add(x);
+  ExactQuantiles truth(data);
+  EXPECT_GT(stats.mean(), 1.5 * truth.Quantile(0.5));
+}
+
+TEST(ComparisonTest, Table1RelativeErrorSketchesBeatRankErrorOnTails) {
+  // On heavy-tailed data, DDSketch and HDR keep p99 relative error near
+  // their guarantee while GK and Moments are off by much more (Figure 10).
+  const auto data = GenerateDataset(DatasetId::kPareto, 300000, 13);
+  ExactQuantiles truth(data);
+
+  auto ddsketch = std::move(DDSketch::Create(0.01)).value();
+  auto gk = std::move(GKArray::Create(0.01)).value();
+  auto hdr = std::move(HdrDoubleHistogram::Create(2, 1.0, 1e9)).value();
+  auto moments = std::move(MomentSketch::Create(20, true)).value();
+  for (double x : data) {
+    ddsketch.Add(x);
+    gk.Add(x);
+    hdr.Record(x);
+    moments.Add(x);
+  }
+  const double p99 = truth.Quantile(0.99);
+  const double dd_err = RelativeError(ddsketch.QuantileOrNaN(0.99), p99);
+  const double hdr_err = RelativeError(hdr.QuantileOrNaN(0.99), p99);
+  const double gk_err = RelativeError(gk.QuantileOrNaN(0.99), p99);
+
+  EXPECT_LE(dd_err, 0.01 * (1 + 1e-9));
+  EXPECT_LE(hdr_err, 0.011);
+  EXPECT_GT(gk_err, dd_err);
+}
+
+TEST(ComparisonTest, MomentsStrugglesOnWideRangeSpanData) {
+  // Figure 10, span column: "the Moments sketch has particular difficulty
+  // with the span data set as it has trouble dealing with such a large
+  // range of values". On ten orders of magnitude the scaled-moment
+  // conversion loses precision and the estimates degrade far beyond
+  // DDSketch's guarantee (or the solve fails outright).
+  const auto data = GenerateDataset(DatasetId::kSpan, 300000, 18);
+  ExactQuantiles truth(data);
+  auto ddsketch = std::move(DDSketch::Create(0.01)).value();
+  auto moments = std::move(MomentSketch::Create(20, true)).value();
+  for (double x : data) {
+    ddsketch.Add(x);
+    moments.Add(x);
+  }
+  double worst_moments = 0.0;
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double actual = truth.Quantile(q);
+    EXPECT_LE(RelativeError(ddsketch.QuantileOrNaN(q), actual),
+              0.01 * (1 + 1e-9))
+        << q;
+    const double mo = moments.QuantileOrNaN(q);
+    const double err = std::isnan(mo)
+                           ? std::numeric_limits<double>::infinity()
+                           : RelativeError(mo, actual);
+    worst_moments = std::max(worst_moments, err);
+  }
+  EXPECT_GT(worst_moments, 0.01);
+}
+
+TEST(ComparisonTest, Table1GKHonorsRankErrorEverywhere) {
+  const auto data = GenerateDataset(DatasetId::kSpan, 200000, 14);
+  ExactQuantiles truth(data);
+  auto gk = std::move(GKArray::Create(0.01)).value();
+  for (double x : data) gk.Add(x);
+  for (double q : {0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    EXPECT_LE(RankError(truth, q, gk.QuantileOrNaN(q)), 0.0105) << q;
+  }
+}
+
+TEST(ComparisonTest, Table1RangeProperties) {
+  // DDSketch: arbitrary range. HDR: bounded range. Demonstrated by feeding
+  // a value far outside any pre-declared range.
+  auto ddsketch = std::move(DDSketch::Create(0.01)).value();
+  ddsketch.Add(1e-200);
+  ddsketch.Add(1e200);
+  EXPECT_EQ(ddsketch.count(), 2u);
+  EXPECT_LE(RelativeError(ddsketch.QuantileOrNaN(0.0), 1e-200), 0.01);
+  EXPECT_LE(RelativeError(ddsketch.QuantileOrNaN(1.0), 1e200), 0.01);
+
+  // HDR cannot even be configured for that span.
+  EXPECT_FALSE(HdrDoubleHistogram::Create(2, 1e-200, 1e200).ok());
+}
+
+TEST(ComparisonTest, Figure6SizeOrdering) {
+  // Moments < GK ~ DDSketch << HDR on the heavy-tailed sets.
+  const auto data = GenerateDataset(DatasetId::kSpan, 100000, 15);
+  auto ddsketch = std::move(DDSketch::Create(0.01)).value();
+  auto gk = std::move(GKArray::Create(0.01)).value();
+  auto hdr = std::move(HdrDoubleHistogram::Create(2, 100.0, 1.9e12)).value();
+  auto moments = std::move(MomentSketch::Create(20, true)).value();
+  for (double x : data) {
+    ddsketch.Add(x);
+    gk.Add(x);
+    hdr.Record(x);
+    moments.Add(x);
+  }
+  gk.Flush();
+  EXPECT_LT(moments.size_in_bytes(), gk.size_in_bytes());
+  EXPECT_LT(moments.size_in_bytes(), ddsketch.size_in_bytes());
+  EXPECT_LT(ddsketch.size_in_bytes(), hdr.size_in_bytes());
+}
+
+TEST(ComparisonTest, AllSketchesAgreeOnDenseNarrowData) {
+  // The power data set is the easy case: every sketch family should give
+  // usable answers (within a few percent).
+  const auto data = GenerateDataset(DatasetId::kPower, 200000, 16);
+  ExactQuantiles truth(data);
+  auto ddsketch = std::move(DDSketch::Create(0.01)).value();
+  auto gk = std::move(GKArray::Create(0.01)).value();
+  auto hdr = std::move(HdrDoubleHistogram::Create(2, 0.076, 11.122)).value();
+  auto moments = std::move(MomentSketch::Create(20, true)).value();
+  for (double x : data) {
+    ddsketch.Add(x);
+    gk.Add(x);
+    hdr.Record(x);
+    moments.Add(x);
+  }
+  for (double q : {0.5, 0.95}) {
+    const double actual = truth.Quantile(q);
+    EXPECT_LE(RelativeError(ddsketch.QuantileOrNaN(q), actual), 0.01) << q;
+    EXPECT_LE(RelativeError(hdr.QuantileOrNaN(q), actual), 0.011) << q;
+    EXPECT_LE(RelativeError(gk.QuantileOrNaN(q), actual), 0.05) << q;
+    EXPECT_LE(RelativeError(moments.QuantileOrNaN(q), actual), 0.10) << q;
+  }
+}
+
+TEST(RobustnessTest, SketchSurvivesPathologicalStream) {
+  // NaNs, infinities, zeros, denormals, sign flips, huge magnitudes — the
+  // sketch must stay consistent and keep answering.
+  auto s = std::move(DDSketch::Create(0.01)).value();
+  Rng rng(17);
+  uint64_t accepted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    switch (rng.NextBounded(8)) {
+      case 0:
+        s.Add(std::nan(""));
+        break;
+      case 1:
+        s.Add(std::numeric_limits<double>::infinity());
+        break;
+      case 2:
+        s.Add(0.0);
+        ++accepted;
+        break;
+      case 3:
+        s.Add(5e-324);
+        ++accepted;
+        break;
+      case 4:
+        s.Add(-std::exp(rng.NextDouble() * 100));
+        ++accepted;
+        break;
+      case 5:
+        s.Add(std::numeric_limits<double>::max());
+        ++accepted;
+        break;
+      default:
+        s.Add(rng.NextDoubleOpenZero());
+        ++accepted;
+    }
+  }
+  EXPECT_EQ(s.count(), accepted);
+  EXPECT_TRUE(std::isfinite(s.QuantileOrNaN(0.5)));
+  // Round-trip the battered sketch.
+  auto decoded = DDSketch::Deserialize(s.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().count(), accepted);
+}
+
+}  // namespace
+}  // namespace dd

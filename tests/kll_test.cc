@@ -1,0 +1,226 @@
+#include "kll/kll_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+KllSketch Make(int k = 200, uint64_t seed = 1) {
+  auto r = KllSketch::Create(k, seed);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(KllTest, CreateValidation) {
+  EXPECT_FALSE(KllSketch::Create(4).ok());
+  EXPECT_FALSE(KllSketch::Create(100000).ok());
+  EXPECT_TRUE(KllSketch::Create(8).ok());
+  EXPECT_TRUE(KllSketch::Create(200).ok());
+}
+
+TEST(KllTest, EmptyAndValidation) {
+  KllSketch s = Make();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Quantile(0.5).ok());
+  EXPECT_TRUE(std::isnan(s.QuantileOrNaN(0.5)));
+  s.Add(1.0);
+  EXPECT_FALSE(s.Quantile(-1).ok());
+  EXPECT_FALSE(s.Quantile(1.1).ok());
+}
+
+TEST(KllTest, SmallStreamExact) {
+  // Below capacity nothing compacts: answers are exact order statistics.
+  KllSketch s = Make();
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.QuantileOrNaN(1.0), 5.0);
+}
+
+TEST(KllTest, WeightConservation) {
+  // Retained weights always sum to the stream count, at any moment.
+  KllSketch s = Make(64);
+  Rng rng(161);
+  for (int i = 1; i <= 100000; ++i) {
+    s.Add(rng.NextDouble());
+    if (i % 9973 == 0) {
+      // Weight sum check via CdfOrNaN at +inf-like probe.
+      EXPECT_DOUBLE_EQ(s.CdfOrNaN(2.0), 1.0) << i;
+      EXPECT_EQ(s.count(), static_cast<uint64_t>(i));
+    }
+  }
+}
+
+TEST(KllTest, SpaceStaysBounded) {
+  KllSketch s = Make(200);
+  Rng rng(162);
+  for (int i = 0; i < 2000000; ++i) s.Add(rng.NextDouble());
+  // O(k) retained: k + k*2/3 + ... ~ 3k, plus per-level slack.
+  EXPECT_LT(s.num_retained(), 1000u);
+  EXPECT_LT(s.size_in_bytes(), 64 * 1024u);
+  EXPECT_GT(s.num_levels(), 5u);  // 2M values need ~ log(n/k) levels
+}
+
+class KllRankErrorTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(KllRankErrorTest, RankErrorSmallOnAllDatasets) {
+  KllSketch s = Make(400, 7);
+  const auto data = GenerateDataset(GetParam(), 200000);
+  for (double x : data) s.Add(x);
+  ExactQuantiles truth(data);
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_LE(RankError(truth, q, s.QuantileOrNaN(q)), 0.02) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, KllRankErrorTest,
+                         ::testing::ValuesIn(kPaperDatasets),
+                         [](const ::testing::TestParamInfo<DatasetId>& info) {
+                           return DatasetIdToString(info.param);
+                         });
+
+TEST(KllTest, AccuracyImprovesWithK) {
+  const auto data = GenerateDataset(DatasetId::kPareto, 300000);
+  ExactQuantiles truth(data);
+  auto worst_rank_err = [&](int k) {
+    // Average over seeds: KLL is randomized.
+    double total = 0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      KllSketch s = Make(k, seed);
+      for (double x : data) s.Add(x);
+      double worst = 0;
+      for (double q = 0.1; q < 1.0; q += 0.1) {
+        worst = std::max(worst, RankError(truth, q, s.QuantileOrNaN(q)));
+      }
+      total += worst;
+    }
+    return total / 5;
+  };
+  const double err_small = worst_rank_err(32);
+  const double err_large = worst_rank_err(512);
+  EXPECT_LT(err_large, err_small / 2);
+  EXPECT_LT(err_large, 0.01);
+}
+
+TEST(KllTest, FullMergeabilityAcrossTreeShapes) {
+  // KLL is fully mergeable: merged sketches keep the rank guarantee
+  // regardless of tree depth (randomization differs, exact equality is
+  // not expected — the *guarantee* must survive).
+  const auto data = GenerateDataset(DatasetId::kSpan, 128000);
+  ExactQuantiles truth(data);
+  std::vector<KllSketch> level;
+  for (int i = 0; i < 32; ++i) {
+    level.push_back(Make(400, 100 + static_cast<uint64_t>(i)));
+    for (int j = 0; j < 4000; ++j) level.back().Add(data[i * 4000 + j]);
+  }
+  while (level.size() > 1) {
+    std::vector<KllSketch> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      KllSketch m = level[i];
+      ASSERT_TRUE(m.MergeFrom(level[i + 1]).ok());
+      next.push_back(std::move(m));
+    }
+    level = std::move(next);
+  }
+  EXPECT_EQ(level[0].count(), data.size());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(RankError(truth, q, level[0].QuantileOrNaN(q)), 0.03) << q;
+  }
+  // Space also stays bounded through the merge tree.
+  EXPECT_LT(level[0].num_retained(), 2000u);
+}
+
+TEST(KllTest, MergeRejectsMismatchedK) {
+  KllSketch a = Make(200), b = Make(100);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kIncompatible);
+}
+
+TEST(KllTest, MergeWithEmpty) {
+  KllSketch a = Make(), b = Make();
+  a.Add(1.0);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.count(), 1u);
+  ASSERT_TRUE(b.MergeFrom(a).ok());
+  EXPECT_DOUBLE_EQ(b.QuantileOrNaN(0.5), 1.0);
+}
+
+TEST(KllTest, DeterministicForFixedSeed) {
+  const auto data = GenerateDataset(DatasetId::kPareto, 50000);
+  KllSketch a = Make(200, 42), b = Make(200, 42);
+  for (double x : data) {
+    a.Add(x);
+    b.Add(x);
+  }
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q)) << q;
+  }
+}
+
+TEST(KllTest, ExactExtremes) {
+  KllSketch s = Make();
+  Rng rng(163);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 500000; ++i) {
+    const double x = rng.NextDouble() * 2e6 - 1e6;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    s.Add(x);
+  }
+  EXPECT_EQ(s.QuantileOrNaN(0.0), lo);
+  EXPECT_EQ(s.QuantileOrNaN(1.0), hi);
+}
+
+TEST(KllTest, CdfConsistentWithQuantile) {
+  KllSketch s = Make(400);
+  Rng rng(164);
+  for (int i = 0; i < 200000; ++i) s.Add(rng.NextDouble() * 100);
+  for (double q = 0.1; q <= 0.9; q += 0.1) {
+    EXPECT_NEAR(s.CdfOrNaN(s.QuantileOrNaN(q)), q, 0.02) << q;
+  }
+}
+
+TEST(KllTest, HighRelativeErrorOnHeavyTailsAsPaperClaims) {
+  // §1.2: "all of the above solutions, deterministic or randomized, have
+  // high relative error for the larger quantiles on heavy-tailed data
+  // (in practice we have found it to be worse for the randomized
+  // algorithms)".
+  KllSketch s = Make(200, 3);
+  const auto data = GenerateDataset(DatasetId::kPareto, 1000000);
+  for (double x : data) s.Add(x);
+  ExactQuantiles truth(data);
+  const double rel99 =
+      RelativeError(s.QuantileOrNaN(0.99), truth.Quantile(0.99));
+  EXPECT_GT(rel99, 0.01);
+}
+
+TEST(KllTest, RejectsNonFinite) {
+  KllSketch s = Make();
+  s.Add(std::nan(""));
+  s.Add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.rejected_count(), 2u);
+}
+
+TEST(KllTest, SortedInputStress) {
+  KllSketch s = Make(400, 9);
+  std::vector<double> data(300000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i);
+    s.Add(data[i]);
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_LE(RankError(truth, q, s.QuantileOrNaN(q)), 0.02) << q;
+  }
+}
+
+}  // namespace
+}  // namespace dd

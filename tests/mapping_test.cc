@@ -1,0 +1,190 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+using MappingParam = std::tuple<MappingType, double>;
+
+class MappingTest : public ::testing::TestWithParam<MappingParam> {
+ protected:
+  void SetUp() override {
+    auto r = IndexMapping::Create(std::get<0>(GetParam()),
+                                  std::get<1>(GetParam()));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    mapping_ = std::move(r).value();
+  }
+
+  double alpha() const { return std::get<1>(GetParam()); }
+  std::unique_ptr<IndexMapping> mapping_;
+};
+
+TEST_P(MappingTest, GammaMatchesDefinition) {
+  const double expected = (1.0 + alpha()) / (1.0 - alpha());
+  EXPECT_NEAR(mapping_->gamma(), expected, 1e-12);
+  EXPECT_EQ(mapping_->relative_accuracy(), alpha());
+}
+
+// The core guarantee (Lemma 2): the representative of any value's bucket is
+// within alpha of the value, across ~600 orders of magnitude.
+TEST_P(MappingTest, RelativeAccuracyAcrossFullRange) {
+  Rng rng(101);
+  for (int i = 0; i < 200000; ++i) {
+    const int e = static_cast<int>(rng.NextBounded(1200)) - 600;
+    const double x = std::ldexp(1.0 + rng.NextDouble(), e);
+    if (x < mapping_->min_indexable_value() ||
+        x > mapping_->max_indexable_value()) {
+      continue;
+    }
+    const double rep = mapping_->Value(mapping_->Index(x));
+    EXPECT_LE(std::abs(rep - x), alpha() * x * (1 + 1e-9))
+        << "x=" << x << " rep=" << rep;
+  }
+}
+
+TEST_P(MappingTest, RelativeAccuracyAtDecadeBoundaries) {
+  for (int d = -300; d <= 300; ++d) {
+    const double x = std::pow(10.0, d);
+    if (x < mapping_->min_indexable_value() ||
+        x > mapping_->max_indexable_value()) {
+      continue;
+    }
+    const double rep = mapping_->Value(mapping_->Index(x));
+    EXPECT_LE(std::abs(rep - x), alpha() * x * (1 + 1e-9)) << "x=1e" << d;
+  }
+}
+
+TEST_P(MappingTest, IndexIsMonotone) {
+  Rng rng(102);
+  for (int i = 0; i < 50000; ++i) {
+    const int e = static_cast<int>(rng.NextBounded(600)) - 300;
+    const double x = std::ldexp(1.0 + rng.NextDouble(), e);
+    const double y = x * (1.0 + rng.NextDouble());
+    EXPECT_LE(mapping_->Index(x), mapping_->Index(y))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(MappingTest, RepresentativeMapsBackToItsBucket) {
+  Rng rng(103);
+  for (int i = 0; i < 20000; ++i) {
+    const int e = static_cast<int>(rng.NextBounded(1000)) - 500;
+    const double x = std::ldexp(1.0 + rng.NextDouble(), e);
+    if (x < mapping_->min_indexable_value() * 4 ||
+        x > mapping_->max_indexable_value() / 4) {
+      continue;
+    }
+    const int32_t index = mapping_->Index(x);
+    EXPECT_EQ(mapping_->Index(mapping_->Value(index)), index) << "x=" << x;
+  }
+}
+
+TEST_P(MappingTest, LowerBoundsBracketBucket) {
+  Rng rng(104);
+  for (int i = 0; i < 20000; ++i) {
+    const int e = static_cast<int>(rng.NextBounded(600)) - 300;
+    const double x = std::ldexp(1.0 + rng.NextDouble(), e);
+    const int32_t index = mapping_->Index(x);
+    // x lies in (LowerBound(index), LowerBound(index + 1)], allowing one
+    // ulp of slack at the boundaries.
+    EXPECT_GT(x * (1 + 1e-12), mapping_->LowerBound(index)) << x;
+    EXPECT_LE(x * (1 - 1e-12), mapping_->LowerBound(index + 1)) << x;
+  }
+}
+
+TEST_P(MappingTest, ConsecutiveBucketsTile) {
+  // LowerBound(i+1)/LowerBound(i) <= gamma (within rounding): no bucket
+  // wider than the guarantee allows.
+  for (int32_t index = -500; index <= 500; index += 7) {
+    const double lo = mapping_->LowerBound(index);
+    const double hi = mapping_->LowerBound(index + 1);
+    EXPECT_GT(hi, lo);
+    EXPECT_LE(hi / lo, mapping_->gamma() * (1 + 1e-9)) << index;
+  }
+}
+
+TEST_P(MappingTest, CloneIsCompatibleAndEquivalent) {
+  auto clone = mapping_->Clone();
+  EXPECT_TRUE(mapping_->IsCompatibleWith(*clone));
+  Rng rng(105);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::ldexp(1.0 + rng.NextDouble(),
+                                static_cast<int>(rng.NextBounded(200)) - 100);
+    EXPECT_EQ(mapping_->Index(x), clone->Index(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMappings, MappingTest,
+    ::testing::Combine(
+        ::testing::Values(MappingType::kLogarithmic,
+                          MappingType::kLinearInterpolated,
+                          MappingType::kQuadraticInterpolated,
+                          MappingType::kCubicInterpolated),
+        ::testing::Values(0.001, 0.01, 0.05, 0.2)),
+    [](const ::testing::TestParamInfo<MappingParam>& info) {
+      std::string name = MappingTypeToString(std::get<0>(info.param));
+      name += "_a";
+      name += std::to_string(static_cast<int>(
+          std::round(std::get<1>(info.param) * 1000)));
+      return name;
+    });
+
+TEST(MappingFactoryTest, RejectsBadAccuracy) {
+  for (double bad : {0.0, 1.0, -0.5, 2.0}) {
+    auto r = IndexMapping::Create(MappingType::kLogarithmic, bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(MappingOverheadTest, InterpolatedMappingsCostMoreBuckets) {
+  // Buckets needed to span [1, 10^9]: interpolated mappings need more,
+  // in the derived ratios (~1.44x, ~1.08x, ~1.01x of optimal).
+  const double alpha = 0.01;
+  auto make = [&](MappingType t) {
+    return std::move(IndexMapping::Create(t, alpha)).value();
+  };
+  auto span = [&](const IndexMapping& m) {
+    return m.Index(1e9) - m.Index(1.0);
+  };
+  const auto log_m = make(MappingType::kLogarithmic);
+  const auto lin = make(MappingType::kLinearInterpolated);
+  const auto quad = make(MappingType::kQuadraticInterpolated);
+  const auto cubic = make(MappingType::kCubicInterpolated);
+  const double base = span(*log_m);
+  EXPECT_NEAR(span(*lin) / base, 1.0 / std::log(2.0), 0.01);
+  EXPECT_NEAR(span(*quad) / base, 3.0 / (4.0 * std::log(2.0)), 0.01);
+  EXPECT_NEAR(span(*cubic) / base, 7.0 / (10.0 * std::log(2.0)), 0.01);
+}
+
+TEST(MappingCompatibilityTest, DifferentTypesOrAlphasIncompatible) {
+  auto a =
+      std::move(IndexMapping::Create(MappingType::kLogarithmic, 0.01)).value();
+  auto b =
+      std::move(IndexMapping::Create(MappingType::kCubicInterpolated, 0.01))
+          .value();
+  auto c =
+      std::move(IndexMapping::Create(MappingType::kLogarithmic, 0.02)).value();
+  EXPECT_FALSE(a->IsCompatibleWith(*b));
+  EXPECT_FALSE(a->IsCompatibleWith(*c));
+  EXPECT_TRUE(a->IsCompatibleWith(*a));
+}
+
+TEST(MappingNamesTest, StableStrings) {
+  EXPECT_STREQ(MappingTypeToString(MappingType::kLogarithmic), "log");
+  EXPECT_STREQ(MappingTypeToString(MappingType::kLinearInterpolated),
+               "linear");
+  EXPECT_STREQ(MappingTypeToString(MappingType::kQuadraticInterpolated),
+               "quadratic");
+  EXPECT_STREQ(MappingTypeToString(MappingType::kCubicInterpolated), "cubic");
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,146 @@
+#include "moments/maxent_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "moments/chebyshev.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+// Chebyshev moments of a sample on [-1, 1].
+std::vector<double> SampleChebyshevMoments(const std::vector<double>& xs,
+                                           size_t k) {
+  std::vector<double> m(k + 1, 0.0);
+  std::vector<double> t(k + 1);
+  for (double x : xs) {
+    ChebyshevValues(x, k, t.data());
+    for (size_t j = 0; j <= k; ++j) m[j] += t[j];
+  }
+  for (double& v : m) v /= static_cast<double>(xs.size());
+  return m;
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [2, 3] -> x = [0, 1].
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {2, 3};
+  ASSERT_TRUE(CholeskySolve(a, b, 2));
+  EXPECT_NEAR(b[0], 0.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdSystems) {
+  Rng rng(95);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextBounded(12);
+    // A = M M^T + I is SPD.
+    std::vector<double> m(n * n);
+    for (double& v : m) v = rng.NextDouble() * 2 - 1;
+    std::vector<double> a(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t p = 0; p < n; ++p) a[i * n + j] += m[i * n + p] * m[j * n + p];
+      }
+      a[i * n + i] += 1.0;
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.NextDouble() * 4 - 2;
+    std::vector<double> b(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+    }
+    std::vector<double> a_copy = a;
+    ASSERT_TRUE(CholeskySolve(a_copy, b, n));
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(b[i], x_true[i], 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(CholeskySolve(a, b, 2));
+}
+
+TEST(MaxEntTest, UniformMomentsGiveUniformDensity) {
+  // m = (1, 0, -1/3, 0, -1/15): Chebyshev moments of U(-1,1).
+  std::vector<double> m = {1.0, 0.0, -1.0 / 3.0, 0.0, -1.0 / 15.0};
+  auto r = SolveMaxEntropy(m);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Quantiles of U(-1,1): q-quantile = 2q - 1.
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(r.value().QuantileU(q), 2 * q - 1, 0.01) << q;
+  }
+}
+
+TEST(MaxEntTest, RecoversTruncatedGaussianQuantiles) {
+  Rng rng(96);
+  std::vector<double> xs;
+  while (xs.size() < 200000) {
+    const double u1 = rng.NextDoubleOpenZero();
+    const double u2 = rng.NextDouble();
+    const double z =
+        std::sqrt(-2 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double x = 0.2 + 0.3 * z;
+    if (x > -1 && x < 1) xs.push_back(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  auto r = SolveMaxEntropy(SampleChebyshevMoments(xs, 10));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double actual =
+        xs[static_cast<size_t>(q * (static_cast<double>(xs.size()) - 1))];
+    EXPECT_NEAR(r.value().QuantileU(q), actual, 0.02) << q;
+  }
+}
+
+TEST(MaxEntTest, RecoversBimodalDensity) {
+  Rng rng(97);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    const double center = (i % 2 == 0) ? -0.5 : 0.5;
+    const double u1 = rng.NextDoubleOpenZero();
+    const double u2 = rng.NextDouble();
+    const double z =
+        std::sqrt(-2 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double x = center + 0.12 * z;
+    xs.push_back(std::clamp(x, -0.999, 0.999));
+  }
+  std::sort(xs.begin(), xs.end());
+  auto r = SolveMaxEntropy(SampleChebyshevMoments(xs, 16));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The median sits between the modes; the quartiles near the modes.
+  EXPECT_NEAR(r.value().QuantileU(0.25), -0.5, 0.06);
+  EXPECT_NEAR(r.value().QuantileU(0.75), 0.5, 0.06);
+}
+
+TEST(MaxEntTest, CdfIsMonotoneNormalized) {
+  std::vector<double> m = {1.0, 0.1, -0.3, 0.05, -0.1};
+  auto r = SolveMaxEntropy(m);
+  ASSERT_TRUE(r.ok());
+  const auto& cdf = r.value().cdf();
+  EXPECT_DOUBLE_EQ(cdf.front(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(MaxEntTest, QuantileUClampsArguments) {
+  std::vector<double> m = {1.0, 0.0, -1.0 / 3.0};
+  auto r = SolveMaxEntropy(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().QuantileU(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(r.value().QuantileU(2.0), 1.0);
+}
+
+TEST(MaxEntTest, EmptyMomentsRejected) {
+  EXPECT_FALSE(SolveMaxEntropy({}).ok());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,225 @@
+// Full-mergeability property suite (paper §1, Table 1): DDSketch merged in
+// any partition, any order, any tree shape must answer every query exactly
+// as a single sketch over the concatenated stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+DDSketch MakeSketch(int32_t max_buckets = 2048) {
+  auto r = DDSketch::Create(0.01, max_buckets);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+void ExpectSameAnswers(const DDSketch& a, const DDSketch& b) {
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.zero_count(), b.zero_count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_NEAR(a.sum(), b.sum(), std::abs(b.sum()) * 1e-9 + 1e-9);
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q)) << "q=" << q;
+  }
+}
+
+class MergePartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergePartitionTest, AnyPartitionMatchesSingleSketch) {
+  const int num_parts = GetParam();
+  const auto data = GenerateDataset(DatasetId::kSpan, 60000, /*seed=*/7);
+  DDSketch single = MakeSketch();
+  for (double x : data) single.Add(x);
+
+  std::vector<DDSketch> parts;
+  for (int i = 0; i < num_parts; ++i) parts.push_back(MakeSketch());
+  Rng rng(500 + static_cast<uint64_t>(num_parts));
+  for (double x : data) {
+    parts[rng.NextBounded(static_cast<uint64_t>(num_parts))].Add(x);
+  }
+  DDSketch merged = MakeSketch();
+  for (const DDSketch& p : parts) ASSERT_TRUE(merged.MergeFrom(p).ok());
+  ExpectSameAnswers(merged, single);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, MergePartitionTest,
+                         ::testing::Values(2, 3, 8, 32, 100));
+
+TEST(MergeabilityTest, MergeOrderIrrelevant) {
+  const auto data = GenerateDataset(DatasetId::kPareto, 30000, 8);
+  std::vector<DDSketch> parts;
+  for (int i = 0; i < 6; ++i) parts.push_back(MakeSketch());
+  for (size_t i = 0; i < data.size(); ++i) parts[i % 6].Add(data[i]);
+
+  // Left fold 0..5.
+  DDSketch forward = MakeSketch();
+  for (const auto& p : parts) ASSERT_TRUE(forward.MergeFrom(p).ok());
+  // Right fold 5..0.
+  DDSketch backward = MakeSketch();
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    ASSERT_TRUE(backward.MergeFrom(*it).ok());
+  }
+  // Balanced tree: (0+1) + (2+3) + (4+5).
+  DDSketch t01 = parts[0], t23 = parts[2], t45 = parts[4];
+  ASSERT_TRUE(t01.MergeFrom(parts[1]).ok());
+  ASSERT_TRUE(t23.MergeFrom(parts[3]).ok());
+  ASSERT_TRUE(t45.MergeFrom(parts[5]).ok());
+  ASSERT_TRUE(t01.MergeFrom(t23).ok());
+  ASSERT_TRUE(t01.MergeFrom(t45).ok());
+
+  ExpectSameAnswers(forward, backward);
+  ExpectSameAnswers(forward, t01);
+}
+
+TEST(MergeabilityTest, RepeatedPairwiseMergingDeepTree) {
+  // 64 leaf sketches merged as a binary reduction tree (6 levels deep):
+  // the failure mode of one-way-mergeable sketches, a no-op for DDSketch.
+  const auto data = GenerateDataset(DatasetId::kWebLatency, 64000, 9);
+  DDSketch single = MakeSketch();
+  for (double x : data) single.Add(x);
+
+  std::vector<DDSketch> level;
+  for (int i = 0; i < 64; ++i) {
+    level.push_back(MakeSketch());
+    for (int j = 0; j < 1000; ++j) level.back().Add(data[i * 1000 + j]);
+  }
+  while (level.size() > 1) {
+    std::vector<DDSketch> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      DDSketch m = level[i];
+      ASSERT_TRUE(m.MergeFrom(level[i + 1]).ok());
+      next.push_back(std::move(m));
+    }
+    level = std::move(next);
+  }
+  ExpectSameAnswers(level[0], single);
+}
+
+TEST(MergeabilityTest, MergePreservesAccuracyGuarantee) {
+  // The merged sketch is alpha-accurate against the union's ground truth.
+  const double alpha = 0.01;
+  std::vector<double> all;
+  DDSketch merged = MakeSketch();
+  Rng rng(501);
+  for (int worker = 0; worker < 10; ++worker) {
+    DDSketch w = MakeSketch();
+    // Each worker sees a differently-scaled workload.
+    const double scale = std::pow(10.0, worker % 5);
+    for (int i = 0; i < 5000; ++i) {
+      const double x = scale * rng.NextDoubleOpenZero();
+      w.Add(x);
+      all.push_back(x);
+    }
+    ASSERT_TRUE(merged.MergeFrom(w).ok());
+  }
+  ExactQuantiles truth(all);
+  for (double q = 0.0; q <= 1.0; q += 0.02) {
+    EXPECT_LE(RelativeError(merged.QuantileOrNaN(q), truth.Quantile(q)),
+              alpha * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(MergeabilityTest, MergeWithEmptySketches) {
+  DDSketch a = MakeSketch(), empty1 = MakeSketch(), empty2 = MakeSketch();
+  a.Add(5.0);
+  ASSERT_TRUE(a.MergeFrom(empty1).ok());
+  EXPECT_EQ(a.count(), 1u);
+  ASSERT_TRUE(empty2.MergeFrom(a).ok());
+  EXPECT_EQ(empty2.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty2.QuantileOrNaN(0.5), 5.0);
+  DDSketch e3 = MakeSketch(), e4 = MakeSketch();
+  ASSERT_TRUE(e3.MergeFrom(e4).ok());
+  EXPECT_TRUE(e3.empty());
+}
+
+TEST(MergeabilityTest, IncompatibleParametersRejected) {
+  auto a = std::move(DDSketch::Create(0.01)).value();
+  auto b = std::move(DDSketch::Create(0.02)).value();
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kIncompatible);
+
+  DDSketchConfig cubic_cfg;
+  cubic_cfg.mapping = MappingType::kCubicInterpolated;
+  auto c = std::move(DDSketch::Create(cubic_cfg)).value();
+  EXPECT_EQ(a.MergeFrom(c).code(), StatusCode::kIncompatible);
+}
+
+TEST(MergeabilityTest, CrossStoreTypeMergeWorks) {
+  // Same mapping, different store strategies: still mergeable (the store
+  // is an implementation detail, the bucket space is shared).
+  DDSketchConfig dense_cfg, sparse_cfg;
+  dense_cfg.store = StoreType::kUnboundedDense;
+  sparse_cfg.store = StoreType::kSparse;
+  sparse_cfg.max_num_buckets = 0;
+  auto dense = std::move(DDSketch::Create(dense_cfg)).value();
+  auto sparse = std::move(DDSketch::Create(sparse_cfg)).value();
+  Rng rng(502);
+  std::vector<double> all;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = std::exp(rng.NextDouble() * 10);
+    all.push_back(x);
+    (i % 2 ? dense : sparse).Add(x);
+  }
+  ASSERT_TRUE(dense.MergeFrom(sparse).ok());
+  ExactQuantiles truth(all);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(RelativeError(dense.QuantileOrNaN(q), truth.Quantile(q)),
+              0.01 * (1 + 1e-9))
+        << q;
+  }
+}
+
+TEST(MergeabilityTest, CollapsingMergeMatchesSingleCollapsingSketch) {
+  // Even when collapses happen, merge order must not matter.
+  const auto data = GenerateDataset(DatasetId::kSpan, 60000, 10);
+  DDSketch single = MakeSketch(/*max_buckets=*/128);
+  for (double x : data) single.Add(x);
+  std::vector<DDSketch> parts;
+  for (int i = 0; i < 5; ++i) parts.push_back(MakeSketch(128));
+  for (size_t i = 0; i < data.size(); ++i) parts[i % 5].Add(data[i]);
+  DDSketch merged = MakeSketch(128);
+  // Merge in reverse order for spice.
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    ASSERT_TRUE(merged.MergeFrom(*it).ok());
+  }
+  ExpectSameAnswers(merged, single);
+}
+
+TEST(MergeabilityTest, SelfMergeDoublesCounts) {
+  DDSketch a = MakeSketch();
+  for (int i = 1; i <= 100; ++i) a.Add(static_cast<double>(i));
+  DDSketch b = a;
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.QuantileOrNaN(0.5), b.QuantileOrNaN(0.5));
+}
+
+TEST(MergeabilityTest, ThousandWayMerge) {
+  // The paper's deployment scale: many transient containers each
+  // contributing a small sketch.
+  const auto data = GenerateDataset(DatasetId::kWebLatency, 100000, 11);
+  DDSketch single = MakeSketch();
+  DDSketch merged = MakeSketch();
+  for (size_t chunk = 0; chunk < 1000; ++chunk) {
+    DDSketch worker = MakeSketch();
+    for (size_t i = chunk * 100; i < (chunk + 1) * 100; ++i) {
+      worker.Add(data[i]);
+      single.Add(data[i]);
+    }
+    ASSERT_TRUE(merged.MergeFrom(worker).ok());
+  }
+  ExpectSameAnswers(merged, single);
+}
+
+}  // namespace
+}  // namespace dd

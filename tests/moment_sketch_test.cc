@@ -1,0 +1,195 @@
+#include "moments/moment_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+MomentSketch Make(int k = 20, bool compress = true) {
+  auto r = MomentSketch::Create(k, compress);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(MomentSketchTest, CreateValidation) {
+  EXPECT_FALSE(MomentSketch::Create(1).ok());
+  EXPECT_FALSE(MomentSketch::Create(41).ok());
+  EXPECT_TRUE(MomentSketch::Create(2).ok());
+  EXPECT_TRUE(MomentSketch::Create(20).ok());
+}
+
+TEST(MomentSketchTest, EmptyAndDegenerate) {
+  MomentSketch s = Make();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Quantile(0.5).ok());
+  s.Add(7.0);
+  auto r = s.Quantile(0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 7.0, 1e-9);
+}
+
+TEST(MomentSketchTest, ConstantStream) {
+  MomentSketch s = Make();
+  for (int i = 0; i < 1000; ++i) s.Add(3.5);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(s.QuantileOrNaN(q), 3.5, 1e-9) << q;
+  }
+}
+
+TEST(MomentSketchTest, PowerSumsAccumulate) {
+  MomentSketch s = Make(4, /*compress=*/false);
+  s.Add(2.0);
+  s.Add(3.0);
+  const auto& sums = s.power_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 2.0);
+  EXPECT_DOUBLE_EQ(sums[1], 5.0);
+  EXPECT_DOUBLE_EQ(sums[2], 13.0);
+  EXPECT_DOUBLE_EQ(sums[3], 35.0);
+  EXPECT_DOUBLE_EQ(sums[4], 97.0);
+}
+
+TEST(MomentSketchTest, WeightedAddMatchesRepeated) {
+  MomentSketch a = Make(8), b = Make(8);
+  a.Add(2.5, 100);
+  for (int i = 0; i < 100; ++i) b.Add(2.5);
+  EXPECT_EQ(a.count(), b.count());
+  for (size_t i = 0; i < a.power_sums().size(); ++i) {
+    EXPECT_NEAR(a.power_sums()[i], b.power_sums()[i],
+                1e-9 * std::abs(a.power_sums()[i]) + 1e-12);
+  }
+}
+
+TEST(MomentSketchTest, UniformQuantiles) {
+  MomentSketch s = Make(12, /*compress=*/false);
+  Rng rng(111);
+  std::vector<double> data;
+  for (int i = 0; i < 200000; ++i) {
+    data.push_back(rng.NextDouble() * 10);
+    s.Add(data.back());
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(s.QuantileOrNaN(q), truth.Quantile(q), 0.15) << q;
+  }
+}
+
+TEST(MomentSketchTest, GaussianQuantiles) {
+  MomentSketch s = Make(12, /*compress=*/false);
+  Rng rng(112);
+  std::vector<double> data;
+  for (int i = 0; i < 200000; ++i) {
+    const double u1 = rng.NextDoubleOpenZero();
+    const double u2 = rng.NextDouble();
+    data.push_back(50 + 10 * std::sqrt(-2 * std::log(u1)) *
+                            std::cos(6.283185307179586 * u2));
+    s.Add(data.back());
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_LE(RelativeError(s.QuantileOrNaN(q), truth.Quantile(q)), 0.03)
+        << q;
+  }
+}
+
+TEST(MomentSketchTest, ArcsinhCompressionHelpsHeavyTails) {
+  // Pareto data: with compression the median is decent; without, the
+  // estimate degrades badly. This is the "compression enabled" rationale
+  // of Table 2.
+  const auto data = GenerateDataset(DatasetId::kPareto, 200000);
+  ExactQuantiles truth(data);
+  MomentSketch with = Make(20, true), without = Make(20, false);
+  for (double x : data) {
+    with.Add(x);
+    without.Add(x);
+  }
+  const double err_with =
+      RelativeError(with.QuantileOrNaN(0.5), truth.Quantile(0.5));
+  const double err_without =
+      RelativeError(without.QuantileOrNaN(0.5), truth.Quantile(0.5));
+  EXPECT_LT(err_with, 0.15);
+  EXPECT_GT(err_without, err_with);
+}
+
+TEST(MomentSketchTest, MergeMatchesCombinedStream) {
+  MomentSketch a = Make(), b = Make(), whole = Make();
+  Rng rng(113);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = std::exp(rng.NextDouble() * 4);
+    (i % 2 ? a : b).Add(x);
+    whole.Add(x);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.count(), whole.count());
+  for (size_t i = 0; i < a.power_sums().size(); ++i) {
+    EXPECT_NEAR(a.power_sums()[i], whole.power_sums()[i],
+                1e-9 * std::abs(whole.power_sums()[i]) + 1e-12);
+  }
+  // Full mergeability: quantiles agree to solver precision. The maxent
+  // inversion is sensitive to last-ulp differences in the high power sums
+  // (they accumulate in different orders), so the tolerance is loose.
+  for (double q : {0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(a.QuantileOrNaN(q), whole.QuantileOrNaN(q),
+                0.05 * whole.QuantileOrNaN(q) + 1e-9)
+        << q;
+  }
+}
+
+TEST(MomentSketchTest, MergeRejectsMismatched) {
+  MomentSketch a = Make(20), b = Make(10);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kIncompatible);
+  MomentSketch c = Make(20, false);
+  EXPECT_EQ(a.MergeFrom(c).code(), StatusCode::kIncompatible);
+}
+
+TEST(MomentSketchTest, SizeIndependentOfN) {
+  MomentSketch s = Make();
+  const size_t size0 = s.size_in_bytes();
+  Rng rng(114);
+  for (int i = 0; i < 100000; ++i) s.Add(rng.NextDouble());
+  EXPECT_EQ(s.size_in_bytes(), size0);
+  EXPECT_LT(size0, 512u);  // ~21 doubles + bookkeeping
+}
+
+TEST(MomentSketchTest, BatchQuantilesConsistent) {
+  MomentSketch s = Make();
+  Rng rng(115);
+  for (int i = 0; i < 50000; ++i) s.Add(rng.NextDouble() * 100);
+  const std::vector<double> qs = {0.1, 0.5, 0.9};
+  auto batch = s.Quantiles(qs);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(batch.value()[i], s.QuantileOrNaN(qs[i]), 1e-9);
+  }
+  EXPECT_FALSE(s.Quantiles(std::vector<double>{1.5}).ok());
+}
+
+TEST(MomentSketchTest, EstimatesClampedToObservedRange) {
+  MomentSketch s = Make();
+  Rng rng(116);
+  for (int i = 0; i < 10000; ++i) s.Add(1.0 + rng.NextDouble());
+  for (double q : {0.0, 0.01, 0.99, 1.0}) {
+    const double est = s.QuantileOrNaN(q);
+    EXPECT_GE(est, s.min() - 1e-9);
+    EXPECT_LE(est, s.max() + 1e-9);
+  }
+}
+
+TEST(MomentSketchTest, NonFiniteInputsIgnored) {
+  MomentSketch s = Make();
+  s.Add(std::nan(""));
+  s.Add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(s.empty());
+  s.Add(1.0);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+}  // namespace
+}  // namespace dd

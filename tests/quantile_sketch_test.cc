@@ -1,0 +1,141 @@
+#include "api/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+
+namespace dd {
+namespace {
+
+std::vector<std::unique_ptr<QuantileSketch>> AllFamilies() {
+  std::vector<std::unique_ptr<QuantileSketch>> sketches;
+  sketches.push_back(std::move(NewDDSketch()).value());
+  sketches.push_back(std::move(NewGKArray()).value());
+  sketches.push_back(std::move(NewHdrHistogram(2, 1.0, 1e12)).value());
+  sketches.push_back(std::move(NewMomentSketch()).value());
+  sketches.push_back(std::move(NewTDigest()).value());
+  sketches.push_back(std::move(NewKllSketch()).value());
+  sketches.push_back(std::move(NewCkmsSketch()).value());
+  return sketches;
+}
+
+TEST(QuantileSketchApiTest, FamiliesAreDistinct) {
+  const auto sketches = AllFamilies();
+  const char* expected[] = {"ddsketch", "gk",  "hdr", "moments",
+                            "tdigest",  "kll", "ckms"};
+  ASSERT_EQ(sketches.size(), 7u);
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    EXPECT_STREQ(sketches[i]->family(), expected[i]);
+  }
+}
+
+TEST(QuantileSketchApiTest, FactoryValidationPropagates) {
+  EXPECT_FALSE(NewDDSketch(2.0).ok());
+  EXPECT_FALSE(NewGKArray(0.0).ok());
+  EXPECT_FALSE(NewHdrHistogram(9, 1.0, 100.0).ok());
+  EXPECT_FALSE(NewMomentSketch(1).ok());
+  EXPECT_FALSE(NewTDigest(1.0).ok());
+  EXPECT_FALSE(NewKllSketch(2).ok());
+  EXPECT_FALSE(NewCkmsSketch({}).ok());
+}
+
+TEST(QuantileSketchApiTest, PolymorphicPipelineAnswersSanely) {
+  // One loop drives every family through the same interface; all give a
+  // usable median on well-behaved data.
+  auto sketches = AllFamilies();
+  const auto data = GenerateDataset(DatasetId::kPower, 100000);
+  ExactQuantiles truth(data);
+  for (auto& sketch : sketches) {
+    for (double x : data) sketch->Add(x);
+    EXPECT_EQ(sketch->count(), data.size()) << sketch->family();
+    auto median = sketch->Quantile(0.5);
+    ASSERT_TRUE(median.ok()) << sketch->family();
+    EXPECT_LE(RelativeError(median.value(), truth.Quantile(0.5)), 0.12)
+        << sketch->family();
+    EXPECT_GT(sketch->size_in_bytes(), 0u);
+  }
+}
+
+TEST(QuantileSketchApiTest, SerializeSniffDeserializeEveryFamily) {
+  auto sketches = AllFamilies();
+  const auto data = GenerateDataset(DatasetId::kPareto, 20000);
+  for (auto& sketch : sketches) {
+    for (double x : data) sketch->Add(x);
+    const std::string payload = sketch->Serialize();
+    auto decoded = DeserializeSketch(payload);
+    ASSERT_TRUE(decoded.ok())
+        << sketch->family() << ": " << decoded.status().ToString();
+    EXPECT_STREQ(decoded.value()->family(), sketch->family());
+    EXPECT_EQ(decoded.value()->count(), sketch->count());
+    for (double q : {0.25, 0.5, 0.9}) {
+      EXPECT_DOUBLE_EQ(decoded.value()->QuantileOrNaN(q),
+                       sketch->QuantileOrNaN(q))
+          << sketch->family() << " q=" << q;
+    }
+  }
+  EXPECT_FALSE(DeserializeSketch("??").ok());
+  EXPECT_FALSE(DeserializeSketch("XXXXYYYY").ok());
+}
+
+TEST(QuantileSketchApiTest, CrossFamilyMergeRejected) {
+  auto sketches = AllFamilies();
+  for (auto& sketch : sketches) sketch->Add(1.0);
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    for (size_t j = 0; j < sketches.size(); ++j) {
+      const Status s = sketches[i]->MergeFrom(*sketches[j]);
+      if (i == j) {
+        EXPECT_TRUE(s.ok()) << sketches[i]->family();
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kIncompatible)
+            << sketches[i]->family() << " <- " << sketches[j]->family();
+      }
+    }
+  }
+}
+
+TEST(QuantileSketchApiTest, SameFamilyMergeWorksPolymorphically) {
+  auto a = std::move(NewDDSketch()).value();
+  auto b = std::move(NewDDSketch()).value();
+  for (int i = 1; i <= 100; ++i) {
+    a->Add(static_cast<double>(i));
+    b->Add(static_cast<double>(100 + i));
+  }
+  ASSERT_TRUE(a->MergeFrom(*b).ok());
+  EXPECT_EQ(a->count(), 200u);
+  EXPECT_NEAR(a->QuantileOrNaN(0.5), 100.0, 100 * 0.011);
+}
+
+TEST(QuantileSketchApiTest, CloneIsIndependent) {
+  auto sketches = AllFamilies();
+  for (auto& sketch : sketches) {
+    sketch->Add(5.0);
+    auto clone = sketch->Clone();
+    sketch->Add(500.0);
+    EXPECT_EQ(clone->count(), 1u) << sketch->family();
+    EXPECT_EQ(sketch->count(), 2u) << sketch->family();
+    EXPECT_STREQ(clone->family(), sketch->family());
+  }
+}
+
+TEST(QuantileSketchApiTest, CkmsWireRoundTripPreservesTargets) {
+  auto sketch =
+      std::move(CkmsSketch::Create({{0.42, 0.013}, {0.9, 0.004}})).value();
+  for (int i = 0; i < 5000; ++i) sketch.Add(static_cast<double>(i));
+  auto decoded = CkmsSketch::Deserialize(sketch.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().targets().size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded.value().targets()[0].quantile, 0.42);
+  EXPECT_DOUBLE_EQ(decoded.value().targets()[1].epsilon, 0.004);
+  EXPECT_EQ(decoded.value().count(), 5000u);
+  for (double q : {0.42, 0.9}) {
+    EXPECT_DOUBLE_EQ(decoded.value().QuantileOrNaN(q),
+                     sketch.QuantileOrNaN(q));
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += (a.NextU64() == b.NextU64());
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(rng.NextU64());
+  rng.Seed(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextU64(), first[i]);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenZeroNeverZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDoubleOpenZero();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    EXPECT_TRUE(std::isfinite(std::log(u)));
+  }
+}
+
+TEST(RngTest, UniformityChiSquared) {
+  // 64 bins, 640k samples: chi^2_{63} has mean 63, stddev ~11.2; a healthy
+  // generator stays far below 150.
+  Rng rng(5);
+  constexpr int kBins = 64;
+  constexpr int kSamples = 640000;
+  std::vector<int> hist(kBins, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    hist[static_cast<size_t>(rng.NextDouble() * kBins)]++;
+  }
+  const double expected = static_cast<double>(kSamples) / kBins;
+  double chi2 = 0;
+  for (int c : hist) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 150.0) << "chi2=" << chi2;
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(6);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedUnbiasedSmallBound) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 6;
+  constexpr int kSamples = 600000;
+  std::vector<int> hist(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) hist[rng.NextBounded(kBound)]++;
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (uint64_t f = 0; f < kBound; ++f) {
+    EXPECT_NEAR(hist[f], expected, 5 * std::sqrt(expected)) << "face " << f;
+  }
+}
+
+TEST(RngTest, BitBalance) {
+  // Each of the 64 output bits should be set about half the time.
+  Rng rng(12);
+  constexpr int kSamples = 100000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t x = rng.NextU64();
+    for (int b = 0; b < 64; ++b) ones[b] += (x >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[b], kSamples / 2, 5 * std::sqrt(kSamples / 4.0))
+        << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace dd

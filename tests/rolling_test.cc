@@ -1,0 +1,140 @@
+#include "core/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+RollingDDSketch Make(int intervals, double alpha = 0.01) {
+  DDSketchConfig config;
+  config.relative_accuracy = alpha;
+  auto r = RollingDDSketch::Create(config, intervals);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(RollingTest, CreateValidation) {
+  DDSketchConfig config;
+  EXPECT_FALSE(RollingDDSketch::Create(config, 0).ok());
+  EXPECT_FALSE(RollingDDSketch::Create(config, -3).ok());
+  EXPECT_TRUE(RollingDDSketch::Create(config, 1).ok());
+  config.relative_accuracy = 0.0;
+  EXPECT_FALSE(RollingDDSketch::Create(config, 4).ok());
+}
+
+TEST(RollingTest, EmptyWindow) {
+  RollingDDSketch w = Make(4);
+  EXPECT_TRUE(w.empty());
+  EXPECT_TRUE(std::isnan(w.QuantileOrNaN(0.5)));
+  EXPECT_EQ(w.num_intervals(), 4);
+}
+
+TEST(RollingTest, SingleIntervalActsLikePlainSketch) {
+  RollingDDSketch w = Make(1);
+  auto plain = std::move(DDSketch::Create(0.01)).value();
+  Rng rng(131);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = std::exp(rng.NextDouble() * 5);
+    w.Add(x);
+    plain.Add(x);
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(w.QuantileOrNaN(q), plain.QuantileOrNaN(q)) << q;
+  }
+}
+
+TEST(RollingTest, EvictionDropsOldIntervals) {
+  RollingDDSketch w = Make(3);
+  w.Add(1.0);   // interval 0
+  w.Advance();
+  w.Add(10.0);  // interval 1
+  w.Advance();
+  w.Add(100.0);  // interval 2
+  EXPECT_EQ(w.count(), 3u);
+  w.Advance();   // evicts interval with value 1.0
+  w.Add(1000.0);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_GT(w.QuantileOrNaN(0.0), 5.0);  // 1.0 left the window
+  w.Advance();   // evicts 10.0
+  w.Advance();   // evicts 100.0
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_NEAR(w.QuantileOrNaN(0.5), 1000.0, 1000.0 * 0.011);
+}
+
+TEST(RollingTest, WindowMatchesManualMergeModel) {
+  // Reference model: a deque of per-interval vectors.
+  constexpr int kWindow = 5;
+  RollingDDSketch w = Make(kWindow);
+  std::deque<std::vector<double>> model;
+  model.emplace_back();
+  Rng rng(132);
+  for (int step = 0; step < 40; ++step) {
+    for (int i = 0; i < 500; ++i) {
+      const double x = std::exp(rng.NextDouble() * 8 - 4);
+      w.Add(x);
+      model.back().push_back(x);
+    }
+    // Compare window quantiles against the exact union of live intervals.
+    std::vector<double> window_values;
+    for (const auto& interval : model) {
+      window_values.insert(window_values.end(), interval.begin(),
+                           interval.end());
+    }
+    ExactQuantiles truth(window_values);
+    ASSERT_EQ(w.count(), window_values.size()) << "step " << step;
+    for (double q : {0.25, 0.5, 0.9}) {
+      EXPECT_LE(RelativeError(w.QuantileOrNaN(q), truth.Quantile(q)),
+                0.01 * (1 + 1e-9))
+          << "step " << step << " q=" << q;
+    }
+    w.Advance();
+    model.emplace_back();
+    if (model.size() > kWindow) model.pop_front();
+  }
+  EXPECT_EQ(w.intervals_advanced(), 40u);
+}
+
+TEST(RollingTest, MergeIntoCurrentAcceptsRemoteSketches) {
+  RollingDDSketch w = Make(2);
+  auto remote = std::move(DDSketch::Create(0.01)).value();
+  for (int i = 0; i < 100; ++i) remote.Add(7.0);
+  ASSERT_TRUE(w.MergeIntoCurrent(remote).ok());
+  EXPECT_EQ(w.count(), 100u);
+  EXPECT_EQ(w.current_interval_count(), 100u);
+  // Incompatible remote is rejected.
+  auto wrong = std::move(DDSketch::Create(0.05)).value();
+  wrong.Add(1.0);
+  EXPECT_EQ(w.MergeIntoCurrent(wrong).code(), StatusCode::kIncompatible);
+}
+
+TEST(RollingTest, RingSlotReuseAfterFullCycle) {
+  RollingDDSketch w = Make(3);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    w.Add(static_cast<double>(cycle + 1));
+    w.Advance();
+  }
+  // Window holds the last 2 completed intervals plus the fresh empty one.
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_EQ(w.intervals_advanced(), 10u);
+}
+
+TEST(RollingTest, SizeAccountsAllIntervals) {
+  RollingDDSketch w = Make(8);
+  const size_t empty_size = w.size_in_bytes();
+  Rng rng(133);
+  for (int i = 0; i < 10000; ++i) {
+    w.Add(std::exp(rng.NextDouble() * 10));
+    if (i % 1000 == 0) w.Advance();
+  }
+  EXPECT_GT(w.size_in_bytes(), empty_size);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,102 @@
+#include "util/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(RunningStatsTest, EmptyState) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForShiftedData) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  RunningStats s;
+  const double base = 1e9;
+  for (double x : {base + 4.0, base + 7.0, base + 13.0, base + 16.0}) {
+    s.Add(x);
+  }
+  EXPECT_NEAR(s.mean(), base + 10.0, 1e-6);
+  EXPECT_NEAR(s.variance(), 22.5, 1e-6);
+}
+
+TEST(RunningStatsTest, MergeMatchesSingleAccumulator) {
+  Rng rng(77);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble() * 100 - 50;
+    whole.Add(x);
+    (i % 3 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  b.Merge(a_copy);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, MergeIsAssociativeEnough) {
+  Rng rng(78);
+  std::vector<double> xs(3000);
+  for (double& x : xs) x = rng.NextDouble() * 10;
+  RunningStats abc, bc, a, b, c;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    abc.Add(xs[i]);
+    (i < 1000 ? a : (i < 2000 ? b : c)).Add(xs[i]);
+  }
+  bc = b;
+  bc.Merge(c);
+  a.Merge(bc);
+  EXPECT_EQ(a.count(), abc.count());
+  EXPECT_NEAR(a.mean(), abc.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), abc.variance(), 1e-8);
+}
+
+}  // namespace
+}  // namespace dd

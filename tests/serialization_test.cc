@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ddsketch.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+DDSketch MakeSketch(DDSketchConfig config = {}) {
+  auto r = DDSketch::Create(config);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+void ExpectEquivalent(const DDSketch& a, const DDSketch& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.zero_count(), b.zero_count());
+  EXPECT_EQ(a.rejected_count(), b.rejected_count());
+  EXPECT_EQ(a.clamped_count(), b.clamped_count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.num_buckets(), b.num_buckets());
+  if (!a.empty()) {
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q)) << q;
+    }
+  }
+}
+
+TEST(SerializationTest, EmptySketchRoundTrip) {
+  DDSketch s = MakeSketch();
+  auto decoded = DDSketch::Deserialize(s.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectEquivalent(s, decoded.value());
+}
+
+TEST(SerializationTest, PopulatedRoundTrip) {
+  DDSketch s = MakeSketch();
+  Rng rng(51);
+  for (int i = 0; i < 20000; ++i) {
+    s.Add(std::exp(rng.NextDouble() * 20 - 10));
+  }
+  s.Add(0.0, 17);
+  for (int i = 0; i < 500; ++i) s.Add(-std::exp(rng.NextDouble() * 5));
+  s.Add(std::nan(""));  // rejected counter must survive
+  const std::string payload = s.Serialize();
+  auto decoded = DDSketch::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectEquivalent(s, decoded.value());
+}
+
+TEST(SerializationTest, AllMappingAndStoreCombinations) {
+  for (MappingType mapping :
+       {MappingType::kLogarithmic, MappingType::kLinearInterpolated,
+        MappingType::kQuadraticInterpolated,
+        MappingType::kCubicInterpolated}) {
+    for (StoreType store :
+         {StoreType::kUnboundedDense, StoreType::kCollapsingLowestDense,
+          StoreType::kSparse}) {
+      DDSketchConfig config;
+      config.mapping = mapping;
+      config.store = store;
+      config.max_num_buckets =
+          store == StoreType::kUnboundedDense ? 0 : 1024;
+      DDSketch s = MakeSketch(config);
+      Rng rng(52);
+      for (int i = 0; i < 2000; ++i) s.Add(rng.NextDoubleOpenZero() * 1e6);
+      auto decoded = DDSketch::Deserialize(s.Serialize());
+      ASSERT_TRUE(decoded.ok())
+          << MappingTypeToString(mapping) << "/" << StoreTypeToString(store)
+          << ": " << decoded.status().ToString();
+      ExpectEquivalent(s, decoded.value());
+      EXPECT_EQ(decoded.value().mapping().type(), mapping);
+    }
+  }
+}
+
+TEST(SerializationTest, DecodedSketchRemainsUsable) {
+  DDSketch s = MakeSketch();
+  for (int i = 1; i <= 1000; ++i) s.Add(static_cast<double>(i));
+  auto decoded = DDSketch::Deserialize(s.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  DDSketch revived = std::move(decoded).value();
+  for (int i = 1001; i <= 2000; ++i) revived.Add(static_cast<double>(i));
+  EXPECT_EQ(revived.count(), 2000u);
+  EXPECT_NEAR(revived.QuantileOrNaN(0.5), 1000.0, 1000.0 * 0.011);
+  // And it merges with the original.
+  ASSERT_TRUE(revived.MergeFrom(s).ok());
+  EXPECT_EQ(revived.count(), 3000u);
+}
+
+TEST(SerializationTest, PayloadIsCompact) {
+  DDSketch s = MakeSketch();
+  Rng rng(53);
+  for (int i = 0; i < 100000; ++i) {
+    s.Add(std::exp(rng.NextDouble() * 10));
+  }
+  // A few hundred non-empty buckets: varint-delta encoding should stay
+  // within a few bytes per bucket.
+  const std::string payload = s.Serialize();
+  EXPECT_LT(payload.size(), s.num_buckets() * 8 + 128);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DDSketch::Deserialize("").ok());
+  EXPECT_FALSE(DDSketch::Deserialize("garbage").ok());
+  EXPECT_FALSE(DDSketch::Deserialize("DDSKxxxxxxxxxxxxxxxxxxx").ok());
+}
+
+TEST(SerializationTest, RejectsEveryTruncation) {
+  DDSketch s = MakeSketch();
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  const std::string payload = s.Serialize();
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto r = DDSketch::Deserialize(payload.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingBytes) {
+  DDSketch s = MakeSketch();
+  s.Add(1.0);
+  auto r = DDSketch::Deserialize(s.Serialize() + "extra");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, RejectsBadTags) {
+  DDSketch s = MakeSketch();
+  s.Add(1.0);
+  std::string payload = s.Serialize();
+  {
+    std::string bad = payload;
+    bad[4] = 99;  // version
+    EXPECT_FALSE(DDSketch::Deserialize(bad).ok());
+  }
+  {
+    std::string bad = payload;
+    bad[5] = 17;  // mapping tag
+    EXPECT_FALSE(DDSketch::Deserialize(bad).ok());
+  }
+}
+
+TEST(SerializationTest, MergeOfDecodedSketchesMatchesDirectMerge) {
+  // The paper's deployment: workers serialize sketches, the aggregator
+  // decodes and merges. Result must equal an in-process merge.
+  DDSketch worker1 = MakeSketch(), worker2 = MakeSketch();
+  Rng rng(54);
+  for (int i = 0; i < 5000; ++i) {
+    worker1.Add(rng.NextDoubleOpenZero() * 100);
+    worker2.Add(std::exp(rng.NextDouble() * 8));
+  }
+  DDSketch direct = worker1;
+  ASSERT_TRUE(direct.MergeFrom(worker2).ok());
+
+  auto d1 = DDSketch::Deserialize(worker1.Serialize());
+  auto d2 = DDSketch::Deserialize(worker2.Serialize());
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  DDSketch via_wire = std::move(d1).value();
+  ASSERT_TRUE(via_wire.MergeFrom(d2.value()).ok());
+  ExpectEquivalent(direct, via_wire);
+}
+
+}  // namespace
+}  // namespace dd

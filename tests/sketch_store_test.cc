@@ -1,0 +1,239 @@
+#include "timeseries/sketch_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+SketchStore MakeStore(int64_t base = 10, int64_t retention = 600,
+                      int factor = 6) {
+  SketchStoreOptions options;
+  options.base_interval_seconds = base;
+  options.raw_retention_seconds = retention;
+  options.rollup_factor = factor;
+  auto r = SketchStore::Create(options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(SketchStoreTest, CreateValidation) {
+  SketchStoreOptions options;
+  options.base_interval_seconds = 0;
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+  options.base_interval_seconds = 10;
+  options.rollup_factor = 1;
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+  options.rollup_factor = 6;
+  options.raw_retention_seconds = 5;
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+  options.raw_retention_seconds = 600;
+  options.sketch.relative_accuracy = 2.0;
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+}
+
+TEST(SketchStoreTest, IngestAndQuerySingleInterval) {
+  SketchStore store = MakeStore();
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(store.IngestValue("latency", 1000 + i % 10, i).ok());
+  }
+  auto q = store.QueryQuantile("latency", 1000, 1010, 0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value(), 50.0, 50.0 * 0.011);
+  EXPECT_EQ(store.num_series(), 1u);
+  EXPECT_EQ(store.num_intervals(), 1u);
+}
+
+TEST(SketchStoreTest, QueryValidation) {
+  SketchStore store = MakeStore();
+  EXPECT_FALSE(store.QueryRange("nope", 0, 100).ok());
+  ASSERT_TRUE(store.IngestValue("s", 0, 1.0).ok());
+  EXPECT_FALSE(store.QueryRange("s", 100, 100).ok());
+  EXPECT_FALSE(store.QueryRange("s", 200, 100).ok());
+  EXPECT_FALSE(store.QuerySeries("s", 0, 100, 0.5, 0).ok());
+}
+
+TEST(SketchStoreTest, RangeQueryMatchesReferenceSketch) {
+  SketchStore store = MakeStore();
+  auto reference = std::move(DDSketch::Create(DDSketchConfig{})).value();
+  DataStream stream(MakeDataset(DatasetId::kWebLatency), 211);
+  Rng rng(212);
+  // 10 minutes of data across scattered timestamps.
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t ts = static_cast<int64_t>(rng.NextBounded(600));
+    const double v = stream.Next();
+    ASSERT_TRUE(store.IngestValue("api.latency", ts, v).ok());
+    reference.Add(v);
+  }
+  auto merged = store.QueryRange("api.latency", 0, 600);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged.value().count(), reference.count());
+  for (double q = 0.01; q < 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(merged.value().QuantileOrNaN(q),
+                     reference.QuantileOrNaN(q))
+        << q;
+  }
+}
+
+TEST(SketchStoreTest, SubrangeQueriesSelectCorrectIntervals) {
+  SketchStore store = MakeStore(/*base=*/10);
+  // Interval [0,10): value 1; [10,20): value 10; [20,30): value 100.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.IngestValue("s", 3, 1.0).ok());
+    ASSERT_TRUE(store.IngestValue("s", 13, 10.0).ok());
+    ASSERT_TRUE(store.IngestValue("s", 23, 100.0).ok());
+  }
+  EXPECT_NEAR(std::move(store.QueryQuantile("s", 0, 10, 0.5)).value(), 1.0,
+              0.011);
+  EXPECT_NEAR(std::move(store.QueryQuantile("s", 10, 20, 0.5)).value(), 10.0,
+              0.11);
+  EXPECT_NEAR(std::move(store.QueryQuantile("s", 0, 20, 0.99)).value(), 10.0,
+              0.11);
+  EXPECT_NEAR(std::move(store.QueryQuantile("s", 0, 30, 0.99)).value(), 100.0,
+              1.1);
+}
+
+TEST(SketchStoreTest, IngestSerializedWorkerSketches) {
+  SketchStore store = MakeStore();
+  auto worker = std::move(DDSketch::Create(DDSketchConfig{})).value();
+  for (int i = 1; i <= 1000; ++i) worker.Add(static_cast<double>(i));
+  ASSERT_TRUE(store.Ingest("svc", 42, worker.Serialize()).ok());
+  ASSERT_TRUE(store.Ingest("svc", 42, worker.Serialize()).ok());
+  auto merged = store.QueryRange("svc", 40, 50);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().count(), 2000u);
+  // Corrupt payloads and incompatible parameters are rejected.
+  EXPECT_EQ(store.Ingest("svc", 42, "garbage").code(),
+            StatusCode::kCorruption);
+  auto wrong = std::move(DDSketch::Create(0.05)).value();
+  wrong.Add(1.0);
+  EXPECT_EQ(store.Ingest("svc", 42, wrong.Serialize()).code(),
+            StatusCode::kIncompatible);
+}
+
+TEST(SketchStoreTest, CompactionPreservesAnswersExactly) {
+  // The headline property: rollup is lossless because merging is exact.
+  SketchStore store = MakeStore(/*base=*/10, /*retention=*/100,
+                                /*factor=*/6);
+  DataStream stream(MakeDataset(DatasetId::kWebLatency), 213);
+  Rng rng(214);
+  for (int i = 0; i < 30000; ++i) {
+    const int64_t ts = static_cast<int64_t>(rng.NextBounded(3600));
+    ASSERT_TRUE(store.IngestValue("svc", ts, stream.Next()).ok());
+  }
+  // Snapshot answers before compaction.
+  std::vector<double> before;
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    before.push_back(std::move(store.QueryQuantile("svc", 0, 3600, q)).value());
+  }
+  const size_t intervals_before = store.num_intervals();
+  const size_t compacted = store.Compact(/*now=*/3600);
+  EXPECT_GT(compacted, 0u);
+  EXPECT_LT(store.num_intervals(), intervals_before);
+  size_t i = 0;
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(std::move(store.QueryQuantile("svc", 0, 3600, q)).value(),
+                     before[i++])
+        << q;
+  }
+  // Compacting again is a no-op.
+  EXPECT_EQ(store.Compact(3600), 0u);
+}
+
+TEST(SketchStoreTest, CompactionShrinksStorage) {
+  SketchStore store = MakeStore(/*base=*/10, /*retention=*/60, /*factor=*/6);
+  Rng rng(215);
+  for (int64_t ts = 0; ts < 3600; ts += 1) {
+    ASSERT_TRUE(store.IngestValue("svc", ts, rng.NextDouble()).ok());
+  }
+  const size_t before = store.num_intervals();
+  store.Compact(3600);
+  // 360 raw intervals; all but the last ~6 compacted 6:1.
+  EXPECT_EQ(before, 360u);
+  EXPECT_LE(store.num_intervals(), 360u / 6 + 7);
+  EXPECT_GT(store.size_in_bytes(), 0u);
+}
+
+TEST(SketchStoreTest, SeriesAreIsolated) {
+  SketchStore store = MakeStore();
+  ASSERT_TRUE(store.IngestValue("a", 0, 1.0).ok());
+  ASSERT_TRUE(store.IngestValue("b", 0, 1000.0).ok());
+  EXPECT_NEAR(std::move(store.QueryQuantile("a", 0, 10, 0.5)).value(), 1.0,
+              0.011);
+  EXPECT_NEAR(std::move(store.QueryQuantile("b", 0, 10, 0.5)).value(), 1000.0,
+              10.1);
+  const auto names = store.ListSeries();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(SketchStoreTest, GraphQueryProducesSteppedQuantiles) {
+  SketchStore store = MakeStore(/*base=*/10);
+  // Latency steps up by 10x each minute; graph with 60s steps.
+  for (int minute = 0; minute < 5; ++minute) {
+    const double scale = std::pow(10.0, minute);
+    for (int i = 0; i < 600; ++i) {
+      ASSERT_TRUE(store.IngestValue(
+          "svc", minute * 60 + i % 60, scale * (1 + (i % 10) / 10.0)).ok());
+    }
+  }
+  auto points = store.QuerySeries("svc", 0, 300, 0.5, 60);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points.value().size(), 5u);
+  for (size_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(points.value()[m].timestamp, static_cast<int64_t>(m) * 60);
+    EXPECT_EQ(points.value()[m].count, 600u);
+    EXPECT_NEAR(points.value()[m].value / std::pow(10.0, m), 1.5, 0.2) << m;
+  }
+  // Gaps are skipped.
+  auto sparse = store.QuerySeries("svc", 0, 600, 0.5, 60);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse.value().size(), 5u);  // minutes 5..9 have no data
+}
+
+TEST(SketchStoreTest, NegativeTimestampsWork) {
+  SketchStore store = MakeStore(/*base=*/10);
+  ASSERT_TRUE(store.IngestValue("s", -25, 7.0).ok());
+  ASSERT_TRUE(store.IngestValue("s", -21, 7.0).ok());
+  auto q = store.QueryQuantile("s", -30, -20, 0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value(), 7.0, 0.08);
+  // The interval floor must round towards negative infinity, not zero.
+  auto empty = store.QueryRange("s", -20, -10);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(SketchStoreTest, AccuracyGuaranteeSurvivesStorePath) {
+  // End to end: values -> worker sketches -> wire -> store -> compaction
+  // -> range query, still alpha-accurate vs raw ground truth.
+  SketchStore store = MakeStore(/*base=*/10, /*retention=*/60, /*factor=*/6);
+  DataStream stream(MakeDataset(DatasetId::kSpan), 216);
+  std::vector<double> all;
+  for (int64_t interval = 0; interval < 120; ++interval) {
+    auto worker = std::move(DDSketch::Create(DDSketchConfig{})).value();
+    for (int i = 0; i < 500; ++i) {
+      const double v = stream.Next();
+      worker.Add(v);
+      all.push_back(v);
+    }
+    ASSERT_TRUE(store.Ingest("svc", interval * 10, worker.Serialize()).ok());
+  }
+  store.Compact(1200);
+  ExactQuantiles truth(all);
+  for (double q : {0.5, 0.95, 0.99}) {
+    auto estimate = store.QueryQuantile("svc", 0, 1200, q);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_LE(RelativeError(estimate.value(), truth.Quantile(q)),
+              0.01 * (1 + 1e-9))
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,93 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {Status::Corruption("c"), StatusCode::kCorruption, "CORRUPTION"},
+      {Status::Incompatible("d"), StatusCode::kIncompatible, "INCOMPATIBLE"},
+      {Status::ResourceExhausted("e"), StatusCode::kResourceExhausted,
+       "RESOURCE_EXHAUSTED"},
+      {Status::Internal("f"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::Corruption("x"), Status::Corruption("x"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::Corruption("y"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::OutOfRange("deep"); };
+  auto outer = [&]() -> Status {
+    DD_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto outer_ok = [&]() -> Status {
+    DD_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(outer_ok().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace dd

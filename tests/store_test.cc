@@ -1,0 +1,393 @@
+#include "core/store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+std::unique_ptr<Store> MakeStore(StoreType type, int32_t max_buckets) {
+  auto r = Store::Create(type, max_buckets);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// ---- behaviour shared by every store type (unbounded configuration) -----
+
+class AnyStoreTest : public ::testing::TestWithParam<StoreType> {
+ protected:
+  std::unique_ptr<Store> Make(int32_t max_buckets = 1 << 20) {
+    // Large cap: collapsing stores behave like unbounded ones in these
+    // shared tests.
+    return MakeStore(GetParam(), max_buckets);
+  }
+};
+
+TEST_P(AnyStoreTest, EmptyInvariants) {
+  auto s = Make();
+  EXPECT_TRUE(s->empty());
+  EXPECT_EQ(s->total_count(), 0u);
+  EXPECT_EQ(s->num_buckets(), 0u);
+  int calls = 0;
+  s->ForEach([&](int32_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_P(AnyStoreTest, SingleBucket) {
+  auto s = Make();
+  s->Add(42, 3);
+  EXPECT_EQ(s->total_count(), 3u);
+  EXPECT_EQ(s->min_index(), 42);
+  EXPECT_EQ(s->max_index(), 42);
+  EXPECT_EQ(s->num_buckets(), 1u);
+  EXPECT_EQ(s->KeyAtRank(0), 42);
+  EXPECT_EQ(s->KeyAtRank(2.9), 42);
+}
+
+TEST_P(AnyStoreTest, AddZeroCountIsNoOp) {
+  auto s = Make();
+  s->Add(5, 0);
+  EXPECT_TRUE(s->empty());
+}
+
+TEST_P(AnyStoreTest, NegativeAndPositiveIndices) {
+  auto s = Make();
+  s->Add(-100, 1);
+  s->Add(0, 2);
+  s->Add(100, 3);
+  EXPECT_EQ(s->min_index(), -100);
+  EXPECT_EQ(s->max_index(), 100);
+  EXPECT_EQ(s->total_count(), 6u);
+  EXPECT_EQ(s->num_buckets(), 3u);
+}
+
+TEST_P(AnyStoreTest, ForEachAscendingAndComplete) {
+  auto s = Make();
+  Rng rng(11);
+  std::map<int32_t, uint64_t> expected;
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t index = static_cast<int32_t>(rng.NextBounded(400)) - 200;
+    const uint64_t count = 1 + rng.NextBounded(5);
+    expected[index] += count;
+    s->Add(index, count);
+  }
+  std::map<int32_t, uint64_t> seen;
+  int32_t prev = INT32_MIN;
+  s->ForEach([&](int32_t index, uint64_t count) {
+    EXPECT_GT(index, prev);
+    prev = index;
+    seen[index] = count;
+  });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_P(AnyStoreTest, KeyAtRankMatchesLinearScan) {
+  auto s = Make();
+  Rng rng(12);
+  std::map<int32_t, uint64_t> model;
+  for (int i = 0; i < 500; ++i) {
+    const int32_t index = static_cast<int32_t>(rng.NextBounded(100)) - 50;
+    model[index] += 1;
+    s->Add(index, 1);
+  }
+  const uint64_t n = s->total_count();
+  for (double rank : {0.0, 0.5, 10.0, 250.0, 499.0, n - 1.0}) {
+    uint64_t cum = 0;
+    int32_t expected = model.rbegin()->first;
+    for (const auto& [index, count] : model) {
+      cum += count;
+      if (static_cast<double>(cum) > rank) {
+        expected = index;
+        break;
+      }
+    }
+    EXPECT_EQ(s->KeyAtRank(rank), expected) << "rank=" << rank;
+  }
+}
+
+TEST_P(AnyStoreTest, KeyAtRankDescendingMirrors) {
+  auto s = Make();
+  s->Add(1, 10);
+  s->Add(2, 10);
+  s->Add(3, 10);
+  // Descending: ranks 0..9 -> 3, 10..19 -> 2, 20..29 -> 1.
+  EXPECT_EQ(s->KeyAtRankDescending(0), 3);
+  EXPECT_EQ(s->KeyAtRankDescending(9.5), 3);
+  EXPECT_EQ(s->KeyAtRankDescending(10), 2);
+  EXPECT_EQ(s->KeyAtRankDescending(25), 1);
+}
+
+TEST_P(AnyStoreTest, CumulativeCountMatchesModel) {
+  auto s = Make();
+  Rng rng(14);
+  std::map<int32_t, uint64_t> model;
+  for (int i = 0; i < 1000; ++i) {
+    const int32_t index = static_cast<int32_t>(rng.NextBounded(200)) - 100;
+    const uint64_t count = 1 + rng.NextBounded(4);
+    model[index] += count;
+    s->Add(index, count);
+  }
+  for (int32_t probe = -120; probe <= 120; probe += 3) {
+    uint64_t expected = 0;
+    for (const auto& [index, count] : model) {
+      if (index <= probe) expected += count;
+    }
+    EXPECT_EQ(s->CumulativeCount(probe), expected) << probe;
+  }
+  EXPECT_EQ(s->CumulativeCount(INT32_MAX), s->total_count());
+  EXPECT_EQ(s->CumulativeCount(INT32_MIN), 0u);
+}
+
+TEST_P(AnyStoreTest, CumulativeCountInvertsKeyAtRank) {
+  auto s = Make();
+  Rng rng(15);
+  for (int i = 0; i < 500; ++i) {
+    s->Add(static_cast<int32_t>(rng.NextBounded(60)), 1);
+  }
+  for (double rank : {0.0, 10.0, 100.0, 499.0}) {
+    const int32_t key = s->KeyAtRank(rank);
+    // The cumulative count through `key` must exceed the rank, and the
+    // cumulative count below must not.
+    EXPECT_GT(static_cast<double>(s->CumulativeCount(key)), rank);
+    EXPECT_LE(static_cast<double>(s->CumulativeCount(key - 1)), rank);
+  }
+}
+
+TEST_P(AnyStoreTest, RemoveDecrements) {
+  auto s = Make();
+  s->Add(7, 5);
+  EXPECT_EQ(s->Remove(7, 2), 2u);
+  EXPECT_EQ(s->total_count(), 3u);
+  EXPECT_EQ(s->Remove(7, 10), 3u);  // clamped at what's present
+  EXPECT_TRUE(s->empty());
+  EXPECT_EQ(s->Remove(7, 1), 0u);  // nothing left
+  EXPECT_EQ(s->Remove(99, 1), 0u);  // never present
+}
+
+TEST_P(AnyStoreTest, RemoveUpdatesExtremes) {
+  auto s = Make();
+  s->Add(1, 1);
+  s->Add(5, 1);
+  s->Add(9, 1);
+  EXPECT_EQ(s->Remove(9, 1), 1u);
+  EXPECT_EQ(s->max_index(), 5);
+  EXPECT_EQ(s->Remove(1, 1), 1u);
+  EXPECT_EQ(s->min_index(), 5);
+}
+
+TEST_P(AnyStoreTest, ClearResets) {
+  auto s = Make();
+  s->Add(3, 4);
+  s->Clear();
+  EXPECT_TRUE(s->empty());
+  EXPECT_EQ(s->num_buckets(), 0u);
+  s->Add(-8, 1);  // usable after clear
+  EXPECT_EQ(s->min_index(), -8);
+}
+
+TEST_P(AnyStoreTest, CloneIsDeepAndEqual) {
+  auto s = Make();
+  s->Add(1, 2);
+  s->Add(10, 3);
+  auto c = s->Clone();
+  s->Add(20, 5);  // original diverges
+  EXPECT_EQ(c->total_count(), 5u);
+  EXPECT_EQ(c->max_index(), 10);
+  EXPECT_EQ(s->total_count(), 10u);
+}
+
+TEST_P(AnyStoreTest, MergeMatchesSequentialAdds) {
+  Rng rng(13);
+  auto merged = Make();
+  auto reference = Make();
+  auto other = Make();
+  for (int i = 0; i < 3000; ++i) {
+    const int32_t index = static_cast<int32_t>(rng.NextBounded(300)) - 150;
+    if (i % 2 == 0) {
+      merged->Add(index, 1);
+    } else {
+      other->Add(index, 1);
+    }
+    reference->Add(index, 1);
+  }
+  merged->MergeFrom(*other);
+  EXPECT_EQ(merged->total_count(), reference->total_count());
+  std::map<int32_t, uint64_t> a, b;
+  merged->ForEach([&](int32_t i, uint64_t c) { a[i] = c; });
+  reference->ForEach([&](int32_t i, uint64_t c) { b[i] = c; });
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AnyStoreTest, SizeInBytesIsPositiveAndGrows) {
+  auto s = Make();
+  const size_t empty_size = s->size_in_bytes();
+  EXPECT_GT(empty_size, 0u);
+  for (int i = 0; i < 1000; ++i) s->Add(i, 1);
+  EXPECT_GT(s->size_in_bytes(), empty_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, AnyStoreTest,
+                         ::testing::Values(StoreType::kUnboundedDense,
+                                           StoreType::kCollapsingLowestDense,
+                                           StoreType::kCollapsingHighestDense,
+                                           StoreType::kSparse),
+                         [](const ::testing::TestParamInfo<StoreType>& info) {
+                           return StoreTypeToString(info.param);
+                         });
+
+// ---- collapse semantics ---------------------------------------------------
+
+TEST(CollapsingLowestTest, FoldsLowIndicesWhenSpanExceeded) {
+  CollapsingLowestDenseStore s(/*max_num_buckets=*/4);
+  for (int32_t i = 0; i < 8; ++i) s.Add(i, 1);
+  // Span capped at 4: indices 0..4 folded into 4.
+  EXPECT_EQ(s.total_count(), 8u);
+  EXPECT_TRUE(s.has_collapsed());
+  EXPECT_EQ(s.min_index(), 4);
+  EXPECT_EQ(s.max_index(), 7);
+  std::map<int32_t, uint64_t> got;
+  s.ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
+  const std::map<int32_t, uint64_t> expected = {{4, 5}, {5, 1}, {6, 1}, {7, 1}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CollapsingLowestTest, LowIncomingValueRedirected) {
+  CollapsingLowestDenseStore s(4);
+  s.Add(100, 1);
+  s.Add(103, 1);
+  s.Add(0, 7);  // far below the window [100, 103]: folds to its bottom
+  EXPECT_EQ(s.min_index(), 100);
+  std::map<int32_t, uint64_t> got;
+  s.ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
+  const std::map<int32_t, uint64_t> expected = {{100, 8}, {103, 1}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CollapsingLowestTest, NoCollapseWithinBound) {
+  CollapsingLowestDenseStore s(10);
+  for (int32_t i = 0; i < 10; ++i) s.Add(i, 1);
+  EXPECT_FALSE(s.has_collapsed());
+  EXPECT_EQ(s.num_buckets(), 10u);
+}
+
+TEST(CollapsingLowestTest, UpperBucketsExactAfterCollapse) {
+  // Collapse must never disturb counts above the fold boundary.
+  CollapsingLowestDenseStore s(8);
+  for (int32_t i = 0; i < 100; ++i) s.Add(i, 1);
+  uint64_t above = 0;
+  s.ForEach([&](int32_t i, uint64_t c) {
+    if (i > 92) {
+      above += c;
+      EXPECT_EQ(c, 1u) << i;
+    }
+  });
+  EXPECT_EQ(above, 7u);
+  EXPECT_EQ(s.total_count(), 100u);
+}
+
+TEST(CollapsingHighestTest, FoldsHighIndices) {
+  CollapsingHighestDenseStore s(4);
+  for (int32_t i = 0; i < 8; ++i) s.Add(i, 1);
+  EXPECT_TRUE(s.has_collapsed());
+  EXPECT_EQ(s.min_index(), 0);
+  EXPECT_EQ(s.max_index(), 3);
+  std::map<int32_t, uint64_t> got;
+  s.ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
+  const std::map<int32_t, uint64_t> expected = {{0, 1}, {1, 1}, {2, 1}, {3, 5}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CollapsingHighestTest, HighIncomingValueRedirected) {
+  CollapsingHighestDenseStore s(4);
+  s.Add(0, 1);
+  s.Add(3, 1);
+  s.Add(50, 9);
+  EXPECT_EQ(s.max_index(), 3);
+  std::map<int32_t, uint64_t> got;
+  s.ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
+  const std::map<int32_t, uint64_t> expected = {{0, 1}, {3, 10}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SparseBoundedTest, PaperLiteralCollapseOnNonEmptyCount) {
+  // Algorithm 3: the bound is on *non-empty* buckets; the two lowest merge.
+  SparseStore s(/*max_num_buckets=*/3);
+  s.Add(10, 1);
+  s.Add(20, 2);
+  s.Add(30, 3);
+  EXPECT_EQ(s.num_buckets(), 3u);
+  s.Add(40, 4);  // exceeds: buckets 10 and 20 merge into 20
+  EXPECT_EQ(s.num_buckets(), 3u);
+  std::map<int32_t, uint64_t> got;
+  s.ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
+  const std::map<int32_t, uint64_t> expected = {{20, 3}, {30, 3}, {40, 4}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SparseBoundedTest, WideSpanFineWhileFewBuckets) {
+  // Contrast with the dense collapsing store: span doesn't matter, only
+  // the bucket count.
+  SparseStore s(3);
+  s.Add(-1000000, 1);
+  s.Add(0, 1);
+  s.Add(1000000, 1);
+  EXPECT_EQ(s.num_buckets(), 3u);
+  EXPECT_EQ(s.min_index(), -1000000);
+  EXPECT_EQ(s.max_index(), 1000000);
+}
+
+TEST(CollapseEquivalenceTest, MergeOrderIndependent) {
+  // Fully-mergeable property at the store level: merging in any order and
+  // adding everything to one store agree bucket-for-bucket.
+  Rng rng(21);
+  std::vector<std::pair<int32_t, uint64_t>> all;
+  for (int i = 0; i < 4000; ++i) {
+    all.emplace_back(static_cast<int32_t>(rng.NextBounded(3000)),
+                     1 + rng.NextBounded(3));
+  }
+  CollapsingLowestDenseStore single(128);
+  for (auto [i, c] : all) single.Add(i, c);
+
+  CollapsingLowestDenseStore parts[4] = {
+      CollapsingLowestDenseStore(128), CollapsingLowestDenseStore(128),
+      CollapsingLowestDenseStore(128), CollapsingLowestDenseStore(128)};
+  for (size_t i = 0; i < all.size(); ++i) {
+    parts[i % 4].Add(all[i].first, all[i].second);
+  }
+  // Merge in a skewed order: ((3 <- 1), (0 <- 2)), then 3 <- 0.
+  parts[3].MergeFrom(parts[1]);
+  parts[0].MergeFrom(parts[2]);
+  parts[3].MergeFrom(parts[0]);
+
+  std::map<int32_t, uint64_t> got, expected;
+  parts[3].ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
+  single.ForEach([&](int32_t i, uint64_t c) { expected[i] = c; });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(StoreFactoryTest, Validation) {
+  EXPECT_FALSE(Store::Create(StoreType::kCollapsingLowestDense, 0).ok());
+  EXPECT_FALSE(Store::Create(StoreType::kCollapsingHighestDense, -1).ok());
+  EXPECT_TRUE(Store::Create(StoreType::kSparse, 0).ok());  // 0 = unbounded
+  EXPECT_TRUE(Store::Create(StoreType::kUnboundedDense, 0).ok());
+}
+
+TEST(StoreStressTest, DenseHandlesAdversarialGrowthPattern) {
+  // Alternating far-apart indices force repeated two-sided growth.
+  UnboundedDenseStore s;
+  for (int i = 1; i <= 200; ++i) {
+    s.Add(i * 37, 1);
+    s.Add(-i * 41, 1);
+  }
+  EXPECT_EQ(s.total_count(), 400u);
+  EXPECT_EQ(s.min_index(), -200 * 41);
+  EXPECT_EQ(s.max_index(), 200 * 37);
+  EXPECT_EQ(s.num_buckets(), 400u);
+}
+
+}  // namespace
+}  // namespace dd

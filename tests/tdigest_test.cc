@@ -1,0 +1,186 @@
+#include "tdigest/tdigest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TDigest Make(double compression = 100.0) {
+  auto r = TDigest::Create(compression);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(TDigestTest, CreateValidation) {
+  EXPECT_FALSE(TDigest::Create(1.0).ok());
+  EXPECT_FALSE(TDigest::Create(1e6).ok());
+  EXPECT_TRUE(TDigest::Create(100).ok());
+}
+
+TEST(TDigestTest, EmptyAndValidation) {
+  TDigest t = Make();
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Quantile(0.5).ok());
+  t.Add(1.0);
+  EXPECT_FALSE(t.Quantile(-0.5).ok());
+  EXPECT_FALSE(t.Quantile(1.5).ok());
+}
+
+TEST(TDigestTest, SingleAndConstant) {
+  TDigest t = Make();
+  t.Add(5.0);
+  for (double q : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(t.QuantileOrNaN(q), 5.0);
+  TDigest c = Make();
+  for (int i = 0; i < 10000; ++i) c.Add(3.0);
+  for (double q : {0.0, 0.37, 1.0}) EXPECT_DOUBLE_EQ(c.QuantileOrNaN(q), 3.0);
+}
+
+TEST(TDigestTest, ExactExtremes) {
+  TDigest t = Make();
+  Rng rng(151);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble() * 1e6 - 5e5;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    t.Add(x);
+  }
+  EXPECT_EQ(t.QuantileOrNaN(0.0), lo);
+  EXPECT_EQ(t.QuantileOrNaN(1.0), hi);
+}
+
+TEST(TDigestTest, CentroidCountBounded) {
+  TDigest t = Make(100);
+  Rng rng(152);
+  for (int i = 0; i < 1000000; ++i) t.Add(rng.NextDouble());
+  // The k1 scale function bounds live centroids to ~2 * compression.
+  EXPECT_LT(t.num_centroids(), 220u);
+  EXPECT_GT(t.num_centroids(), 30u);
+  EXPECT_LT(t.size_in_bytes(), 64 * 1024u);
+}
+
+TEST(TDigestTest, UniformRankAccuracy) {
+  TDigest t = Make(100);
+  std::vector<double> data(500000);
+  Rng rng(153);
+  for (double& x : data) {
+    x = rng.NextDouble() * 1000;
+    t.Add(x);
+  }
+  ExactQuantiles truth(data);
+  // Mid quantiles: rank error well under 1%; tails much tighter (the
+  // biased-accuracy design goal).
+  EXPECT_LE(RankError(truth, 0.5, t.QuantileOrNaN(0.5)), 0.01);
+  EXPECT_LE(RankError(truth, 0.99, t.QuantileOrNaN(0.99)), 0.002);
+  EXPECT_LE(RankError(truth, 0.999, t.QuantileOrNaN(0.999)), 0.0005);
+}
+
+TEST(TDigestTest, TailsBeatMidstreamInRankError) {
+  // The defining property of the k1 scale function: resolution is
+  // concentrated at the tails.
+  TDigest t = Make(100);
+  const auto data = GenerateDataset(DatasetId::kWebLatency, 300000);
+  for (double x : data) t.Add(x);
+  ExactQuantiles truth(data);
+  // Tail rank error must be an order of magnitude under the uniform
+  // budget; mid-stream merely has to stay within the conventional 1/delta.
+  for (double q : {0.999, 0.9995, 0.0005, 0.001}) {
+    EXPECT_LE(RankError(truth, q, t.QuantileOrNaN(q)), 0.002) << q;
+  }
+  for (double q : {0.4, 0.5, 0.6}) {
+    EXPECT_LE(RankError(truth, q, t.QuantileOrNaN(q)), 0.01) << q;
+  }
+}
+
+TEST(TDigestTest, HighRelativeErrorOnHeavyTailsAsPaperClaims) {
+  // §1.2: t-digest-style sketches "still have high relative error on
+  // heavy-tailed data sets" — the gap DDSketch closes.
+  TDigest t = Make(100);
+  const auto data = GenerateDataset(DatasetId::kSpan, 500000);
+  for (double x : data) t.Add(x);
+  ExactQuantiles truth(data);
+  double worst = 0;
+  for (double q : {0.5, 0.75, 0.9}) {
+    worst = std::max(worst,
+                     RelativeError(t.QuantileOrNaN(q), truth.Quantile(q)));
+  }
+  EXPECT_GT(worst, 0.01);  // beyond what DDSketch guarantees everywhere
+}
+
+TEST(TDigestTest, WeightedAddMatchesRepeated) {
+  TDigest a = Make(), b = Make();
+  Rng rng(154);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.NextDouble() * 50;
+    const uint64_t w = 1 + rng.NextBounded(30);
+    a.Add(x, w);
+    for (uint64_t j = 0; j < w; ++j) b.Add(x);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(a.QuantileOrNaN(q), b.QuantileOrNaN(q),
+                0.05 * b.QuantileOrNaN(q) + 1e-9)
+        << q;
+  }
+}
+
+TEST(TDigestTest, MergePreservesDistribution) {
+  TDigest a = Make(), b = Make();
+  std::vector<double> all;
+  Rng rng(155);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = std::exp(rng.NextDouble() * 4);
+    all.push_back(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), all.size());
+  ExactQuantiles truth(all);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(RankError(truth, q, a.QuantileOrNaN(q)), 0.02) << q;
+  }
+}
+
+TEST(TDigestTest, RejectsNonFinite) {
+  TDigest t = Make();
+  t.Add(std::nan(""));
+  t.Add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rejected_count(), 2u);
+}
+
+TEST(TDigestTest, MonotoneQuantiles) {
+  TDigest t = Make();
+  Rng rng(156);
+  for (int i = 0; i < 100000; ++i) t.Add(std::exp(rng.NextDouble() * 10));
+  double prev = -1;
+  for (double q = 0.0; q <= 1.0; q += 0.005) {
+    const double v = t.QuantileOrNaN(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+  }
+}
+
+TEST(TDigestTest, SortedInputStress) {
+  TDigest t = Make();
+  std::vector<double> data(200000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i);
+    t.Add(data[i]);
+  }
+  ExactQuantiles truth(data);
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_LE(RankError(truth, q, t.QuantileOrNaN(q)), 0.01) << q;
+  }
+}
+
+}  // namespace
+}  // namespace dd

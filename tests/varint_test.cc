@@ -1,0 +1,173 @@
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(VarintTest, EncodesSmallValuesInOneByte) {
+  for (uint64_t v : {0ULL, 1ULL, 42ULL, 127ULL}) {
+    std::string out;
+    PutVarint64(&out, v);
+    EXPECT_EQ(out.size(), 1u) << v;
+  }
+}
+
+TEST(VarintTest, EncodedSizeGrowsWithMagnitude) {
+  std::string one, two, ten;
+  PutVarint64(&one, 127);
+  PutVarint64(&two, 128);
+  PutVarint64(&ten, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  const uint64_t cases[] = {
+      0,       1,          127,        128,        16383,
+      16384,   (1ULL << 32) - 1, 1ULL << 32, (1ULL << 63),
+      std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string out;
+    PutVarint64(&out, v);
+    Slice in(out);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(in.GetVarint64(&decoded).ok()) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, RoundTripRandom) {
+  Rng rng(1234);
+  for (int i = 0; i < 10000; ++i) {
+    // Bias towards small magnitudes by masking with a random width.
+    const uint64_t v = rng.NextU64() >> (rng.NextU64() % 64);
+    std::string out;
+    PutVarint64(&out, v);
+    Slice in(out);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(in.GetVarint64(&decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string out;
+  PutVarint64(&out, 1ULL << 40);
+  for (size_t cut = 0; cut < out.size(); ++cut) {
+    Slice in(std::string_view(out).substr(0, cut));
+    uint64_t decoded = 0;
+    EXPECT_EQ(in.GetVarint64(&decoded).code(), StatusCode::kCorruption)
+        << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // 11 continuation bytes can never be a valid 64-bit varint.
+  std::string bad(11, '\x80');
+  Slice in(bad);
+  uint64_t decoded = 0;
+  EXPECT_EQ(in.GetVarint64(&decoded).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, OverflowBitsRejected) {
+  // 10th byte may only contribute the lowest bit of the 64-bit value.
+  std::string bad(9, '\x80');
+  bad.push_back('\x02');  // would set bit 64
+  Slice in(bad);
+  uint64_t decoded = 0;
+  EXPECT_EQ(in.GetVarint64(&decoded).code(), StatusCode::kCorruption);
+}
+
+TEST(ZigZagTest, MapsSignedToCompactUnsigned) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+}
+
+TEST(ZigZagTest, RoundTripExtremes) {
+  const int64_t cases[] = {0,
+                           1,
+                           -1,
+                           std::numeric_limits<int64_t>::max(),
+                           std::numeric_limits<int64_t>::min(),
+                           123456789,
+                           -987654321};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(SignedVarintTest, RoundTripThroughBuffer) {
+  Rng rng(99);
+  std::string out;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v =
+        static_cast<int64_t>(rng.NextU64() >> (rng.NextU64() % 64)) *
+        ((rng.NextU64() & 1) ? 1 : -1);
+    values.push_back(v);
+    PutVarintSigned64(&out, v);
+  }
+  Slice in(out);
+  for (int64_t expected : values) {
+    int64_t v = 0;
+    ASSERT_TRUE(in.GetVarintSigned64(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(FixedDoubleTest, RoundTripSpecialValues) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -3.25e300,
+                          5e-324,
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+  for (double v : cases) {
+    std::string out;
+    PutFixedDouble(&out, v);
+    EXPECT_EQ(out.size(), 8u);
+    Slice in(out);
+    double decoded = 0;
+    ASSERT_TRUE(in.GetFixedDouble(&decoded).ok());
+    EXPECT_EQ(std::memcmp(&decoded, &v, sizeof v), 0);
+  }
+}
+
+TEST(FixedDoubleTest, NaNRoundTripsBitExactly) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::string out;
+  PutFixedDouble(&out, nan);
+  Slice in(out);
+  double decoded = 0;
+  ASSERT_TRUE(in.GetFixedDouble(&decoded).ok());
+  EXPECT_TRUE(std::isnan(decoded));
+}
+
+TEST(SliceTest, GetBytesAndRemaining) {
+  std::string payload = "hello world";
+  Slice in(payload);
+  std::string_view first;
+  ASSERT_TRUE(in.GetBytes(5, &first).ok());
+  EXPECT_EQ(first, "hello");
+  EXPECT_EQ(in.remaining(), 6u);
+  std::string_view too_much;
+  EXPECT_EQ(in.GetBytes(100, &too_much).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dd

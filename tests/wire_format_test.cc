@@ -1,0 +1,219 @@
+// Wire-format round-trip tests for every baseline sketch (DDSketch's own
+// codec is covered in serialization_test.cc). Each sketch must decode to a
+// state answering all queries identically, reject truncations, and stay
+// usable (addable, mergeable) after decoding — the requirements of the
+// paper's ship-sketches-every-second pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "data/datasets.h"
+#include "gk/gkarray.h"
+#include "hdr/hdr_histogram.h"
+#include "kll/kll_sketch.h"
+#include "moments/moment_sketch.h"
+#include "tdigest/tdigest.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+const std::vector<double>& TestData() {
+  static const std::vector<double> data =
+      GenerateDataset(DatasetId::kPareto, 20000);
+  return data;
+}
+
+template <typename Sketch>
+void ExpectSameQuantiles(const Sketch& a, const Sketch& b) {
+  ASSERT_EQ(a.count(), b.count());
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q)) << q;
+  }
+}
+
+template <typename Sketch>
+void ExpectAllTruncationsRejected(const std::string& payload) {
+  for (size_t cut = 0; cut < payload.size(); cut += 3) {
+    auto r = Sketch::Deserialize(payload.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+  EXPECT_FALSE(Sketch::Deserialize(payload + "x").ok());
+  EXPECT_FALSE(Sketch::Deserialize("garbage").ok());
+  EXPECT_FALSE(Sketch::Deserialize("").ok());
+}
+
+TEST(GKWireTest, RoundTrip) {
+  auto sketch = std::move(GKArray::Create(0.01)).value();
+  for (double x : TestData()) sketch.Add(x);
+  const std::string payload = sketch.Serialize();
+  auto decoded = GKArray::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameQuantiles(sketch, decoded.value());
+  EXPECT_EQ(decoded.value().rank_accuracy(), 0.01);
+  ExpectAllTruncationsRejected<GKArray>(payload);
+}
+
+TEST(GKWireTest, EmptyRoundTripAndReuse) {
+  auto sketch = std::move(GKArray::Create(0.05)).value();
+  auto decoded = GKArray::Deserialize(sketch.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  GKArray revived = std::move(decoded).value();
+  EXPECT_TRUE(revived.empty());
+  revived.Add(1.0);
+  EXPECT_DOUBLE_EQ(revived.QuantileOrNaN(0.5), 1.0);
+}
+
+TEST(GKWireTest, CorruptWeightSumRejected) {
+  auto sketch = std::move(GKArray::Create(0.01)).value();
+  for (int i = 0; i < 1000; ++i) sketch.Add(static_cast<double>(i));
+  std::string payload = sketch.Serialize();
+  // Flip a byte inside the count varint region (offset 13: after magic,
+  // version, epsilon double).
+  payload[13] = static_cast<char>(payload[13] ^ 0x01);
+  auto r = GKArray::Deserialize(payload);
+  // Either detected as corrupt or the sum check fires.
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(HdrWireTest, IntegerRoundTrip) {
+  auto h = std::move(HdrHistogram::Create(2, 1 << 30)).value();
+  Rng rng(181);
+  for (int i = 0; i < 50000; ++i) h.Record(1 + rng.NextBounded(1 << 28));
+  const std::string payload = h.Serialize();
+  auto decoded = HdrHistogram::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameQuantiles(h, decoded.value());
+  EXPECT_EQ(decoded.value().clamped_count(), h.clamped_count());
+  ExpectAllTruncationsRejected<HdrHistogram>(payload);
+  // Sparse encoding: far smaller than the raw counts array.
+  EXPECT_LT(payload.size(), h.counts_array_length() * sizeof(uint64_t) / 4);
+}
+
+TEST(HdrWireTest, DoubleRoundTripAndMerge) {
+  auto h = std::move(HdrDoubleHistogram::Create(2, 0.1, 1e6)).value();
+  Rng rng(182);
+  for (int i = 0; i < 20000; ++i) h.Record(0.1 + rng.NextDouble() * 1000);
+  h.Record(-1.0);  // rejected counter must survive
+  auto decoded = HdrDoubleHistogram::Deserialize(h.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameQuantiles(h, decoded.value());
+  EXPECT_EQ(decoded.value().rejected_count(), 1u);
+  // Decoded histograms merge with live ones.
+  HdrDoubleHistogram revived = std::move(decoded).value();
+  ASSERT_TRUE(revived.MergeFrom(h).ok());
+  EXPECT_EQ(revived.count(), 2 * h.count());
+}
+
+TEST(MomentsWireTest, RoundTripConstantSize) {
+  auto sketch = std::move(MomentSketch::Create(20, true)).value();
+  for (double x : TestData()) sketch.Add(x);
+  const std::string payload = sketch.Serialize();
+  // Constant-size payload: 7 header + 2 doubles + 21 sums + count varint.
+  EXPECT_LT(payload.size(), 220u);
+  auto decoded = MomentSketch::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().count(), sketch.count());
+  for (size_t i = 0; i < sketch.power_sums().size(); ++i) {
+    EXPECT_EQ(decoded.value().power_sums()[i], sketch.power_sums()[i]) << i;
+  }
+  for (double q : {0.25, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(decoded.value().QuantileOrNaN(q),
+                     sketch.QuantileOrNaN(q))
+        << q;
+  }
+  ExpectAllTruncationsRejected<MomentSketch>(payload);
+}
+
+TEST(MomentsWireTest, CompressionFlagPreserved) {
+  auto plain = std::move(MomentSketch::Create(8, false)).value();
+  plain.Add(3.0);
+  auto decoded = MomentSketch::Deserialize(plain.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().compressed());
+  EXPECT_EQ(decoded.value().num_moments(), 8);
+}
+
+TEST(TDigestWireTest, RoundTrip) {
+  auto digest = std::move(TDigest::Create(100)).value();
+  for (double x : TestData()) digest.Add(x);
+  const std::string payload = digest.Serialize();
+  auto decoded = TDigest::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameQuantiles(digest, decoded.value());
+  EXPECT_EQ(decoded.value().num_centroids(), digest.num_centroids());
+  ExpectAllTruncationsRejected<TDigest>(payload);
+}
+
+TEST(TDigestWireTest, DecodedDigestKeepsWorking) {
+  auto digest = std::move(TDigest::Create(100)).value();
+  for (int i = 0; i < 10000; ++i) digest.Add(static_cast<double>(i));
+  auto decoded = TDigest::Deserialize(digest.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  TDigest revived = std::move(decoded).value();
+  for (int i = 10000; i < 20000; ++i) revived.Add(static_cast<double>(i));
+  EXPECT_EQ(revived.count(), 20000u);
+  EXPECT_NEAR(revived.QuantileOrNaN(0.5), 10000.0, 500.0);
+  revived.MergeFrom(digest);
+  EXPECT_EQ(revived.count(), 30000u);
+}
+
+TEST(KllWireTest, RoundTrip) {
+  auto sketch = std::move(KllSketch::Create(200, 5)).value();
+  for (double x : TestData()) sketch.Add(x);
+  const std::string payload = sketch.Serialize();
+  auto decoded = KllSketch::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameQuantiles(sketch, decoded.value());
+  EXPECT_EQ(decoded.value().num_retained(), sketch.num_retained());
+  EXPECT_EQ(decoded.value().num_levels(), sketch.num_levels());
+  ExpectAllTruncationsRejected<KllSketch>(payload);
+}
+
+TEST(KllWireTest, DecodedSketchMergesAndKeepsGuarantee) {
+  auto a = std::move(KllSketch::Create(400, 6)).value();
+  auto b = std::move(KllSketch::Create(400, 7)).value();
+  Rng rng(183);
+  for (int i = 0; i < 100000; ++i) {
+    a.Add(rng.NextDouble());
+    b.Add(rng.NextDouble());
+  }
+  auto decoded = KllSketch::Deserialize(a.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  KllSketch revived = std::move(decoded).value();
+  ASSERT_TRUE(revived.MergeFrom(b).ok());
+  EXPECT_EQ(revived.count(), 200000u);
+  // Uniform data: quantile of merged ~ q.
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(revived.QuantileOrNaN(q), q, 0.02) << q;
+  }
+}
+
+TEST(CrossFormatTest, MagicsAreDistinct) {
+  // Every sketch rejects every other sketch's payload.
+  auto gk = std::move(GKArray::Create(0.01)).value();
+  gk.Add(1.0);
+  auto hdr = std::move(HdrHistogram::Create(2, 1000)).value();
+  hdr.Record(1);
+  auto moments = std::move(MomentSketch::Create(4, true)).value();
+  moments.Add(1.0);
+  auto td = std::move(TDigest::Create(100)).value();
+  td.Add(1.0);
+  auto kll = std::move(KllSketch::Create(8)).value();
+  kll.Add(1.0);
+  const std::string payloads[] = {gk.Serialize(), hdr.Serialize(),
+                                  moments.Serialize(), td.Serialize(),
+                                  kll.Serialize()};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(GKArray::Deserialize(payloads[i]).ok(), i == 0);
+    EXPECT_EQ(HdrHistogram::Deserialize(payloads[i]).ok(), i == 1);
+    EXPECT_EQ(MomentSketch::Deserialize(payloads[i]).ok(), i == 2);
+    EXPECT_EQ(TDigest::Deserialize(payloads[i]).ok(), i == 3);
+    EXPECT_EQ(KllSketch::Deserialize(payloads[i]).ok(), i == 4);
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,199 @@
+// ddsketch_cli: build, inspect, merge and query DDSketches from the shell.
+//
+// Usage:
+//   ddsketch_cli build [--alpha A] [--buckets M] [--out FILE] < values.txt
+//       Reads one value per line from stdin, writes a serialized sketch.
+//   ddsketch_cli query FILE [q1 q2 ...]
+//       Prints quantile estimates (default: p50 p75 p90 p95 p99 p99.9).
+//   ddsketch_cli merge OUT IN1 IN2 [IN3 ...]
+//       Merges serialized sketches into OUT.
+//   ddsketch_cli info FILE
+//       Prints count/min/max/mean/buckets/footprint.
+//   ddsketch_cli generate DATASET N [SEED]
+//       Emits N values of a built-in data set (pareto|span|power|
+//       web_latency) to stdout, one per line — pipe into `build`.
+//
+// Example round trip:
+//   ddsketch_cli generate pareto 1000000 | ddsketch_cli build --out s.dds
+//   ddsketch_cli query s.dds 0.5 0.99
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "data/datasets.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "ddsketch_cli: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ddsketch_cli build [--alpha A] [--buckets M] [--out FILE]\n"
+               "  ddsketch_cli query FILE [q1 q2 ...]\n"
+               "  ddsketch_cli merge OUT IN1 IN2 [IN3 ...]\n"
+               "  ddsketch_cli info FILE\n"
+               "  ddsketch_cli generate DATASET N [SEED]\n");
+  return 2;
+}
+
+dd::Result<dd::DDSketch> LoadSketch(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return dd::Status::InvalidArgument("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return dd::DDSketch::Deserialize(buffer.str());
+}
+
+bool SaveSketch(const dd::DDSketch& sketch, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string payload = sketch.Serialize();
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(out);
+}
+
+int CmdBuild(int argc, char** argv) {
+  double alpha = 0.01;
+  int32_t buckets = 2048;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--alpha" && i + 1 < argc) {
+      alpha = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--buckets" && i + 1 < argc) {
+      buckets = static_cast<int32_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return Fail("unknown build option: " + arg);
+    }
+  }
+  auto result = dd::DDSketch::Create(alpha, buckets);
+  if (!result.ok()) return Fail(result.status().ToString());
+  dd::DDSketch sketch = std::move(result).value();
+
+  std::string line;
+  uint64_t lines = 0, bad = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      ++bad;
+      continue;
+    }
+    sketch.Add(v);
+    ++lines;
+  }
+  std::fprintf(stderr, "built sketch: %llu values (%llu unparseable lines)\n",
+               static_cast<unsigned long long>(lines),
+               static_cast<unsigned long long>(bad));
+  if (out_path.empty()) {
+    std::fprintf(stderr, "no --out given; printing summary only\n");
+    std::printf("count=%llu p50=%.6g p99=%.6g\n",
+                static_cast<unsigned long long>(sketch.count()),
+                sketch.QuantileOrNaN(0.5), sketch.QuantileOrNaN(0.99));
+    return 0;
+  }
+  if (!SaveSketch(sketch, out_path)) return Fail("cannot write " + out_path);
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto sketch = LoadSketch(argv[0]);
+  if (!sketch.ok()) return Fail(sketch.status().ToString());
+  std::vector<double> qs;
+  for (int i = 1; i < argc; ++i) qs.push_back(std::strtod(argv[i], nullptr));
+  if (qs.empty()) qs = {0.5, 0.75, 0.9, 0.95, 0.99, 0.999};
+  for (double q : qs) {
+    auto r = sketch.value().Quantile(q);
+    if (!r.ok()) return Fail(r.status().ToString());
+    std::printf("p%-7g %.10g\n", q * 100, r.value());
+  }
+  return 0;
+}
+
+int CmdMerge(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string out_path = argv[0];
+  auto merged = LoadSketch(argv[1]);
+  if (!merged.ok()) return Fail(merged.status().ToString());
+  dd::DDSketch sketch = std::move(merged).value();
+  for (int i = 2; i < argc; ++i) {
+    auto next = LoadSketch(argv[i]);
+    if (!next.ok()) return Fail(next.status().ToString());
+    if (dd::Status s = sketch.MergeFrom(next.value()); !s.ok()) {
+      return Fail(std::string(argv[i]) + ": " + s.ToString());
+    }
+  }
+  if (!SaveSketch(sketch, out_path)) return Fail("cannot write " + out_path);
+  std::fprintf(stderr, "merged %d sketches: %llu values\n", argc - 1,
+               static_cast<unsigned long long>(sketch.count()));
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto sketch = LoadSketch(argv[0]);
+  if (!sketch.ok()) return Fail(sketch.status().ToString());
+  const dd::DDSketch& s = sketch.value();
+  std::printf("count:            %llu\n",
+              static_cast<unsigned long long>(s.count()));
+  std::printf("zero_count:       %llu\n",
+              static_cast<unsigned long long>(s.zero_count()));
+  std::printf("rejected:         %llu\n",
+              static_cast<unsigned long long>(s.rejected_count()));
+  std::printf("min / max / mean: %.6g / %.6g / %.6g\n", s.min(), s.max(),
+              s.mean());
+  std::printf("alpha:            %.6g\n", s.relative_accuracy());
+  std::printf("mapping:          %s\n",
+              dd::MappingTypeToString(s.mapping().type()));
+  std::printf("buckets:          %zu\n", s.num_buckets());
+  std::printf("memory:           %.1f kB\n",
+              static_cast<double>(s.size_in_bytes()) / 1024.0);
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string name = argv[0];
+  const size_t n = std::strtoull(argv[1], nullptr, 10);
+  const uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : dd::kDefaultSeed;
+  for (dd::DatasetId id :
+       {dd::DatasetId::kPareto, dd::DatasetId::kSpan, dd::DatasetId::kPower,
+        dd::DatasetId::kWebLatency}) {
+    if (name == dd::DatasetIdToString(id)) {
+      dd::DataStream stream(dd::MakeDataset(id), seed);
+      for (size_t i = 0; i < n; ++i) std::printf("%.17g\n", stream.Next());
+      return 0;
+    }
+  }
+  return Fail("unknown data set: " + name +
+              " (try pareto, span, power, web_latency)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "build") return CmdBuild(argc - 2, argv + 2);
+  if (command == "query") return CmdQuery(argc - 2, argv + 2);
+  if (command == "merge") return CmdMerge(argc - 2, argv + 2);
+  if (command == "info") return CmdInfo(argc - 2, argv + 2);
+  if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
+  return Usage();
+}
