@@ -37,8 +37,11 @@ namespace dd {
 struct DDSketchConfig {
   /// Relative accuracy alpha in (0, 1).
   double relative_accuracy = 0.01;
-  /// Bucket boundary scheme. kCubicInterpolated is the paper's
-  /// "DDSketch (fast)" variant.
+  /// Bucket boundary scheme. Defaults to the exact logarithmic mapping
+  /// (memory-optimal, what the paper calls plain "DDSketch"); pick one of
+  /// the interpolated mappings (e.g. kCubicInterpolated) for the paper's
+  /// "DDSketch (fast)" variant, which trades slightly more buckets for
+  /// cheaper insertion (§4).
   MappingType mapping = MappingType::kLogarithmic;
   /// Counter container strategy.
   StoreType store = StoreType::kCollapsingLowestDense;

@@ -1,5 +1,5 @@
 // LEB128 varint and zigzag codecs used by the sketch binary serialization
-// format (core/serialization.h). Bucket indices are small signed integers
+// format (core/serialization.cc). Bucket indices are small signed integers
 // and counts are small unsigned integers most of the time, so varints keep
 // serialized sketches compact — this matters because the paper's use case
 // ships sketches over the network every few seconds.

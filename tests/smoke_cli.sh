@@ -1,0 +1,27 @@
+#!/bin/sh
+# End-to-end smoke test for tools/ddsketch_cli: generate a stream, sketch
+# it, inspect it, query it, and merge two sketches. Any non-zero exit or
+# unexpected output fails the test.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" generate pareto 10000 42 > "$WORK/values.txt"
+[ "$(wc -l < "$WORK/values.txt")" -eq 10000 ]
+
+"$CLI" build --alpha 0.01 --out "$WORK/a.dds" < "$WORK/values.txt"
+# Generate to a file rather than piping: in a pipeline, set -e only sees
+# the last command's status, so a generate failure would be masked.
+"$CLI" generate pareto 10000 7 > "$WORK/values2.txt"
+"$CLI" build --alpha 0.01 --out "$WORK/b.dds" < "$WORK/values2.txt"
+
+"$CLI" info "$WORK/a.dds" | grep -q "count"
+"$CLI" query "$WORK/a.dds" 0.5 0.99 > "$WORK/q.txt"
+[ -s "$WORK/q.txt" ]
+
+"$CLI" merge "$WORK/merged.dds" "$WORK/a.dds" "$WORK/b.dds"
+"$CLI" query "$WORK/merged.dds" 0.5 > /dev/null
+
+echo "smoke_cli OK"
