@@ -1,0 +1,162 @@
+#include "timeseries/durable_store.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/ddsketch.h"
+#include "timeseries/snapshot.h"
+#include "util/file_io.h"
+
+namespace dd {
+namespace {
+
+/// The options under which a directory was written must match the options
+/// it is reopened with: silently adopting either side would change query
+/// semantics (time geometry) or break merges (sketch parameters).
+Status CheckOptionsMatch(const SketchStoreOptions& snapshot,
+                         const SketchStoreOptions& requested) {
+  if (snapshot.base_interval_seconds != requested.base_interval_seconds ||
+      snapshot.raw_retention_seconds != requested.raw_retention_seconds ||
+      snapshot.rollup_factor != requested.rollup_factor ||
+      snapshot.sketch.relative_accuracy != requested.sketch.relative_accuracy ||
+      snapshot.sketch.mapping != requested.sketch.mapping ||
+      snapshot.sketch.store != requested.sketch.store ||
+      snapshot.sketch.max_num_buckets != requested.sketch.max_num_buckets) {
+    return Status::Incompatible(
+        "data directory was written with different store options");
+  }
+  return Status::OK();
+}
+
+Status Apply(SketchStore* store, const WalRecord& record) {
+  switch (record.type) {
+    case WalRecord::Type::kIngestSketch: {
+      auto decoded = DDSketch::Deserialize(record.payload);
+      if (!decoded.ok()) return decoded.status();
+      return store->IngestSketch(record.series, record.timestamp,
+                                 decoded.value());
+    }
+    case WalRecord::Type::kIngestValue:
+      return store->IngestValue(record.series, record.timestamp, record.value);
+  }
+  return Status::Corruption("unknown WAL record type");
+}
+
+}  // namespace
+
+Result<DurableSketchStore> DurableSketchStore::Open(
+    const std::string& data_dir, const DurableSketchStoreOptions& options) {
+  DD_RETURN_IF_ERROR(CreateDirIfMissing(data_dir));
+  auto lock = FileLock::Acquire(LockPath(data_dir));
+  if (!lock.ok()) return lock.status();
+  const std::string wal_path = WalPath(data_dir);
+  const std::string snapshot_path = SnapshotPath(data_dir);
+
+  // Base state. A fresh directory gets an empty epoch-0 snapshot first,
+  // pinning the store options on disk so every later Open — including
+  // one that finds only a WAL — can verify them instead of silently
+  // adopting whatever it was called with.
+  uint64_t snapshot_epoch = 0;
+  auto base = [&]() -> Result<SketchStore> {
+    if (!FileExists(snapshot_path)) {
+      auto fresh = SketchStore::Create(options.store);
+      if (!fresh.ok()) return fresh.status();
+      DD_RETURN_IF_ERROR(
+          WriteSnapshotFile(fresh.value(), /*epoch=*/0, snapshot_path));
+      return fresh;
+    }
+    auto snapshot = ReadSnapshotFile(snapshot_path);
+    if (!snapshot.ok()) return snapshot.status();
+    DD_RETURN_IF_ERROR(
+        CheckOptionsMatch(snapshot.value().store.options(), options.store));
+    snapshot_epoch = snapshot.value().epoch;
+    return std::move(snapshot).value().store;
+  }();
+  if (!base.ok()) return base.status();
+  SketchStore store = std::move(base).value();
+
+  // Incremental state: replay the WAL onto the base.
+  if (FileExists(wal_path)) {
+    auto scanned = ReadWalFile(wal_path, WalRead::kTolerateTornTail);
+    if (!scanned.ok()) return scanned.status();
+    const WalContents& wal = scanned.value();
+    if (!wal.header_valid || wal.epoch == snapshot_epoch) {
+      // Either a crash during log creation (nothing was ever
+      // acknowledged) or one between snapshot rename and WAL reset (the
+      // log's records are already folded into the snapshot). Both
+      // finish the same way: a fresh log on the next epoch.
+      auto writer = WalWriter::Create(wal_path, snapshot_epoch + 1);
+      if (!writer.ok()) return writer.status();
+      return DurableSketchStore(options, data_dir, std::move(lock).value(),
+                                std::move(store), std::move(writer).value());
+    }
+    if (wal.epoch != snapshot_epoch + 1) {
+      return Status::Corruption(
+          "WAL epoch does not match the snapshot (mixed data directories?)");
+    }
+    for (const WalRecord& record : wal.records) {
+      DD_RETURN_IF_ERROR(Apply(&store, record));
+    }
+    auto writer = WalWriter::OpenExisting(wal_path, wal.epoch, wal.valid_size);
+    if (!writer.ok()) return writer.status();
+    return DurableSketchStore(options, data_dir, std::move(lock).value(),
+                              std::move(store), std::move(writer).value());
+  }
+
+  auto writer = WalWriter::Create(wal_path, snapshot_epoch + 1);
+  if (!writer.ok()) return writer.status();
+  return DurableSketchStore(options, data_dir, std::move(lock).value(),
+                            std::move(store), std::move(writer).value());
+}
+
+Status DurableSketchStore::Append(const WalRecord& record) {
+  DD_RETURN_IF_ERROR(wal_.Append(record));
+  if (options_.sync_every_ingest) {
+    DD_RETURN_IF_ERROR(wal_.Sync());
+  }
+  return Status::OK();
+}
+
+Status DurableSketchStore::Ingest(const std::string& series, int64_t timestamp,
+                                  std::string_view payload) {
+  // Validate fully before logging: the WAL must only ever contain records
+  // that replay cleanly.
+  auto decoded = DDSketch::Deserialize(payload);
+  if (!decoded.ok()) return decoded.status();
+  DD_RETURN_IF_ERROR(store_.CheckCompatible(decoded.value()));
+  WalRecord record;
+  record.type = WalRecord::Type::kIngestSketch;
+  record.series = series;
+  record.timestamp = timestamp;
+  record.payload.assign(payload);
+  DD_RETURN_IF_ERROR(Append(record));
+  return store_.IngestSketch(series, timestamp, decoded.value());
+}
+
+Status DurableSketchStore::IngestValue(const std::string& series,
+                                       int64_t timestamp, double value) {
+  WalRecord record;
+  record.type = WalRecord::Type::kIngestValue;
+  record.series = series;
+  record.timestamp = timestamp;
+  record.value = value;
+  DD_RETURN_IF_ERROR(Append(record));
+  return store_.IngestValue(series, timestamp, value);
+}
+
+Status DurableSketchStore::Checkpoint() {
+  const uint64_t epoch = wal_.epoch();
+  DD_RETURN_IF_ERROR(
+      WriteSnapshotFile(store_, epoch, SnapshotPath(data_dir_)));
+  return wal_.Reset(epoch + 1);
+}
+
+Result<size_t> DurableSketchStore::Compact(int64_t now) {
+  const size_t compacted = store_.Compact(now);
+  DD_RETURN_IF_ERROR(Checkpoint());
+  return compacted;
+}
+
+Status DurableSketchStore::Sync() { return wal_.Sync(); }
+
+}  // namespace dd

@@ -1,0 +1,145 @@
+// DurableSketchStore: a SketchStore that survives restarts.
+//
+// Layout of a data directory:
+//   <dir>/wal.log       append-only ingest log      (timeseries/wal.h)
+//   <dir>/snapshot.dds  last checkpointed full state (timeseries/snapshot.h)
+//   <dir>/LOCK          flock'd while a store is open (single writer)
+//
+// Write path: every acknowledged ingest is validated, appended to the
+// WAL (and optionally fsynced), and only then merged into the in-memory
+// store — an OK return means the record replays on the next Open().
+//
+// Recovery protocol (Open): a fresh directory is initialized with an
+// empty epoch-0 snapshot, pinning the store options so every later Open
+// can verify them (a WAL-only directory must never silently adopt new
+// options). Open loads the snapshot (epoch E), then scans the WAL
+// tolerantly. A torn tail
+// is truncated (those appends were never acknowledged). The WAL's epoch
+// W decides what to replay:
+//   W == E + 1 : the normal case — replay every record on top of the
+//                snapshot;
+//   W == E     : crash landed between snapshot rename and WAL reset
+//                during a checkpoint — the log's records are already in
+//                the snapshot, so the log is discarded and reset;
+//   otherwise  : the directory is inconsistent — Corruption.
+// A missing or header-torn WAL (crash during creation) is recreated
+// empty at epoch E + 1.
+//
+// Checkpoint (also run by Compact after the in-memory rollup): write the
+// snapshot atomically with the current WAL epoch, then reset the WAL to
+// the next epoch. A crash between the two steps is exactly the W == E
+// case above — never double-applied, never lost.
+
+#ifndef DDSKETCH_TIMESERIES_DURABLE_STORE_H_
+#define DDSKETCH_TIMESERIES_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "timeseries/sketch_store.h"
+#include "timeseries/wal.h"
+#include "util/status.h"
+
+namespace dd {
+
+struct DurableSketchStoreOptions {
+  SketchStoreOptions store;
+  /// fsync the WAL on every ingest. Off by default: appends still reach
+  /// the OS before the ingest is acknowledged (process-crash safe);
+  /// turning this on makes each ingest power-loss safe at ~1 disk flush
+  /// per record.
+  bool sync_every_ingest = false;
+};
+
+/// The durable facade: SketchStore semantics, plus Open-time recovery
+/// and checkpointing. Not thread-safe (like SketchStore).
+class DurableSketchStore {
+ public:
+  /// Opens (creating the directory, an initial snapshot, and an empty
+  /// log if needed) and recovers snapshot + WAL. Fails with Incompatible
+  /// when the directory was written with different options, Corruption
+  /// when its files are damaged beyond the torn-tail cases recovery is
+  /// designed for, and ResourceExhausted when another process holds the
+  /// directory open.
+  static Result<DurableSketchStore> Open(
+      const std::string& data_dir, const DurableSketchStoreOptions& options);
+
+  /// Logs and merges a serialized worker sketch. The record is on disk
+  /// when this returns OK.
+  Status Ingest(const std::string& series, int64_t timestamp,
+                std::string_view payload);
+
+  /// Logs and merges a single value.
+  Status IngestValue(const std::string& series, int64_t timestamp,
+                     double value);
+
+  /// Rolls up old raw intervals (SketchStore::Compact), then checkpoints:
+  /// snapshot + WAL reset. Returns the number of intervals compacted.
+  Result<size_t> Compact(int64_t now);
+
+  /// Snapshot + WAL reset without compaction (bounds replay time).
+  Status Checkpoint();
+
+  /// fsync the WAL (batch durability when sync_every_ingest is off).
+  Status Sync();
+
+  // Queries delegate to the in-memory store.
+  Result<DDSketch> QueryRange(const std::string& series, int64_t start,
+                              int64_t end) const {
+    return store_.QueryRange(series, start, end);
+  }
+  Result<double> QueryQuantile(const std::string& series, int64_t start,
+                               int64_t end, double q) const {
+    return store_.QueryQuantile(series, start, end, q);
+  }
+  Result<std::vector<SeriesPoint>> QuerySeries(const std::string& series,
+                                               int64_t start, int64_t end,
+                                               double q,
+                                               int64_t step_seconds) const {
+    return store_.QuerySeries(series, start, end, q, step_seconds);
+  }
+  std::vector<std::string> ListSeries() const { return store_.ListSeries(); }
+
+  /// The recovered/live in-memory state.
+  const SketchStore& store() const noexcept { return store_; }
+
+  /// Current WAL generation (advances by one per checkpoint).
+  uint64_t epoch() const noexcept { return wal_.epoch(); }
+
+  /// Append offset of the WAL; the boundary after each acknowledged
+  /// ingest is a crash-consistent recovery point.
+  uint64_t wal_offset() const noexcept { return wal_.offset(); }
+
+  static std::string WalPath(const std::string& data_dir) {
+    return data_dir + "/wal.log";
+  }
+  static std::string SnapshotPath(const std::string& data_dir) {
+    return data_dir + "/snapshot.dds";
+  }
+  static std::string LockPath(const std::string& data_dir) {
+    return data_dir + "/LOCK";
+  }
+
+ private:
+  DurableSketchStore(DurableSketchStoreOptions options, std::string data_dir,
+                     FileLock lock, SketchStore store, WalWriter wal)
+      : options_(std::move(options)),
+        data_dir_(std::move(data_dir)),
+        lock_(std::move(lock)),
+        store_(std::move(store)),
+        wal_(std::move(wal)) {}
+
+  Status Append(const WalRecord& record);
+
+  DurableSketchStoreOptions options_;
+  std::string data_dir_;
+  FileLock lock_;
+  SketchStore store_;
+  WalWriter wal_;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_TIMESERIES_DURABLE_STORE_H_

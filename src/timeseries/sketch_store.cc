@@ -28,10 +28,26 @@ Status SketchStore::Ingest(const std::string& series, int64_t timestamp,
                            std::string_view payload) {
   auto decoded = DDSketch::Deserialize(payload);
   if (!decoded.ok()) return decoded.status();
+  return IngestSketch(series, timestamp, decoded.value());
+}
+
+Status SketchStore::IngestSketch(const std::string& series, int64_t timestamp,
+                                 const DDSketch& sketch) {
+  // Validate before touching the map so a failed ingest leaves no empty
+  // series/interval behind.
+  DD_RETURN_IF_ERROR(CheckCompatible(sketch));
   Series& s = series_[series];
   const int64_t start = RawStart(timestamp);
   auto [it, inserted] = s.raw.try_emplace(start, prototype_);
-  return it->second.MergeFrom(decoded.value());
+  return it->second.MergeFrom(sketch);
+}
+
+Status SketchStore::CheckCompatible(const DDSketch& sketch) const {
+  if (!prototype_.mapping().IsCompatibleWith(sketch.mapping())) {
+    return Status::Incompatible(
+        "sketch parameters do not match the store's configuration");
+  }
+  return Status::OK();
 }
 
 Status SketchStore::IngestValue(const std::string& series, int64_t timestamp,

@@ -58,6 +58,16 @@ class SketchStore {
   Status Ingest(const std::string& series, int64_t timestamp,
                 std::string_view payload);
 
+  /// Merges an already-decoded worker sketch (the WAL replay path, which
+  /// decodes once while validating the record). Fails with Incompatible
+  /// on parameter mismatch, without modifying the store.
+  Status IngestSketch(const std::string& series, int64_t timestamp,
+                      const DDSketch& sketch);
+
+  /// Whether `sketch` can be merged into this store's intervals (same
+  /// mapping type and gamma as the configured prototype).
+  Status CheckCompatible(const DDSketch& sketch) const;
+
   /// Convenience single-value ingestion (dashboards, tests).
   Status IngestValue(const std::string& series, int64_t timestamp,
                      double value);
@@ -96,6 +106,8 @@ class SketchStore {
   const SketchStoreOptions& options() const { return options_; }
 
  private:
+  friend class SketchStoreSnapshotCodec;  // owns the on-disk snapshot format
+
   struct Series {
     std::map<int64_t, DDSketch> raw;     // keyed by interval start
     std::map<int64_t, DDSketch> coarse;  // keyed by coarse-interval start

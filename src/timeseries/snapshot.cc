@@ -1,0 +1,200 @@
+#include "timeseries/snapshot.h"
+
+#include <cstring>
+#include <utility>
+
+#include "core/ddsketch.h"
+#include "util/crc32.h"
+#include "util/file_io.h"
+#include "util/varint.h"
+
+namespace dd {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'D', 'S', 'S'};
+constexpr uint8_t kVersion = 1;
+
+void EncodeTier(const std::map<int64_t, DDSketch>& tier, std::string* out) {
+  PutVarint64(out, tier.size());
+  for (const auto& [start, sketch] : tier) {
+    PutVarintSigned64(out, start);
+    const std::string payload = sketch.Serialize();
+    PutVarint64(out, payload.size());
+    out->append(payload);
+  }
+}
+
+}  // namespace
+
+/// Befriended by SketchStore; owns the snapshot body layout.
+class SketchStoreSnapshotCodec {
+ public:
+  static std::string EncodeBody(const SketchStore& store, uint64_t epoch) {
+    const SketchStoreOptions& options = store.options_;
+    std::string body;
+    PutVarint64(&body, epoch);
+    PutVarint64(&body, static_cast<uint64_t>(options.base_interval_seconds));
+    PutVarint64(&body, static_cast<uint64_t>(options.raw_retention_seconds));
+    PutVarint64(&body, static_cast<uint64_t>(options.rollup_factor));
+    PutFixedDouble(&body, options.sketch.relative_accuracy);
+    body.push_back(static_cast<char>(options.sketch.mapping));
+    body.push_back(static_cast<char>(options.sketch.store));
+    PutVarint64(&body, static_cast<uint64_t>(options.sketch.max_num_buckets));
+    PutVarint64(&body, store.series_.size());
+    for (const auto& [name, series] : store.series_) {
+      PutVarint64(&body, name.size());
+      body.append(name);
+      EncodeTier(series.raw, &body);
+      EncodeTier(series.coarse, &body);
+    }
+    return body;
+  }
+
+  static Result<SnapshotContents> DecodeBody(std::string_view body) {
+    Slice in(body);
+    uint64_t epoch = 0;
+    DD_RETURN_IF_ERROR(in.GetVarint64(&epoch));
+    if (epoch > UINT32_MAX) {
+      return Status::Corruption("snapshot epoch out of range");
+    }
+    SketchStoreOptions options;
+    uint64_t base = 0, retention = 0, factor = 0;
+    DD_RETURN_IF_ERROR(in.GetVarint64(&base));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&retention));
+    DD_RETURN_IF_ERROR(in.GetVarint64(&factor));
+    if (base > INT64_MAX || retention > INT64_MAX || factor > INT32_MAX) {
+      return Status::Corruption("snapshot time geometry out of range");
+    }
+    options.base_interval_seconds = static_cast<int64_t>(base);
+    options.raw_retention_seconds = static_cast<int64_t>(retention);
+    options.rollup_factor = static_cast<int>(factor);
+    DD_RETURN_IF_ERROR(in.GetFixedDouble(&options.sketch.relative_accuracy));
+    std::string_view tags;
+    DD_RETURN_IF_ERROR(in.GetBytes(2, &tags));
+    const uint8_t mapping_tag = static_cast<uint8_t>(tags[0]);
+    const uint8_t store_tag = static_cast<uint8_t>(tags[1]);
+    if (mapping_tag > static_cast<uint8_t>(MappingType::kCubicInterpolated)) {
+      return Status::Corruption("snapshot: unknown mapping type tag");
+    }
+    if (store_tag > static_cast<uint8_t>(StoreType::kSparse)) {
+      return Status::Corruption("snapshot: unknown store type tag");
+    }
+    options.sketch.mapping = static_cast<MappingType>(mapping_tag);
+    options.sketch.store = static_cast<StoreType>(store_tag);
+    uint64_t max_buckets = 0;
+    DD_RETURN_IF_ERROR(in.GetVarint64(&max_buckets));
+    if (max_buckets > INT32_MAX) {
+      return Status::Corruption("snapshot: max_num_buckets out of range");
+    }
+    options.sketch.max_num_buckets = static_cast<int32_t>(max_buckets);
+
+    auto store_result = SketchStore::Create(options);
+    if (!store_result.ok()) {
+      return Status::Corruption("snapshot carries invalid store options: " +
+                                store_result.status().message());
+    }
+    SketchStore store = std::move(store_result).value();
+
+    uint64_t n_series = 0;
+    DD_RETURN_IF_ERROR(in.GetVarint64(&n_series));
+    for (uint64_t i = 0; i < n_series; ++i) {
+      uint64_t name_len = 0;
+      DD_RETURN_IF_ERROR(in.GetVarint64(&name_len));
+      if (name_len > in.remaining()) {
+        return Status::Corruption("snapshot series name overruns payload");
+      }
+      std::string_view name_bytes;
+      DD_RETURN_IF_ERROR(in.GetBytes(name_len, &name_bytes));
+      const std::string name(name_bytes);
+      if (store.series_.count(name) != 0) {
+        return Status::Corruption("snapshot: duplicate series name");
+      }
+      SketchStore::Series& series = store.series_[name];
+      DD_RETURN_IF_ERROR(DecodeTier(&in, store,
+                                    store.options_.base_interval_seconds,
+                                    &series.raw));
+      DD_RETURN_IF_ERROR(
+          DecodeTier(&in, store, store.CoarseWidth(), &series.coarse));
+    }
+    if (!in.empty()) {
+      return Status::Corruption("trailing bytes after snapshot body");
+    }
+    return SnapshotContents{std::move(store), epoch};
+  }
+
+ private:
+  static Status DecodeTier(Slice* in, const SketchStore& store, int64_t width,
+                           std::map<int64_t, DDSketch>* tier) {
+    uint64_t n = 0;
+    DD_RETURN_IF_ERROR(in->GetVarint64(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      int64_t start = 0;
+      DD_RETURN_IF_ERROR(in->GetVarintSigned64(&start));
+      if (SketchStore::Mod(start, width) != 0) {
+        return Status::Corruption("snapshot interval start misaligned");
+      }
+      uint64_t payload_len = 0;
+      DD_RETURN_IF_ERROR(in->GetVarint64(&payload_len));
+      if (payload_len > in->remaining()) {
+        return Status::Corruption("snapshot sketch payload overruns body");
+      }
+      std::string_view payload;
+      DD_RETURN_IF_ERROR(in->GetBytes(payload_len, &payload));
+      auto sketch = DDSketch::Deserialize(payload);
+      if (!sketch.ok()) return sketch.status();
+      DD_RETURN_IF_ERROR(store.CheckCompatible(sketch.value()));
+      const auto [it, inserted] =
+          tier->emplace(start, std::move(sketch).value());
+      if (!inserted) {
+        return Status::Corruption("snapshot: duplicate interval start");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+std::string EncodeSnapshot(const SketchStore& store, uint64_t epoch) {
+  const std::string body = SketchStoreSnapshotCodec::EncodeBody(store, epoch);
+  std::string out;
+  out.reserve(body.size() + sizeof(kMagic) + 1 + sizeof(uint32_t));
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  PutFixed32(&out, Crc32c(body));
+  out.append(body);
+  return out;
+}
+
+Result<SnapshotContents> DecodeSnapshot(std::string_view bytes) {
+  Slice in(bytes);
+  std::string_view magic;
+  DD_RETURN_IF_ERROR(in.GetBytes(sizeof(kMagic), &magic));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  std::string_view version;
+  DD_RETURN_IF_ERROR(in.GetBytes(1, &version));
+  if (static_cast<uint8_t>(version[0]) != kVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  uint32_t crc = 0;
+  DD_RETURN_IF_ERROR(in.GetFixed32(&crc));
+  std::string_view body;
+  DD_RETURN_IF_ERROR(in.GetBytes(in.remaining(), &body));
+  if (crc != Crc32c(body)) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+  return SketchStoreSnapshotCodec::DecodeBody(body);
+}
+
+Status WriteSnapshotFile(const SketchStore& store, uint64_t epoch,
+                         const std::string& path) {
+  return WriteFileAtomic(path, EncodeSnapshot(store, epoch));
+}
+
+Result<SnapshotContents> ReadSnapshotFile(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSnapshot(bytes.value());
+}
+
+}  // namespace dd

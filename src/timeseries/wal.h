@@ -1,0 +1,132 @@
+// Write-ahead interval log for the durable sketch store.
+//
+// File layout (multi-byte integers are LEB128 varints from util/varint;
+// CRCs are little-endian fixed32 CRC-32C from util/crc32):
+//
+//   header (13 bytes, fixed-size so a torn header write is
+//   distinguishable from bit rot by length alone):
+//     magic     4 bytes  "DDWL"
+//     version   1 byte   0x01
+//     epoch     fixed32  checkpoint generation this log belongs to
+//     crc       fixed32  CRC-32C of the preceding header bytes
+//   record (repeated until EOF):
+//     len       varint   body length in bytes
+//     crc       fixed32  CRC-32C of the body bytes
+//     body:
+//       type    1 byte   1 = serialized-sketch ingest, 2 = single value
+//       series  varint length + bytes
+//       ts      signed varint (zigzag)
+//       type 1: payload  varint length + bytes (DDSketch wire format,
+//               core/serialization.cc)
+//       type 2: value    fixed64 little-endian double
+//
+// Recovery semantics: a record whose frame runs past EOF is a torn tail
+// (the process died mid-append) — replay stops at the last complete
+// record and the tail is truncated away. A CRC mismatch or undecodable
+// body on a *complete* frame is bit rot and fails with Corruption. The
+// strict mode used by validation and fuzz tests treats every anomaly,
+// including a torn tail, as Corruption.
+//
+// The epoch ties a log to its snapshot (timeseries/snapshot.h): a
+// checkpoint writes a snapshot carrying the log's epoch, then resets the
+// log to epoch + 1. See durable_store.cc for the recovery protocol.
+
+#ifndef DDSKETCH_TIMESERIES_WAL_H_
+#define DDSKETCH_TIMESERIES_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// One logged ingest.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kIngestSketch = 1,  ///< a serialized worker sketch
+    kIngestValue = 2,   ///< a single raw value
+  };
+
+  Type type = Type::kIngestSketch;
+  std::string series;
+  int64_t timestamp = 0;
+  std::string payload;  ///< DDSketch wire bytes (kIngestSketch only)
+  double value = 0;     ///< kIngestValue only
+};
+
+/// Encodes the file header for a log of generation `epoch` (the header
+/// stores epochs as fixed32; WalWriter rejects larger values).
+std::string EncodeWalHeader(uint32_t epoch);
+
+/// Encodes one framed record (len + crc + body).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Outcome of scanning a whole log image.
+struct WalContents {
+  uint64_t epoch = 0;
+  std::vector<WalRecord> records;
+  /// Offset one past the last complete record; bytes beyond this are a
+  /// torn tail (tolerant mode only — strict mode never reports one).
+  uint64_t valid_size = 0;
+  bool torn_tail = false;
+  /// False when the file ends inside the header itself (a crash during
+  /// log creation, before any record could have been acknowledged);
+  /// tolerant mode only. epoch/records are meaningless when false.
+  bool header_valid = true;
+};
+
+/// How ReadWal treats a frame that runs past EOF.
+enum class WalRead {
+  kTolerateTornTail,  ///< recovery: stop at the last complete record
+  kStrict,            ///< validation/fuzz: any anomaly is Corruption
+};
+
+/// Parses an entire log image. CRC mismatches and undecodable bodies are
+/// always Corruption; see WalRead for the torn-tail policy.
+Result<WalContents> ReadWal(std::string_view file_bytes, WalRead mode);
+
+/// ReadWal over a file on disk.
+Result<WalContents> ReadWalFile(const std::string& path, WalRead mode);
+
+/// Appends framed records to a log file. Creation writes the header
+/// durably; each Append pushes the record to the OS (process-crash safe)
+/// and Sync() makes it power-loss safe.
+class WalWriter {
+ public:
+  /// Creates or truncates `path` as an empty epoch-`epoch` log.
+  static Result<WalWriter> Create(const std::string& path, uint64_t epoch);
+
+  /// Opens an existing log for appending at `size` (the valid prefix
+  /// established by ReadWal; any torn tail beyond it is truncated away).
+  static Result<WalWriter> OpenExisting(const std::string& path,
+                                        uint64_t epoch, uint64_t size);
+
+  Status Append(const WalRecord& record);
+
+  /// fsync. Call after Append (or a batch) for power-loss durability.
+  Status Sync();
+
+  /// Empties the log and starts generation `epoch` (post-checkpoint).
+  Status Reset(uint64_t epoch);
+
+  /// Current file size; record boundaries (offset after each Append) are
+  /// the crash-consistent recovery points.
+  uint64_t offset() const noexcept { return file_.size(); }
+
+  uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  WalWriter(AppendOnlyFile file, uint64_t epoch)
+      : file_(std::move(file)), epoch_(epoch) {}
+
+  AppendOnlyFile file_;
+  uint64_t epoch_;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_TIMESERIES_WAL_H_

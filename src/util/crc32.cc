@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace dd {
+namespace {
+
+// Reflected CRC-32C polynomial (iSCSI / RocksDB / LevelDB).
+constexpr uint32_t kPolynomial = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, std::string_view data) noexcept {
+  crc = ~crc;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace dd

@@ -1,0 +1,26 @@
+// CRC-32C (Castagnoli) checksums framing the on-disk persistence formats
+// (timeseries/wal.cc, timeseries/snapshot.cc). The wire format for sketches
+// shipped over the network (core/serialization.cc) stays checksum-free —
+// transport integrity is the carrier's job — but bytes that sit on disk
+// must detect bit rot and torn writes themselves.
+
+#ifndef DDSKETCH_UTIL_CRC32_H_
+#define DDSKETCH_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dd {
+
+/// CRC-32C of `data` continued from `crc` (pass 0 to start a new checksum).
+/// Slice-and-continue composes: Crc32c(Crc32c(0, a), b) == Crc32c(0, a + b).
+uint32_t Crc32c(uint32_t crc, std::string_view data) noexcept;
+
+/// CRC-32C of a whole buffer.
+inline uint32_t Crc32c(std::string_view data) noexcept {
+  return Crc32c(0, data);
+}
+
+}  // namespace dd
+
+#endif  // DDSKETCH_UTIL_CRC32_H_

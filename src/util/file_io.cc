@@ -1,0 +1,188 @@
+#include "util/file_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace dd {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+/// Opens the parent directory of `path` and fsyncs it, making a rename or
+/// create in that directory durable.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::Internal(Errno("open dir", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal(Errno("fsync dir", dir));
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write", path));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(Errno("mkdir", path));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::InvalidArgument(Errno("open", path));
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::InvalidArgument(Errno("open", tmp));
+  Status status = WriteAll(fd, contents, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal(Errno("fsync", tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal(Errno("close", tmp));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status = Status::Internal(Errno("rename", path));
+    ::unlink(tmp.c_str());
+    return rename_status;
+  }
+  return SyncParentDir(path);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) {
+    return Status::OK();
+  }
+  return Status::Internal(Errno("unlink", path));
+}
+
+Result<FileLock> FileLock::Acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::InvalidArgument(Errno("open", path));
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::ResourceExhausted("locked by another process: " + path);
+  }
+  return FileLock(fd);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);  // closing releases the flock
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<AppendOnlyFile> AppendOnlyFile::Open(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::InvalidArgument(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::Internal(Errno("fstat", path));
+    ::close(fd);
+    return status;
+  }
+  return AppendOnlyFile(path, fd, static_cast<uint64_t>(st.st_size));
+}
+
+AppendOnlyFile::AppendOnlyFile(AppendOnlyFile&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_), size_(other.size_) {
+  other.fd_ = -1;
+}
+
+AppendOnlyFile& AppendOnlyFile::operator=(AppendOnlyFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendOnlyFile::Append(std::string_view data) {
+  DD_RETURN_IF_ERROR(WriteAll(fd_, data, path_));
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Sync() {
+  if (::fsync(fd_) != 0) return Status::Internal(Errno("fsync", path_));
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::Internal(Errno("ftruncate", path_));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+}  // namespace dd

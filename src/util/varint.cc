@@ -25,6 +25,15 @@ void PutFixedDouble(std::string* out, double value) {
   out->append(buf, sizeof(double));
 }
 
+void PutFixed32(std::string* out, uint32_t value) {
+  char buf[sizeof(uint32_t)];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  out->append(buf, sizeof(buf));
+}
+
 Status Slice::GetVarint64(uint64_t* value) {
   uint64_t result = 0;
   for (int shift = 0; shift < 64; shift += 7) {
@@ -58,6 +67,18 @@ Status Slice::GetFixedDouble(double* value) {
   }
   std::memcpy(value, data_.data(), sizeof(double));
   data_.remove_prefix(sizeof(double));
+  return Status::OK();
+}
+
+Status Slice::GetFixed32(uint32_t* value) {
+  if (data_.size() < sizeof(uint32_t)) {
+    return Status::Corruption("truncated fixed32");
+  }
+  *value = static_cast<uint32_t>(static_cast<uint8_t>(data_[0])) |
+           static_cast<uint32_t>(static_cast<uint8_t>(data_[1])) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(data_[2])) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(data_[3])) << 24;
+  data_.remove_prefix(sizeof(uint32_t));
   return Status::OK();
 }
 

@@ -28,6 +28,11 @@ void PutVarintSigned64(std::string* out, int64_t value);
 /// Appends a raw little-endian double (8 bytes) to `out`.
 void PutFixedDouble(std::string* out, double value);
 
+/// Appends a raw little-endian uint32 (4 bytes) to `out` — used for CRC
+/// fields in the on-disk formats, which must stay fixed-width so framing
+/// survives arbitrary corruption of the checksummed bytes.
+void PutFixed32(std::string* out, uint32_t value);
+
 /// A consuming read cursor over a serialized payload. All Get* methods
 /// return Corruption on truncated or malformed input and leave the cursor
 /// position unspecified afterwards.
@@ -45,6 +50,8 @@ class Slice {
   Status GetVarintSigned64(int64_t* value);
   /// Reads a raw little-endian double.
   Status GetFixedDouble(double* value);
+  /// Reads a raw little-endian uint32.
+  Status GetFixed32(uint32_t* value);
   /// Reads `n` raw bytes into `out`.
   Status GetBytes(size_t n, std::string_view* out);
 

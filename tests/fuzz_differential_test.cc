@@ -13,6 +13,8 @@
 
 #include "core/ddsketch.h"
 #include "data/ground_truth.h"
+#include "timeseries/snapshot.h"
+#include "timeseries/wal.h"
 #include "util/rng.h"
 
 namespace dd {
@@ -271,6 +273,168 @@ TEST_P(FuzzCorruptionTest, BitFlipsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCorruptionTest,
                          ::testing::Range<uint64_t>(1, 5));
+
+// ---------------------------------------------------------------------
+// Persistence-format corruption fuzz: unlike the checksum-free wire
+// format above (where a lucky bit flip may decode as a different valid
+// sketch), the on-disk WAL and snapshot formats are CRC-framed, so the
+// contract is strict — corrupted input must ALWAYS yield
+// Status::Corruption, never a crash and never silent acceptance.
+
+/// A deterministic multi-record WAL image plus its record boundaries.
+struct WalImage {
+  std::string bytes;
+  std::vector<size_t> boundaries;  // header end + end of each record
+};
+
+WalImage BuildWalImage(Rng& rng) {
+  WalImage image;
+  image.bytes = EncodeWalHeader(/*epoch=*/7);
+  image.boundaries.push_back(image.bytes.size());
+  for (int i = 0; i < 10; ++i) {
+    WalRecord record;
+    if (i % 2 == 0) {
+      auto sketch = std::move(DDSketch::Create(0.01)).value();
+      for (int k = 0; k < 20; ++k) {
+        sketch.Add(std::exp(rng.NextDouble() * 10 - 5));
+      }
+      record.type = WalRecord::Type::kIngestSketch;
+      record.payload = sketch.Serialize();
+    } else {
+      record.type = WalRecord::Type::kIngestValue;
+      record.value = rng.NextDouble() * 1e6;
+    }
+    record.series = (i % 3 == 0) ? "api.latency" : "db.queries";
+    record.timestamp = static_cast<int64_t>(rng.NextBounded(10000)) - 500;
+    image.bytes += EncodeWalRecord(record);
+    image.boundaries.push_back(image.bytes.size());
+  }
+  return image;
+}
+
+class FuzzWalCorruptionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzWalCorruptionTest, BitFlipsAlwaysRejected) {
+  Rng rng(GetParam() * 15485863);
+  const WalImage image = BuildWalImage(rng);
+  // The pristine image parses in full.
+  auto clean = ReadWal(image.bytes, WalRead::kStrict);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean.value().records.size(), 10u);
+
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string corrupted = image.bytes;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(corrupted.size());
+      corrupted[pos] = static_cast<char>(
+          static_cast<uint8_t>(corrupted[pos]) ^ (1u << rng.NextBounded(8)));
+    }
+    if (corrupted == image.bytes) continue;  // flips cancelled out
+    auto result = ReadWal(corrupted, WalRead::kStrict);
+    ASSERT_FALSE(result.ok()) << "trial=" << trial;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_P(FuzzWalCorruptionTest, TruncationsAlwaysDetected) {
+  Rng rng(GetParam() * 32452843);
+  const WalImage image = BuildWalImage(rng);
+  for (size_t cut = 0; cut < image.bytes.size(); ++cut) {
+    const std::string_view prefix =
+        std::string_view(image.bytes).substr(0, cut);
+    const bool at_boundary =
+        std::find(image.boundaries.begin(), image.boundaries.end(), cut) !=
+        image.boundaries.end();
+    auto strict = ReadWal(prefix, WalRead::kStrict);
+    if (at_boundary) {
+      // A prefix ending exactly on a record boundary is a valid shorter
+      // log — that is the crash-recovery contract, not corruption.
+      ASSERT_TRUE(strict.ok()) << "cut=" << cut;
+    } else {
+      ASSERT_FALSE(strict.ok()) << "cut=" << cut;
+      EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+      // Tolerant mode recovers the complete-record prefix instead.
+      auto tolerant = ReadWal(prefix, WalRead::kTolerateTornTail);
+      ASSERT_TRUE(tolerant.ok()) << "cut=" << cut;
+      EXPECT_TRUE(tolerant.value().torn_tail);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWalCorruptionTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
+std::string BuildSnapshotImage(Rng& rng) {
+  SketchStoreOptions options;
+  options.base_interval_seconds = 10;
+  options.raw_retention_seconds = 60;
+  options.rollup_factor = 6;
+  auto store = std::move(SketchStore::Create(options)).value();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(store
+                    .IngestValue(i % 2 ? "a" : "b",
+                                 static_cast<int64_t>(rng.NextBounded(600)),
+                                 std::exp(rng.NextDouble() * 8 - 4))
+                    .ok());
+  }
+  store.Compact(600);
+  return EncodeSnapshot(store, /*epoch=*/2);
+}
+
+class FuzzSnapshotCorruptionTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FuzzSnapshotCorruptionTest, BitFlipsAndTruncationsAlwaysRejected) {
+  Rng rng(GetParam() * 49979687);
+  const std::string image = BuildSnapshotImage(rng);
+  ASSERT_TRUE(DecodeSnapshot(image).ok());
+
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string corrupted = image;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(corrupted.size());
+      corrupted[pos] = static_cast<char>(
+          static_cast<uint8_t>(corrupted[pos]) ^ (1u << rng.NextBounded(8)));
+    }
+    if (corrupted == image) continue;
+    auto result = DecodeSnapshot(corrupted);
+    ASSERT_FALSE(result.ok()) << "trial=" << trial;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+
+  // Every proper prefix is rejected: the CRC covers the whole body, so a
+  // snapshot is all-or-nothing.
+  for (size_t cut = 0; cut < image.size();
+       cut += 1 + rng.NextBounded(7)) {
+    auto result = DecodeSnapshot(std::string_view(image).substr(0, cut));
+    ASSERT_FALSE(result.ok()) << "cut=" << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSnapshotCorruptionTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
+// Wire-format truncation: the network payload format has no checksum
+// (bit flips may be undetectable — see FuzzCorruptionTest above), but
+// truncation must always be caught by the structural length checks.
+TEST(FuzzWireTruncationTest, EveryProperPrefixIsRejected) {
+  Rng rng(8675309);
+  auto sketch = std::move(DDSketch::Create(0.01)).value();
+  for (int i = 0; i < 500; ++i) {
+    sketch.Add(std::exp(rng.NextDouble() * 12 - 6) *
+               ((rng.NextU64() & 1) ? 1.0 : -1.0));
+  }
+  const std::string payload = sketch.Serialize();
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto result =
+        DDSketch::Deserialize(std::string_view(payload).substr(0, cut));
+    ASSERT_FALSE(result.ok()) << "cut=" << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
 
 }  // namespace
 }  // namespace dd

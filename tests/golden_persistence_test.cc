@@ -1,0 +1,178 @@
+// On-disk format stability for the persistence layer, mirroring what
+// golden_format_test.cc does for the wire format: byte-exact fixture
+// files for the WAL and snapshot formats are checked in under
+// tests/golden/, and this test both decodes them and re-encodes to
+// identical bytes. If an intentional format change breaks these, bump
+// the version byte instead of silently altering v1.
+//
+// Regenerating fixtures after an *intentional* format bump:
+//   DD_REGEN_GOLDEN=1 ./golden_persistence_test
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/ddsketch.h"
+#include "timeseries/snapshot.h"
+#include "timeseries/wal.h"
+#include "util/crc32.h"
+
+#ifndef DD_GOLDEN_DIR
+#error "DD_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace dd {
+namespace {
+
+std::string Hex(const std::string& bytes) {
+  std::string out;
+  char buf[3];
+  for (unsigned char c : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x", c);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FixturePath(const std::string& name) {
+  return std::string(DD_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void MaybeRegenerate(const std::string& name, const std::string& bytes) {
+  if (std::getenv("DD_REGEN_GOLDEN") == nullptr) return;
+  std::ofstream out(FixturePath(name), std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write fixture " << name;
+}
+
+/// The scripted WAL content: a mix of sketch-payload and raw-value
+/// records across two series, with a negative timestamp in the mix.
+std::string GoldenWalBytes() {
+  std::string bytes = EncodeWalHeader(/*epoch=*/1);
+  auto worker = std::move(DDSketch::Create(0.01, 2048)).value();
+  worker.Add(1.0);
+  worker.Add(2.5);
+  worker.Add(100.0);
+  WalRecord sketch_record;
+  sketch_record.type = WalRecord::Type::kIngestSketch;
+  sketch_record.series = "api.latency";
+  sketch_record.timestamp = 1000;
+  sketch_record.payload = worker.Serialize();
+  bytes += EncodeWalRecord(sketch_record);
+  WalRecord value_record;
+  value_record.type = WalRecord::Type::kIngestValue;
+  value_record.series = "db.errors";
+  value_record.timestamp = -30;
+  value_record.value = 3.25;
+  bytes += EncodeWalRecord(value_record);
+  return bytes;
+}
+
+/// The scripted snapshot content: two series, raw + compacted intervals.
+std::string GoldenSnapshotBytes() {
+  SketchStoreOptions options;
+  options.base_interval_seconds = 10;
+  options.raw_retention_seconds = 60;
+  options.rollup_factor = 6;
+  auto store = std::move(SketchStore::Create(options)).value();
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        store.IngestValue("api.latency", i * 5, 1.0 + (i % 7)).ok());
+    EXPECT_TRUE(store.IngestValue("db.errors", i * 3 - 20, 0.5 * i).ok());
+  }
+  store.Compact(/*now=*/200);  // populate the coarse tier too
+  return EncodeSnapshot(store, /*epoch=*/3);
+}
+
+TEST(GoldenPersistenceTest, Crc32cKnownAnswerVectors) {
+  // The standard CRC-32C check value; pins polynomial and reflection.
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8a9136aau);
+  // Slice-and-continue composition.
+  EXPECT_EQ(Crc32c(Crc32c("1234"), "56789"), Crc32c("123456789"));
+}
+
+TEST(GoldenPersistenceTest, WalHeaderPinned) {
+  // magic "DDWL", version 1, epoch 1 (fixed32), CRC-32C of the preceding
+  // 9 bytes.
+  EXPECT_EQ(Hex(EncodeWalHeader(1)),
+            "4444574c" "01" "01000000" "80265f4d");
+}
+
+TEST(GoldenPersistenceTest, WalFixtureRoundTripsByteExactly) {
+  const std::string encoded = GoldenWalBytes();
+  MaybeRegenerate("wal_v1.bin", encoded);
+  const std::string fixture = ReadFixture("wal_v1.bin");
+  ASSERT_EQ(Hex(encoded), Hex(fixture));
+
+  auto scanned = ReadWal(fixture, WalRead::kStrict);
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  EXPECT_EQ(scanned.value().epoch, 1u);
+  ASSERT_EQ(scanned.value().records.size(), 2u);
+  EXPECT_EQ(scanned.value().records[0].series, "api.latency");
+  EXPECT_EQ(scanned.value().records[0].timestamp, 1000);
+  EXPECT_EQ(scanned.value().records[1].series, "db.errors");
+  EXPECT_EQ(scanned.value().records[1].timestamp, -30);
+  EXPECT_EQ(scanned.value().records[1].value, 3.25);
+
+  // Re-encode: header + records must reproduce the fixture bytes.
+  std::string reencoded = EncodeWalHeader(scanned.value().epoch);
+  for (const WalRecord& record : scanned.value().records) {
+    reencoded += EncodeWalRecord(record);
+  }
+  EXPECT_EQ(Hex(reencoded), Hex(fixture));
+}
+
+TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
+  const std::string encoded = GoldenSnapshotBytes();
+  MaybeRegenerate("snapshot_v1.bin", encoded);
+  const std::string fixture = ReadFixture("snapshot_v1.bin");
+  // magic "DDSS", version 1.
+  EXPECT_EQ(Hex(fixture.substr(0, 5)), "4444535301");
+  ASSERT_EQ(Hex(encoded.substr(0, 64)), Hex(fixture.substr(0, 64)));
+  ASSERT_EQ(encoded, fixture);
+
+  auto decoded = DecodeSnapshot(fixture);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().epoch, 3u);
+  EXPECT_EQ(decoded.value().store.num_series(), 2u);
+
+  // Decode -> re-encode is the identity on the fixture.
+  EXPECT_EQ(EncodeSnapshot(decoded.value().store, decoded.value().epoch),
+            fixture);
+
+  // And the decoded store answers queries (sanity that the fixture holds
+  // real data, not just parseable bytes).
+  auto q = decoded.value().store.QueryQuantile("api.latency", 0, 200, 0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q.value(), 0.0);
+}
+
+TEST(GoldenPersistenceTest, VersionByteGuardsDecoding) {
+  std::string wal = GoldenWalBytes();
+  wal[4] = 2;  // future version
+  auto wal_result = ReadWal(wal, WalRead::kStrict);
+  ASSERT_FALSE(wal_result.ok());
+  EXPECT_EQ(wal_result.status().code(), StatusCode::kCorruption);
+
+  std::string snapshot = GoldenSnapshotBytes();
+  snapshot[4] = 2;
+  auto snapshot_result = DecodeSnapshot(snapshot);
+  ASSERT_FALSE(snapshot_result.ok());
+  EXPECT_EQ(snapshot_result.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dd

@@ -24,4 +24,15 @@ trap 'rm -rf "$WORK"' EXIT
 "$CLI" merge "$WORK/merged.dds" "$WORK/a.dds" "$WORK/b.dds"
 "$CLI" query "$WORK/merged.dds" 0.5 > /dev/null
 
+# Durable time-series flow: ingest into a data dir, query it back, survive
+# a reopen (fresh process), compact, and query the same answer again.
+head -1000 "$WORK/values.txt" | "$CLI" ingest --data-dir "$WORK/ts" --series svc --timestamp 100
+[ -f "$WORK/ts/wal.log" ]
+"$CLI" query --data-dir "$WORK/ts" --series svc --start 0 --end 200 0.5 > "$WORK/d1.txt"
+[ -s "$WORK/d1.txt" ]
+"$CLI" compact --data-dir "$WORK/ts" --now 100000
+[ -f "$WORK/ts/snapshot.dds" ]
+"$CLI" query --data-dir "$WORK/ts" --series svc --start 0 --end 200 0.5 > "$WORK/d2.txt"
+cmp "$WORK/d1.txt" "$WORK/d2.txt"
+
 echo "smoke_cli OK"

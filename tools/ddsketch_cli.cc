@@ -13,6 +13,18 @@
 //       Emits N values of a built-in data set (pareto|span|power|
 //       web_latency) to stdout, one per line — pipe into `build`.
 //
+// Durable time-series mode (persists to a data directory with a
+// write-ahead log + snapshots; see src/timeseries/durable_store.h):
+//   ddsketch_cli ingest --data-dir DIR --series NAME [--timestamp T]
+//                       [--alpha A] [--sync] < values.txt
+//       Reads "value" or "timestamp value" lines from stdin and ingests
+//       them durably (plain values land at --timestamp, default 0).
+//   ddsketch_cli query --data-dir DIR --series NAME --start S --end E
+//                      [--alpha A] [q1 q2 ...]
+//       Quantiles of the merged sketch over [S, E).
+//   ddsketch_cli compact --data-dir DIR --now T [--alpha A]
+//       Rolls up old intervals, snapshots, and truncates the log.
+//
 // Example round trip:
 //   ddsketch_cli generate pareto 1000000 | ddsketch_cli build --out s.dds
 //   ddsketch_cli query s.dds 0.5 0.99
@@ -28,6 +40,7 @@
 
 #include "core/ddsketch.h"
 #include "data/datasets.h"
+#include "timeseries/durable_store.h"
 
 namespace {
 
@@ -37,13 +50,20 @@ int Fail(const std::string& message) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  ddsketch_cli build [--alpha A] [--buckets M] [--out FILE]\n"
-               "  ddsketch_cli query FILE [q1 q2 ...]\n"
-               "  ddsketch_cli merge OUT IN1 IN2 [IN3 ...]\n"
-               "  ddsketch_cli info FILE\n"
-               "  ddsketch_cli generate DATASET N [SEED]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ddsketch_cli build [--alpha A] [--buckets M] [--out FILE]\n"
+      "  ddsketch_cli query FILE [q1 q2 ...]\n"
+      "  ddsketch_cli merge OUT IN1 IN2 [IN3 ...]\n"
+      "  ddsketch_cli info FILE\n"
+      "  ddsketch_cli generate DATASET N [SEED]\n"
+      "durable time-series mode:\n"
+      "  ddsketch_cli ingest --data-dir DIR --series NAME [--timestamp T]\n"
+      "                      [--alpha A] [--sync]   (values on stdin)\n"
+      "  ddsketch_cli query --data-dir DIR --series NAME --start S --end E\n"
+      "                      [--alpha A] [q1 q2 ...]\n"
+      "  ddsketch_cli compact --data-dir DIR --now T [--alpha A]\n");
   return 2;
 }
 
@@ -166,6 +186,145 @@ int CmdInfo(int argc, char** argv) {
   return 0;
 }
 
+// Shared flag parsing for the durable subcommands. Returns false (after
+// reporting) on an unknown flag; `extra` collects positional arguments.
+struct DurableArgs {
+  std::string data_dir;
+  std::string series;
+  int64_t timestamp = 0;
+  int64_t start = 0;
+  int64_t end = 0;
+  int64_t now = 0;
+  double alpha = 0.01;
+  bool sync = false;
+  std::vector<std::string> extra;
+};
+
+bool ParseDurableArgs(int argc, char** argv, DurableArgs* out) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--data-dir" && i + 1 < argc) {
+      out->data_dir = argv[++i];
+    } else if (arg == "--series" && i + 1 < argc) {
+      out->series = argv[++i];
+    } else if (arg == "--timestamp" && i + 1 < argc) {
+      out->timestamp = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--start" && i + 1 < argc) {
+      out->start = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--end" && i + 1 < argc) {
+      out->end = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--now" && i + 1 < argc) {
+      out->now = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--alpha" && i + 1 < argc) {
+      out->alpha = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--sync") {
+      out->sync = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      Fail("unknown option: " + arg);
+      return false;
+    } else {
+      out->extra.push_back(arg);
+    }
+  }
+  if (out->data_dir.empty()) {
+    Fail("--data-dir is required");
+    return false;
+  }
+  return true;
+}
+
+dd::Result<dd::DurableSketchStore> OpenDurable(const DurableArgs& args) {
+  dd::DurableSketchStoreOptions options;
+  options.store.sketch.relative_accuracy = args.alpha;
+  options.sync_every_ingest = args.sync;
+  return dd::DurableSketchStore::Open(args.data_dir, options);
+}
+
+int CmdIngest(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseDurableArgs(argc, argv, &args)) return 1;
+  if (args.series.empty()) return Fail("--series is required");
+  auto opened = OpenDurable(args);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  dd::DurableSketchStore store = std::move(opened).value();
+
+  std::string line;
+  uint64_t ingested = 0, bad = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    // "timestamp value" pairs, or bare values at --timestamp.
+    char* end = nullptr;
+    const double first = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      ++bad;
+      continue;
+    }
+    char* end2 = nullptr;
+    const double second = std::strtod(end, &end2);
+    int64_t ts = args.timestamp;
+    double value = first;
+    if (end2 != end) {
+      // Re-parse the first token as an integer: strtod would round
+      // timestamps above 2^53 (e.g. epoch nanoseconds).
+      ts = std::strtoll(line.c_str(), nullptr, 10);
+      value = second;
+    }
+    if (dd::Status s = store.IngestValue(args.series, ts, value); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    ++ingested;
+  }
+  std::fprintf(stderr,
+               "ingested %llu values into %s (%llu unparseable lines), "
+               "wal at %llu bytes\n",
+               static_cast<unsigned long long>(ingested), args.series.c_str(),
+               static_cast<unsigned long long>(bad),
+               static_cast<unsigned long long>(store.wal_offset()));
+  return 0;
+}
+
+int CmdQueryDurable(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseDurableArgs(argc, argv, &args)) return 1;
+  if (args.series.empty()) return Fail("--series is required");
+  if (args.end <= args.start) return Fail("--start/--end must be a window");
+  auto opened = OpenDurable(args);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  const dd::DurableSketchStore store = std::move(opened).value();
+  std::vector<double> qs;
+  for (const std::string& arg : args.extra) {
+    qs.push_back(std::strtod(arg.c_str(), nullptr));
+  }
+  if (qs.empty()) qs = {0.5, 0.75, 0.9, 0.95, 0.99, 0.999};
+  for (double q : qs) {
+    auto r = store.QueryQuantile(args.series, args.start, args.end, q);
+    if (!r.ok()) return Fail(r.status().ToString());
+    std::printf("p%-7g %.10g\n", q * 100, r.value());
+  }
+  return 0;
+}
+
+int CmdCompact(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseDurableArgs(argc, argv, &args)) return 1;
+  auto opened = OpenDurable(args);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  dd::DurableSketchStore store = std::move(opened).value();
+  auto compacted = store.Compact(args.now);
+  if (!compacted.ok()) return Fail(compacted.status().ToString());
+  std::fprintf(stderr, "compacted %zu intervals; store holds %zu across %zu series\n",
+               compacted.value(), store.store().num_intervals(),
+               store.store().num_series());
+  return 0;
+}
+
+bool HasDataDirFlag(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--data-dir") == 0) return true;
+  }
+  return false;
+}
+
 int CmdGenerate(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string name = argv[0];
@@ -191,7 +350,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "build") return CmdBuild(argc - 2, argv + 2);
-  if (command == "query") return CmdQuery(argc - 2, argv + 2);
+  if (command == "query") {
+    // `query FILE [q...]` inspects a sketch file; `query --data-dir ...`
+    // queries a durable store.
+    if (HasDataDirFlag(argc - 2, argv + 2)) {
+      return CmdQueryDurable(argc - 2, argv + 2);
+    }
+    return CmdQuery(argc - 2, argv + 2);
+  }
+  if (command == "ingest") return CmdIngest(argc - 2, argv + 2);
+  if (command == "compact") return CmdCompact(argc - 2, argv + 2);
   if (command == "merge") return CmdMerge(argc - 2, argv + 2);
   if (command == "info") return CmdInfo(argc - 2, argv + 2);
   if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
