@@ -1,0 +1,145 @@
+#include "server/client.h"
+
+#include <algorithm>
+
+#include <unistd.h>
+
+namespace dd {
+
+Result<SketchClient> SketchClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  SketchClient client(fd.value());
+  DD_RETURN_IF_ERROR(client.conn_->SendHello());
+  DD_RETURN_IF_ERROR(client.conn_->ExpectHello());
+  return client;
+}
+
+SketchClient::SketchClient(int fd)
+    : fd_(fd), conn_(std::make_unique<FramedConn>(fd)) {}
+
+SketchClient::SketchClient(SketchClient&& other) noexcept
+    : fd_(other.fd_), conn_(std::move(other.conn_)) {
+  other.fd_ = -1;
+}
+
+SketchClient& SketchClient::operator=(SketchClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    conn_ = std::move(other.conn_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SketchClient::~SketchClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Response> SketchClient::Call(const Request& request) {
+  DD_RETURN_IF_ERROR(conn_->WriteFrame(EncodeRequest(request)));
+  auto body = conn_->ReadFrame();
+  if (!body.ok()) return body.status();
+  auto response = DecodeResponse(body.value());
+  if (!response.ok()) return response.status();
+  if (response.value().op != request.op) {
+    return Status::Corruption("response does not match request op");
+  }
+  return response;
+}
+
+Status SketchClient::IngestValue(const std::string& series, int64_t timestamp,
+                                 double value) {
+  Request request;
+  request.op = Request::Op::kIngest;
+  request.series = series;
+  request.timestamp = timestamp;
+  request.value = value;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return ResponseStatus(response.value());
+}
+
+Status SketchClient::Merge(const std::string& series, int64_t timestamp,
+                           std::string_view payload) {
+  Request request;
+  request.op = Request::Op::kMerge;
+  request.series = series;
+  request.timestamp = timestamp;
+  request.payload.assign(payload);
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return ResponseStatus(response.value());
+}
+
+Status SketchClient::IngestValues(
+    const std::string& series,
+    const std::vector<std::pair<int64_t, double>>& points) {
+  // Pipelined in bounded windows: all requests of a window are written
+  // before its first ack is read, so the server's committer finds many
+  // staged records per drain even from one client. The window bound
+  // keeps both sides' in-flight bytes far below socket buffer sizes
+  // (writing everything first could deadlock with both buffers full).
+  constexpr size_t kWindow = 512;
+  Request request;
+  request.op = Request::Op::kIngest;
+  request.series = series;
+  for (size_t begin = 0; begin < points.size(); begin += kWindow) {
+    const size_t end = std::min(begin + kWindow, points.size());
+    std::string wire;
+    for (size_t i = begin; i < end; ++i) {
+      request.timestamp = points[i].first;
+      request.value = points[i].second;
+      wire += EncodeRequest(request);
+    }
+    DD_RETURN_IF_ERROR(conn_->WriteFrame(wire));
+    for (size_t i = begin; i < end; ++i) {
+      auto body = conn_->ReadFrame();
+      if (!body.ok()) return body.status();
+      auto response = DecodeResponse(body.value());
+      if (!response.ok()) return response.status();
+      DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> SketchClient::Query(
+    const std::string& series, int64_t start, int64_t end,
+    const std::vector<double>& quantiles) {
+  Request request;
+  request.op = Request::Op::kQuery;
+  request.series = series;
+  request.start = start;
+  request.end = end;
+  request.quantiles = quantiles;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+  if (response.value().values.size() != quantiles.size()) {
+    return Status::Corruption("query response count mismatch");
+  }
+  return std::move(response).value().values;
+}
+
+Result<uint64_t> SketchClient::Checkpoint() {
+  Request request;
+  request.op = Request::Op::kCheckpoint;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+  return response.value().epoch;
+}
+
+Result<StoreStats> SketchClient::Stats() {
+  Request request;
+  request.op = Request::Op::kStats;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+  return response.value().stats;
+}
+
+}  // namespace dd

@@ -1,0 +1,73 @@
+// SketchClient: the blocking client for sketchd's wire protocol, used by
+// the ddsketch_cli remote-* subcommands, the socket smoke test, and the
+// serving benchmarks. One method per protocol op, plus a pipelined bulk
+// ingest that keeps many requests in flight so the server's group commit
+// can batch their fsyncs.
+//
+// Not thread-safe: one SketchClient (one connection) per thread.
+
+#ifndef DDSKETCH_SERVER_CLIENT_H_
+#define DDSKETCH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "server/net.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace dd {
+
+class SketchClient {
+ public:
+  /// Connects and completes the hello handshake.
+  static Result<SketchClient> Connect(const std::string& host, uint16_t port);
+
+  SketchClient(SketchClient&&) noexcept;
+  SketchClient& operator=(SketchClient&&) noexcept;
+  SketchClient(const SketchClient&) = delete;
+  SketchClient& operator=(const SketchClient&) = delete;
+  ~SketchClient();
+
+  /// Ingests one value durably; OK means the server committed it.
+  Status IngestValue(const std::string& series, int64_t timestamp,
+                     double value);
+
+  /// Merges a serialized worker sketch (DDSketch wire bytes) durably.
+  Status Merge(const std::string& series, int64_t timestamp,
+               std::string_view payload);
+
+  /// Pipelined bulk ingest: writes every request before reading the
+  /// first ack, so a single connection can fill server-side commit
+  /// batches. Fails on the first non-OK ack (earlier acks were durable).
+  Status IngestValues(
+      const std::string& series,
+      const std::vector<std::pair<int64_t, double>>& points);
+
+  /// Quantile estimates of `series` over [start, end), one per q.
+  Result<std::vector<double>> Query(const std::string& series, int64_t start,
+                                    int64_t end,
+                                    const std::vector<double>& quantiles);
+
+  /// Forces a checkpoint; returns the WAL epoch after the reset.
+  Result<uint64_t> Checkpoint();
+
+  Result<StoreStats> Stats();
+
+ private:
+  explicit SketchClient(int fd);
+
+  /// One request/response round trip; checks the response echoes `op`.
+  Result<Response> Call(const Request& request);
+
+  int fd_ = -1;
+  std::unique_ptr<FramedConn> conn_;
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_SERVER_CLIENT_H_

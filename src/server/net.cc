@@ -1,0 +1,184 @@
+#include "server/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/protocol.h"
+
+namespace dd {
+namespace {
+
+std::string Errno(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+Result<struct sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+Result<int> NewSocket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  // Latency matters more than segment count for request/response frames.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port) {
+  auto addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  auto sock = NewSocket();
+  if (!sock.ok()) return sock.status();
+  const int fd = sock.value();
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr.value()),
+             sizeof(addr.value())) != 0) {
+    const Status status = Status::Internal(Errno("bind " + host));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status = Status::Internal(Errno("listen"));
+    ::close(fd);
+    return status;
+  }
+  struct sockaddr_in actual;
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&actual), &len) !=
+      0) {
+    const Status status = Status::Internal(Errno("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  *bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  auto addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  auto sock = NewSocket();
+  if (!sock.ok()) return sock.status();
+  const int fd = sock.value();
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr.value()),
+                  sizeof(addr.value())) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    const Status status = Status::Internal(Errno("connect " + host));
+    ::close(fd);
+    return status;
+  }
+}
+
+namespace {
+
+/// Writes all of `data`; EINTR-safe, SIGPIPE-free.
+Status SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("send"));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FramedConn::SendHello() { return SendAll(fd_, EncodeHello()); }
+
+Status FramedConn::ExpectHello() {
+  while (buffer_.size() < kHelloBytes) {
+    char buf[64];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("recv"));
+    }
+    if (n == 0) return Status::Corruption("connection closed during hello");
+    buffer_.append(buf, static_cast<size_t>(n));
+  }
+  DD_RETURN_IF_ERROR(CheckHello(std::string_view(buffer_).substr(0, kHelloBytes)));
+  buffer_.erase(0, kHelloBytes);
+  return Status::OK();
+}
+
+Status FramedConn::WriteFrame(std::string_view frame) {
+  return SendAll(fd_, frame);
+}
+
+Result<bool> FramedConn::TryReadFrame(std::string* body) {
+  for (;;) {
+    size_t frame_size = 0;
+    auto decoded = DecodeFrame(buffer_, &frame_size);
+    if (decoded.ok()) {
+      body->assign(decoded.value());
+      buffer_.erase(0, frame_size);
+      return true;
+    }
+    if (decoded.status().code() != StatusCode::kOutOfRange) {
+      return decoded.status();
+    }
+    char buf[1 << 16];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return Status::Internal(Errno("recv"));
+    }
+    if (n == 0) return false;  // EOF: surfaced by the next ReadFrame
+    buffer_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> FramedConn::ReadFrame() {
+  for (;;) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(buffer_, &frame_size);
+    if (body.ok()) {
+      std::string out(body.value());
+      buffer_.erase(0, frame_size);
+      return out;
+    }
+    if (body.status().code() != StatusCode::kOutOfRange) {
+      return body.status();  // Corruption: CRC mismatch / absurd length
+    }
+    char buf[1 << 16];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("recv"));
+    }
+    if (n == 0) {
+      if (buffer_.empty()) {
+        return Status::OutOfRange("connection closed");
+      }
+      return Status::Corruption("connection closed mid-frame");
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace dd

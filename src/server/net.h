@@ -1,0 +1,67 @@
+// Minimal blocking TCP transport for the sketchd protocol: listen /
+// connect helpers with Status errors, and FramedConn, which pumps the
+// length-prefixed CRC frames of server/protocol.h over a socket.
+//
+// IPv4 only (the daemon binds 127.0.0.1 by default); all I/O is blocking
+// and EINTR-safe, and writes use MSG_NOSIGNAL so a peer that disappears
+// surfaces as a Status instead of SIGPIPE.
+
+#ifndef DDSKETCH_SERVER_NET_H_
+#define DDSKETCH_SERVER_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Binds and listens on `host:port` (IPv4 dotted quad). Port 0 picks an
+/// ephemeral port; *bound_port always receives the actual port. Returns
+/// the listening fd (CLOEXEC).
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port);
+
+/// Connects to `host:port`. Returns the connected fd (CLOEXEC).
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// A non-owning framed view over a connected socket: one side of the
+/// sketchd protocol. The caller keeps ownership of the fd (the server
+/// needs it for shutdown(2)-based cancellation from other threads).
+/// Not thread-safe; one FramedConn per connection thread.
+class FramedConn {
+ public:
+  explicit FramedConn(int fd) : fd_(fd) {}
+
+  /// Sends this side's 5 hello bytes.
+  Status SendHello();
+
+  /// Reads and validates the peer's 5 hello bytes.
+  Status ExpectHello();
+
+  /// Writes a fully-encoded frame (EncodeRequest/EncodeResponse output).
+  Status WriteFrame(std::string_view frame);
+
+  /// Reads the next complete frame and returns its body (CRC already
+  /// verified). A clean EOF at a frame boundary fails with OutOfRange
+  /// ("connection closed"); an EOF mid-frame is Corruption.
+  Result<std::string> ReadFrame();
+
+  /// Non-blocking variant: returns true and fills *body when a complete
+  /// frame is already buffered or immediately readable, false when the
+  /// socket has nothing more right now (including a pending EOF, which
+  /// the next ReadFrame reports). Lets the server collect a pipelined
+  /// run of requests and stage them as one group-commit batch.
+  Result<bool> TryReadFrame(std::string* body);
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+  std::string buffer_;  // bytes received but not yet consumed
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_SERVER_NET_H_

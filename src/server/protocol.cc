@@ -1,0 +1,263 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/varint.h"
+
+namespace dd {
+namespace {
+
+/// Request ops are a dense range; anything else on the wire is garbage.
+bool ValidOp(uint8_t op) {
+  return op >= static_cast<uint8_t>(Request::Op::kIngest) &&
+         op <= static_cast<uint8_t>(Request::Op::kStats);
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kInternal);
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view bytes) {
+  PutVarint64(out, bytes.size());
+  out->append(bytes);
+}
+
+Status GetLengthPrefixed(Slice* in, std::string* out) {
+  uint64_t len = 0;
+  DD_RETURN_IF_ERROR(in->GetVarint64(&len));
+  if (len > in->remaining()) {
+    return Status::Corruption("length-prefixed field overruns frame");
+  }
+  std::string_view bytes;
+  DD_RETURN_IF_ERROR(in->GetBytes(len, &bytes));
+  out->assign(bytes);
+  return Status::OK();
+}
+
+Status GetDoubles(Slice* in, std::vector<double>* out) {
+  uint64_t n = 0;
+  DD_RETURN_IF_ERROR(in->GetVarint64(&n));
+  if (n > in->remaining() / sizeof(double)) {
+    return Status::Corruption("double array overruns frame");
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    double v = 0;
+    DD_RETURN_IF_ERROR(in->GetFixedDouble(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+void PutDoubles(std::string* out, const std::vector<double>& values) {
+  PutVarint64(out, values.size());
+  for (double v : values) PutFixedDouble(out, v);
+}
+
+Status CheckDrained(const Slice& in) {
+  if (!in.empty()) {
+    return Status::Corruption("trailing bytes in protocol frame body");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeHello() {
+  std::string out(kProtocolMagic, sizeof(kProtocolMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  return out;
+}
+
+Status CheckHello(std::string_view hello) {
+  if (hello.size() != kHelloBytes ||
+      std::memcmp(hello.data(), kProtocolMagic, sizeof(kProtocolMagic)) != 0) {
+    return Status::Corruption("bad protocol hello");
+  }
+  if (static_cast<uint8_t>(hello[sizeof(kProtocolMagic)]) !=
+      kProtocolVersion) {
+    return Status::Incompatible("unsupported protocol version");
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(std::string_view body) {
+  std::string framed;
+  framed.reserve(body.size() + kMaxVarintBytes + sizeof(uint32_t));
+  PutVarint64(&framed, body.size());
+  PutFixed32(&framed, Crc32c(body));
+  framed.append(body);
+  return framed;
+}
+
+Result<std::string_view> DecodeFrame(std::string_view buffer,
+                                     size_t* frame_size) {
+  Slice in(buffer);
+  uint64_t body_len = 0;
+  if (!in.GetVarint64(&body_len).ok()) {
+    // GetVarint64 fails both on truncation (need more bytes) and on a
+    // malformed varint (> kMaxVarintBytes or 64-bit overflow). With a
+    // full varint's worth of bytes available the length can never
+    // become parseable, so reading more would buffer garbage forever.
+    if (buffer.size() >= static_cast<size_t>(kMaxVarintBytes)) {
+      return Status::Corruption("malformed frame length");
+    }
+    return Status::OutOfRange("incomplete frame");
+  }
+  if (body_len > kMaxFrameBytes) {
+    return Status::Corruption("frame length implausibly large");
+  }
+  uint32_t crc = 0;
+  std::string_view body;
+  if (!in.GetFixed32(&crc).ok() || !in.GetBytes(body_len, &body).ok()) {
+    return Status::OutOfRange("incomplete frame");
+  }
+  if (crc != Crc32c(body)) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  *frame_size = buffer.size() - in.remaining();
+  return body;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string body;
+  body.push_back(static_cast<char>(request.op));
+  switch (request.op) {
+    case Request::Op::kIngest:
+      PutLengthPrefixed(&body, request.series);
+      PutVarintSigned64(&body, request.timestamp);
+      PutFixedDouble(&body, request.value);
+      break;
+    case Request::Op::kMerge:
+      PutLengthPrefixed(&body, request.series);
+      PutVarintSigned64(&body, request.timestamp);
+      PutLengthPrefixed(&body, request.payload);
+      break;
+    case Request::Op::kQuery:
+      PutLengthPrefixed(&body, request.series);
+      PutVarintSigned64(&body, request.start);
+      PutVarintSigned64(&body, request.end);
+      PutDoubles(&body, request.quantiles);
+      break;
+    case Request::Op::kCheckpoint:
+    case Request::Op::kStats:
+      break;  // op byte only
+  }
+  return EncodeFrame(body);
+}
+
+Result<Request> DecodeRequest(std::string_view body) {
+  Slice in(body);
+  std::string_view op_byte;
+  DD_RETURN_IF_ERROR(in.GetBytes(1, &op_byte));
+  const uint8_t op = static_cast<uint8_t>(op_byte[0]);
+  if (!ValidOp(op)) {
+    return Status::Corruption("unknown request op");
+  }
+  Request request;
+  request.op = static_cast<Request::Op>(op);
+  switch (request.op) {
+    case Request::Op::kIngest:
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &request.series));
+      DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.timestamp));
+      DD_RETURN_IF_ERROR(in.GetFixedDouble(&request.value));
+      break;
+    case Request::Op::kMerge:
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &request.series));
+      DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.timestamp));
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &request.payload));
+      break;
+    case Request::Op::kQuery:
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &request.series));
+      DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.start));
+      DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.end));
+      DD_RETURN_IF_ERROR(GetDoubles(&in, &request.quantiles));
+      break;
+    case Request::Op::kCheckpoint:
+    case Request::Op::kStats:
+      break;
+  }
+  DD_RETURN_IF_ERROR(CheckDrained(in));
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string body;
+  body.push_back(static_cast<char>(response.op));
+  body.push_back(static_cast<char>(response.code));
+  PutLengthPrefixed(&body, response.message);
+  if (response.code == StatusCode::kOk) {
+    switch (response.op) {
+      case Request::Op::kIngest:
+      case Request::Op::kMerge:
+        PutVarint64(&body, response.wal_offset);
+        break;
+      case Request::Op::kQuery:
+        PutDoubles(&body, response.values);
+        break;
+      case Request::Op::kCheckpoint:
+        PutVarint64(&body, response.epoch);
+        break;
+      case Request::Op::kStats:
+        PutVarint64(&body, response.stats.num_series);
+        PutVarint64(&body, response.stats.num_intervals);
+        PutVarint64(&body, response.stats.size_in_bytes);
+        PutVarint64(&body, response.stats.wal_offset);
+        PutVarint64(&body, response.stats.epoch);
+        PutVarint64(&body, response.stats.batch_commits);
+        break;
+    }
+  }
+  return EncodeFrame(body);
+}
+
+Result<Response> DecodeResponse(std::string_view body) {
+  Slice in(body);
+  std::string_view head;
+  DD_RETURN_IF_ERROR(in.GetBytes(2, &head));
+  const uint8_t op = static_cast<uint8_t>(head[0]);
+  const uint8_t code = static_cast<uint8_t>(head[1]);
+  if (!ValidOp(op)) {
+    return Status::Corruption("unknown response op");
+  }
+  if (!ValidStatusCode(code)) {
+    return Status::Corruption("unknown response status code");
+  }
+  Response response;
+  response.op = static_cast<Request::Op>(op);
+  response.code = static_cast<StatusCode>(code);
+  DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &response.message));
+  if (response.code == StatusCode::kOk) {
+    switch (response.op) {
+      case Request::Op::kIngest:
+      case Request::Op::kMerge:
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.wal_offset));
+        break;
+      case Request::Op::kQuery:
+        DD_RETURN_IF_ERROR(GetDoubles(&in, &response.values));
+        break;
+      case Request::Op::kCheckpoint:
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.epoch));
+        break;
+      case Request::Op::kStats:
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.num_series));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.num_intervals));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.size_in_bytes));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.wal_offset));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.epoch));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.batch_commits));
+        break;
+    }
+  }
+  DD_RETURN_IF_ERROR(CheckDrained(in));
+  return response;
+}
+
+Status ResponseStatus(const Response& response) {
+  if (response.code == StatusCode::kOk) return Status::OK();
+  return Status(response.code, response.message);
+}
+
+}  // namespace dd

@@ -1,0 +1,120 @@
+// sketchd wire protocol: the length-prefixed, CRC-framed binary format
+// spoken between SketchClient and SketchServer. Byte-exact layouts for
+// every frame live in docs/PROTOCOL.md; the encodings here reuse the
+// varint/fixed-width codecs (util/varint.h) and CRC-32C (util/crc32.h)
+// that frame the on-disk formats, and are pinned by the golden fixture
+// tests/golden/protocol_v1.bin.
+//
+// Connection preamble: the client sends 5 hello bytes (magic "DDSP" +
+// version 0x01); the server validates them and echoes the same 5 bytes.
+// After the handshake both directions carry frames:
+//
+//   len   varint    body length in bytes (capped at 64 MiB)
+//   crc   fixed32   CRC-32C of the body bytes
+//   body  request or response payload (op byte first)
+//
+// — the same framing as a WAL record (timeseries/wal.h), so one CRC
+// discipline covers every byte the system writes to disk or socket.
+//
+// This header is a pure codec: no sockets, no threads. Transport lives
+// in server/net.h, the daemon in server/server.h.
+
+#ifndef DDSKETCH_SERVER_PROTOCOL_H_
+#define DDSKETCH_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Protocol magic ("DDSP") and version, exchanged in the 5-byte hello.
+inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
+
+/// Upper bound on one frame body; anything larger is corruption before
+/// the CRC is even checked (mirrors the WAL's record cap).
+inline constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 26;  // 64 MiB
+
+/// The 5 hello bytes each side sends once at connection start.
+std::string EncodeHello();
+
+/// Validates a peer's hello. Fails with Incompatible on a version
+/// mismatch and Corruption on anything that is not a hello at all.
+Status CheckHello(std::string_view hello);
+
+/// One client request. `op` selects which fields are meaningful.
+struct Request {
+  enum class Op : uint8_t {
+    kIngest = 1,      ///< ingest one raw value into a series
+    kMerge = 2,       ///< merge a serialized worker sketch into a series
+    kQuery = 3,       ///< quantiles of one series over [start, end)
+    kCheckpoint = 4,  ///< snapshot + WAL reset
+    kStats = 5,       ///< store/server statistics
+  };
+
+  Op op = Op::kIngest;
+  std::string series;              // kIngest, kMerge, kQuery
+  int64_t timestamp = 0;           // kIngest, kMerge
+  double value = 0;                // kIngest
+  std::string payload;             // kMerge: DDSketch wire bytes
+  int64_t start = 0;               // kQuery
+  int64_t end = 0;                 // kQuery
+  std::vector<double> quantiles;   // kQuery
+};
+
+/// STATS response payload.
+struct StoreStats {
+  uint64_t num_series = 0;
+  uint64_t num_intervals = 0;
+  uint64_t size_in_bytes = 0;
+  uint64_t wal_offset = 0;
+  uint64_t epoch = 0;
+  uint64_t batch_commits = 0;  ///< group commits since the server started
+};
+
+/// One server response. Echoes the request's op; `code`/`message` carry
+/// the Status outcome, and the op-specific fields are only present when
+/// code == kOk.
+struct Response {
+  Request::Op op = Request::Op::kIngest;
+  StatusCode code = StatusCode::kOk;
+  std::string message;             // empty on success
+
+  uint64_t wal_offset = 0;         // kIngest, kMerge: offset after commit
+  std::vector<double> values;      // kQuery: one result per requested q
+  uint64_t epoch = 0;              // kCheckpoint: WAL epoch after reset
+  StoreStats stats;                // kStats
+};
+
+/// Frames an already-encoded body: len varint + body CRC + body.
+std::string EncodeFrame(std::string_view body);
+
+/// Splits one frame off the front of `buffer`. On success returns the
+/// body (a view into `buffer`) and sets *frame_size to the bytes
+/// consumed. Fails with OutOfRange when the buffer holds only a frame
+/// prefix (read more and retry) and Corruption on a CRC mismatch or an
+/// implausible length.
+Result<std::string_view> DecodeFrame(std::string_view buffer,
+                                     size_t* frame_size);
+
+/// Encodes a complete framed request / response, ready to write.
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+/// Decodes a frame *body* (the output of DecodeFrame). Any malformed,
+/// truncated, or trailing bytes fail with Corruption.
+Result<Request> DecodeRequest(std::string_view body);
+Result<Response> DecodeResponse(std::string_view body);
+
+/// Converts a response's code/message pair back into a Status, so client
+/// callers see the server-side error exactly as the server produced it.
+Status ResponseStatus(const Response& response);
+
+}  // namespace dd
+
+#endif  // DDSKETCH_SERVER_PROTOCOL_H_

@@ -1,0 +1,327 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/ddsketch.h"
+#include "server/net.h"
+
+namespace dd {
+
+Result<std::unique_ptr<SketchServer>> SketchServer::Start(
+    const std::string& data_dir, const SketchServerOptions& options) {
+  if (options.commit_batch == 0) {
+    return Status::InvalidArgument("commit_batch must be at least 1");
+  }
+  auto store = DurableSketchStore::Open(data_dir, options.durable);
+  if (!store.ok()) return store.status();
+  // Private constructor + threads capturing `this` mean the server must
+  // live at a stable address: build it on the heap before binding.
+  std::unique_ptr<SketchServer> server(
+      new SketchServer(options, std::move(store).value()));
+  uint16_t bound_port = 0;
+  auto listen_fd = ListenTcp(options.host, options.port, &bound_port);
+  if (!listen_fd.ok()) return listen_fd.status();
+  server->listen_fd_ = listen_fd.value();
+  server->port_ = bound_port;
+  server->commit_thread_ = std::thread([s = server.get()] { s->CommitLoop(); });
+  server->accept_thread_ = std::thread(
+      [s = server.get(), fd = listen_fd.value()] { s->AcceptLoop(fd); });
+  return server;
+}
+
+SketchServer::SketchServer(SketchServerOptions options, DurableSketchStore store)
+    : options_(std::move(options)), store_(std::move(store)) {}
+
+SketchServer::~SketchServer() { Stop(); }
+
+void SketchServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  draining_.store(true);
+  // Wake the accept loop and every blocked connection read. shutdown(2)
+  // (not close) so the fds stay valid until their owning threads exit.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // joinable() guards: Start() can fail between constructing the server
+  // and launching the threads (e.g. bind error), and the unique_ptr's
+  // destructor still runs Stop().
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (commit_thread_.joinable()) commit_thread_.join();
+  // The accept thread is joined, so conn_threads_ is stable now.
+  for (std::thread& t : conn_threads_) t.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  store_.reset();  // releases the data-dir lock for the next opener
+}
+
+uint64_t SketchServer::batch_commits() const noexcept {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return batch_commits_;
+}
+
+void SketchServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (Stop) or fatal error
+    }
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    if (draining_.load()) {
+      // Stop() already swept conn_fds_; registering now would leave
+      // this connection without its shutdown(2) wake-up.
+      ::close(fd);
+      continue;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] {
+      ServeConnection(fd);
+      {
+        std::lock_guard<std::mutex> inner(conns_mu_);
+        conn_fds_.erase(fd);
+      }
+      // Closed only after deregistering, so Stop never shuts down a
+      // recycled fd number.
+      ::close(fd);
+    });
+  }
+}
+
+namespace {
+
+bool IsIngestOp(Request::Op op) {
+  return op == Request::Op::kIngest || op == Request::Op::kMerge;
+}
+
+WalRecord ToWalRecord(const Request& request) {
+  WalRecord record;
+  record.series = request.series;
+  record.timestamp = request.timestamp;
+  if (request.op == Request::Op::kIngest) {
+    record.type = WalRecord::Type::kIngestValue;
+    record.value = request.value;
+  } else {
+    record.type = WalRecord::Type::kIngestSketch;
+    record.payload = request.payload;
+  }
+  return record;
+}
+
+}  // namespace
+
+void SketchServer::ServeConnection(int fd) {
+  FramedConn conn(fd);
+  if (!conn.ExpectHello().ok()) return;
+  if (!conn.SendHello().ok()) return;
+  std::string body;
+  bool have_body = false;  // a frame read ahead while collecting a run
+  for (;;) {
+    if (!have_body) {
+      auto read = conn.ReadFrame();
+      if (!read.ok()) return;  // clean EOF, shutdown, or transport error
+      body = std::move(read).value();
+    }
+    have_body = false;
+    auto request = DecodeRequest(body);
+    if (!request.ok()) return;  // CRC passed but body malformed: broken peer
+    if (!IsIngestOp(request.value().op)) {
+      const Response response = HandleNonIngest(request.value());
+      if (!conn.WriteFrame(EncodeResponse(response)).ok()) return;
+      continue;
+    }
+    // Collect the pipelined run of ingest requests already sitting in
+    // the socket, so one client's burst becomes one staged group (and
+    // so the committer sees real batches even with a single client).
+    std::vector<Request> run;
+    run.push_back(std::move(request).value());
+    while (run.size() < options_.commit_batch) {
+      std::string next;
+      auto got = conn.TryReadFrame(&next);
+      if (!got.ok()) return;
+      if (!got.value()) break;
+      auto next_request = DecodeRequest(next);
+      if (!next_request.ok()) return;
+      if (!IsIngestOp(next_request.value().op)) {
+        // Handle it after the run; keeps responses in request order.
+        body = std::move(next);
+        have_body = true;
+        break;
+      }
+      run.push_back(std::move(next_request).value());
+    }
+    if (!HandleIngestRun(&conn, run)) return;
+  }
+}
+
+bool SketchServer::HandleIngestRun(FramedConn* conn,
+                                   const std::vector<Request>& run) {
+  std::vector<PendingIngest> pendings(run.size());
+  std::vector<PendingIngest*> to_stage;
+  to_stage.reserve(run.size());
+  for (size_t i = 0; i < run.size(); ++i) {
+    pendings[i].record = ToWalRecord(run[i]);
+    // Validation reads only the store's immutable configuration
+    // (prototype sketch parameters), so it runs lock-free on the
+    // connection thread — a bad request is rejected here and never
+    // poisons or stalls a committer batch.
+    pendings[i].result = store_->ValidateRecord(pendings[i].record);
+    if (pendings[i].result.ok()) {
+      to_stage.push_back(&pendings[i]);
+    } else {
+      pendings[i].done = true;
+    }
+  }
+  StageRunAndWait(&to_stage);
+  for (size_t i = 0; i < run.size(); ++i) {
+    Response response;
+    response.op = run[i].op;
+    response.code = pendings[i].result.code();
+    response.message = pendings[i].result.message();
+    response.wal_offset = pendings[i].wal_offset;
+    if (!conn->WriteFrame(EncodeResponse(response)).ok()) return false;
+  }
+  return true;
+}
+
+Response SketchServer::HandleNonIngest(const Request& request) {
+  Response response;
+  response.op = request.op;
+  auto fail = [&response](const Status& status) {
+    response.code = status.code();
+    response.message = status.message();
+    return response;
+  };
+  switch (request.op) {
+    case Request::Op::kIngest:
+    case Request::Op::kMerge:
+      return fail(Status::Internal("ingest op routed to HandleNonIngest"));
+    case Request::Op::kQuery: {
+      std::lock_guard<std::mutex> lk(store_mu_);
+      auto merged =
+          store_->QueryRange(request.series, request.start, request.end);
+      if (!merged.ok()) return fail(merged.status());
+      response.values.reserve(request.quantiles.size());
+      for (double q : request.quantiles) {
+        auto value = merged.value().Quantile(q);
+        if (!value.ok()) return fail(value.status());
+        response.values.push_back(value.value());
+      }
+      return response;
+    }
+    case Request::Op::kCheckpoint: {
+      std::lock_guard<std::mutex> lk(store_mu_);
+      if (Status status = store_->Checkpoint(); !status.ok()) {
+        return fail(status);
+      }
+      response.epoch = store_->epoch();
+      return response;
+    }
+    case Request::Op::kStats: {
+      std::lock_guard<std::mutex> lk(store_mu_);
+      response.stats.num_series = store_->store().num_series();
+      response.stats.num_intervals = store_->store().num_intervals();
+      response.stats.size_in_bytes = store_->store().size_in_bytes();
+      response.stats.wal_offset = store_->wal_offset();
+      response.stats.epoch = store_->epoch();
+      response.stats.batch_commits = batch_commits();
+      return response;
+    }
+  }
+  return fail(Status::Internal("unhandled request op"));
+}
+
+void SketchServer::StageRunAndWait(std::vector<PendingIngest*>* run) {
+  if (run->empty()) return;
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  if (stopping_ || !commit_error_.ok()) {
+    const Status status =
+        stopping_ ? Status::ResourceExhausted("server is shutting down")
+                  : commit_error_;
+    for (PendingIngest* pending : *run) {
+      pending->result = status;
+      pending->done = true;
+    }
+    return;
+  }
+  for (PendingIngest* pending : *run) {
+    queue_.push_back(pending);
+  }
+  queue_cv_.notify_all();
+  done_cv_.wait(lk, [run] {
+    for (const PendingIngest* pending : *run) {
+      if (!pending->done) return false;
+    }
+    return true;
+  });
+}
+
+void SketchServer::CommitLoop() {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and nothing left to commit
+    if (options_.commit_interval_us > 0 &&
+        queue_.size() < options_.commit_batch) {
+      // Give concurrent ingests a window to fill the batch; a full batch
+      // (or shutdown) commits immediately.
+      queue_cv_.wait_for(
+          lk, std::chrono::microseconds(options_.commit_interval_us),
+          [this] { return stopping_ || queue_.size() >= options_.commit_batch; });
+    }
+    CommitOneBatch(&lk);
+  }
+}
+
+void SketchServer::CommitOneBatch(std::unique_lock<std::mutex>* lk) {
+  std::vector<PendingIngest*> batch;
+  batch.reserve(std::min(queue_.size(), options_.commit_batch));
+  while (!queue_.empty() && batch.size() < options_.commit_batch) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  // A batch staged before a commit failure must not reach the store:
+  // after a failed WAL repair the log may end in a torn frame, and
+  // anything appended behind it would be ACKed yet silently dropped by
+  // recovery. Fail it with the sticky error instead.
+  Status status = commit_error_;
+  lk->unlock();
+
+  uint64_t offset = 0;
+  if (status.ok()) {
+    std::vector<WalRecord> records;
+    records.reserve(batch.size());
+    for (PendingIngest* pending : batch) records.push_back(pending->record);
+    std::lock_guard<std::mutex> store_lk(store_mu_);
+    status = store_->IngestBatch(records);
+    offset = store_->wal_offset();
+  }
+
+  lk->lock();
+  if (status.ok()) {
+    ++batch_commits_;
+  } else if (commit_error_.ok()) {
+    commit_error_ = status;  // fail-stop the ingest path (see server.h)
+  }
+  for (PendingIngest* pending : batch) {
+    pending->result = status;
+    pending->wal_offset = offset;
+    pending->done = true;
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace dd

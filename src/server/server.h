@@ -1,0 +1,155 @@
+// sketchd's serving core: a TCP daemon in front of a DurableSketchStore.
+//
+// Threading model (documented in docs/ARCHITECTURE.md, "Serving"):
+//
+//   accept thread ──▶ one thread per connection ──▶ request handlers
+//                                   │ INGEST / MERGE
+//                                   ▼
+//                        staging queue (queue_mu_)
+//                                   │
+//                        committer thread (the single WAL writer)
+//                                   │ append batch → 1 fsync → merge
+//                                   ▼
+//                        DurableSketchStore (store_mu_)
+//
+// Group commit: INGEST/MERGE requests are validated on their connection
+// thread, staged, and the committer drains up to `commit_batch` staged
+// records per commit — N acknowledged ingests for one fsync. Staged
+// records come from two sources of concurrency: multiple connections
+// ingesting at once, and a single connection pipelining requests (the
+// handler drains already-buffered ingest frames without blocking and
+// stages the whole run as one group). When `commit_interval_us` > 0 the
+// committer additionally waits that long for a partial batch to fill;
+// at 0 batching is purely natural (whatever queued while the previous
+// fsync ran). A connection thread is only unblocked — and its client
+// only sees OK — after the batch containing its record is durable, so
+// an acknowledged ingest always replays after a crash.
+//
+// QUERY / CHECKPOINT / STATS run on the connection thread under
+// store_mu_, the one lock serializing every DurableSketchStore access.
+
+#ifndef DDSKETCH_SERVER_SERVER_H_
+#define DDSKETCH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "server/protocol.h"
+#include "timeseries/durable_store.h"
+#include "util/status.h"
+
+namespace dd {
+
+struct SketchServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  DurableSketchStoreOptions durable;
+  /// Max staged records drained into one group commit (one fsync).
+  size_t commit_batch = 64;
+  /// Extra microseconds the committer waits for a partial batch to fill.
+  /// 0 = commit whatever queued while the previous commit ran.
+  int64_t commit_interval_us = 0;
+};
+
+/// The daemon: owns the durable store, the listening socket, and all
+/// serving threads. Construct via Start(), tear down via Stop() (also
+/// run by the destructor). Stop() closes the store so the data
+/// directory can be reopened immediately afterwards.
+class SketchServer {
+ public:
+  /// Opens (or recovers) `data_dir`, binds the listening socket, and
+  /// launches the accept + committer threads.
+  static Result<std::unique_ptr<SketchServer>> Start(
+      const std::string& data_dir, const SketchServerOptions& options);
+
+  SketchServer(const SketchServer&) = delete;
+  SketchServer& operator=(const SketchServer&) = delete;
+  ~SketchServer();
+
+  /// Stops accepting, wakes every connection, commits all staged
+  /// records, joins all threads, and closes the store. Idempotent.
+  void Stop();
+
+  /// The bound port (useful with options.port = 0).
+  uint16_t port() const noexcept { return port_; }
+
+  /// Group commits executed since Start (each is exactly one WAL fsync).
+  uint64_t batch_commits() const noexcept;
+
+ private:
+  /// One staged INGEST/MERGE waiting for the committer. Lives on the
+  /// connection thread's stack; the queue holds pointers.
+  struct PendingIngest {
+    WalRecord record;
+    Status result;
+    uint64_t wal_offset = 0;
+    bool done = false;
+  };
+
+  SketchServer(SketchServerOptions options, DurableSketchStore store);
+
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(int fd);
+  /// Handles QUERY / CHECKPOINT / STATS on the connection thread.
+  Response HandleNonIngest(const Request& request);
+  /// Validates + stages a pipelined run of INGEST/MERGE requests as one
+  /// group, waits for durability, and writes one response per request
+  /// in order. Returns false when the connection should close.
+  bool HandleIngestRun(class FramedConn* conn,
+                       const std::vector<Request>& run);
+  /// Blocks until the committer has made every entry durable. Entries
+  /// whose result is pre-set (validation failures) are not staged.
+  void StageRunAndWait(std::vector<PendingIngest*>* run);
+  void CommitLoop();
+  /// Drains up to commit_batch pending entries, commits them with one
+  /// fsync, and wakes their connection threads. Called with queue_mu_
+  /// held; returns with it held.
+  void CommitOneBatch(std::unique_lock<std::mutex>* lk);
+
+  SketchServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::mutex store_mu_;  // serializes every store_ access
+  std::optional<DurableSketchStore> store_;
+
+  mutable std::mutex queue_mu_;       // mutable: batch_commits() is const
+  std::condition_variable queue_cv_;  // wakes the committer
+  std::condition_variable done_cv_;   // wakes waiting connection threads
+  std::deque<PendingIngest*> queue_;
+  bool stopping_ = false;
+  uint64_t batch_commits_ = 0;  // guarded by queue_mu_
+  /// Sticky first commit error (guarded by queue_mu_). After any batch
+  /// commit fails the durability substrate is suspect — and if the WAL
+  /// repair failed the log is torn, where further appends would be
+  /// silently dropped by recovery — so the ingest path fail-stops:
+  /// every later INGEST/MERGE is refused with this status. Queries,
+  /// STATS, and CHECKPOINT keep working.
+  Status commit_error_;
+
+  std::mutex conns_mu_;
+  std::unordered_set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  /// Set before Stop's shutdown sweep of conn_fds_: a connection that
+  /// the accept loop registers after the sweep would otherwise miss its
+  /// shutdown(2) wake-up and block in recv forever.
+  std::atomic<bool> draining_{false};
+
+  std::thread accept_thread_;
+  std::thread commit_thread_;
+  bool stopped_ = false;  // Stop() ran to completion (main thread only)
+};
+
+}  // namespace dd
+
+#endif  // DDSKETCH_SERVER_SERVER_H_

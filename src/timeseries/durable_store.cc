@@ -144,6 +144,79 @@ Status DurableSketchStore::IngestValue(const std::string& series,
   return store_.IngestValue(series, timestamp, value);
 }
 
+Status DurableSketchStore::ValidateRecord(const WalRecord& record) const {
+  switch (record.type) {
+    case WalRecord::Type::kIngestSketch: {
+      auto decoded = DDSketch::Deserialize(record.payload);
+      if (!decoded.ok()) return decoded.status();
+      return store_.CheckCompatible(decoded.value());
+    }
+    case WalRecord::Type::kIngestValue:
+      return Status::OK();
+  }
+  return Status::Corruption("unknown WAL record type");
+}
+
+Status DurableSketchStore::IngestBatch(const std::vector<WalRecord>& records) {
+  // Validate everything before logging anything: the WAL must only ever
+  // contain records that replay cleanly, and a half-appended batch would
+  // ack nothing while still replaying its durable prefix. Sketch
+  // payloads are decoded once here and the decoded sketches reused for
+  // the merge below — deserialization is the expensive part of a merge
+  // record, and this path is the committer's (single-writer) hot loop.
+  std::vector<DDSketch> decoded;
+  decoded.reserve(records.size());
+  for (const WalRecord& record : records) {
+    switch (record.type) {
+      case WalRecord::Type::kIngestSketch: {
+        auto sketch = DDSketch::Deserialize(record.payload);
+        if (!sketch.ok()) return sketch.status();
+        DD_RETURN_IF_ERROR(store_.CheckCompatible(sketch.value()));
+        decoded.push_back(std::move(sketch).value());
+        break;
+      }
+      case WalRecord::Type::kIngestValue:
+        break;
+      default:
+        return Status::Corruption("unknown WAL record type");
+    }
+  }
+  const uint64_t batch_start = wal_.offset();
+  Status status;
+  for (const WalRecord& record : records) {
+    status = wal_.Append(record);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    status = wal_.Sync();  // the one flush the batch shares
+  }
+  if (!status.ok()) {
+    // A partial append (e.g. ENOSPC mid-record) leaves a torn frame in
+    // the middle of the log; anything appended after it would be
+    // silently dropped by recovery's torn-tail scan. Truncate back to
+    // the batch start so the log stays clean for future commits; if
+    // even that fails, escalate — the log must not be appended to
+    // again (SketchServer fail-stops its ingest path on any error).
+    if (Status repair = wal_.TruncateTo(batch_start); !repair.ok()) {
+      return Status::Internal(
+          "WAL left torn after failed batch commit (" + status.ToString() +
+          "); truncate failed: " + repair.message());
+    }
+    return status;
+  }
+  size_t next_decoded = 0;
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecord::Type::kIngestSketch) {
+      DD_RETURN_IF_ERROR(store_.IngestSketch(record.series, record.timestamp,
+                                             decoded[next_decoded++]));
+    } else {
+      DD_RETURN_IF_ERROR(
+          store_.IngestValue(record.series, record.timestamp, record.value));
+    }
+  }
+  return Status::OK();
+}
+
 Status DurableSketchStore::Checkpoint() {
   const uint64_t epoch = wal_.epoch();
   DD_RETURN_IF_ERROR(

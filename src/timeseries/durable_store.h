@@ -75,6 +75,28 @@ class DurableSketchStore {
   Status IngestValue(const std::string& series, int64_t timestamp,
                      double value);
 
+  /// Validates an ingest record — decodes sketch payloads and checks
+  /// sketch-parameter compatibility — without touching the log or the
+  /// store. The staging half of group commit: callers (the network
+  /// server) reject bad requests on their own threads so an invalid
+  /// record can never poison a batch.
+  Status ValidateRecord(const WalRecord& record) const;
+
+  /// Group commit: appends every record to the WAL, fsyncs ONCE, then
+  /// merges all of them into the in-memory store — N acknowledged
+  /// ingests for a single disk flush. All records are re-validated
+  /// before the first byte reaches the log, so a bad record fails the
+  /// whole batch with nothing written. Unlike Ingest/IngestValue, the
+  /// batch always fsyncs (ignoring sync_every_ingest): callers use this
+  /// to acknowledge remote clients, and an acknowledgment promises
+  /// power-loss durability. An OK return means every record in the
+  /// batch replays on the next Open(). On an append/fsync failure the
+  /// log is truncated back to the batch start (nothing from the batch
+  /// replays); if even that repair fails the log is torn mid-file and
+  /// the error says so — callers must stop appending (a torn frame
+  /// would make recovery silently drop everything after it).
+  Status IngestBatch(const std::vector<WalRecord>& records);
+
   /// Rolls up old raw intervals (SketchStore::Compact), then checkpoints:
   /// snapshot + WAL reset. Returns the number of intervals compacted.
   Result<size_t> Compact(int64_t now);

@@ -205,6 +205,13 @@ Status WalWriter::Append(const WalRecord& record) {
 
 Status WalWriter::Sync() { return file_.Sync(); }
 
+Status WalWriter::TruncateTo(uint64_t offset) {
+  if (offset > file_.size()) {
+    return Status::Internal("WAL truncate target beyond end of log");
+  }
+  return file_.Truncate(offset);
+}
+
 Status WalWriter::Reset(uint64_t epoch) {
   DD_RETURN_IF_ERROR(CheckEpochRange(epoch));
   DD_RETURN_IF_ERROR(file_.Truncate(0));

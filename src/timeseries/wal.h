@@ -113,6 +113,12 @@ class WalWriter {
   /// Empties the log and starts generation `epoch` (post-checkpoint).
   Status Reset(uint64_t epoch);
 
+  /// Truncates back to `offset` (a record boundary captured from
+  /// offset() before a batch of appends). Repairs the log after a
+  /// failed multi-record append so later appends cannot land behind a
+  /// torn frame, where recovery's torn-tail scan would discard them.
+  Status TruncateTo(uint64_t offset);
+
   /// Current file size; record boundaries (offset after each Append) are
   /// the crash-consistent recovery points.
   uint64_t offset() const noexcept { return file_.size(); }

@@ -1,5 +1,6 @@
 #include "util/file_io.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -12,6 +13,15 @@
 namespace dd {
 namespace {
 
+std::atomic<uint64_t> g_fsync_count{0};
+
+/// Every fsync in this file goes through here so TotalFsyncCount() stays
+/// an exact flush census.
+int CountedFsync(int fd) {
+  g_fsync_count.fetch_add(1, std::memory_order_relaxed);
+  return ::fsync(fd);
+}
+
 std::string Errno(const std::string& op, const std::string& path) {
   return op + " " + path + ": " + std::strerror(errno);
 }
@@ -23,7 +33,7 @@ Status SyncParentDir(const std::string& path) {
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) return Status::Internal(Errno("open dir", dir));
-  const int rc = ::fsync(fd);
+  const int rc = CountedFsync(fd);
   ::close(fd);
   if (rc != 0) return Status::Internal(Errno("fsync dir", dir));
   return Status::OK();
@@ -42,6 +52,10 @@ Status WriteAll(int fd, std::string_view data, const std::string& path) {
 }
 
 }  // namespace
+
+uint64_t TotalFsyncCount() {
+  return g_fsync_count.load(std::memory_order_relaxed);
+}
 
 bool FileExists(const std::string& path) {
   struct stat st;
@@ -81,7 +95,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return Status::InvalidArgument(Errno("open", tmp));
   Status status = WriteAll(fd, contents, tmp);
-  if (status.ok() && ::fsync(fd) != 0) {
+  if (status.ok() && CountedFsync(fd) != 0) {
     status = Status::Internal(Errno("fsync", tmp));
   }
   if (::close(fd) != 0 && status.ok()) {
@@ -173,7 +187,7 @@ Status AppendOnlyFile::Append(std::string_view data) {
 }
 
 Status AppendOnlyFile::Sync() {
-  if (::fsync(fd_) != 0) return Status::Internal(Errno("fsync", path_));
+  if (CountedFsync(fd_) != 0) return Status::Internal(Errno("fsync", path_));
   return Status::OK();
 }
 

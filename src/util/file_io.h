@@ -19,6 +19,12 @@
 
 namespace dd {
 
+/// Process-wide count of fsync(2) calls issued through this layer
+/// (AppendOnlyFile::Sync, WriteFileAtomic, directory syncs). Monotonic and
+/// thread-safe. Lets tests assert batching behavior (group commit must
+/// turn N record flushes into one) and tools report flush rates.
+uint64_t TotalFsyncCount();
+
 /// True iff `path` names an existing file system entry.
 bool FileExists(const std::string& path);
 

@@ -431,6 +431,131 @@ TEST_F(DurabilityTest, InvalidPayloadsAreRejectedBeforeLogging) {
   EXPECT_EQ(store.wal_offset(), offset);
 }
 
+TEST_F(DurabilityTest, GroupCommitBatchIsOneFsync) {
+  const std::string dir = Dir("groupfsync");
+  DurableSketchStore store = MustOpen(dir);
+  std::vector<WalRecord> records;
+  for (int i = 0; i < 64; ++i) {
+    WalRecord record;
+    record.type = (i % 4 == 1) ? WalRecord::Type::kIngestSketch
+                               : WalRecord::Type::kIngestValue;
+    record.series = (i % 3 == 0) ? "api.latency" : "db.latency";
+    record.timestamp = i * 7;
+    if (record.type == WalRecord::Type::kIngestSketch) {
+      record.payload = WorkerPayload(i);
+    } else {
+      record.value = 1.0 + i;
+    }
+    records.push_back(std::move(record));
+  }
+  const uint64_t fsyncs_before = TotalFsyncCount();
+  ASSERT_TRUE(store.IngestBatch(records).ok());
+  // 64 acknowledged ingests, exactly one flush.
+  EXPECT_EQ(TotalFsyncCount() - fsyncs_before, 1u);
+  // The batch is both queryable and fully applied in-memory.
+  EXPECT_EQ(store.store().num_series(), 2u);
+  uint64_t total = 0;
+  for (const std::string& name : store.store().ListSeries()) {
+    total += std::move(store.QueryRange(name, -1000, 1000)).value().count();
+  }
+  // 48 raw values + 16 worker sketches of 5 values each.
+  EXPECT_EQ(total, 48u + 16u * 5u);
+}
+
+TEST_F(DurabilityTest, GroupCommitBatchRejectsBadRecordBeforeLogging) {
+  const std::string dir = Dir("groupreject");
+  DurableSketchStore store = MustOpen(dir);
+  std::vector<WalRecord> records;
+  WalRecord good;
+  good.type = WalRecord::Type::kIngestValue;
+  good.series = "s";
+  good.timestamp = 0;
+  good.value = 1.0;
+  records.push_back(good);
+  WalRecord bad;
+  bad.type = WalRecord::Type::kIngestSketch;
+  bad.series = "s";
+  bad.timestamp = 0;
+  bad.payload = "garbage";
+  records.push_back(bad);
+  const uint64_t offset = store.wal_offset();
+  EXPECT_EQ(store.IngestBatch(records).code(), StatusCode::kCorruption);
+  // Nothing — including the valid first record — reached the log or the
+  // in-memory store.
+  EXPECT_EQ(store.wal_offset(), offset);
+  EXPECT_EQ(store.store().num_series(), 0u);
+}
+
+TEST_F(DurabilityTest, GroupCommitCrashMidBatchRecoversExactPrefix) {
+  // A batch is appended record-by-record before its single fsync; a
+  // crash can land at any byte of the batch region. Recovery must yield
+  // exactly the fully-written prefix of the batch — the same guarantee
+  // CrashRecoveryAtEveryWalTruncationPoint proves for solo appends.
+  const std::string dir = Dir("groupcrash");
+  const std::vector<Op> ops = ScriptedOps(24);
+
+  std::vector<WalRecord> records;
+  for (const Op& op : ops) {
+    WalRecord record;
+    record.series = op.series;
+    record.timestamp = op.timestamp;
+    if (op.is_sketch) {
+      record.type = WalRecord::Type::kIngestSketch;
+      record.payload = WorkerPayload(op.seed);
+    } else {
+      record.type = WalRecord::Type::kIngestValue;
+      record.value = op.value;
+    }
+    records.push_back(std::move(record));
+  }
+
+  // Reference fingerprints and WAL offsets for every batch prefix.
+  std::vector<uint64_t> boundaries;
+  std::vector<std::string> prefix_fp;
+  uint64_t batch_start = 0;
+  {
+    DurableSketchStore store = MustOpen(dir);
+    batch_start = store.wal_offset();
+    auto ref = std::move(SketchStore::Create(Options().store)).value();
+    boundaries.push_back(batch_start);
+    prefix_fp.push_back(Fingerprint(ref));
+    uint64_t offset = batch_start;
+    for (const WalRecord& record : records) {
+      offset += EncodeWalRecord(record).size();
+      boundaries.push_back(offset);
+      if (record.type == WalRecord::Type::kIngestSketch) {
+        ASSERT_TRUE(ref.Ingest(record.series, record.timestamp,
+                               record.payload).ok());
+      } else {
+        ASSERT_TRUE(ref.IngestValue(record.series, record.timestamp,
+                                    record.value).ok());
+      }
+      prefix_fp.push_back(Fingerprint(ref));
+    }
+    ASSERT_TRUE(store.IngestBatch(records).ok());
+    ASSERT_EQ(store.wal_offset(), boundaries.back());
+  }
+
+  const std::string wal_bytes = ReadFile(DurableSketchStore::WalPath(dir));
+  const std::string crash_dir = Dir("groupcrash_replay");
+  for (uint64_t cut = batch_start; cut <= wal_bytes.size(); ++cut) {
+    fs::remove_all(crash_dir);
+    fs::create_directories(crash_dir);
+    WriteFile(DurableSketchStore::WalPath(crash_dir),
+              std::string_view(wal_bytes).substr(0, cut));
+    auto reopened = DurableSketchStore::Open(crash_dir, Options());
+    ASSERT_TRUE(reopened.ok())
+        << "cut=" << cut << ": " << reopened.status().ToString();
+    size_t expected = 0;
+    while (expected + 1 < boundaries.size() &&
+           boundaries[expected + 1] <= cut) {
+      ++expected;
+    }
+    EXPECT_EQ(Fingerprint(reopened.value().store()), prefix_fp[expected])
+        << "cut=" << cut;
+  }
+}
+
 TEST_F(DurabilityTest, SyncEveryIngestModeWorks) {
   const std::string dir = Dir("sync");
   DurableSketchStoreOptions options = Options();

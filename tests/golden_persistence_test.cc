@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/ddsketch.h"
+#include "server/protocol.h"
 #include "timeseries/snapshot.h"
 #include "timeseries/wal.h"
 #include "util/crc32.h"
@@ -158,6 +159,154 @@ TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
   auto q = decoded.value().store.QueryQuantile("api.latency", 0, 200, 0.5);
   ASSERT_TRUE(q.ok());
   EXPECT_GT(q.value(), 0.0);
+}
+
+/// The scripted protocol traffic: the hello, one request per op, and one
+/// response per op (including an error response) — every frame type
+/// sketchd ships, concatenated in a fixed order.
+std::string GoldenProtocolBytes() {
+  std::string bytes = EncodeHello();
+
+  Request ingest;
+  ingest.op = Request::Op::kIngest;
+  ingest.series = "api.latency";
+  ingest.timestamp = 1000;
+  ingest.value = 3.25;
+  bytes += EncodeRequest(ingest);
+
+  auto worker = std::move(DDSketch::Create(0.01, 2048)).value();
+  worker.Add(1.0);
+  worker.Add(2.5);
+  worker.Add(100.0);
+  Request merge;
+  merge.op = Request::Op::kMerge;
+  merge.series = "db.errors";
+  merge.timestamp = -30;
+  merge.payload = worker.Serialize();
+  bytes += EncodeRequest(merge);
+
+  Request query;
+  query.op = Request::Op::kQuery;
+  query.series = "api.latency";
+  query.start = -100;
+  query.end = 2000;
+  query.quantiles = {0.5, 0.95, 0.99};
+  bytes += EncodeRequest(query);
+
+  Request checkpoint;
+  checkpoint.op = Request::Op::kCheckpoint;
+  bytes += EncodeRequest(checkpoint);
+
+  Request stats;
+  stats.op = Request::Op::kStats;
+  bytes += EncodeRequest(stats);
+
+  Response ingest_ok;
+  ingest_ok.op = Request::Op::kIngest;
+  ingest_ok.wal_offset = 13 + 27;
+  bytes += EncodeResponse(ingest_ok);
+
+  Response merge_err;
+  merge_err.op = Request::Op::kMerge;
+  merge_err.code = StatusCode::kIncompatible;
+  merge_err.message = "sketches are not mergeable";
+  bytes += EncodeResponse(merge_err);
+
+  Response query_ok;
+  query_ok.op = Request::Op::kQuery;
+  query_ok.values = {3.25, 3.25, 3.25};
+  bytes += EncodeResponse(query_ok);
+
+  Response checkpoint_ok;
+  checkpoint_ok.op = Request::Op::kCheckpoint;
+  checkpoint_ok.epoch = 2;
+  bytes += EncodeResponse(checkpoint_ok);
+
+  Response stats_ok;
+  stats_ok.op = Request::Op::kStats;
+  stats_ok.stats.num_series = 2;
+  stats_ok.stats.num_intervals = 5;
+  stats_ok.stats.size_in_bytes = 4096;
+  stats_ok.stats.wal_offset = 40;
+  stats_ok.stats.epoch = 2;
+  stats_ok.stats.batch_commits = 17;
+  bytes += EncodeResponse(stats_ok);
+
+  return bytes;
+}
+
+TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
+  // magic "DDSP", version 1.
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "01");
+}
+
+TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
+  // len=13 varint | crc fixed32 | body: op=1, series len+bytes "s",
+  // ts zigzag(1000), value fixed64 1.5.
+  Request request;
+  request.op = Request::Op::kIngest;
+  request.series = "s";
+  request.timestamp = 1000;
+  request.value = 1.5;
+  EXPECT_EQ(Hex(EncodeRequest(request)),
+            "0d" "99cf5196" "01" "0173" "d00f" "000000000000f83f");
+}
+
+TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
+  const std::string encoded = GoldenProtocolBytes();
+  MaybeRegenerate("protocol_v1.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v1.bin");
+  ASSERT_EQ(Hex(encoded), Hex(fixture));
+
+  // Walk the fixture: hello, then 5 requests, then 5 responses — every
+  // frame must decode, and re-encoding must reproduce the exact bytes.
+  std::string_view rest(fixture);
+  ASSERT_TRUE(CheckHello(rest.substr(0, kHelloBytes)).ok());
+  std::string reencoded(EncodeHello());
+  rest.remove_prefix(kHelloBytes);
+  for (int i = 0; i < 5; ++i) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(rest, &frame_size);
+    ASSERT_TRUE(body.ok()) << "request " << i << ": "
+                           << body.status().ToString();
+    auto request = DecodeRequest(body.value());
+    ASSERT_TRUE(request.ok()) << "request " << i << ": "
+                              << request.status().ToString();
+    EXPECT_EQ(static_cast<uint8_t>(request.value().op), i + 1);
+    reencoded += EncodeRequest(request.value());
+    rest.remove_prefix(frame_size);
+  }
+  for (int i = 0; i < 5; ++i) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(rest, &frame_size);
+    ASSERT_TRUE(body.ok()) << "response " << i << ": "
+                           << body.status().ToString();
+    auto response = DecodeResponse(body.value());
+    ASSERT_TRUE(response.ok()) << "response " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(static_cast<uint8_t>(response.value().op), i + 1);
+    reencoded += EncodeResponse(response.value());
+    rest.remove_prefix(frame_size);
+  }
+  EXPECT_TRUE(rest.empty());
+  EXPECT_EQ(Hex(reencoded), Hex(fixture));
+
+  // Spot checks that the fixture carries real content.
+  const Response merge_err = [&] {
+    std::string_view walk(fixture);
+    walk.remove_prefix(kHelloBytes);
+    size_t frame_size = 0;
+    for (int i = 0; i < 6; ++i) {
+      auto body = DecodeFrame(walk, &frame_size);
+      EXPECT_TRUE(body.ok());
+      walk.remove_prefix(frame_size);
+    }
+    auto body = DecodeFrame(walk, &frame_size);
+    EXPECT_TRUE(body.ok());
+    return std::move(DecodeResponse(body.value())).value();
+  }();
+  EXPECT_EQ(merge_err.code, StatusCode::kIncompatible);
+  EXPECT_EQ(merge_err.message, "sketches are not mergeable");
 }
 
 TEST(GoldenPersistenceTest, VersionByteGuardsDecoding) {

@@ -1,0 +1,279 @@
+// Unit tests for the sketchd wire protocol codec (server/protocol.h):
+// round trips for every op, framing behavior (incomplete vs corrupt),
+// and strict rejection of malformed bodies — the same discipline the
+// on-disk formats get from fuzz_differential_test.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "util/crc32.h"
+
+namespace dd {
+namespace {
+
+Request RoundTripRequest(const Request& request) {
+  const std::string frame = EncodeRequest(request);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  EXPECT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(frame_size, frame.size());
+  auto decoded = DecodeRequest(body.value());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+Response RoundTripResponse(const Response& response) {
+  const std::string frame = EncodeResponse(response);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  EXPECT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(frame_size, frame.size());
+  auto decoded = DecodeResponse(body.value());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  const std::string hello = EncodeHello();
+  ASSERT_EQ(hello.size(), kHelloBytes);
+  EXPECT_TRUE(CheckHello(hello).ok());
+}
+
+TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
+  std::string bad_magic = EncodeHello();
+  bad_magic[0] = 'X';
+  EXPECT_EQ(CheckHello(bad_magic).code(), StatusCode::kCorruption);
+
+  std::string bad_version = EncodeHello();
+  bad_version[4] = 2;
+  EXPECT_EQ(CheckHello(bad_version).code(), StatusCode::kIncompatible);
+
+  EXPECT_EQ(CheckHello("DDS").code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, IngestRequestRoundTrip) {
+  Request request;
+  request.op = Request::Op::kIngest;
+  request.series = "api.latency";
+  request.timestamp = -12345;
+  request.value = 3.25;
+  const Request decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.op, Request::Op::kIngest);
+  EXPECT_EQ(decoded.series, "api.latency");
+  EXPECT_EQ(decoded.timestamp, -12345);
+  EXPECT_EQ(decoded.value, 3.25);
+}
+
+TEST(ProtocolTest, MergeRequestRoundTrip) {
+  auto sketch = std::move(DDSketch::Create(0.01, 2048)).value();
+  sketch.Add(1.0);
+  sketch.Add(42.0);
+  Request request;
+  request.op = Request::Op::kMerge;
+  request.series = "db.latency";
+  request.timestamp = 1000;
+  request.payload = sketch.Serialize();
+  const Request decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.op, Request::Op::kMerge);
+  EXPECT_EQ(decoded.payload, request.payload);
+  // The carried payload is still a decodable sketch.
+  auto carried = DDSketch::Deserialize(decoded.payload);
+  ASSERT_TRUE(carried.ok());
+  EXPECT_EQ(carried.value().count(), 2u);
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  Request request;
+  request.op = Request::Op::kQuery;
+  request.series = "svc";
+  request.start = -100;
+  request.end = 900;
+  request.quantiles = {0.5, 0.95, 0.999};
+  const Request decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.start, -100);
+  EXPECT_EQ(decoded.end, 900);
+  EXPECT_EQ(decoded.quantiles, request.quantiles);
+}
+
+TEST(ProtocolTest, BodylessRequestsRoundTrip) {
+  for (Request::Op op : {Request::Op::kCheckpoint, Request::Op::kStats}) {
+    Request request;
+    request.op = op;
+    EXPECT_EQ(RoundTripRequest(request).op, op);
+  }
+}
+
+TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
+  {
+    Response r;
+    r.op = Request::Op::kIngest;
+    r.wal_offset = 12345;
+    EXPECT_EQ(RoundTripResponse(r).wal_offset, 12345u);
+  }
+  {
+    Response r;
+    r.op = Request::Op::kQuery;
+    r.values = {1.5, 2.5};
+    EXPECT_EQ(RoundTripResponse(r).values, r.values);
+  }
+  {
+    Response r;
+    r.op = Request::Op::kCheckpoint;
+    r.epoch = 7;
+    EXPECT_EQ(RoundTripResponse(r).epoch, 7u);
+  }
+  {
+    Response r;
+    r.op = Request::Op::kStats;
+    r.stats.num_series = 3;
+    r.stats.num_intervals = 17;
+    r.stats.size_in_bytes = 4096;
+    r.stats.wal_offset = 999;
+    r.stats.epoch = 2;
+    r.stats.batch_commits = 41;
+    const Response decoded = RoundTripResponse(r);
+    EXPECT_EQ(decoded.stats.num_intervals, 17u);
+    EXPECT_EQ(decoded.stats.batch_commits, 41u);
+  }
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesStatus) {
+  Response r;
+  r.op = Request::Op::kMerge;
+  r.code = StatusCode::kIncompatible;
+  r.message = "sketch parameters mismatch";
+  const Response decoded = RoundTripResponse(r);
+  const Status status = ResponseStatus(decoded);
+  EXPECT_EQ(status.code(), StatusCode::kIncompatible);
+  EXPECT_EQ(status.message(), "sketch parameters mismatch");
+  EXPECT_TRUE(ResponseStatus(Response{}).ok());
+}
+
+TEST(ProtocolTest, DecodeFrameReportsIncompleteOnEveryPrefix) {
+  Request request;
+  request.op = Request::Op::kIngest;
+  request.series = "s";
+  request.value = 1.0;
+  const std::string frame = EncodeRequest(request);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(std::string_view(frame).substr(0, cut), &frame_size);
+    ASSERT_FALSE(body.ok()) << "cut=" << cut;
+    EXPECT_EQ(body.status().code(), StatusCode::kOutOfRange) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, DecodeFrameRejectsEveryBodyBitFlip) {
+  Request request;
+  request.op = Request::Op::kQuery;
+  request.series = "svc";
+  request.quantiles = {0.5};
+  const std::string frame = EncodeRequest(request);
+  // Flip one bit in each body byte (skip the length varint: changing it
+  // legitimately reads as incomplete). The CRC must catch all of them.
+  size_t frame_size = 0;
+  auto clean = DecodeFrame(frame, &frame_size);
+  ASSERT_TRUE(clean.ok());
+  const size_t body_offset = frame.size() - clean.value().size();
+  for (size_t i = body_offset; i < frame.size(); ++i) {
+    std::string corrupt = frame;
+    corrupt[i] = static_cast<char>(static_cast<uint8_t>(corrupt[i]) ^ 0x01);
+    size_t ignored = 0;
+    auto body = DecodeFrame(corrupt, &ignored);
+    ASSERT_FALSE(body.ok()) << "byte " << i;
+    EXPECT_EQ(body.status().code(), StatusCode::kCorruption) << "byte " << i;
+  }
+}
+
+TEST(ProtocolTest, DecodeFrameRejectsAbsurdLength) {
+  std::string frame;
+  // Varint for 2^40: far beyond kMaxFrameBytes.
+  for (int i = 0; i < 5; ++i) frame.push_back(static_cast<char>(0x80));
+  frame.push_back(0x01);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, DecodeFrameRejectsMalformedLengthVarint) {
+  // Ten continuation bytes can never become a valid length no matter
+  // how much more is read: must be Corruption, not "incomplete" (a
+  // reader treating it as incomplete would buffer garbage forever).
+  std::string frame(10, static_cast<char>(0xff));
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), StatusCode::kCorruption);
+  // But the same bytes cut short are still just an incomplete frame.
+  auto partial = DecodeFrame(std::string_view(frame).substr(0, 6), &frame_size);
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ProtocolTest, DecodeFrameConsumesOneFrameFromAStream) {
+  Request first;
+  first.op = Request::Op::kStats;
+  Request second;
+  second.op = Request::Op::kCheckpoint;
+  const std::string stream = EncodeRequest(first) + EncodeRequest(second);
+  size_t frame_size = 0;
+  auto body1 = DecodeFrame(stream, &frame_size);
+  ASSERT_TRUE(body1.ok());
+  auto decoded1 = DecodeRequest(body1.value());
+  ASSERT_TRUE(decoded1.ok());
+  EXPECT_EQ(decoded1.value().op, Request::Op::kStats);
+  auto body2 =
+      DecodeFrame(std::string_view(stream).substr(frame_size), &frame_size);
+  ASSERT_TRUE(body2.ok());
+  auto decoded2 = DecodeRequest(body2.value());
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2.value().op, Request::Op::kCheckpoint);
+}
+
+TEST(ProtocolTest, DecodeRequestRejectsMalformedBodies) {
+  // Empty body.
+  EXPECT_EQ(DecodeRequest("").status().code(), StatusCode::kCorruption);
+  // Unknown op.
+  EXPECT_EQ(DecodeRequest(std::string(1, '\x09')).status().code(),
+            StatusCode::kCorruption);
+  // Truncated INGEST body.
+  Request request;
+  request.op = Request::Op::kIngest;
+  request.series = "s";
+  request.value = 1.0;
+  const std::string frame = EncodeRequest(request);
+  size_t frame_size = 0;
+  const std::string body(DecodeFrame(frame, &frame_size).value());
+  for (size_t cut = 1; cut < body.size(); ++cut) {
+    EXPECT_EQ(DecodeRequest(body.substr(0, cut)).status().code(),
+              StatusCode::kCorruption)
+        << "cut=" << cut;
+  }
+  // Trailing bytes after a complete body.
+  EXPECT_EQ(DecodeRequest(body + "x").status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, DecodeResponseRejectsMalformedBodies) {
+  EXPECT_EQ(DecodeResponse("").status().code(), StatusCode::kCorruption);
+  // Unknown status code byte.
+  std::string body;
+  body.push_back(static_cast<char>(Request::Op::kIngest));
+  body.push_back('\x63');  // status code 99
+  body.push_back('\x00');  // empty message
+  EXPECT_EQ(DecodeResponse(body).status().code(), StatusCode::kCorruption);
+  // Series-length field pointing past the end of the frame.
+  std::string overrun;
+  overrun.push_back(static_cast<char>(Request::Op::kQuery));
+  overrun.push_back('\x00');  // kOk
+  overrun.push_back('\x7f');  // message length 127, but no bytes follow
+  EXPECT_EQ(DecodeResponse(overrun).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dd

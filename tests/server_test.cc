@@ -1,0 +1,255 @@
+// End-to-end tests for the sketchd serving core (server/server.h) over
+// real loopback sockets: protocol round trips through SketchClient,
+// concurrent ingest, the group-commit fsync guarantee, error
+// propagation, and recovery of everything acknowledged over the wire.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ddsketch.h"
+#include "server/client.h"
+#include "timeseries/durable_store.h"
+#include "util/file_io.h"
+
+namespace dd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("dd_server_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string Dir(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  static std::unique_ptr<SketchServer> MustStart(
+      const std::string& dir, const SketchServerOptions& options = {}) {
+    auto server = SketchServer::Start(dir, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+
+  static SketchClient MustConnect(const SketchServer& server) {
+    auto client = SketchClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ServerTest, StartsOnEphemeralPortAndStops) {
+  auto server = MustStart(Dir("basic"));
+  EXPECT_GT(server->port(), 0);
+  SketchClient client = MustConnect(*server);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().num_series, 0u);
+  EXPECT_EQ(stats.value().epoch, 1u);
+  server->Stop();
+  // Stop() released the data-dir lock: a direct open must succeed.
+  auto reopened = DurableSketchStore::Open(Dir("basic"), {});
+  EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+}
+
+TEST_F(ServerTest, IngestAndQueryMatchInProcessReference) {
+  auto server = MustStart(Dir("roundtrip"));
+  SketchClient client = MustConnect(*server);
+  auto ref = std::move(SketchStore::Create(SketchStoreOptions{})).value();
+  for (int i = 0; i < 500; ++i) {
+    const double value = 1.0 + (i % 97) * 0.5;
+    const int64_t ts = (i % 40) * 10;
+    ASSERT_TRUE(client.IngestValue("api.latency", ts, value).ok());
+    ASSERT_TRUE(ref.IngestValue("api.latency", ts, value).ok());
+  }
+  const std::vector<double> qs = {0.1, 0.5, 0.95, 0.99};
+  auto remote = client.Query("api.latency", 0, 400, qs);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_EQ(remote.value().size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(remote.value()[i],
+              std::move(ref.QueryQuantile("api.latency", 0, 400, qs[i])).value())
+        << "q=" << qs[i];
+  }
+}
+
+TEST_F(ServerTest, MergeShipsWorkerSketches) {
+  auto server = MustStart(Dir("merge"));
+  SketchClient client = MustConnect(*server);
+  auto worker = std::move(DDSketch::Create(DDSketchConfig{})).value();
+  for (int i = 1; i <= 100; ++i) worker.Add(static_cast<double>(i));
+  ASSERT_TRUE(client.Merge("svc", 50, worker.Serialize()).ok());
+  auto remote = client.Query("svc", 0, 100, {0.5});
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  // Same data, same parameters: the server-side interval sketch is the
+  // worker sketch, so the quantile matches exactly.
+  EXPECT_EQ(remote.value()[0], std::move(worker.Quantile(0.5)).value());
+}
+
+TEST_F(ServerTest, ServerSideErrorsReachTheClientAsStatuses) {
+  auto server = MustStart(Dir("errors"));
+  SketchClient client = MustConnect(*server);
+  // Unknown series.
+  auto query = client.Query("nope", 0, 100, {0.5});
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+  // Garbage merge payload.
+  EXPECT_EQ(client.Merge("svc", 0, "garbage").code(), StatusCode::kCorruption);
+  // Parameter-incompatible worker sketch.
+  auto wrong = std::move(DDSketch::Create(0.05)).value();
+  wrong.Add(1.0);
+  EXPECT_EQ(client.Merge("svc", 0, wrong.Serialize()).code(),
+            StatusCode::kIncompatible);
+  // The rejected requests must not have reached the WAL.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_series, 0u);
+}
+
+TEST_F(ServerTest, ConcurrentIngestBatchesIntoOneFsync) {
+  // With a huge commit interval and commit_batch == K, K concurrent
+  // ingests must be staged together and committed with exactly one
+  // fsync (the committer proceeds as soon as the batch fills).
+  constexpr size_t kClients = 8;
+  SketchServerOptions options;
+  options.commit_batch = kClients;
+  options.commit_interval_us = 5 * 1000 * 1000;
+  auto server = MustStart(Dir("groupcommit"), options);
+
+  std::vector<SketchClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.push_back(MustConnect(*server));
+  }
+  const uint64_t fsyncs_before = TotalFsyncCount();
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&clients, i] {
+      EXPECT_TRUE(clients[i]
+                      .IngestValue("svc", 0, 1.0 + static_cast<double>(i))
+                      .ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t fsyncs_after = TotalFsyncCount();
+  EXPECT_EQ(fsyncs_after - fsyncs_before, 1u);
+  EXPECT_EQ(server->batch_commits(), 1u);
+
+  auto count = clients[0].Query("svc", 0, 10, {0.5});
+  ASSERT_TRUE(count.ok());
+  auto stats = clients[0].Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().batch_commits, 1u);
+}
+
+TEST_F(ServerTest, PipelinedIngestLandsEveryValue) {
+  SketchServerOptions options;
+  options.commit_batch = 64;
+  auto server = MustStart(Dir("pipeline"), options);
+  SketchClient client = MustConnect(*server);
+  std::vector<std::pair<int64_t, double>> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.emplace_back(i % 50, 1.0 + i * 0.25);
+  }
+  ASSERT_TRUE(client.IngestValues("bulk", points).ok());
+  auto merged = client.Query("bulk", 0, 50, {0.5});
+  ASSERT_TRUE(merged.ok());
+  // Pipelining must have produced real batches, not 2000 solo commits.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats.value().batch_commits, 2000u);
+  server->Stop();
+  // Every acknowledged value must be recovered by a direct reopen.
+  auto reopened = DurableSketchStore::Open(Dir("pipeline"), {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(
+      std::move(reopened.value().QueryRange("bulk", 0, 50)).value().count(),
+      2000u);
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllRecoverAfterStop) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 200;
+  SketchServerOptions options;
+  options.commit_batch = 32;
+  auto server = MustStart(Dir("concurrent"), options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, t] {
+      auto client = SketchClient::Connect("127.0.0.1", server->port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(client.value()
+                        .IngestValue("series." + std::to_string(t), i % 100,
+                                     1.0 + i)
+                        .ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server->Stop();
+  auto reopened = DurableSketchStore::Open(Dir("concurrent"), {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().store().num_series(),
+            static_cast<size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(std::move(reopened.value().QueryRange(
+                            "series." + std::to_string(t), 0, 100))
+                  .value()
+                  .count(),
+              static_cast<uint64_t>(kPerThread));
+  }
+}
+
+TEST_F(ServerTest, CheckpointOverTheWire) {
+  auto server = MustStart(Dir("checkpoint"));
+  SketchClient client = MustConnect(*server);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client.IngestValue("svc", i, 1.0 + i).ok());
+  }
+  auto epoch = client.Checkpoint();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(epoch.value(), 2u);
+  // Post-checkpoint ingests land in the fresh log.
+  ASSERT_TRUE(client.IngestValue("svc", 500, 9.0).ok());
+  server->Stop();
+  auto reopened = DurableSketchStore::Open(Dir("checkpoint"), {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().epoch(), 2u);
+  EXPECT_EQ(
+      std::move(reopened.value().QueryRange("svc", 0, 600)).value().count(),
+      51u);
+}
+
+TEST_F(ServerTest, SecondServerOnSameDirIsLockedOut) {
+  auto server = MustStart(Dir("locked"));
+  auto second = SketchServer::Start(Dir("locked"), {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ServerTest, RejectsZeroCommitBatch) {
+  SketchServerOptions options;
+  options.commit_batch = 0;
+  auto server = SketchServer::Start(Dir("zero"), options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dd

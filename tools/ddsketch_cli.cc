@@ -25,6 +25,16 @@
 //   ddsketch_cli compact --data-dir DIR --now T [--alpha A]
 //       Rolls up old intervals, snapshots, and truncates the log.
 //
+// Remote mode (talks to a running sketchd daemon over its wire protocol,
+// docs/PROTOCOL.md; see tools/sketchd.cc):
+//   ddsketch_cli remote-ingest --port P [--host H] --series NAME
+//                              [--timestamp T] < values.txt
+//       Streams "value" or "timestamp value" lines to the daemon
+//       (pipelined, so the server's group commit batches the fsyncs).
+//   ddsketch_cli remote-query --port P [--host H] --series NAME
+//                             --start S --end E [q1 q2 ...]
+//       Quantiles over [S, E), answered by the daemon.
+//
 // Example round trip:
 //   ddsketch_cli generate pareto 1000000 | ddsketch_cli build --out s.dds
 //   ddsketch_cli query s.dds 0.5 0.99
@@ -36,10 +46,12 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ddsketch.h"
 #include "data/datasets.h"
+#include "server/client.h"
 #include "timeseries/durable_store.h"
 
 namespace {
@@ -63,7 +75,12 @@ int Usage() {
       "                      [--alpha A] [--sync]   (values on stdin)\n"
       "  ddsketch_cli query --data-dir DIR --series NAME --start S --end E\n"
       "                      [--alpha A] [q1 q2 ...]\n"
-      "  ddsketch_cli compact --data-dir DIR --now T [--alpha A]\n");
+      "  ddsketch_cli compact --data-dir DIR --now T [--alpha A]\n"
+      "remote mode (against a running sketchd):\n"
+      "  ddsketch_cli remote-ingest --port P [--host H] --series NAME\n"
+      "                      [--timestamp T]   (values on stdin)\n"
+      "  ddsketch_cli remote-query --port P [--host H] --series NAME\n"
+      "                      --start S --end E [q1 q2 ...]\n");
   return 2;
 }
 
@@ -191,6 +208,8 @@ int CmdInfo(int argc, char** argv) {
 struct DurableArgs {
   std::string data_dir;
   std::string series;
+  std::string host = "127.0.0.1";
+  int port = 0;
   int64_t timestamp = 0;
   int64_t start = 0;
   int64_t end = 0;
@@ -200,7 +219,8 @@ struct DurableArgs {
   std::vector<std::string> extra;
 };
 
-bool ParseDurableArgs(int argc, char** argv, DurableArgs* out) {
+bool ParseDurableArgs(int argc, char** argv, DurableArgs* out,
+                      bool require_data_dir = true) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--data-dir" && i + 1 < argc) {
@@ -215,6 +235,10 @@ bool ParseDurableArgs(int argc, char** argv, DurableArgs* out) {
       out->end = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--now" && i + 1 < argc) {
       out->now = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--host" && i + 1 < argc) {
+      out->host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      out->port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--alpha" && i + 1 < argc) {
       out->alpha = std::strtod(argv[++i], nullptr);
     } else if (arg == "--sync") {
@@ -226,9 +250,46 @@ bool ParseDurableArgs(int argc, char** argv, DurableArgs* out) {
       out->extra.push_back(arg);
     }
   }
-  if (out->data_dir.empty()) {
+  if (require_data_dir && out->data_dir.empty()) {
     Fail("--data-dir is required");
     return false;
+  }
+  return true;
+}
+
+/// Flag parsing for the remote subcommands: same flag set, but --port
+/// and --series are what is required instead of --data-dir.
+bool ParseRemoteArgs(int argc, char** argv, DurableArgs* out) {
+  if (!ParseDurableArgs(argc, argv, out, /*require_data_dir=*/false)) {
+    return false;
+  }
+  if (out->port <= 0 || out->port > 65535) {
+    Fail("--port is required (1-65535)");
+    return false;
+  }
+  if (out->series.empty()) {
+    Fail("--series is required");
+    return false;
+  }
+  return true;
+}
+
+/// Parses one ingest stdin line — a bare "value" (lands at
+/// `default_timestamp`) or a "timestamp value" pair. Returns false on an
+/// unparseable line. The timestamp is re-parsed as an integer because
+/// strtod would round timestamps above 2^53 (e.g. epoch nanoseconds).
+bool ParseIngestLine(const std::string& line, int64_t default_timestamp,
+                     int64_t* timestamp, double* value) {
+  char* end = nullptr;
+  const double first = std::strtod(line.c_str(), &end);
+  if (end == line.c_str()) return false;
+  char* end2 = nullptr;
+  const double second = std::strtod(end, &end2);
+  *timestamp = default_timestamp;
+  *value = first;
+  if (end2 != end) {
+    *timestamp = std::strtoll(line.c_str(), nullptr, 10);
+    *value = second;
   }
   return true;
 }
@@ -252,22 +313,11 @@ int CmdIngest(int argc, char** argv) {
   uint64_t ingested = 0, bad = 0;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    // "timestamp value" pairs, or bare values at --timestamp.
-    char* end = nullptr;
-    const double first = std::strtod(line.c_str(), &end);
-    if (end == line.c_str()) {
+    int64_t ts = 0;
+    double value = 0;
+    if (!ParseIngestLine(line, args.timestamp, &ts, &value)) {
       ++bad;
       continue;
-    }
-    char* end2 = nullptr;
-    const double second = std::strtod(end, &end2);
-    int64_t ts = args.timestamp;
-    double value = first;
-    if (end2 != end) {
-      // Re-parse the first token as an integer: strtod would round
-      // timestamps above 2^53 (e.g. epoch nanoseconds).
-      ts = std::strtoll(line.c_str(), nullptr, 10);
-      value = second;
     }
     if (dd::Status s = store.IngestValue(args.series, ts, value); !s.ok()) {
       return Fail(s.ToString());
@@ -318,6 +368,77 @@ int CmdCompact(int argc, char** argv) {
   return 0;
 }
 
+int CmdRemoteIngest(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseRemoteArgs(argc, argv, &args)) return 1;
+  auto connected =
+      dd::SketchClient::Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!connected.ok()) return Fail(connected.status().ToString());
+  dd::SketchClient client = std::move(connected).value();
+
+  // Same stdin grammar as `ingest`: bare values land at --timestamp,
+  // "timestamp value" pairs carry their own. Stream in bounded windows
+  // (memory stays O(window) however large the pipe) — each window is
+  // pipelined by IngestValues, so the server still sees full commit
+  // batches.
+  constexpr size_t kWindow = 4096;
+  std::vector<std::pair<int64_t, double>> points;
+  points.reserve(kWindow);
+  std::string line;
+  uint64_t ingested = 0, bad = 0;
+  auto flush = [&]() -> dd::Status {
+    const dd::Status s = client.IngestValues(args.series, points);
+    if (s.ok()) ingested += points.size();
+    points.clear();
+    return s;
+  };
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    int64_t ts = 0;
+    double value = 0;
+    if (!ParseIngestLine(line, args.timestamp, &ts, &value)) {
+      ++bad;
+      continue;
+    }
+    points.emplace_back(ts, value);
+    if (points.size() >= kWindow) {
+      if (dd::Status s = flush(); !s.ok()) return Fail(s.ToString());
+    }
+  }
+  if (dd::Status s = flush(); !s.ok()) return Fail(s.ToString());
+  auto stats = client.Stats();
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  std::fprintf(stderr,
+               "ingested %llu values into %s (%llu unparseable lines), "
+               "wal at %llu bytes after %llu group commits\n",
+               static_cast<unsigned long long>(ingested), args.series.c_str(),
+               static_cast<unsigned long long>(bad),
+               static_cast<unsigned long long>(stats.value().wal_offset),
+               static_cast<unsigned long long>(stats.value().batch_commits));
+  return 0;
+}
+
+int CmdRemoteQuery(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseRemoteArgs(argc, argv, &args)) return 1;
+  if (args.end <= args.start) return Fail("--start/--end must be a window");
+  auto connected =
+      dd::SketchClient::Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!connected.ok()) return Fail(connected.status().ToString());
+  dd::SketchClient client = std::move(connected).value();
+  std::vector<double> qs;
+  for (const std::string& arg : args.extra) {
+    qs.push_back(std::strtod(arg.c_str(), nullptr));
+  }
+  if (qs.empty()) qs = {0.5, 0.75, 0.9, 0.95, 0.99, 0.999};
+  auto values = client.Query(args.series, args.start, args.end, qs);
+  if (!values.ok()) return Fail(values.status().ToString());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    std::printf("p%-7g %.10g\n", qs[i] * 100, values.value()[i]);
+  }
+  return 0;
+}
+
 bool HasDataDirFlag(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--data-dir") == 0) return true;
@@ -359,6 +480,8 @@ int main(int argc, char** argv) {
     return CmdQuery(argc - 2, argv + 2);
   }
   if (command == "ingest") return CmdIngest(argc - 2, argv + 2);
+  if (command == "remote-ingest") return CmdRemoteIngest(argc - 2, argv + 2);
+  if (command == "remote-query") return CmdRemoteQuery(argc - 2, argv + 2);
   if (command == "compact") return CmdCompact(argc - 2, argv + 2);
   if (command == "merge") return CmdMerge(argc - 2, argv + 2);
   if (command == "info") return CmdInfo(argc - 2, argv + 2);

@@ -1,0 +1,108 @@
+// sketchd: the DDSketch serving daemon. Fronts a durable time-series
+// sketch store (WAL + snapshots, src/timeseries/) with the binary wire
+// protocol of docs/PROTOCOL.md, batching concurrent ingest fsyncs via
+// group commit (src/server/server.h).
+//
+// Usage:
+//   sketchd --data-dir DIR [--host 127.0.0.1] [--port 0]
+//           [--alpha 0.01] [--commit-batch 64] [--commit-interval-us 0]
+//           [--port-file FILE]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// printed on stdout and, with --port-file, written atomically to FILE so
+// scripts can wait for it. The daemon runs until SIGINT/SIGTERM, then
+// shuts down cleanly (staged ingests are committed before exit; the WAL
+// makes even a SIGKILL recoverable).
+//
+// Talk to it with `ddsketch_cli remote-ingest / remote-query`, or any
+// SketchClient (src/server/client.h).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "server/server.h"
+#include "util/file_io.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "sketchd: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sketchd --data-dir DIR [--host H] [--port P] [--alpha A]\n"
+      "               [--commit-batch N] [--commit-interval-us N]\n"
+      "               [--port-file FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir;
+  std::string port_file;
+  dd::SketchServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--alpha" && i + 1 < argc) {
+      options.durable.store.sketch.relative_accuracy =
+          std::strtod(argv[++i], nullptr);
+    } else if (arg == "--commit-batch" && i + 1 < argc) {
+      options.commit_batch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--commit-interval-us" && i + 1 < argc) {
+      options.commit_interval_us = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "sketchd: unknown option: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (data_dir.empty()) {
+    std::fprintf(stderr, "sketchd: --data-dir is required\n");
+    return Usage();
+  }
+
+  auto server = dd::SketchServer::Start(data_dir, options);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  std::printf("sketchd: listening on %s:%u (data-dir=%s)\n",
+              options.host.c_str(), server.value()->port(), data_dir.c_str());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Atomic so a watcher never reads a half-written port number.
+    const std::string contents = std::to_string(server.value()->port()) + "\n";
+    if (dd::Status s = dd::WriteFileAtomic(port_file, contents); !s.ok()) {
+      server.value()->Stop();
+      return Fail(s.ToString());
+    }
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop) {
+    ::usleep(50 * 1000);
+  }
+
+  std::printf("sketchd: shutting down\n");
+  server.value()->Stop();
+  return 0;
+}
