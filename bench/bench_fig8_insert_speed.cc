@@ -3,10 +3,24 @@
 // HDR fast; DDSketch (fast) fastest; DDSketch (log mapping) pays for the
 // logarithm.
 //
+// Beyond the paper's series, the harness measures the repo's batch insert
+// path (DDSketch::AddBatch) for both mappings — the form the serving
+// stack actually uses — and can emit the whole table as machine-readable
+// JSON for CI trend tracking:
+//
+//   bench_fig8_insert_speed [--json FILE]
+//
+// DD_BENCH_SMOKE=1 caps the sweep at n = 1e6 (the CI perf-smoke scale);
+// DD_BENCH_FULL=1 extends it to the paper's 1e8.
+//
 // Values are pre-generated so the measured loop is sketch work only.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "bench/common/params.h"
@@ -27,31 +41,98 @@ double NsPerAdd(const std::vector<double>& values, AddFn&& add) {
          static_cast<double>(values.size());
 }
 
+/// Batch-insert timing: the values stream through AddBatch in
+/// server-commit-sized chunks rather than one call per value.
+double NsPerBatchAdd(const std::vector<double>& values, DDSketch* sketch) {
+  constexpr size_t kBatch = 1024;
+  const std::span<const double> all(values);
+  const auto start = Clock::now();
+  for (size_t i = 0; i < all.size(); i += kBatch) {
+    sketch->AddBatch(all.subspan(i, std::min(kBatch, all.size() - i)));
+  }
+  const auto stop = Clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(values.size());
+}
+
+struct Row {
+  size_t n = 0;
+  double dd = 0, dd_batch = 0, fast = 0, fast_batch = 0;
+  double gk = 0, hdr = 0, moments = 0;
+};
+
+/// Emits the result rows as a small JSON document (BENCH_insert.json in
+/// CI) so the insert-path trajectory is diffable across commits.
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig8_insert_speed\",\n"
+               "  \"dataset\": \"pareto\",\n"
+               "  \"unit\": \"ns_per_add\",\n"
+               "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"ddsketch\": %.2f, \"ddsketch_batch\": "
+                 "%.2f, \"ddsketch_fast\": %.2f, \"ddsketch_fast_batch\": "
+                 "%.2f, \"gkarray\": %.2f, \"hdr\": %.2f, \"moments\": "
+                 "%.2f}%s\n",
+                 r.n, r.dd, r.dd_batch, r.fast, r.fast_batch, r.gk, r.hdr,
+                 r.moments, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace dd::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dd;
   using namespace dd::bench;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::printf("=== Figure 8: average add time (ns/value), pareto data ===\n");
-  Table table({"n", "ddsketch", "ddsketch_fast", "gkarray", "hdr",
-               "moments"});
-  const size_t cap = FullScale() ? 100000000 : 10000000;
+  Table table({"n", "ddsketch", "ddsketch_batch", "ddsketch_fast",
+               "ddsketch_fast_batch", "gkarray", "hdr", "moments"});
+  const size_t cap =
+      SmokeScale() ? 1000000 : (FullScale() ? 100000000 : 10000000);
+  std::vector<Row> rows;
   for (size_t n = 100000; n <= cap; n *= 10) {
     const auto values = GenerateDataset(DatasetId::kPareto, n);
     auto dd = MakeDDSketch();
+    auto dd_batch = MakeDDSketch();
     auto fast = MakeDDSketchFast();
+    auto fast_batch = MakeDDSketchFast();
     auto gk = MakeGK();
     auto hdr = MakeHdrFor(DatasetId::kPareto);
     auto moments = MakeMoments();
-    const double t_dd = NsPerAdd(values, [&](double v) { dd.Add(v); });
-    const double t_fast = NsPerAdd(values, [&](double v) { fast.Add(v); });
-    const double t_gk = NsPerAdd(values, [&](double v) { gk.Add(v); });
-    const double t_hdr = NsPerAdd(values, [&](double v) { hdr.Record(v); });
-    const double t_mo = NsPerAdd(values, [&](double v) { moments.Add(v); });
-    table.AddRow({FmtInt(n), Fmt(t_dd, "%.1f"), Fmt(t_fast, "%.1f"),
-                  Fmt(t_gk, "%.1f"), Fmt(t_hdr, "%.1f"), Fmt(t_mo, "%.1f")});
+    Row row;
+    row.n = n;
+    row.dd = NsPerAdd(values, [&](double v) { dd.Add(v); });
+    row.dd_batch = NsPerBatchAdd(values, &dd_batch);
+    row.fast = NsPerAdd(values, [&](double v) { fast.Add(v); });
+    row.fast_batch = NsPerBatchAdd(values, &fast_batch);
+    row.gk = NsPerAdd(values, [&](double v) { gk.Add(v); });
+    row.hdr = NsPerAdd(values, [&](double v) { hdr.Record(v); });
+    row.moments = NsPerAdd(values, [&](double v) { moments.Add(v); });
+    rows.push_back(row);
+    table.AddRow({FmtInt(n), Fmt(row.dd, "%.1f"), Fmt(row.dd_batch, "%.1f"),
+                  Fmt(row.fast, "%.1f"), Fmt(row.fast_batch, "%.1f"),
+                  Fmt(row.gk, "%.1f"), Fmt(row.hdr, "%.1f"),
+                  Fmt(row.moments, "%.1f")});
   }
   table.Print("fig8_add_ns");
+  if (!json_path.empty()) WriteJson(json_path, rows);
   return 0;
 }

@@ -3,6 +3,7 @@
 // (paper): Moments fastest (k additions); DDSketch ~10us at fifty million
 // values; GKArray and HDR an order of magnitude slower.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>

@@ -37,6 +37,45 @@ void BM_DDSketchAdd_Cubic(benchmark::State& state) {
 }
 BENCHMARK(BM_DDSketchAdd_Cubic);
 
+// The seed insert path (virtual mapping + store dispatch per add),
+// pinned via DDSketchConfig::reference_insert_path: the baseline the
+// devirtualized path is measured against.
+void BM_DDSketchAdd_LogReference(benchmark::State& state) {
+  const auto data = TestData();
+  DDSketchConfig config;
+  config.relative_accuracy = kDDSketchAlpha;
+  config.max_num_buckets = kDDSketchMaxBuckets;
+  config.reference_insert_path = true;
+  auto sketch = std::move(DDSketch::Create(config)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(data[i++ & (data.size() - 1)]);
+  }
+}
+BENCHMARK(BM_DDSketchAdd_LogReference);
+
+void BM_DDSketchAddBatch_Log(benchmark::State& state) {
+  const auto data = TestData();
+  auto sketch = MakeDDSketch();
+  for (auto _ : state) {
+    sketch.AddBatch(data);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_DDSketchAddBatch_Log);
+
+void BM_DDSketchAddBatch_Cubic(benchmark::State& state) {
+  const auto data = TestData();
+  auto sketch = MakeDDSketchFast();
+  for (auto _ : state) {
+    sketch.AddBatch(data);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_DDSketchAddBatch_Cubic);
+
 void BM_DDSketchAdd_Sparse(benchmark::State& state) {
   const auto data = TestData();
   DDSketchConfig config;

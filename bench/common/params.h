@@ -49,6 +49,13 @@ inline bool FullScale() {
   return env != nullptr && env[0] == '1';
 }
 
+/// True when DD_BENCH_SMOKE=1: shrink the grids further (CI perf-smoke
+/// runs, which only track trends, not paper-scale curves).
+inline bool SmokeScale() {
+  const char* env = std::getenv("DD_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 /// n grid per data set (powers of ten, paper x-axes).
 inline std::vector<size_t> SizeGrid(DatasetId id) {
   const size_t cap = id == DatasetId::kPower

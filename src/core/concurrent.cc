@@ -34,6 +34,12 @@ void ConcurrentDDSketch::Add(double value, uint64_t count) noexcept {
   shard.sketch.Add(value, count);
 }
 
+void ConcurrentDDSketch::AddBatch(std::span<const double> values) noexcept {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sketch.AddBatch(values);
+}
+
 Status ConcurrentDDSketch::MergeFrom(const DDSketch& sketch) {
   Shard& shard = ShardForThisThread();
   std::lock_guard<std::mutex> lock(shard.mutex);

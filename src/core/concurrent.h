@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/ddsketch.h"
@@ -34,6 +35,10 @@ class ConcurrentDDSketch {
 
   /// Thread-safe add.
   void Add(double value, uint64_t count = 1) noexcept;
+
+  /// Thread-safe batch add: one lock acquisition and one
+  /// DDSketch::AddBatch pass for the whole span (vs. a lock per value).
+  void AddBatch(std::span<const double> values) noexcept;
 
   /// Thread-safe merge of a whole sketch (e.g. a decoded remote payload)
   /// into one shard.

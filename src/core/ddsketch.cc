@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace dd {
 namespace {
@@ -25,10 +26,24 @@ StoreType MirrorStoreType(StoreType type) {
 
 DDSketch::DDSketch(std::unique_ptr<IndexMapping> mapping,
                    std::unique_ptr<Store> positive,
-                   std::unique_ptr<Store> negative)
+                   std::unique_ptr<Store> negative,
+                   bool reference_insert_path)
     : mapping_(std::move(mapping)),
       positive_(std::move(positive)),
-      negative_(std::move(negative)) {}
+      negative_(std::move(negative)),
+      reference_insert_path_(reference_insert_path) {
+  BindInsertPath();
+}
+
+void DDSketch::BindInsertPath() noexcept {
+  fast_index_ = mapping_->fast_params();
+  positive_dense_ = nullptr;
+  negative_dense_ = nullptr;
+  if (!reference_insert_path_) {
+    positive_dense_ = dynamic_cast<DenseStore*>(positive_.get());
+    negative_dense_ = dynamic_cast<DenseStore*>(negative_.get());
+  }
+}
 
 Result<DDSketch> DDSketch::Create(const DDSketchConfig& config) {
   auto mapping = IndexMapping::Create(config.mapping, config.relative_accuracy);
@@ -39,7 +54,7 @@ Result<DDSketch> DDSketch::Create(const DDSketchConfig& config) {
       Store::Create(MirrorStoreType(config.store), config.max_num_buckets);
   if (!negative.ok()) return negative.status();
   return DDSketch(std::move(mapping).value(), std::move(positive).value(),
-                  std::move(negative).value());
+                  std::move(negative).value(), config.reference_insert_path);
 }
 
 Result<DDSketch> DDSketch::Create(double relative_accuracy,
@@ -59,11 +74,47 @@ DDSketch::DDSketch(const DDSketch& other)
       clamped_count_(other.clamped_count_),
       sum_(other.sum_),
       min_(other.min_),
-      max_(other.max_) {}
+      max_(other.max_),
+      reference_insert_path_(other.reference_insert_path_) {
+  BindInsertPath();  // the caches must alias OUR clones, not other's stores
+}
 
 DDSketch& DDSketch::operator=(const DDSketch& other) {
   if (this == &other) return *this;
   *this = DDSketch(other);  // copy-construct then move-assign
+  return *this;
+}
+
+DDSketch::DDSketch(DDSketch&& other) noexcept
+    : mapping_(std::move(other.mapping_)),
+      positive_(std::move(other.positive_)),
+      negative_(std::move(other.negative_)),
+      zero_count_(other.zero_count_),
+      rejected_count_(other.rejected_count_),
+      clamped_count_(other.clamped_count_),
+      sum_(other.sum_),
+      min_(other.min_),
+      max_(other.max_),
+      fast_index_(other.fast_index_),
+      positive_dense_(std::exchange(other.positive_dense_, nullptr)),
+      negative_dense_(std::exchange(other.negative_dense_, nullptr)),
+      reference_insert_path_(other.reference_insert_path_) {}
+
+DDSketch& DDSketch::operator=(DDSketch&& other) noexcept {
+  if (this == &other) return *this;
+  mapping_ = std::move(other.mapping_);
+  positive_ = std::move(other.positive_);
+  negative_ = std::move(other.negative_);
+  zero_count_ = other.zero_count_;
+  rejected_count_ = other.rejected_count_;
+  clamped_count_ = other.clamped_count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+  fast_index_ = other.fast_index_;
+  positive_dense_ = std::exchange(other.positive_dense_, nullptr);
+  negative_dense_ = std::exchange(other.negative_dense_, nullptr);
+  reference_insert_path_ = other.reference_insert_path_;
   return *this;
 }
 
@@ -74,18 +125,22 @@ void DDSketch::Add(double value, uint64_t count) noexcept {
     return;
   }
   double magnitude = std::abs(value);
-  if (magnitude < mapping_->min_indexable_value()) {
+  // fast_index_ snapshots the mapping's bounds, so classification reads no
+  // pointer and the common case pays no virtual call at all: FastIndex is
+  // an inline enum switch and TryAddFast a direct dense-slot increment.
+  if (magnitude < fast_index_.min_indexable) {
     zero_count_ += count;
   } else {
-    if (magnitude > mapping_->max_indexable_value()) {
-      magnitude = mapping_->max_indexable_value();
+    if (magnitude > fast_index_.max_indexable) {
+      magnitude = fast_index_.max_indexable;
       clamped_count_ += count;
     }
-    const int32_t index = mapping_->Index(magnitude);
-    if (value > 0) {
-      positive_->Add(index, count);
-    } else {
-      negative_->Add(index, count);
+    const int32_t index = FastIndex(fast_index_, magnitude);
+    DenseStore* const dense = value > 0 ? positive_dense_ : negative_dense_;
+    if (dense == nullptr || !dense->TryAddFast(index, count)) {
+      // Sparse store, reference path, or a dense store that must grow or
+      // collapse first: the generic virtual add.
+      (value > 0 ? positive_ : negative_)->Add(index, count);
     }
   }
   sum_ += value * static_cast<double>(count);
@@ -93,17 +148,147 @@ void DDSketch::Add(double value, uint64_t count) noexcept {
   max_ = std::max(max_, value);
 }
 
+namespace {
+
+/// Feeds a run of precomputed bucket indices into a dense store: the fast
+/// run primitive consumes everything it can; an index needing growth or
+/// collapse takes one virtual Add and the run resumes after it.
+void DrainIndexRun(DenseStore* dense, Store* store,
+                   std::span<const int32_t> indices) {
+  size_t consumed = 0;
+  while (consumed < indices.size()) {
+    consumed += dense->TryAddFastRun(indices.subspan(consumed));
+    if (consumed < indices.size()) {
+      store->Add(indices[consumed], 1);
+      ++consumed;
+    }
+  }
+}
+
+}  // namespace
+
+void DDSketch::AddBatch(std::span<const double> values) noexcept {
+  // Without dense stores on both signs (sparse config, or the pinned
+  // reference path) there is no fast store primitive to batch into.
+  if (positive_dense_ == nullptr || negative_dense_ == nullptr) {
+    for (const double value : values) Add(value, 1);
+    return;
+  }
+  // One scheme dispatch for the whole batch; the loops below then inline
+  // the index computation with no per-value dispatch of any kind.
+  switch (fast_index_.type) {
+    case MappingType::kLinearInterpolated:
+      return AddBatchFast<MappingType::kLinearInterpolated>(values);
+    case MappingType::kQuadraticInterpolated:
+      return AddBatchFast<MappingType::kQuadraticInterpolated>(values);
+    case MappingType::kCubicInterpolated:
+      return AddBatchFast<MappingType::kCubicInterpolated>(values);
+    case MappingType::kLogarithmic:
+    default:
+      return AddBatchFast<MappingType::kLogarithmic>(values);
+  }
+}
+
+template <MappingType kType>
+void DDSketch::AddBatchFast(std::span<const double> values) noexcept {
+  // Three phases per chunk, so each concern runs as its own tight loop:
+  //  1. classify each value, computing its bucket index into a stack
+  //     buffer (one per sign) and compacting accepted values into a third;
+  //  2. drain each index buffer into its dense store, which keeps the
+  //     count/extreme bookkeeping in registers for the whole run rather
+  //     than a memory round trip per value;
+  //  3. reduce sum/min/max over the accepted buffer with interleaved
+  //     accumulators, off the critical path of the classification loop
+  //     (a single serial sum chain would otherwise bound the whole batch
+  //     at FP-add latency per value).
+  // Anything outside the plain in-range case — NaN/inf, zero-bucket,
+  // clamped magnitudes — detours through scalar Add, which maintains
+  // every counter. Bucket counters make the store content insensitive to
+  // the reordering between a detour and its chunk-mates (same argument
+  // as merge order independence); the interleaved summation makes sum()
+  // order-insensitive only up to floating-point rounding, which is all
+  // MergeFrom ever promised for it.
+  constexpr size_t kChunk = 512;
+  int32_t pos_idx[kChunk];
+  int32_t neg_idx[kChunk];
+  double accepted[kChunk];
+  const double lo_bound = fast_index_.min_indexable;
+  const double hi_bound = fast_index_.max_indexable;
+  const double multiplier = fast_index_.multiplier;
+  double sum0 = 0.0, sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+  double lo0 = min_, lo1 = min_, hi0 = max_, hi1 = max_;
+  for (size_t base = 0; base < values.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, values.size() - base);
+    size_t np = 0, nn = 0, na = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double value = values[base + i];
+      const double magnitude = std::abs(value);
+      // One predicate covers every special case: NaN fails both
+      // compares, +/-inf and clamped magnitudes the second, zero-bucket
+      // values the first.
+      if (!(magnitude >= lo_bound && magnitude <= hi_bound)) {
+        Add(value, 1);
+        continue;
+      }
+      const int32_t index = FastIndexT<kType>(multiplier, magnitude);
+      if (value > 0) {
+        pos_idx[np++] = index;
+      } else {
+        neg_idx[nn++] = index;
+      }
+      accepted[na++] = value;
+    }
+    DrainIndexRun(positive_dense_, positive_.get(), {pos_idx, np});
+    DrainIndexRun(negative_dense_, negative_.get(), {neg_idx, nn});
+    size_t i = 0;
+    for (; i + 4 <= na; i += 4) {
+      sum0 += accepted[i];
+      sum1 += accepted[i + 1];
+      sum2 += accepted[i + 2];
+      sum3 += accepted[i + 3];
+      lo0 = accepted[i] < lo0 ? accepted[i] : lo0;
+      hi0 = accepted[i] > hi0 ? accepted[i] : hi0;
+      lo1 = accepted[i + 1] < lo1 ? accepted[i + 1] : lo1;
+      hi1 = accepted[i + 1] > hi1 ? accepted[i + 1] : hi1;
+      lo0 = accepted[i + 2] < lo0 ? accepted[i + 2] : lo0;
+      hi0 = accepted[i + 2] > hi0 ? accepted[i + 2] : hi0;
+      lo1 = accepted[i + 3] < lo1 ? accepted[i + 3] : lo1;
+      hi1 = accepted[i + 3] > hi1 ? accepted[i + 3] : hi1;
+    }
+    for (; i < na; ++i) {
+      sum0 += accepted[i];
+      lo0 = accepted[i] < lo0 ? accepted[i] : lo0;
+      hi0 = accepted[i] > hi0 ? accepted[i] : hi0;
+    }
+  }
+  sum_ += ((sum0 + sum1) + (sum2 + sum3));
+  // Merge, don't overwrite: scalar Add detours above may have advanced
+  // min_/max_ past this loop's local view.
+  min_ = std::min(std::min(min_, lo0), lo1);
+  max_ = std::max(std::max(max_, hi0), hi1);
+}
+
 uint64_t DDSketch::Remove(double value, uint64_t count) noexcept {
   if (count == 0 || !std::isfinite(value)) return 0;
-  const double magnitude = std::abs(value);
+  double magnitude = std::abs(value);
   uint64_t removed = 0;
-  if (magnitude < mapping_->min_indexable_value()) {
+  if (magnitude < fast_index_.min_indexable) {
     removed = std::min(zero_count_, count);
     zero_count_ -= removed;
-  } else if (magnitude <= mapping_->max_indexable_value()) {
-    const int32_t index = mapping_->Index(magnitude);
+  } else {
+    // Mirror Add's clamping: a magnitude beyond the indexable maximum was
+    // redirected into the extreme bucket on the way in, so that is where
+    // it must be removed from — and it gives back its clamped_count.
+    // (Before this, such values could never be removed at all, leaving
+    // clamped_count() permanently inflated relative to count().)
+    const bool clamped = magnitude > fast_index_.max_indexable;
+    if (clamped) magnitude = fast_index_.max_indexable;
+    const int32_t index = FastIndex(fast_index_, magnitude);
     removed = (value > 0) ? positive_->Remove(index, count)
                           : negative_->Remove(index, count);
+    if (clamped) {
+      clamped_count_ -= std::min(clamped_count_, removed);
+    }
   }
   if (removed > 0) {
     sum_ -= value * static_cast<double>(removed);

@@ -49,6 +49,11 @@ struct DDSketchConfig {
   /// kUnboundedDense). 2048 covers ~80 microseconds to ~1 year at
   /// alpha = 0.01 (§2.2).
   int32_t max_num_buckets = 2048;
+  /// Forces every insert through the generic virtual Store::Add instead of
+  /// the devirtualized dense fast path. Semantics are identical either
+  /// way; this knob exists so differential tests (and perf comparisons)
+  /// can pin the two paths against each other.
+  bool reference_insert_path = false;
 };
 
 /// The quantile sketch. Not thread-safe; use one sketch per thread and
@@ -62,8 +67,12 @@ class DDSketch {
   static Result<DDSketch> Create(double relative_accuracy,
                                  int32_t max_num_buckets = 2048);
 
-  DDSketch(DDSketch&&) noexcept = default;
-  DDSketch& operator=(DDSketch&&) noexcept = default;
+  // User-provided moves: the insert-path caches must be cleared on the
+  // moved-from object — a defaulted move would leave them aliasing the
+  // stores now owned by the destination, so a (misguided) Add on the
+  // source would corrupt the destination instead of faulting.
+  DDSketch(DDSketch&& other) noexcept;
+  DDSketch& operator=(DDSketch&& other) noexcept;
   DDSketch(const DDSketch& other);
   DDSketch& operator=(const DDSketch& other);
 
@@ -76,10 +85,25 @@ class DDSketch {
   /// Adds `count` occurrences of `value`.
   void Add(double value, uint64_t count) noexcept;
 
+  /// Adds every value of `values`: the batch form of Add with identical
+  /// semantics (same rejection/zero-bucket/clamp handling) but a hot loop
+  /// that hoists the indexable bounds, computes indices with zero virtual
+  /// dispatch, increments dense-store slots directly, and reduces
+  /// sum/min/max in registers. The whole ingest stack
+  /// (ConcurrentDDSketch, SketchStore, DurableSketchStore, sketchd's
+  /// committer) funnels value batches through here.
+  void AddBatch(std::span<const double> values) noexcept;
+
   /// Removes up to `count` occurrences of `value`; returns how many were
   /// removed. Deletion mirrors Add bucket-wise (paper §2: "straightforward
-  /// to insert items into this sketch as well as delete items"). min()/max()
-  /// become conservative bounds after deletions.
+  /// to insert items into this sketch as well as delete items"), including
+  /// Add's clamping: magnitudes above the indexable maximum remove from
+  /// the extreme bucket and give back their clamped_count(). min()/max()
+  /// become conservative bounds after deletions. Caveat: values sharing a
+  /// bucket are indistinguishable, so removing clamped mass can charge
+  /// clamped_count() for unclamped same-bucket mass (and vice versa) —
+  /// the counter is a best-effort diagnostic, exact whenever the extreme
+  /// bucket holds only clamped values.
   uint64_t Remove(double value, uint64_t count = 1) noexcept;
 
   /// The q-quantile estimate (lower quantile, rank floor(1 + q(n-1))).
@@ -172,7 +196,21 @@ class DDSketch {
   friend class DDSketchCodec;
 
   DDSketch(std::unique_ptr<IndexMapping> mapping,
-           std::unique_ptr<Store> positive, std::unique_ptr<Store> negative);
+           std::unique_ptr<Store> positive, std::unique_ptr<Store> negative,
+           bool reference_insert_path);
+
+  /// (Re)derives the insert-path caches from mapping_/positive_/negative_:
+  /// the mapping constants and, when the stores are dense and the fast
+  /// path is enabled, raw DenseStore pointers for direct slot increments.
+  /// Must run whenever the owned mapping/stores are (re)created — the
+  /// cached pointers alias them.
+  void BindInsertPath() noexcept;
+
+  /// The sealed batch insert loop, instantiated per mapping scheme so the
+  /// index computation inlines with zero dispatch of any kind (AddBatch
+  /// switches on the scheme once per call).
+  template <MappingType kType>
+  void AddBatchFast(std::span<const double> values) noexcept;
 
   std::unique_ptr<IndexMapping> mapping_;
   std::unique_ptr<Store> positive_;
@@ -183,6 +221,13 @@ class DDSketch {
   double sum_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  // Insert hot-path caches (see BindInsertPath). Moves keep them valid —
+  // the pointees are heap objects owned by the unique_ptrs above; copies
+  // rebind them to the cloned stores.
+  FastIndexParams fast_index_;
+  DenseStore* positive_dense_ = nullptr;  // null: sparse store or reference path
+  DenseStore* negative_dense_ = nullptr;
+  bool reference_insert_path_ = false;
 };
 
 }  // namespace dd

@@ -9,13 +9,14 @@
 namespace dd {
 namespace {
 
-// Polynomial coefficients for the interpolated mappings. Each P maps
-// [0, 1] -> [0, 1] monotonically with P(0)=0, P(1)=1 and approximates
-// log2(1+u). The bucket-count overhead factor of an approximation is
+// Polynomial coefficients for the interpolated mappings (shared with the
+// insert fast path as dd::log2poly, mapping.h). Each P maps [0, 1] -> [0, 1]
+// monotonically with P(0)=0, P(1)=1 and approximates log2(1+u). The
+// bucket-count overhead factor of an approximation is
 //   c = max_{u in [0,1)} 1 / ((1+u) * ln2 * P'(u)),
 // i.e. how much the worst-case derivative of true log2 w.r.t. the
-// approximate log exceeds 1. The coefficients below maximize
-// min (1+u) P'(u) subject to P(1)=1 within their degree class:
+// approximate log exceeds 1. The coefficients maximize min (1+u) P'(u)
+// subject to P(1)=1 within their degree class:
 //
 //   linear     P(u) = u                          min (1+u)P'(u) = 1
 //   quadratic  P(u) = (4u - u^2) / 3             min = 4/3
@@ -23,10 +24,6 @@ namespace {
 //
 // giving overheads c = 1/ln2 (~1.4427), 3/(4 ln2) (~1.0820) and
 // 7/(10 ln2) (~1.0096) respectively.
-constexpr double kCubicA = 6.0 / 35.0;
-constexpr double kCubicB = -3.0 / 5.0;
-constexpr double kCubicC = 10.0 / 7.0;
-
 constexpr double kLn2 = 0.6931471805599453;
 
 double SafeMaxIndexable(double gamma) {
@@ -39,6 +36,8 @@ double SafeMinIndexable() {
   // of the interpolated mappings are exact.
   return std::numeric_limits<double>::min() * 4.0;
 }
+
+double Gamma(double alpha) { return (1.0 + alpha) / (1.0 - alpha); }
 
 }  // namespace
 
@@ -56,12 +55,12 @@ const char* MappingTypeToString(MappingType type) {
   return "unknown";
 }
 
-IndexMapping::IndexMapping(double relative_accuracy, double min_indexable,
+IndexMapping::IndexMapping(MappingType type, double relative_accuracy,
+                           double multiplier, double min_indexable,
                            double max_indexable) noexcept
-    : relative_accuracy_(relative_accuracy),
-      gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
-      min_indexable_(min_indexable),
-      max_indexable_(max_indexable) {}
+    : params_{type, multiplier, min_indexable, max_indexable},
+      relative_accuracy_(relative_accuracy),
+      gamma_(Gamma(relative_accuracy)) {}
 
 namespace {
 
@@ -70,21 +69,10 @@ namespace {
 class LogarithmicMapping final : public IndexMapping {
  public:
   explicit LogarithmicMapping(double alpha)
-      : IndexMapping(alpha, SafeMinIndexable(),
-                     SafeMaxIndexable((1.0 + alpha) / (1.0 - alpha))),
-        log_gamma_(std::log1p(2.0 * alpha / (1.0 - alpha))),
-        multiplier_(1.0 / log_gamma_) {}
-
-  int32_t Index(double value) const noexcept override {
-    return static_cast<int32_t>(std::ceil(std::log(value) * multiplier_));
-  }
+      : LogarithmicMapping(alpha, std::log1p(2.0 * alpha / (1.0 - alpha))) {}
 
   double LowerBound(int32_t index) const noexcept override {
     return std::exp((static_cast<double>(index) - 1.0) * log_gamma_);
-  }
-
-  MappingType type() const noexcept override {
-    return MappingType::kLogarithmic;
   }
 
   std::unique_ptr<IndexMapping> Clone() const override {
@@ -92,32 +80,35 @@ class LogarithmicMapping final : public IndexMapping {
   }
 
  private:
+  // Delegation computes log(gamma) once: it both seeds the insert-path
+  // multiplier (its reciprocal) and stays around for LowerBound.
+  LogarithmicMapping(double alpha, double log_gamma)
+      : IndexMapping(MappingType::kLogarithmic, alpha,
+                     /*multiplier=*/1.0 / log_gamma, SafeMinIndexable(),
+                     SafeMaxIndexable(Gamma(alpha))),
+        log_gamma_(log_gamma) {}
+
   double log_gamma_;
-  double multiplier_;
 };
 
 /// Common machinery for the "fast" mappings: an approximate log2
 /// l(x) = exponent(x) + P(significand(x) - 1), evaluated with pure bit
 /// extraction plus a small polynomial, and a multiplier inflated by the
-/// overhead factor c so the alpha guarantee still holds.
+/// overhead factor c so the alpha guarantee still holds. The forward
+/// direction (Index) lives entirely in FastIndex (mapping.h); subclasses
+/// only supply the inverse polynomial for the query side.
 template <typename Derived>
 class InterpolatedMapping : public IndexMapping {
  public:
-  InterpolatedMapping(double alpha, double overhead)
-      : IndexMapping(alpha, SafeMinIndexable(),
-                     SafeMaxIndexable((1.0 + alpha) / (1.0 - alpha))),
-        multiplier_(overhead / std::log2(gamma())) {}
-
-  int32_t Index(double value) const noexcept override {
-    const double approx_log2 =
-        static_cast<double>(GetExponent(value)) +
-        Derived::Poly(GetSignificandPlusOne(value) - 1.0);
-    return static_cast<int32_t>(std::ceil(approx_log2 * multiplier_));
-  }
+  InterpolatedMapping(MappingType type, double alpha, double overhead)
+      : IndexMapping(type, alpha,
+                     /*multiplier=*/overhead / std::log2(Gamma(alpha)),
+                     SafeMinIndexable(), SafeMaxIndexable(Gamma(alpha))) {}
 
   double LowerBound(int32_t index) const noexcept override {
     // Bucket i covers approx-log2 values in ((i-1)/m, i/m].
-    const double t = (static_cast<double>(index) - 1.0) / multiplier_;
+    const double t =
+        (static_cast<double>(index) - 1.0) / fast_params().multiplier;
     const double e = std::floor(t);
     const double u = Derived::PolyInverse(t - e);
     return std::ldexp(1.0 + u, static_cast<int>(e));
@@ -126,39 +117,28 @@ class InterpolatedMapping : public IndexMapping {
   std::unique_ptr<IndexMapping> Clone() const override {
     return std::make_unique<Derived>(relative_accuracy());
   }
-
- private:
-  double multiplier_;
 };
 
 class LinearInterpolatedMapping final
     : public InterpolatedMapping<LinearInterpolatedMapping> {
  public:
   explicit LinearInterpolatedMapping(double alpha)
-      : InterpolatedMapping(alpha, /*overhead=*/1.0 / kLn2) {}
+      : InterpolatedMapping(MappingType::kLinearInterpolated, alpha,
+                            /*overhead=*/1.0 / kLn2) {}
 
-  static double Poly(double u) noexcept { return u; }
   static double PolyInverse(double w) noexcept { return w; }
-
-  MappingType type() const noexcept override {
-    return MappingType::kLinearInterpolated;
-  }
 };
 
 class QuadraticInterpolatedMapping final
     : public InterpolatedMapping<QuadraticInterpolatedMapping> {
  public:
   explicit QuadraticInterpolatedMapping(double alpha)
-      : InterpolatedMapping(alpha, /*overhead=*/3.0 / (4.0 * kLn2)) {}
+      : InterpolatedMapping(MappingType::kQuadraticInterpolated, alpha,
+                            /*overhead=*/3.0 / (4.0 * kLn2)) {}
 
-  static double Poly(double u) noexcept { return (4.0 - u) * u / 3.0; }
   // Solve (4u - u^2)/3 = w for u in [0,1]: u^2 - 4u + 3w = 0.
   static double PolyInverse(double w) noexcept {
     return 2.0 - std::sqrt(4.0 - 3.0 * w);
-  }
-
-  MappingType type() const noexcept override {
-    return MappingType::kQuadraticInterpolated;
   }
 };
 
@@ -166,11 +146,8 @@ class CubicInterpolatedMapping final
     : public InterpolatedMapping<CubicInterpolatedMapping> {
  public:
   explicit CubicInterpolatedMapping(double alpha)
-      : InterpolatedMapping(alpha, /*overhead=*/7.0 / (10.0 * kLn2)) {}
-
-  static double Poly(double u) noexcept {
-    return ((kCubicA * u + kCubicB) * u + kCubicC) * u;
-  }
+      : InterpolatedMapping(MappingType::kCubicInterpolated, alpha,
+                            /*overhead=*/7.0 / (10.0 * kLn2)) {}
 
   // Inverts the monotone cubic on [0,1] by Newton iteration. P' >= 26/35 on
   // [0,1], so convergence is quadratic from any interior start; this is only
@@ -178,8 +155,10 @@ class CubicInterpolatedMapping final
   static double PolyInverse(double w) noexcept {
     double u = w;  // P is close to the identity; w is an excellent start
     for (int iter = 0; iter < 32; ++iter) {
-      const double f = Poly(u) - w;
-      const double fp = (3.0 * kCubicA * u + 2.0 * kCubicB) * u + kCubicC;
+      const double f = log2poly::Cubic(u) - w;
+      const double fp = (3.0 * log2poly::kCubicA * u + 2.0 * log2poly::kCubicB) *
+                            u +
+                        log2poly::kCubicC;
       const double step = f / fp;
       u -= step;
       if (std::abs(step) < 1e-16) break;
@@ -187,10 +166,6 @@ class CubicInterpolatedMapping final
     if (u < 0.0) u = 0.0;
     if (u > 1.0) u = 1.0;
     return u;
-  }
-
-  MappingType type() const noexcept override {
-    return MappingType::kCubicInterpolated;
   }
 };
 

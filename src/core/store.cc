@@ -35,6 +35,21 @@ const char* StoreTypeToString(StoreType type) {
 // Store (generic fallbacks)
 // ---------------------------------------------------------------------------
 
+bool Store::ForEachDescending(BucketVisitor fn) const {
+  // Collect ascending, then walk from the top. Dense and sparse stores
+  // override with direct reverse scans; this fallback only serves
+  // third-party Store implementations.
+  std::vector<std::pair<int32_t, uint64_t>> buckets;
+  buckets.reserve(num_buckets());
+  ForEach([&](int32_t index, uint64_t count) {
+    buckets.emplace_back(index, count);
+  });
+  for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
+    if (!fn(it->first, it->second)) return false;
+  }
+  return true;
+}
+
 void Store::MergeFrom(const Store& other) {
   other.ForEach([this](int32_t index, uint64_t count) { Add(index, count); });
 }
@@ -44,13 +59,15 @@ int32_t Store::KeyAtRank(double rank) const noexcept {
   uint64_t cum = 0;
   int32_t result = 0;
   bool found = false;
-  ForEach([&](int32_t index, uint64_t count) {
-    if (found) return;
+  // Early-terminating walk: no bucket past the answering one is visited.
+  ForEach([&](int32_t index, uint64_t count) -> bool {
     cum += count;
     if (static_cast<double>(cum) > rank) {
       result = index;
       found = true;
+      return false;
     }
+    return true;
   });
   if (!found) result = max_index();
   return result;
@@ -58,25 +75,25 @@ int32_t Store::KeyAtRank(double rank) const noexcept {
 
 int32_t Store::KeyAtRankDescending(double rank) const noexcept {
   assert(!empty());
-  // Collect ascending, then scan from the top. Only the sparse store uses
-  // this fallback; dense stores override with a direct reverse scan.
-  std::vector<std::pair<int32_t, uint64_t>> buckets;
-  buckets.reserve(num_buckets());
-  ForEach([&](int32_t index, uint64_t count) {
-    buckets.emplace_back(index, count);
-  });
   uint64_t cum = 0;
-  for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
-    cum += it->second;
-    if (static_cast<double>(cum) > rank) return it->first;
-  }
-  return buckets.front().first;
+  int32_t result = min_index();
+  ForEachDescending([&](int32_t index, uint64_t count) -> bool {
+    cum += count;
+    if (static_cast<double>(cum) > rank) {
+      result = index;
+      return false;
+    }
+    return true;
+  });
+  return result;
 }
 
 uint64_t Store::CumulativeCount(int32_t index) const noexcept {
   uint64_t cum = 0;
-  ForEach([&](int32_t i, uint64_t count) {
-    if (i <= index) cum += count;
+  ForEach([&](int32_t i, uint64_t count) -> bool {
+    if (i > index) return false;  // ascending: nothing further can count
+    cum += count;
+    return true;
   });
   return cum;
 }
@@ -140,6 +157,17 @@ void DenseStore::MergeFrom(const Store& other) {
   if (other.empty()) return;
   const auto* dense = dynamic_cast<const DenseStore*>(&other);
   if (dense != nullptr) {
+    if (dense->has_collapsed_ && dense->type() == type()) {
+      // The source's folded mass arrives at the source's fold bucket:
+      // keep the Remove redirect active on the merged store. Only for a
+      // source folding in the same direction — a mirror-type source's
+      // fold bucket sits on the wrong side of our window, and adopting
+      // it would redirect never-added indices into live buckets. When
+      // both sides have folded the mass sits in two buckets; keep our
+      // own fold bucket (where our mass is) as the best-effort target.
+      if (!has_collapsed_) fold_index_ = dense->fold_index_;
+      has_collapsed_ = true;
+    }
     const int32_t lo = total_count_ == 0
                            ? dense->min_index_
                            : std::min(min_index_, dense->min_index_);
@@ -177,6 +205,10 @@ void DenseStore::Add(int32_t index, uint64_t count) {
 
 uint64_t DenseStore::Remove(int32_t index, uint64_t count) {
   if (count == 0 || total_count_ == 0) return 0;
+  // Mirror Add's collapse redirect: a value folded into the boundary
+  // bucket must be removed from the boundary bucket, not from its
+  // (empty, possibly never-allocated) original index.
+  index = RemoveTarget(index);
   if (index < min_index_ || index > max_index_) return 0;
   uint64_t& bucket = counts_[static_cast<size_t>(index - offset_)];
   const uint64_t removed = std::min(bucket, count);
@@ -213,13 +245,22 @@ size_t DenseStore::num_buckets() const noexcept {
   return n;
 }
 
-void DenseStore::ForEach(
-    const std::function<void(int32_t, uint64_t)>& fn) const {
-  if (total_count_ == 0) return;
+bool DenseStore::ForEach(BucketVisitor fn) const {
+  if (total_count_ == 0) return true;
   for (int32_t i = min_index_; i <= max_index_; ++i) {
     const uint64_t c = counts_[static_cast<size_t>(i - offset_)];
-    if (c > 0) fn(i, c);
+    if (c > 0 && !fn(i, c)) return false;
   }
+  return true;
+}
+
+bool DenseStore::ForEachDescending(BucketVisitor fn) const {
+  if (total_count_ == 0) return true;
+  for (int32_t i = max_index_; i >= min_index_; --i) {
+    const uint64_t c = counts_[static_cast<size_t>(i - offset_)];
+    if (c > 0 && !fn(i, c)) return false;
+  }
+  return true;
 }
 
 int32_t DenseStore::KeyAtRank(double rank) const noexcept {
@@ -260,6 +301,7 @@ void DenseStore::Clear() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_count_ = 0;
   min_index_ = max_index_ = 0;
+  has_collapsed_ = false;  // a cleared store has lost nothing
 }
 
 // ---------------------------------------------------------------------------
@@ -288,6 +330,7 @@ size_t CollapsingLowestDenseStore::SlotFor(int32_t index) {
   }
   has_collapsed_ = true;
   const int32_t new_min = hi - max_num_buckets_ + 1;
+  fold_index_ = new_min;  // Remove's redirect target (see RemoveTarget)
   if (index <= new_min) {
     // Incoming value is at or below the fold boundary: redirect it there.
     Extend(new_min, hi);
@@ -329,6 +372,7 @@ size_t CollapsingHighestDenseStore::SlotFor(int32_t index) {
   }
   has_collapsed_ = true;
   const int32_t new_max = lo + max_num_buckets_ - 1;
+  fold_index_ = new_max;
   if (index >= new_max) {
     Extend(lo, new_max);
     return static_cast<size_t>(new_max - offset_);
@@ -393,9 +437,18 @@ int32_t SparseStore::max_index() const noexcept {
   return counts_.rbegin()->first;
 }
 
-void SparseStore::ForEach(
-    const std::function<void(int32_t, uint64_t)>& fn) const {
-  for (const auto& [index, count] : counts_) fn(index, count);
+bool SparseStore::ForEach(BucketVisitor fn) const {
+  for (const auto& [index, count] : counts_) {
+    if (!fn(index, count)) return false;
+  }
+  return true;
+}
+
+bool SparseStore::ForEachDescending(BucketVisitor fn) const {
+  for (auto it = counts_.rbegin(); it != counts_.rend(); ++it) {
+    if (!fn(it->first, it->second)) return false;
+  }
+  return true;
 }
 
 size_t SparseStore::size_in_bytes() const noexcept {

@@ -24,14 +24,21 @@
 //
 // All stores are fully mergeable with any other store holding the same
 // index space (merging iterates (index, count) pairs).
+//
+// Iteration uses BucketVisitor, a non-owning function_ref: callers pass any
+// callable (no std::function allocation) and may return false to stop the
+// walk early — which is what lets the generic rank queries (KeyAtRank,
+// Algorithm 2) stop at the answering bucket instead of scanning the tail.
 
 #ifndef DDSKETCH_CORE_STORE_H_
 #define DDSKETCH_CORE_STORE_H_
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "util/status.h"
@@ -49,6 +56,39 @@ enum class StoreType : uint8_t {
 /// Returns a stable human-readable name ("dense", "collapsing_lowest", ...).
 const char* StoreTypeToString(StoreType type);
 
+/// Non-owning view of a bucket callback: fn(index, count) returning either
+/// void (visit everything) or bool (false stops the walk). A trivial
+/// {context, trampoline} pair — no allocation, no virtual templates —
+/// valid only for the duration of the call it is passed to.
+class BucketVisitor {
+ public:
+  template <typename Fn,
+            typename = std::enable_if_t<
+                std::is_invocable_v<Fn&, int32_t, uint64_t> &&
+                !std::is_same_v<std::decay_t<Fn>, BucketVisitor>>>
+  BucketVisitor(Fn&& fn) noexcept  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* ctx, int32_t index, uint64_t count) -> bool {
+          using F = std::remove_reference_t<Fn>;
+          if constexpr (std::is_void_v<
+                            std::invoke_result_t<F&, int32_t, uint64_t>>) {
+            (*static_cast<F*>(ctx))(index, count);
+            return true;
+          } else {
+            return (*static_cast<F*>(ctx))(index, count);
+          }
+        }) {}
+
+  /// Returns false when the walk should stop.
+  bool operator()(int32_t index, uint64_t count) const {
+    return call_(ctx_, index, count);
+  }
+
+ private:
+  void* ctx_;
+  bool (*call_)(void*, int32_t, uint64_t);
+};
+
 /// A multiset of integer bucket indices with 64-bit counts.
 class Store {
  public:
@@ -61,9 +101,15 @@ class Store {
 
   /// Removes up to `count` from bucket `index`; returns the number actually
   /// removed (0 if the bucket is empty or out of range). Supports the
-  /// paper's "delete items" operation; deleting a value that was previously
-  /// folded by a collapse is not tracked (same caveat as the paper's
-  /// collapsed quantiles).
+  /// paper's "delete items" operation. Collapsing dense stores that have
+  /// folded redirect beyond-the-fold indices to the most recent fold
+  /// bucket — where folded mass actually sits — so a value whose Add was
+  /// folded can be removed. Best-effort, like collapsed quantiles: mass
+  /// folded under an older boundary that later shifted may be missed.
+  /// Fold history is runtime state — it survives Clone() and MergeFrom()
+  /// but is not serialized (the wire format carries bucket contents
+  /// only), so a deserialized store conservatively rejects removals of
+  /// previously folded mass (returns 0; it never drains a wrong bucket).
   virtual uint64_t Remove(int32_t index, uint64_t count) = 0;
 
   /// Total count across all buckets.
@@ -81,9 +127,14 @@ class Store {
   virtual size_t num_buckets() const noexcept = 0;
 
   /// Calls `fn(index, count)` for every non-empty bucket in ascending
-  /// index order.
-  virtual void ForEach(
-      const std::function<void(int32_t, uint64_t)>& fn) const = 0;
+  /// index order, stopping early when `fn` returns false. Returns false
+  /// iff the walk was stopped.
+  virtual bool ForEach(BucketVisitor fn) const = 0;
+
+  /// ForEach in descending index order (the negative sketch's value
+  /// order). Generic fallback buffers the buckets; dense and sparse
+  /// stores override with direct reverse scans.
+  virtual bool ForEachDescending(BucketVisitor fn) const;
 
   /// Adds every (index, count) of `other` into this store, collapsing as
   /// needed (Algorithm 4). Works across store implementations.
@@ -91,7 +142,8 @@ class Store {
 
   /// The smallest index i such that the cumulative count of buckets
   /// <= i strictly exceeds `rank` (0-based). Precondition: !empty() and
-  /// rank < total_count(). This is the scan of Algorithm 2.
+  /// rank < total_count(). This is the scan of Algorithm 2; it stops at
+  /// the answering bucket.
   virtual int32_t KeyAtRank(double rank) const noexcept;
 
   /// Like KeyAtRank but scanning downward from the highest index: the
@@ -132,6 +184,62 @@ class Store {
 class DenseStore : public Store {
  public:
   void Add(int32_t index, uint64_t count) override;
+
+  /// The branchless in-range fast path of Add, non-virtual and inline so
+  /// DDSketch's devirtualized insert can call it directly: succeeds iff
+  /// `index` lands in the already-allocated array without growing it or
+  /// collapsing (the steady state once the working span is warm), doing
+  /// exactly what Add would do in that case. Returns false — with the
+  /// store untouched — when the caller must fall back to virtual Add.
+  bool TryAddFast(int32_t index, uint64_t count) noexcept {
+    const int64_t slot = static_cast<int64_t>(index) - offset_;
+    if (total_count_ == 0 || slot < 0 ||
+        slot >= static_cast<int64_t>(counts_.size())) {
+      return false;
+    }
+    // Conditional moves, not branches: min/max tracking and the span-cap
+    // check compile without a data-dependent jump.
+    const int32_t lo = index < min_index_ ? index : min_index_;
+    const int32_t hi = index > max_index_ ? index : max_index_;
+    if (static_cast<int64_t>(hi) - lo >= span_cap_) return false;
+    counts_[static_cast<size_t>(slot)] += count;
+    total_count_ += count;
+    min_index_ = lo;
+    max_index_ = hi;
+    return true;
+  }
+
+  /// The batch form of TryAddFast: adds 1 to each bucket of `indices` in
+  /// order, keeping the count/extreme bookkeeping in registers for the
+  /// whole run instead of round-tripping it through memory per value.
+  /// Stops at the first index that would need growth or collapse and
+  /// returns how many indices were consumed; the caller routes that one
+  /// through virtual Add and resumes.
+  size_t TryAddFastRun(std::span<const int32_t> indices) noexcept {
+    if (total_count_ == 0) return 0;
+    const int64_t cap = span_cap_;
+    const int64_t offset = offset_;
+    const int64_t slots = static_cast<int64_t>(counts_.size());
+    uint64_t* const counts = counts_.data();
+    int32_t lo = min_index_, hi = max_index_;
+    size_t i = 0;
+    for (; i < indices.size(); ++i) {
+      const int32_t index = indices[i];
+      const int64_t slot = static_cast<int64_t>(index) - offset;
+      if (slot < 0 || slot >= slots) break;
+      const int32_t nlo = index < lo ? index : lo;
+      const int32_t nhi = index > hi ? index : hi;
+      if (static_cast<int64_t>(nhi) - nlo >= cap) break;
+      ++counts[slot];
+      lo = nlo;
+      hi = nhi;
+    }
+    total_count_ += i;
+    min_index_ = lo;
+    max_index_ = hi;
+    return i;
+  }
+
   /// Dense-to-dense merges add the counter arrays directly (one pass, no
   /// per-bucket virtual dispatch) whenever the combined span fits without
   /// collapsing; otherwise falls back to the generic bucket walk.
@@ -141,8 +249,8 @@ class DenseStore : public Store {
   int32_t min_index() const noexcept override;
   int32_t max_index() const noexcept override;
   size_t num_buckets() const noexcept override;
-  void ForEach(
-      const std::function<void(int32_t, uint64_t)>& fn) const override;
+  bool ForEach(BucketVisitor fn) const override;
+  bool ForEachDescending(BucketVisitor fn) const override;
   int32_t KeyAtRank(double rank) const noexcept override;
   int32_t KeyAtRankDescending(double rank) const noexcept override;
   uint64_t CumulativeCount(int32_t index) const noexcept override;
@@ -154,6 +262,11 @@ class DenseStore : public Store {
   /// a negative return means the add must be redirected to the slot
   /// ~returned (collapsed boundary bucket).
   virtual size_t SlotFor(int32_t index) = 0;
+
+  /// Where Remove must look for `index` given the current collapse state:
+  /// collapsing stores redirect indices beyond the fold boundary to the
+  /// boundary bucket, exactly mirroring where Add would land them now.
+  virtual int32_t RemoveTarget(int32_t index) const noexcept { return index; }
 
   /// Grows `counts_` so that [new_min, new_max] fits, preserving contents.
   void Extend(int32_t new_min, int32_t new_max);
@@ -170,6 +283,22 @@ class DenseStore : public Store {
   uint64_t total_count_ = 0;
   int32_t min_index_ = 0;       // valid iff total_count_ > 0
   int32_t max_index_ = 0;       // valid iff total_count_ > 0
+  // Whether any add has ever been folded since construction or Clear();
+  // set by the collapsing subclasses' SlotFor, reset by Clear() (which is
+  // why it lives here), always false for the unbounded store. Gates the
+  // Remove fold redirect: only a store that actually lost information may
+  // redirect beyond-the-fold removals into the boundary bucket.
+  bool has_collapsed_ = false;
+  // The boundary bucket of the most recent fold (valid iff has_collapsed_):
+  // where all folded mass currently sits, recorded at collapse time rather
+  // than derived from the live window — removes can shrink max_index_/
+  // min_index_ afterwards, which must not strand the folded mass.
+  int32_t fold_index_ = 0;
+  // Max contiguous live span TryAddFast may produce without consulting
+  // SlotFor (collapsing subclasses set their bucket cap; unbounded stores
+  // never cap). Mirrors SpanFits, hoisted into a plain field so the fast
+  // path reads it without a virtual call.
+  int64_t span_cap_ = std::numeric_limits<int64_t>::max();
 };
 
 /// DenseStore with no size bound (the paper's basic sketch storage).
@@ -193,7 +322,9 @@ class UnboundedDenseStore final : public DenseStore {
 class CollapsingLowestDenseStore final : public DenseStore {
  public:
   explicit CollapsingLowestDenseStore(int32_t max_num_buckets)
-      : max_num_buckets_(max_num_buckets) {}
+      : max_num_buckets_(max_num_buckets) {
+    span_cap_ = max_num_buckets;
+  }
   StoreType type() const noexcept override {
     return StoreType::kCollapsingLowestDense;
   }
@@ -209,13 +340,26 @@ class CollapsingLowestDenseStore final : public DenseStore {
 
  protected:
   size_t SlotFor(int32_t index) override;
+  int32_t RemoveTarget(int32_t index) const noexcept override {
+    // Redirect only an index that (a) lies outside the live window — an
+    // in-window bucket is always the right target, including mass added
+    // below the fold bucket after removals shrank the window — and
+    // (b) sits beyond a fold that actually happened; before any fold, a
+    // below-window index was simply never added (a lossless store must
+    // reject, not drain a different value's bucket). The recorded fold
+    // bucket — not a boundary recomputed from the live window — is where
+    // folded mass actually lives.
+    if (total_count_ == 0 || !has_collapsed_ || index >= min_index_) {
+      return index;
+    }
+    return index < fold_index_ ? fold_index_ : index;
+  }
   bool SpanFits(int32_t lo, int32_t hi) const noexcept override {
     return hi - lo < max_num_buckets_;
   }
 
  private:
   int32_t max_num_buckets_;
-  bool has_collapsed_ = false;
 };
 
 /// Mirror of CollapsingLowestDenseStore: folds the *highest* indices
@@ -224,7 +368,9 @@ class CollapsingLowestDenseStore final : public DenseStore {
 class CollapsingHighestDenseStore final : public DenseStore {
  public:
   explicit CollapsingHighestDenseStore(int32_t max_num_buckets)
-      : max_num_buckets_(max_num_buckets) {}
+      : max_num_buckets_(max_num_buckets) {
+    span_cap_ = max_num_buckets;
+  }
   StoreType type() const noexcept override {
     return StoreType::kCollapsingHighestDense;
   }
@@ -238,13 +384,18 @@ class CollapsingHighestDenseStore final : public DenseStore {
 
  protected:
   size_t SlotFor(int32_t index) override;
+  int32_t RemoveTarget(int32_t index) const noexcept override {
+    if (total_count_ == 0 || !has_collapsed_ || index <= max_index_) {
+      return index;
+    }
+    return index > fold_index_ ? fold_index_ : index;
+  }
   bool SpanFits(int32_t lo, int32_t hi) const noexcept override {
     return hi - lo < max_num_buckets_;
   }
 
  private:
   int32_t max_num_buckets_;
-  bool has_collapsed_ = false;
 };
 
 /// Ordered-map store: memory proportional to *non-empty* buckets. When
@@ -262,8 +413,8 @@ class SparseStore final : public Store {
   int32_t min_index() const noexcept override;
   int32_t max_index() const noexcept override;
   size_t num_buckets() const noexcept override { return counts_.size(); }
-  void ForEach(
-      const std::function<void(int32_t, uint64_t)>& fn) const override;
+  bool ForEach(BucketVisitor fn) const override;
+  bool ForEachDescending(BucketVisitor fn) const override;
   size_t size_in_bytes() const noexcept override;
   void Clear() noexcept override;
   StoreType type() const noexcept override { return StoreType::kSparse; }

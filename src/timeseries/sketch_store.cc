@@ -59,6 +59,16 @@ Status SketchStore::IngestValue(const std::string& series, int64_t timestamp,
   return Status::OK();
 }
 
+Status SketchStore::IngestValues(const std::string& series, int64_t timestamp,
+                                 std::span<const double> values) {
+  if (values.empty()) return Status::OK();
+  Series& s = series_[series];
+  const int64_t start = RawStart(timestamp);
+  auto [it, inserted] = s.raw.try_emplace(start, prototype_);
+  it->second.AddBatch(values);
+  return Status::OK();
+}
+
 void SketchStore::MergeOverlapping(const std::map<int64_t, DDSketch>& tier,
                                    int64_t width, int64_t start, int64_t end,
                                    DDSketch* out) {

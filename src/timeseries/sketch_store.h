@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,13 @@ class SketchStore {
   Status IngestValue(const std::string& series, int64_t timestamp,
                      double value);
 
+  /// Batch single-value ingestion: one series/interval lookup and one
+  /// DDSketch::AddBatch pass for the whole span. All values land in the
+  /// interval containing `timestamp` (the WAL group-commit path batches
+  /// per series+interval before calling this).
+  Status IngestValues(const std::string& series, int64_t timestamp,
+                      std::span<const double> values);
+
   /// Merged sketch over [start, end) for one series. Fails with
   /// InvalidArgument for an unknown series or an empty window.
   Result<DDSketch> QueryRange(const std::string& series, int64_t start,
@@ -105,6 +113,13 @@ class SketchStore {
 
   const SketchStoreOptions& options() const { return options_; }
 
+  /// Start of the raw ingestion interval containing `timestamp`. Public so
+  /// batching callers (the WAL group commit) can group records that share
+  /// an interval before handing them to IngestValues.
+  int64_t RawStart(int64_t timestamp) const {
+    return timestamp - Mod(timestamp, options_.base_interval_seconds);
+  }
+
  private:
   friend class SketchStoreSnapshotCodec;  // owns the on-disk snapshot format
 
@@ -114,10 +129,6 @@ class SketchStore {
   };
 
   explicit SketchStore(const SketchStoreOptions& options, DDSketch prototype);
-
-  int64_t RawStart(int64_t timestamp) const {
-    return timestamp - Mod(timestamp, options_.base_interval_seconds);
-  }
   int64_t CoarseWidth() const {
     return options_.base_interval_seconds * options_.rollup_factor;
   }

@@ -45,6 +45,43 @@ TEST(ConcurrentTest, SingleThreadMatchesPlainSketch) {
   }
 }
 
+TEST(ConcurrentTest, AddBatchMatchesScalarAdds) {
+  ConcurrentDDSketch batched = Make();
+  ConcurrentDDSketch scalar = Make();
+  Rng rng(142);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    values.push_back(std::exp(rng.NextDouble() * 8));
+  }
+  batched.AddBatch(values);
+  for (double v : values) scalar.Add(v);
+  DDSketch a = batched.Snapshot(), b = scalar.Snapshot();
+  EXPECT_EQ(a.count(), b.count());
+  for (double q = 0.01; q < 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(a.QuantileOrNaN(q), b.QuantileOrNaN(q)) << q;
+  }
+}
+
+TEST(ConcurrentTest, ParallelBatchAddsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  ConcurrentDDSketch c = Make();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      Rng rng(2000 + static_cast<uint64_t>(t));
+      std::vector<double> batch(1000);
+      for (int i = 0; i < kPerThread; i += 1000) {
+        for (double& v : batch) v = std::exp(rng.NextDouble() * 10 - 5);
+        c.AddBatch(batch);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(c.Snapshot().count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
 TEST(ConcurrentTest, ParallelAddsLoseNothing) {
   constexpr int kThreads = 8;
   constexpr int kPerThread = 100000;

@@ -200,6 +200,41 @@ TEST(DDSketchTest, RemoveUndoesAdd) {
   EXPECT_DOUBLE_EQ(s.QuantileOrNaN(0.5), fresh.QuantileOrNaN(0.5));
 }
 
+TEST(DDSketchTest, RemoveClampedValueMirrorsAddClamping) {
+  // Regression: Add clamps magnitudes above max_indexable_value() into the
+  // extreme bucket, but Remove used to reject them outright — a clamped
+  // value could never be removed and clamped_count() stayed inflated
+  // forever. Remove now mirrors the clamp and gives the count back.
+  DDSketch s = Make();
+  const double huge = std::numeric_limits<double>::max();
+  ASSERT_GT(huge, s.mapping().max_indexable_value());
+  s.Add(huge);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.clamped_count(), 1u);
+  EXPECT_EQ(s.Remove(huge), 1u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.clamped_count(), 0u);
+}
+
+TEST(DDSketchTest, ClampedCountConservedAcrossRoundTrips) {
+  DDSketch s = Make();
+  const double huge = 1e308;
+  // Both signs clamp (the negative store mirrors the positive one).
+  s.Add(huge, 3);
+  s.Add(-huge, 2);
+  s.Add(5.0);
+  EXPECT_EQ(s.clamped_count(), 5u);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_EQ(s.Remove(-huge, 2), 2u);
+  EXPECT_EQ(s.clamped_count(), 3u);
+  // Over-removal drains what is there and never underflows the counter.
+  EXPECT_EQ(s.Remove(huge, 100), 3u);
+  EXPECT_EQ(s.clamped_count(), 0u);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.Remove(huge, 1), 0u);
+  EXPECT_EQ(s.clamped_count(), 0u);
+}
+
 TEST(DDSketchTest, RemoveZeroAndEmptyReset) {
   DDSketch s = Make();
   s.Add(0.0);

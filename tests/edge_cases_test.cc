@@ -27,10 +27,11 @@ TEST(EdgeCaseTest, RemoveAfterCollapseIsConsistent) {
   EXPECT_EQ(store.total_count(), 10u);
   // Removing an index inside the window works normally.
   EXPECT_EQ(store.Remove(8, 1), 1u);
-  // Removing below the window misses (those buckets are gone).
-  EXPECT_EQ(store.Remove(2, 1), 0u);
-  // Removing the fold bucket drains the folded mass.
-  EXPECT_EQ(store.Remove(6, 100), 7u);
+  // Removing below the window redirects to the fold bucket, mirroring
+  // where Add landed (or would land) that index.
+  EXPECT_EQ(store.Remove(2, 1), 1u);
+  // Draining the fold bucket takes the rest of the folded mass.
+  EXPECT_EQ(store.Remove(6, 100), 6u);
   EXPECT_EQ(store.total_count(), 2u);
 }
 

@@ -50,6 +50,30 @@ TEST(SketchStoreTest, IngestAndQuerySingleInterval) {
   EXPECT_EQ(store.num_intervals(), 1u);
 }
 
+TEST(SketchStoreTest, IngestValuesMatchesPerValueIngest) {
+  SketchStore batched = MakeStore();
+  SketchStore scalar = MakeStore();
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(std::exp(rng.NextDouble() * 6));
+  }
+  ASSERT_TRUE(batched.IngestValues("latency", 1004, values).ok());
+  for (double v : values) {
+    ASSERT_TRUE(scalar.IngestValue("latency", 1004, v).ok());
+  }
+  ASSERT_TRUE(batched.IngestValues("latency", 1004, {}).ok());  // no-op
+  auto a = batched.QueryRange("latency", 1000, 1010);
+  auto b = scalar.QueryRange("latency", 1000, 1010);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().count(), b.value().count());
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.value().QuantileOrNaN(q), b.value().QuantileOrNaN(q));
+  }
+  EXPECT_EQ(batched.num_intervals(), 1u);
+}
+
 TEST(SketchStoreTest, QueryValidation) {
   SketchStore store = MakeStore();
   EXPECT_FALSE(store.QueryRange("nope", 0, 100).ok());

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <tuple>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -367,6 +369,213 @@ TEST(CollapseEquivalenceTest, MergeOrderIndependent) {
   parts[3].ForEach([&](int32_t i, uint64_t c) { got[i] = c; });
   single.ForEach([&](int32_t i, uint64_t c) { expected[i] = c; });
   EXPECT_EQ(got, expected);
+}
+
+TEST(CollapsingLowestTest, AddRemoveRoundTripThroughFoldBoundary) {
+  // Regression: Remove used to check only the raw [min_index, max_index]
+  // bounds, so a value whose Add was redirected into the fold bucket
+  // could never be removed (or, pre-collapse state permitting, drained
+  // the wrong bucket). Remove now redirects through the same boundary.
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 6; i <= 9; ++i) store.Add(i, 1);  // saturate [6, 9]
+  store.Add(2, 1);  // below the window: folded into bucket 6
+  EXPECT_EQ(store.total_count(), 5u);
+  EXPECT_EQ(store.CumulativeCount(6), 2u);
+  EXPECT_EQ(store.Remove(2, 1), 1u);  // mirrors the Add redirect
+  EXPECT_EQ(store.total_count(), 4u);
+  EXPECT_EQ(store.CumulativeCount(6), 1u);
+}
+
+TEST(CollapsingLowestTest, RemoveBelowWindowWithoutCollapseRejects) {
+  // The redirect must not fire while the store is still lossless: with no
+  // fold ever performed, a below-window index was simply never added, and
+  // draining the boundary bucket would delete a different value's mass.
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 6; i <= 9; ++i) store.Add(i, 1);  // saturated, lossless
+  ASSERT_FALSE(store.has_collapsed());
+  EXPECT_EQ(store.Remove(2, 1), 0u);
+  EXPECT_EQ(store.total_count(), 4u);
+  EXPECT_EQ(store.CumulativeCount(6), 1u);
+}
+
+TEST(CollapsingLowestTest, ClearResetsCollapseStateForRemoveRedirect) {
+  // Clear() must reset the fold history: a refilled store that has lost
+  // nothing since the Clear must reject below-window removals again
+  // rather than redirect them into the boundary bucket.
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 6; i <= 9; ++i) store.Add(i, 1);
+  store.Add(2, 1);  // collapse
+  ASSERT_TRUE(store.has_collapsed());
+  store.Clear();
+  EXPECT_FALSE(store.has_collapsed());
+  for (int32_t i = 6; i <= 9; ++i) store.Add(i, 1);  // lossless refill
+  EXPECT_EQ(store.Remove(2, 1), 0u);
+  EXPECT_EQ(store.total_count(), 4u);
+}
+
+TEST(CollapsingLowestTest, FoldRedirectSurvivesWindowDrift) {
+  // The redirect targets the recorded fold bucket, not a boundary
+  // recomputed from the live window: draining the top bucket shrinks
+  // max_index, and a drifting derivation would point below the window
+  // and strand the folded mass forever.
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 6; i <= 9; ++i) store.Add(i, 1);
+  store.Add(2, 1);                    // folded into bucket 6
+  EXPECT_EQ(store.Remove(9, 1), 1u);  // window max drifts down to 8
+  EXPECT_EQ(store.Remove(2, 1), 1u);  // still finds the folded mass at 6
+  EXPECT_EQ(store.total_count(), 3u);
+}
+
+TEST(CollapsingLowestTest, InWindowBucketBelowFoldIsNotRedirected) {
+  // After removals shrink the window, a later add below the fold bucket
+  // can land at its true index again. Removing that index must hit its
+  // own (in-window) bucket, not the fold bucket.
+  CollapsingLowestDenseStore store(4);
+  for (int32_t i = 6; i <= 9; ++i) store.Add(i, 1);
+  store.Add(2, 1);                    // collapse; fold bucket 6 holds 2
+  EXPECT_EQ(store.Remove(9, 1), 1u);  // window shrinks to [6, 8]
+  store.Add(5, 1);                    // span [5, 8] fits: true bucket 5
+  EXPECT_EQ(store.Remove(5, 1), 1u);  // drains bucket 5, not bucket 6
+  EXPECT_EQ(store.CumulativeCount(6) - store.CumulativeCount(5), 2u);
+}
+
+TEST(CollapsingLowestTest, MergePropagatesFoldStateForRemove) {
+  // Folded mass merged into another store must stay removable: the
+  // direct dense-to-dense merge carries the source's fold state along
+  // with its counts.
+  CollapsingLowestDenseStore src(4);
+  for (int32_t i = 6; i <= 9; ++i) src.Add(i, 1);
+  src.Add(2, 1);  // collapse: fold bucket 6 holds 2
+  CollapsingLowestDenseStore dst(4);
+  dst.MergeFrom(src);
+  EXPECT_EQ(dst.Remove(2, 1), 1u);  // redirect active on the merged store
+  EXPECT_EQ(dst.total_count(), 4u);
+}
+
+TEST(CollapsingLowestTest, CrossDirectionMergeDoesNotAdoptFoldState) {
+  // A mirror-type source's fold bucket sits on the wrong side of the
+  // destination's window; adopting it would let RemoveTarget redirect a
+  // never-added low index into a live high bucket and drain it.
+  CollapsingHighestDenseStore src(4);
+  for (int32_t i = 50; i <= 53; ++i) src.Add(i, 1);
+  src.Add(100, 1);  // collapse downward: fold bucket 53
+  CollapsingLowestDenseStore dst(64);
+  dst.MergeFrom(src);
+  EXPECT_EQ(dst.Remove(10, 1), 0u);  // below-window index stays rejected
+  EXPECT_EQ(dst.total_count(), 5u);
+}
+
+TEST(CollapsingHighestTest, AddRemoveRoundTripThroughFoldBoundary) {
+  CollapsingHighestDenseStore store(4);
+  for (int32_t i = 1; i <= 4; ++i) store.Add(i, 1);  // saturate [1, 4]
+  store.Add(9, 1);  // above the window: folded into bucket 4
+  EXPECT_EQ(store.total_count(), 5u);
+  EXPECT_EQ(store.Remove(9, 1), 1u);
+  EXPECT_EQ(store.total_count(), 4u);
+  EXPECT_EQ(store.Remove(9, 1), 1u);  // drains the fold bucket's own mass
+  EXPECT_EQ(store.total_count(), 3u);
+}
+
+TEST(CollapsingLowestTest, RandomAddRemoveRoundTripConservesTotal) {
+  // Adding a multiset (collapsing along the way) and then removing the
+  // exact same multiset drains the store back to empty: every remove
+  // finds its mass where the fold redirect put it. Removal runs in
+  // ascending index order — the fold boundary tracks the live maximum,
+  // so draining the top first would move the boundary away from the
+  // folded mass (the same caveat class as the paper's collapsed
+  // quantiles).
+  Rng rng(77);
+  CollapsingLowestDenseStore store(16);
+  std::vector<int32_t> added;
+  for (int i = 0; i < 500; ++i) {
+    const int32_t index = static_cast<int32_t>(rng.NextBounded(400));
+    store.Add(index, 1);
+    added.push_back(index);
+  }
+  EXPECT_TRUE(store.has_collapsed());
+  EXPECT_EQ(store.total_count(), 500u);
+  std::sort(added.begin(), added.end());
+  for (int32_t index : added) {
+    EXPECT_EQ(store.Remove(index, 1), 1u) << index;
+  }
+  EXPECT_EQ(store.total_count(), 0u);
+}
+
+// Wraps a SparseStore but counts how many buckets each ascending walk
+// touches: the probe for asserting that the generic (visitor-based) rank
+// queries stop at the answering bucket.
+class VisitCountingSparseStore final : public Store {
+ public:
+  void Add(int32_t index, uint64_t count) override { inner_.Add(index, count); }
+  uint64_t Remove(int32_t index, uint64_t count) override {
+    return inner_.Remove(index, count);
+  }
+  uint64_t total_count() const noexcept override {
+    return inner_.total_count();
+  }
+  int32_t min_index() const noexcept override { return inner_.min_index(); }
+  int32_t max_index() const noexcept override { return inner_.max_index(); }
+  size_t num_buckets() const noexcept override { return inner_.num_buckets(); }
+  bool ForEach(BucketVisitor fn) const override {
+    return inner_.ForEach([&](int32_t index, uint64_t count) -> bool {
+      ++visited;
+      return fn(index, count);
+    });
+  }
+  size_t size_in_bytes() const noexcept override {
+    return inner_.size_in_bytes();
+  }
+  void Clear() noexcept override { inner_.Clear(); }
+  StoreType type() const noexcept override { return StoreType::kSparse; }
+  std::unique_ptr<Store> Clone() const override {
+    return std::make_unique<VisitCountingSparseStore>(*this);
+  }
+
+  mutable size_t visited = 0;
+
+ private:
+  SparseStore inner_;
+};
+
+TEST(StoreVisitorTest, KeyAtRankStopsAtAnsweringBucket) {
+  // Regression: the std::function-based walk could not stop early, so
+  // sparse-store rank queries kept iterating the full bucket map after
+  // the target rank was found (the `found` flag only skipped the callback
+  // body). The visitor walk must touch no bucket past the answer.
+  VisitCountingSparseStore store;
+  for (int32_t i = 0; i < 100; ++i) store.Add(i, 1);
+  store.visited = 0;
+  EXPECT_EQ(store.KeyAtRank(4.5), 4);  // cumulative 5 > 4.5 at bucket 4
+  EXPECT_EQ(store.visited, 5u);
+  store.visited = 0;
+  EXPECT_EQ(store.KeyAtRank(0), 0);
+  EXPECT_EQ(store.visited, 1u);
+}
+
+TEST(StoreVisitorTest, CumulativeCountStopsPastIndex) {
+  VisitCountingSparseStore store;
+  for (int32_t i = 0; i < 100; ++i) store.Add(i, 1);
+  store.visited = 0;
+  EXPECT_EQ(store.CumulativeCount(10), 11u);
+  // Visits buckets 0..10 plus the one probe at 11 that stops the walk.
+  EXPECT_EQ(store.visited, 12u);
+}
+
+TEST(StoreVisitorTest, ForEachEarlyTerminationReturnsFalse) {
+  auto s = MakeStore(StoreType::kSparse, 0);
+  for (int32_t i = 0; i < 10; ++i) s->Add(i, 1);
+  int seen = 0;
+  const bool completed = s->ForEach([&](int32_t, uint64_t) -> bool {
+    return ++seen < 3;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 3);
+  seen = 0;
+  EXPECT_TRUE(s->ForEachDescending([&](int32_t index, uint64_t) {
+    EXPECT_EQ(index, 9 - seen);
+    ++seen;
+  }));
+  EXPECT_EQ(seen, 10);
 }
 
 TEST(StoreFactoryTest, Validation) {
