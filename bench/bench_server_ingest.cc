@@ -1,23 +1,30 @@
 // Serving-layer ingest throughput: what group commit buys on the WAL
-// hot path. Three configurations over the same value stream:
+// hot path, and what sharding adds on top. Configurations over the same
+// value stream:
 //
 //   per_request_fsync   DurableSketchStore with sync_every_ingest, one
 //                       fsync per acknowledged record (the durability
 //                       baseline a naive server would ship);
 //   group_commit_N      IngestBatch with batch size N — N acknowledged
-//                       records per fsync (the committer's drain path);
+//                       records per fsync (a committer's drain path);
 //   socket_4conns       the full daemon: sketchd serving core + 4
 //                       pipelined SketchClient connections over
-//                       loopback, group commit at batch 64.
+//                       loopback, group commit at batch 64, at
+//                       shards = 1 and shards = 4 (per-shard committers
+//                       fsync in parallel; ISSUE 5's scaling axis).
 //
 // The acceptance bar (ISSUE 3): group_commit_64 ingests at >= 5x the
 // per-request-fsync rate. The fsyncs column shows why — the fsync count
 // collapses by the batch factor while the bytes written stay identical.
+//
+// JSON for CI trend tracking (uploaded as part of the BENCH artifact):
+//   bench_server_ingest [--json FILE]
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -45,6 +52,8 @@ bool FullScaleRun() {
 }
 
 struct RunResult {
+  std::string mode;
+  size_t shards = 1;
   double seconds = 0;
   uint64_t fsyncs = 0;
 };
@@ -74,6 +83,7 @@ RunResult RunPerRequestFsync(size_t n) {
   }
   const auto stop = Clock::now();
   RunResult result;
+  result.mode = "per_request_fsync";
   result.seconds = std::chrono::duration<double>(stop - start).count();
   result.fsyncs = TotalFsyncCount() - fsyncs_before;
   fs::remove_all(dir);
@@ -101,16 +111,18 @@ RunResult RunGroupCommit(size_t n, size_t batch) {
   }
   const auto stop = Clock::now();
   RunResult result;
+  result.mode = "group_commit_" + std::to_string(batch);
   result.seconds = std::chrono::duration<double>(stop - start).count();
   result.fsyncs = TotalFsyncCount() - fsyncs_before;
   fs::remove_all(dir);
   return result;
 }
 
-RunResult RunSocket(size_t n, size_t connections) {
-  const fs::path dir = FreshDir("socket");
+RunResult RunSocket(size_t n, size_t connections, size_t shards) {
+  const fs::path dir = FreshDir("socket_s" + std::to_string(shards));
   SketchServerOptions options;
   options.commit_batch = 64;
+  options.shards = shards;
   auto server = std::move(SketchServer::Start(dir.string(), options)).value();
   const size_t per_conn = n / connections;
   const uint64_t fsyncs_before = TotalFsyncCount();
@@ -126,12 +138,20 @@ RunResult RunSocket(size_t n, size_t connections) {
         const size_t k = c * per_conn + i;
         points.emplace_back(static_cast<int64_t>(k % 600), ValueAt(k));
       }
-      if (!client.value().IngestValues("svc", points).ok()) std::abort();
+      // One series per connection: with shards > 1 the hash spreads the
+      // series over shards, exercising the parallel committers.
+      if (!client.value()
+               .IngestValues("svc." + std::to_string(c), points)
+               .ok()) {
+        std::abort();
+      }
     });
   }
   for (std::thread& t : threads) t.join();
   const auto stop = Clock::now();
   RunResult result;
+  result.mode = "socket_" + std::to_string(connections) + "conns";
+  result.shards = shards;
   result.seconds = std::chrono::duration<double>(stop - start).count();
   result.fsyncs = TotalFsyncCount() - fsyncs_before;
   server->Stop();
@@ -139,34 +159,76 @@ RunResult RunSocket(size_t n, size_t connections) {
   return result;
 }
 
+/// Emits the rows as a small JSON document (part of CI's BENCH artifact)
+/// so the serving-path trajectory is diffable across commits.
+void WriteJson(const std::string& path, size_t n,
+               const std::vector<RunResult>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"server_ingest\",\n"
+               "  \"n\": %zu,\n"
+               "  \"unit\": \"records_per_sec\",\n"
+               "  \"rows\": [\n",
+               n);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"shards\": %zu, "
+                 "\"records_per_sec\": %.0f, \"fsyncs\": %llu}%s\n",
+                 r.mode.c_str(), r.shards,
+                 static_cast<double>(n) / r.seconds,
+                 static_cast<unsigned long long>(r.fsyncs),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace dd::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dd::bench;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   const size_t n = FullScaleRun() ? 200000 : 20000;
   std::printf(
       "=== Serving-layer ingest: group commit vs per-request fsync "
       "(n = %zu values) ===\n",
       n);
 
-  Table table({"mode", "records_per_sec", "fsyncs", "records_per_fsync",
-               "speedup_vs_fsync"});
-  const RunResult base = RunPerRequestFsync(n);
-  const double base_rate = static_cast<double>(n) / base.seconds;
-  auto add = [&](const std::string& mode, const RunResult& r) {
+  std::vector<RunResult> rows;
+  rows.push_back(RunPerRequestFsync(n));
+  const double base_rate = static_cast<double>(n) / rows[0].seconds;
+  for (size_t batch : {8u, 64u, 256u}) {
+    rows.push_back(RunGroupCommit(n, batch));
+  }
+  for (size_t shards : {1u, 4u}) {
+    rows.push_back(RunSocket(n, 4, shards));
+  }
+
+  Table table({"mode", "shards", "records_per_sec", "fsyncs",
+               "records_per_fsync", "speedup_vs_fsync"});
+  for (const RunResult& r : rows) {
     const double rate = static_cast<double>(n) / r.seconds;
-    table.AddRow({mode, Fmt(rate, "%.0f"), FmtInt(r.fsyncs),
+    table.AddRow({r.mode, FmtInt(r.shards), Fmt(rate, "%.0f"),
+                  FmtInt(r.fsyncs),
                   Fmt(static_cast<double>(n) /
                           static_cast<double>(r.fsyncs ? r.fsyncs : 1),
                       "%.1f"),
                   Fmt(rate / base_rate, "%.2f")});
-  };
-  add("per_request_fsync", base);
-  for (size_t batch : {8u, 64u, 256u}) {
-    add("group_commit_" + std::to_string(batch), RunGroupCommit(n, batch));
   }
-  add("socket_4conns", RunSocket(n, 4));
   table.Print("server_ingest");
+  if (!json_path.empty()) WriteJson(json_path, n, rows);
   return 0;
 }

@@ -207,6 +207,16 @@ std::string EncodeResponse(const Response& response) {
         PutVarint64(&body, response.stats.wal_offset);
         PutVarint64(&body, response.stats.epoch);
         PutVarint64(&body, response.stats.batch_commits);
+        PutVarint64(&body, response.stats.background_checkpoints);
+        PutVarint64(&body, response.stats.shards.size());
+        for (const ShardStats& shard : response.stats.shards) {
+          PutVarint64(&body, shard.shard);
+          PutVarint64(&body, shard.num_series);
+          PutVarint64(&body, shard.wal_bytes);
+          PutVarint64(&body, shard.epoch);
+          PutVarint64(&body, shard.batch_commits);
+          PutVarint64(&body, shard.background_checkpoints);
+        }
         break;
     }
   }
@@ -241,14 +251,33 @@ Result<Response> DecodeResponse(std::string_view body) {
       case Request::Op::kCheckpoint:
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.epoch));
         break;
-      case Request::Op::kStats:
+      case Request::Op::kStats: {
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.num_series));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.num_intervals));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.size_in_bytes));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.wal_offset));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.epoch));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.batch_commits));
+        DD_RETURN_IF_ERROR(
+            in.GetVarint64(&response.stats.background_checkpoints));
+        uint64_t n_shards = 0;
+        DD_RETURN_IF_ERROR(in.GetVarint64(&n_shards));
+        // Every shard row is at least 6 varint bytes; a count the frame
+        // cannot possibly hold is corruption, not an allocation request.
+        if (n_shards > in.remaining() / 6) {
+          return Status::Corruption("shard stats overrun frame");
+        }
+        response.stats.shards.resize(n_shards);
+        for (ShardStats& shard : response.stats.shards) {
+          DD_RETURN_IF_ERROR(in.GetVarint64(&shard.shard));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&shard.num_series));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&shard.wal_bytes));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&shard.epoch));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&shard.batch_commits));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&shard.background_checkpoints));
+        }
         break;
+      }
     }
   }
   DD_RETURN_IF_ERROR(CheckDrained(in));

@@ -32,8 +32,10 @@
 namespace dd {
 
 /// Protocol magic ("DDSP") and version, exchanged in the 5-byte hello.
+/// v2 extended the STATS payload with per-shard rows (sharded store);
+/// everything else is unchanged from v1.
 inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
 
 /// Upper bound on one frame body; anything larger is corruption before
@@ -67,14 +69,29 @@ struct Request {
   std::vector<double> quantiles;   // kQuery
 };
 
-/// STATS response payload.
+/// One shard's row in the STATS payload. A single-shard server reports
+/// exactly one row whose fields equal the aggregate ones.
+struct ShardStats {
+  uint64_t shard = 0;        ///< shard index (series route: hash % shards)
+  uint64_t num_series = 0;   ///< series stored on this shard
+  uint64_t wal_bytes = 0;    ///< shard WAL size (13-byte header included)
+  uint64_t epoch = 0;        ///< shard WAL generation (+1 per checkpoint)
+  uint64_t batch_commits = 0;           ///< this shard's group commits
+  uint64_t background_checkpoints = 0;  ///< scheduler-initiated checkpoints
+};
+
+/// STATS response payload. The scalar fields aggregate across shards
+/// (sums, except `epoch` which is the minimum shard epoch); `shards`
+/// carries one row per shard.
 struct StoreStats {
   uint64_t num_series = 0;
   uint64_t num_intervals = 0;
   uint64_t size_in_bytes = 0;
-  uint64_t wal_offset = 0;
-  uint64_t epoch = 0;
+  uint64_t wal_offset = 0;  ///< total WAL bytes across shards
+  uint64_t epoch = 0;       ///< minimum shard epoch
   uint64_t batch_commits = 0;  ///< group commits since the server started
+  uint64_t background_checkpoints = 0;  ///< scheduler checkpoints, all shards
+  std::vector<ShardStats> shards;
 };
 
 /// One server response. Echoes the request's op; `code`/`message` carry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include <sys/socket.h>
@@ -10,6 +11,7 @@
 
 #include "core/ddsketch.h"
 #include "server/net.h"
+#include "timeseries/wal.h"
 
 namespace dd {
 
@@ -18,7 +20,10 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   if (options.commit_batch == 0) {
     return Status::InvalidArgument("commit_batch must be at least 1");
   }
-  auto store = DurableSketchStore::Open(data_dir, options.durable);
+  ShardedDurableStoreOptions store_options;
+  store_options.durable = options.durable;
+  store_options.shards = options.shards;
+  auto store = ShardedDurableStore::Open(data_dir, store_options);
   if (!store.ok()) return store.status();
   // Private constructor + threads capturing `this` mean the server must
   // live at a stable address: build it on the heap before binding.
@@ -29,25 +34,45 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   if (!listen_fd.ok()) return listen_fd.status();
   server->listen_fd_ = listen_fd.value();
   server->port_ = bound_port;
-  server->commit_thread_ = std::thread([s = server.get()] { s->CommitLoop(); });
+  for (size_t k = 0; k < server->shards_.size(); ++k) {
+    server->shards_[k]->committer =
+        std::thread([s = server.get(), k] { s->CommitLoop(k); });
+  }
+  if (server->SchedulerEnabled()) {
+    server->checkpoint_thread_ =
+        std::thread([s = server.get()] { s->CheckpointLoop(); });
+  }
   server->accept_thread_ = std::thread(
       [s = server.get(), fd = listen_fd.value()] { s->AcceptLoop(fd); });
   return server;
 }
 
-SketchServer::SketchServer(SketchServerOptions options, DurableSketchStore store)
-    : options_(std::move(options)), store_(std::move(store)) {}
+SketchServer::SketchServer(SketchServerOptions options,
+                           ShardedDurableStore store)
+    : options_(std::move(options)), store_(std::move(store)) {
+  const auto now = std::chrono::steady_clock::now();
+  shards_.reserve(store_->num_shards());
+  for (size_t k = 0; k < store_->num_shards(); ++k) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->checkpoint_deadline_base = now;
+  }
+}
 
 SketchServer::~SketchServer() { Stop(); }
 
 void SketchServer::Stop() {
   if (stopped_) return;
   stopped_ = true;
-  {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    stopping_ = true;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->queue_mu);
+    shard->stopping = true;
   }
-  queue_cv_.notify_all();
+  for (auto& shard : shards_) shard->queue_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lk(scheduler_mu_);
+    scheduler_stop_ = true;
+  }
+  scheduler_cv_.notify_all();
   draining_.store(true);
   // Wake the accept loop and every blocked connection read. shutdown(2)
   // (not close) so the fds stay valid until their owning threads exit.
@@ -60,17 +85,33 @@ void SketchServer::Stop() {
   // and launching the threads (e.g. bind error), and the unique_ptr's
   // destructor still runs Stop().
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (commit_thread_.joinable()) commit_thread_.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->committer.joinable()) shard->committer.join();
+  }
   // The accept thread is joined, so conn_threads_ is stable now.
   for (std::thread& t : conn_threads_) t.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
-  store_.reset();  // releases the data-dir lock for the next opener
+  store_.reset();  // releases every shard's data-dir lock for reopeners
 }
 
 uint64_t SketchServer::batch_commits() const noexcept {
-  std::lock_guard<std::mutex> lk(queue_mu_);
-  return batch_commits_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->queue_mu);
+    total += shard->batch_commits;
+  }
+  return total;
+}
+
+uint64_t SketchServer::background_checkpoints() const noexcept {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->store_mu);
+    total += shard->background_checkpoints;
+  }
+  return total;
 }
 
 void SketchServer::AcceptLoop(int listen_fd) {
@@ -144,11 +185,14 @@ void SketchServer::ServeConnection(int fd) {
       continue;
     }
     // Collect the pipelined run of ingest requests already sitting in
-    // the socket, so one client's burst becomes one staged group (and
-    // so the committer sees real batches even with a single client).
+    // the socket, so one client's burst becomes one staged group per
+    // shard (and so the committers see real batches even with a single
+    // client). The run cap scales with the shard count because the run
+    // is split across shard queues before committing.
+    const size_t run_cap = options_.commit_batch * shards_.size();
     std::vector<Request> run;
     run.push_back(std::move(request).value());
-    while (run.size() < options_.commit_batch) {
+    while (run.size() < run_cap) {
       std::string next;
       auto got = conn.TryReadFrame(&next);
       if (!got.ok()) return;
@@ -170,22 +214,59 @@ void SketchServer::ServeConnection(int fd) {
 bool SketchServer::HandleIngestRun(FramedConn* conn,
                                    const std::vector<Request>& run) {
   std::vector<PendingIngest> pendings(run.size());
-  std::vector<PendingIngest*> to_stage;
-  to_stage.reserve(run.size());
+  RunWaiter waiter;
+  // Per-shard staging groups: each entry of the run goes to the queue of
+  // the shard that owns its series.
+  std::vector<std::vector<PendingIngest*>> by_shard(shards_.size());
   for (size_t i = 0; i < run.size(); ++i) {
     pendings[i].record = ToWalRecord(run[i]);
+    pendings[i].waiter = &waiter;
     // Validation reads only the store's immutable configuration
     // (prototype sketch parameters), so it runs lock-free on the
     // connection thread — a bad request is rejected here and never
     // poisons or stalls a committer batch.
     pendings[i].result = store_->ValidateRecord(pendings[i].record);
     if (pendings[i].result.ok()) {
-      to_stage.push_back(&pendings[i]);
+      by_shard[store_->ShardOf(pendings[i].record.series)].push_back(
+          &pendings[i]);
     } else {
       pendings[i].done = true;
     }
   }
-  StageRunAndWait(&to_stage);
+  // The waiter owes one completion per validated entry. The count is
+  // set BEFORE anything is staged: once an entry is on a shard queue its
+  // committer may finish (and decrement) immediately.
+  size_t to_stage = 0;
+  for (const auto& group : by_shard) to_stage += group.size();
+  waiter.remaining = to_stage;
+  // Stage every shard's group; entries refused at staging time
+  // (shutdown or a fail-stopped shard) are completed on the spot, which
+  // takes their completions back out of the waiter.
+  for (size_t k = 0; k < by_shard.size(); ++k) {
+    if (by_shard[k].empty()) continue;
+    Shard& shard = *shards_[k];
+    std::lock_guard<std::mutex> lk(shard.queue_mu);
+    if (shard.stopping || !shard.commit_error.ok()) {
+      const Status status =
+          shard.stopping ? Status::ResourceExhausted("server is shutting down")
+                         : shard.commit_error;
+      for (PendingIngest* pending : by_shard[k]) {
+        pending->result = status;
+        pending->done = true;
+      }
+      std::lock_guard<std::mutex> done_lk(waiter.mu);
+      waiter.remaining -= by_shard[k].size();
+      continue;
+    }
+    for (PendingIngest* pending : by_shard[k]) {
+      shard.queue.push_back(pending);
+    }
+    shard.queue_cv.notify_all();
+  }
+  if (to_stage > 0) {
+    std::unique_lock<std::mutex> lk(waiter.mu);
+    waiter.cv.wait(lk, [&waiter] { return waiter.remaining == 0; });
+  }
   for (size_t i = 0; i < run.size(); ++i) {
     Response response;
     response.op = run[i].op;
@@ -210,9 +291,13 @@ Response SketchServer::HandleNonIngest(const Request& request) {
     case Request::Op::kMerge:
       return fail(Status::Internal("ingest op routed to HandleNonIngest"));
     case Request::Op::kQuery: {
-      std::lock_guard<std::mutex> lk(store_mu_);
-      auto merged =
-          store_->QueryRange(request.series, request.start, request.end);
+      // A series lives on exactly one shard (pinned hash, immutable
+      // count), so the read locks only the owner — queries never
+      // contend with the other shards' committers or checkpoints.
+      const size_t owner = store_->ShardOf(request.series);
+      std::lock_guard<std::mutex> lk(shards_[owner]->store_mu);
+      auto merged = store_->shard(owner).QueryRange(request.series,
+                                                    request.start, request.end);
       if (!merged.ok()) return fail(merged.status());
       response.values.reserve(request.quantiles.size());
       for (double q : request.quantiles) {
@@ -223,81 +308,90 @@ Response SketchServer::HandleNonIngest(const Request& request) {
       return response;
     }
     case Request::Op::kCheckpoint: {
-      std::lock_guard<std::mutex> lk(store_mu_);
-      if (Status status = store_->Checkpoint(); !status.ok()) {
-        return fail(status);
+      // "Checkpoint all shards", one shard lock at a time so ingest on
+      // the others keeps flowing while each snapshot is written.
+      uint64_t min_epoch = 0;
+      for (size_t k = 0; k < shards_.size(); ++k) {
+        std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+        if (Status status = store_->shard(k).Checkpoint(); !status.ok()) {
+          return fail(status);
+        }
+        shards_[k]->checkpoint_deadline_base = std::chrono::steady_clock::now();
+        const uint64_t epoch = store_->shard(k).epoch();
+        min_epoch = k == 0 ? epoch : std::min(min_epoch, epoch);
       }
-      response.epoch = store_->epoch();
+      response.epoch = min_epoch;
       return response;
     }
     case Request::Op::kStats: {
-      std::lock_guard<std::mutex> lk(store_mu_);
-      response.stats.num_series = store_->store().num_series();
-      response.stats.num_intervals = store_->store().num_intervals();
-      response.stats.size_in_bytes = store_->store().size_in_bytes();
-      response.stats.wal_offset = store_->wal_offset();
-      response.stats.epoch = store_->epoch();
-      response.stats.batch_commits = batch_commits();
+      StoreStats& stats = response.stats;
+      stats.shards.reserve(shards_.size());
+      for (size_t k = 0; k < shards_.size(); ++k) {
+        ShardStats row;
+        row.shard = k;
+        {
+          std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+          const DurableSketchStore& shard_store = store_->shard(k);
+          row.num_series = shard_store.store().num_series();
+          row.wal_bytes = shard_store.wal_offset();
+          row.epoch = shard_store.epoch();
+          row.background_checkpoints = shards_[k]->background_checkpoints;
+          stats.num_intervals += shard_store.store().num_intervals();
+          stats.size_in_bytes += shard_store.store().size_in_bytes();
+        }
+        {
+          std::lock_guard<std::mutex> lk(shards_[k]->queue_mu);
+          row.batch_commits = shards_[k]->batch_commits;
+        }
+        stats.num_series += row.num_series;
+        stats.wal_offset += row.wal_bytes;
+        stats.epoch = k == 0 ? row.epoch : std::min(stats.epoch, row.epoch);
+        stats.batch_commits += row.batch_commits;
+        stats.background_checkpoints += row.background_checkpoints;
+        stats.shards.push_back(row);
+      }
       return response;
     }
   }
   return fail(Status::Internal("unhandled request op"));
 }
 
-void SketchServer::StageRunAndWait(std::vector<PendingIngest*>* run) {
-  if (run->empty()) return;
-  std::unique_lock<std::mutex> lk(queue_mu_);
-  if (stopping_ || !commit_error_.ok()) {
-    const Status status =
-        stopping_ ? Status::ResourceExhausted("server is shutting down")
-                  : commit_error_;
-    for (PendingIngest* pending : *run) {
-      pending->result = status;
-      pending->done = true;
-    }
-    return;
-  }
-  for (PendingIngest* pending : *run) {
-    queue_.push_back(pending);
-  }
-  queue_cv_.notify_all();
-  done_cv_.wait(lk, [run] {
-    for (const PendingIngest* pending : *run) {
-      if (!pending->done) return false;
-    }
-    return true;
-  });
-}
-
-void SketchServer::CommitLoop() {
-  std::unique_lock<std::mutex> lk(queue_mu_);
+void SketchServer::CommitLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::mutex> lk(shard.queue_mu);
   for (;;) {
-    queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping_ and nothing left to commit
+    shard.queue_cv.wait(
+        lk, [&shard] { return shard.stopping || !shard.queue.empty(); });
+    if (shard.queue.empty()) return;  // stopping and nothing left to commit
     if (options_.commit_interval_us > 0 &&
-        queue_.size() < options_.commit_batch) {
+        shard.queue.size() < options_.commit_batch) {
       // Give concurrent ingests a window to fill the batch; a full batch
       // (or shutdown) commits immediately.
-      queue_cv_.wait_for(
+      shard.queue_cv.wait_for(
           lk, std::chrono::microseconds(options_.commit_interval_us),
-          [this] { return stopping_ || queue_.size() >= options_.commit_batch; });
+          [this, &shard] {
+            return shard.stopping ||
+                   shard.queue.size() >= options_.commit_batch;
+          });
     }
-    CommitOneBatch(&lk);
+    CommitOneBatch(shard_index, &lk);
   }
 }
 
-void SketchServer::CommitOneBatch(std::unique_lock<std::mutex>* lk) {
+void SketchServer::CommitOneBatch(size_t shard_index,
+                                  std::unique_lock<std::mutex>* lk) {
+  Shard& shard = *shards_[shard_index];
   std::vector<PendingIngest*> batch;
-  batch.reserve(std::min(queue_.size(), options_.commit_batch));
-  while (!queue_.empty() && batch.size() < options_.commit_batch) {
-    batch.push_back(queue_.front());
-    queue_.pop_front();
+  batch.reserve(std::min(shard.queue.size(), options_.commit_batch));
+  while (!shard.queue.empty() && batch.size() < options_.commit_batch) {
+    batch.push_back(shard.queue.front());
+    shard.queue.pop_front();
   }
   // A batch staged before a commit failure must not reach the store:
   // after a failed WAL repair the log may end in a torn frame, and
   // anything appended behind it would be ACKed yet silently dropped by
   // recovery. Fail it with the sticky error instead.
-  Status status = commit_error_;
+  Status status = shard.commit_error;
   lk->unlock();
 
   uint64_t offset = 0;
@@ -305,23 +399,90 @@ void SketchServer::CommitOneBatch(std::unique_lock<std::mutex>* lk) {
     std::vector<WalRecord> records;
     records.reserve(batch.size());
     for (PendingIngest* pending : batch) records.push_back(pending->record);
-    std::lock_guard<std::mutex> store_lk(store_mu_);
-    status = store_->IngestBatch(records);
-    offset = store_->wal_offset();
+    std::lock_guard<std::mutex> store_lk(shard.store_mu);
+    status = store_->shard(shard_index).IngestBatch(records);
+    offset = store_->shard(shard_index).wal_offset();
   }
 
   lk->lock();
   if (status.ok()) {
-    ++batch_commits_;
-  } else if (commit_error_.ok()) {
-    commit_error_ = status;  // fail-stop the ingest path (see server.h)
+    ++shard.batch_commits;
+  } else if (shard.commit_error.ok()) {
+    shard.commit_error = status;  // fail-stop this shard's ingest path
   }
+  lk->unlock();
+  // Completion handshake outside queue_mu: fill the entry, then signal
+  // its run's waiter. The waiter lock orders the writes before the
+  // connection thread's reads.
   for (PendingIngest* pending : batch) {
+    RunWaiter* waiter = pending->waiter;
+    std::lock_guard<std::mutex> done_lk(waiter->mu);
     pending->result = status;
     pending->wal_offset = offset;
     pending->done = true;
+    if (--waiter->remaining == 0) waiter->cv.notify_all();
   }
-  done_cv_.notify_all();
+  lk->lock();
+}
+
+void SketchServer::CheckpointLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto interval =
+      std::chrono::milliseconds(options_.checkpoint_interval_ms);
+  // Poll cadence: fine-grained enough that a tiny test interval fires
+  // promptly, coarse enough that an idle daemon costs nothing. Each poll
+  // is a few mutex-guarded integer reads per shard.
+  auto poll = std::chrono::milliseconds(50);
+  if (options_.checkpoint_interval_ms > 0) {
+    poll = std::min(
+        poll, std::chrono::milliseconds(
+                  std::max<int64_t>(1, options_.checkpoint_interval_ms / 2)));
+  }
+  std::unique_lock<std::mutex> lk(scheduler_mu_);
+  for (;;) {
+    scheduler_cv_.wait_for(lk, poll, [this] { return scheduler_stop_; });
+    if (scheduler_stop_) return;
+    lk.unlock();
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      Shard& shard = *shards_[k];
+      std::lock_guard<std::mutex> store_lk(shard.store_mu);
+      DurableSketchStore& shard_store = store_->shard(k);
+      const bool dirty = shard_store.wal_offset() > kWalHeaderBytes;
+      if (!dirty) {
+        // Nothing to fold; keep pushing the age deadline forward so an
+        // idle shard never checkpoints and a newly-dirty one gets a full
+        // interval before the time trigger fires.
+        shard.checkpoint_deadline_base = Clock::now();
+        continue;
+      }
+      const bool size_due = options_.checkpoint_wal_bytes > 0 &&
+                            shard_store.wal_offset() - kWalHeaderBytes >=
+                                options_.checkpoint_wal_bytes;
+      const bool time_due =
+          options_.checkpoint_interval_ms > 0 &&
+          Clock::now() - shard.checkpoint_deadline_base >= interval;
+      if (!size_due && !time_due) continue;
+      if (Clock::now() < shard.checkpoint_backoff_until) continue;
+      // Holding only this shard's store_mu: its committer waits, every
+      // other shard keeps committing. A scheduler checkpoint failure is
+      // not fail-stop — the WAL is untouched by a failed snapshot
+      // write, so ingest stays safe — but a full snapshot attempt every
+      // poll against a broken disk would burn CPU/IO silently, so
+      // failures back off and reach the operator's log.
+      if (Status status = shard_store.Checkpoint(); status.ok()) {
+        ++shard.background_checkpoints;
+      } else {
+        std::fprintf(stderr,
+                     "sketchd: background checkpoint of shard %zu failed "
+                     "(will retry in 5s): %s\n",
+                     k, status.ToString().c_str());
+        shard.checkpoint_backoff_until =
+            Clock::now() + std::chrono::seconds(5);
+      }
+      shard.checkpoint_deadline_base = Clock::now();
+    }
+    lk.lock();
+  }
 }
 
 }  // namespace dd

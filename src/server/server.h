@@ -1,37 +1,48 @@
-// sketchd's serving core: a TCP daemon in front of a DurableSketchStore.
+// sketchd's serving core: a TCP daemon in front of a ShardedDurableStore.
 //
-// Threading model (documented in docs/ARCHITECTURE.md, "Serving"):
+// Threading model (documented in docs/ARCHITECTURE.md, "Sharding &
+// background checkpointing"):
 //
 //   accept thread ──▶ one thread per connection ──▶ request handlers
-//                                   │ INGEST / MERGE
+//                                   │ INGEST / MERGE (routed by series hash)
 //                                   ▼
-//                        staging queue (queue_mu_)
-//                                   │
-//                        committer thread (the single WAL writer)
-//                                   │ append batch → 1 fsync → merge
-//                                   ▼
-//                        DurableSketchStore (store_mu_)
+//              per-shard staging queues (shard.queue_mu)
+//                   │                         │
+//          committer thread 0   ...   committer thread N-1
+//                   │  append batch → 1 fsync → merge (shard.store_mu)
+//                   ▼                         ▼
+//              shard-0 store     ...     shard-(N-1) store
+//                   ▲                         ▲
+//                   └──── checkpoint scheduler thread ────┘
+//                        (snapshot + WAL reset per shard, under that
+//                         shard's store_mu only)
 //
-// Group commit: INGEST/MERGE requests are validated on their connection
-// thread, staged, and the committer drains up to `commit_batch` staged
-// records per commit — N acknowledged ingests for one fsync. Staged
-// records come from two sources of concurrency: multiple connections
-// ingesting at once, and a single connection pipelining requests (the
-// handler drains already-buffered ingest frames without blocking and
-// stages the whole run as one group). When `commit_interval_us` > 0 the
-// committer additionally waits that long for a partial batch to fill;
-// at 0 batching is purely natural (whatever queued while the previous
-// fsync ran). A connection thread is only unblocked — and its client
-// only sees OK — after the batch containing its record is durable, so
-// an acknowledged ingest always replays after a crash.
+// Group commit, now parallel across shards: INGEST/MERGE requests are
+// validated on their connection thread, routed by the stable series
+// hash, and staged on the owning shard's queue; each shard's committer
+// drains up to `commit_batch` staged records per commit — N acknowledged
+// ingests for one fsync, with up to `shards` fsyncs in flight at once.
+// A connection thread is unblocked — and its client sees OK — only after
+// every shard batch containing one of its records is durable.
 //
-// QUERY / CHECKPOINT / STATS run on the connection thread under
-// store_mu_, the one lock serializing every DurableSketchStore access.
+// The checkpoint scheduler (optional, off by default) checkpoints a
+// shard when its WAL grows past `checkpoint_wal_bytes` or has carried
+// records for longer than `checkpoint_interval_ms`. A checkpoint holds
+// only that shard's store_mu, so ingest on every other shard proceeds
+// concurrently; the client-driven CHECKPOINT op remains supported and
+// now means "checkpoint all shards".
+//
+// QUERY / CHECKPOINT / STATS run on the connection thread. QUERY locks
+// only the owning shard's store_mu (a series lives on exactly one
+// shard, so the owner's merge-on-read answer is the whole answer);
+// CHECKPOINT and STATS walk the shards one store_mu at a time, in shard
+// order.
 
 #ifndef DDSKETCH_SERVER_SERVER_H_
 #define DDSKETCH_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,7 +55,7 @@
 #include <vector>
 
 #include "server/protocol.h"
-#include "timeseries/durable_store.h"
+#include "timeseries/sharded_store.h"
 #include "util/status.h"
 
 namespace dd {
@@ -54,21 +65,35 @@ struct SketchServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
   DurableSketchStoreOptions durable;
-  /// Max staged records drained into one group commit (one fsync).
+  /// Shard count for the data directory: 0 auto-detects (manifest count,
+  /// legacy/fresh directories open single-shard); an explicit count must
+  /// match the directory (see timeseries/sharded_store.h).
+  size_t shards = 0;
+  /// Max staged records drained into one group commit (one fsync),
+  /// per shard.
   size_t commit_batch = 64;
-  /// Extra microseconds the committer waits for a partial batch to fill.
-  /// 0 = commit whatever queued while the previous commit ran.
+  /// Extra microseconds a shard committer waits for a partial batch to
+  /// fill. 0 = commit whatever queued while the previous commit ran.
   int64_t commit_interval_us = 0;
+  /// Background checkpoint: snapshot + reset a shard's WAL once it
+  /// exceeds this many bytes. 0 disables the size trigger.
+  uint64_t checkpoint_wal_bytes = 0;
+  /// Background checkpoint: snapshot + reset a shard's WAL once it has
+  /// held records this long. 0 disables the interval trigger. (sketchd
+  /// exposes this as --checkpoint-interval-s; milliseconds here keep the
+  /// scheduler unit-testable.)
+  int64_t checkpoint_interval_ms = 0;
 };
 
-/// The daemon: owns the durable store, the listening socket, and all
-/// serving threads. Construct via Start(), tear down via Stop() (also
-/// run by the destructor). Stop() closes the store so the data
+/// The daemon: owns the sharded durable store, the listening socket, and
+/// all serving threads. Construct via Start(), tear down via Stop()
+/// (also run by the destructor). Stop() closes the store so the data
 /// directory can be reopened immediately afterwards.
 class SketchServer {
  public:
   /// Opens (or recovers) `data_dir`, binds the listening socket, and
-  /// launches the accept + committer threads.
+  /// launches the accept thread, one committer per shard, and (when a
+  /// checkpoint trigger is configured) the checkpoint scheduler.
   static Result<std::unique_ptr<SketchServer>> Start(
       const std::string& data_dir, const SketchServerOptions& options);
 
@@ -83,59 +108,107 @@ class SketchServer {
   /// The bound port (useful with options.port = 0).
   uint16_t port() const noexcept { return port_; }
 
-  /// Group commits executed since Start (each is exactly one WAL fsync).
+  size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Group commits executed since Start, totaled across shards (each is
+  /// exactly one WAL fsync).
   uint64_t batch_commits() const noexcept;
 
+  /// Checkpoints the scheduler has run since Start, totaled across
+  /// shards (client CHECKPOINTs are not counted).
+  uint64_t background_checkpoints() const noexcept;
+
  private:
-  /// One staged INGEST/MERGE waiting for the committer. Lives on the
-  /// connection thread's stack; the queue holds pointers.
+  struct RunWaiter;
+
+  /// One staged INGEST/MERGE waiting for a shard committer. Lives on the
+  /// connection thread's stack; the shard queue holds pointers.
   struct PendingIngest {
     WalRecord record;
     Status result;
     uint64_t wal_offset = 0;
     bool done = false;
+    RunWaiter* waiter = nullptr;  // signals the owning connection thread
   };
 
-  SketchServer(SketchServerOptions options, DurableSketchStore store);
+  /// Completion rendezvous for one pipelined run: entries of the run may
+  /// be spread over several shard queues, so the connection thread waits
+  /// on a single counter that every committer decrements.
+  struct RunWaiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+
+  /// Everything one shard's committer and scheduler state needs. The
+  /// shard's DurableSketchStore itself lives in store_ (same index).
+  struct Shard {
+    std::mutex store_mu;  // serializes every access to this shard's store
+
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;  // wakes this shard's committer
+    std::deque<PendingIngest*> queue;
+    bool stopping = false;        // guarded by queue_mu
+    uint64_t batch_commits = 0;   // guarded by queue_mu
+    /// Sticky first commit error (guarded by queue_mu). After a batch
+    /// commit fails this shard's durability substrate is suspect — and
+    /// if the WAL repair failed its log is torn, where further appends
+    /// would be silently dropped by recovery — so this shard's ingest
+    /// path fail-stops: every later INGEST/MERGE routed here is refused
+    /// with this status. Other shards, queries, STATS, and CHECKPOINT
+    /// keep working.
+    Status commit_error;
+
+    std::thread committer;
+
+    /// Scheduler bookkeeping (guarded by store_mu, like the store).
+    std::chrono::steady_clock::time_point checkpoint_deadline_base;
+    /// After a failed background checkpoint the scheduler skips this
+    /// shard until here — a snapshot write is expensive, so a
+    /// persistently failing one must not be retried every poll.
+    std::chrono::steady_clock::time_point checkpoint_backoff_until{};
+    uint64_t background_checkpoints = 0;
+  };
+
+  SketchServer(SketchServerOptions options, ShardedDurableStore store);
 
   void AcceptLoop(int listen_fd);
   void ServeConnection(int fd);
   /// Handles QUERY / CHECKPOINT / STATS on the connection thread.
   Response HandleNonIngest(const Request& request);
-  /// Validates + stages a pipelined run of INGEST/MERGE requests as one
-  /// group, waits for durability, and writes one response per request
-  /// in order. Returns false when the connection should close.
+  /// Validates + stages a pipelined run of INGEST/MERGE requests across
+  /// the owning shards' queues, waits for durability, and writes one
+  /// response per request in order. Returns false when the connection
+  /// should close.
   bool HandleIngestRun(class FramedConn* conn,
                        const std::vector<Request>& run);
-  /// Blocks until the committer has made every entry durable. Entries
-  /// whose result is pre-set (validation failures) are not staged.
-  void StageRunAndWait(std::vector<PendingIngest*>* run);
-  void CommitLoop();
-  /// Drains up to commit_batch pending entries, commits them with one
-  /// fsync, and wakes their connection threads. Called with queue_mu_
-  /// held; returns with it held.
-  void CommitOneBatch(std::unique_lock<std::mutex>* lk);
+  void CommitLoop(size_t shard_index);
+  /// Drains up to commit_batch pending entries from shard `k`, commits
+  /// them with one fsync, and wakes their connection threads. Called
+  /// with the shard's queue_mu held; returns with it held.
+  void CommitOneBatch(size_t shard_index, std::unique_lock<std::mutex>* lk);
+  /// The background checkpoint scheduler: polls every shard's WAL size
+  /// and age against the configured triggers.
+  void CheckpointLoop();
+  /// True when either background-checkpoint trigger is configured.
+  bool SchedulerEnabled() const noexcept {
+    return options_.checkpoint_wal_bytes > 0 ||
+           options_.checkpoint_interval_ms > 0;
+  }
 
   SketchServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
 
-  std::mutex store_mu_;  // serializes every store_ access
-  std::optional<DurableSketchStore> store_;
+  std::optional<ShardedDurableStore> store_;
+  /// One entry per store shard; unique_ptr for address stability (the
+  /// committer threads hold pointers into it).
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex queue_mu_;       // mutable: batch_commits() is const
-  std::condition_variable queue_cv_;  // wakes the committer
-  std::condition_variable done_cv_;   // wakes waiting connection threads
-  std::deque<PendingIngest*> queue_;
-  bool stopping_ = false;
-  uint64_t batch_commits_ = 0;  // guarded by queue_mu_
-  /// Sticky first commit error (guarded by queue_mu_). After any batch
-  /// commit fails the durability substrate is suspect — and if the WAL
-  /// repair failed the log is torn, where further appends would be
-  /// silently dropped by recovery — so the ingest path fail-stops:
-  /// every later INGEST/MERGE is refused with this status. Queries,
-  /// STATS, and CHECKPOINT keep working.
-  Status commit_error_;
+  std::mutex scheduler_mu_;
+  std::condition_variable scheduler_cv_;
+  bool scheduler_stop_ = false;  // guarded by scheduler_mu_
+  std::thread checkpoint_thread_;
 
   std::mutex conns_mu_;
   std::unordered_set<int> conn_fds_;
@@ -146,7 +219,6 @@ class SketchServer {
   std::atomic<bool> draining_{false};
 
   std::thread accept_thread_;
-  std::thread commit_thread_;
   bool stopped_ = false;  // Stop() ran to completion (main thread only)
 };
 

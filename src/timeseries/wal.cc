@@ -58,6 +58,8 @@ Status DecodeBody(std::string_view body, WalRecord* record) {
 
 // magic + version + fixed32 epoch + fixed32 crc.
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 1 + 2 * sizeof(uint32_t);
+static_assert(kHeaderBytes == kWalHeaderBytes,
+              "wal.h kWalHeaderBytes must match the encoded header size");
 
 std::string EncodeWalHeader(uint32_t epoch) {
   std::string out;

@@ -44,6 +44,11 @@
 
 namespace dd {
 
+/// Size of the fixed WAL header (magic + version + fixed32 epoch +
+/// fixed32 crc). A log whose size equals this holds no records — the
+/// checkpoint scheduler uses that to skip shards with nothing to fold.
+inline constexpr uint64_t kWalHeaderBytes = 13;
+
 /// One logged ingest.
 struct WalRecord {
   enum class Type : uint8_t {

@@ -1,0 +1,60 @@
+// Data-directory layout helpers for the sharded durable store.
+//
+// A sharded data directory looks like
+//
+//   <dir>/SHARDS            the shard manifest ("shards=<N>\n")
+//   <dir>/shard-0/          one DurableSketchStore directory per shard
+//   ...
+//   <dir>/shard-<N-1>/
+//
+// while a legacy (PR 2-4) single-store directory keeps its flat layout
+// (`wal.log` / `snapshot.dds` / `LOCK` directly under <dir>) and has no
+// manifest. The manifest is written atomically once at creation and
+// never changes: re-splitting an existing directory would re-route
+// series to different shards and tear their histories apart, so openers
+// treat a count mismatch as Incompatible instead of adopting it.
+//
+// The series -> shard route is a stable 64-bit FNV-1a hash, pinned here
+// so every writer (sketchd, ddsketch_cli, tests) routes identically
+// forever — the hash is part of the on-disk contract, documented in
+// docs/OPERATIONS.md.
+
+#ifndef DDSKETCH_UTIL_DIR_LAYOUT_H_
+#define DDSKETCH_UTIL_DIR_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Upper bound on the shard count a manifest may carry; anything larger
+/// is treated as a corrupt manifest rather than an instruction to open
+/// thousands of stores.
+inline constexpr size_t kMaxShards = 1024;
+
+/// `<dir>/shard-<k>` — the per-shard store directory.
+std::string ShardSubdir(const std::string& data_dir, size_t shard);
+
+/// `<dir>/SHARDS` — the shard-count manifest.
+std::string ShardManifestPath(const std::string& data_dir);
+
+/// Reads the manifest. Returns 0 when the file does not exist (legacy or
+/// fresh directory); fails with Corruption when it exists but does not
+/// parse or carries a count outside [1, kMaxShards].
+Result<size_t> ReadShardManifest(const std::string& data_dir);
+
+/// Writes the manifest atomically (tmp + fsync + rename).
+Status WriteShardManifest(const std::string& data_dir, size_t shards);
+
+/// Stable 64-bit FNV-1a over the series name. The shard route is
+/// `ShardHash(series) % num_shards`; changing this function would orphan
+/// every sharded directory ever written.
+uint64_t ShardHash(std::string_view series) noexcept;
+
+}  // namespace dd
+
+#endif  // DDSKETCH_UTIL_DIR_LAYOUT_H_

@@ -230,14 +230,31 @@ std::string GoldenProtocolBytes() {
   stats_ok.stats.wal_offset = 40;
   stats_ok.stats.epoch = 2;
   stats_ok.stats.batch_commits = 17;
+  stats_ok.stats.background_checkpoints = 3;  // v2: per-shard rows follow
+  ShardStats shard0;
+  shard0.shard = 0;
+  shard0.num_series = 1;
+  shard0.wal_bytes = 27;
+  shard0.epoch = 2;
+  shard0.batch_commits = 9;
+  shard0.background_checkpoints = 2;
+  stats_ok.stats.shards.push_back(shard0);
+  ShardStats shard1;
+  shard1.shard = 1;
+  shard1.num_series = 1;
+  shard1.wal_bytes = 13;
+  shard1.epoch = 3;
+  shard1.batch_commits = 8;
+  shard1.background_checkpoints = 1;
+  stats_ok.stats.shards.push_back(shard1);
   bytes += EncodeResponse(stats_ok);
 
   return bytes;
 }
 
 TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
-  // magic "DDSP", version 1.
-  EXPECT_EQ(Hex(EncodeHello()), "44445350" "01");
+  // magic "DDSP", version 2 (v2 = per-shard STATS rows).
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "02");
 }
 
 TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
@@ -254,8 +271,8 @@ TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
 
 TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenProtocolBytes();
-  MaybeRegenerate("protocol_v1.bin", encoded);
-  const std::string fixture = ReadFixture("protocol_v1.bin");
+  MaybeRegenerate("protocol_v2.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v2.bin");
   ASSERT_EQ(Hex(encoded), Hex(fixture));
 
   // Walk the fixture: hello, then 5 requests, then 5 responses — every

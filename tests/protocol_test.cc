@@ -50,7 +50,7 @@ TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
   EXPECT_EQ(CheckHello(bad_magic).code(), StatusCode::kCorruption);
 
   std::string bad_version = EncodeHello();
-  bad_version[4] = 2;
+  bad_version[4] = static_cast<char>(kProtocolVersion + 1);
   EXPECT_EQ(CheckHello(bad_version).code(), StatusCode::kIncompatible);
 
   EXPECT_EQ(CheckHello("DDS").code(), StatusCode::kCorruption);
@@ -136,9 +136,26 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     r.stats.wal_offset = 999;
     r.stats.epoch = 2;
     r.stats.batch_commits = 41;
+    r.stats.background_checkpoints = 6;
+    for (uint64_t k = 0; k < 3; ++k) {
+      ShardStats shard;
+      shard.shard = k;
+      shard.num_series = k + 1;
+      shard.wal_bytes = 100 * (k + 1);
+      shard.epoch = 2 + k;
+      shard.batch_commits = 10 + k;
+      shard.background_checkpoints = k;
+      r.stats.shards.push_back(shard);
+    }
     const Response decoded = RoundTripResponse(r);
     EXPECT_EQ(decoded.stats.num_intervals, 17u);
     EXPECT_EQ(decoded.stats.batch_commits, 41u);
+    EXPECT_EQ(decoded.stats.background_checkpoints, 6u);
+    ASSERT_EQ(decoded.stats.shards.size(), 3u);
+    EXPECT_EQ(decoded.stats.shards[2].shard, 2u);
+    EXPECT_EQ(decoded.stats.shards[2].wal_bytes, 300u);
+    EXPECT_EQ(decoded.stats.shards[2].epoch, 4u);
+    EXPECT_EQ(decoded.stats.shards[1].background_checkpoints, 1u);
   }
 }
 

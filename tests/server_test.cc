@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/ddsketch.h"
 #include "server/client.h"
 #include "timeseries/durable_store.h"
+#include "timeseries/sharded_store.h"
 #include "util/file_io.h"
 
 namespace dd {
@@ -234,6 +236,188 @@ TEST_F(ServerTest, CheckpointOverTheWire) {
   EXPECT_EQ(
       std::move(reopened.value().QueryRange("svc", 0, 600)).value().count(),
       51u);
+}
+
+TEST_F(ServerTest, ShardedServerMatchesReferenceAndRecovers) {
+  SketchServerOptions options;
+  options.shards = 4;
+  auto server = MustStart(Dir("sharded"), options);
+  EXPECT_EQ(server->num_shards(), 4u);
+  SketchClient client = MustConnect(*server);
+  auto ref = std::move(SketchStore::Create(SketchStoreOptions{})).value();
+  std::vector<std::string> series;
+  for (int s = 0; s < 8; ++s) series.push_back("svc." + std::to_string(s));
+  for (int i = 0; i < 800; ++i) {
+    const std::string& name = series[i % series.size()];
+    const double value = 1.0 + ((i * 7) % 101) * 0.25;
+    const int64_t ts = (i % 30) * 10;
+    ASSERT_TRUE(client.IngestValue(name, ts, value).ok());
+    ASSERT_TRUE(ref.IngestValue(name, ts, value).ok());
+  }
+  // Cross-shard quantiles are exact w.r.t. the unsharded reference.
+  for (const std::string& name : series) {
+    auto remote = client.Query(name, 0, 300, {0.5, 0.99});
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_EQ(remote.value()[0],
+              std::move(ref.QueryQuantile(name, 0, 300, 0.5)).value());
+    EXPECT_EQ(remote.value()[1],
+              std::move(ref.QueryQuantile(name, 0, 300, 0.99)).value());
+  }
+  // STATS carries one row per shard, and the series are actually spread.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats.value().shards.size(), 4u);
+  uint64_t series_total = 0;
+  int shards_with_data = 0;
+  uint64_t wal_total = 0;
+  for (const ShardStats& row : stats.value().shards) {
+    series_total += row.num_series;
+    wal_total += row.wal_bytes;
+    if (row.num_series > 0) ++shards_with_data;
+    EXPECT_EQ(row.epoch, 1u);
+  }
+  EXPECT_EQ(series_total, series.size());
+  EXPECT_EQ(stats.value().num_series, series.size());
+  EXPECT_EQ(stats.value().wal_offset, wal_total);
+  EXPECT_GE(shards_with_data, 2);
+  server->Stop();
+  // The directory reopens by auto-detection with everything recovered.
+  auto reopened = ShardedDurableStore::Open(Dir("sharded"), {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().num_shards(), 4u);
+  EXPECT_EQ(reopened.value().TotalSeries(), series.size());
+  EXPECT_EQ(
+      std::move(reopened.value().QueryRange(series[0], 0, 300)).value().count(),
+      100u);
+}
+
+TEST_F(ServerTest, ShardedCheckpointCoversEveryShard) {
+  SketchServerOptions options;
+  options.shards = 3;
+  auto server = MustStart(Dir("ckpt3"), options);
+  SketchClient client = MustConnect(*server);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        client.IngestValue("series." + std::to_string(i), 0, 1.0 + i).ok());
+  }
+  auto epoch = client.Checkpoint();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(epoch.value(), 2u);  // the minimum across shards
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().shards.size(), 3u);
+  for (const ShardStats& row : stats.value().shards) {
+    EXPECT_EQ(row.epoch, 2u) << "shard " << row.shard;
+    EXPECT_EQ(row.background_checkpoints, 0u);  // client-driven, not bg
+  }
+}
+
+/// Polls STATS until `done(stats)` or ~5 s elapse; returns the last
+/// snapshot either way.
+template <typename Pred>
+StoreStats AwaitStats(SketchClient* client, Pred done) {
+  StoreStats last;
+  for (int i = 0; i < 200; ++i) {
+    auto stats = client->Stats();
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    last = std::move(stats).value();
+    if (done(last)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return last;
+}
+
+TEST_F(ServerTest, BackgroundCheckpointFiresOnWalSize) {
+  SketchServerOptions options;
+  options.shards = 2;
+  options.checkpoint_wal_bytes = 256;
+  auto server = MustStart(Dir("bgsize"), options);
+  SketchClient client = MustConnect(*server);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client.IngestValue("hot", i % 20, 1.0 + i).ok());
+  }
+  // No client CHECKPOINT is ever sent: the epoch advance must come from
+  // the scheduler noticing the hot shard's WAL size. Wait for the
+  // quiescent state — a checkpoint has fired AND every WAL is back
+  // under the trigger — rather than the first bg > 0 snapshot, which
+  // can race with a mid-ingest checkpoint followed by a WAL refill.
+  const StoreStats stats = AwaitStats(&client, [](const StoreStats& s) {
+    if (s.background_checkpoints == 0) return false;
+    for (const ShardStats& row : s.shards) {
+      if (row.wal_bytes >= 256u + 13u) return false;
+    }
+    return true;
+  });
+  EXPECT_GE(stats.background_checkpoints, 1u);
+  int advanced = 0;
+  for (const ShardStats& row : stats.shards) {
+    if (row.epoch >= 2) ++advanced;
+    // Quiescent: the scheduler has drained every over-budget log.
+    EXPECT_LT(row.wal_bytes, 256u + 13u) << "shard " << row.shard;
+  }
+  EXPECT_GE(advanced, 1);
+  // And the data survived the snapshot + reset.
+  auto quantile = client.Query("hot", 0, 100, {0.5});
+  ASSERT_TRUE(quantile.ok()) << quantile.status().ToString();
+  server->Stop();
+  auto reopened = ShardedDurableStore::Open(Dir("bgsize"), {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(
+      std::move(reopened.value().QueryRange("hot", 0, 200)).value().count(),
+      100u);
+}
+
+TEST_F(ServerTest, BackgroundCheckpointFiresOnInterval) {
+  SketchServerOptions options;
+  options.checkpoint_interval_ms = 50;  // sketchd exposes whole seconds
+  auto server = MustStart(Dir("bgtime"), options);
+  SketchClient client = MustConnect(*server);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.IngestValue("svc", 0, 1.0 + i).ok());
+  }
+  const StoreStats stats = AwaitStats(
+      &client, [](const StoreStats& s) { return s.epoch >= 2; });
+  EXPECT_GE(stats.epoch, 2u);
+  EXPECT_GE(stats.background_checkpoints, 1u);
+}
+
+TEST_F(ServerTest, AggressiveCheckpointsDoNotBlockOrLoseConcurrentIngest) {
+  // Both triggers at their most aggressive on 4 shards: every poll
+  // checkpoints some shard while every shard is ingesting. Nothing may
+  // stall, fail, or be lost — checkpoints hold only their own shard's
+  // lock, so ingest on the other shards proceeds concurrently.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  SketchServerOptions options;
+  options.shards = 4;
+  options.checkpoint_wal_bytes = 1;
+  options.checkpoint_interval_ms = 10;
+  auto server = MustStart(Dir("bgstorm"), options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, t] {
+      auto client = SketchClient::Connect("127.0.0.1", server->port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(client.value()
+                        .IngestValue("storm." + std::to_string(t), i % 100,
+                                     1.0 + i)
+                        .ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(server->background_checkpoints(), 1u);
+  server->Stop();
+  auto reopened = ShardedDurableStore::Open(Dir("bgstorm"), {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(std::move(reopened.value().QueryRange(
+                            "storm." + std::to_string(t), 0, 100))
+                  .value()
+                  .count(),
+              static_cast<uint64_t>(kPerThread));
+  }
 }
 
 TEST_F(ServerTest, SecondServerOnSameDirIsLockedOut) {

@@ -1,13 +1,24 @@
 #!/bin/sh
-# End-to-end socket smoke test for the sketchd daemon: start it on a temp
-# data dir, ingest 10k values over the wire via ddsketch_cli, check the
-# quantiles against an in-process reference sketch built from the same
-# values (within the paper's accuracy bound), SIGKILL the daemon, restart
-# it, and verify recovery answers byte-identically.
+# End-to-end socket smoke test for the sketchd daemon, in three acts:
+#
+#  0. doc drift: every --flag named in docs/OPERATIONS.md's flag table
+#     must appear in `sketchd --help`.
+#  1. legacy single-shard pass: start on a temp data dir, ingest 10k
+#     values over the wire via ddsketch_cli, check the quantiles against
+#     an in-process reference sketch built from the same values (within
+#     the paper's accuracy bound), SIGKILL the daemon, restart it, and
+#     verify recovery answers byte-identically.
+#  2. sharded pass (--shards 4): ingest the same stream into four series,
+#     observe a background checkpoint via remote-stats (epoch advances
+#     with no client CHECKPOINT), SIGKILL, restart WITHOUT --shards
+#     (auto-detect from the SHARDS manifest), verify byte-identical
+#     answers, and finally open the sharded directory directly with
+#     `ddsketch_cli query --data-dir`.
 set -eu
 
 SKETCHD="$1"
 CLI="$2"
+OPS="$3"
 WORK="$(mktemp -d)"
 PID=""
 cleanup() {
@@ -27,9 +38,27 @@ wait_for_port() {
   cat "$1"
 }
 
+# --- 0: no doc drift -------------------------------------------------------
+# The operator manual's flag table (between the flags:begin/flags:end
+# markers) is the contract; --help must know every flag it documents.
+HELP="$("$SKETCHD" --help)"
+FLAGS="$(sed -n '/flags:begin/,/flags:end/p' "$OPS" | grep -oE -- '--[a-z][a-z-]*' | sort -u)"
+NFLAGS=0
+for flag in $FLAGS; do
+  NFLAGS=$((NFLAGS + 1))
+  case "$HELP" in
+    *"$flag"*) ;;
+    *) echo "OPERATIONS.md documents $flag but sketchd --help does not"; exit 1 ;;
+  esac
+done
+# Guard the grep itself: if the doc's table markers move, fail loudly
+# instead of silently checking nothing.
+[ "$NFLAGS" -ge 8 ] || { echo "flag table not found in $OPS"; exit 1; }
+
 "$CLI" generate web_latency 10000 42 > "$WORK/values.txt"
 [ "$(wc -l < "$WORK/values.txt")" -eq 10000 ]
 
+# --- 1: legacy single-shard pass -------------------------------------------
 "$SKETCHD" --data-dir "$WORK/data" --port 0 --port-file "$WORK/port" \
   > "$WORK/sketchd.log" 2>&1 &
 PID=$!
@@ -38,7 +67,9 @@ PORT="$(wait_for_port "$WORK/port")"
 # Ingest >=10k values over the socket; every ack is a durable commit.
 "$CLI" remote-ingest --port "$PORT" --series api.latency --timestamp 100 \
   < "$WORK/values.txt"
+# Single-shard mode keeps the legacy flat layout (no SHARDS manifest).
 [ -f "$WORK/data/wal.log" ]
+[ ! -f "$WORK/data/SHARDS" ]
 
 "$CLI" remote-query --port "$PORT" --series api.latency --start 0 --end 200 \
   0.5 0.95 0.99 > "$WORK/q1.txt"
@@ -76,5 +107,72 @@ cmp "$WORK/q1.txt" "$WORK/q2.txt"
 kill "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""
+
+# --- 2: sharded pass (--shards 4, background checkpoints on) ---------------
+"$SKETCHD" --data-dir "$WORK/data4" --shards 4 --checkpoint-wal-bytes 65536 \
+  --port 0 --port-file "$WORK/port4" > "$WORK/sketchd4.log" 2>&1 &
+PID=$!
+PORT="$(wait_for_port "$WORK/port4")"
+
+# The same 10k values into four series: the hash spreads them over the
+# shards, and each series' sketch must equal the single-shard run's.
+for s in 0 1 2 3; do
+  "$CLI" remote-ingest --port "$PORT" --series "api.latency.$s" \
+    --timestamp 100 < "$WORK/values.txt"
+done
+[ -f "$WORK/data4/SHARDS" ]
+[ -d "$WORK/data4/shard-0" ] && [ -d "$WORK/data4/shard-3" ]
+
+for s in 0 1 2 3; do
+  "$CLI" remote-query --port "$PORT" --series "api.latency.$s" \
+    --start 0 --end 200 0.5 0.95 0.99 > "$WORK/q4_$s.txt"
+  # Identical input stream at the same alpha: the sharded daemon must
+  # answer exactly what the single-shard daemon answered.
+  cmp "$WORK/q4_$s.txt" "$WORK/q1.txt"
+done
+
+# Background checkpoints: each series pushed ~300 kB into its shard's
+# WAL, far past --checkpoint-wal-bytes, so the scheduler must have
+# checkpointed (epoch >= 2 on some shard) with no client CHECKPOINT sent.
+i=0
+while :; do
+  "$CLI" remote-stats --port "$PORT" > "$WORK/stats4.txt"
+  BG="$(awk '$1 == "background_checkpoints" { print $2 }' "$WORK/stats4.txt")"
+  [ "${BG:-0}" -gt 0 ] && break
+  i=$((i + 1))
+  [ "$i" -le 100 ] || {
+    echo "no background checkpoint observed"; cat "$WORK/stats4.txt"; exit 1; }
+  sleep 0.1
+done
+grep -E '^shard [0-9]+ .* epoch=([2-9]|[1-9][0-9])' "$WORK/stats4.txt" \
+  > /dev/null || {
+    echo "no shard epoch advanced"; cat "$WORK/stats4.txt"; exit 1; }
+
+# Crash hard mid-life and restart WITHOUT --shards: the SHARDS manifest
+# must be auto-detected and every acknowledged ingest recovered.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+"$SKETCHD" --data-dir "$WORK/data4" --port 0 --port-file "$WORK/port4b" \
+  > "$WORK/sketchd4b.log" 2>&1 &
+PID=$!
+PORT="$(wait_for_port "$WORK/port4b")"
+
+for s in 0 1 2 3; do
+  "$CLI" remote-query --port "$PORT" --series "api.latency.$s" \
+    --start 0 --end 200 0.5 0.95 0.99 > "$WORK/q5_$s.txt"
+  cmp "$WORK/q5_$s.txt" "$WORK/q4_$s.txt"
+done
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# The CLI opens the sharded directory directly (auto-detected layout,
+# same hash route) and answers exactly like the daemon did.
+"$CLI" query --data-dir "$WORK/data4" --series api.latency.2 \
+  --start 0 --end 200 0.5 0.95 0.99 > "$WORK/qcli.txt"
+cmp "$WORK/qcli.txt" "$WORK/q1.txt"
 
 echo "smoke_sketchd OK"

@@ -13,17 +13,23 @@
 //       Emits N values of a built-in data set (pareto|span|power|
 //       web_latency) to stdout, one per line — pipe into `build`.
 //
-// Durable time-series mode (persists to a data directory with a
-// write-ahead log + snapshots; see src/timeseries/durable_store.h):
+// Durable time-series mode (persists to a data directory with per-shard
+// write-ahead logs + snapshots; see src/timeseries/sharded_store.h).
+// Sharded directories (created by `sketchd --shards N` or `ingest
+// --shards N`) are auto-detected via their SHARDS manifest and writes
+// route by the same stable series hash sketchd uses; legacy flat
+// directories keep working unchanged:
 //   ddsketch_cli ingest --data-dir DIR --series NAME [--timestamp T]
-//                       [--alpha A] [--sync] < values.txt
+//                       [--alpha A] [--sync] [--shards N] < values.txt
 //       Reads "value" or "timestamp value" lines from stdin and ingests
 //       them durably (plain values land at --timestamp, default 0).
+//       --shards N creates a fresh directory with N shards.
 //   ddsketch_cli query --data-dir DIR --series NAME --start S --end E
 //                      [--alpha A] [q1 q2 ...]
 //       Quantiles of the merged sketch over [S, E).
 //   ddsketch_cli compact --data-dir DIR --now T [--alpha A]
-//       Rolls up old intervals, snapshots, and truncates the log.
+//       Rolls up old intervals, snapshots, and truncates the log
+//       (every shard).
 //
 // Remote mode (talks to a running sketchd daemon over its wire protocol,
 // docs/PROTOCOL.md; see tools/sketchd.cc):
@@ -34,6 +40,9 @@
 //   ddsketch_cli remote-query --port P [--host H] --series NAME
 //                             --start S --end E [q1 q2 ...]
 //       Quantiles over [S, E), answered by the daemon.
+//   ddsketch_cli remote-stats --port P [--host H]
+//       Aggregate and per-shard store statistics (docs/OPERATIONS.md
+//       documents every field).
 //
 // Example round trip:
 //   ddsketch_cli generate pareto 1000000 | ddsketch_cli build --out s.dds
@@ -52,7 +61,7 @@
 #include "core/ddsketch.h"
 #include "data/datasets.h"
 #include "server/client.h"
-#include "timeseries/durable_store.h"
+#include "timeseries/sharded_store.h"
 
 namespace {
 
@@ -70,9 +79,10 @@ int Usage() {
       "  ddsketch_cli merge OUT IN1 IN2 [IN3 ...]\n"
       "  ddsketch_cli info FILE\n"
       "  ddsketch_cli generate DATASET N [SEED]\n"
-      "durable time-series mode:\n"
+      "durable time-series mode (sharded dirs auto-detected):\n"
       "  ddsketch_cli ingest --data-dir DIR --series NAME [--timestamp T]\n"
-      "                      [--alpha A] [--sync]   (values on stdin)\n"
+      "                      [--alpha A] [--sync] [--shards N]\n"
+      "                      (values on stdin)\n"
       "  ddsketch_cli query --data-dir DIR --series NAME --start S --end E\n"
       "                      [--alpha A] [q1 q2 ...]\n"
       "  ddsketch_cli compact --data-dir DIR --now T [--alpha A]\n"
@@ -80,7 +90,8 @@ int Usage() {
       "  ddsketch_cli remote-ingest --port P [--host H] --series NAME\n"
       "                      [--timestamp T]   (values on stdin)\n"
       "  ddsketch_cli remote-query --port P [--host H] --series NAME\n"
-      "                      --start S --end E [q1 q2 ...]\n");
+      "                      --start S --end E [q1 q2 ...]\n"
+      "  ddsketch_cli remote-stats --port P [--host H]\n");
   return 2;
 }
 
@@ -216,6 +227,7 @@ struct DurableArgs {
   int64_t now = 0;
   double alpha = 0.01;
   bool sync = false;
+  size_t shards = 0;  // 0 = auto-detect the directory's layout
   std::vector<std::string> extra;
 };
 
@@ -241,6 +253,8 @@ bool ParseDurableArgs(int argc, char** argv, DurableArgs* out,
       out->port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--alpha" && i + 1 < argc) {
       out->alpha = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      out->shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--sync") {
       out->sync = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -294,11 +308,15 @@ bool ParseIngestLine(const std::string& line, int64_t default_timestamp,
   return true;
 }
 
-dd::Result<dd::DurableSketchStore> OpenDurable(const DurableArgs& args) {
-  dd::DurableSketchStoreOptions options;
-  options.store.sketch.relative_accuracy = args.alpha;
-  options.sync_every_ingest = args.sync;
-  return dd::DurableSketchStore::Open(args.data_dir, options);
+dd::Result<dd::ShardedDurableStore> OpenDurable(const DurableArgs& args) {
+  dd::ShardedDurableStoreOptions options;
+  options.durable.store.sketch.relative_accuracy = args.alpha;
+  options.durable.sync_every_ingest = args.sync;
+  // 0 auto-detects: a SHARDS manifest routes by the shard hash, a legacy
+  // flat directory opens in place, a fresh directory is single-shard
+  // (unless --shards asked for more).
+  options.shards = args.shards;
+  return dd::ShardedDurableStore::Open(args.data_dir, options);
 }
 
 int CmdIngest(int argc, char** argv) {
@@ -307,7 +325,7 @@ int CmdIngest(int argc, char** argv) {
   if (args.series.empty()) return Fail("--series is required");
   auto opened = OpenDurable(args);
   if (!opened.ok()) return Fail(opened.status().ToString());
-  dd::DurableSketchStore store = std::move(opened).value();
+  dd::ShardedDurableStore store = std::move(opened).value();
 
   std::string line;
   uint64_t ingested = 0, bad = 0;
@@ -326,10 +344,12 @@ int CmdIngest(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "ingested %llu values into %s (%llu unparseable lines), "
-               "wal at %llu bytes\n",
+               "shard %zu/%zu wal at %llu bytes\n",
                static_cast<unsigned long long>(ingested), args.series.c_str(),
                static_cast<unsigned long long>(bad),
-               static_cast<unsigned long long>(store.wal_offset()));
+               store.ShardOf(args.series), store.num_shards(),
+               static_cast<unsigned long long>(
+                   store.shard(store.ShardOf(args.series)).wal_offset()));
   return 0;
 }
 
@@ -340,7 +360,7 @@ int CmdQueryDurable(int argc, char** argv) {
   if (args.end <= args.start) return Fail("--start/--end must be a window");
   auto opened = OpenDurable(args);
   if (!opened.ok()) return Fail(opened.status().ToString());
-  const dd::DurableSketchStore store = std::move(opened).value();
+  const dd::ShardedDurableStore store = std::move(opened).value();
   std::vector<double> qs;
   for (const std::string& arg : args.extra) {
     qs.push_back(std::strtod(arg.c_str(), nullptr));
@@ -359,12 +379,14 @@ int CmdCompact(int argc, char** argv) {
   if (!ParseDurableArgs(argc, argv, &args)) return 1;
   auto opened = OpenDurable(args);
   if (!opened.ok()) return Fail(opened.status().ToString());
-  dd::DurableSketchStore store = std::move(opened).value();
+  dd::ShardedDurableStore store = std::move(opened).value();
   auto compacted = store.Compact(args.now);
   if (!compacted.ok()) return Fail(compacted.status().ToString());
-  std::fprintf(stderr, "compacted %zu intervals; store holds %zu across %zu series\n",
-               compacted.value(), store.store().num_intervals(),
-               store.store().num_series());
+  std::fprintf(stderr,
+               "compacted %zu intervals; store holds %zu across %zu series "
+               "(%zu shards)\n",
+               compacted.value(), store.TotalIntervals(), store.TotalSeries(),
+               store.num_shards());
   return 0;
 }
 
@@ -439,6 +461,49 @@ int CmdRemoteQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdRemoteStats(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseDurableArgs(argc, argv, &args, /*require_data_dir=*/false)) {
+    return 1;
+  }
+  if (args.port <= 0 || args.port > 65535) {
+    return Fail("--port is required (1-65535)");
+  }
+  auto connected =
+      dd::SketchClient::Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!connected.ok()) return Fail(connected.status().ToString());
+  dd::SketchClient client = std::move(connected).value();
+  auto stats = client.Stats();
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  const dd::StoreStats& s = stats.value();
+  // One key=value line per aggregate field, then one line per shard —
+  // grep-friendly for scripts (tests/smoke_sketchd.sh watches the shard
+  // epochs to observe background checkpoints). Field meanings are
+  // documented in docs/OPERATIONS.md.
+  std::printf("series %llu\n", static_cast<unsigned long long>(s.num_series));
+  std::printf("intervals %llu\n",
+              static_cast<unsigned long long>(s.num_intervals));
+  std::printf("bytes %llu\n", static_cast<unsigned long long>(s.size_in_bytes));
+  std::printf("wal_bytes %llu\n",
+              static_cast<unsigned long long>(s.wal_offset));
+  std::printf("epoch %llu\n", static_cast<unsigned long long>(s.epoch));
+  std::printf("batch_commits %llu\n",
+              static_cast<unsigned long long>(s.batch_commits));
+  std::printf("background_checkpoints %llu\n",
+              static_cast<unsigned long long>(s.background_checkpoints));
+  for (const dd::ShardStats& shard : s.shards) {
+    std::printf("shard %llu series=%llu wal_bytes=%llu epoch=%llu "
+                "commits=%llu bg_checkpoints=%llu\n",
+                static_cast<unsigned long long>(shard.shard),
+                static_cast<unsigned long long>(shard.num_series),
+                static_cast<unsigned long long>(shard.wal_bytes),
+                static_cast<unsigned long long>(shard.epoch),
+                static_cast<unsigned long long>(shard.batch_commits),
+                static_cast<unsigned long long>(shard.background_checkpoints));
+  }
+  return 0;
+}
+
 bool HasDataDirFlag(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--data-dir") == 0) return true;
@@ -482,6 +547,7 @@ int main(int argc, char** argv) {
   if (command == "ingest") return CmdIngest(argc - 2, argv + 2);
   if (command == "remote-ingest") return CmdRemoteIngest(argc - 2, argv + 2);
   if (command == "remote-query") return CmdRemoteQuery(argc - 2, argv + 2);
+  if (command == "remote-stats") return CmdRemoteStats(argc - 2, argv + 2);
   if (command == "compact") return CmdCompact(argc - 2, argv + 2);
   if (command == "merge") return CmdMerge(argc - 2, argv + 2);
   if (command == "info") return CmdInfo(argc - 2, argv + 2);

@@ -1,11 +1,15 @@
-// sketchd: the DDSketch serving daemon. Fronts a durable time-series
-// sketch store (WAL + snapshots, src/timeseries/) with the binary wire
-// protocol of docs/PROTOCOL.md, batching concurrent ingest fsyncs via
-// group commit (src/server/server.h).
+// sketchd: the DDSketch serving daemon. Fronts a sharded durable
+// time-series sketch store (per-shard WAL + snapshots,
+// src/timeseries/) with the binary wire protocol of docs/PROTOCOL.md,
+// batching concurrent ingest fsyncs via per-shard group commit and
+// checkpointing shards in the background (src/server/server.h).
+// Operator documentation — flags, data-dir layout, checkpoint tuning,
+// crash recovery — lives in docs/OPERATIONS.md.
 //
 // Usage:
-//   sketchd --data-dir DIR [--host 127.0.0.1] [--port 0]
-//           [--alpha 0.01] [--commit-batch 64] [--commit-interval-us 0]
+//   sketchd --data-dir DIR [--host 127.0.0.1] [--port 0] [--alpha 0.01]
+//           [--shards 0] [--commit-batch 64] [--commit-interval-us 0]
+//           [--checkpoint-wal-bytes 0] [--checkpoint-interval-s 0]
 //           [--port-file FILE]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
@@ -14,8 +18,8 @@
 // shuts down cleanly (staged ingests are committed before exit; the WAL
 // makes even a SIGKILL recoverable).
 //
-// Talk to it with `ddsketch_cli remote-ingest / remote-query`, or any
-// SketchClient (src/server/client.h).
+// Talk to it with `ddsketch_cli remote-ingest / remote-query /
+// remote-stats`, or any SketchClient (src/server/client.h).
 
 #include <csignal>
 #include <cstdio>
@@ -39,12 +43,41 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-int Usage() {
+// The one source of truth for the flag list; --help prints it to stdout
+// (exit 0) and errors print it to stderr (exit 2). docs/OPERATIONS.md
+// documents the same set, and tests/smoke_sketchd.sh greps this output
+// for every flag the manual names — keep the three in sync.
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: sketchd --data-dir DIR [--host H] [--port P] [--alpha A]\n"
-      "               [--commit-batch N] [--commit-interval-us N]\n"
-      "               [--port-file FILE]\n");
+      out,
+      "usage: sketchd --data-dir DIR [options]\n"
+      "\n"
+      "  --data-dir DIR            data directory (created/recovered on "
+      "start)\n"
+      "  --host H                  bind address            (default "
+      "127.0.0.1)\n"
+      "  --port P                  TCP port; 0 = ephemeral (default 0)\n"
+      "  --port-file FILE          write the bound port atomically to FILE\n"
+      "  --alpha A                 DDSketch relative accuracy (default "
+      "0.01)\n"
+      "  --shards N                shard count; 0 = auto-detect from the\n"
+      "                            directory, fresh dirs open single-shard\n"
+      "                            (default 0)\n"
+      "  --commit-batch N          max records per group commit, per shard\n"
+      "                            (default 64)\n"
+      "  --commit-interval-us N    extra wait for a partial batch to fill\n"
+      "                            (default 0)\n"
+      "  --checkpoint-wal-bytes N  background-checkpoint a shard once its\n"
+      "                            WAL exceeds N bytes; 0 = off (default "
+      "0)\n"
+      "  --checkpoint-interval-s N background-checkpoint a shard once its\n"
+      "                            WAL has held records for N seconds;\n"
+      "                            0 = off (default 0)\n"
+      "  --help                    print this help and exit\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -56,7 +89,10 @@ int main(int argc, char** argv) {
   dd::SketchServerOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--data-dir" && i + 1 < argc) {
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg == "--data-dir" && i + 1 < argc) {
       data_dir = argv[++i];
     } else if (arg == "--host" && i + 1 < argc) {
       options.host = argv[++i];
@@ -65,10 +101,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--alpha" && i + 1 < argc) {
       options.durable.store.sketch.relative_accuracy =
           std::strtod(argv[++i], nullptr);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      options.shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--commit-batch" && i + 1 < argc) {
       options.commit_batch = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--commit-interval-us" && i + 1 < argc) {
       options.commit_interval_us = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--checkpoint-wal-bytes" && i + 1 < argc) {
+      options.checkpoint_wal_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--checkpoint-interval-s" && i + 1 < argc) {
+      options.checkpoint_interval_ms =
+          std::strtoll(argv[++i], nullptr, 10) * 1000;
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
     } else {
@@ -84,8 +127,9 @@ int main(int argc, char** argv) {
   auto server = dd::SketchServer::Start(data_dir, options);
   if (!server.ok()) return Fail(server.status().ToString());
 
-  std::printf("sketchd: listening on %s:%u (data-dir=%s)\n",
-              options.host.c_str(), server.value()->port(), data_dir.c_str());
+  std::printf("sketchd: listening on %s:%u (data-dir=%s, shards=%zu)\n",
+              options.host.c_str(), server.value()->port(), data_dir.c_str(),
+              server.value()->num_shards());
   std::fflush(stdout);
   if (!port_file.empty()) {
     // Atomic so a watcher never reads a half-written port number.
