@@ -11,7 +11,17 @@
 //                       pipelined SketchClient connections over
 //                       loopback, group commit at batch 64, at
 //                       shards = 1 and shards = 4 (per-shard committers
-//                       fsync in parallel; ISSUE 5's scaling axis).
+//                       fsync in parallel; ISSUE 5's scaling axis);
+//   socket_Nconns       the event-loop scaling axis (ISSUE 6): the same
+//                       4 hot connections with N-4 idle ones parked on
+//                       the epoll loops. Parked connections must be
+//                       nearly free — the hot-minority rate stays
+//                       within ~10% of the bare 4-conn number and the
+//                       process RSS stays flat (rss_delta_kb column);
+//   socket_overload     deliberate overload: a one-record staged-bytes
+//                       budget with client retries disabled. Refusals
+//                       surface as BUSY, and the bench verifies zero
+//                       lost acks by reopening the store and recounting.
 //
 // The acceptance bar (ISSUE 3): group_commit_64 ingests at >= 5x the
 // per-request-fsync rate. The fsyncs column shows why — the fsync count
@@ -31,8 +41,14 @@
 #include <utility>
 #include <vector>
 
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "bench/common/table.h"
 #include "server/client.h"
+#include "server/net.h"
+#include "server/protocol.h"
 #include "server/server.h"
 #include "timeseries/durable_store.h"
 #include "timeseries/wal.h"
@@ -56,6 +72,11 @@ struct RunResult {
   size_t shards = 1;
   double seconds = 0;
   uint64_t fsyncs = 0;
+  uint64_t busy_rejections = 0;
+  long rss_delta_kb = 0;
+  /// Records actually acknowledged; 0 means "all n" (only the overload
+  /// row acks fewer than it attempts).
+  size_t records = 0;
 };
 
 /// A deterministic value stream (no dd_data dependency: this bench links
@@ -159,6 +180,164 @@ RunResult RunSocket(size_t n, size_t connections, size_t shards) {
   return result;
 }
 
+long RssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %ld", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Raises the fd soft limit toward the hard limit and reports whether
+/// `needed` descriptors fit (the 1024-connection row needs ~2.3k: both
+/// socket ends live in this process).
+bool EnsureFdLimit(rlim_t needed) {
+  struct rlimit lim;
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  if (lim.rlim_cur < needed && lim.rlim_max > lim.rlim_cur) {
+    lim.rlim_cur = lim.rlim_max < needed ? lim.rlim_max : needed;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return lim.rlim_cur >= needed;
+}
+
+/// The event-loop scaling row: `total_conns` connections of which 4 are
+/// hot (splitting the n records) and the rest are parked idle — hello
+/// completed, then silent. Also reports the RSS delta across the run:
+/// parked connections must cost epoll registrations, not stacks.
+RunResult RunSocketParked(size_t n, size_t total_conns) {
+  constexpr size_t kHot = 4;
+  const fs::path dir = FreshDir("parked_" + std::to_string(total_conns));
+  SketchServerOptions options;
+  options.commit_batch = 64;
+  auto server = std::move(SketchServer::Start(dir.string(), options)).value();
+
+  const std::string hello = EncodeHello();
+  std::vector<int> parked;
+  parked.reserve(total_conns - kHot);
+  for (size_t i = kHot; i < total_conns; ++i) {
+    auto fd = ConnectTcp("127.0.0.1", server->port());
+    if (!fd.ok()) std::abort();
+    if (::send(fd.value(), hello.data(), hello.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(hello.size())) {
+      std::abort();
+    }
+    parked.push_back(fd.value());
+  }
+
+  const long rss_before = RssKb();
+  const uint64_t fsyncs_before = TotalFsyncCount();
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kHot; ++c) {
+    threads.emplace_back([&server, c, n] {
+      const size_t per_conn = n / kHot;
+      auto client = SketchClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) std::abort();
+      std::vector<std::pair<int64_t, double>> points;
+      points.reserve(per_conn);
+      for (size_t i = 0; i < per_conn; ++i) {
+        const size_t k = c * per_conn + i;
+        points.emplace_back(static_cast<int64_t>(k % 600), ValueAt(k));
+      }
+      if (!client.value()
+               .IngestValues("svc." + std::to_string(c), points)
+               .ok()) {
+        std::abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto stop = Clock::now();
+  RunResult result;
+  result.mode = "socket_" + std::to_string(total_conns) + "conns";
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.fsyncs = TotalFsyncCount() - fsyncs_before;
+  result.rss_delta_kb = RssKb() - rss_before;
+  for (int fd : parked) ::close(fd);
+  server->Stop();
+  fs::remove_all(dir);
+  return result;
+}
+
+/// Deliberate overload: a budget of ~one staged record and no client
+/// retries, so refusals surface as BUSY. The invariant checked here is
+/// the serving layer's core promise — an acked record is never lost, a
+/// refused one is never committed — verified by reopening the store and
+/// recounting. The reported rate is acked records over wall clock.
+RunResult RunSocketOverload(size_t n) {
+  constexpr size_t kConns = 4;
+  const fs::path dir = FreshDir("overload");
+  SketchServerOptions options;
+  options.commit_batch = 64;
+  options.staged_bytes_budget = 160;
+  options.commit_interval_us = 1000;
+  auto server = std::move(SketchServer::Start(dir.string(), options)).value();
+  std::vector<uint64_t> acked(kConns, 0);
+  std::vector<uint64_t> busy(kConns, 0);
+  const uint64_t fsyncs_before = TotalFsyncCount();
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kConns; ++c) {
+    threads.emplace_back([&server, &acked, &busy, c, n] {
+      auto client = SketchClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) std::abort();
+      client.value().set_busy_retries(0);
+      const std::string series = "svc." + std::to_string(c);
+      for (size_t i = 0; i < n / kConns; ++i) {
+        const Status status = client.value().IngestValue(
+            series, static_cast<int64_t>(i % 600), ValueAt(i));
+        if (status.ok()) {
+          ++acked[c];
+        } else if (status.code() == StatusCode::kBusy) {
+          ++busy[c];
+        } else {
+          std::abort();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto stop = Clock::now();
+  server->Stop();
+
+  uint64_t total_acked = 0;
+  uint64_t total_busy = 0;
+  for (size_t c = 0; c < kConns; ++c) {
+    total_acked += acked[c];
+    total_busy += busy[c];
+  }
+  // Zero lost acks: the reopened store must hold exactly what was acked.
+  auto reopened = DurableSketchStore::Open(dir.string(), {});
+  if (!reopened.ok()) std::abort();
+  double recovered = 0;
+  for (size_t c = 0; c < kConns; ++c) {
+    auto range = reopened.value().QueryRange("svc." + std::to_string(c), 0,
+                                             1 << 20);
+    if (range.ok()) recovered += range.value().count();
+  }
+  if (recovered != static_cast<double>(total_acked)) {
+    std::fprintf(stderr,
+                 "overload run lost acked records: acked %llu, recovered "
+                 "%.0f\n",
+                 static_cast<unsigned long long>(total_acked), recovered);
+    std::abort();
+  }
+  RunResult result;
+  result.mode = "socket_overload";
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.fsyncs = TotalFsyncCount() - fsyncs_before;
+  result.busy_rejections = total_busy;
+  result.records = static_cast<size_t>(total_acked);
+  fs::remove_all(dir);
+  return result;
+}
+
 /// Emits the rows as a small JSON document (part of CI's BENCH artifact)
 /// so the serving-path trajectory is diffable across commits.
 void WriteJson(const std::string& path, size_t n,
@@ -177,13 +356,16 @@ void WriteJson(const std::string& path, size_t n,
                n);
   for (size_t i = 0; i < rows.size(); ++i) {
     const RunResult& r = rows[i];
+    const size_t records = r.records ? r.records : n;
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"shards\": %zu, "
-                 "\"records_per_sec\": %.0f, \"fsyncs\": %llu}%s\n",
+                 "\"records_per_sec\": %.0f, \"fsyncs\": %llu, "
+                 "\"busy_rejections\": %llu, \"rss_delta_kb\": %ld}%s\n",
                  r.mode.c_str(), r.shards,
-                 static_cast<double>(n) / r.seconds,
+                 static_cast<double>(records) / r.seconds,
                  static_cast<unsigned long long>(r.fsyncs),
-                 i + 1 < rows.size() ? "," : "");
+                 static_cast<unsigned long long>(r.busy_rejections),
+                 r.rss_delta_kb, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -213,20 +395,44 @@ int main(int argc, char** argv) {
   for (size_t batch : {8u, 64u, 256u}) {
     rows.push_back(RunGroupCommit(n, batch));
   }
+  double four_conn_rate = 0;  // the 4-conn single-shard reference point
   for (size_t shards : {1u, 4u}) {
     rows.push_back(RunSocket(n, 4, shards));
+    if (shards == 1) four_conn_rate = static_cast<double>(n) / rows.back().seconds;
   }
 
+  // The event-loop scaling axis: the same 4 hot connections with an
+  // idle majority parked on the loops. connections = {4, 256, 1024}
+  // (the 4-conn point is the socket_4conns row above).
+  for (size_t total : {256u, 1024u}) {
+    // Both socket ends plus the store live in this process.
+    if (!EnsureFdLimit(2 * total + 256)) {
+      std::printf("skipping %zu-conn row: fd limit too low\n", total);
+      continue;
+    }
+    rows.push_back(RunSocketParked(n, total));
+    const double rate = static_cast<double>(n) / rows.back().seconds;
+    std::printf("%zu parked conns: hot-minority rate at %.0f%% of the "
+                "4-conn rate, rss %+ld kB\n",
+                total - 4, 100.0 * rate / four_conn_rate,
+                rows.back().rss_delta_kb);
+  }
+  rows.push_back(RunSocketOverload(n));
+
   Table table({"mode", "shards", "records_per_sec", "fsyncs",
-               "records_per_fsync", "speedup_vs_fsync"});
+               "records_per_fsync", "speedup_vs_fsync", "busy",
+               "rss_delta_kb"});
   for (const RunResult& r : rows) {
-    const double rate = static_cast<double>(n) / r.seconds;
+    const size_t records = r.records ? r.records : n;
+    const double rate = static_cast<double>(records) / r.seconds;
     table.AddRow({r.mode, FmtInt(r.shards), Fmt(rate, "%.0f"),
                   FmtInt(r.fsyncs),
-                  Fmt(static_cast<double>(n) /
+                  Fmt(static_cast<double>(records) /
                           static_cast<double>(r.fsyncs ? r.fsyncs : 1),
                       "%.1f"),
-                  Fmt(rate / base_rate, "%.2f")});
+                  Fmt(rate / base_rate, "%.2f"), FmtInt(r.busy_rejections),
+                  FmtInt(static_cast<uint64_t>(
+                      r.rss_delta_kb > 0 ? r.rss_delta_kb : 0))});
   }
   table.Print("server_ingest");
   if (!json_path.empty()) WriteJson(json_path, n, rows);

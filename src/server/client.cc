@@ -38,6 +38,16 @@ SketchClient::~SketchClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+namespace {
+
+/// Sleeps for the current backoff, then doubles it (capped at 100 ms).
+void BackoffAndGrow(int64_t* backoff_us) {
+  ::usleep(static_cast<useconds_t>(*backoff_us));
+  *backoff_us = std::min<int64_t>(*backoff_us * 2, 100000);
+}
+
+}  // namespace
+
 Result<Response> SketchClient::Call(const Request& request) {
   DD_RETURN_IF_ERROR(conn_->WriteFrame(EncodeRequest(request)));
   auto body = conn_->ReadFrame();
@@ -50,6 +60,19 @@ Result<Response> SketchClient::Call(const Request& request) {
   return response;
 }
 
+Status SketchClient::CallIngest(const Request& request) {
+  int64_t backoff_us = busy_backoff_us_;
+  for (int attempt = 0;; ++attempt) {
+    auto response = Call(request);
+    if (!response.ok()) return response.status();
+    const Status status = ResponseStatus(response.value());
+    if (status.code() != StatusCode::kBusy || attempt >= busy_retries_) {
+      return status;
+    }
+    BackoffAndGrow(&backoff_us);
+  }
+}
+
 Status SketchClient::IngestValue(const std::string& series, int64_t timestamp,
                                  double value) {
   Request request;
@@ -57,9 +80,7 @@ Status SketchClient::IngestValue(const std::string& series, int64_t timestamp,
   request.series = series;
   request.timestamp = timestamp;
   request.value = value;
-  auto response = Call(request);
-  if (!response.ok()) return response.status();
-  return ResponseStatus(response.value());
+  return CallIngest(request);
 }
 
 Status SketchClient::Merge(const std::string& series, int64_t timestamp,
@@ -69,9 +90,7 @@ Status SketchClient::Merge(const std::string& series, int64_t timestamp,
   request.series = series;
   request.timestamp = timestamp;
   request.payload.assign(payload);
-  auto response = Call(request);
-  if (!response.ok()) return response.status();
-  return ResponseStatus(response.value());
+  return CallIngest(request);
 }
 
 Status SketchClient::IngestValues(
@@ -88,19 +107,41 @@ Status SketchClient::IngestValues(
   request.series = series;
   for (size_t begin = 0; begin < points.size(); begin += kWindow) {
     const size_t end = std::min(begin + kWindow, points.size());
-    std::string wire;
-    for (size_t i = begin; i < end; ++i) {
-      request.timestamp = points[i].first;
-      request.value = points[i].second;
-      wire += EncodeRequest(request);
-    }
-    DD_RETURN_IF_ERROR(conn_->WriteFrame(wire));
-    for (size_t i = begin; i < end; ++i) {
-      auto body = conn_->ReadFrame();
-      if (!body.ok()) return body.status();
-      auto response = DecodeResponse(body.value());
-      if (!response.ok()) return response.status();
-      DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+    std::vector<std::pair<int64_t, double>> pending(points.begin() + begin,
+                                                    points.begin() + end);
+    int64_t backoff_us = busy_backoff_us_;
+    for (int attempt = 0;; ++attempt) {
+      std::string wire;
+      for (const auto& point : pending) {
+        request.timestamp = point.first;
+        request.value = point.second;
+        wire += EncodeRequest(request);
+      }
+      DD_RETURN_IF_ERROR(conn_->WriteFrame(wire));
+      // Points the server refused with BUSY were never staged; collect
+      // them and re-send just those after backing off. Any other error
+      // aborts (earlier OK acks were durable commits).
+      std::vector<std::pair<int64_t, double>> busy;
+      for (const auto& point : pending) {
+        auto body = conn_->ReadFrame();
+        if (!body.ok()) return body.status();
+        auto response = DecodeResponse(body.value());
+        if (!response.ok()) return response.status();
+        const Status status = ResponseStatus(response.value());
+        if (status.code() == StatusCode::kBusy) {
+          busy.push_back(point);
+        } else if (!status.ok()) {
+          return status;
+        }
+      }
+      if (busy.empty()) break;
+      if (attempt >= busy_retries_) {
+        return Status::Busy("server overloaded: " +
+                            std::to_string(busy.size()) +
+                            " points refused after retries");
+      }
+      pending.swap(busy);
+      BackoffAndGrow(&backoff_us);
     }
   }
   return Status::OK();

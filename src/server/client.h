@@ -58,14 +58,30 @@ class SketchClient {
 
   Result<StoreStats> Stats();
 
+  /// BUSY retry policy for the ingest/merge paths (protocol v3). A BUSY
+  /// response means the server refused the record under admission
+  /// control before staging it — never durable, never acked — so a
+  /// retry is always safe. Retries back off exponentially from
+  /// `initial_backoff_us`, doubling per attempt, capped at 100 ms.
+  /// `max_retries` = 0 surfaces BUSY to the caller unretried.
+  void set_busy_retries(int max_retries, int64_t initial_backoff_us = 1000) {
+    busy_retries_ = max_retries;
+    busy_backoff_us_ = initial_backoff_us;
+  }
+
  private:
   explicit SketchClient(int fd);
 
   /// One request/response round trip; checks the response echoes `op`.
   Result<Response> Call(const Request& request);
 
+  /// Call() + BUSY retry-with-backoff (ingest/merge requests only).
+  Status CallIngest(const Request& request);
+
   int fd_ = -1;
   std::unique_ptr<FramedConn> conn_;
+  int busy_retries_ = 8;
+  int64_t busy_backoff_us_ = 1000;
 };
 
 }  // namespace dd

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -87,6 +88,72 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port) {
     const Status status = Status::Internal(Errno("connect " + host));
     ::close(fd);
     return status;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+Result<Epoll> Epoll::Create() {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) return Status::Internal(Errno("epoll_create1"));
+  return Epoll(fd);
+}
+
+Epoll& Epoll::operator=(Epoll&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+Status EpollCtl(int epfd, int op, int fd, uint32_t events, void* data,
+                const char* what) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.ptr = data;
+  if (::epoll_ctl(epfd, op, fd, op == EPOLL_CTL_DEL ? nullptr : &ev) != 0) {
+    return Status::Internal(Errno(what));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Epoll::Add(int fd, uint32_t events, void* data) {
+  return EpollCtl(fd_, EPOLL_CTL_ADD, fd, events, data, "epoll_ctl(ADD)");
+}
+
+Status Epoll::Mod(int fd, uint32_t events, void* data) {
+  return EpollCtl(fd_, EPOLL_CTL_MOD, fd, events, data, "epoll_ctl(MOD)");
+}
+
+Status Epoll::Del(int fd) {
+  return EpollCtl(fd_, EPOLL_CTL_DEL, fd, 0, nullptr, "epoll_ctl(DEL)");
+}
+
+Result<int> Epoll::Wait(struct epoll_event* events, int max_events,
+                        int timeout_ms) {
+  for (;;) {
+    const int n = ::epoll_wait(fd_, events, max_events, timeout_ms);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("epoll_wait"));
   }
 }
 
@@ -179,6 +246,68 @@ Result<std::string> FramedConn::ReadFrame() {
     }
     buffer_.append(buf, static_cast<size_t>(n));
   }
+}
+
+Result<bool> FramedConn::FillFromSocket(bool* got_bytes) {
+  *got_bytes = false;
+  for (;;) {
+    char buf[1 << 16];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return Status::Internal(Errno("recv"));
+    }
+    if (n == 0) return false;  // EOF
+    buffer_.append(buf, static_cast<size_t>(n));
+    *got_bytes = true;
+  }
+}
+
+Result<bool> FramedConn::TryConsumeHello() {
+  if (buffer_.size() < kHelloBytes) return false;
+  DD_RETURN_IF_ERROR(
+      CheckHello(std::string_view(buffer_).substr(0, kHelloBytes)));
+  buffer_.erase(0, kHelloBytes);
+  return true;
+}
+
+Result<bool> FramedConn::NextBufferedFrame(std::string* body) {
+  size_t frame_size = 0;
+  auto decoded = DecodeFrame(buffer_, &frame_size);
+  if (decoded.ok()) {
+    body->assign(decoded.value());
+    buffer_.erase(0, frame_size);
+    return true;
+  }
+  if (decoded.status().code() == StatusCode::kOutOfRange) return false;
+  return decoded.status();  // Corruption: CRC mismatch / absurd length
+}
+
+void FramedConn::QueueWrite(std::string_view bytes) {
+  // Compact lazily: once everything before out_off_ has been sent and
+  // the dead prefix dominates, drop it instead of growing forever.
+  if (out_off_ > 0 && out_off_ >= out_.size() / 2) {
+    out_.erase(0, out_off_);
+    out_off_ = 0;
+  }
+  out_.append(bytes);
+}
+
+Result<bool> FramedConn::Flush() {
+  while (out_off_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_off_, out_.size() - out_off_,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return Status::Internal(Errno("send"));
+    }
+    out_off_ += static_cast<size_t>(n);
+  }
+  out_.clear();
+  out_off_ = 0;
+  return true;
 }
 
 }  // namespace dd

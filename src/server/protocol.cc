@@ -15,7 +15,7 @@ bool ValidOp(uint8_t op) {
 }
 
 bool ValidStatusCode(uint8_t code) {
-  return code <= static_cast<uint8_t>(StatusCode::kInternal);
+  return code <= static_cast<uint8_t>(StatusCode::kBusy);
 }
 
 void PutLengthPrefixed(std::string* out, std::string_view bytes) {
@@ -208,6 +208,11 @@ std::string EncodeResponse(const Response& response) {
         PutVarint64(&body, response.stats.epoch);
         PutVarint64(&body, response.stats.batch_commits);
         PutVarint64(&body, response.stats.background_checkpoints);
+        PutVarint64(&body, response.stats.connections_open);
+        PutVarint64(&body, response.stats.connections_accepted);
+        PutVarint64(&body, response.stats.connections_shed);
+        PutVarint64(&body, response.stats.busy_rejections);
+        PutVarint64(&body, response.stats.staged_bytes);
         PutVarint64(&body, response.stats.shards.size());
         for (const ShardStats& shard : response.stats.shards) {
           PutVarint64(&body, shard.shard);
@@ -260,6 +265,12 @@ Result<Response> DecodeResponse(std::string_view body) {
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.batch_commits));
         DD_RETURN_IF_ERROR(
             in.GetVarint64(&response.stats.background_checkpoints));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.connections_open));
+        DD_RETURN_IF_ERROR(
+            in.GetVarint64(&response.stats.connections_accepted));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.connections_shed));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.busy_rejections));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.staged_bytes));
         uint64_t n_shards = 0;
         DD_RETURN_IF_ERROR(in.GetVarint64(&n_shards));
         // Every shard row is at least 6 varint bytes; a count the frame

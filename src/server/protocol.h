@@ -6,7 +6,7 @@
 // tests/golden/protocol_v1.bin.
 //
 // Connection preamble: the client sends 5 hello bytes (magic "DDSP" +
-// version 0x01); the server validates them and echoes the same 5 bytes.
+// version 0x03); the server validates them and echoes the same 5 bytes.
 // After the handshake both directions carry frames:
 //
 //   len   varint    body length in bytes (capped at 64 MiB)
@@ -33,9 +33,11 @@ namespace dd {
 
 /// Protocol magic ("DDSP") and version, exchanged in the 5-byte hello.
 /// v2 extended the STATS payload with per-shard rows (sharded store);
-/// everything else is unchanged from v1.
+/// v3 added the BUSY status code (admission control: transient overload,
+/// retry after backoff) and five serving counters to the STATS payload.
+/// Everything else is unchanged from v1.
 inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
 
 /// Upper bound on one frame body; anything larger is corruption before
@@ -91,6 +93,14 @@ struct StoreStats {
   uint64_t epoch = 0;       ///< minimum shard epoch
   uint64_t batch_commits = 0;  ///< group commits since the server started
   uint64_t background_checkpoints = 0;  ///< scheduler checkpoints, all shards
+
+  // v3 serving counters (whole-server, not per shard).
+  uint64_t connections_open = 0;      ///< currently established connections
+  uint64_t connections_accepted = 0;  ///< accepts since the server started
+  uint64_t connections_shed = 0;      ///< closed by deadline/overload policy
+  uint64_t busy_rejections = 0;       ///< records refused with BUSY
+  uint64_t staged_bytes = 0;          ///< bytes currently staged, all shards
+
   std::vector<ShardStats> shards;
 };
 

@@ -4,8 +4,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <unordered_map>
 #include <utility>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,11 +20,496 @@
 #include "timeseries/wal.h"
 
 namespace dd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+bool IsIngestOp(Request::Op op) {
+  return op == Request::Op::kIngest || op == Request::Op::kMerge;
+}
+
+WalRecord ToWalRecord(const Request& request) {
+  WalRecord record;
+  record.series = request.series;
+  record.timestamp = request.timestamp;
+  if (request.op == Request::Op::kIngest) {
+    record.type = WalRecord::Type::kIngestValue;
+    record.value = request.value;
+  } else {
+    record.type = WalRecord::Type::kIngestSketch;
+    record.payload = request.payload;
+  }
+  return record;
+}
+
+/// Fixed per-record charge against the staged-bytes budget on top of the
+/// variable series/payload bytes: queue node, WalRecord struct, response
+/// slot. Keeps tiny records from being "free" under admission control.
+constexpr uint64_t kStagedRecordOverhead = 64;
+
+}  // namespace
+
+/// One staged pipelined run of INGEST/MERGE requests from a single
+/// connection. Heap-allocated and owned by the Conn; shard committers
+/// hold pointers into `entries` (sized once, never reallocated) and
+/// decrement `remaining`, and whichever committer finishes last posts
+/// the run back to `loop`. While a run is in flight its connection is
+/// not read — one run per connection at a time.
+struct SketchServer::IngestRun {
+  EventLoop* loop = nullptr;
+  Conn* conn = nullptr;
+  std::vector<Request> requests;
+  std::vector<PendingIngest> entries;  // parallel to requests
+  /// Outstanding completions: one per staged entry, plus one staging
+  /// sentinel held by the event loop until every entry is routed (so a
+  /// committer can never see the count hit zero mid-staging).
+  std::atomic<size_t> remaining{0};
+};
+
+/// One client connection, owned by exactly one event loop and only ever
+/// touched from that loop's thread.
+struct SketchServer::Conn {
+  explicit Conn(int fd_in) : fd(fd_in), io(fd_in) {}
+
+  int fd;
+  FramedConn io;
+  bool hello_done = false;
+  bool saw_eof = false;
+  /// fd closed and deregistered. A closed Conn with `run` set is a
+  /// zombie: it stays alive (committers point into the run's entries)
+  /// until the completion arrives, then is destroyed.
+  bool closed = false;
+  std::unique_ptr<IngestRun> run;  // staged run in flight (reads paused)
+  bool have_deferred = false;
+  std::string deferred_body;  // non-ingest frame parsed mid-run collection
+  TimePoint last_activity{};
+  /// Deadline for the pending unit of I/O (hello, partial frame, unread
+  /// responses) to COMPLETE. Armed when the unit starts; byte-at-a-time
+  /// progress does not push it back, which is what defeats a slow
+  /// loris. Zero = no unit pending.
+  TimePoint stall_deadline{};
+};
+
+/// One epoll event-loop thread. Owns a set of connections; loop 0 also
+/// owns the listening socket and distributes accepted connections
+/// round-robin over all loops. Cross-thread input (adopted fds from the
+/// accepting loop, completed runs from committers, stop requests)
+/// arrives through mutex-guarded queues plus an eventfd wake-up; all
+/// connection state is then handled on the loop thread only.
+class SketchServer::EventLoop {
+ public:
+  EventLoop(SketchServer* server, int listen_fd)
+      : server_(server), listen_fd_(listen_fd) {}
+  ~EventLoop() {
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+  }
+
+  Status Init() {
+    auto epoll = Epoll::Create();
+    if (!epoll.ok()) return epoll.status();
+    epoll_.emplace(std::move(epoll).value());
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      return Status::Internal("eventfd: " + std::string(std::strerror(errno)));
+    }
+    DD_RETURN_IF_ERROR(epoll_->Add(wake_fd_, EPOLLIN, &wake_tag_));
+    if (listen_fd_ >= 0) {
+      DD_RETURN_IF_ERROR(epoll_->Add(listen_fd_, EPOLLIN, &listen_tag_));
+    }
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void RequestStop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Hands a freshly accepted fd to this loop (called by the accepting
+  /// loop's thread).
+  void AdoptConn(int fd) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      adopted_fds_.push_back(fd);
+    }
+    Wake();
+  }
+
+  /// Called by the shard committer that completed the run's last entry.
+  void PostCompletion(IngestRun* run) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      completions_.push_back(run);
+    }
+    Wake();
+  }
+
+  /// After Join: closes fds adopted too late for the loop to see them.
+  void CloseLeftovers() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int fd : adopted_fds_) ::close(fd);
+    adopted_fds_.clear();
+  }
+
+ private:
+  void Wake() {
+    const uint64_t one = 1;
+    const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    (void)n;  // EAGAIN just means a wake-up is already pending
+  }
+
+  void Run() {
+    constexpr int kMaxEvents = 64;
+    struct epoll_event events[kMaxEvents];
+    TimePoint last_sweep = Clock::now();
+    for (;;) {
+      auto wait = epoll_->Wait(events, kMaxEvents, 50);
+      const int n_events = wait.ok() ? wait.value() : 0;
+      std::vector<int> adopted;
+      std::vector<IngestRun*> completed;
+      bool stop = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        adopted.swap(adopted_fds_);
+        completed.swap(completions_);
+        stop = stop_;
+      }
+      for (int i = 0; i < n_events; ++i) {
+        void* tag = events[i].data.ptr;
+        if (tag == &wake_tag_) {
+          uint64_t v = 0;
+          while (::read(wake_fd_, &v, sizeof(v)) > 0) {
+          }
+        } else if (tag == &listen_tag_) {
+          AcceptNew();
+        } else {
+          HandleEvent(static_cast<Conn*>(tag), events[i].events);
+        }
+      }
+      for (IngestRun* run : completed) HandleRunComplete(run);
+      for (int fd : adopted) {
+        if (stop || shutdown_started_) {
+          ::close(fd);
+        } else {
+          AddConn(fd);
+        }
+      }
+      if (stop && !shutdown_started_) BeginShutdown();
+      const TimePoint now = Clock::now();
+      if (!shutdown_started_ &&
+          now - last_sweep >= std::chrono::milliseconds(50)) {
+        last_sweep = now;
+        SweepDeadlines();
+      }
+      graveyard_.clear();
+      if (shutdown_started_ && conns_.empty()) return;
+    }
+  }
+
+  void AcceptNew() {
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // EAGAIN (drained) or the listener is shutting down
+      }
+      server_->connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const size_t pick =
+          server_->next_loop_.fetch_add(1, std::memory_order_relaxed);
+      EventLoop* target = server_->loops_[pick % server_->loops_.size()].get();
+      if (target == this) {
+        AddConn(fd);
+      } else {
+        target->AdoptConn(fd);
+      }
+    }
+  }
+
+  void AddConn(int fd) {
+    auto owned = std::make_unique<Conn>(fd);
+    Conn* c = owned.get();
+    c->last_activity = Clock::now();
+    if (!epoll_
+             ->Add(fd, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, c)
+             .ok()) {
+      ::close(fd);
+      return;
+    }
+    conns_.emplace(c, std::move(owned));
+    server_->connections_open_.fetch_add(1, std::memory_order_relaxed);
+    ArmDeadline(c);    // the hello is a pending unit from byte zero
+    PumpConn(c);       // bytes may have raced ahead of the epoll add
+  }
+
+  void HandleEvent(Conn* c, uint32_t ev) {
+    if (c->closed) return;
+    if (ev & (EPOLLHUP | EPOLLERR)) {
+      CloseConn(c, false);
+      return;
+    }
+    if (ev & EPOLLOUT) {
+      FlushConn(c);
+      if (c->closed) return;
+    }
+    if (ev & (EPOLLIN | EPOLLRDHUP)) PumpConn(c);
+  }
+
+  /// Read side: drain the socket (edge-triggered: one drain per edge),
+  /// parse what is buffered, and either respond or stage a run. A
+  /// connection with a run in flight is deliberately NOT read — TCP
+  /// flow control pushes back on the client — and the missed edges are
+  /// recovered by the refill in HandleRunComplete.
+  void PumpConn(Conn* c) {
+    if (c->closed || c->run) return;
+    bool got = false;
+    auto alive = c->io.FillFromSocket(&got);
+    if (!alive.ok()) {
+      CloseConn(c, false);
+      return;
+    }
+    if (!alive.value()) c->saw_eof = true;
+    if (got) c->last_activity = Clock::now();
+    ProcessBuffered(c);
+    if (c->closed) return;
+    if (c->saw_eof && !c->run) {
+      // Peer is done sending and everything parseable was handled; a
+      // leftover partial frame is a mid-frame disconnect either way.
+      CloseConn(c, false);
+      return;
+    }
+    ArmDeadline(c);
+  }
+
+  void ProcessBuffered(Conn* c) {
+    while (!c->closed && !c->run) {
+      if (!c->hello_done) {
+        auto hello = c->io.TryConsumeHello();
+        if (!hello.ok()) {
+          CloseConn(c, true);  // garbage or incompatible hello
+          return;
+        }
+        if (!hello.value()) return;  // need more bytes
+        c->hello_done = true;
+        c->stall_deadline = {};
+        c->io.QueueWrite(EncodeHello());
+        FlushConn(c);
+        continue;
+      }
+      std::string body;
+      if (c->have_deferred) {
+        body = std::move(c->deferred_body);
+        c->have_deferred = false;
+      } else {
+        auto got = c->io.NextBufferedFrame(&body);
+        if (!got.ok()) {
+          CloseConn(c, true);  // corrupt frame / implausible length
+          return;
+        }
+        if (!got.value()) return;  // only a frame prefix buffered
+        c->stall_deadline = {};    // a unit completed; restart the clock
+      }
+      auto request = DecodeRequest(body);
+      if (!request.ok()) {
+        CloseConn(c, true);  // CRC passed but body malformed: broken peer
+        return;
+      }
+      if (!IsIngestOp(request.value().op)) {
+        c->io.QueueWrite(
+            EncodeResponse(server_->HandleNonIngest(request.value())));
+        FlushConn(c);
+        continue;
+      }
+      // Collect the pipelined run of ingest requests already buffered,
+      // so one client's burst becomes one staged group per shard. The
+      // cap scales with the shard count (the run is split across shard
+      // queues) but is bounded per connection by max_conn_inflight.
+      const size_t run_cap = std::max<size_t>(
+          1, std::min(server_->options_.commit_batch * server_->shards_.size(),
+                      server_->options_.max_conn_inflight));
+      auto run = std::make_unique<IngestRun>();
+      run->loop = this;
+      run->conn = c;
+      run->requests.push_back(std::move(request).value());
+      while (run->requests.size() < run_cap) {
+        std::string next;
+        auto more = c->io.NextBufferedFrame(&next);
+        if (!more.ok()) {
+          CloseConn(c, true);
+          return;
+        }
+        if (!more.value()) break;
+        c->stall_deadline = {};
+        auto next_request = DecodeRequest(next);
+        if (!next_request.ok()) {
+          CloseConn(c, true);
+          return;
+        }
+        if (!IsIngestOp(next_request.value().op)) {
+          // Handle it after the run; keeps responses in request order.
+          c->deferred_body = std::move(next);
+          c->have_deferred = true;
+          break;
+        }
+        run->requests.push_back(std::move(next_request).value());
+      }
+      c->run = std::move(run);
+      if (server_->StageIngestRun(c->run.get())) {
+        FinishRun(c);  // nothing reached a committer: respond inline
+      }
+      // Otherwise reads stay paused until the completion is posted.
+    }
+  }
+
+  /// Writes the run's responses in request order and releases the run.
+  void FinishRun(Conn* c) {
+    IngestRun* run = c->run.get();
+    std::string out;
+    for (size_t i = 0; i < run->requests.size(); ++i) {
+      Response response;
+      response.op = run->requests[i].op;
+      response.code = run->entries[i].result.code();
+      response.message = run->entries[i].result.message();
+      response.wal_offset = run->entries[i].wal_offset;
+      out += EncodeResponse(response);
+    }
+    c->run.reset();
+    c->last_activity = Clock::now();
+    c->io.QueueWrite(out);
+    FlushConn(c);
+  }
+
+  void HandleRunComplete(IngestRun* run) {
+    Conn* c = run->conn;
+    if (c->closed) {
+      // Zombie: the peer is gone; the run only kept the Conn alive so
+      // the committers' entry pointers stayed valid.
+      auto it = conns_.find(c);
+      graveyard_.push_back(std::move(it->second));
+      conns_.erase(it);
+      return;
+    }
+    FinishRun(c);
+    if (c->closed) return;
+    PumpConn(c);  // recover read edges consumed while the run was staged
+  }
+
+  void FlushConn(Conn* c) {
+    if (c->closed) return;
+    auto drained = c->io.Flush();
+    if (!drained.ok()) {
+      CloseConn(c, false);
+      return;
+    }
+    ArmDeadline(c);
+  }
+
+  /// Arms the stall deadline when a unit of I/O is pending and no
+  /// deadline is running; clears it when nothing is pending. Never
+  /// pushes a running deadline back (progress trickles don't pay rent).
+  void ArmDeadline(Conn* c) {
+    const bool unit_pending =
+        !c->run && (!c->hello_done || c->io.buffered_read_bytes() > 0 ||
+                    c->io.pending_write_bytes() > 0);
+    if (!unit_pending) {
+      c->stall_deadline = {};
+      return;
+    }
+    const int64_t stall_ms = server_->options_.stall_timeout_ms;
+    if (stall_ms > 0 && c->stall_deadline == TimePoint{}) {
+      c->stall_deadline = Clock::now() + std::chrono::milliseconds(stall_ms);
+    }
+  }
+
+  void SweepDeadlines() {
+    const TimePoint now = Clock::now();
+    const int64_t idle_ms = server_->options_.idle_timeout_ms;
+    std::vector<Conn*> doomed;
+    for (auto& entry : conns_) {
+      Conn* c = entry.first;
+      if (c->closed) continue;
+      if (c->stall_deadline != TimePoint{} && now >= c->stall_deadline) {
+        doomed.push_back(c);
+        continue;
+      }
+      if (idle_ms > 0 && !c->run && c->stall_deadline == TimePoint{} &&
+          now - c->last_activity >= std::chrono::milliseconds(idle_ms)) {
+        doomed.push_back(c);
+      }
+    }
+    for (Conn* c : doomed) CloseConn(c, true);
+  }
+
+  /// Deregisters and closes the fd. `shed` marks a policy close
+  /// (deadline, protocol violation, overload) for the counters. The
+  /// Conn is destroyed at the end of the loop iteration — or, with a
+  /// run in flight, after the completion arrives (zombie).
+  void CloseConn(Conn* c, bool shed) {
+    if (c->closed) return;
+    c->closed = true;
+    epoll_->Del(c->fd);
+    ::close(c->fd);
+    c->fd = -1;
+    server_->connections_open_.fetch_sub(1, std::memory_order_relaxed);
+    if (shed) {
+      server_->connections_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!c->run) {
+      auto it = conns_.find(c);
+      graveyard_.push_back(std::move(it->second));
+      conns_.erase(it);
+    }
+  }
+
+  void BeginShutdown() {
+    shutdown_started_ = true;
+    if (listen_fd_ >= 0) epoll_->Del(listen_fd_);
+    std::vector<Conn*> all;
+    all.reserve(conns_.size());
+    for (auto& entry : conns_) all.push_back(entry.first);
+    for (Conn* c : all) CloseConn(c, false);
+    // Zombies stay in conns_; Run() exits once their completions drain.
+  }
+
+  SketchServer* const server_;
+  const int listen_fd_;  // -1: this loop does not accept
+  std::optional<Epoll> epoll_;
+  int wake_fd_ = -1;
+  std::thread thread_;
+
+  std::mutex mu_;
+  bool stop_ = false;                    // guarded by mu_
+  std::vector<int> adopted_fds_;         // guarded by mu_
+  std::vector<IngestRun*> completions_;  // guarded by mu_
+
+  // Loop-thread-only state.
+  std::unordered_map<Conn*, std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Conn>> graveyard_;
+  bool shutdown_started_ = false;
+  char listen_tag_ = 0;  // epoll data.ptr markers
+  char wake_tag_ = 0;
+};
 
 Result<std::unique_ptr<SketchServer>> SketchServer::Start(
     const std::string& data_dir, const SketchServerOptions& options) {
   if (options.commit_batch == 0) {
     return Status::InvalidArgument("commit_batch must be at least 1");
+  }
+  if (options.max_conn_inflight == 0) {
+    return Status::InvalidArgument("max_conn_inflight must be at least 1");
   }
   ShardedDurableStoreOptions store_options;
   store_options.durable = options.durable;
@@ -34,6 +525,17 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   if (!listen_fd.ok()) return listen_fd.status();
   server->listen_fd_ = listen_fd.value();
   server->port_ = bound_port;
+  DD_RETURN_IF_ERROR(SetNonBlocking(server->listen_fd_));
+  size_t n_loops = options.event_loops;
+  if (n_loops == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    n_loops = std::min<size_t>(4, std::max<size_t>(1, hw / 2));
+  }
+  for (size_t i = 0; i < n_loops; ++i) {
+    server->loops_.push_back(std::make_unique<EventLoop>(
+        server.get(), i == 0 ? server->listen_fd_ : -1));
+    DD_RETURN_IF_ERROR(server->loops_.back()->Init());
+  }
   for (size_t k = 0; k < server->shards_.size(); ++k) {
     server->shards_[k]->committer =
         std::thread([s = server.get(), k] { s->CommitLoop(k); });
@@ -42,15 +544,14 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
     server->checkpoint_thread_ =
         std::thread([s = server.get()] { s->CheckpointLoop(); });
   }
-  server->accept_thread_ = std::thread(
-      [s = server.get(), fd = listen_fd.value()] { s->AcceptLoop(fd); });
+  for (auto& loop : server->loops_) loop->StartThread();
   return server;
 }
 
 SketchServer::SketchServer(SketchServerOptions options,
                            ShardedDurableStore store)
     : options_(std::move(options)), store_(std::move(store)) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = Clock::now();
   shards_.reserve(store_->num_shards());
   for (size_t k = 0; k < store_->num_shards(); ++k) {
     shards_.push_back(std::make_unique<Shard>());
@@ -63,34 +564,31 @@ SketchServer::~SketchServer() { Stop(); }
 void SketchServer::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // 1. Stop the event loops first: they shed every connection, and any
+  // in-flight run needs the committers still alive to complete (zombie
+  // connections wait inside the loop for their completions).
+  for (auto& loop : loops_) loop->RequestStop();
+  for (auto& loop : loops_) loop->Join();
+  for (auto& loop : loops_) loop->CloseLeftovers();
+  // 2. Committers: drain every staged record (each was admitted before
+  // the loops stopped), then exit.
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->queue_mu);
     shard->stopping = true;
   }
   for (auto& shard : shards_) shard->queue_cv.notify_all();
+  // joinable() guards: Start() can fail between constructing the server
+  // and launching the threads (e.g. bind error), and the unique_ptr's
+  // destructor still runs Stop().
+  for (auto& shard : shards_) {
+    if (shard->committer.joinable()) shard->committer.join();
+  }
   {
     std::lock_guard<std::mutex> lk(scheduler_mu_);
     scheduler_stop_ = true;
   }
   scheduler_cv_.notify_all();
-  draining_.store(true);
-  // Wake the accept loop and every blocked connection read. shutdown(2)
-  // (not close) so the fds stay valid until their owning threads exit.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  {
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  // joinable() guards: Start() can fail between constructing the server
-  // and launching the threads (e.g. bind error), and the unique_ptr's
-  // destructor still runs Stop().
-  if (accept_thread_.joinable()) accept_thread_.join();
   if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
-  for (auto& shard : shards_) {
-    if (shard->committer.joinable()) shard->committer.join();
-  }
-  // The accept thread is joined, so conn_threads_ is stable now.
-  for (std::thread& t : conn_threads_) t.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
   store_.reset();  // releases every shard's data-dir lock for reopeners
@@ -114,168 +612,88 @@ uint64_t SketchServer::background_checkpoints() const noexcept {
   return total;
 }
 
-void SketchServer::AcceptLoop(int listen_fd) {
-  for (;;) {
-    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listener shut down (Stop) or fatal error
-    }
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    if (draining_.load()) {
-      // Stop() already swept conn_fds_; registering now would leave
-      // this connection without its shutdown(2) wake-up.
-      ::close(fd);
-      continue;
-    }
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] {
-      ServeConnection(fd);
-      {
-        std::lock_guard<std::mutex> inner(conns_mu_);
-        conn_fds_.erase(fd);
-      }
-      // Closed only after deregistering, so Stop never shuts down a
-      // recycled fd number.
-      ::close(fd);
-    });
-  }
-}
-
-namespace {
-
-bool IsIngestOp(Request::Op op) {
-  return op == Request::Op::kIngest || op == Request::Op::kMerge;
-}
-
-WalRecord ToWalRecord(const Request& request) {
-  WalRecord record;
-  record.series = request.series;
-  record.timestamp = request.timestamp;
-  if (request.op == Request::Op::kIngest) {
-    record.type = WalRecord::Type::kIngestValue;
-    record.value = request.value;
-  } else {
-    record.type = WalRecord::Type::kIngestSketch;
-    record.payload = request.payload;
-  }
-  return record;
-}
-
-}  // namespace
-
-void SketchServer::ServeConnection(int fd) {
-  FramedConn conn(fd);
-  if (!conn.ExpectHello().ok()) return;
-  if (!conn.SendHello().ok()) return;
-  std::string body;
-  bool have_body = false;  // a frame read ahead while collecting a run
-  for (;;) {
-    if (!have_body) {
-      auto read = conn.ReadFrame();
-      if (!read.ok()) return;  // clean EOF, shutdown, or transport error
-      body = std::move(read).value();
-    }
-    have_body = false;
-    auto request = DecodeRequest(body);
-    if (!request.ok()) return;  // CRC passed but body malformed: broken peer
-    if (!IsIngestOp(request.value().op)) {
-      const Response response = HandleNonIngest(request.value());
-      if (!conn.WriteFrame(EncodeResponse(response)).ok()) return;
-      continue;
-    }
-    // Collect the pipelined run of ingest requests already sitting in
-    // the socket, so one client's burst becomes one staged group per
-    // shard (and so the committers see real batches even with a single
-    // client). The run cap scales with the shard count because the run
-    // is split across shard queues before committing.
-    const size_t run_cap = options_.commit_batch * shards_.size();
-    std::vector<Request> run;
-    run.push_back(std::move(request).value());
-    while (run.size() < run_cap) {
-      std::string next;
-      auto got = conn.TryReadFrame(&next);
-      if (!got.ok()) return;
-      if (!got.value()) break;
-      auto next_request = DecodeRequest(next);
-      if (!next_request.ok()) return;
-      if (!IsIngestOp(next_request.value().op)) {
-        // Handle it after the run; keeps responses in request order.
-        body = std::move(next);
-        have_body = true;
-        break;
-      }
-      run.push_back(std::move(next_request).value());
-    }
-    if (!HandleIngestRun(&conn, run)) return;
-  }
-}
-
-bool SketchServer::HandleIngestRun(FramedConn* conn,
-                                   const std::vector<Request>& run) {
-  std::vector<PendingIngest> pendings(run.size());
-  RunWaiter waiter;
-  // Per-shard staging groups: each entry of the run goes to the queue of
-  // the shard that owns its series.
+bool SketchServer::StageIngestRun(IngestRun* run) {
+  const size_t n = run->requests.size();
+  run->entries.resize(n);  // address-stable from here on
   std::vector<std::vector<PendingIngest*>> by_shard(shards_.size());
-  for (size_t i = 0; i < run.size(); ++i) {
-    pendings[i].record = ToWalRecord(run[i]);
-    pendings[i].waiter = &waiter;
+  size_t staged = 0;
+  for (size_t i = 0; i < n; ++i) {
+    PendingIngest& entry = run->entries[i];
+    entry.run = run;
+    entry.record = ToWalRecord(run->requests[i]);
     // Validation reads only the store's immutable configuration
-    // (prototype sketch parameters), so it runs lock-free on the
-    // connection thread — a bad request is rejected here and never
-    // poisons or stalls a committer batch.
-    pendings[i].result = store_->ValidateRecord(pendings[i].record);
-    if (pendings[i].result.ok()) {
-      by_shard[store_->ShardOf(pendings[i].record.series)].push_back(
-          &pendings[i]);
-    } else {
-      pendings[i].done = true;
+    // (prototype sketch parameters), so it runs lock-free on the loop
+    // thread — a bad request is rejected here and never poisons or
+    // stalls a committer batch.
+    entry.result = store_->ValidateRecord(entry.record);
+    if (!entry.result.ok()) {
+      entry.done = true;
+      continue;
     }
+    // Admission control: charge the global staged-bytes budget before
+    // the record can queue. A record that would blow the budget is
+    // refused with BUSY — never staged, never acknowledged — so memory
+    // stays bounded no matter how many clients burst at once.
+    const uint64_t bytes = entry.record.series.size() +
+                           entry.record.payload.size() + kStagedRecordOverhead;
+    const uint64_t budget = options_.staged_bytes_budget;
+    if (budget > 0) {
+      uint64_t current = staged_bytes_.load(std::memory_order_relaxed);
+      bool admitted = false;
+      while (current + bytes <= budget) {
+        if (staged_bytes_.compare_exchange_weak(current, current + bytes,
+                                                std::memory_order_relaxed)) {
+          admitted = true;
+          break;
+        }
+      }
+      if (!admitted) {
+        entry.result =
+            Status::Busy("staged-bytes budget exceeded; retry with backoff");
+        entry.done = true;
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    } else {
+      staged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    entry.bytes = bytes;
+    by_shard[store_->ShardOf(entry.record.series)].push_back(&entry);
+    ++staged;
   }
-  // The waiter owes one completion per validated entry. The count is
-  // set BEFORE anything is staged: once an entry is on a shard queue its
-  // committer may finish (and decrement) immediately.
-  size_t to_stage = 0;
-  for (const auto& group : by_shard) to_stage += group.size();
-  waiter.remaining = to_stage;
-  // Stage every shard's group; entries refused at staging time
-  // (shutdown or a fail-stopped shard) are completed on the spot, which
-  // takes their completions back out of the waiter.
+  if (staged == 0) return true;  // everything refused: respond inline
+  // One completion per staged entry plus the staging sentinel: a
+  // committer finishing instantly can never drive the count to zero
+  // while entries are still being routed below.
+  run->remaining.store(staged + 1, std::memory_order_relaxed);
   for (size_t k = 0; k < by_shard.size(); ++k) {
     if (by_shard[k].empty()) continue;
     Shard& shard = *shards_[k];
     std::lock_guard<std::mutex> lk(shard.queue_mu);
     if (shard.stopping || !shard.commit_error.ok()) {
+      // Refused at staging time (shutdown or a fail-stopped shard):
+      // complete on the spot and refund the admission charge.
       const Status status =
           shard.stopping ? Status::ResourceExhausted("server is shutting down")
                          : shard.commit_error;
-      for (PendingIngest* pending : by_shard[k]) {
-        pending->result = status;
-        pending->done = true;
+      for (PendingIngest* entry : by_shard[k]) {
+        entry->result = status;
+        entry->done = true;
+        staged_bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+        entry->bytes = 0;
       }
-      std::lock_guard<std::mutex> done_lk(waiter.mu);
-      waiter.remaining -= by_shard[k].size();
+      run->remaining.fetch_sub(by_shard[k].size(), std::memory_order_acq_rel);
       continue;
     }
-    for (PendingIngest* pending : by_shard[k]) {
-      shard.queue.push_back(pending);
+    for (PendingIngest* entry : by_shard[k]) {
+      shard.queue.push_back(entry);
     }
     shard.queue_cv.notify_all();
   }
-  if (to_stage > 0) {
-    std::unique_lock<std::mutex> lk(waiter.mu);
-    waiter.cv.wait(lk, [&waiter] { return waiter.remaining == 0; });
-  }
-  for (size_t i = 0; i < run.size(); ++i) {
-    Response response;
-    response.op = run[i].op;
-    response.code = pendings[i].result.code();
-    response.message = pendings[i].result.message();
-    response.wal_offset = pendings[i].wal_offset;
-    if (!conn->WriteFrame(EncodeResponse(response)).ok()) return false;
-  }
-  return true;
+  // Drop the sentinel. If it was the last count, every staged entry was
+  // already completed (all groups refused, or the committers raced
+  // ahead) and no completion will be posted — finish inline.
+  return run->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
 }
 
 Response SketchServer::HandleNonIngest(const Request& request) {
@@ -316,7 +734,7 @@ Response SketchServer::HandleNonIngest(const Request& request) {
         if (Status status = store_->shard(k).Checkpoint(); !status.ok()) {
           return fail(status);
         }
-        shards_[k]->checkpoint_deadline_base = std::chrono::steady_clock::now();
+        shards_[k]->checkpoint_deadline_base = Clock::now();
         const uint64_t epoch = store_->shard(k).epoch();
         min_epoch = k == 0 ? epoch : std::min(min_epoch, epoch);
       }
@@ -350,6 +768,15 @@ Response SketchServer::HandleNonIngest(const Request& request) {
         stats.background_checkpoints += row.background_checkpoints;
         stats.shards.push_back(row);
       }
+      stats.connections_open =
+          connections_open_.load(std::memory_order_relaxed);
+      stats.connections_accepted =
+          connections_accepted_.load(std::memory_order_relaxed);
+      stats.connections_shed =
+          connections_shed_.load(std::memory_order_relaxed);
+      stats.busy_rejections =
+          busy_rejections_.load(std::memory_order_relaxed);
+      stats.staged_bytes = staged_bytes_.load(std::memory_order_relaxed);
       return response;
     }
   }
@@ -411,22 +838,25 @@ void SketchServer::CommitOneBatch(size_t shard_index,
     shard.commit_error = status;  // fail-stop this shard's ingest path
   }
   lk->unlock();
-  // Completion handshake outside queue_mu: fill the entry, then signal
-  // its run's waiter. The waiter lock orders the writes before the
-  // connection thread's reads.
+  // Completion handshake outside queue_mu: fill the entry, refund its
+  // admission charge, then decrement the run's counter. The acq_rel
+  // chain on `remaining` orders every committer's entry writes before
+  // the final decrementer's PostCompletion, whose queue mutex in turn
+  // orders them before the event loop's reads.
   for (PendingIngest* pending : batch) {
-    RunWaiter* waiter = pending->waiter;
-    std::lock_guard<std::mutex> done_lk(waiter->mu);
     pending->result = status;
     pending->wal_offset = offset;
     pending->done = true;
-    if (--waiter->remaining == 0) waiter->cv.notify_all();
+    staged_bytes_.fetch_sub(pending->bytes, std::memory_order_relaxed);
+    IngestRun* run = pending->run;
+    if (run->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      run->loop->PostCompletion(run);
+    }
   }
   lk->lock();
 }
 
 void SketchServer::CheckpointLoop() {
-  using Clock = std::chrono::steady_clock;
   const auto interval =
       std::chrono::milliseconds(options_.checkpoint_interval_ms);
   // Poll cadence: fine-grained enough that a tiny test interval fires

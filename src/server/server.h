@@ -1,42 +1,48 @@
 // sketchd's serving core: a TCP daemon in front of a ShardedDurableStore.
 //
-// Threading model (documented in docs/ARCHITECTURE.md, "Sharding &
-// background checkpointing"):
+// Threading model (documented in docs/ARCHITECTURE.md, "Serving"):
 //
-//   accept thread ──▶ one thread per connection ──▶ request handlers
-//                                   │ INGEST / MERGE (routed by series hash)
-//                                   ▼
-//              per-shard staging queues (shard.queue_mu)
-//                   │                         │
-//          committer thread 0   ...   committer thread N-1
-//                   │  append batch → 1 fsync → merge (shard.store_mu)
-//                   ▼                         ▼
-//              shard-0 store     ...     shard-(N-1) store
-//                   ▲                         ▲
-//                   └──── checkpoint scheduler thread ────┘
-//                        (snapshot + WAL reset per shard, under that
-//                         shard's store_mu only)
+//   event-loop threads (epoll, edge-triggered; loop 0 also accepts)
+//        │ parse frames from non-blocking FramedConns
+//        │ INGEST / MERGE: validate, admission-check, route by series hash
+//        ▼
+//   per-shard staging queues (shard.queue_mu)
+//        │                         │
+//   committer thread 0   ...   committer thread N-1
+//        │  append batch → 1 fsync → merge (shard.store_mu)
+//        │  then post run completions back to the owning event loop
+//        ▼                         ▼
+//   shard-0 store     ...     shard-(N-1) store
+//        ▲                         ▲
+//        └──── checkpoint scheduler thread ────┘
 //
-// Group commit, now parallel across shards: INGEST/MERGE requests are
-// validated on their connection thread, routed by the stable series
-// hash, and staged on the owning shard's queue; each shard's committer
-// drains up to `commit_batch` staged records per commit — N acknowledged
+// A small, fixed pool of event-loop threads multiplexes every
+// connection: each loop owns an epoll set of non-blocking sockets and
+// never blocks on any one peer (partial writes are buffered, stalled
+// peers are shed by deadline). A connection with a staged ingest run
+// in flight stops being read until the run commits — TCP flow control
+// pushes back on the client, which bounds per-connection memory and
+// keeps responses in request order. Committers hand completed runs
+// back to the owning loop through a wake-up queue (eventfd), so the
+// socket write happens on the loop thread, never on a committer.
+//
+// Admission control: a global staged-bytes budget caps the bytes
+// validated-but-not-yet-durable across all shards. A record that would
+// exceed the budget is refused with BUSY (protocol v3) instead of
+// buffering unboundedly; the client retries after backoff. Runs are
+// additionally capped per connection (`max_conn_inflight`), and
+// connections that stall mid-frame (slow loris), stop reading their
+// responses, or sit idle past the configured deadlines are shed.
+//
+// Group commit is unchanged from PR 5: each shard's committer drains
+// up to `commit_batch` staged records per commit — N acknowledged
 // ingests for one fsync, with up to `shards` fsyncs in flight at once.
-// A connection thread is unblocked — and its client sees OK — only after
-// every shard batch containing one of its records is durable.
+// A client sees OK only after the shard batch holding its record is
+// durable. The background checkpoint scheduler is also unchanged.
 //
-// The checkpoint scheduler (optional, off by default) checkpoints a
-// shard when its WAL grows past `checkpoint_wal_bytes` or has carried
-// records for longer than `checkpoint_interval_ms`. A checkpoint holds
-// only that shard's store_mu, so ingest on every other shard proceeds
-// concurrently; the client-driven CHECKPOINT op remains supported and
-// now means "checkpoint all shards".
-//
-// QUERY / CHECKPOINT / STATS run on the connection thread. QUERY locks
-// only the owning shard's store_mu (a series lives on exactly one
-// shard, so the owner's merge-on-read answer is the whole answer);
-// CHECKPOINT and STATS walk the shards one store_mu at a time, in shard
-// order.
+// QUERY / CHECKPOINT / STATS run on the loop thread. QUERY locks only
+// the owning shard's store_mu; CHECKPOINT and STATS walk the shards
+// one store_mu at a time, in shard order.
 
 #ifndef DDSKETCH_SERVER_SERVER_H_
 #define DDSKETCH_SERVER_SERVER_H_
@@ -51,7 +57,6 @@
 #include <optional>
 #include <string>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
 #include "server/protocol.h"
@@ -83,6 +88,25 @@ struct SketchServerOptions {
   /// exposes this as --checkpoint-interval-s; milliseconds here keep the
   /// scheduler unit-testable.)
   int64_t checkpoint_interval_ms = 0;
+
+  /// Event-loop threads multiplexing all connections. 0 = auto (half
+  /// the hardware threads, clamped to [1, 4]).
+  size_t event_loops = 0;
+  /// Admission control: global cap on bytes staged (validated and
+  /// queued, not yet durable) across all shards. Records arriving past
+  /// the cap are refused with BUSY. 0 = unlimited.
+  uint64_t staged_bytes_budget = 64u << 20;
+  /// Per-connection cap on records staged in one run (one run per
+  /// connection may be in flight; reads pause until it commits).
+  size_t max_conn_inflight = 1024;
+  /// Shed a connection that has been completely idle (hello done, no
+  /// partial frame, no pending writes) this long. 0 = never.
+  int64_t idle_timeout_ms = 300000;
+  /// Shed a connection whose pending unit of I/O — the hello, a partial
+  /// frame (slow loris), or unread responses (stalled reader) — fails
+  /// to complete within this deadline. Byte-at-a-time progress does not
+  /// reset it. 0 = never.
+  int64_t stall_timeout_ms = 10000;
 };
 
 /// The daemon: owns the sharded durable store, the listening socket, and
@@ -92,7 +116,7 @@ struct SketchServerOptions {
 class SketchServer {
  public:
   /// Opens (or recovers) `data_dir`, binds the listening socket, and
-  /// launches the accept thread, one committer per shard, and (when a
+  /// launches the event loops, one committer per shard, and (when a
   /// checkpoint trigger is configured) the checkpoint scheduler.
   static Result<std::unique_ptr<SketchServer>> Start(
       const std::string& data_dir, const SketchServerOptions& options);
@@ -101,14 +125,18 @@ class SketchServer {
   SketchServer& operator=(const SketchServer&) = delete;
   ~SketchServer();
 
-  /// Stops accepting, wakes every connection, commits all staged
-  /// records, joins all threads, and closes the store. Idempotent.
+  /// Stops accepting, sheds every connection (in-flight runs are
+  /// committed first), joins all threads, and closes the store.
+  /// Idempotent. Connections arriving at any point during shutdown are
+  /// owned by exactly one event loop, so none can be missed by a sweep
+  /// (the race the old accept-thread design documented).
   void Stop();
 
   /// The bound port (useful with options.port = 0).
   uint16_t port() const noexcept { return port_; }
 
   size_t num_shards() const noexcept { return shards_.size(); }
+  size_t num_event_loops() const noexcept { return loops_.size(); }
 
   /// Group commits executed since Start, totaled across shards (each is
   /// exactly one WAL fsync).
@@ -118,26 +146,32 @@ class SketchServer {
   /// shards (client CHECKPOINTs are not counted).
   uint64_t background_checkpoints() const noexcept;
 
- private:
-  struct RunWaiter;
+  /// Serving counters (also reported via STATS).
+  uint64_t connections_open() const noexcept {
+    return connections_open_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_shed() const noexcept {
+    return connections_shed_.load(std::memory_order_relaxed);
+  }
+  uint64_t busy_rejections() const noexcept {
+    return busy_rejections_.load(std::memory_order_relaxed);
+  }
 
-  /// One staged INGEST/MERGE waiting for a shard committer. Lives on the
-  /// connection thread's stack; the shard queue holds pointers.
+ private:
+  class EventLoop;
+  struct Conn;
+  struct IngestRun;
+
+  /// One staged INGEST/MERGE waiting for a shard committer. Lives in
+  /// its run's entries array (address-stable once staged); the shard
+  /// queue holds pointers.
   struct PendingIngest {
     WalRecord record;
     Status result;
     uint64_t wal_offset = 0;
+    uint64_t bytes = 0;  // admission-budget charge; 0 = never admitted
     bool done = false;
-    RunWaiter* waiter = nullptr;  // signals the owning connection thread
-  };
-
-  /// Completion rendezvous for one pipelined run: entries of the run may
-  /// be spread over several shard queues, so the connection thread waits
-  /// on a single counter that every committer decrements.
-  struct RunWaiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
+    IngestRun* run = nullptr;  // completion rendezvous
   };
 
   /// Everything one shard's committer and scheduler state needs. The
@@ -172,20 +206,20 @@ class SketchServer {
 
   SketchServer(SketchServerOptions options, ShardedDurableStore store);
 
-  void AcceptLoop(int listen_fd);
-  void ServeConnection(int fd);
-  /// Handles QUERY / CHECKPOINT / STATS on the connection thread.
+  /// Handles QUERY / CHECKPOINT / STATS on a loop thread (thread-safe:
+  /// takes only per-shard locks).
   Response HandleNonIngest(const Request& request);
-  /// Validates + stages a pipelined run of INGEST/MERGE requests across
-  /// the owning shards' queues, waits for durability, and writes one
-  /// response per request in order. Returns false when the connection
-  /// should close.
-  bool HandleIngestRun(class FramedConn* conn,
-                       const std::vector<Request>& run);
+  /// Validates, admission-checks, and stages one run of INGEST/MERGE
+  /// requests across the owning shards' queues. Returns true when the
+  /// run is already complete (everything refused at validation,
+  /// admission, or staging) — the caller responds inline; otherwise at
+  /// least one committer owes a completion and will post the run back
+  /// to its event loop.
+  bool StageIngestRun(IngestRun* run);
   void CommitLoop(size_t shard_index);
   /// Drains up to commit_batch pending entries from shard `k`, commits
-  /// them with one fsync, and wakes their connection threads. Called
-  /// with the shard's queue_mu held; returns with it held.
+  /// them with one fsync, and posts completed runs back to their event
+  /// loops. Called with the shard's queue_mu held; returns with it held.
   void CommitOneBatch(size_t shard_index, std::unique_lock<std::mutex>* lk);
   /// The background checkpoint scheduler: polls every shard's WAL size
   /// and age against the configured triggers.
@@ -205,20 +239,24 @@ class SketchServer {
   /// committer threads hold pointers into it).
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// The event-loop pool. Loop 0 owns the listener; accepted
+  /// connections are distributed round-robin.
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};
+
+  // Admission control + serving counters (relaxed atomics; STATS reads
+  // are advisory).
+  std::atomic<uint64_t> staged_bytes_{0};
+  std::atomic<uint64_t> busy_rejections_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+
   std::mutex scheduler_mu_;
   std::condition_variable scheduler_cv_;
   bool scheduler_stop_ = false;  // guarded by scheduler_mu_
   std::thread checkpoint_thread_;
 
-  std::mutex conns_mu_;
-  std::unordered_set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
-  /// Set before Stop's shutdown sweep of conn_fds_: a connection that
-  /// the accept loop registers after the sweep would otherwise miss its
-  /// shutdown(2) wake-up and block in recv forever.
-  std::atomic<bool> draining_{false};
-
-  std::thread accept_thread_;
   bool stopped_ = false;  // Stop() ran to completion (main thread only)
 };
 

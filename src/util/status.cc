@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kBusy:
+      return "BUSY";
   }
   return "UNKNOWN";
 }

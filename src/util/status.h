@@ -22,6 +22,7 @@ enum class StatusCode {
   kIncompatible = 4,     ///< sketches with mismatched parameters
   kResourceExhausted = 5,///< a configured size limit would be exceeded
   kInternal = 6,         ///< invariant violation (bug)
+  kBusy = 7,             ///< transient overload; retry after backoff
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
   }
 
   /// True iff this status represents success.

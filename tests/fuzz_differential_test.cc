@@ -13,6 +13,7 @@
 
 #include "core/ddsketch.h"
 #include "data/ground_truth.h"
+#include "server/protocol.h"
 #include "timeseries/snapshot.h"
 #include "timeseries/wal.h"
 #include "util/rng.h"
@@ -435,6 +436,145 @@ TEST(FuzzWireTruncationTest, EveryProperPrefixIsRejected) {
     EXPECT_EQ(result.status().code(), StatusCode::kCorruption) << "cut=" << cut;
   }
 }
+
+// ---------------------------------------------------------------------
+// Protocol v3 frame corruption fuzz: the frames the event-loop server
+// added in v3 — BUSY admission refusals and STATS responses carrying
+// the serving counters plus per-shard rows. Frames are CRC-framed, so
+// the contract matches the WAL's: a flipped frame must ALWAYS be
+// rejected (Corruption, or OutOfRange when the flip shortens the
+// declared length), never crash, and never decode as different-but-
+// valid data. Mutations applied to the already-CRC-verified body
+// exercise the strict field decoders directly.
+
+/// A v3 BUSY ingest refusal, as the admission controller sends it.
+std::string BusyResponseFrame() {
+  Response response;
+  response.op = Request::Op::kIngest;
+  response.code = StatusCode::kBusy;
+  response.message = "staged-bytes budget exceeded; retry with backoff";
+  return EncodeResponse(response);
+}
+
+/// A v3 STATS response: serving counters + several per-shard rows.
+std::string StatsResponseFrame() {
+  Response response;
+  response.op = Request::Op::kStats;
+  response.stats.num_series = 12;
+  response.stats.num_intervals = 340;
+  response.stats.size_in_bytes = 65536;
+  response.stats.wal_offset = 9001;
+  response.stats.epoch = 4;
+  response.stats.batch_commits = 77;
+  response.stats.background_checkpoints = 3;
+  response.stats.connections_open = 1024;
+  response.stats.connections_accepted = 5000;
+  response.stats.connections_shed = 17;
+  response.stats.busy_rejections = 256;
+  response.stats.staged_bytes = 1 << 19;
+  for (uint64_t k = 0; k < 4; ++k) {
+    ShardStats shard;
+    shard.shard = k;
+    shard.num_series = 3 * k + 1;
+    shard.wal_bytes = 1000 * (k + 1);
+    shard.epoch = 4;
+    shard.batch_commits = 19 + k;
+    shard.background_checkpoints = k;
+    response.stats.shards.push_back(shard);
+  }
+  return EncodeResponse(response);
+}
+
+class FuzzProtocolV3CorruptionTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FuzzProtocolV3CorruptionTest, FrameBitFlipsAlwaysRejected) {
+  Rng rng(GetParam() * 68111);
+  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string corrupted = frame;
+      const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+      for (int f = 0; f < flips; ++f) {
+        const size_t pos = rng.NextBounded(corrupted.size());
+        corrupted[pos] = static_cast<char>(
+            static_cast<uint8_t>(corrupted[pos]) ^ (1u << rng.NextBounded(8)));
+      }
+      if (corrupted == frame) continue;  // flips cancelled out
+      size_t frame_size = 0;
+      auto body = DecodeFrame(corrupted, &frame_size);
+      ASSERT_FALSE(body.ok()) << "flipped frame decoded cleanly";
+      const StatusCode code = body.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kOutOfRange)
+          << body.status().ToString();
+    }
+  }
+}
+
+TEST_P(FuzzProtocolV3CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
+  Rng rng(GetParam() * 76003);
+  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (int trial = 0; trial < 400; ++trial) {
+      // Mutate the CRC-verified body directly: this models a decoder
+      // bug, not a wire error, so the only requirement is no crash, no
+      // over-read, and strict drain (a successful decode must consume
+      // exactly the body).
+      std::string mutated = original;
+      const int edits = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int e = 0; e < edits; ++e) {
+        const size_t pos = rng.NextBounded(mutated.size());
+        mutated[pos] = static_cast<char>(rng.NextBounded(256));
+      }
+      auto decoded = DecodeResponse(mutated);
+      if (decoded.ok()) {
+        // Accepted mutations must still re-encode to a parseable frame
+        // (internal consistency — no half-poisoned Response escapes).
+        const std::string reencoded = EncodeResponse(decoded.value());
+        size_t n = 0;
+        EXPECT_TRUE(DecodeFrame(reencoded, &n).ok());
+      }
+    }
+  }
+}
+
+TEST(FuzzProtocolV3TruncationTest, EveryFramePrefixIsIncomplete) {
+  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      size_t frame_size = 0;
+      auto body =
+          DecodeFrame(std::string_view(frame).substr(0, cut), &frame_size);
+      ASSERT_FALSE(body.ok()) << "cut=" << cut;
+      EXPECT_EQ(body.status().code(), StatusCode::kOutOfRange)
+          << "cut=" << cut << ": " << body.status().ToString();
+    }
+  }
+}
+
+TEST(FuzzProtocolV3TruncationTest, EveryBodyTruncationIsCorruption) {
+  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (size_t cut = 0; cut < original.size(); ++cut) {
+      auto decoded =
+          DecodeResponse(std::string_view(original).substr(0, cut));
+      ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+      EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+          << "cut=" << cut << ": " << decoded.status().ToString();
+    }
+    // And trailing garbage is refused just as strictly.
+    EXPECT_EQ(DecodeResponse(original + '\0').status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV3CorruptionTest,
+                         ::testing::Range<uint64_t>(1, 5));
 
 }  // namespace
 }  // namespace dd

@@ -162,8 +162,9 @@ TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
 }
 
 /// The scripted protocol traffic: the hello, one request per op, and one
-/// response per op (including an error response) — every frame type
-/// sketchd ships, concatenated in a fixed order.
+/// response per op (including an error response and a v3 BUSY admission
+/// rejection) — every frame type sketchd ships, concatenated in a fixed
+/// order.
 std::string GoldenProtocolBytes() {
   std::string bytes = EncodeHello();
 
@@ -230,7 +231,13 @@ std::string GoldenProtocolBytes() {
   stats_ok.stats.wal_offset = 40;
   stats_ok.stats.epoch = 2;
   stats_ok.stats.batch_commits = 17;
-  stats_ok.stats.background_checkpoints = 3;  // v2: per-shard rows follow
+  stats_ok.stats.background_checkpoints = 3;
+  // v3 serving counters.
+  stats_ok.stats.connections_open = 1024;
+  stats_ok.stats.connections_accepted = 4096;
+  stats_ok.stats.connections_shed = 7;
+  stats_ok.stats.busy_rejections = 21;
+  stats_ok.stats.staged_bytes = 65536;
   ShardStats shard0;
   shard0.shard = 0;
   shard0.num_series = 1;
@@ -249,12 +256,20 @@ std::string GoldenProtocolBytes() {
   stats_ok.stats.shards.push_back(shard1);
   bytes += EncodeResponse(stats_ok);
 
+  // v3: an admission-control rejection. The record was never staged —
+  // no wal_offset — and the client is expected to retry after backoff.
+  Response ingest_busy;
+  ingest_busy.op = Request::Op::kIngest;
+  ingest_busy.code = StatusCode::kBusy;
+  ingest_busy.message = "staged-bytes budget exceeded; retry with backoff";
+  bytes += EncodeResponse(ingest_busy);
+
   return bytes;
 }
 
 TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
-  // magic "DDSP", version 2 (v2 = per-shard STATS rows).
-  EXPECT_EQ(Hex(EncodeHello()), "44445350" "02");
+  // magic "DDSP", version 3 (v3 = BUSY status + serving counters).
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "03");
 }
 
 TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
@@ -271,11 +286,11 @@ TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
 
 TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenProtocolBytes();
-  MaybeRegenerate("protocol_v2.bin", encoded);
-  const std::string fixture = ReadFixture("protocol_v2.bin");
+  MaybeRegenerate("protocol_v3.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v3.bin");
   ASSERT_EQ(Hex(encoded), Hex(fixture));
 
-  // Walk the fixture: hello, then 5 requests, then 5 responses — every
+  // Walk the fixture: hello, then 5 requests, then 6 responses — every
   // frame must decode, and re-encoding must reproduce the exact bytes.
   std::string_view rest(fixture);
   ASSERT_TRUE(CheckHello(rest.substr(0, kHelloBytes)).ok());
@@ -293,7 +308,8 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     reencoded += EncodeRequest(request.value());
     rest.remove_prefix(frame_size);
   }
-  for (int i = 0; i < 5; ++i) {
+  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1};  // last: BUSY ingest
+  for (int i = 0; i < 6; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "response " << i << ": "
@@ -301,7 +317,7 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     auto response = DecodeResponse(body.value());
     ASSERT_TRUE(response.ok()) << "response " << i << ": "
                                << response.status().ToString();
-    EXPECT_EQ(static_cast<uint8_t>(response.value().op), i + 1);
+    EXPECT_EQ(static_cast<uint8_t>(response.value().op), kResponseOps[i]);
     reencoded += EncodeResponse(response.value());
     rest.remove_prefix(frame_size);
   }
@@ -324,6 +340,24 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   }();
   EXPECT_EQ(merge_err.code, StatusCode::kIncompatible);
   EXPECT_EQ(merge_err.message, "sketches are not mergeable");
+
+  // The final frame is the v3 BUSY rejection: code decodes, no payload
+  // fields follow (a refused record has no wal_offset).
+  const Response busy = [&] {
+    std::string_view walk(fixture);
+    walk.remove_prefix(kHelloBytes);
+    size_t frame_size = 0;
+    for (int i = 0; i < 10; ++i) {
+      auto body = DecodeFrame(walk, &frame_size);
+      EXPECT_TRUE(body.ok());
+      walk.remove_prefix(frame_size);
+    }
+    auto body = DecodeFrame(walk, &frame_size);
+    EXPECT_TRUE(body.ok());
+    return std::move(DecodeResponse(body.value())).value();
+  }();
+  EXPECT_EQ(busy.code, StatusCode::kBusy);
+  EXPECT_EQ(busy.wal_offset, 0u);
 }
 
 TEST(GoldenPersistenceTest, VersionByteGuardsDecoding) {

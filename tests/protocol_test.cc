@@ -54,6 +54,12 @@ TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
   EXPECT_EQ(CheckHello(bad_version).code(), StatusCode::kIncompatible);
 
   EXPECT_EQ(CheckHello("DDS").code(), StatusCode::kCorruption);
+
+  // A v2 peer (pre-BUSY) must be refused: it cannot interpret the
+  // admission-control status code or the extended STATS payload.
+  std::string v2 = EncodeHello();
+  v2[4] = '\x02';
+  EXPECT_EQ(CheckHello(v2).code(), StatusCode::kIncompatible);
 }
 
 TEST(ProtocolTest, IngestRequestRoundTrip) {
@@ -137,6 +143,11 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     r.stats.epoch = 2;
     r.stats.batch_commits = 41;
     r.stats.background_checkpoints = 6;
+    r.stats.connections_open = 12;
+    r.stats.connections_accepted = 120;
+    r.stats.connections_shed = 5;
+    r.stats.busy_rejections = 33;
+    r.stats.staged_bytes = 1 << 20;
     for (uint64_t k = 0; k < 3; ++k) {
       ShardStats shard;
       shard.shard = k;
@@ -151,12 +162,40 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     EXPECT_EQ(decoded.stats.num_intervals, 17u);
     EXPECT_EQ(decoded.stats.batch_commits, 41u);
     EXPECT_EQ(decoded.stats.background_checkpoints, 6u);
+    EXPECT_EQ(decoded.stats.connections_open, 12u);
+    EXPECT_EQ(decoded.stats.connections_accepted, 120u);
+    EXPECT_EQ(decoded.stats.connections_shed, 5u);
+    EXPECT_EQ(decoded.stats.busy_rejections, 33u);
+    EXPECT_EQ(decoded.stats.staged_bytes, static_cast<uint64_t>(1 << 20));
     ASSERT_EQ(decoded.stats.shards.size(), 3u);
     EXPECT_EQ(decoded.stats.shards[2].shard, 2u);
     EXPECT_EQ(decoded.stats.shards[2].wal_bytes, 300u);
     EXPECT_EQ(decoded.stats.shards[2].epoch, 4u);
     EXPECT_EQ(decoded.stats.shards[1].background_checkpoints, 1u);
   }
+}
+
+TEST(ProtocolTest, BusyResponseRoundTrip) {
+  // v3: an admission-control refusal. No payload follows the message —
+  // the record was never staged, so there is no wal_offset to report.
+  Response r;
+  r.op = Request::Op::kIngest;
+  r.code = StatusCode::kBusy;
+  r.message = "staged-bytes budget exceeded";
+  const Response decoded = RoundTripResponse(r);
+  EXPECT_EQ(decoded.code, StatusCode::kBusy);
+  EXPECT_EQ(decoded.wal_offset, 0u);
+  const Status status = ResponseStatus(decoded);
+  EXPECT_EQ(status.code(), StatusCode::kBusy);
+  EXPECT_EQ(status.message(), "staged-bytes budget exceeded");
+
+  // A BUSY body with trailing payload bytes is corrupt, not lenient.
+  const std::string frame = EncodeResponse(r);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(DecodeResponse(std::string(body.value()) + "\x01").status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(ProtocolTest, ErrorResponseCarriesStatus) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -14,8 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/ddsketch.h"
 #include "server/client.h"
+#include "server/net.h"
 #include "timeseries/durable_store.h"
 #include "timeseries/sharded_store.h"
 #include "util/file_io.h"
@@ -433,6 +437,62 @@ TEST_F(ServerTest, RejectsZeroCommitBatch) {
   auto server = SketchServer::Start(Dir("zero"), options);
   ASSERT_FALSE(server.ok());
   EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression for the accept-thread design's shutdown sweep race: a
+// connection accepted after Stop() swept conn_fds_ but before the
+// listener closed was owned by no one — its thread was never shut down
+// or joined. The event loop closes the hole by construction (every
+// accepted fd is owned by exactly one loop, and loops drain their
+// adoption queues before exiting), which this pins down by hammering
+// Stop() with a concurrent connect storm: no hang, no crash, and every
+// pre-stop ack must survive.
+TEST_F(ServerTest, StopDuringConnectStormNeverLeaksOrHangs) {
+  for (int round = 0; round < 5; ++round) {
+    const std::string dir = Dir("storm_stop" + std::to_string(round));
+    auto server = MustStart(dir);
+    const uint16_t port = server->port();
+
+    SketchClient client = MustConnect(*server);
+    ASSERT_TRUE(client.IngestValue("pre.stop", round, 1.0).ok());
+
+    std::atomic<bool> done{false};
+    std::thread storm([&] {
+      // Race connects against Stop(): some land before the listener
+      // closes (the event loop must adopt and then shed them), some
+      // after (refused). Both are fine; leaking either is not.
+      while (!done.load(std::memory_order_relaxed)) {
+        auto fd = ConnectTcp("127.0.0.1", port);
+        if (fd.ok()) ::close(fd.value());
+      }
+    });
+    server->Stop();  // must not hang, whatever the storm landed
+    done.store(true, std::memory_order_relaxed);
+    storm.join();
+
+    auto reopened = DurableSketchStore::Open(dir, {});
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(std::move(reopened.value().QueryRange("pre.stop", 0, 100))
+                  .value()
+                  .count(),
+              1.0);
+  }
+}
+
+TEST_F(ServerTest, StatsReportServingCounters) {
+  SketchServerOptions options;
+  options.event_loops = 2;
+  auto server = MustStart(Dir("counters"), options);
+  EXPECT_EQ(server->num_event_loops(), 2u);
+  SketchClient a = MustConnect(*server);
+  SketchClient b = MustConnect(*server);
+  ASSERT_TRUE(a.IngestValue("svc", 1, 1.0).ok());
+  auto stats = b.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats.value().connections_accepted, 2u);
+  EXPECT_GE(stats.value().connections_open, 2u);
+  EXPECT_EQ(stats.value().busy_rejections, 0u);
+  EXPECT_EQ(stats.value().staged_bytes, 0u);  // all committed by now
 }
 
 }  // namespace

@@ -48,6 +48,7 @@
 //   ddsketch_cli generate pareto 1000000 | ddsketch_cli build --out s.dds
 //   ddsketch_cli query s.dds 0.5 0.99
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,12 +56,18 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "core/ddsketch.h"
 #include "data/datasets.h"
 #include "server/client.h"
+#include "server/net.h"
+#include "server/protocol.h"
 #include "timeseries/sharded_store.h"
 
 namespace {
@@ -91,7 +98,9 @@ int Usage() {
       "                      [--timestamp T]   (values on stdin)\n"
       "  ddsketch_cli remote-query --port P [--host H] --series NAME\n"
       "                      --start S --end E [q1 q2 ...]\n"
-      "  ddsketch_cli remote-stats --port P [--host H]\n");
+      "  ddsketch_cli remote-stats --port P [--host H]\n"
+      "  ddsketch_cli remote-stress --port P [--host H] [--series NAME]\n"
+      "                      [--idle-conns N] [--hot-conns K] [--count M]\n");
   return 2;
 }
 
@@ -491,6 +500,16 @@ int CmdRemoteStats(int argc, char** argv) {
               static_cast<unsigned long long>(s.batch_commits));
   std::printf("background_checkpoints %llu\n",
               static_cast<unsigned long long>(s.background_checkpoints));
+  std::printf("connections_open %llu\n",
+              static_cast<unsigned long long>(s.connections_open));
+  std::printf("connections_accepted %llu\n",
+              static_cast<unsigned long long>(s.connections_accepted));
+  std::printf("connections_shed %llu\n",
+              static_cast<unsigned long long>(s.connections_shed));
+  std::printf("busy_rejections %llu\n",
+              static_cast<unsigned long long>(s.busy_rejections));
+  std::printf("staged_bytes %llu\n",
+              static_cast<unsigned long long>(s.staged_bytes));
   for (const dd::ShardStats& shard : s.shards) {
     std::printf("shard %llu series=%llu wal_bytes=%llu epoch=%llu "
                 "commits=%llu bg_checkpoints=%llu\n",
@@ -501,6 +520,103 @@ int CmdRemoteStats(int argc, char** argv) {
                 static_cast<unsigned long long>(shard.batch_commits),
                 static_cast<unsigned long long>(shard.background_checkpoints));
   }
+  return 0;
+}
+
+/// Load shape for exercising the event-loop server: a large parked
+/// majority of idle connections (hello done, then silent) plus a hot
+/// minority ingesting flat out. Prints grep-friendly counters so
+/// tests/smoke_sketchd.sh can assert the server kept serving, shed
+/// nothing it should not have, and refused with BUSY rather than
+/// losing acks. BUSY refusals here are re-driven by the client's
+/// built-in backoff; only retry exhaustion counts as refused.
+int CmdRemoteStress(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string series = "stress";
+  int port = 0;
+  int idle_conns = 1000;
+  int hot_conns = 4;
+  long long count = 2000;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : "";
+    if (arg == "--host") {
+      host = value;
+      ++i;
+    } else if (arg == "--port") {
+      port = std::atoi(value);
+      ++i;
+    } else if (arg == "--series") {
+      series = value;
+      ++i;
+    } else if (arg == "--idle-conns") {
+      idle_conns = std::atoi(value);
+      ++i;
+    } else if (arg == "--hot-conns") {
+      hot_conns = std::atoi(value);
+      ++i;
+    } else if (arg == "--count") {
+      count = std::atoll(value);
+      ++i;
+    } else {
+      return Fail("unknown flag: " + arg);
+    }
+  }
+  if (port <= 0 || port > 65535) return Fail("--port is required (1-65535)");
+
+  // Park the idle majority first: connect, complete the hello, then go
+  // silent. They must cost the server nothing but epoll registrations.
+  const std::string hello = dd::EncodeHello();
+  std::vector<int> parked;
+  parked.reserve(static_cast<size_t>(idle_conns));
+  for (int i = 0; i < idle_conns; ++i) {
+    auto fd = dd::ConnectTcp(host, static_cast<uint16_t>(port));
+    if (!fd.ok()) break;  // fd limit reached: park what we can
+    if (::send(fd.value(), hello.data(), hello.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(hello.size())) {
+      ::close(fd.value());
+      break;
+    }
+    parked.push_back(fd.value());
+  }
+
+  std::atomic<long long> acked{0};
+  std::atomic<long long> refused{0};
+  std::atomic<bool> hard_error{false};
+  std::vector<std::thread> hot;
+  for (int t = 0; t < hot_conns; ++t) {
+    hot.emplace_back([&, t] {
+      auto connected =
+          dd::SketchClient::Connect(host, static_cast<uint16_t>(port));
+      if (!connected.ok()) {
+        hard_error.store(true);
+        return;
+      }
+      dd::SketchClient client = std::move(connected).value();
+      const std::string name = series + "." + std::to_string(t);
+      for (long long i = 0; i < count; ++i) {
+        const dd::Status status =
+            client.IngestValue(name, i % 1000, 1.0 + static_cast<double>(i % 97));
+        if (status.ok()) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        } else if (status.code() == dd::StatusCode::kBusy) {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::fprintf(stderr, "remote-stress: %s\n",
+                       status.ToString().c_str());
+          hard_error.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : hot) t.join();
+  for (int fd : parked) ::close(fd);
+
+  std::printf("parked_conns %zu\n", parked.size());
+  std::printf("acked %lld\n", acked.load());
+  std::printf("refused_busy %lld\n", refused.load());
+  if (hard_error.load()) return Fail("a hot connection saw a hard error");
   return 0;
 }
 
@@ -548,6 +664,7 @@ int main(int argc, char** argv) {
   if (command == "remote-ingest") return CmdRemoteIngest(argc - 2, argv + 2);
   if (command == "remote-query") return CmdRemoteQuery(argc - 2, argv + 2);
   if (command == "remote-stats") return CmdRemoteStats(argc - 2, argv + 2);
+  if (command == "remote-stress") return CmdRemoteStress(argc - 2, argv + 2);
   if (command == "compact") return CmdCompact(argc - 2, argv + 2);
   if (command == "merge") return CmdMerge(argc - 2, argv + 2);
   if (command == "info") return CmdInfo(argc - 2, argv + 2);

@@ -1,16 +1,21 @@
 // sketchd: the DDSketch serving daemon. Fronts a sharded durable
 // time-series sketch store (per-shard WAL + snapshots,
 // src/timeseries/) with the binary wire protocol of docs/PROTOCOL.md,
-// batching concurrent ingest fsyncs via per-shard group commit and
-// checkpointing shards in the background (src/server/server.h).
-// Operator documentation — flags, data-dir layout, checkpoint tuning,
-// crash recovery — lives in docs/OPERATIONS.md.
+// serving thousands of connections from a small epoll event-loop pool
+// with admission control (staged-bytes budget → BUSY, deadline
+// shedding), batching concurrent ingest fsyncs via per-shard group
+// commit, and checkpointing shards in the background
+// (src/server/server.h). Operator documentation — flags, data-dir
+// layout, admission tuning, crash recovery — lives in
+// docs/OPERATIONS.md.
 //
 // Usage:
 //   sketchd --data-dir DIR [--host 127.0.0.1] [--port 0] [--alpha 0.01]
 //           [--shards 0] [--commit-batch 64] [--commit-interval-us 0]
 //           [--checkpoint-wal-bytes 0] [--checkpoint-interval-s 0]
-//           [--port-file FILE]
+//           [--event-loops 0] [--staged-bytes-budget 67108864]
+//           [--max-conn-inflight 1024] [--idle-timeout-s 300]
+//           [--stall-timeout-ms 10000] [--port-file FILE]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed on stdout and, with --port-file, written atomically to FILE so
@@ -73,6 +78,19 @@ void PrintUsage(std::FILE* out) {
       "  --checkpoint-interval-s N background-checkpoint a shard once its\n"
       "                            WAL has held records for N seconds;\n"
       "                            0 = off (default 0)\n"
+      "  --event-loops N           epoll event-loop threads serving all\n"
+      "                            connections; 0 = auto (default 0)\n"
+      "  --staged-bytes-budget N   admission control: global cap on bytes\n"
+      "                            staged but not yet durable; past it new\n"
+      "                            records get BUSY; 0 = unlimited\n"
+      "                            (default 67108864)\n"
+      "  --max-conn-inflight N     max records staged per connection at\n"
+      "                            once (default 1024)\n"
+      "  --idle-timeout-s N        shed a connection idle for N seconds;\n"
+      "                            0 = never (default 300)\n"
+      "  --stall-timeout-ms N      shed a connection whose hello, frame, or\n"
+      "                            response drain stalls past N ms;\n"
+      "                            0 = never (default 10000)\n"
       "  --help                    print this help and exit\n");
 }
 
@@ -112,6 +130,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint-interval-s" && i + 1 < argc) {
       options.checkpoint_interval_ms =
           std::strtoll(argv[++i], nullptr, 10) * 1000;
+    } else if (arg == "--event-loops" && i + 1 < argc) {
+      options.event_loops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--staged-bytes-budget" && i + 1 < argc) {
+      options.staged_bytes_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-conn-inflight" && i + 1 < argc) {
+      options.max_conn_inflight = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--idle-timeout-s" && i + 1 < argc) {
+      options.idle_timeout_ms = std::strtoll(argv[++i], nullptr, 10) * 1000;
+    } else if (arg == "--stall-timeout-ms" && i + 1 < argc) {
+      options.stall_timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
     } else {
