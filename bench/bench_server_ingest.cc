@@ -27,6 +27,12 @@
 // per-request-fsync rate. The fsyncs column shows why — the fsync count
 // collapses by the batch factor while the bytes written stay identical.
 //
+// Every socket row also reports the server's own INGEST ack-latency
+// percentiles (srv_p50/p99/p999_us): sketchd sketches its request
+// latencies into per-loop DDSketches (protocol v4 STATS), so the bench
+// shows both sides — client-observed throughput and server-measured
+// tail latency — from one run.
+//
 // JSON for CI trend tracking (uploaded as part of the BENCH artifact):
 //   bench_server_ingest [--json FILE]
 
@@ -77,7 +83,29 @@ struct RunResult {
   /// Records actually acknowledged; 0 means "all n" (only the overload
   /// row acks fewer than it attempts).
   size_t records = 0;
+  /// Server-side INGEST ack-latency percentiles (protocol v4 STATS,
+  /// microseconds) — the daemon measuring itself, alongside the
+  /// client-side rate. Zero for the store-only (no server) modes.
+  uint64_t srv_lat_count = 0;
+  double srv_p50_us = 0;
+  double srv_p99_us = 0;
+  double srv_p999_us = 0;
 };
+
+/// Pulls the server's own INGEST latency row over the wire (one extra
+/// STATS connection, after the timed region).
+void FillServerLatency(SketchServer* server, RunResult* result) {
+  auto client = SketchClient::Connect("127.0.0.1", server->port());
+  if (!client.ok()) return;
+  auto stats = client.value().Stats();
+  if (!stats.ok()) return;
+  const OpLatencyStats& row =
+      stats.value().op_latencies[static_cast<size_t>(LatencyOp::kIngest)];
+  result->srv_lat_count = row.count;
+  result->srv_p50_us = row.p50_us;
+  result->srv_p99_us = row.p99_us;
+  result->srv_p999_us = row.p999_us;
+}
 
 /// A deterministic value stream (no dd_data dependency: this bench links
 /// the production serving stack plus dd_server only).
@@ -175,6 +203,7 @@ RunResult RunSocket(size_t n, size_t connections, size_t shards) {
   result.shards = shards;
   result.seconds = std::chrono::duration<double>(stop - start).count();
   result.fsyncs = TotalFsyncCount() - fsyncs_before;
+  FillServerLatency(server.get(), &result);
   server->Stop();
   fs::remove_all(dir);
   return result;
@@ -259,6 +288,7 @@ RunResult RunSocketParked(size_t n, size_t total_conns) {
   result.seconds = std::chrono::duration<double>(stop - start).count();
   result.fsyncs = TotalFsyncCount() - fsyncs_before;
   result.rss_delta_kb = RssKb() - rss_before;
+  FillServerLatency(server.get(), &result);
   for (int fd : parked) ::close(fd);
   server->Stop();
   fs::remove_all(dir);
@@ -304,6 +334,8 @@ RunResult RunSocketOverload(size_t n) {
   }
   for (std::thread& t : threads) t.join();
   const auto stop = Clock::now();
+  RunResult result;
+  FillServerLatency(server.get(), &result);
   server->Stop();
 
   uint64_t total_acked = 0;
@@ -328,7 +360,6 @@ RunResult RunSocketOverload(size_t n) {
                  static_cast<unsigned long long>(total_acked), recovered);
     std::abort();
   }
-  RunResult result;
   result.mode = "socket_overload";
   result.seconds = std::chrono::duration<double>(stop - start).count();
   result.fsyncs = TotalFsyncCount() - fsyncs_before;
@@ -360,12 +391,17 @@ void WriteJson(const std::string& path, size_t n,
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"shards\": %zu, "
                  "\"records_per_sec\": %.0f, \"fsyncs\": %llu, "
-                 "\"busy_rejections\": %llu, \"rss_delta_kb\": %ld}%s\n",
+                 "\"busy_rejections\": %llu, \"rss_delta_kb\": %ld, "
+                 "\"srv_ingest_count\": %llu, \"srv_p50_us\": %.3f, "
+                 "\"srv_p99_us\": %.3f, \"srv_p999_us\": %.3f}%s\n",
                  r.mode.c_str(), r.shards,
                  static_cast<double>(records) / r.seconds,
                  static_cast<unsigned long long>(r.fsyncs),
                  static_cast<unsigned long long>(r.busy_rejections),
-                 r.rss_delta_kb, i + 1 < rows.size() ? "," : "");
+                 r.rss_delta_kb,
+                 static_cast<unsigned long long>(r.srv_lat_count), r.srv_p50_us,
+                 r.srv_p99_us, r.srv_p999_us,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -421,7 +457,7 @@ int main(int argc, char** argv) {
 
   Table table({"mode", "shards", "records_per_sec", "fsyncs",
                "records_per_fsync", "speedup_vs_fsync", "busy",
-               "rss_delta_kb"});
+               "rss_delta_kb", "srv_p50_us", "srv_p99_us", "srv_p999_us"});
   for (const RunResult& r : rows) {
     const size_t records = r.records ? r.records : n;
     const double rate = static_cast<double>(records) / r.seconds;
@@ -432,7 +468,9 @@ int main(int argc, char** argv) {
                       "%.1f"),
                   Fmt(rate / base_rate, "%.2f"), FmtInt(r.busy_rejections),
                   FmtInt(static_cast<uint64_t>(
-                      r.rss_delta_kb > 0 ? r.rss_delta_kb : 0))});
+                      r.rss_delta_kb > 0 ? r.rss_delta_kb : 0)),
+                  Fmt(r.srv_p50_us, "%.1f"), Fmt(r.srv_p99_us, "%.1f"),
+                  Fmt(r.srv_p999_us, "%.1f")});
   }
   table.Print("server_ingest");
   if (!json_path.empty()) WriteJson(json_path, n, rows);

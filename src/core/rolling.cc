@@ -6,7 +6,9 @@ namespace dd {
 
 RollingDDSketch::RollingDDSketch(std::vector<DDSketch> ring,
                                  DDSketch empty_template)
-    : ring_(std::move(ring)), empty_template_(std::move(empty_template)) {}
+    : ring_(std::move(ring)),
+      empty_template_(std::move(empty_template)),
+      window_cache_(empty_template_) {}
 
 Result<RollingDDSketch> RollingDDSketch::Create(const DDSketchConfig& config,
                                                 int num_intervals) {
@@ -26,19 +28,24 @@ Result<RollingDDSketch> RollingDDSketch::Create(const DDSketchConfig& config,
 
 void RollingDDSketch::Advance() noexcept {
   ++advances_;
+  window_dirty_ = true;
   current_ = (current_ + 1) % ring_.size();
   // The slot re-entering service held the interval that just left the
   // window; Clear keeps its allocated bucket array for reuse.
   ring_[current_].Clear();
 }
 
-DDSketch RollingDDSketch::WindowSketch() const {
-  DDSketch merged = empty_template_;
-  for (const DDSketch& interval : ring_) {
-    // Same config by construction; MergeFrom cannot fail.
-    (void)merged.MergeFrom(interval);
+const DDSketch& RollingDDSketch::Window() const noexcept {
+  if (window_dirty_) {
+    window_cache_.Clear();
+    for (const DDSketch& interval : ring_) {
+      // Same config by construction; MergeFrom cannot fail.
+      (void)window_cache_.MergeFrom(interval);
+    }
+    window_dirty_ = false;
+    ++window_rebuilds_;
   }
-  return merged;
+  return window_cache_;
 }
 
 uint64_t RollingDDSketch::count() const noexcept {
@@ -48,7 +55,7 @@ uint64_t RollingDDSketch::count() const noexcept {
 }
 
 size_t RollingDDSketch::size_in_bytes() const noexcept {
-  size_t total = sizeof(*this);
+  size_t total = sizeof(*this) + window_cache_.size_in_bytes();
   for (const DDSketch& interval : ring_) total += interval.size_in_bytes();
   return total;
 }

@@ -28,15 +28,21 @@ class RollingDDSketch {
                                         int num_intervals);
 
   /// Adds a value to the current interval.
-  void Add(double value) noexcept { Current().Add(value); }
+  void Add(double value) noexcept {
+    window_dirty_ = true;
+    Current().Add(value);
+  }
   void Add(double value, uint64_t count) noexcept {
+    window_dirty_ = true;
     Current().Add(value, count);
   }
 
   /// Merges a remote per-interval sketch into the current interval (e.g. a
   /// worker's serialized sketch for this interval).
   Status MergeIntoCurrent(const DDSketch& sketch) {
-    return Current().MergeFrom(sketch);
+    Status status = Current().MergeFrom(sketch);
+    if (status.ok()) window_dirty_ = true;
+    return status;
   }
 
   /// Closes the current interval and opens a fresh one, evicting the
@@ -45,16 +51,16 @@ class RollingDDSketch {
 
   /// Merged sketch over all live intervals; answers are identical to a
   /// single sketch over the window's values (full mergeability).
-  DDSketch WindowSketch() const;
+  DDSketch WindowSketch() const { return Window(); }
 
   /// Window quantile (NaN if the window is empty).
   double QuantileOrNaN(double q) const noexcept {
-    return WindowSketch().QuantileOrNaN(q);
+    return Window().QuantileOrNaN(q);
   }
 
   /// Window CDF (NaN if the window is empty).
   double CdfOrNaN(double value) const noexcept {
-    return WindowSketch().CdfOrNaN(value);
+    return Window().CdfOrNaN(value);
   }
 
   /// Total count across the window.
@@ -75,13 +81,27 @@ class RollingDDSketch {
   /// Memory across all interval sketches.
   size_t size_in_bytes() const noexcept;
 
+  /// How many times the window cache was rebuilt (a full K-way merge of
+  /// the ring). Queries between mutations share one rebuild — the
+  /// invariant rolling_test pins: a dashboard polling 5 quantiles pays
+  /// one merge, not 5.
+  uint64_t window_rebuilds() const noexcept { return window_rebuilds_; }
+
  private:
   RollingDDSketch(std::vector<DDSketch> ring, DDSketch empty_template);
 
   DDSketch& Current() noexcept { return ring_[current_]; }
 
+  /// The cached window merge, rebuilt lazily after a mutation. Clear()
+  /// keeps the cache's bucket allocation across rebuilds, so steady
+  /// state allocates nothing.
+  const DDSketch& Window() const noexcept;
+
   std::vector<DDSketch> ring_;
   DDSketch empty_template_;  // pristine copy used to reset evicted slots
+  mutable DDSketch window_cache_;
+  mutable bool window_dirty_ = true;
+  mutable uint64_t window_rebuilds_ = 0;
   size_t current_ = 0;
   uint64_t advances_ = 0;
 };

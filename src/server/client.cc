@@ -1,10 +1,25 @@
 #include "server/client.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include <unistd.h>
 
 namespace dd {
+namespace {
+
+/// Default jitter seed: distinct per client instance (process-wide
+/// counter) and across processes (pid), so concurrently-started clients
+/// never share a retry schedule by accident. Rng's splitmix64 seeding
+/// does the mixing; tests override via set_busy_backoff_seed.
+uint64_t DeriveBackoffSeed(int fd) {
+  static std::atomic<uint64_t> counter{0};
+  return (static_cast<uint64_t>(::getpid()) << 32) ^
+         (counter.fetch_add(1, std::memory_order_relaxed) << 8) ^
+         static_cast<uint64_t>(static_cast<uint32_t>(fd));
+}
+
+}  // namespace
 
 Result<SketchClient> SketchClient::Connect(const std::string& host,
                                            uint16_t port) {
@@ -17,10 +32,16 @@ Result<SketchClient> SketchClient::Connect(const std::string& host,
 }
 
 SketchClient::SketchClient(int fd)
-    : fd_(fd), conn_(std::make_unique<FramedConn>(fd)) {}
+    : fd_(fd),
+      conn_(std::make_unique<FramedConn>(fd)),
+      backoff_rng_(DeriveBackoffSeed(fd)) {}
 
 SketchClient::SketchClient(SketchClient&& other) noexcept
-    : fd_(other.fd_), conn_(std::move(other.conn_)) {
+    : fd_(other.fd_),
+      conn_(std::move(other.conn_)),
+      busy_retries_(other.busy_retries_),
+      busy_backoff_us_(other.busy_backoff_us_),
+      backoff_rng_(other.backoff_rng_) {
   other.fd_ = -1;
 }
 
@@ -29,6 +50,9 @@ SketchClient& SketchClient::operator=(SketchClient&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     conn_ = std::move(other.conn_);
+    busy_retries_ = other.busy_retries_;
+    busy_backoff_us_ = other.busy_backoff_us_;
+    backoff_rng_ = other.backoff_rng_;
     other.fd_ = -1;
   }
   return *this;
@@ -37,16 +61,6 @@ SketchClient& SketchClient::operator=(SketchClient&& other) noexcept {
 SketchClient::~SketchClient() {
   if (fd_ >= 0) ::close(fd_);
 }
-
-namespace {
-
-/// Sleeps for the current backoff, then doubles it (capped at 100 ms).
-void BackoffAndGrow(int64_t* backoff_us) {
-  ::usleep(static_cast<useconds_t>(*backoff_us));
-  *backoff_us = std::min<int64_t>(*backoff_us * 2, 100000);
-}
-
-}  // namespace
 
 Result<Response> SketchClient::Call(const Request& request) {
   DD_RETURN_IF_ERROR(conn_->WriteFrame(EncodeRequest(request)));
@@ -61,7 +75,7 @@ Result<Response> SketchClient::Call(const Request& request) {
 }
 
 Status SketchClient::CallIngest(const Request& request) {
-  int64_t backoff_us = busy_backoff_us_;
+  BusyBackoff backoff(busy_backoff_us_, backoff_rng_.NextU64());
   for (int attempt = 0;; ++attempt) {
     auto response = Call(request);
     if (!response.ok()) return response.status();
@@ -69,7 +83,7 @@ Status SketchClient::CallIngest(const Request& request) {
     if (status.code() != StatusCode::kBusy || attempt >= busy_retries_) {
       return status;
     }
-    BackoffAndGrow(&backoff_us);
+    ::usleep(static_cast<useconds_t>(backoff.NextDelayUs()));
   }
 }
 
@@ -109,7 +123,7 @@ Status SketchClient::IngestValues(
     const size_t end = std::min(begin + kWindow, points.size());
     std::vector<std::pair<int64_t, double>> pending(points.begin() + begin,
                                                     points.begin() + end);
-    int64_t backoff_us = busy_backoff_us_;
+    BusyBackoff backoff(busy_backoff_us_, backoff_rng_.NextU64());
     for (int attempt = 0;; ++attempt) {
       std::string wire;
       for (const auto& point : pending) {
@@ -141,7 +155,7 @@ Status SketchClient::IngestValues(
                             " points refused after retries");
       }
       pending.swap(busy);
-      BackoffAndGrow(&backoff_us);
+      ::usleep(static_cast<useconds_t>(backoff.NextDelayUs()));
     }
   }
   return Status::OK();

@@ -9,6 +9,7 @@
 #ifndef DDSKETCH_SERVER_CLIENT_H_
 #define DDSKETCH_SERVER_CLIENT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -18,9 +19,41 @@
 
 #include "server/net.h"
 #include "server/protocol.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace dd {
+
+/// The BUSY retry schedule: exponential backoff with ±50% jitter.
+/// Without jitter, N clients refused by the same BUSY wave sleep the
+/// same deterministic delays and re-collide at the admission budget in
+/// lockstep, wave after wave (the retry thundering herd). The jitter is
+/// multiplicative — each delay is the current base scaled by a uniform
+/// factor in [0.5, 1.5) — so the exponential envelope survives while
+/// distinct seeds spread the herd out. Deterministic given its seed,
+/// which is what makes the schedule testable.
+class BusyBackoff {
+ public:
+  /// Backoff cap: the base stops doubling here (same cap as pre-jitter).
+  static constexpr int64_t kMaxBackoffUs = 100000;  // 100 ms
+
+  BusyBackoff(int64_t initial_us, uint64_t seed) noexcept
+      : base_us_(std::max<int64_t>(1, initial_us)), rng_(seed) {}
+
+  /// The next sleep in microseconds: base * uniform[0.5, 1.5), then the
+  /// base doubles (capped). Never returns less than 1.
+  int64_t NextDelayUs() noexcept {
+    const double jitter = 0.5 + rng_.NextDouble();
+    const int64_t delay = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(base_us_) * jitter));
+    base_us_ = std::min<int64_t>(base_us_ * 2, kMaxBackoffUs);
+    return delay;
+  }
+
+ private:
+  int64_t base_us_;
+  Rng rng_;
+};
 
 class SketchClient {
  public:
@@ -61,13 +94,19 @@ class SketchClient {
   /// BUSY retry policy for the ingest/merge paths (protocol v3). A BUSY
   /// response means the server refused the record under admission
   /// control before staging it — never durable, never acked — so a
-  /// retry is always safe. Retries back off exponentially from
-  /// `initial_backoff_us`, doubling per attempt, capped at 100 ms.
+  /// retry is always safe. Retries follow a jittered exponential
+  /// BusyBackoff schedule from `initial_backoff_us`, capped at 100 ms.
   /// `max_retries` = 0 surfaces BUSY to the caller unretried.
   void set_busy_retries(int max_retries, int64_t initial_backoff_us = 1000) {
     busy_retries_ = max_retries;
     busy_backoff_us_ = initial_backoff_us;
   }
+
+  /// Reseeds the backoff jitter. Each client derives a distinct default
+  /// seed at Connect (desynchronizing concurrent clients is the whole
+  /// point); inject a seed to make retry schedules reproducible in
+  /// tests.
+  void set_busy_backoff_seed(uint64_t seed) { backoff_rng_.Seed(seed); }
 
  private:
   explicit SketchClient(int fd);
@@ -82,6 +121,9 @@ class SketchClient {
   std::unique_ptr<FramedConn> conn_;
   int busy_retries_ = 8;
   int64_t busy_backoff_us_ = 1000;
+  /// Seeds each retry episode's BusyBackoff (advances per episode, so
+  /// consecutive BUSY windows do not replay one schedule).
+  Rng backoff_rng_{0};
 };
 
 }  // namespace dd

@@ -65,6 +65,24 @@ Status CheckDrained(const Slice& in) {
 
 }  // namespace
 
+std::string_view LatencyOpName(LatencyOp op) {
+  switch (op) {
+    case LatencyOp::kIngest:
+      return "INGEST";
+    case LatencyOp::kMerge:
+      return "MERGE";
+    case LatencyOp::kQuery:
+      return "QUERY";
+    case LatencyOp::kCheckpoint:
+      return "CHECKPOINT";
+    case LatencyOp::kStats:
+      return "STATS";
+    case LatencyOp::kBusy:
+      return "BUSY";
+  }
+  return "UNKNOWN";
+}
+
 std::string EncodeHello() {
   std::string out(kProtocolMagic, sizeof(kProtocolMagic));
   out.push_back(static_cast<char>(kProtocolVersion));
@@ -213,6 +231,17 @@ std::string EncodeResponse(const Response& response) {
         PutVarint64(&body, response.stats.connections_shed);
         PutVarint64(&body, response.stats.busy_rejections);
         PutVarint64(&body, response.stats.staged_bytes);
+        // v4: one latency row per LatencyOp, fixed count so the decoder
+        // can reject a peer that disagrees about the op set.
+        PutVarint64(&body, kNumLatencyOps);
+        for (const OpLatencyStats& row : response.stats.op_latencies) {
+          PutVarint64(&body, row.count);
+          PutFixedDouble(&body, row.p50_us);
+          PutFixedDouble(&body, row.p90_us);
+          PutFixedDouble(&body, row.p99_us);
+          PutFixedDouble(&body, row.p999_us);
+          PutFixedDouble(&body, row.max_us);
+        }
         PutVarint64(&body, response.stats.shards.size());
         for (const ShardStats& shard : response.stats.shards) {
           PutVarint64(&body, shard.shard);
@@ -271,6 +300,21 @@ Result<Response> DecodeResponse(std::string_view body) {
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.connections_shed));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.busy_rejections));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.staged_bytes));
+        // v4 latency rows: the count is fixed at kNumLatencyOps — any
+        // other value means the peer's op set diverged from ours.
+        uint64_t n_latency_ops = 0;
+        DD_RETURN_IF_ERROR(in.GetVarint64(&n_latency_ops));
+        if (n_latency_ops != kNumLatencyOps) {
+          return Status::Corruption("unexpected latency row count");
+        }
+        for (OpLatencyStats& row : response.stats.op_latencies) {
+          DD_RETURN_IF_ERROR(in.GetVarint64(&row.count));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&row.p50_us));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&row.p90_us));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&row.p99_us));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&row.p999_us));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&row.max_us));
+        }
         uint64_t n_shards = 0;
         DD_RETURN_IF_ERROR(in.GetVarint64(&n_shards));
         // Every shard row is at least 6 varint bytes; a count the frame

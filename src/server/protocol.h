@@ -3,10 +3,10 @@
 // every frame live in docs/PROTOCOL.md; the encodings here reuse the
 // varint/fixed-width codecs (util/varint.h) and CRC-32C (util/crc32.h)
 // that frame the on-disk formats, and are pinned by the golden fixture
-// tests/golden/protocol_v1.bin.
+// tests/golden/protocol_v4.bin.
 //
 // Connection preamble: the client sends 5 hello bytes (magic "DDSP" +
-// version 0x03); the server validates them and echoes the same 5 bytes.
+// version 0x04); the server validates them and echoes the same 5 bytes.
 // After the handshake both directions carry frames:
 //
 //   len   varint    body length in bytes (capped at 64 MiB)
@@ -22,6 +22,7 @@
 #ifndef DDSKETCH_SERVER_PROTOCOL_H_
 #define DDSKETCH_SERVER_PROTOCOL_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -34,10 +35,12 @@ namespace dd {
 /// Protocol magic ("DDSP") and version, exchanged in the 5-byte hello.
 /// v2 extended the STATS payload with per-shard rows (sharded store);
 /// v3 added the BUSY status code (admission control: transient overload,
-/// retry after backoff) and five serving counters to the STATS payload.
-/// Everything else is unchanged from v1.
+/// retry after backoff) and five serving counters to the STATS payload;
+/// v4 added per-op ack-latency rows (self-instrumentation: the server
+/// sketches its own request latencies and STATS reports the
+/// percentiles). Everything else is unchanged from v1.
 inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
-inline constexpr uint8_t kProtocolVersion = 3;
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
 
 /// Upper bound on one frame body; anything larger is corruption before
@@ -82,6 +85,37 @@ struct ShardStats {
   uint64_t background_checkpoints = 0;  ///< scheduler-initiated checkpoints
 };
 
+/// The server-side latency rows STATS reports (v4). One row per request
+/// op, plus a row for ingests/merges refused with BUSY (a rejection is
+/// not an ingest: its ack latency is the cost of saying no, and folding
+/// it into the INGEST row would make overload look fast).
+enum class LatencyOp : uint8_t {
+  kIngest = 0,
+  kMerge = 1,
+  kQuery = 2,
+  kCheckpoint = 3,
+  kStats = 4,
+  kBusy = 5,  ///< BUSY-refused ingests/merges (admission rejections)
+};
+inline constexpr size_t kNumLatencyOps = 6;
+
+/// Name of a latency row ("INGEST", ..., "BUSY") for display.
+std::string_view LatencyOpName(LatencyOp op);
+
+/// One op's ack-latency summary, measured server-side from "request
+/// fully framed" to "response queued for write", in microseconds. The
+/// percentiles come from a DDSketch the serving layer keeps per event
+/// loop (relative accuracy = sketchd's --latency-alpha, default 0.01);
+/// an empty row reports count = 0 with all percentiles 0.
+struct OpLatencyStats {
+  uint64_t count = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
 /// STATS response payload. The scalar fields aggregate across shards
 /// (sums, except `epoch` which is the minimum shard epoch); `shards`
 /// carries one row per shard.
@@ -100,6 +134,10 @@ struct StoreStats {
   uint64_t connections_shed = 0;      ///< closed by deadline/overload policy
   uint64_t busy_rejections = 0;       ///< records refused with BUSY
   uint64_t staged_bytes = 0;          ///< bytes currently staged, all shards
+
+  // v4 self-instrumentation: ack-latency percentiles per op, indexed by
+  // LatencyOp, merged across event loops at STATS time.
+  std::array<OpLatencyStats, kNumLatencyOps> op_latencies{};
 
   std::vector<ShardStats> shards;
 };

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "core/concurrent.h"
 #include "core/ddsketch.h"
 #include "server/net.h"
 #include "timeseries/wal.h"
@@ -48,6 +49,20 @@ WalRecord ToWalRecord(const Request& request) {
 /// slot. Keeps tiny records from being "free" under admission control.
 constexpr uint64_t kStagedRecordOverhead = 64;
 
+/// The latency row a non-ingest request's ack is recorded into. Ingests
+/// and merges are routed by their per-entry outcome instead (a BUSY
+/// refusal lands in the BUSY row, see FinishRun).
+LatencyOp NonIngestLatencyOp(Request::Op op) {
+  switch (op) {
+    case Request::Op::kQuery:
+      return LatencyOp::kQuery;
+    case Request::Op::kCheckpoint:
+      return LatencyOp::kCheckpoint;
+    default:
+      return LatencyOp::kStats;
+  }
+}
+
 }  // namespace
 
 /// One staged pipelined run of INGEST/MERGE requests from a single
@@ -59,6 +74,11 @@ constexpr uint64_t kStagedRecordOverhead = 64;
 struct SketchServer::IngestRun {
   EventLoop* loop = nullptr;
   Conn* conn = nullptr;
+  /// When the run's first request was fully framed; every entry's ack
+  /// latency is measured from here (the requests of one run arrive in
+  /// one buffered burst, so a per-entry stamp would add clock reads
+  /// without adding information).
+  TimePoint start{};
   std::vector<Request> requests;
   std::vector<PendingIngest> entries;  // parallel to requests
   /// Outstanding completions: one per staged entry, plus one staging
@@ -83,6 +103,9 @@ struct SketchServer::Conn {
   std::unique_ptr<IngestRun> run;  // staged run in flight (reads paused)
   bool have_deferred = false;
   std::string deferred_body;  // non-ingest frame parsed mid-run collection
+  /// When the deferred frame was parsed: its ack latency must include
+  /// the wait behind the run it deferred to.
+  TimePoint deferred_stamp{};
   TimePoint last_activity{};
   /// Deadline for the pending unit of I/O (hello, partial frame, unread
   /// responses) to COMPLETE. Armed when the unit starts; byte-at-a-time
@@ -117,7 +140,27 @@ class SketchServer::EventLoop {
     if (listen_fd_ >= 0) {
       DD_RETURN_IF_ERROR(epoll_->Add(listen_fd_, EPOLLIN, &listen_tag_));
     }
+    // Self-instrumentation (v4): one latency sketch per LatencyOp.
+    // num_shards = 1 because only this loop's thread Adds (an
+    // uncontended lock, ~sketch-Add cost); the STATS handler — possibly
+    // another loop's thread — Snapshot()s concurrently, which is what
+    // ConcurrentDDSketch exists for. Create() also validates
+    // --latency-alpha, so a bad alpha fails Start() instead of crashing
+    // a loop.
+    DDSketchConfig latency_config;
+    latency_config.relative_accuracy = server_->options_.latency_alpha;
+    latency_rows_.reserve(kNumLatencyOps);
+    for (size_t i = 0; i < kNumLatencyOps; ++i) {
+      auto sketch = ConcurrentDDSketch::Create(latency_config, 1);
+      if (!sketch.ok()) return sketch.status();
+      latency_rows_.push_back(std::move(sketch).value());
+    }
     return Status::OK();
+  }
+
+  /// The per-op latency sketch, for the STATS handler's merge.
+  const ConcurrentDDSketch& latency_row(size_t op) const {
+    return latency_rows_[op];
   }
 
   void StartThread() {
@@ -163,6 +206,16 @@ class SketchServer::EventLoop {
   }
 
  private:
+  /// Records one ack latency (microseconds, measured `start` → `now`)
+  /// into this loop's row for `op`. The floor keeps a sub-tick
+  /// measurement out of the sketch's zero bucket, where it would stop
+  /// counting toward the percentiles' log buckets.
+  void RecordLatency(LatencyOp op, TimePoint start, TimePoint now) {
+    const double us =
+        std::chrono::duration<double, std::micro>(now - start).count();
+    latency_rows_[static_cast<size_t>(op)].Add(std::max(us, 1e-3));
+  }
+
   void Wake() {
     const uint64_t one = 1;
     const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
@@ -310,9 +363,11 @@ class SketchServer::EventLoop {
         continue;
       }
       std::string body;
+      TimePoint unit_start;  // instrumentation: request fully framed
       if (c->have_deferred) {
         body = std::move(c->deferred_body);
         c->have_deferred = false;
+        unit_start = c->deferred_stamp;
       } else {
         auto got = c->io.NextBufferedFrame(&body);
         if (!got.ok()) {
@@ -321,6 +376,7 @@ class SketchServer::EventLoop {
         }
         if (!got.value()) return;  // only a frame prefix buffered
         c->stall_deadline = {};    // a unit completed; restart the clock
+        unit_start = Clock::now();
       }
       auto request = DecodeRequest(body);
       if (!request.ok()) {
@@ -330,6 +386,8 @@ class SketchServer::EventLoop {
       if (!IsIngestOp(request.value().op)) {
         c->io.QueueWrite(
             EncodeResponse(server_->HandleNonIngest(request.value())));
+        RecordLatency(NonIngestLatencyOp(request.value().op), unit_start,
+                      Clock::now());
         FlushConn(c);
         continue;
       }
@@ -343,6 +401,7 @@ class SketchServer::EventLoop {
       auto run = std::make_unique<IngestRun>();
       run->loop = this;
       run->conn = c;
+      run->start = unit_start;
       run->requests.push_back(std::move(request).value());
       while (run->requests.size() < run_cap) {
         std::string next;
@@ -362,6 +421,7 @@ class SketchServer::EventLoop {
           // Handle it after the run; keeps responses in request order.
           c->deferred_body = std::move(next);
           c->have_deferred = true;
+          c->deferred_stamp = Clock::now();
           break;
         }
         run->requests.push_back(std::move(next_request).value());
@@ -378,6 +438,7 @@ class SketchServer::EventLoop {
   void FinishRun(Conn* c) {
     IngestRun* run = c->run.get();
     std::string out;
+    const TimePoint now = Clock::now();
     for (size_t i = 0; i < run->requests.size(); ++i) {
       Response response;
       response.op = run->requests[i].op;
@@ -385,6 +446,14 @@ class SketchServer::EventLoop {
       response.message = run->entries[i].result.message();
       response.wal_offset = run->entries[i].wal_offset;
       out += EncodeResponse(response);
+      // A BUSY refusal's ack is the cost of saying no, not an ingest
+      // latency; it gets its own row.
+      RecordLatency(response.code == StatusCode::kBusy
+                        ? LatencyOp::kBusy
+                        : (response.op == Request::Op::kIngest
+                               ? LatencyOp::kIngest
+                               : LatencyOp::kMerge),
+                    run->start, now);
     }
     c->run.reset();
     c->last_activity = Clock::now();
@@ -494,6 +563,11 @@ class SketchServer::EventLoop {
   bool stop_ = false;                    // guarded by mu_
   std::vector<int> adopted_fds_;         // guarded by mu_
   std::vector<IngestRun*> completions_;  // guarded by mu_
+
+  /// v4 self-instrumentation: ack-latency sketches, indexed by
+  /// LatencyOp. Written by this loop's thread only; read (Snapshot) by
+  /// whichever loop serves STATS.
+  std::vector<ConcurrentDDSketch> latency_rows_;
 
   // Loop-thread-only state.
   std::unordered_map<Conn*, std::unique_ptr<Conn>> conns_;
@@ -777,10 +851,32 @@ Response SketchServer::HandleNonIngest(const Request& request) {
       stats.busy_rejections =
           busy_rejections_.load(std::memory_order_relaxed);
       stats.staged_bytes = staged_bytes_.load(std::memory_order_relaxed);
+      FillOpLatencies(&stats);
       return response;
     }
   }
   return fail(Status::Internal("unhandled request op"));
+}
+
+void SketchServer::FillOpLatencies(StoreStats* stats) const {
+  if (loops_.empty()) return;
+  for (size_t i = 0; i < kNumLatencyOps; ++i) {
+    DDSketch merged = loops_[0]->latency_row(i).Snapshot();
+    for (size_t l = 1; l < loops_.size(); ++l) {
+      // Every loop built its sketch from the same config, so the merge
+      // cannot fail (full mergeability: the result equals one sketch
+      // over all loops' latencies).
+      (void)merged.MergeFrom(loops_[l]->latency_row(i).Snapshot());
+    }
+    OpLatencyStats& row = stats->op_latencies[i];
+    row.count = merged.count();
+    if (row.count == 0) continue;  // empty rows report zeros, never NaN
+    row.p50_us = merged.QuantileOrNaN(0.5);
+    row.p90_us = merged.QuantileOrNaN(0.9);
+    row.p99_us = merged.QuantileOrNaN(0.99);
+    row.p999_us = merged.QuantileOrNaN(0.999);
+    row.max_us = merged.max();
+  }
 }
 
 void SketchServer::CommitLoop(size_t shard_index) {

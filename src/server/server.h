@@ -107,6 +107,11 @@ struct SketchServerOptions {
   /// to complete within this deadline. Byte-at-a-time progress does not
   /// reset it. 0 = never.
   int64_t stall_timeout_ms = 10000;
+  /// Relative accuracy of the self-instrumentation sketches: each event
+  /// loop records every request's ack latency into a per-op DDSketch at
+  /// this alpha, and STATS reports the merged percentiles (protocol
+  /// v4). The default matches the library default.
+  double latency_alpha = 0.01;
 };
 
 /// The daemon: owns the sharded durable store, the listening socket, and
@@ -209,6 +214,10 @@ class SketchServer {
   /// Handles QUERY / CHECKPOINT / STATS on a loop thread (thread-safe:
   /// takes only per-shard locks).
   Response HandleNonIngest(const Request& request);
+  /// Fills the v4 latency rows: merges every event loop's per-op
+  /// latency sketches (ConcurrentDDSketch snapshots, safe concurrent
+  /// with the loops' adds) and extracts the STATS percentiles.
+  void FillOpLatencies(StoreStats* stats) const;
   /// Validates, admission-checks, and stages one run of INGEST/MERGE
   /// requests across the owning shards' queues. Returns true when the
   /// run is already complete (everything refused at validation,

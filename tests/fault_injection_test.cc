@@ -329,6 +329,11 @@ TEST_F(FaultInjectionTest, BusyRefusalsSurfaceInRemoteStats) {
   EXPECT_GE(stats.value().connections_accepted, 1u);
   EXPECT_GE(stats.value().connections_open, 1u);
   EXPECT_EQ(stats.value().staged_bytes, 0u);  // refusals are refunded
+  // v4: the refusal was timed into the BUSY latency row, and nothing
+  // was recorded as a successful INGEST ack.
+  const auto& rows = stats.value().op_latencies;
+  EXPECT_GE(rows[static_cast<size_t>(LatencyOp::kBusy)].count, 1u);
+  EXPECT_EQ(rows[static_cast<size_t>(LatencyOp::kIngest)].count, 0u);
   // Nothing refused was committed.
   auto query = client.value().Query("svc.x", 0, 10, {0.5});
   EXPECT_FALSE(query.ok());

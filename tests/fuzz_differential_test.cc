@@ -438,16 +438,17 @@ TEST(FuzzWireTruncationTest, EveryProperPrefixIsRejected) {
 }
 
 // ---------------------------------------------------------------------
-// Protocol v3 frame corruption fuzz: the frames the event-loop server
-// added in v3 — BUSY admission refusals and STATS responses carrying
-// the serving counters plus per-shard rows. Frames are CRC-framed, so
+// Protocol v4 frame corruption fuzz: the frames the event-loop server
+// added in v3/v4 — BUSY admission refusals and STATS responses carrying
+// the serving counters, per-op latency rows (v4), and per-shard rows.
+// Frames are CRC-framed, so
 // the contract matches the WAL's: a flipped frame must ALWAYS be
 // rejected (Corruption, or OutOfRange when the flip shortens the
 // declared length), never crash, and never decode as different-but-
 // valid data. Mutations applied to the already-CRC-verified body
 // exercise the strict field decoders directly.
 
-/// A v3 BUSY ingest refusal, as the admission controller sends it.
+/// A BUSY ingest refusal, as the admission controller sends it.
 std::string BusyResponseFrame() {
   Response response;
   response.op = Request::Op::kIngest;
@@ -456,7 +457,8 @@ std::string BusyResponseFrame() {
   return EncodeResponse(response);
 }
 
-/// A v3 STATS response: serving counters + several per-shard rows.
+/// A v4 STATS response: serving counters, populated per-op latency
+/// rows, and several per-shard rows.
 std::string StatsResponseFrame() {
   Response response;
   response.op = Request::Op::kStats;
@@ -472,6 +474,15 @@ std::string StatsResponseFrame() {
   response.stats.connections_shed = 17;
   response.stats.busy_rejections = 256;
   response.stats.staged_bytes = 1 << 19;
+  for (size_t i = 0; i < kNumLatencyOps; ++i) {
+    OpLatencyStats& row = response.stats.op_latencies[i];
+    row.count = 100 * (i + 1);
+    row.p50_us = 50.5 * static_cast<double>(i + 1);
+    row.p90_us = 90.25 * static_cast<double>(i + 1);
+    row.p99_us = 99.125 * static_cast<double>(i + 1);
+    row.p999_us = 999.0625 * static_cast<double>(i + 1);
+    row.max_us = 1234.5 * static_cast<double>(i + 1);
+  }
   for (uint64_t k = 0; k < 4; ++k) {
     ShardStats shard;
     shard.shard = k;
@@ -485,10 +496,10 @@ std::string StatsResponseFrame() {
   return EncodeResponse(response);
 }
 
-class FuzzProtocolV3CorruptionTest : public ::testing::TestWithParam<uint64_t> {
+class FuzzProtocolV4CorruptionTest : public ::testing::TestWithParam<uint64_t> {
 };
 
-TEST_P(FuzzProtocolV3CorruptionTest, FrameBitFlipsAlwaysRejected) {
+TEST_P(FuzzProtocolV4CorruptionTest, FrameBitFlipsAlwaysRejected) {
   Rng rng(GetParam() * 68111);
   for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
     for (int trial = 0; trial < 400; ++trial) {
@@ -511,7 +522,7 @@ TEST_P(FuzzProtocolV3CorruptionTest, FrameBitFlipsAlwaysRejected) {
   }
 }
 
-TEST_P(FuzzProtocolV3CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
+TEST_P(FuzzProtocolV4CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
   Rng rng(GetParam() * 76003);
   for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
     size_t frame_size = 0;
@@ -541,7 +552,7 @@ TEST_P(FuzzProtocolV3CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
   }
 }
 
-TEST(FuzzProtocolV3TruncationTest, EveryFramePrefixIsIncomplete) {
+TEST(FuzzProtocolV4TruncationTest, EveryFramePrefixIsIncomplete) {
   for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
     for (size_t cut = 0; cut < frame.size(); ++cut) {
       size_t frame_size = 0;
@@ -554,7 +565,7 @@ TEST(FuzzProtocolV3TruncationTest, EveryFramePrefixIsIncomplete) {
   }
 }
 
-TEST(FuzzProtocolV3TruncationTest, EveryBodyTruncationIsCorruption) {
+TEST(FuzzProtocolV4TruncationTest, EveryBodyTruncationIsCorruption) {
   for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
     size_t frame_size = 0;
     auto body = DecodeFrame(frame, &frame_size);
@@ -573,7 +584,7 @@ TEST(FuzzProtocolV3TruncationTest, EveryBodyTruncationIsCorruption) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV3CorruptionTest,
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV4CorruptionTest,
                          ::testing::Range<uint64_t>(1, 5));
 
 }  // namespace

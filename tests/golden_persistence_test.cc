@@ -238,6 +238,36 @@ std::string GoldenProtocolBytes() {
   stats_ok.stats.connections_shed = 7;
   stats_ok.stats.busy_rejections = 21;
   stats_ok.stats.staged_bytes = 65536;
+  // v4 self-instrumentation rows: a loaded INGEST row, a lightly used
+  // QUERY row, a BUSY row, and empty rows (count 0, percentiles 0) for
+  // the rest — all six always on the wire, in LatencyOp order.
+  OpLatencyStats ingest_lat;
+  ingest_lat.count = 4096;
+  ingest_lat.p50_us = 812.5;
+  ingest_lat.p90_us = 1900.25;
+  ingest_lat.p99_us = 4225.0;
+  ingest_lat.p999_us = 9800.125;
+  ingest_lat.max_us = 12000.5;
+  stats_ok.stats.op_latencies[static_cast<size_t>(LatencyOp::kIngest)] =
+      ingest_lat;
+  OpLatencyStats query_lat;
+  query_lat.count = 32;
+  query_lat.p50_us = 95.0;
+  query_lat.p90_us = 140.75;
+  query_lat.p99_us = 310.0;
+  query_lat.p999_us = 310.0;
+  query_lat.max_us = 310.0;
+  stats_ok.stats.op_latencies[static_cast<size_t>(LatencyOp::kQuery)] =
+      query_lat;
+  OpLatencyStats busy_lat;
+  busy_lat.count = 21;
+  busy_lat.p50_us = 2.5;
+  busy_lat.p90_us = 4.0;
+  busy_lat.p99_us = 6.25;
+  busy_lat.p999_us = 6.25;
+  busy_lat.max_us = 6.25;
+  stats_ok.stats.op_latencies[static_cast<size_t>(LatencyOp::kBusy)] =
+      busy_lat;
   ShardStats shard0;
   shard0.shard = 0;
   shard0.num_series = 1;
@@ -268,8 +298,8 @@ std::string GoldenProtocolBytes() {
 }
 
 TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
-  // magic "DDSP", version 3 (v3 = BUSY status + serving counters).
-  EXPECT_EQ(Hex(EncodeHello()), "44445350" "03");
+  // magic "DDSP", version 4 (v4 = per-op latency rows in STATS).
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "04");
 }
 
 TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
@@ -286,8 +316,8 @@ TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
 
 TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenProtocolBytes();
-  MaybeRegenerate("protocol_v3.bin", encoded);
-  const std::string fixture = ReadFixture("protocol_v3.bin");
+  MaybeRegenerate("protocol_v4.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v4.bin");
   ASSERT_EQ(Hex(encoded), Hex(fixture));
 
   // Walk the fixture: hello, then 5 requests, then 6 responses — every

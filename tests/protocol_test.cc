@@ -60,6 +60,13 @@ TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
   std::string v2 = EncodeHello();
   v2[4] = '\x02';
   EXPECT_EQ(CheckHello(v2).code(), StatusCode::kIncompatible);
+
+  // A v3 peer (pre-latency-rows) must be refused too: it would stop
+  // parsing the STATS payload at staged_bytes and misread the latency
+  // rows as shard rows.
+  std::string v3 = EncodeHello();
+  v3[4] = '\x03';
+  EXPECT_EQ(CheckHello(v3).code(), StatusCode::kIncompatible);
 }
 
 TEST(ProtocolTest, IngestRequestRoundTrip) {
@@ -148,6 +155,26 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     r.stats.connections_shed = 5;
     r.stats.busy_rejections = 33;
     r.stats.staged_bytes = 1 << 20;
+    // v4: populate a few of the per-op latency rows; the rest stay
+    // zero (an op the server has never acked encodes count=0).
+    {
+      OpLatencyStats& ingest =
+          r.stats.op_latencies[static_cast<size_t>(LatencyOp::kIngest)];
+      ingest.count = 100000;
+      ingest.p50_us = 812.5;
+      ingest.p90_us = 1900.25;
+      ingest.p99_us = 4225.0;
+      ingest.p999_us = 9800.125;
+      ingest.max_us = 12000.5;
+      OpLatencyStats& busy =
+          r.stats.op_latencies[static_cast<size_t>(LatencyOp::kBusy)];
+      busy.count = 17;
+      busy.p50_us = 2.5;
+      busy.p90_us = 4.0;
+      busy.p99_us = 6.25;
+      busy.p999_us = 6.25;
+      busy.max_us = 6.25;
+    }
     for (uint64_t k = 0; k < 3; ++k) {
       ShardStats shard;
       shard.shard = k;
@@ -167,11 +194,52 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     EXPECT_EQ(decoded.stats.connections_shed, 5u);
     EXPECT_EQ(decoded.stats.busy_rejections, 33u);
     EXPECT_EQ(decoded.stats.staged_bytes, static_cast<uint64_t>(1 << 20));
+    const OpLatencyStats& ingest =
+        decoded.stats.op_latencies[static_cast<size_t>(LatencyOp::kIngest)];
+    EXPECT_EQ(ingest.count, 100000u);
+    EXPECT_EQ(ingest.p50_us, 812.5);
+    EXPECT_EQ(ingest.p90_us, 1900.25);
+    EXPECT_EQ(ingest.p99_us, 4225.0);
+    EXPECT_EQ(ingest.p999_us, 9800.125);
+    EXPECT_EQ(ingest.max_us, 12000.5);
+    const OpLatencyStats& busy =
+        decoded.stats.op_latencies[static_cast<size_t>(LatencyOp::kBusy)];
+    EXPECT_EQ(busy.count, 17u);
+    EXPECT_EQ(busy.p99_us, 6.25);
+    const OpLatencyStats& merge =
+        decoded.stats.op_latencies[static_cast<size_t>(LatencyOp::kMerge)];
+    EXPECT_EQ(merge.count, 0u);
+    EXPECT_EQ(merge.max_us, 0.0);
     ASSERT_EQ(decoded.stats.shards.size(), 3u);
     EXPECT_EQ(decoded.stats.shards[2].shard, 2u);
     EXPECT_EQ(decoded.stats.shards[2].wal_bytes, 300u);
     EXPECT_EQ(decoded.stats.shards[2].epoch, 4u);
     EXPECT_EQ(decoded.stats.shards[1].background_checkpoints, 1u);
+  }
+}
+
+TEST(ProtocolTest, StatsRejectsWrongLatencyRowCount) {
+  // The latency-row count is pinned at kNumLatencyOps: a peer that
+  // disagrees about the op set must read as corrupt, never as a
+  // partially-parsed STATS payload.
+  Response r;
+  r.op = Request::Op::kStats;
+  const std::string frame = EncodeResponse(r);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_TRUE(body.ok());
+  std::string mutable_body(body.value());
+  // Body layout for an all-default STATS: op + code + empty message
+  // (3 bytes), then 12 zero varints, then the latency-row count.
+  const size_t count_offset = 3 + 12;
+  ASSERT_EQ(static_cast<uint8_t>(mutable_body[count_offset]),
+            kNumLatencyOps);
+  for (uint8_t wrong : {0, 5, 7, 127}) {
+    std::string corrupt = mutable_body;
+    corrupt[count_offset] = static_cast<char>(wrong);
+    EXPECT_EQ(DecodeResponse(corrupt).status().code(),
+              StatusCode::kCorruption)
+        << "count=" << static_cast<int>(wrong);
   }
 }
 

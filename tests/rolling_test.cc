@@ -125,6 +125,76 @@ TEST(RollingTest, RingSlotReuseAfterFullCycle) {
   EXPECT_EQ(w.intervals_advanced(), 10u);
 }
 
+TEST(RollingTest, WindowCacheRebuildsOnlyAfterMutation) {
+  // Query cost regression: repeated quantile/CDF reads between
+  // mutations must hit the cached merged window, not re-merge the ring
+  // on every call.
+  RollingDDSketch w = Make(4);
+  for (int i = 1; i <= 100; ++i) w.Add(static_cast<double>(i));
+  EXPECT_EQ(w.window_rebuilds(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    (void)w.QuantileOrNaN(0.5);
+    (void)w.CdfOrNaN(50.0);
+  }
+  EXPECT_EQ(w.window_rebuilds(), 1u);  // ten reads, one merge
+
+  // Each kind of mutation invalidates exactly once.
+  w.Add(101.0);
+  (void)w.QuantileOrNaN(0.9);
+  (void)w.QuantileOrNaN(0.99);
+  EXPECT_EQ(w.window_rebuilds(), 2u);
+
+  w.Advance();
+  (void)w.CdfOrNaN(10.0);
+  EXPECT_EQ(w.window_rebuilds(), 3u);
+
+  auto remote = std::move(DDSketch::Create(0.01)).value();
+  remote.Add(7.0);
+  ASSERT_TRUE(w.MergeIntoCurrent(remote).ok());
+  (void)w.QuantileOrNaN(0.5);
+  EXPECT_EQ(w.window_rebuilds(), 4u);
+
+  // A rejected merge changes nothing, so it must not invalidate.
+  auto wrong = std::move(DDSketch::Create(0.05)).value();
+  wrong.Add(1.0);
+  EXPECT_EQ(w.MergeIntoCurrent(wrong).code(), StatusCode::kIncompatible);
+  (void)w.QuantileOrNaN(0.5);
+  EXPECT_EQ(w.window_rebuilds(), 4u);
+}
+
+TEST(RollingTest, CachedWindowAnswersMatchFreshMerge) {
+  // The cache is an optimization, never an approximation: answers read
+  // through it must be bit-identical to a twin that never caches — a
+  // deque of per-interval sketches merged from scratch at every read.
+  constexpr int kWindow = 5;
+  RollingDDSketch w = Make(kWindow);
+  std::deque<DDSketch> twin;
+  twin.push_back(std::move(DDSketch::Create(0.01)).value());
+  Rng rng(134);
+  for (int step = 0; step < 20; ++step) {
+    for (int i = 0; i < 300; ++i) {
+      const double x = std::exp(rng.NextDouble() * 6 - 3);
+      w.Add(x);
+      twin.back().Add(x);
+    }
+    auto fresh = std::move(DDSketch::Create(0.01)).value();
+    for (const DDSketch& interval : twin) {
+      ASSERT_TRUE(fresh.MergeFrom(interval).ok());
+    }
+    for (double q : {0.1, 0.5, 0.9, 0.999}) {
+      EXPECT_EQ(w.QuantileOrNaN(q), fresh.QuantileOrNaN(q))
+          << "step " << step << " q=" << q;
+    }
+    for (double x : {0.5, 1.0, 5.0}) {
+      EXPECT_EQ(w.CdfOrNaN(x), fresh.CdfOrNaN(x)) << "step " << step;
+    }
+    EXPECT_EQ(w.WindowSketch().count(), fresh.count()) << "step " << step;
+    w.Advance();
+    twin.push_back(std::move(DDSketch::Create(0.01)).value());
+    if (twin.size() > kWindow) twin.pop_front();
+  }
+}
+
 TEST(RollingTest, SizeAccountsAllIntervals) {
   RollingDDSketch w = Make(8);
   const size_t empty_size = w.size_in_bytes();

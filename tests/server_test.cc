@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -493,6 +494,111 @@ TEST_F(ServerTest, StatsReportServingCounters) {
   EXPECT_GE(stats.value().connections_open, 2u);
   EXPECT_EQ(stats.value().busy_rejections, 0u);
   EXPECT_EQ(stats.value().staged_bytes, 0u);  // all committed by now
+}
+
+TEST_F(ServerTest, StatsReportPerOpAckLatency) {
+  // v4 self-instrumentation: every acked request lands in exactly one
+  // per-op latency row, so with a single client the row counts must
+  // equal the number of requests issued, and each populated row's
+  // percentiles must be ordered.
+  SketchServerOptions options;
+  options.event_loops = 2;  // rows merge across loops
+  auto server = MustStart(Dir("oplat"), options);
+  SketchClient client = MustConnect(*server);
+
+  constexpr uint64_t kIngests = 300;
+  constexpr uint64_t kQueries = 7;
+  for (uint64_t i = 0; i < kIngests; ++i) {
+    ASSERT_TRUE(
+        client.IngestValue("svc", static_cast<int64_t>(i % 20), 1.0 + i).ok());
+  }
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client.Query("svc", 0, 100, {0.5}).ok());
+  }
+  auto worker = std::move(DDSketch::Create(DDSketchConfig{})).value();
+  worker.Add(3.0);
+  ASSERT_TRUE(client.Merge("svc", 0, worker.Serialize()).ok());
+  ASSERT_TRUE(client.Checkpoint().ok());
+  ASSERT_TRUE(client.Stats().ok());  // now a STATS ack latency exists
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const auto& rows = stats.value().op_latencies;
+  auto row = [&rows](LatencyOp op) -> const OpLatencyStats& {
+    return rows[static_cast<size_t>(op)];
+  };
+  EXPECT_EQ(row(LatencyOp::kIngest).count, kIngests);
+  EXPECT_EQ(row(LatencyOp::kQuery).count, kQueries);
+  EXPECT_EQ(row(LatencyOp::kMerge).count, 1u);
+  EXPECT_EQ(row(LatencyOp::kCheckpoint).count, 1u);
+  // The row snapshot is taken while handling a STATS request, before
+  // that request's own ack is recorded: only the first call is visible.
+  EXPECT_EQ(row(LatencyOp::kStats).count, 1u);
+  EXPECT_EQ(row(LatencyOp::kBusy).count, 0u);
+  EXPECT_EQ(row(LatencyOp::kBusy).max_us, 0.0);
+
+  const OpLatencyStats& ingest = row(LatencyOp::kIngest);
+  EXPECT_GT(ingest.p50_us, 0.0);
+  EXPECT_LE(ingest.p50_us, ingest.p90_us);
+  EXPECT_LE(ingest.p90_us, ingest.p99_us);
+  EXPECT_LE(ingest.p99_us, ingest.p999_us);
+  // Percentiles are sketch estimates (relative accuracy alpha); the
+  // tracked max is exact, so allow the estimate that tiny slack.
+  EXPECT_LE(ingest.p999_us, ingest.max_us * 1.05);
+  EXPECT_GT(ingest.max_us, 0.0);
+}
+
+TEST_F(ServerTest, BusyBackoffJitterIsSeededAndBounded) {
+  // Decorrelated jitter: same seed replays the same schedule, distinct
+  // seeds desynchronize, and every delay stays within [base/2, 1.5*base]
+  // with the base doubling up to the cap.
+  auto schedule = [](uint64_t seed) {
+    BusyBackoff backoff(1000, seed);
+    std::vector<int64_t> delays;
+    for (int i = 0; i < 10; ++i) delays.push_back(backoff.NextDelayUs());
+    return delays;
+  };
+  const std::vector<int64_t> a = schedule(1);
+  const std::vector<int64_t> b = schedule(2);
+  EXPECT_EQ(a, schedule(1));  // reproducible
+  EXPECT_NE(a, b);            // two clients never march in lockstep
+  int64_t base = 1000;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int64_t delay : {a[i], b[i]}) {
+      EXPECT_GE(delay, base / 2) << "attempt " << i;
+      EXPECT_LE(delay, base + base / 2) << "attempt " << i;
+    }
+    base = std::min<int64_t>(base * 2, BusyBackoff::kMaxBackoffUs);
+  }
+}
+
+TEST_F(ServerTest, BusyRetriesRespectBudgetAndFeedTheBusyLatencyRow) {
+  // An always-BUSY server (budget of one byte): each ingest attempt is
+  // refused, the client burns exactly 1 + busy_retries attempts, and
+  // every refusal lands in the BUSY latency row — not in INGEST.
+  SketchServerOptions options;
+  options.staged_bytes_budget = 1;
+  auto server = MustStart(Dir("busylat"), options);
+
+  constexpr int kRetries = 3;
+  SketchClient a = MustConnect(*server);
+  SketchClient b = MustConnect(*server);
+  a.set_busy_retries(kRetries, 50);
+  b.set_busy_retries(kRetries, 50);
+  a.set_busy_backoff_seed(101);
+  b.set_busy_backoff_seed(202);
+  EXPECT_EQ(a.IngestValue("svc", 1, 1.0).code(), StatusCode::kBusy);
+  EXPECT_EQ(b.IngestValue("svc", 2, 2.0).code(), StatusCode::kBusy);
+
+  constexpr uint64_t kExpectedRefusals = 2 * (1 + kRetries);
+  EXPECT_EQ(server->busy_rejections(), kExpectedRefusals);
+  auto stats = a.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const auto& rows = stats.value().op_latencies;
+  EXPECT_EQ(rows[static_cast<size_t>(LatencyOp::kBusy)].count,
+            kExpectedRefusals);
+  EXPECT_EQ(rows[static_cast<size_t>(LatencyOp::kIngest)].count, 0u);
+  EXPECT_GT(rows[static_cast<size_t>(LatencyOp::kBusy)].max_us, 0.0);
 }
 
 }  // namespace

@@ -6,8 +6,10 @@
 #  1. legacy single-shard pass: start on a temp data dir, ingest 10k
 #     values over the wire via ddsketch_cli, check the quantiles against
 #     an in-process reference sketch built from the same values (within
-#     the paper's accuracy bound), SIGKILL the daemon, restart it, and
-#     verify recovery answers byte-identically.
+#     the paper's accuracy bound), check the daemon's own v4 per-op
+#     ack-latency rows (nonzero INGEST/QUERY counts, ordered
+#     percentiles), SIGKILL the daemon, restart it, and verify recovery
+#     answers byte-identically.
 #  2. sharded pass (--shards 4): ingest the same stream into four series,
 #     observe a background checkpoint via remote-stats (epoch advances
 #     with no client CHECKPOINT), SIGKILL, restart WITHOUT --shards
@@ -17,7 +19,7 @@
 #  3. event-loop scale pass (ulimit permitting): park ~1k idle
 #     connections, drive a hot minority through them, and check that
 #     ingest completes, RSS stays flat while the idle majority is
-#     parked, and remote-stats reports the v3 connection/backpressure
+#     parked, and remote-stats reports the connection/backpressure
 #     counters.
 set -eu
 
@@ -92,6 +94,38 @@ paste "$WORK/q1.txt" "$WORK/qref.txt" | awk '
     m = b; if (m < 0) m = -m;
     if (m == 0 || d / m > 0.0202) { print "quantile mismatch:", $0; bad = 1 } }
   END { exit bad }'
+
+# Dogfooding: the daemon measured its own acks with a DDSketch. After
+# 10k ingests and one query the INGEST/QUERY latency rows must carry
+# those counts, and each populated row's percentiles must be ordered
+# (p50 <= p90 <= p99 <= p999; the exact max bounds the p999 estimate
+# within the sketch's relative accuracy).
+"$CLI" remote-stats --port "$PORT" > "$WORK/stats1.txt"
+grep -q '^op_latency INGEST ' "$WORK/stats1.txt" || {
+  echo "remote-stats lacks op_latency rows"; cat "$WORK/stats1.txt"; exit 1; }
+awk '
+  $1 == "op_latency" {
+    op = $2
+    for (i = 3; i <= NF; i++) {
+      split($i, kv, "="); row[op "." kv[1]] = kv[2]
+    }
+  }
+  END {
+    if (row["INGEST.count"] < 10000) {
+      print "INGEST latency count " row["INGEST.count"] " < 10000"; exit 1 }
+    if (row["QUERY.count"] < 1) {
+      print "QUERY latency row empty"; exit 1 }
+    for (op in row) {
+      split(op, part, "."); o = part[1]
+      if (part[2] != "count" || row[o ".count"] == 0) continue
+      if (row[o ".p50_us"] <= 0 ||
+          row[o ".p50_us"] > row[o ".p90_us"] ||
+          row[o ".p90_us"] > row[o ".p99_us"] ||
+          row[o ".p99_us"] > row[o ".p999_us"] ||
+          row[o ".p999_us"] > row[o ".max_us"] * 1.05) {
+        print o " latency percentiles not ordered"; exit 1 }
+    }
+  }' "$WORK/stats1.txt" || { cat "$WORK/stats1.txt"; exit 1; }
 
 # Crash hard: no shutdown hook runs; recovery must come from the WAL.
 kill -9 "$PID"

@@ -510,6 +510,17 @@ int CmdRemoteStats(int argc, char** argv) {
               static_cast<unsigned long long>(s.busy_rejections));
   std::printf("staged_bytes %llu\n",
               static_cast<unsigned long long>(s.staged_bytes));
+  // v4 self-instrumentation: one line per op with the server-side ack
+  // latency percentiles (microseconds; all zero when count is 0).
+  for (size_t i = 0; i < dd::kNumLatencyOps; ++i) {
+    const dd::OpLatencyStats& row = s.op_latencies[i];
+    std::printf("op_latency %s count=%llu p50_us=%.3f p90_us=%.3f "
+                "p99_us=%.3f p999_us=%.3f max_us=%.3f\n",
+                std::string(dd::LatencyOpName(static_cast<dd::LatencyOp>(i)))
+                    .c_str(),
+                static_cast<unsigned long long>(row.count), row.p50_us,
+                row.p90_us, row.p99_us, row.p999_us, row.max_us);
+  }
   for (const dd::ShardStats& shard : s.shards) {
     std::printf("shard %llu series=%llu wal_bytes=%llu epoch=%llu "
                 "commits=%llu bg_checkpoints=%llu\n",

@@ -15,7 +15,8 @@
 //           [--checkpoint-wal-bytes 0] [--checkpoint-interval-s 0]
 //           [--event-loops 0] [--staged-bytes-budget 67108864]
 //           [--max-conn-inflight 1024] [--idle-timeout-s 300]
-//           [--stall-timeout-ms 10000] [--port-file FILE]
+//           [--stall-timeout-ms 10000] [--latency-alpha 0.01]
+//           [--port-file FILE]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed on stdout and, with --port-file, written atomically to FILE so
@@ -91,6 +92,9 @@ void PrintUsage(std::FILE* out) {
       "  --stall-timeout-ms N      shed a connection whose hello, frame, or\n"
       "                            response drain stalls past N ms;\n"
       "                            0 = never (default 10000)\n"
+      "  --latency-alpha A         relative accuracy of the server's own\n"
+      "                            per-op ack-latency sketches, reported\n"
+      "                            via STATS (default 0.01)\n"
       "  --help                    print this help and exit\n");
 }
 
@@ -140,6 +144,8 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = std::strtoll(argv[++i], nullptr, 10) * 1000;
     } else if (arg == "--stall-timeout-ms" && i + 1 < argc) {
       options.stall_timeout_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--latency-alpha" && i + 1 < argc) {
+      options.latency_alpha = std::strtod(argv[++i], nullptr);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
     } else {
