@@ -188,6 +188,15 @@ Result<uint64_t> SketchClient::Checkpoint() {
   return response.value().epoch;
 }
 
+Result<uint64_t> SketchClient::Promote() {
+  Request request;
+  request.op = Request::Op::kPromote;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+  return response.value().repl_token;
+}
+
 Result<StoreStats> SketchClient::Stats() {
   Request request;
   request.op = Request::Op::kStats;

@@ -91,6 +91,10 @@ class SketchClient {
 
   Result<StoreStats> Stats();
 
+  /// Promotes the server to primary (v5 failover: bumps the fencing
+  /// token, unfences, stops following). Returns the new fencing token.
+  Result<uint64_t> Promote();
+
   /// BUSY retry policy for the ingest/merge paths (protocol v3). A BUSY
   /// response means the server refused the record under admission
   /// control before staging it — never durable, never acked — so a

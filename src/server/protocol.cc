@@ -11,11 +11,11 @@ namespace {
 /// Request ops are a dense range; anything else on the wire is garbage.
 bool ValidOp(uint8_t op) {
   return op >= static_cast<uint8_t>(Request::Op::kIngest) &&
-         op <= static_cast<uint8_t>(Request::Op::kStats);
+         op <= static_cast<uint8_t>(Request::Op::kPromote);
 }
 
 bool ValidStatusCode(uint8_t code) {
-  return code <= static_cast<uint8_t>(StatusCode::kBusy);
+  return code <= static_cast<uint8_t>(StatusCode::kFenced);
 }
 
 void PutLengthPrefixed(std::string* out, std::string_view bytes) {
@@ -59,6 +59,38 @@ void PutDoubles(std::string* out, const std::vector<double>& values) {
 Status CheckDrained(const Slice& in) {
   if (!in.empty()) {
     return Status::Corruption("trailing bytes in protocol frame body");
+  }
+  return Status::OK();
+}
+
+/// (epoch, offset) pairs — SUBSCRIBE resume positions and heartbeat
+/// shipping positions share one layout.
+void PutPositions(std::string* out,
+                  const std::vector<std::pair<uint64_t, uint64_t>>& positions) {
+  PutVarint64(out, positions.size());
+  for (const auto& [epoch, offset] : positions) {
+    PutVarint64(out, epoch);
+    PutVarint64(out, offset);
+  }
+}
+
+Status GetPositions(Slice* in,
+                    std::vector<std::pair<uint64_t, uint64_t>>* positions) {
+  uint64_t n = 0;
+  DD_RETURN_IF_ERROR(in->GetVarint64(&n));
+  // Each position is at least 2 varint bytes; a count the frame cannot
+  // possibly hold is corruption, not an allocation request.
+  if (n > in->remaining() / 2) {
+    return Status::Corruption("position list overruns frame");
+  }
+  positions->clear();
+  positions->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t epoch = 0;
+    uint64_t offset = 0;
+    DD_RETURN_IF_ERROR(in->GetVarint64(&epoch));
+    DD_RETURN_IF_ERROR(in->GetVarint64(&offset));
+    positions->emplace_back(epoch, offset);
   }
   return Status::OK();
 }
@@ -159,8 +191,13 @@ std::string EncodeRequest(const Request& request) {
       PutVarintSigned64(&body, request.end);
       PutDoubles(&body, request.quantiles);
       break;
+    case Request::Op::kSubscribe:
+      PutVarint64(&body, request.repl_token);
+      PutPositions(&body, request.positions);
+      break;
     case Request::Op::kCheckpoint:
     case Request::Op::kStats:
+    case Request::Op::kPromote:
       break;  // op byte only
   }
   return EncodeFrame(body);
@@ -193,8 +230,13 @@ Result<Request> DecodeRequest(std::string_view body) {
       DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.end));
       DD_RETURN_IF_ERROR(GetDoubles(&in, &request.quantiles));
       break;
+    case Request::Op::kSubscribe:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&request.repl_token));
+      DD_RETURN_IF_ERROR(GetPositions(&in, &request.positions));
+      break;
     case Request::Op::kCheckpoint:
     case Request::Op::kStats:
+    case Request::Op::kPromote:
       break;
   }
   DD_RETURN_IF_ERROR(CheckDrained(in));
@@ -251,6 +293,23 @@ std::string EncodeResponse(const Response& response) {
           PutVarint64(&body, shard.batch_commits);
           PutVarint64(&body, shard.background_checkpoints);
         }
+        // v5: replication + fencing, appended after the shard rows so
+        // the v4 field prefix is byte-identical.
+        PutVarint64(&body, response.stats.role);
+        PutVarint64(&body, response.stats.fence_token);
+        PutVarint64(&body, response.stats.fenced);
+        PutVarint64(&body, response.stats.repl_subscribers);
+        PutVarint64(&body, response.stats.repl_shipped_bytes);
+        PutVarint64(&body, response.stats.repl_applied_bytes);
+        PutVarint64(&body, response.stats.repl_connected);
+        PutVarint64(&body, response.stats.repl_heartbeat_age_ms);
+        break;
+      case Request::Op::kSubscribe:
+        PutVarint64(&body, response.repl_token);
+        PutVarint64(&body, response.repl_shards);
+        break;
+      case Request::Op::kPromote:
+        PutVarint64(&body, response.repl_token);
         break;
     }
   }
@@ -331,8 +390,26 @@ Result<Response> DecodeResponse(std::string_view body) {
           DD_RETURN_IF_ERROR(in.GetVarint64(&shard.batch_commits));
           DD_RETURN_IF_ERROR(in.GetVarint64(&shard.background_checkpoints));
         }
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.role));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.fence_token));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.fenced));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.repl_subscribers));
+        DD_RETURN_IF_ERROR(
+            in.GetVarint64(&response.stats.repl_shipped_bytes));
+        DD_RETURN_IF_ERROR(
+            in.GetVarint64(&response.stats.repl_applied_bytes));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.repl_connected));
+        DD_RETURN_IF_ERROR(
+            in.GetVarint64(&response.stats.repl_heartbeat_age_ms));
         break;
       }
+      case Request::Op::kSubscribe:
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.repl_token));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.repl_shards));
+        break;
+      case Request::Op::kPromote:
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.repl_token));
+        break;
     }
   }
   DD_RETURN_IF_ERROR(CheckDrained(in));
@@ -342,6 +419,77 @@ Result<Response> DecodeResponse(std::string_view body) {
 Status ResponseStatus(const Response& response) {
   if (response.code == StatusCode::kOk) return Status::OK();
   return Status(response.code, response.message);
+}
+
+std::string EncodeReplFrame(const ReplFrame& frame) {
+  std::string body;
+  body.push_back(static_cast<char>(frame.tag));
+  switch (frame.tag) {
+    case ReplFrame::Tag::kSnapshot:
+      PutVarint64(&body, frame.shard);
+      PutVarint64(&body, frame.epoch);
+      PutLengthPrefixed(&body, frame.payload);
+      break;
+    case ReplFrame::Tag::kSegment:
+      PutVarint64(&body, frame.shard);
+      PutVarint64(&body, frame.epoch);
+      PutVarint64(&body, frame.start_offset);
+      PutLengthPrefixed(&body, frame.payload);
+      break;
+    case ReplFrame::Tag::kHeartbeat:
+      PutVarint64(&body, frame.token);
+      PutPositions(&body, frame.positions);
+      break;
+    case ReplFrame::Tag::kAck:
+      PutVarint64(&body, frame.shard);
+      PutVarint64(&body, frame.epoch);
+      PutVarint64(&body, frame.offset);
+      break;
+    case ReplFrame::Tag::kFence:
+      PutVarint64(&body, frame.token);
+      break;
+  }
+  return EncodeFrame(body);
+}
+
+Result<ReplFrame> DecodeReplFrame(std::string_view body) {
+  Slice in(body);
+  std::string_view tag_byte;
+  DD_RETURN_IF_ERROR(in.GetBytes(1, &tag_byte));
+  const uint8_t tag = static_cast<uint8_t>(tag_byte[0]);
+  if (tag < static_cast<uint8_t>(ReplFrame::Tag::kSnapshot) ||
+      tag > static_cast<uint8_t>(ReplFrame::Tag::kFence)) {
+    return Status::Corruption("unknown replication frame tag");
+  }
+  ReplFrame frame;
+  frame.tag = static_cast<ReplFrame::Tag>(tag);
+  switch (frame.tag) {
+    case ReplFrame::Tag::kSnapshot:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.shard));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.epoch));
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &frame.payload));
+      break;
+    case ReplFrame::Tag::kSegment:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.shard));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.epoch));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.start_offset));
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &frame.payload));
+      break;
+    case ReplFrame::Tag::kHeartbeat:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.token));
+      DD_RETURN_IF_ERROR(GetPositions(&in, &frame.positions));
+      break;
+    case ReplFrame::Tag::kAck:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.shard));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.epoch));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.offset));
+      break;
+    case ReplFrame::Tag::kFence:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.token));
+      break;
+  }
+  DD_RETURN_IF_ERROR(CheckDrained(in));
+  return frame;
 }
 
 }  // namespace dd

@@ -3,10 +3,10 @@
 // every frame live in docs/PROTOCOL.md; the encodings here reuse the
 // varint/fixed-width codecs (util/varint.h) and CRC-32C (util/crc32.h)
 // that frame the on-disk formats, and are pinned by the golden fixture
-// tests/golden/protocol_v4.bin.
+// tests/golden/protocol_v5.bin.
 //
 // Connection preamble: the client sends 5 hello bytes (magic "DDSP" +
-// version 0x04); the server validates them and echoes the same 5 bytes.
+// version 0x05); the server validates them and echoes the same 5 bytes.
 // After the handshake both directions carry frames:
 //
 //   len   varint    body length in bytes (capped at 64 MiB)
@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -38,9 +39,12 @@ namespace dd {
 /// retry after backoff) and five serving counters to the STATS payload;
 /// v4 added per-op ack-latency rows (self-instrumentation: the server
 /// sketches its own request latencies and STATS reports the
-/// percentiles). Everything else is unchanged from v1.
+/// percentiles); v5 added the replication channel (SUBSCRIBE/PROMOTE
+/// ops, streamed ReplFrames), the FENCED status code, and
+/// replication/fencing fields in STATS. Everything else is unchanged
+/// from v1.
 inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
-inline constexpr uint8_t kProtocolVersion = 4;
+inline constexpr uint8_t kProtocolVersion = 5;
 inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
 
 /// Upper bound on one frame body; anything larger is corruption before
@@ -62,6 +66,8 @@ struct Request {
     kQuery = 3,       ///< quantiles of one series over [start, end)
     kCheckpoint = 4,  ///< snapshot + WAL reset
     kStats = 5,       ///< store/server statistics
+    kSubscribe = 6,   ///< v5: become a replication follower of this server
+    kPromote = 7,     ///< v5: become primary (bump fencing token, unfence)
   };
 
   Op op = Op::kIngest;
@@ -72,6 +78,11 @@ struct Request {
   int64_t start = 0;               // kQuery
   int64_t end = 0;                 // kQuery
   std::vector<double> quantiles;   // kQuery
+
+  // kSubscribe: the follower's fencing token and per-shard resume
+  // positions (epoch, WAL offset), one per shard it already holds.
+  uint64_t repl_token = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> positions;
 };
 
 /// One shard's row in the STATS payload. A single-shard server reports
@@ -140,6 +151,17 @@ struct StoreStats {
   std::array<OpLatencyStats, kNumLatencyOps> op_latencies{};
 
   std::vector<ShardStats> shards;
+
+  // v5 replication + fencing (encoded after the shard rows so v4's
+  // field prefix is untouched).
+  uint64_t role = 0;                 ///< 0 = primary, 1 = follower
+  uint64_t fence_token = 0;          ///< current fencing token
+  uint64_t fenced = 0;               ///< 1 when sticky-fenced (writes refused)
+  uint64_t repl_subscribers = 0;     ///< primary: attached followers
+  uint64_t repl_shipped_bytes = 0;   ///< primary: WAL bytes shipped
+  uint64_t repl_applied_bytes = 0;   ///< follower: WAL bytes applied
+  uint64_t repl_connected = 0;       ///< follower: 1 when tailing its primary
+  uint64_t repl_heartbeat_age_ms = 0;///< follower: ms since last heartbeat
 };
 
 /// One server response. Echoes the request's op; `code`/`message` carry
@@ -154,6 +176,8 @@ struct Response {
   std::vector<double> values;      // kQuery: one result per requested q
   uint64_t epoch = 0;              // kCheckpoint: WAL epoch after reset
   StoreStats stats;                // kStats
+  uint64_t repl_token = 0;         // kSubscribe, kPromote: fencing token
+  uint64_t repl_shards = 0;        // kSubscribe: primary's shard count
 };
 
 /// Frames an already-encoded body: len varint + body CRC + body.
@@ -179,6 +203,38 @@ Result<Response> DecodeResponse(std::string_view body);
 /// Converts a response's code/message pair back into a Status, so client
 /// callers see the server-side error exactly as the server produced it.
 Status ResponseStatus(const Response& response);
+
+/// One replication-channel frame (v5). After an OK SUBSCRIBE response
+/// the connection leaves request/response mode: the primary streams
+/// kSnapshot / kSegment / kHeartbeat frames down, and the follower
+/// streams kAck (plus, at promotion, kFence) frames up — all in the
+/// same CRC framing as every other byte on the wire.
+struct ReplFrame {
+  enum class Tag : uint8_t {
+    kSnapshot = 1,   ///< full shard state: payload is a snapshot image,
+                     ///< epoch is the WAL epoch to tail from
+    kSegment = 2,    ///< raw WAL record bytes starting at start_offset
+    kHeartbeat = 3,  ///< primary liveness: fence token + shard positions
+    kAck = 4,        ///< follower's durable (epoch, offset) for one shard
+    kFence = 5,      ///< observed fencing token (a promotion upstream)
+  };
+
+  Tag tag = Tag::kSegment;
+  uint64_t shard = 0;         // kSnapshot, kSegment, kAck
+  uint64_t epoch = 0;         // kSnapshot, kSegment, kAck
+  uint64_t start_offset = 0;  // kSegment
+  uint64_t offset = 0;        // kAck: durable WAL offset after apply
+  uint64_t token = 0;         // kHeartbeat, kFence
+  std::vector<std::pair<uint64_t, uint64_t>> positions;  // kHeartbeat
+  std::string payload;        // kSnapshot, kSegment
+};
+
+/// Encodes a complete framed replication frame, ready to write.
+std::string EncodeReplFrame(const ReplFrame& frame);
+
+/// Decodes a replication frame *body*. Unknown tags, truncation, or
+/// trailing bytes fail with Corruption.
+Result<ReplFrame> DecodeReplFrame(std::string_view body);
 
 }  // namespace dd
 

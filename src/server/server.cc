@@ -383,6 +383,11 @@ class SketchServer::EventLoop {
         CloseConn(c, true);  // CRC passed but body malformed: broken peer
         return;
       }
+      if (request.value().op == Request::Op::kSubscribe) {
+        HandleSubscribe(c, request.value(), unit_start);
+        if (c->closed) return;  // adopted by the shipper (or shed)
+        continue;
+      }
       if (!IsIngestOp(request.value().op)) {
         c->io.QueueWrite(
             EncodeResponse(server_->HandleNonIngest(request.value())));
@@ -432,6 +437,43 @@ class SketchServer::EventLoop {
       }
       // Otherwise reads stay paused until the completion is posted.
     }
+  }
+
+  /// SUBSCRIBE: validate, then hand the socket to the replication
+  /// shipper. An OK subscribe takes the connection out of
+  /// request/response mode for good, so it must be quiescent — nothing
+  /// else buffered in either direction, no deferred frame, no EOF.
+  void HandleSubscribe(Conn* c, const Request& request, TimePoint unit_start) {
+    Response response = server_->PrepareSubscribe(request);
+    if (response.code == StatusCode::kOk &&
+        (c->io.buffered_read_bytes() > 0 || c->io.pending_write_bytes() > 0 ||
+         c->have_deferred || c->saw_eof)) {
+      response = Response{};
+      response.op = Request::Op::kSubscribe;
+      response.code = StatusCode::kInvalidArgument;
+      response.message = "SUBSCRIBE must be the connection's only in-flight "
+                         "request";
+    }
+    RecordLatency(LatencyOp::kStats, unit_start, Clock::now());
+    if (response.code != StatusCode::kOk) {
+      c->io.QueueWrite(EncodeResponse(response));
+      FlushConn(c);
+      return;
+    }
+    // Adopt: deregister the fd WITHOUT closing it and give it to the
+    // shipper with the OK response as its first outgoing bytes. The
+    // Conn is destroyed at the end of the loop iteration like any
+    // closed connection; the fd now belongs to the shipper.
+    const int fd = c->fd;
+    epoll_->Del(fd);
+    c->fd = -1;
+    c->closed = true;
+    server_->connections_open_.fetch_sub(1, std::memory_order_relaxed);
+    auto it = conns_.find(c);
+    graveyard_.push_back(std::move(it->second));
+    conns_.erase(it);
+    server_->shipper_->AddSubscriber(fd, EncodeResponse(response),
+                                     request.positions);
   }
 
   /// Writes the run's responses in request order and releases the run.
@@ -585,6 +627,11 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   if (options.max_conn_inflight == 0) {
     return Status::InvalidArgument("max_conn_inflight must be at least 1");
   }
+  if (options.durable.role == StoreRole::kFollower &&
+      (options.follow_host.empty() || options.follow_port == 0)) {
+    return Status::InvalidArgument(
+        "follower role requires a primary to follow (--follow host:port)");
+  }
   ShardedDurableStoreOptions store_options;
   store_options.durable = options.durable;
   store_options.shards = options.shards;
@@ -610,6 +657,27 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
         server.get(), i == 0 ? server->listen_fd_ : -1));
     DD_RETURN_IF_ERROR(server->loops_.back()->Init());
   }
+  // Replication plumbing before any committer starts (committers route
+  // their completion handshakes through the shipper). ReplShard holds
+  // stable pointers: shards_ elements are unique_ptrs and the store
+  // lives behind the optional for the server's whole life.
+  std::vector<ReplShard> repl_shards;
+  repl_shards.reserve(server->shards_.size());
+  for (size_t k = 0; k < server->shards_.size(); ++k) {
+    repl_shards.push_back(
+        ReplShard{&server->shards_[k]->store_mu, &server->store_->shard(k)});
+  }
+  ReplicationShipperOptions ship_options;
+  ship_options.ack_timeout_ms = options.repl_ack_timeout_ms;
+  ship_options.heartbeat_ms = options.repl_heartbeat_ms;
+  server->shipper_ = std::make_unique<ReplicationShipper>(
+      repl_shards, ship_options,
+      [s = server.get()](uint64_t token) { s->FenceSelf(token); });
+  server->shipper_->Start();
+  server->role_follower_.store(
+      options.durable.role == StoreRole::kFollower, std::memory_order_relaxed);
+  server->writes_fenced_.store(server->store_->WritesFenced(),
+                               std::memory_order_relaxed);
   for (size_t k = 0; k < server->shards_.size(); ++k) {
     server->shards_[k]->committer =
         std::thread([s = server.get(), k] { s->CommitLoop(k); });
@@ -619,6 +687,14 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
         std::thread([s = server.get()] { s->CheckpointLoop(); });
   }
   for (auto& loop : server->loops_) loop->StartThread();
+  if (options.durable.role == StoreRole::kFollower) {
+    ReplicationFollowerOptions follow_options;
+    follow_options.host = options.follow_host;
+    follow_options.port = options.follow_port;
+    server->follower_ = std::make_unique<ReplicationFollower>(
+        std::move(repl_shards), follow_options);
+    server->follower_->Start();
+  }
   return server;
 }
 
@@ -638,6 +714,13 @@ SketchServer::~SketchServer() { Stop(); }
 void SketchServer::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // 0. Replication first: the follower stops applying, and the shipper
+  // drops its subscribers and releases every parked completion — the
+  // event loops (step 1) cannot drain their in-flight runs while acks
+  // sit parked, and later commits complete inline once the shipper is
+  // stopped.
+  if (follower_) follower_->Stop();
+  if (shipper_) shipper_->Stop();
   // 1. Stop the event loops first: they shed every connection, and any
   // in-flight run needs the committers still alive to complete (zombie
   // connections wait inside the loop for their completions).
@@ -689,6 +772,22 @@ uint64_t SketchServer::background_checkpoints() const noexcept {
 bool SketchServer::StageIngestRun(IngestRun* run) {
   const size_t n = run->requests.size();
   run->entries.resize(n);  // address-stable from here on
+  // A follower or fenced ex-primary refuses every write up front,
+  // before validation or admission (mirrors the BUSY refusal shape:
+  // never staged, never acknowledged). The durable gate in the store
+  // backstops this fast path if a fence races in after the check.
+  if (writes_fenced_.load(std::memory_order_relaxed)) {
+    const Status refusal = Status::Fenced(
+        role_follower_.load(std::memory_order_relaxed)
+            ? "this server is a follower; writes must go to the primary"
+            : "writer fenced: a newer primary holds the fencing token");
+    for (size_t i = 0; i < n; ++i) {
+      run->entries[i].run = run;
+      run->entries[i].result = refusal;
+      run->entries[i].done = true;
+    }
+    return true;
+  }
   std::vector<std::vector<PendingIngest*>> by_shard(shards_.size());
   size_t staged = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -800,6 +899,12 @@ Response SketchServer::HandleNonIngest(const Request& request) {
       return response;
     }
     case Request::Op::kCheckpoint: {
+      if (writes_fenced_.load(std::memory_order_relaxed)) {
+        return fail(Status::Fenced(
+            role_follower_.load(std::memory_order_relaxed)
+                ? "this server is a follower; checkpoints run on the primary"
+                : "writer fenced: a newer primary holds the fencing token"));
+      }
       // "Checkpoint all shards", one shard lock at a time so ingest on
       // the others keeps flowing while each snapshot is written.
       uint64_t min_epoch = 0;
@@ -830,6 +935,15 @@ Response SketchServer::HandleNonIngest(const Request& request) {
           row.background_checkpoints = shards_[k]->background_checkpoints;
           stats.num_intervals += shard_store.store().num_intervals();
           stats.size_in_bytes += shard_store.store().size_in_bytes();
+          // v5: fencing state, aggregated conservatively (max token; one
+          // fenced shard fences the server).
+          stats.fence_token =
+              std::max(stats.fence_token, shard_store.fence_token());
+          if (shard_store.fenced()) stats.fenced = 1;
+          if (k == 0) {
+            stats.role =
+                shard_store.role() == StoreRole::kFollower ? 1 : 0;
+          }
         }
         {
           std::lock_guard<std::mutex> lk(shards_[k]->queue_mu);
@@ -851,7 +965,24 @@ Response SketchServer::HandleNonIngest(const Request& request) {
       stats.busy_rejections =
           busy_rejections_.load(std::memory_order_relaxed);
       stats.staged_bytes = staged_bytes_.load(std::memory_order_relaxed);
+      stats.repl_subscribers = shipper_ ? shipper_->subscribers() : 0;
+      stats.repl_shipped_bytes = shipper_ ? shipper_->shipped_bytes() : 0;
+      if (follower_) {
+        stats.repl_applied_bytes = follower_->applied_bytes();
+        stats.repl_connected = follower_->connected() ? 1 : 0;
+        stats.repl_heartbeat_age_ms = follower_->heartbeat_age_ms();
+      }
       FillOpLatencies(&stats);
+      return response;
+    }
+    case Request::Op::kSubscribe:
+      // Intercepted on the event loop (the connection is handed to the
+      // shipper before this dispatcher runs); reaching here is a bug.
+      return fail(Status::Internal("SUBSCRIBE routed to HandleNonIngest"));
+    case Request::Op::kPromote: {
+      auto token = Promote();
+      if (!token.ok()) return fail(token.status());
+      response.repl_token = token.value();
       return response;
     }
   }
@@ -918,6 +1049,7 @@ void SketchServer::CommitOneBatch(size_t shard_index,
   lk->unlock();
 
   uint64_t offset = 0;
+  uint64_t epoch = 0;
   if (status.ok()) {
     std::vector<WalRecord> records;
     records.reserve(batch.size());
@@ -925,29 +1057,55 @@ void SketchServer::CommitOneBatch(size_t shard_index,
     std::lock_guard<std::mutex> store_lk(shard.store_mu);
     status = store_->shard(shard_index).IngestBatch(records);
     offset = store_->shard(shard_index).wal_offset();
+    epoch = store_->shard(shard_index).epoch();
   }
 
   lk->lock();
   if (status.ok()) {
     ++shard.batch_commits;
-  } else if (shard.commit_error.ok()) {
-    shard.commit_error = status;  // fail-stop this shard's ingest path
+  } else if (shard.commit_error.ok() &&
+             status.code() != StatusCode::kFenced) {
+    // Fail-stop this shard's ingest path — except on FENCED, which
+    // refuses before the WAL is touched: the durability substrate is
+    // intact and a later Promote() makes the shard writable again.
+    shard.commit_error = status;
   }
   lk->unlock();
-  // Completion handshake outside queue_mu: fill the entry, refund its
-  // admission charge, then decrement the run's counter. The acq_rel
-  // chain on `remaining` orders every committer's entry writes before
-  // the final decrementer's PostCompletion, whose queue mutex in turn
-  // orders them before the event loop's reads.
+  // Admission charges are refunded as soon as the batch leaves the
+  // staging pipeline — parked bytes below are durable, not staged.
   for (PendingIngest* pending : batch) {
-    pending->result = status;
-    pending->wal_offset = offset;
-    pending->done = true;
     staged_bytes_.fetch_sub(pending->bytes, std::memory_order_relaxed);
-    IngestRun* run = pending->run;
-    if (run->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      run->loop->PostCompletion(run);
+    pending->bytes = 0;
+  }
+  // Completion handshake outside queue_mu: fill the entries, then
+  // decrement the runs' counters. The acq_rel chain on `remaining`
+  // orders every committer's entry writes before the final
+  // decrementer's PostCompletion, whose queue mutex in turn orders them
+  // before the event loop's reads. With replication subscribers
+  // attached, a durable batch's handshake is parked in the shipper
+  // until its (epoch, offset) is acknowledged downstream (semi-sync); a
+  // fenced release turns the acks into FENCED, because records the new
+  // primary never acked may not survive the failover.
+  auto complete = [batch = std::move(batch), status, offset](bool fenced) {
+    const Status final_status =
+        fenced ? Status::Fenced(
+                     "not acknowledged: this primary was fenced before the "
+                     "batch replicated")
+               : status;
+    for (PendingIngest* pending : batch) {
+      pending->result = final_status;
+      pending->wal_offset = offset;
+      pending->done = true;
+      IngestRun* run = pending->run;
+      if (run->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        run->loop->PostCompletion(run);
+      }
     }
+  };
+  if (status.ok() && shipper_) {
+    shipper_->SubmitCommitted(shard_index, epoch, offset, std::move(complete));
+  } else {
+    complete(false);  // a failed batch has no durable position to gate on
   }
   lk->lock();
 }
@@ -968,6 +1126,10 @@ void SketchServer::CheckpointLoop() {
   for (;;) {
     scheduler_cv_.wait_for(lk, poll, [this] { return scheduler_stop_; });
     if (scheduler_stop_) return;
+    // A follower (or fenced ex-primary) never checkpoints on its own:
+    // the primary's stream drives its epochs. Checked every poll so a
+    // Promote() re-enables the scheduler in place.
+    if (writes_fenced_.load(std::memory_order_relaxed)) continue;
     lk.unlock();
     for (size_t k = 0; k < shards_.size(); ++k) {
       Shard& shard = *shards_[k];
@@ -1009,6 +1171,88 @@ void SketchServer::CheckpointLoop() {
     }
     lk.lock();
   }
+}
+
+Response SketchServer::PrepareSubscribe(const Request& request) {
+  Response response;
+  response.op = Request::Op::kSubscribe;
+  auto fail = [&response](const Status& status) {
+    response.code = status.code();
+    response.message = status.message();
+    return response;
+  };
+  if (role_follower_.load(std::memory_order_relaxed)) {
+    return fail(Status::InvalidArgument(
+        "this server is a follower; SUBSCRIBE to the primary (chained "
+        "replication is not supported)"));
+  }
+  if (!request.positions.empty() &&
+      request.positions.size() != shards_.size()) {
+    return fail(Status::InvalidArgument(
+        "SUBSCRIBE carries " + std::to_string(request.positions.size()) +
+        " resume positions for a " + std::to_string(shards_.size()) +
+        "-shard primary"));
+  }
+  uint64_t token = 0;
+  bool fenced = false;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+    DurableSketchStore& shard_store = store_->shard(k);
+    if (request.repl_token > shard_store.fence_token()) {
+      // The subscriber has seen a newer primary than us: we were
+      // deposed while we weren't looking. Self-fence before refusing.
+      (void)shard_store.Fence(request.repl_token);
+    }
+    token = std::max(token, shard_store.fence_token());
+    fenced = fenced || shard_store.fenced();
+  }
+  if (fenced) {
+    writes_fenced_.store(true, std::memory_order_relaxed);
+    return fail(Status::Fenced(
+        "writer fenced: a newer primary holds the fencing token"));
+  }
+  response.repl_token = token;
+  response.repl_shards = shards_.size();
+  return response;
+}
+
+void SketchServer::FenceSelf(uint64_t observed_token) {
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+    (void)store_->shard(k).Fence(observed_token);
+  }
+  writes_fenced_.store(true, std::memory_order_relaxed);
+}
+
+Result<uint64_t> SketchServer::Promote() {
+  std::lock_guard<std::mutex> promote_lk(promote_mu_);
+  // Stop applying the old primary's stream before flipping roles; the
+  // socket is kept open so the new token can be sent up it afterwards.
+  if (follower_) follower_->StopTail();
+  uint64_t max_token = 0;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+    max_token = std::max(max_token, store_->shard(k).fence_token());
+  }
+  uint64_t new_token = 0;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+    DurableSketchStore& shard_store = store_->shard(k);
+    // Equalize first so every shard lands on the same new token even if
+    // a crash left them divergent.
+    DD_RETURN_IF_ERROR(shard_store.AdoptFenceToken(max_token));
+    auto token = shard_store.Promote();
+    if (!token.ok()) return token.status();
+    new_token = token.value();
+  }
+  role_follower_.store(false, std::memory_order_relaxed);
+  writes_fenced_.store(false, std::memory_order_relaxed);
+  // Tell the deposed primary it lost the token. Best-effort: if it is
+  // already dead this is a no-op, and its next life must rejoin as a
+  // follower (docs/OPERATIONS.md runbook) — any replication handshake
+  // it attempts with its stale token fences it then.
+  if (follower_) follower_->FenceUpstream(new_token);
+  return new_token;
 }
 
 }  // namespace dd

@@ -43,6 +43,19 @@
 // QUERY / CHECKPOINT / STATS run on the loop thread. QUERY locks only
 // the owning shard's store_mu; CHECKPOINT and STATS walk the shards
 // one store_mu at a time, in shard order.
+//
+// Replication (protocol v5, server/replication.h): a SUBSCRIBE request
+// hands the connection from its event loop to the ReplicationShipper,
+// which streams WAL segments (and snapshots, when the follower's
+// position no longer matches) and gates ingest acks on follower acks.
+// A server started with role=follower runs a ReplicationFollower that
+// tails its primary and refuses every client write with FENCED; the
+// read path (QUERY/STATS) serves normally. Promote() flips a follower
+// (or a fenced ex-primary) back into a writable primary by bumping the
+// fencing token persisted in every shard's LOCK file — a deposed
+// primary that observes the new token (FENCE frame, or a SUBSCRIBE
+// from a newer-tokened follower) sticky-fences itself, so late writes
+// after a failover are refused instead of splitting the brain.
 
 #ifndef DDSKETCH_SERVER_SERVER_H_
 #define DDSKETCH_SERVER_SERVER_H_
@@ -60,6 +73,7 @@
 #include <vector>
 
 #include "server/protocol.h"
+#include "server/replication.h"
 #include "timeseries/sharded_store.h"
 #include "util/status.h"
 
@@ -112,6 +126,20 @@ struct SketchServerOptions {
   /// this alpha, and STATS reports the merged percentiles (protocol
   /// v4). The default matches the library default.
   double latency_alpha = 0.01;
+
+  // --- Replication (protocol v5). The server's role comes from
+  // durable.role: kFollower additionally requires follow_host/port. ---
+
+  /// Primary to tail when durable.role == kFollower ("--follow").
+  std::string follow_host;
+  uint16_t follow_port = 0;
+  /// Semi-sync ack gating: a committed batch's client acks are parked
+  /// until every subscribed follower acks it, at most this long; a
+  /// follower that blows the deadline is dropped and the primary
+  /// degrades to async. 0 disables gating (pure async shipping).
+  int64_t repl_ack_timeout_ms = 1000;
+  /// Heartbeat cadence on replication connections.
+  int64_t repl_heartbeat_ms = 500;
 };
 
 /// The daemon: owns the sharded durable store, the listening socket, and
@@ -160,6 +188,19 @@ class SketchServer {
   }
   uint64_t busy_rejections() const noexcept {
     return busy_rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Become the (new) primary: stops tailing the old one, bumps the
+  /// fencing token on every shard, unfences, and best-effort FENCEs the
+  /// old primary over the replication connection. Also un-fences a
+  /// fenced ex-primary (re-promotion). Returns the new token. Safe from
+  /// any thread (the PROMOTE op and sketchd's SIGUSR1 both land here).
+  Result<uint64_t> Promote();
+
+  /// True while this server refuses client writes with FENCED (follower
+  /// role, or a primary that observed a newer fencing token).
+  bool writes_fenced() const noexcept {
+    return writes_fenced_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -233,6 +274,14 @@ class SketchServer {
   /// The background checkpoint scheduler: polls every shard's WAL size
   /// and age against the configured triggers.
   void CheckpointLoop();
+  /// Validates a SUBSCRIBE request (role, fencing token, position
+  /// count) and builds its response; called on the loop thread before
+  /// the connection is handed to the shipper. A subscriber announcing a
+  /// newer token than ours fences this server first.
+  Response PrepareSubscribe(const Request& request);
+  /// Sticky-fences every shard against `observed_token` and flips the
+  /// fast-path flag (the shipper's on_fence callback).
+  void FenceSelf(uint64_t observed_token);
   /// True when either background-checkpoint trigger is configured.
   bool SchedulerEnabled() const noexcept {
     return options_.checkpoint_wal_bytes > 0 ||
@@ -260,6 +309,17 @@ class SketchServer {
   std::atomic<uint64_t> connections_open_{0};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_shed_{0};
+
+  // Replication (v5). The shipper always exists (any primary may gain
+  // subscribers); the follower only when started with role=follower.
+  std::unique_ptr<ReplicationShipper> shipper_;
+  std::unique_ptr<ReplicationFollower> follower_;
+  /// Loop-thread fast path for the FENCED refusal in StageIngestRun;
+  /// the durable truth lives in the shard LOCK files.
+  std::atomic<bool> writes_fenced_{false};
+  /// Role for error messages ("follower" vs "fenced"); flips on Promote.
+  std::atomic<bool> role_follower_{false};
+  std::mutex promote_mu_;  // serializes Promote() calls
 
   std::mutex scheduler_mu_;
   std::condition_variable scheduler_cv_;

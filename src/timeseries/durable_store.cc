@@ -1,7 +1,15 @@
 #include "timeseries/durable_store.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "core/ddsketch.h"
 #include "timeseries/snapshot.h"
@@ -42,6 +50,61 @@ Status Apply(SketchStore* store, const WalRecord& record) {
   return Status::Corruption("unknown WAL record type");
 }
 
+/// The token every directory starts at; the first promotion moves to 2.
+constexpr uint64_t kInitialFenceToken = 1;
+
+std::string EncodeFenceState(uint64_t token, bool fenced) {
+  return "fence=" + std::to_string(token) + "\nfenced=" +
+         (fenced ? "1" : "0") + "\n";
+}
+
+/// An empty lock file (pre-replication directories) parses as the
+/// defaults; anything else must be the exact EncodeFenceState layout.
+Status ParseFenceState(const std::string& contents, uint64_t* token,
+                       bool* fenced) {
+  *token = kInitialFenceToken;
+  *fenced = false;
+  if (contents.empty()) return Status::OK();
+  uint64_t t = 0;
+  int f = -1;
+  if (std::sscanf(contents.c_str(), "fence=%" SCNu64 "\nfenced=%d", &t, &f) !=
+          2 ||
+      t == 0 || (f != 0 && f != 1)) {
+    return Status::Corruption("unparseable fencing state in LOCK file");
+  }
+  *token = t;
+  *fenced = f == 1;
+  return Status::OK();
+}
+
+/// pread a byte range of `path`; short only at EOF.
+Result<std::string> PreadRange(const std::string& path, uint64_t offset,
+                               uint64_t len) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  std::string out;
+  out.resize(len);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::pread(fd, &out[got], len - got,
+                              static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          Status::Internal("pread " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out.resize(got);
+  return out;
+}
+
 }  // namespace
 
 Result<DurableSketchStore> DurableSketchStore::Open(
@@ -51,6 +114,30 @@ Result<DurableSketchStore> DurableSketchStore::Open(
   if (!lock.ok()) return lock.status();
   const std::string wal_path = WalPath(data_dir);
   const std::string snapshot_path = SnapshotPath(data_dir);
+
+  // Fencing state rides in the lock file; a pre-replication (empty) lock
+  // file is stamped with the defaults so the token is always durable.
+  uint64_t fence_token = kInitialFenceToken;
+  bool fenced = false;
+  {
+    auto contents = lock.value().Read();
+    if (!contents.ok()) return contents.status();
+    DD_RETURN_IF_ERROR(ParseFenceState(contents.value(), &fence_token,
+                                       &fenced));
+    if (contents.value().empty()) {
+      DD_RETURN_IF_ERROR(
+          lock.value().Write(EncodeFenceState(fence_token, fenced)));
+    }
+  }
+  const auto finish = [&](SketchStore store,
+                          WalWriter writer) -> DurableSketchStore {
+    DurableSketchStore opened(options, data_dir, std::move(lock).value(),
+                              std::move(store), std::move(writer));
+    opened.role_ = options.role;
+    opened.fence_token_ = fence_token;
+    opened.fenced_ = fenced;
+    return opened;
+  };
 
   // Base state. A fresh directory gets an empty epoch-0 snapshot first,
   // pinning the store options on disk so every later Open — including
@@ -87,8 +174,7 @@ Result<DurableSketchStore> DurableSketchStore::Open(
       // finish the same way: a fresh log on the next epoch.
       auto writer = WalWriter::Create(wal_path, snapshot_epoch + 1);
       if (!writer.ok()) return writer.status();
-      return DurableSketchStore(options, data_dir, std::move(lock).value(),
-                                std::move(store), std::move(writer).value());
+      return finish(std::move(store), std::move(writer).value());
     }
     if (wal.epoch != snapshot_epoch + 1) {
       return Status::Corruption(
@@ -99,14 +185,12 @@ Result<DurableSketchStore> DurableSketchStore::Open(
     }
     auto writer = WalWriter::OpenExisting(wal_path, wal.epoch, wal.valid_size);
     if (!writer.ok()) return writer.status();
-    return DurableSketchStore(options, data_dir, std::move(lock).value(),
-                              std::move(store), std::move(writer).value());
+    return finish(std::move(store), std::move(writer).value());
   }
 
   auto writer = WalWriter::Create(wal_path, snapshot_epoch + 1);
   if (!writer.ok()) return writer.status();
-  return DurableSketchStore(options, data_dir, std::move(lock).value(),
-                            std::move(store), std::move(writer).value());
+  return finish(std::move(store), std::move(writer).value());
 }
 
 Status DurableSketchStore::Append(const WalRecord& record) {
@@ -119,6 +203,7 @@ Status DurableSketchStore::Append(const WalRecord& record) {
 
 Status DurableSketchStore::Ingest(const std::string& series, int64_t timestamp,
                                   std::string_view payload) {
+  DD_RETURN_IF_ERROR(CheckWritable());
   // Validate fully before logging: the WAL must only ever contain records
   // that replay cleanly.
   auto decoded = DDSketch::Deserialize(payload);
@@ -135,6 +220,7 @@ Status DurableSketchStore::Ingest(const std::string& series, int64_t timestamp,
 
 Status DurableSketchStore::IngestValue(const std::string& series,
                                        int64_t timestamp, double value) {
+  DD_RETURN_IF_ERROR(CheckWritable());
   WalRecord record;
   record.type = WalRecord::Type::kIngestValue;
   record.series = series;
@@ -158,6 +244,7 @@ Status DurableSketchStore::ValidateRecord(const WalRecord& record) const {
 }
 
 Status DurableSketchStore::IngestBatch(const std::vector<WalRecord>& records) {
+  DD_RETURN_IF_ERROR(CheckWritable());
   // Validate everything before logging anything: the WAL must only ever
   // contain records that replay cleanly, and a half-appended batch would
   // ack nothing while still replaying its durable prefix. Sketch
@@ -241,19 +328,161 @@ Status DurableSketchStore::IngestBatch(const std::vector<WalRecord>& records) {
   return Status::OK();
 }
 
-Status DurableSketchStore::Checkpoint() {
+Status DurableSketchStore::CheckpointUnguarded() {
   const uint64_t epoch = wal_.epoch();
   DD_RETURN_IF_ERROR(
       WriteSnapshotFile(store_, epoch, SnapshotPath(data_dir_)));
   return wal_.Reset(epoch + 1);
 }
 
+Status DurableSketchStore::Checkpoint() {
+  DD_RETURN_IF_ERROR(CheckWritable());
+  return CheckpointUnguarded();
+}
+
 Result<size_t> DurableSketchStore::Compact(int64_t now) {
+  DD_RETURN_IF_ERROR(CheckWritable());
   const size_t compacted = store_.Compact(now);
-  DD_RETURN_IF_ERROR(Checkpoint());
+  DD_RETURN_IF_ERROR(CheckpointUnguarded());
   return compacted;
 }
 
 Status DurableSketchStore::Sync() { return wal_.Sync(); }
+
+Status DurableSketchStore::CheckWritable() const {
+  if (role_ == StoreRole::kFollower) {
+    return Status::Fenced(
+        "store is a follower (applier mode); writes must go to the primary");
+  }
+  if (fenced_) {
+    return Status::Fenced("writer fenced: a newer primary holds fencing "
+                          "token " +
+                          std::to_string(fence_token_));
+  }
+  return Status::OK();
+}
+
+Status DurableSketchStore::PersistFenceState() {
+  return lock_.Write(EncodeFenceState(fence_token_, fenced_));
+}
+
+Status DurableSketchStore::Fence(uint64_t observed_token) {
+  if (fenced_ && observed_token <= fence_token_) return Status::OK();
+  fence_token_ = std::max(fence_token_, observed_token);
+  fenced_ = true;
+  return PersistFenceState();
+}
+
+Status DurableSketchStore::AdoptFenceToken(uint64_t token) {
+  if (token <= fence_token_) return Status::OK();
+  fence_token_ = token;
+  return PersistFenceState();
+}
+
+Result<uint64_t> DurableSketchStore::Promote() {
+  fence_token_ += 1;
+  fenced_ = false;
+  role_ = StoreRole::kPrimary;
+  DD_RETURN_IF_ERROR(PersistFenceState());
+  return fence_token_;
+}
+
+std::string DurableSketchStore::EncodeReplicationSnapshot() const {
+  return EncodeSnapshot(store_, wal_.epoch() - 1);
+}
+
+Result<std::string> DurableSketchStore::ReadWalChunk(
+    uint64_t from_offset, uint64_t max_bytes) const {
+  const uint64_t end = wal_.offset();
+  if (from_offset < kWalHeaderBytes || from_offset > end) {
+    return Status::InvalidArgument(
+        "WAL chunk start is not a valid record boundary");
+  }
+  if (from_offset == end) return std::string();
+  // A frame header (len varint + crc) is at most 14 bytes; always read
+  // enough to at least parse the first frame's length.
+  const uint64_t want =
+      std::min<uint64_t>(std::max<uint64_t>(max_bytes, 64),
+                         end - from_offset);
+  auto chunk = PreadRange(WalPath(data_dir_), from_offset, want);
+  if (!chunk.ok()) return chunk.status();
+  if (chunk.value().size() < want) {
+    return Status::Internal("WAL shrank during replication read");
+  }
+  // Trim to the last complete record frame. Every byte below
+  // wal_offset() belongs to a complete record, so a frame split by the
+  // byte cap is simply re-read whole.
+  uint64_t first_frame = 0;
+  size_t valid = CompleteFramePrefix(chunk.value(), &first_frame);
+  if (valid == 0) {
+    if (first_frame == 0 || from_offset + first_frame > end) {
+      return Status::Internal("WAL byte range does not parse as records");
+    }
+    chunk = PreadRange(WalPath(data_dir_), from_offset, first_frame);
+    if (!chunk.ok()) return chunk.status();
+    valid = CompleteFramePrefix(chunk.value(), &first_frame);
+    if (valid != chunk.value().size()) {
+      return Status::Internal("WAL shrank during replication read");
+    }
+  }
+  std::string bytes = std::move(chunk).value();
+  bytes.resize(valid);
+  return bytes;
+}
+
+Status DurableSketchStore::InstallReplicatedSnapshot(
+    std::string_view snapshot_bytes, uint64_t wal_epoch) {
+  if (role_ != StoreRole::kFollower) {
+    return Status::Internal("InstallReplicatedSnapshot on a primary store");
+  }
+  auto decoded = DecodeSnapshot(snapshot_bytes);
+  if (!decoded.ok()) return decoded.status();
+  DD_RETURN_IF_ERROR(
+      CheckOptionsMatch(decoded.value().store.options(), options_.store));
+  if (decoded.value().epoch + 1 != wal_epoch) {
+    return Status::Corruption(
+        "replicated snapshot epoch does not precede its WAL epoch");
+  }
+  // Remove the WAL before replacing the snapshot: a crash between the
+  // two steps reopens as "snapshot only" (old or new state, both
+  // valid), never as a snapshot/WAL epoch mismatch.
+  DD_RETURN_IF_ERROR(RemoveFileIfExists(WalPath(data_dir_)));
+  DD_RETURN_IF_ERROR(
+      WriteFileAtomic(SnapshotPath(data_dir_), snapshot_bytes));
+  auto writer = WalWriter::Create(WalPath(data_dir_), wal_epoch);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(writer).value();
+  store_ = std::move(decoded).value().store;
+  return Status::OK();
+}
+
+Status DurableSketchStore::ApplyReplicatedSegment(uint64_t epoch,
+                                                  uint64_t start_offset,
+                                                  std::string_view bytes) {
+  if (role_ != StoreRole::kFollower) {
+    return Status::Internal("ApplyReplicatedSegment on a primary store");
+  }
+  if (epoch == wal_.epoch() + 1 && start_offset == kWalHeaderBytes) {
+    // The primary checkpointed past our position's epoch: fold our own
+    // state the same way so the directories stay epoch-aligned, then
+    // tail the new log.
+    DD_RETURN_IF_ERROR(CheckpointUnguarded());
+  } else if (epoch != wal_.epoch() || start_offset != wal_.offset()) {
+    return Status::OutOfRange(
+        "replication segment does not match the local WAL position "
+        "(snapshot resync needed)");
+  }
+  auto records = DecodeWalSegment(bytes);
+  if (!records.ok()) return records.status();
+  for (const WalRecord& record : records.value()) {
+    DD_RETURN_IF_ERROR(ValidateRecord(record));
+  }
+  DD_RETURN_IF_ERROR(wal_.AppendRaw(bytes));
+  DD_RETURN_IF_ERROR(wal_.Sync());
+  for (const WalRecord& record : records.value()) {
+    DD_RETURN_IF_ERROR(Apply(&store_, record));
+  }
+  return Status::OK();
+}
 
 }  // namespace dd

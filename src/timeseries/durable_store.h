@@ -44,6 +44,12 @@
 
 namespace dd {
 
+/// Who owns a data directory's write path (replication; PROTOCOL.md v5).
+enum class StoreRole {
+  kPrimary = 0,   ///< exclusive writer: ingests, checkpoints
+  kFollower = 1,  ///< applier: mutates only via replicated snapshots/segments
+};
+
 struct DurableSketchStoreOptions {
   SketchStoreOptions store;
   /// fsync the WAL on every ingest. Off by default: appends still reach
@@ -51,6 +57,12 @@ struct DurableSketchStoreOptions {
   /// turning this on makes each ingest power-loss safe at ~1 disk flush
   /// per record.
   bool sync_every_ingest = false;
+  /// kFollower opens the directory in applier mode: the lock is still
+  /// taken (two appliers on one directory would race too), but the
+  /// public write API (Ingest*/Checkpoint/Compact) refuses with FENCED —
+  /// only the ApplyReplicated*/InstallReplicated* methods mutate state,
+  /// and only with bytes shipped by the primary.
+  StoreRole role = StoreRole::kPrimary;
 };
 
 /// The durable facade: SketchStore semantics, plus Open-time recovery
@@ -107,6 +119,70 @@ class DurableSketchStore {
   /// fsync the WAL (batch durability when sync_every_ingest is off).
   Status Sync();
 
+  // --- Replication + fencing (server/replication.h, PROTOCOL.md v5) ---
+  //
+  // The fencing token lives in the LOCK file (`fence=<N>\nfenced=<0|1>`,
+  // written in place on the flock'd fd — util/file_io.h explains why not
+  // atomically). It totally orders primaries over a directory's history:
+  // a promotion bumps the token, and a writer that has observed a larger
+  // token than its own is *fenced* — sticky, persisted, every write
+  // refused with FENCED — so a deposed primary's late writes can never
+  // land after failover (split-brain protection).
+
+  StoreRole role() const noexcept { return role_; }
+  uint64_t fence_token() const noexcept { return fence_token_; }
+  bool fenced() const noexcept { return fenced_; }
+  /// True when the public write API refuses with FENCED (follower role
+  /// or fenced).
+  bool writes_fenced() const noexcept {
+    return fenced_ || role_ == StoreRole::kFollower;
+  }
+
+  /// Records that a writer holding `observed_token` exists: adopts the
+  /// larger token, sticky-fences this store, persists. Idempotent.
+  Status Fence(uint64_t observed_token);
+
+  /// Adopts the primary's token on a follower (never lowers ours, never
+  /// fences).
+  Status AdoptFenceToken(uint64_t token);
+
+  /// Become the (new) primary: bump the fencing token past every token
+  /// ever observed here, clear the fenced flag, flip the role to
+  /// kPrimary, persist. Returns the new token.
+  Result<uint64_t> Promote();
+
+  /// Encodes a full-state snapshot consistent with the current WAL
+  /// (snapshot epoch = wal epoch - 1) for replication bootstrap: the
+  /// same bytes a checkpoint would write, taken from memory so it can
+  /// never be stale.
+  std::string EncodeReplicationSnapshot() const;
+
+  /// Reads raw framed record bytes from the WAL file, starting at
+  /// `from_offset` (which must be a record boundary: kWalHeaderBytes or
+  /// an offset previously returned past). At most ~`max_bytes`, but the
+  /// result always ends on a record boundary — a single record larger
+  /// than the cap is returned whole. Empty when already caught up.
+  Result<std::string> ReadWalChunk(uint64_t from_offset,
+                                   uint64_t max_bytes) const;
+
+  /// Follower-side full resync: validates and installs a primary's
+  /// snapshot image, resets the WAL to `wal_epoch` (the primary's), and
+  /// swaps the in-memory store. Crash-safe: the WAL is removed before
+  /// the snapshot is replaced, so every crash point reopens as either
+  /// the old state or the new one.
+  Status InstallReplicatedSnapshot(std::string_view snapshot_bytes,
+                                   uint64_t wal_epoch);
+
+  /// Follower-side incremental apply of a shipped WAL segment. A
+  /// segment at (wal epoch, wal_offset()) extends the log — append raw,
+  /// fsync, merge into memory. One at (epoch + 1, kWalHeaderBytes)
+  /// means the primary checkpointed: the follower runs its own
+  /// checkpoint first (keeping the directories epoch-aligned), then
+  /// applies. Any other position fails with OutOfRange — the follower
+  /// must resync from a snapshot.
+  Status ApplyReplicatedSegment(uint64_t epoch, uint64_t start_offset,
+                                std::string_view bytes);
+
   // Queries delegate to the in-memory store.
   Result<DDSketch> QueryRange(const std::string& series, int64_t start,
                               int64_t end) const {
@@ -154,12 +230,21 @@ class DurableSketchStore {
         wal_(std::move(wal)) {}
 
   Status Append(const WalRecord& record);
+  /// FENCED when writes_fenced(); the gate on every public write path.
+  Status CheckWritable() const;
+  /// Checkpoint without the writability gate (the follower's own
+  /// checkpoint when the primary's stream crosses an epoch).
+  Status CheckpointUnguarded();
+  Status PersistFenceState();
 
   DurableSketchStoreOptions options_;
   std::string data_dir_;
   FileLock lock_;
   SketchStore store_;
   WalWriter wal_;
+  StoreRole role_ = StoreRole::kPrimary;
+  uint64_t fence_token_ = 1;
+  bool fenced_ = false;
 };
 
 }  // namespace dd

@@ -168,6 +168,56 @@ Result<WalContents> ReadWal(std::string_view file_bytes, WalRead mode) {
   return contents;
 }
 
+Result<std::vector<WalRecord>> DecodeWalSegment(std::string_view bytes) {
+  std::vector<WalRecord> records;
+  Slice in(bytes);
+  while (!in.empty()) {
+    uint64_t body_len = 0;
+    if (!in.GetVarint64(&body_len).ok()) {
+      return Status::Corruption("truncated record frame in WAL segment");
+    }
+    if (body_len > kMaxRecordBytes) {
+      return Status::Corruption("WAL segment record length implausibly large");
+    }
+    uint32_t crc = 0;
+    std::string_view body;
+    if (!in.GetFixed32(&crc).ok() || !in.GetBytes(body_len, &body).ok()) {
+      return Status::Corruption("truncated record frame in WAL segment");
+    }
+    if (crc != Crc32c(body)) {
+      return Status::Corruption("WAL segment record checksum mismatch");
+    }
+    WalRecord record;
+    DD_RETURN_IF_ERROR(DecodeBody(body, &record));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+size_t CompleteFramePrefix(std::string_view bytes,
+                           uint64_t* split_frame_size) {
+  *split_frame_size = 0;
+  Slice in(bytes);
+  size_t valid = 0;
+  while (!in.empty()) {
+    Slice frame = in;
+    uint64_t body_len = 0;
+    if (!frame.GetVarint64(&body_len).ok() || body_len > kMaxRecordBytes) {
+      break;
+    }
+    const uint64_t len_bytes = in.remaining() - frame.remaining();
+    uint32_t crc = 0;
+    std::string_view body;
+    if (!frame.GetFixed32(&crc).ok() || !frame.GetBytes(body_len, &body).ok()) {
+      *split_frame_size = len_bytes + sizeof(uint32_t) + body_len;
+      break;
+    }
+    in = frame;
+    valid = bytes.size() - in.remaining();
+  }
+  return valid;
+}
+
 Result<WalContents> ReadWalFile(const std::string& path, WalRead mode) {
   auto bytes = ReadFileToString(path);
   if (!bytes.ok()) return bytes.status();
@@ -203,6 +253,10 @@ Result<WalWriter> WalWriter::OpenExisting(const std::string& path,
 
 Status WalWriter::Append(const WalRecord& record) {
   return file_.Append(EncodeWalRecord(record));
+}
+
+Status WalWriter::AppendRaw(std::string_view framed_records) {
+  return file_.Append(framed_records);
 }
 
 Status WalWriter::Sync() { return file_.Sync(); }

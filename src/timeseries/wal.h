@@ -97,6 +97,23 @@ Result<WalContents> ReadWal(std::string_view file_bytes, WalRead mode);
 /// ReadWal over a file on disk.
 Result<WalContents> ReadWalFile(const std::string& path, WalRead mode);
 
+/// Parses a headerless run of framed records — the payload of a
+/// replication WAL-SEGMENT frame, which ships raw log bytes from some
+/// record boundary onward (server/replication.h). Strict: segments are
+/// CRC-protected end to end by the network frame, so any anomaly
+/// (truncated frame, bad record CRC, undecodable body) is Corruption.
+Result<std::vector<WalRecord>> DecodeWalSegment(std::string_view bytes);
+
+/// Length of the longest prefix of `bytes` made of complete record
+/// frames (no CRC or body validation — boundary arithmetic only). When
+/// the prefix stops at a frame whose length header parses but whose body
+/// runs past the end, *split_frame_size receives that frame's total
+/// framed size (0 otherwise). The replication shipper uses this to trim
+/// a byte-capped WAL read to a record boundary, re-reading a split frame
+/// whole.
+size_t CompleteFramePrefix(std::string_view bytes,
+                           uint64_t* split_frame_size);
+
 /// Appends framed records to a log file. Creation writes the header
 /// durably; each Append pushes the record to the OS (process-crash safe)
 /// and Sync() makes it power-loss safe.
@@ -111,6 +128,11 @@ class WalWriter {
                                         uint64_t epoch, uint64_t size);
 
   Status Append(const WalRecord& record);
+
+  /// Appends already-framed record bytes verbatim (a replicated WAL
+  /// segment). The caller must have validated them with DecodeWalSegment
+  /// first — the log must only ever contain records that replay cleanly.
+  Status AppendRaw(std::string_view framed_records);
 
   /// fsync. Call after Append (or a batch) for power-loss durability.
   Status Sync();

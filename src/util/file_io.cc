@@ -147,6 +147,46 @@ FileLock::~FileLock() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Result<std::string> FileLock::Read() const {
+  std::string contents;
+  char buf[4096];
+  off_t off = 0;
+  for (;;) {
+    const ssize_t n = ::pread(fd_, buf, sizeof(buf), off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("pread", "lock file"));
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+    off += n;
+  }
+  return contents;
+}
+
+Status FileLock::Write(std::string_view contents) {
+  // In place on the flock'd fd — see the header comment for why a
+  // tmp+rename replacement would break the lock.
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::pwrite(fd_, contents.data() + written, contents.size() - written,
+                 static_cast<off_t>(written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("pwrite", "lock file"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(contents.size())) != 0) {
+    return Status::Internal(Errno("ftruncate", "lock file"));
+  }
+  if (CountedFsync(fd_) != 0) {
+    return Status::Internal(Errno("fsync", "lock file"));
+  }
+  return Status::OK();
+}
+
 Result<AppendOnlyFile> AppendOnlyFile::Open(const std::string& path) {
   const int fd =
       ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);

@@ -46,6 +46,13 @@ Status RemoveFileIfExists(const std::string& path);
 
 /// An exclusive advisory lock on a lock file (flock), serializing access
 /// to a data directory across processes. Released on destruction.
+///
+/// The lock file doubles as the durable home of the replication fencing
+/// token (timeseries/durable_store.h): Read/Write operate on the flock'd
+/// fd itself, in place (pwrite + ftruncate + fsync). They must NOT go
+/// through WriteFileAtomic — its rename would swap a new inode under the
+/// path while the flock stays on the old one, so the next Acquire would
+/// lock a different file than the one this process holds.
 class FileLock {
  public:
   /// Creates/opens `path` and takes the lock without blocking. Fails
@@ -57,6 +64,13 @@ class FileLock {
   FileLock(const FileLock&) = delete;
   FileLock& operator=(const FileLock&) = delete;
   ~FileLock();
+
+  /// Reads the whole lock-file contents (empty for a fresh lock file).
+  Result<std::string> Read() const;
+
+  /// Replaces the lock-file contents in place and fsyncs, keeping the
+  /// flock'd inode. Durable when this returns OK.
+  Status Write(std::string_view contents);
 
  private:
   explicit FileLock(int fd) : fd_(fd) {}

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kBusy:
       return "BUSY";
+    case StatusCode::kFenced:
+      return "FENCED";
   }
   return "UNKNOWN";
 }

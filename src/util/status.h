@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted = 5,///< a configured size limit would be exceeded
   kInternal = 6,         ///< invariant violation (bug)
   kBusy = 7,             ///< transient overload; retry after backoff
+  kFenced = 8,           ///< writer lost the fencing token; not retryable
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Busy(std::string msg) {
     return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Fenced(std::string msg) {
+    return Status(StatusCode::kFenced, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -16,7 +16,9 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -310,6 +312,192 @@ TEST_F(FaultInjectionTest, OverloadYieldsBusyAndLosesNoAckedRecords) {
       std::move(reopened.value().QueryRange("svc.hot", 0, 10000)).value()
           .count(),
       static_cast<double>(total_acked));
+}
+
+// ---------------------------------------------------------------------------
+// v5 replication channel under attack. The invariants mirror the client
+// side: a misbehaving subscriber is dropped (never tolerated forever),
+// dropping it degrades the ack gate to async instead of stalling
+// ingest, and garbage on the channel closes that subscriber cleanly
+// while the server keeps serving.
+
+/// A raw replication subscriber: completes the hello and SUBSCRIBE
+/// handshake like a real follower, then misbehaves as directed. Owns
+/// the fd (FramedConn does not close).
+class RawSubscriber {
+ public:
+  explicit RawSubscriber(uint16_t port) { Handshake(port); }
+  ~RawSubscriber() { Close(); }
+
+  void Close() {
+    conn_.reset();
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Reads one replication frame; EXPECTs it decodes.
+  bool ReadReplFrame() {
+    auto body = conn_->ReadFrame();
+    if (!body.ok()) return false;
+    auto frame = DecodeReplFrame(body.value());
+    EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+    return frame.ok();
+  }
+
+  /// Sends raw bytes up the subscriber->primary direction (where the
+  /// shipper expects framed ACK/FENCE frames).
+  bool SendRaw(std::string_view bytes) {
+    while (!bytes.empty()) {
+      const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      bytes.remove_prefix(static_cast<size_t>(n));
+    }
+    return true;
+  }
+
+  /// Loops ReadFrame until the primary closes the channel. False if it
+  /// keeps shipping past `max_frames` (i.e. we were never dropped).
+  bool AwaitClose(int max_frames) {
+    for (int i = 0; i < max_frames; ++i) {
+      if (!conn_->ReadFrame().ok()) return true;
+    }
+    return false;
+  }
+
+ private:
+  // ASSERT_* may not appear in a constructor; the handshake lives here.
+  void Handshake(uint16_t port) {
+    auto fd = ConnectTcp("127.0.0.1", port);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    fd_ = fd.value();
+    conn_ = std::make_unique<FramedConn>(fd_);
+    ASSERT_TRUE(conn_->SendHello().ok());
+    ASSERT_TRUE(conn_->ExpectHello().ok());
+    Request subscribe;
+    subscribe.op = Request::Op::kSubscribe;
+    ASSERT_TRUE(conn_->WriteFrame(EncodeRequest(subscribe)).ok());
+    auto body = conn_->ReadFrame();
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    auto response = DecodeResponse(body.value());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response.value().code, StatusCode::kOk)
+        << response.value().message;
+  }
+
+  int fd_ = -1;
+  std::unique_ptr<FramedConn> conn_;
+};
+
+/// Polls the server's STATS until `repl_subscribers` drops to `n`.
+void AwaitSubscriberCount(const SketchServer& server, uint64_t n,
+                          int64_t timeout_ms = 10000) {
+  auto client = SketchClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  uint64_t last = ~0ull;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto stats = client.value().Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    last = stats.value().repl_subscribers;
+    if (last == n) return;
+    SleepMs(10);
+  }
+  FAIL() << "repl_subscribers stuck at " << last << ", wanted " << n;
+}
+
+TEST_F(FaultInjectionTest, SubscriberDisconnectAtEveryFrameBoundary) {
+  SketchServerOptions options;
+  options.repl_ack_timeout_ms = 300;
+  options.repl_heartbeat_ms = 20;
+  auto server = MustStart(Dir("repl_boundary"), options);
+
+  auto client = SketchClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // Seed state so the bootstrap snapshot is non-trivial.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client.value().IngestValue("repl.seed", i % 20, 1.0 + i).ok());
+  }
+
+  // Attach a subscriber, let WAL traffic flow, read exactly k frames,
+  // then vanish — every frame boundary becomes a disconnect point
+  // across rounds. Writes concurrent with the disconnect must still be
+  // acked OK (the drop degrades the gate to async; it never errors or
+  // stalls the writer forever).
+  for (int k = 0; k < 6; ++k) {
+    RawSubscriber sub(server->port());
+    if (::testing::Test::HasFatalFailure()) break;
+    std::thread writer([&] {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(client.value()
+                        .IngestValue("repl.live", k * 10 + i, 2.0 + i)
+                        .ok());
+      }
+    });
+    for (int i = 0; i < k; ++i) {
+      if (!sub.ReadReplFrame()) break;  // already dropped: fine
+    }
+    sub.Close();
+    writer.join();
+    AwaitSubscriberCount(*server, 0);
+    ExpectServes(*server, "svc.after_boundary");
+  }
+}
+
+TEST_F(FaultInjectionTest, SlowLorisSubscriberDoesNotStallIngest) {
+  SketchServerOptions options;
+  options.repl_ack_timeout_ms = 150;
+  options.repl_heartbeat_ms = 50;
+  auto server = MustStart(Dir("repl_loris"), options);
+
+  // The loris subscribes like a real follower, then never acks a thing.
+  RawSubscriber loris(server->port());
+
+  // Every ingest must still be acked OK: the first few wait out the
+  // 150 ms ack deadline, after which the laggard is dropped and the
+  // gate degrades to async.
+  auto client = SketchClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client.value().IngestValue("repl.hot", i, 1.0 + i).ok());
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Generous bound: one ack-deadline wait plus fast async acks — not
+  // 50 records x 150 ms of serial stalling.
+  EXPECT_LT(elapsed.count(), 5000) << "ingest stalled behind the loris";
+  AwaitSubscriberCount(*server, 0);
+  ExpectServes(*server, "svc.after_repl_loris");
+}
+
+TEST_F(FaultInjectionTest, GarbageOnReplicationChannelClosesItCleanly) {
+  SketchServerOptions options;
+  options.repl_heartbeat_ms = 20;
+  auto server = MustStart(Dir("repl_garbage"), options);
+
+  // Round 1: bytes that are not a frame. The first byte parses as a
+  // small varint length, so send enough junk to complete the declared
+  // frame — the CRC check must then refuse it decisively (a short junk
+  // prefix would just look like a slow peer mid-frame).
+  {
+    RawSubscriber sub(server->port());
+    ASSERT_TRUE(sub.SendRaw(std::string(512, 'X')));
+    EXPECT_TRUE(sub.AwaitClose(500)) << "garbage subscriber never dropped";
+    AwaitSubscriberCount(*server, 0);
+  }
+  // Round 2: a well-formed frame (length + CRC check out) whose body is
+  // not a replication frame.
+  {
+    RawSubscriber sub(server->port());
+    ASSERT_TRUE(sub.SendRaw(EncodeFrame("junk body, not a repl frame")));
+    EXPECT_TRUE(sub.AwaitClose(500)) << "junk-frame subscriber never dropped";
+    AwaitSubscriberCount(*server, 0);
+  }
+  ExpectServes(*server, "svc.after_repl_garbage");
 }
 
 TEST_F(FaultInjectionTest, BusyRefusalsSurfaceInRemoteStats) {

@@ -587,5 +587,158 @@ TEST(FuzzProtocolV4TruncationTest, EveryBodyTruncationIsCorruption) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV4CorruptionTest,
                          ::testing::Range<uint64_t>(1, 5));
 
+// ---------------------------------------------------------------------
+// Protocol v5 frame corruption fuzz: the replication additions — the
+// SUBSCRIBE handshake, FENCED refusals, and the replication-channel
+// frames (snapshot / segment / heartbeat / ack / fence). Same contract
+// as v4: flips are always rejected by the CRC framing, truncations read
+// as incomplete (frame) or corrupt (body), and mutations of a verified
+// body never crash the strict decoders.
+
+/// A follower's SUBSCRIBE handshake with a token and resume positions.
+std::string SubscribeRequestFrame() {
+  Request request;
+  request.op = Request::Op::kSubscribe;
+  request.repl_token = 3;
+  request.positions = {{2, 13}, {2, 8192}, {5, 65536}, {5, 13}};
+  return EncodeRequest(request);
+}
+
+/// A FENCED ingest refusal, as a deposed primary sends it.
+std::string FencedResponseFrame() {
+  Response response;
+  response.op = Request::Op::kIngest;
+  response.code = StatusCode::kFenced;
+  response.message = "writer fenced: a newer primary holds the fencing token";
+  return EncodeResponse(response);
+}
+
+/// A WAL-segment replication frame with a binary payload.
+std::string SegmentReplFrame() {
+  ReplFrame frame;
+  frame.tag = ReplFrame::Tag::kSegment;
+  frame.shard = 2;
+  frame.epoch = 6;
+  frame.start_offset = 4096;
+  frame.payload.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    frame.payload.push_back(static_cast<char>(i));
+  }
+  return EncodeReplFrame(frame);
+}
+
+/// A heartbeat replication frame with the fence token and positions.
+std::string HeartbeatReplFrame() {
+  ReplFrame frame;
+  frame.tag = ReplFrame::Tag::kHeartbeat;
+  frame.token = 9;
+  frame.positions = {{6, 4352}, {6, 13}, {7, 90000}};
+  return EncodeReplFrame(frame);
+}
+
+std::vector<std::string> V5Frames() {
+  return {SubscribeRequestFrame(), FencedResponseFrame(), SegmentReplFrame(),
+          HeartbeatReplFrame()};
+}
+
+/// Runs every strict body decoder over `body`; any acceptance must
+/// survive a re-encode round trip (no half-poisoned value escapes). The
+/// v5 frames span three decoders, and a mutated body no longer says
+/// which one it was meant for — all of them must hold the line.
+void ExpectStrictDecodersSurvive(std::string_view body) {
+  if (auto request = DecodeRequest(body); request.ok()) {
+    size_t n = 0;
+    EXPECT_TRUE(DecodeFrame(EncodeRequest(request.value()), &n).ok());
+  }
+  if (auto response = DecodeResponse(body); response.ok()) {
+    size_t n = 0;
+    EXPECT_TRUE(DecodeFrame(EncodeResponse(response.value()), &n).ok());
+  }
+  if (auto repl = DecodeReplFrame(body); repl.ok()) {
+    size_t n = 0;
+    EXPECT_TRUE(DecodeFrame(EncodeReplFrame(repl.value()), &n).ok());
+  }
+}
+
+class FuzzProtocolV5CorruptionTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FuzzProtocolV5CorruptionTest, FrameBitFlipsAlwaysRejected) {
+  Rng rng(GetParam() * 50923);
+  for (const std::string& frame : V5Frames()) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string corrupted = frame;
+      const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+      for (int f = 0; f < flips; ++f) {
+        const size_t pos = rng.NextBounded(corrupted.size());
+        corrupted[pos] = static_cast<char>(
+            static_cast<uint8_t>(corrupted[pos]) ^ (1u << rng.NextBounded(8)));
+      }
+      if (corrupted == frame) continue;  // flips cancelled out
+      size_t frame_size = 0;
+      auto body = DecodeFrame(corrupted, &frame_size);
+      ASSERT_FALSE(body.ok()) << "flipped v5 frame decoded cleanly";
+      const StatusCode code = body.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kOutOfRange)
+          << body.status().ToString();
+    }
+  }
+}
+
+TEST_P(FuzzProtocolV5CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
+  Rng rng(GetParam() * 41381);
+  for (const std::string& frame : V5Frames()) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string mutated = original;
+      const int edits = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int e = 0; e < edits; ++e) {
+        const size_t pos = rng.NextBounded(mutated.size());
+        mutated[pos] = static_cast<char>(rng.NextBounded(256));
+      }
+      ExpectStrictDecodersSurvive(mutated);
+    }
+  }
+}
+
+TEST(FuzzProtocolV5TruncationTest, EveryFramePrefixIsIncomplete) {
+  for (const std::string& frame : V5Frames()) {
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      size_t frame_size = 0;
+      auto body =
+          DecodeFrame(std::string_view(frame).substr(0, cut), &frame_size);
+      ASSERT_FALSE(body.ok()) << "cut=" << cut;
+      EXPECT_EQ(body.status().code(), StatusCode::kOutOfRange)
+          << "cut=" << cut << ": " << body.status().ToString();
+    }
+  }
+}
+
+TEST(FuzzProtocolV5TruncationTest, EveryReplBodyTruncationIsCorruption) {
+  for (const std::string& frame : {SegmentReplFrame(), HeartbeatReplFrame()}) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (size_t cut = 0; cut < original.size(); ++cut) {
+      auto decoded =
+          DecodeReplFrame(std::string_view(original).substr(0, cut));
+      ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+      EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+          << "cut=" << cut << ": " << decoded.status().ToString();
+    }
+    // And trailing garbage is refused just as strictly.
+    EXPECT_EQ(DecodeReplFrame(original + '\0').status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV5CorruptionTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
 }  // namespace
 }  // namespace dd

@@ -161,9 +161,10 @@ TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
   EXPECT_GT(q.value(), 0.0);
 }
 
-/// The scripted protocol traffic: the hello, one request per op, and one
-/// response per op (including an error response and a v3 BUSY admission
-/// rejection) — every frame type sketchd ships, concatenated in a fixed
+/// The scripted protocol traffic: the hello, one request per op, one
+/// response per op (including an error response, a v3 BUSY admission
+/// rejection, and a v5 FENCED refusal), and one v5 replication frame
+/// per tag — every frame type sketchd ships, concatenated in a fixed
 /// order.
 std::string GoldenProtocolBytes() {
   std::string bytes = EncodeHello();
@@ -201,6 +202,18 @@ std::string GoldenProtocolBytes() {
   Request stats;
   stats.op = Request::Op::kStats;
   bytes += EncodeRequest(stats);
+
+  // v5: a follower's SUBSCRIBE handshake (token + resume positions) and
+  // a failover PROMOTE.
+  Request subscribe;
+  subscribe.op = Request::Op::kSubscribe;
+  subscribe.repl_token = 1;
+  subscribe.positions = {{2, 13}, {2, 4096}};
+  bytes += EncodeRequest(subscribe);
+
+  Request promote;
+  promote.op = Request::Op::kPromote;
+  bytes += EncodeRequest(promote);
 
   Response ingest_ok;
   ingest_ok.op = Request::Op::kIngest;
@@ -284,6 +297,15 @@ std::string GoldenProtocolBytes() {
   shard1.batch_commits = 8;
   shard1.background_checkpoints = 1;
   stats_ok.stats.shards.push_back(shard1);
+  // v5 replication fields (encoded after the shard rows).
+  stats_ok.stats.role = 0;
+  stats_ok.stats.fence_token = 3;
+  stats_ok.stats.fenced = 0;
+  stats_ok.stats.repl_subscribers = 1;
+  stats_ok.stats.repl_shipped_bytes = 8192;
+  stats_ok.stats.repl_applied_bytes = 0;
+  stats_ok.stats.repl_connected = 0;
+  stats_ok.stats.repl_heartbeat_age_ms = 0;
   bytes += EncodeResponse(stats_ok);
 
   // v3: an admission-control rejection. The record was never staged —
@@ -294,12 +316,68 @@ std::string GoldenProtocolBytes() {
   ingest_busy.message = "staged-bytes budget exceeded; retry with backoff";
   bytes += EncodeResponse(ingest_busy);
 
+  // v5: the SUBSCRIBE/PROMOTE acks and a FENCED write refusal from a
+  // deposed primary (like BUSY: no payload, the record never landed).
+  Response subscribe_ok;
+  subscribe_ok.op = Request::Op::kSubscribe;
+  subscribe_ok.repl_token = 3;
+  subscribe_ok.repl_shards = 2;
+  bytes += EncodeResponse(subscribe_ok);
+
+  Response promote_ok;
+  promote_ok.op = Request::Op::kPromote;
+  promote_ok.repl_token = 4;
+  bytes += EncodeResponse(promote_ok);
+
+  Response ingest_fenced;
+  ingest_fenced.op = Request::Op::kIngest;
+  ingest_fenced.code = StatusCode::kFenced;
+  ingest_fenced.message =
+      "writer fenced: a newer primary holds the fencing token";
+  bytes += EncodeResponse(ingest_fenced);
+
+  // v5 replication channel: one frame per tag, as shipped after an OK
+  // SUBSCRIBE (primary -> follower: snapshot, segment, heartbeat;
+  // follower -> primary: ack, fence).
+  ReplFrame snapshot_frame;
+  snapshot_frame.tag = ReplFrame::Tag::kSnapshot;
+  snapshot_frame.shard = 0;
+  snapshot_frame.epoch = 2;
+  snapshot_frame.payload = GoldenSnapshotBytes();
+  bytes += EncodeReplFrame(snapshot_frame);
+
+  ReplFrame segment_frame;
+  segment_frame.tag = ReplFrame::Tag::kSegment;
+  segment_frame.shard = 1;
+  segment_frame.epoch = 2;
+  segment_frame.start_offset = 13;
+  segment_frame.payload = GoldenWalBytes().substr(13);  // records, no header
+  bytes += EncodeReplFrame(segment_frame);
+
+  ReplFrame heartbeat_frame;
+  heartbeat_frame.tag = ReplFrame::Tag::kHeartbeat;
+  heartbeat_frame.token = 3;
+  heartbeat_frame.positions = {{2, 4123}, {2, 13}};
+  bytes += EncodeReplFrame(heartbeat_frame);
+
+  ReplFrame ack_frame;
+  ack_frame.tag = ReplFrame::Tag::kAck;
+  ack_frame.shard = 0;
+  ack_frame.epoch = 2;
+  ack_frame.offset = 4123;
+  bytes += EncodeReplFrame(ack_frame);
+
+  ReplFrame fence_frame;
+  fence_frame.tag = ReplFrame::Tag::kFence;
+  fence_frame.token = 4;
+  bytes += EncodeReplFrame(fence_frame);
+
   return bytes;
 }
 
 TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
-  // magic "DDSP", version 4 (v4 = per-op latency rows in STATS).
-  EXPECT_EQ(Hex(EncodeHello()), "44445350" "04");
+  // magic "DDSP", version 5 (v5 = WAL-shipping replication + fencing).
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "05");
 }
 
 TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
@@ -316,17 +394,18 @@ TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
 
 TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenProtocolBytes();
-  MaybeRegenerate("protocol_v4.bin", encoded);
-  const std::string fixture = ReadFixture("protocol_v4.bin");
+  MaybeRegenerate("protocol_v5.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v5.bin");
   ASSERT_EQ(Hex(encoded), Hex(fixture));
 
-  // Walk the fixture: hello, then 5 requests, then 6 responses — every
-  // frame must decode, and re-encoding must reproduce the exact bytes.
+  // Walk the fixture: hello, then 7 requests, then 9 responses, then 5
+  // replication frames — every frame must decode, and re-encoding must
+  // reproduce the exact bytes.
   std::string_view rest(fixture);
   ASSERT_TRUE(CheckHello(rest.substr(0, kHelloBytes)).ok());
   std::string reencoded(EncodeHello());
   rest.remove_prefix(kHelloBytes);
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < 7; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "request " << i << ": "
@@ -338,8 +417,9 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     reencoded += EncodeRequest(request.value());
     rest.remove_prefix(frame_size);
   }
-  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1};  // last: BUSY ingest
-  for (int i = 0; i < 6; ++i) {
+  // Trailing ops: BUSY ingest, SUBSCRIBE ack, PROMOTE ack, FENCED ingest.
+  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1, 6, 7, 1};
+  for (int i = 0; i < 9; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "response " << i << ": "
@@ -351,43 +431,60 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     reencoded += EncodeResponse(response.value());
     rest.remove_prefix(frame_size);
   }
+  for (int i = 0; i < 5; ++i) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(rest, &frame_size);
+    ASSERT_TRUE(body.ok()) << "repl frame " << i << ": "
+                           << body.status().ToString();
+    auto frame = DecodeReplFrame(body.value());
+    ASSERT_TRUE(frame.ok()) << "repl frame " << i << ": "
+                            << frame.status().ToString();
+    EXPECT_EQ(static_cast<uint8_t>(frame.value().tag), i + 1);
+    reencoded += EncodeReplFrame(frame.value());
+    rest.remove_prefix(frame_size);
+  }
   EXPECT_TRUE(rest.empty());
   EXPECT_EQ(Hex(reencoded), Hex(fixture));
 
   // Spot checks that the fixture carries real content.
-  const Response merge_err = [&] {
+  const auto kNthFrameBody = [&](int skip) {
     std::string_view walk(fixture);
     walk.remove_prefix(kHelloBytes);
     size_t frame_size = 0;
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < skip; ++i) {
       auto body = DecodeFrame(walk, &frame_size);
       EXPECT_TRUE(body.ok());
       walk.remove_prefix(frame_size);
     }
     auto body = DecodeFrame(walk, &frame_size);
     EXPECT_TRUE(body.ok());
-    return std::move(DecodeResponse(body.value())).value();
-  }();
+    return std::string(body.value());
+  };
+
+  // Response 1 (frame 8 after the hello): the MERGE error.
+  const Response merge_err =
+      std::move(DecodeResponse(kNthFrameBody(8))).value();
   EXPECT_EQ(merge_err.code, StatusCode::kIncompatible);
   EXPECT_EQ(merge_err.message, "sketches are not mergeable");
 
-  // The final frame is the v3 BUSY rejection: code decodes, no payload
-  // fields follow (a refused record has no wal_offset).
-  const Response busy = [&] {
-    std::string_view walk(fixture);
-    walk.remove_prefix(kHelloBytes);
-    size_t frame_size = 0;
-    for (int i = 0; i < 10; ++i) {
-      auto body = DecodeFrame(walk, &frame_size);
-      EXPECT_TRUE(body.ok());
-      walk.remove_prefix(frame_size);
-    }
-    auto body = DecodeFrame(walk, &frame_size);
-    EXPECT_TRUE(body.ok());
-    return std::move(DecodeResponse(body.value())).value();
-  }();
+  // Response 5: the v3 BUSY rejection — code decodes, no payload fields
+  // follow (a refused record has no wal_offset).
+  const Response busy = std::move(DecodeResponse(kNthFrameBody(12))).value();
   EXPECT_EQ(busy.code, StatusCode::kBusy);
   EXPECT_EQ(busy.wal_offset, 0u);
+
+  // Response 8: the v5 FENCED refusal from a deposed primary.
+  const Response fenced =
+      std::move(DecodeResponse(kNthFrameBody(15))).value();
+  EXPECT_EQ(fenced.code, StatusCode::kFenced);
+  EXPECT_EQ(fenced.wal_offset, 0u);
+
+  // Repl frame 1 (frame 17): a WAL segment carrying real record bytes.
+  const ReplFrame segment =
+      std::move(DecodeReplFrame(kNthFrameBody(17))).value();
+  EXPECT_EQ(segment.tag, ReplFrame::Tag::kSegment);
+  EXPECT_EQ(segment.start_offset, 13u);
+  EXPECT_EQ(segment.payload, GoldenWalBytes().substr(13));
 }
 
 TEST(GoldenPersistenceTest, VersionByteGuardsDecoding) {

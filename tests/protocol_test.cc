@@ -67,6 +67,13 @@ TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
   std::string v3 = EncodeHello();
   v3[4] = '\x03';
   EXPECT_EQ(CheckHello(v3).code(), StatusCode::kIncompatible);
+
+  // A v4 peer (pre-replication) must be refused: it has no FENCED
+  // status code, no SUBSCRIBE/PROMOTE ops, and would stop parsing the
+  // STATS payload before the replication fields.
+  std::string v4 = EncodeHello();
+  v4[4] = '\x04';
+  EXPECT_EQ(CheckHello(v4).code(), StatusCode::kIncompatible);
 }
 
 TEST(ProtocolTest, IngestRequestRoundTrip) {
@@ -114,11 +121,32 @@ TEST(ProtocolTest, QueryRequestRoundTrip) {
 }
 
 TEST(ProtocolTest, BodylessRequestsRoundTrip) {
-  for (Request::Op op : {Request::Op::kCheckpoint, Request::Op::kStats}) {
+  for (Request::Op op : {Request::Op::kCheckpoint, Request::Op::kStats,
+                         Request::Op::kPromote}) {
     Request request;
     request.op = op;
     EXPECT_EQ(RoundTripRequest(request).op, op);
   }
+}
+
+TEST(ProtocolTest, SubscribeRequestRoundTrip) {
+  // v5: a follower's handshake carries its fencing token and one resume
+  // position per shard it already holds.
+  Request request;
+  request.op = Request::Op::kSubscribe;
+  request.repl_token = 7;
+  request.positions = {{2, 13}, {2, 4096}, {3, 13}};
+  const Request decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.op, Request::Op::kSubscribe);
+  EXPECT_EQ(decoded.repl_token, 7u);
+  EXPECT_EQ(decoded.positions, request.positions);
+
+  // A fresh follower has no positions at all.
+  Request fresh;
+  fresh.op = Request::Op::kSubscribe;
+  const Request decoded_fresh = RoundTripRequest(fresh);
+  EXPECT_EQ(decoded_fresh.repl_token, 0u);
+  EXPECT_TRUE(decoded_fresh.positions.empty());
 }
 
 TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
@@ -216,6 +244,182 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     EXPECT_EQ(decoded.stats.shards[2].epoch, 4u);
     EXPECT_EQ(decoded.stats.shards[1].background_checkpoints, 1u);
   }
+}
+
+TEST(ProtocolTest, StatsV5ReplicationFieldsRoundTrip) {
+  Response r;
+  r.op = Request::Op::kStats;
+  r.stats.role = 1;
+  r.stats.fence_token = 42;
+  r.stats.fenced = 1;
+  r.stats.repl_subscribers = 3;
+  r.stats.repl_shipped_bytes = 1 << 22;
+  r.stats.repl_applied_bytes = 1 << 21;
+  r.stats.repl_connected = 1;
+  r.stats.repl_heartbeat_age_ms = 137;
+  const Response decoded = RoundTripResponse(r);
+  EXPECT_EQ(decoded.stats.role, 1u);
+  EXPECT_EQ(decoded.stats.fence_token, 42u);
+  EXPECT_EQ(decoded.stats.fenced, 1u);
+  EXPECT_EQ(decoded.stats.repl_subscribers, 3u);
+  EXPECT_EQ(decoded.stats.repl_shipped_bytes, static_cast<uint64_t>(1 << 22));
+  EXPECT_EQ(decoded.stats.repl_applied_bytes, static_cast<uint64_t>(1 << 21));
+  EXPECT_EQ(decoded.stats.repl_connected, 1u);
+  EXPECT_EQ(decoded.stats.repl_heartbeat_age_ms, 137u);
+}
+
+TEST(ProtocolTest, SubscribeAndPromoteResponsesRoundTrip) {
+  {
+    Response r;
+    r.op = Request::Op::kSubscribe;
+    r.repl_token = 9;
+    r.repl_shards = 4;
+    const Response decoded = RoundTripResponse(r);
+    EXPECT_EQ(decoded.repl_token, 9u);
+    EXPECT_EQ(decoded.repl_shards, 4u);
+  }
+  {
+    Response r;
+    r.op = Request::Op::kPromote;
+    r.repl_token = 10;
+    const Response decoded = RoundTripResponse(r);
+    EXPECT_EQ(decoded.repl_token, 10u);
+  }
+}
+
+TEST(ProtocolTest, FencedResponseRoundTrip) {
+  // v5: a fenced primary (or a follower asked to write) refuses with
+  // FENCED. Like BUSY, no payload follows the message — the record
+  // never touched the WAL.
+  Response r;
+  r.op = Request::Op::kIngest;
+  r.code = StatusCode::kFenced;
+  r.message = "writer fenced: a newer primary holds the fencing token";
+  const Response decoded = RoundTripResponse(r);
+  EXPECT_EQ(decoded.code, StatusCode::kFenced);
+  EXPECT_EQ(decoded.wal_offset, 0u);
+  const Status status = ResponseStatus(decoded);
+  EXPECT_EQ(status.code(), StatusCode::kFenced);
+  EXPECT_EQ(status.message(),
+            "writer fenced: a newer primary holds the fencing token");
+
+  // A FENCED body with trailing payload bytes is corrupt, not lenient.
+  const std::string frame = EncodeResponse(r);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(DecodeResponse(std::string(body.value()) + "\x01").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, ReplFrameRoundTripsPerTag) {
+  {
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kSnapshot;
+    f.shard = 2;
+    f.epoch = 5;
+    f.payload = std::string("snapshot image bytes\x00\x01\x02", 23);
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kSnapshot);
+    EXPECT_EQ(decoded.value().shard, 2u);
+    EXPECT_EQ(decoded.value().epoch, 5u);
+    EXPECT_EQ(decoded.value().payload, f.payload);
+  }
+  {
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kSegment;
+    f.shard = 1;
+    f.epoch = 3;
+    f.start_offset = 8192;
+    f.payload = "raw wal record bytes";
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kSegment);
+    EXPECT_EQ(decoded.value().start_offset, 8192u);
+    EXPECT_EQ(decoded.value().payload, "raw wal record bytes");
+  }
+  {
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kHeartbeat;
+    f.token = 6;
+    f.positions = {{2, 13}, {4, 65536}};
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kHeartbeat);
+    EXPECT_EQ(decoded.value().token, 6u);
+    EXPECT_EQ(decoded.value().positions, f.positions);
+  }
+  {
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kAck;
+    f.shard = 3;
+    f.epoch = 2;
+    f.offset = 777;
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kAck);
+    EXPECT_EQ(decoded.value().shard, 3u);
+    EXPECT_EQ(decoded.value().epoch, 2u);
+    EXPECT_EQ(decoded.value().offset, 777u);
+  }
+  {
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kFence;
+    f.token = 11;
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kFence);
+    EXPECT_EQ(decoded.value().token, 11u);
+  }
+}
+
+TEST(ProtocolTest, DecodeReplFrameRejectsMalformedBodies) {
+  // Empty body.
+  EXPECT_EQ(DecodeReplFrame("").status().code(), StatusCode::kCorruption);
+  // Unknown tag byte (0 and one past the last defined tag).
+  EXPECT_EQ(DecodeReplFrame(std::string(1, '\x00')).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeReplFrame(std::string(1, '\x06')).status().code(),
+            StatusCode::kCorruption);
+  // Truncation at every byte of a SEGMENT body.
+  ReplFrame f;
+  f.tag = ReplFrame::Tag::kSegment;
+  f.shard = 1;
+  f.epoch = 3;
+  f.start_offset = 8192;
+  f.payload = "wal bytes";
+  const std::string frame = EncodeReplFrame(f);
+  size_t frame_size = 0;
+  const std::string body(DecodeFrame(frame, &frame_size).value());
+  for (size_t cut = 1; cut < body.size(); ++cut) {
+    EXPECT_EQ(DecodeReplFrame(body.substr(0, cut)).status().code(),
+              StatusCode::kCorruption)
+        << "cut=" << cut;
+  }
+  // Trailing bytes after a complete body.
+  EXPECT_EQ(DecodeReplFrame(body + "x").status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(ProtocolTest, StatsRejectsWrongLatencyRowCount) {

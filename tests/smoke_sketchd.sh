@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end socket smoke test for the sketchd daemon, in four acts:
+# End-to-end socket smoke test for the sketchd daemon, in five acts:
 #
 #  0. doc drift: every --flag named in docs/OPERATIONS.md's flag table
 #     must appear in `sketchd --help`.
@@ -21,6 +21,11 @@
 #     ingest completes, RSS stays flat while the idle majority is
 #     parked, and remote-stats reports the connection/backpressure
 #     counters.
+#  4. replication failover pass: primary + follower pair, ingest 5k
+#     values, SIGKILL the primary, remote-promote the follower, verify
+#     it answers byte-identically and accepts writes, then bring the
+#     deposed primary's directory back as a follower and verify direct
+#     writes to it are refused with FENCED.
 set -eu
 
 SKETCHD="$1"
@@ -28,8 +33,10 @@ CLI="$2"
 OPS="$3"
 WORK="$(mktemp -d)"
 PID=""
+PID2=""
 cleanup() {
   [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+  [ -n "$PID2" ] && kill -9 "$PID2" 2>/dev/null
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -273,5 +280,77 @@ if [ "$NOFILE" = "unlimited" ] || [ "${NOFILE:-0}" -ge 2400 ]; then
 else
   echo "skipping act 3: ulimit -n is $NOFILE (< 2400)"
 fi
+
+# --- 4: replication failover pass ------------------------------------------
+"$SKETCHD" --data-dir "$WORK/dataP" --port 0 --port-file "$WORK/portP" \
+  > "$WORK/sketchdP.log" 2>&1 &
+PID=$!
+PORT_P="$(wait_for_port "$WORK/portP")"
+
+"$SKETCHD" --data-dir "$WORK/dataF" --role follower \
+  --follow "127.0.0.1:$PORT_P" --port 0 --port-file "$WORK/portF" \
+  > "$WORK/sketchdF.log" 2>&1 &
+PID2=$!
+PORT_F="$(wait_for_port "$WORK/portF")"
+
+# Wait for the follower to bootstrap and subscribe; from then on the
+# primary's semi-sync ack gate means every acked record reached it.
+i=0
+while :; do
+  "$CLI" remote-stats --port "$PORT_F" > "$WORK/statsF.txt" 2>/dev/null || true
+  grep -q '^repl_connected 1' "$WORK/statsF.txt" && break
+  i=$((i + 1))
+  [ "$i" -le 100 ] || {
+    echo "follower never connected"; cat "$WORK/statsF.txt"; exit 1; }
+  sleep 0.1
+done
+grep -q '^role follower' "$WORK/statsF.txt"
+
+head -5000 "$WORK/values.txt" | "$CLI" remote-ingest --port "$PORT_P" \
+  --series repl.latency --timestamp 100
+
+# The reference answer comes from the primary while it is still alive...
+"$CLI" remote-query --port "$PORT_P" --series repl.latency \
+  --start 0 --end 200 0.5 0.95 0.99 > "$WORK/qP.txt"
+[ -s "$WORK/qP.txt" ]
+
+# ... then kill -9 it (no shutdown hook) and promote the follower.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+"$CLI" remote-promote --port "$PORT_F" > "$WORK/promote.txt" 2>&1
+grep -q '^promoted: fence_token' "$WORK/promote.txt"
+
+# Every acked record survived the failover: the promoted follower
+# answers byte-identically to the dead primary, and accepts writes now
+# that it holds the fencing token.
+"$CLI" remote-query --port "$PORT_F" --series repl.latency \
+  --start 0 --end 200 0.5 0.95 0.99 > "$WORK/qF.txt"
+cmp "$WORK/qP.txt" "$WORK/qF.txt"
+echo "3.25" | "$CLI" remote-ingest --port "$PORT_F" --series repl.latency \
+  --timestamp 150
+"$CLI" remote-stats --port "$PORT_F" > "$WORK/statsF2.txt"
+grep -q '^role primary' "$WORK/statsF2.txt"
+
+# The deposed primary's directory carries a stale fencing token: brought
+# back as a follower of the new primary it may resync, but a direct
+# write to it must be refused with FENCED.
+"$SKETCHD" --data-dir "$WORK/dataP" --role follower \
+  --follow "127.0.0.1:$PORT_F" --port 0 --port-file "$WORK/portP2" \
+  > "$WORK/sketchdP2.log" 2>&1 &
+PID=$!
+PORT_P2="$(wait_for_port "$WORK/portP2")"
+if echo "9.5" | "$CLI" remote-ingest --port "$PORT_P2" \
+     --series repl.latency --timestamp 160 > "$WORK/fenced.txt" 2>&1; then
+  echo "stale ex-primary accepted a write"; exit 1
+fi
+grep -q 'FENCED' "$WORK/fenced.txt"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+kill "$PID2"
+wait "$PID2" 2>/dev/null || true
+PID2=""
 
 echo "smoke_sketchd OK"

@@ -43,6 +43,9 @@
 //   ddsketch_cli remote-stats --port P [--host H]
 //       Aggregate and per-shard store statistics (docs/OPERATIONS.md
 //       documents every field).
+//   ddsketch_cli remote-promote --port P [--host H]
+//       Promotes a follower to primary (v5 failover): bumps the fencing
+//       token, stops tailing, fences the old primary.
 //
 // Example round trip:
 //   ddsketch_cli generate pareto 1000000 | ddsketch_cli build --out s.dds
@@ -99,6 +102,7 @@ int Usage() {
       "  ddsketch_cli remote-query --port P [--host H] --series NAME\n"
       "                      --start S --end E [q1 q2 ...]\n"
       "  ddsketch_cli remote-stats --port P [--host H]\n"
+      "  ddsketch_cli remote-promote --port P [--host H]\n"
       "  ddsketch_cli remote-stress --port P [--host H] [--series NAME]\n"
       "                      [--idle-conns N] [--hot-conns K] [--count M]\n");
   return 2;
@@ -510,6 +514,23 @@ int CmdRemoteStats(int argc, char** argv) {
               static_cast<unsigned long long>(s.busy_rejections));
   std::printf("staged_bytes %llu\n",
               static_cast<unsigned long long>(s.staged_bytes));
+  // v5 replication: the server's role, its fencing state, and —
+  // depending on that role — shipping (primary) or applying (follower)
+  // progress.
+  std::printf("role %s\n", s.role == 1 ? "follower" : "primary");
+  std::printf("fence_token %llu\n",
+              static_cast<unsigned long long>(s.fence_token));
+  std::printf("fenced %llu\n", static_cast<unsigned long long>(s.fenced));
+  std::printf("repl_subscribers %llu\n",
+              static_cast<unsigned long long>(s.repl_subscribers));
+  std::printf("repl_shipped_bytes %llu\n",
+              static_cast<unsigned long long>(s.repl_shipped_bytes));
+  std::printf("repl_applied_bytes %llu\n",
+              static_cast<unsigned long long>(s.repl_applied_bytes));
+  std::printf("repl_connected %llu\n",
+              static_cast<unsigned long long>(s.repl_connected));
+  std::printf("repl_heartbeat_age_ms %llu\n",
+              static_cast<unsigned long long>(s.repl_heartbeat_age_ms));
   // v4 self-instrumentation: one line per op with the server-side ack
   // latency percentiles (microseconds; all zero when count is 0).
   for (size_t i = 0; i < dd::kNumLatencyOps; ++i) {
@@ -531,6 +552,25 @@ int CmdRemoteStats(int argc, char** argv) {
                 static_cast<unsigned long long>(shard.batch_commits),
                 static_cast<unsigned long long>(shard.background_checkpoints));
   }
+  return 0;
+}
+
+int CmdRemotePromote(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseDurableArgs(argc, argv, &args, /*require_data_dir=*/false)) {
+    return 1;
+  }
+  if (args.port <= 0 || args.port > 65535) {
+    return Fail("--port is required (1-65535)");
+  }
+  auto connected =
+      dd::SketchClient::Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!connected.ok()) return Fail(connected.status().ToString());
+  dd::SketchClient client = std::move(connected).value();
+  auto token = client.Promote();
+  if (!token.ok()) return Fail(token.status().ToString());
+  std::printf("promoted: fence_token %llu\n",
+              static_cast<unsigned long long>(token.value()));
   return 0;
 }
 
@@ -675,6 +715,7 @@ int main(int argc, char** argv) {
   if (command == "remote-ingest") return CmdRemoteIngest(argc - 2, argv + 2);
   if (command == "remote-query") return CmdRemoteQuery(argc - 2, argv + 2);
   if (command == "remote-stats") return CmdRemoteStats(argc - 2, argv + 2);
+  if (command == "remote-promote") return CmdRemotePromote(argc - 2, argv + 2);
   if (command == "remote-stress") return CmdRemoteStress(argc - 2, argv + 2);
   if (command == "compact") return CmdCompact(argc - 2, argv + 2);
   if (command == "merge") return CmdMerge(argc - 2, argv + 2);

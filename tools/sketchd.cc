@@ -16,13 +16,21 @@
 //           [--event-loops 0] [--staged-bytes-budget 67108864]
 //           [--max-conn-inflight 1024] [--idle-timeout-s 300]
 //           [--stall-timeout-ms 10000] [--latency-alpha 0.01]
-//           [--port-file FILE]
+//           [--port-file FILE] [--role primary|follower]
+//           [--follow HOST:PORT] [--repl-ack-timeout-ms 1000]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed on stdout and, with --port-file, written atomically to FILE so
 // scripts can wait for it. The daemon runs until SIGINT/SIGTERM, then
 // shuts down cleanly (staged ingests are committed before exit; the WAL
 // makes even a SIGKILL recoverable).
+//
+// Replication (protocol v5, docs/PROTOCOL.md): `--role follower
+// --follow HOST:PORT` starts a read-only replica that bootstraps from
+// the primary's snapshots and tails its WAL segments. SIGUSR1 (or the
+// PROMOTE op via `ddsketch_cli remote-promote`) promotes a follower to
+// primary: it bumps the fencing token, stops tailing, and fences the
+// old primary so its late writes are refused with FENCED.
 //
 // Talk to it with `ddsketch_cli remote-ingest / remote-query /
 // remote-stats`, or any SketchClient (src/server/client.h).
@@ -41,8 +49,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_promote = 0;
 
 void HandleStopSignal(int) { g_stop = 1; }
+
+void HandlePromoteSignal(int) { g_promote = 1; }
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "sketchd: %s\n", message.c_str());
@@ -95,6 +106,15 @@ void PrintUsage(std::FILE* out) {
       "  --latency-alpha A         relative accuracy of the server's own\n"
       "                            per-op ack-latency sketches, reported\n"
       "                            via STATS (default 0.01)\n"
+      "  --role R                  primary | follower (default primary);\n"
+      "                            followers refuse writes with FENCED and\n"
+      "                            replicate from --follow\n"
+      "  --follow HOST:PORT        primary to replicate from (required\n"
+      "                            when --role follower)\n"
+      "  --repl-ack-timeout-ms N   semi-sync replication: hold client acks\n"
+      "                            until every subscriber confirms, drop\n"
+      "                            subscribers lagging past N ms; 0 acks\n"
+      "                            without waiting (default 1000)\n"
       "  --help                    print this help and exit\n");
 }
 
@@ -148,6 +168,29 @@ int main(int argc, char** argv) {
       options.latency_alpha = std::strtod(argv[++i], nullptr);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (arg == "--role" && i + 1 < argc) {
+      const std::string role = argv[++i];
+      if (role == "primary") {
+        options.durable.role = dd::StoreRole::kPrimary;
+      } else if (role == "follower") {
+        options.durable.role = dd::StoreRole::kFollower;
+      } else {
+        std::fprintf(stderr, "sketchd: --role must be primary or follower\n");
+        return Usage();
+      }
+    } else if (arg == "--follow" && i + 1 < argc) {
+      const std::string target = argv[++i];
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == target.size()) {
+        std::fprintf(stderr, "sketchd: --follow wants HOST:PORT\n");
+        return Usage();
+      }
+      options.follow_host = target.substr(0, colon);
+      options.follow_port = static_cast<uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    } else if (arg == "--repl-ack-timeout-ms" && i + 1 < argc) {
+      options.repl_ack_timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr, "sketchd: unknown option: %s\n", arg.c_str());
       return Usage();
@@ -176,7 +219,20 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGUSR1, HandlePromoteSignal);
   while (!g_stop) {
+    if (g_promote) {
+      g_promote = 0;
+      auto token = server.value()->Promote();
+      if (token.ok()) {
+        std::printf("sketchd: promoted to primary (fence token %llu)\n",
+                    static_cast<unsigned long long>(token.value()));
+      } else {
+        std::fprintf(stderr, "sketchd: promote failed: %s\n",
+                     token.status().ToString().c_str());
+      }
+      std::fflush(stdout);
+    }
     ::usleep(50 * 1000);
   }
 
