@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "timeseries/wal.h"
@@ -131,6 +132,18 @@ void ReplicationShipper::SubmitCommitted(size_t shard, uint64_t epoch,
   complete(fenced);
 }
 
+void ReplicationShipper::Fence() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fenced_ || stop_) return;
+    fenced_ = true;
+  }
+  // The pump releases every parked completion with fenced=true on its
+  // next iteration (CollectReleasable stops waiting for acks once
+  // fenced_ is set).
+  Wake();
+}
+
 void ReplicationShipper::Wake() {
   if (wake_fd_ < 0) return;
   const uint64_t one = 1;
@@ -146,6 +159,18 @@ bool ReplicationShipper::QueueShipping(Subscriber* sub) {
       const uint64_t cur_epoch = store.epoch();
       const uint64_t cur_offset = store.wal_offset();
       auto& sent = sub->sent[k];
+      // A subscriber sitting exactly at the end of the epoch this store
+      // last checkpointed away consumed that epoch in full: roll it to
+      // the new epoch's start and keep tailing. The follower's
+      // epoch-crossing path (ApplyReplicatedSegment at epoch+1,
+      // kWalHeaderBytes) folds its own state, so no snapshot transfer
+      // is needed. prior_epoch_end() is 0 — never matched — after a
+      // promotion or snapshot install: old-lineage positions must not
+      // be rolled forward (their bytes may be divergent).
+      if (sent.first + 1 == cur_epoch && sent.second >= kWalHeaderBytes &&
+          sent.second == store.prior_epoch_end()) {
+        sent = {cur_epoch, kWalHeaderBytes};
+      }
       if (sent.first == cur_epoch && sent.second <= cur_offset) {
         if (sent.second < kWalHeaderBytes) sent.second = kWalHeaderBytes;
         if (sent.second >= cur_offset) break;  // caught up on this shard
@@ -169,15 +194,30 @@ bool ReplicationShipper::QueueShipping(Subscriber* sub) {
       // past-life primary), or behind a checkpoint that already
       // truncated the bytes it needs. All three resync the same way a
       // crashed store recovers: full snapshot, then tail the new WAL.
+      //
+      // The snapshot is the *live* state, so it already contains any
+      // current-epoch records; shipping it and then tailing the current
+      // epoch from its start would apply those records twice. Fold the
+      // epoch first (checkpoint, under the store_mu we hold) so the
+      // snapshot sits exactly on the new epoch's boundary and the tail
+      // starts from an empty log.
+      if (cur_offset > kWalHeaderBytes) {
+        DurableSketchStore& mut_store = *shards_[k].store;
+        if (!mut_store.CheckpointForReplication().ok()) {
+          return false;  // can't produce a consistent snapshot: drop the
+                         // subscriber, let it retry
+        }
+      }
       ReplFrame frame;
       frame.tag = ReplFrame::Tag::kSnapshot;
       frame.shard = k;
-      frame.epoch = cur_epoch;
+      frame.epoch = store.epoch();  // re-read: the fold bumped it
       frame.payload = store.EncodeReplicationSnapshot();
       shipped_bytes_.fetch_add(frame.payload.size(),
                                std::memory_order_relaxed);
+      snapshot_frames_.fetch_add(1, std::memory_order_relaxed);
       sub->out += EncodeReplFrame(frame);
-      sent = {cur_epoch, kWalHeaderBytes};
+      sent = {frame.epoch, kWalHeaderBytes};
     }
   }
   return true;
@@ -456,6 +496,19 @@ void ReplicationFollower::RunSession() {
   auto connected = ConnectTcp(options_.host, options_.port);
   if (!connected.ok()) return;
   const int fd = connected.value();
+  if (options_.write_timeout_ms > 0) {
+    // Bound every write on this socket (acks in ApplyFrame, the FENCE
+    // in FenceUpstream) — they run under conn_mu_, which StopTail and
+    // Stop must also acquire, so an unbounded send against a wedged
+    // upstream would stall promotion for the TCP retransmission
+    // timeout. A timed-out send fails the session; the reconnect's
+    // SUBSCRIBE re-announces our durable positions, so no ack is lost.
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(options_.write_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options_.write_timeout_ms % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   {
     std::lock_guard<std::mutex> lk(conn_mu_);
     if (stop_.load(std::memory_order_relaxed)) {

@@ -98,6 +98,15 @@ class ReplicationShipper {
   /// shutdown is not failover), joins the pump thread. Idempotent.
   void Stop();
 
+  /// Marks this shipper fenced and wakes the pump, which releases every
+  /// parked completion with fenced=true (the acks turn into FENCED).
+  /// The pump's own FENCE-frame path sets the same flag; this entry
+  /// point exists for fencing discovered elsewhere — a SUBSCRIBE
+  /// carrying a newer token, or any other server-side self-fence — so
+  /// those paths can never release parked acks as OK for records the
+  /// new primary may not hold.
+  void Fence();
+
   /// Adopts a subscriber connection handed over by an event loop after
   /// an OK SUBSCRIBE. `fd` must be non-blocking; `initial_out` (the
   /// encoded SUBSCRIBE response) is flushed before any frames.
@@ -120,6 +129,11 @@ class ReplicationShipper {
   }
   uint64_t shipped_bytes() const noexcept {
     return shipped_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Full-snapshot frames shipped since start. A caught-up subscriber
+  /// riding a checkpoint must not bump this (tests pin that).
+  uint64_t snapshot_frames() const noexcept {
+    return snapshot_frames_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -173,6 +187,7 @@ class ReplicationShipper {
 
   std::atomic<uint64_t> subscriber_count_{0};
   std::atomic<uint64_t> shipped_bytes_{0};
+  std::atomic<uint64_t> snapshot_frames_{0};
 };
 
 struct ReplicationFollowerOptions {
@@ -180,6 +195,14 @@ struct ReplicationFollowerOptions {
   uint16_t port = 0;
   /// Delay between reconnect attempts after an error.
   int64_t reconnect_ms = 200;
+  /// SO_SNDTIMEO on the upstream connection. Ack (and FENCE) writes
+  /// hold conn_mu_, which StopTail/Stop also need — without a deadline
+  /// a partitioned primary could wedge a blocking send for the TCP
+  /// retransmission timeout (minutes) and stall promotion/shutdown for
+  /// that long. Acks are resent implicitly by the next reconnect's
+  /// SUBSCRIBE positions and FenceUpstream is documented best-effort,
+  /// so a short deadline is safe. 0 = no deadline.
+  int64_t write_timeout_ms = 2000;
 };
 
 /// Follower side: tails a primary and applies its stream.

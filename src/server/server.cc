@@ -472,8 +472,17 @@ class SketchServer::EventLoop {
     auto it = conns_.find(c);
     graveyard_.push_back(std::move(it->second));
     conns_.erase(it);
+    // A subscriber whose fencing token is older than ours last synced
+    // under a deposed lineage: its WAL may end in a divergent suffix
+    // that was never replicated, so its resume positions cannot be
+    // trusted as prefixes of our log. Ignore them — empty positions
+    // bootstrap every shard from a snapshot, which discards that
+    // suffix. (A follower that merely restarted carries our token in
+    // its LOCK files and keeps segment resume.)
+    std::vector<std::pair<uint64_t, uint64_t>> positions = request.positions;
+    if (request.repl_token < response.repl_token) positions.clear();
     server_->shipper_->AddSubscriber(fd, EncodeResponse(response),
-                                     request.positions);
+                                     std::move(positions));
   }
 
   /// Writes the run's responses in request order and releases the run.
@@ -1208,6 +1217,9 @@ Response SketchServer::PrepareSubscribe(const Request& request) {
   }
   if (fenced) {
     writes_fenced_.store(true, std::memory_order_relaxed);
+    // Same reason as FenceSelf: anything parked awaiting subscriber
+    // acks must now release as FENCED, not OK.
+    if (shipper_) shipper_->Fence();
     return fail(Status::Fenced(
         "writer fenced: a newer primary holds the fencing token"));
   }
@@ -1222,6 +1234,10 @@ void SketchServer::FenceSelf(uint64_t observed_token) {
     (void)store_->shard(k).Fence(observed_token);
   }
   writes_fenced_.store(true, std::memory_order_relaxed);
+  // Fence the shipper too, whichever path discovered the demotion:
+  // batches parked for subscriber acks must release as FENCED, not OK —
+  // those records may not exist on the new primary.
+  if (shipper_) shipper_->Fence();
 }
 
 Result<uint64_t> SketchServer::Promote() {

@@ -189,6 +189,11 @@ class SketchServer {
   uint64_t busy_rejections() const noexcept {
     return busy_rejections_.load(std::memory_order_relaxed);
   }
+  /// Full-snapshot frames the replication shipper has sent (a caught-up
+  /// follower riding a checkpoint must not bump this).
+  uint64_t repl_snapshot_frames() const noexcept {
+    return shipper_ ? shipper_->snapshot_frames() : 0;
+  }
 
   /// Become the (new) primary: stops tailing the old one, bumps the
   /// fencing token on every shard, unfences, and best-effort FENCEs the

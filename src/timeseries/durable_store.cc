@@ -330,9 +330,12 @@ Status DurableSketchStore::IngestBatch(const std::vector<WalRecord>& records) {
 
 Status DurableSketchStore::CheckpointUnguarded() {
   const uint64_t epoch = wal_.epoch();
+  const uint64_t end_offset = wal_.offset();
   DD_RETURN_IF_ERROR(
       WriteSnapshotFile(store_, epoch, SnapshotPath(data_dir_)));
-  return wal_.Reset(epoch + 1);
+  DD_RETURN_IF_ERROR(wal_.Reset(epoch + 1));
+  prior_epoch_end_ = end_offset;
+  return Status::OK();
 }
 
 Status DurableSketchStore::Checkpoint() {
@@ -384,6 +387,14 @@ Result<uint64_t> DurableSketchStore::Promote() {
   fenced_ = false;
   role_ = StoreRole::kPrimary;
   DD_RETURN_IF_ERROR(PersistFenceState());
+  // Start the new lineage in a fresh WAL epoch before the first write
+  // lands: a deposed primary's resume position (same epoch, offset at
+  // or below ours) would otherwise pass the shipper's tail check even
+  // though its log may end in a divergent, never-replicated suffix.
+  // With the epoch bumped, every old-lineage position mismatches and
+  // takes the snapshot path, which discards that suffix.
+  DD_RETURN_IF_ERROR(CheckpointUnguarded());
+  prior_epoch_end_ = 0;  // lineage break: never roll across a promotion
   return fence_token_;
 }
 
@@ -453,6 +464,7 @@ Status DurableSketchStore::InstallReplicatedSnapshot(
   if (!writer.ok()) return writer.status();
   wal_ = std::move(writer).value();
   store_ = std::move(decoded).value().store;
+  prior_epoch_end_ = 0;  // the new WAL has no local prior-epoch history
   return Status::OK();
 }
 

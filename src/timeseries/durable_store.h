@@ -148,14 +148,29 @@ class DurableSketchStore {
 
   /// Become the (new) primary: bump the fencing token past every token
   /// ever observed here, clear the fenced flag, flip the role to
-  /// kPrimary, persist. Returns the new token.
+  /// kPrimary, persist, then checkpoint. The checkpoint bumps the WAL
+  /// epoch, so every stream position handed out by the old lineage —
+  /// including a deposed primary's own WAL, which may hold a durable
+  /// suffix this store never received — mismatches the new log and
+  /// resyncs from a snapshot instead of tailing divergent bytes.
+  /// Returns the new token.
   Result<uint64_t> Promote();
 
-  /// Encodes a full-state snapshot consistent with the current WAL
-  /// (snapshot epoch = wal epoch - 1) for replication bootstrap: the
-  /// same bytes a checkpoint would write, taken from memory so it can
-  /// never be stale.
+  /// Encodes a full-state snapshot claiming coverage through the end of
+  /// wal epoch - 1 for replication bootstrap. Only exact when the WAL
+  /// is empty (wal_offset() == kWalHeaderBytes): the encoded state is
+  /// the *live* store, which includes any current-epoch records — a
+  /// follower that installed it and then tailed the current epoch from
+  /// its start would apply those records twice. The shipper therefore
+  /// calls CheckpointForReplication() first whenever the WAL is
+  /// non-empty, so every shipped snapshot sits on an epoch boundary.
   std::string EncodeReplicationSnapshot() const;
+
+  /// Checkpoint on behalf of the replication shipper, folding the
+  /// current epoch so EncodeReplicationSnapshot() is boundary-exact.
+  /// Bypasses the writability gate: a fenced ex-primary may still be
+  /// serving subscribers it owes a resync.
+  Status CheckpointForReplication() { return CheckpointUnguarded(); }
 
   /// Reads raw framed record bytes from the WAL file, starting at
   /// `from_offset` (which must be a record boundary: kWalHeaderBytes or
@@ -210,6 +225,15 @@ class DurableSketchStore {
   /// ingest is a crash-consistent recovery point.
   uint64_t wal_offset() const noexcept { return wal_.offset(); }
 
+  /// End offset the WAL had just before the most recent in-process
+  /// checkpoint folded it into epoch() (0 = unknown: fresh open,
+  /// snapshot install, or a promotion — a lineage break, after which
+  /// prior-epoch positions may be divergent and must never be rolled
+  /// forward). A subscriber sitting exactly here consumed the prior
+  /// epoch in full, so the shipper can roll it across the checkpoint
+  /// without a snapshot transfer.
+  uint64_t prior_epoch_end() const noexcept { return prior_epoch_end_; }
+
   static std::string WalPath(const std::string& data_dir) {
     return data_dir + "/wal.log";
   }
@@ -245,6 +269,7 @@ class DurableSketchStore {
   StoreRole role_ = StoreRole::kPrimary;
   uint64_t fence_token_ = 1;
   bool fenced_ = false;
+  uint64_t prior_epoch_end_ = 0;
 };
 
 }  // namespace dd

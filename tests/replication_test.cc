@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -22,7 +23,9 @@
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -380,6 +383,180 @@ TEST_F(ReplicationTest, FollowerCrossesPrimaryCheckpoints) {
   for (size_t i = 0; i < qs.size(); ++i) {
     EXPECT_EQ(on_primary.value()[i], on_follower.value()[i]) << "q=" << qs[i];
   }
+}
+
+// ---------------------------------------------------------------------------
+// The failover flow's hard case: the deposed primary died holding a
+// durable WAL suffix that was never replicated (committed, but the kill
+// landed before the follower confirmed — so never acked to any client).
+// When its directory rejoins as a follower, that divergent suffix must
+// be discarded via a snapshot resync — never tailed as if it were a
+// prefix of the new primary's log (which would either CRC-livelock the
+// session or, worse, silently keep diverged state). Promotion bumps the
+// WAL epoch and the rejoiner's stale fencing token voids its resume
+// positions; both independently force the snapshot path.
+
+TEST_F(ReplicationTest, DeposedPrimaryDivergentSuffixIsDiscardedOnRejoin) {
+  const std::string a_dir = Dir("a");
+  auto a = MustStart(a_dir);
+  auto b = MustStart(Dir("b"), FollowerOptions(a->port()));
+  AwaitSubscribers(a->port(), 1);
+
+  SketchClient client = MustConnect(a->port());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client.IngestValue("base", i % 10, 1.0 + i).ok());
+  }
+  // "Kill" A and give its directory the un-replicated durable suffix a
+  // real mid-burst kill leaves behind: records in A's WAL that B never
+  // received (and no client was ever acked).
+  a->Stop();
+  a.reset();
+  {
+    auto store = DurableSketchStore::Open(a_dir, {});
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 0; i < 37; ++i) {
+      ASSERT_TRUE(store.value().IngestValue("divergent", i, 7.0 + i).ok());
+    }
+  }
+
+  // Failover to B, then move its log past A's (same-epoch offsets would
+  // otherwise tempt a naive shipper into tailing A's divergent bytes).
+  SketchClient b_client = MustConnect(b->port());
+  auto token = b_client.Promote();
+  ASSERT_TRUE(token.ok()) << token.status().ToString();
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(b_client.IngestValue("post", i % 10, 2.0 + i).ok());
+  }
+  // Grow "base" past the promotion too: the series now spans the
+  // snapshot and the tail epoch, so any record applied twice during
+  // the rejoin's resync (e.g. a snapshot that already contained tail
+  // bytes which are then shipped again) shifts its quantiles and fails
+  // the bit-exact comparison below.
+  for (int i = 100; i < 160; ++i) {
+    ASSERT_TRUE(b_client.IngestValue("base", i % 10, 1.0 + i).ok());
+  }
+
+  auto rejoined = MustStart(a_dir, FollowerOptions(b->port()));
+  AwaitSubscribers(b->port(), 1);
+  // Semi-sync: this ack means the rejoined follower confirmed a
+  // position at or past it — i.e. it finished resyncing.
+  ASSERT_TRUE(b_client.IngestValue("post", 100, 999.0).ok());
+
+  // The divergent suffix is gone: neither server knows the series.
+  SketchClient rejoined_client = MustConnect(rejoined->port());
+  EXPECT_FALSE(rejoined_client.Query("divergent", 0, 64, {0.5}).ok());
+  EXPECT_FALSE(b_client.Query("divergent", 0, 64, {0.5}).ok());
+
+  // Everything that *was* acked answers bit-exact on both.
+  const std::vector<double> qs = {0.1, 0.5, 0.9, 0.99};
+  for (const char* series : {"base", "post"}) {
+    auto on_primary = b_client.Query(series, 0, 200, qs);
+    auto on_rejoined = rejoined_client.Query(series, 0, 200, qs);
+    ASSERT_TRUE(on_primary.ok()) << on_primary.status().ToString();
+    ASSERT_TRUE(on_rejoined.ok()) << on_rejoined.status().ToString();
+    for (size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(on_primary.value()[i], on_rejoined.value()[i])
+          << series << " q=" << qs[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A checkpoint with a caught-up follower attached must NOT ship a full
+// snapshot: the shipper rolls the subscriber across the epoch boundary
+// and the follower folds its own state (ApplyReplicatedSegment's
+// checkpoint-crossing path). Snapshots are for followers that genuinely
+// missed bytes (disconnected across the checkpoint), not for every
+// live one on every checkpoint.
+
+TEST_F(ReplicationTest, CheckpointShipsNoSnapshotToCaughtUpFollower) {
+  auto primary = MustStart(Dir("primary"));
+  auto follower =
+      MustStart(Dir("follower"), FollowerOptions(primary->port()));
+  AwaitSubscribers(primary->port(), 1);
+
+  SketchClient client = MustConnect(primary->port());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client.IngestValue("ride", i % 10, 1.0 + i).ok());
+  }
+  // The last ack implies the follower confirmed the pre-checkpoint end
+  // of the log, so the subscriber is exactly at the epoch boundary.
+  const uint64_t snapshots_before = primary->repl_snapshot_frames();
+  auto epoch = client.Checkpoint();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(client.IngestValue("ride", i % 10, 1.0 + i).ok());
+  }
+  // Those post-checkpoint acks gated on the follower applying segments
+  // of the new epoch — which it can only have done by crossing the
+  // checkpoint. No snapshot may have been involved.
+  EXPECT_EQ(primary->repl_snapshot_frames(), snapshots_before);
+
+  SketchClient follower_client = MustConnect(follower->port());
+  auto stats = follower_client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.value().epoch, epoch.value());
+  const std::vector<double> qs = {0.5, 0.9, 0.999};
+  auto on_primary = client.Query("ride", 0, 10, qs);
+  auto on_follower = follower_client.Query("ride", 0, 10, qs);
+  ASSERT_TRUE(on_primary.ok()) << on_primary.status().ToString();
+  ASSERT_TRUE(on_follower.ok()) << on_follower.status().ToString();
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(on_primary.value()[i], on_follower.value()[i]) << "q=" << qs[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fencing discovered outside the FENCE-frame path (a SUBSCRIBE carrying
+// a newer token, SketchServer::FenceSelf) must still flip the shipper:
+// batches parked for subscriber acks release as FENCED, never OK — an
+// OK would promise durability on a primary that just lost its lease.
+
+TEST_F(ReplicationTest, ShipperFenceReleasesParkedAcksAsFenced) {
+  const std::string dir = Dir("store");
+  auto store = DurableSketchStore::Open(dir, {});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store.value().IngestValue("s", 0, 1.0).ok());
+  std::mutex store_mu;
+
+  ReplicationShipperOptions options;
+  options.ack_timeout_ms = 60000;  // far beyond the test: only Fence()
+                                   // may release the parked batch
+  ReplicationShipper shipper({ReplShard{&store_mu, &store.value()}}, options,
+                             /*on_fence=*/nullptr);
+  shipper.Start();
+
+  // A fake follower that subscribes and then never acks.
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ASSERT_EQ(::fcntl(pair[0], F_SETFL, O_NONBLOCK), 0);
+  shipper.AddSubscriber(pair[0], "", {});
+  ASSERT_TRUE(AwaitTrue([&] { return shipper.subscribers() == 1; }));
+
+  std::atomic<bool> released{false};
+  std::atomic<bool> fenced{false};
+  uint64_t epoch = 0;
+  uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lk(store_mu);
+    epoch = store.value().epoch();
+    offset = store.value().wal_offset();
+  }
+  shipper.SubmitCommitted(0, epoch, offset, [&](bool f) {
+    fenced.store(f);
+    released.store(true);
+  });
+  // Parked: the only subscriber never acks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_FALSE(released.load());
+
+  shipper.Fence();
+  ASSERT_TRUE(AwaitTrue([&] { return released.load(); }))
+      << "Fence() did not release the parked completion";
+  EXPECT_TRUE(fenced.load()) << "parked ack released as OK on a fenced "
+                                "primary";
+  shipper.Stop();
+  ::close(pair[1]);
 }
 
 // ---------------------------------------------------------------------------
