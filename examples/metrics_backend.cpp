@@ -33,9 +33,8 @@ struct Service {
 
 int main() {
   dd::SketchStoreOptions options;
-  options.base_interval_seconds = kBaseInterval;
-  options.raw_retention_seconds = 600;  // keep 10 minutes raw
-  options.rollup_factor = 6;            // then 1-minute coarse buckets
+  options.levels = {{kBaseInterval, 600},  // keep 10 minutes raw
+                    {60, 0}};              // then 1-minute buckets forever
   auto store_result = dd::SketchStore::Create(options);
   if (!store_result.ok()) {
     std::fprintf(stderr, "store: %s\n",

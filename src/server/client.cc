@@ -188,6 +188,16 @@ Result<uint64_t> SketchClient::Checkpoint() {
   return response.value().epoch;
 }
 
+Result<uint64_t> SketchClient::Compact(int64_t now) {
+  Request request;
+  request.op = Request::Op::kCompact;
+  request.compact_now = now;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
+  return response.value().compacted;
+}
+
 Result<uint64_t> SketchClient::Promote() {
   Request request;
   request.op = Request::Op::kPromote;

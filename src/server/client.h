@@ -89,6 +89,11 @@ class SketchClient {
   /// Forces a checkpoint; returns the WAL epoch after the reset.
   Result<uint64_t> Checkpoint();
 
+  /// Ages the rollup ladder as of `now` (the server clamps it to the
+  /// data horizon; INT64_MAX folds everything eligible by data time),
+  /// then checkpoints. Returns the number of interval sketches folded.
+  Result<uint64_t> Compact(int64_t now);
+
   Result<StoreStats> Stats();
 
   /// Promotes the server to primary (v5 failover: bumps the fencing

@@ -11,7 +11,7 @@ namespace {
 /// Request ops are a dense range; anything else on the wire is garbage.
 bool ValidOp(uint8_t op) {
   return op >= static_cast<uint8_t>(Request::Op::kIngest) &&
-         op <= static_cast<uint8_t>(Request::Op::kPromote);
+         op <= static_cast<uint8_t>(Request::Op::kCompact);
 }
 
 bool ValidStatusCode(uint8_t code) {
@@ -195,6 +195,9 @@ std::string EncodeRequest(const Request& request) {
       PutVarint64(&body, request.repl_token);
       PutPositions(&body, request.positions);
       break;
+    case Request::Op::kCompact:
+      PutVarintSigned64(&body, request.compact_now);
+      break;
     case Request::Op::kCheckpoint:
     case Request::Op::kStats:
     case Request::Op::kPromote:
@@ -233,6 +236,9 @@ Result<Request> DecodeRequest(std::string_view body) {
     case Request::Op::kSubscribe:
       DD_RETURN_IF_ERROR(in.GetVarint64(&request.repl_token));
       DD_RETURN_IF_ERROR(GetPositions(&in, &request.positions));
+      break;
+    case Request::Op::kCompact:
+      DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.compact_now));
       break;
     case Request::Op::kCheckpoint:
     case Request::Op::kStats:
@@ -303,6 +309,16 @@ std::string EncodeResponse(const Response& response) {
         PutVarint64(&body, response.stats.repl_applied_bytes);
         PutVarint64(&body, response.stats.repl_connected);
         PutVarint64(&body, response.stats.repl_heartbeat_age_ms);
+        // v6: rollup-ladder rows, appended after the v5 fields so
+        // their byte prefix is untouched.
+        PutVarint64(&body, response.stats.levels.size());
+        for (const LevelStatsRow& level : response.stats.levels) {
+          PutVarint64(&body, level.interval_seconds);
+          PutVarint64(&body, level.retention_seconds);
+          PutVarint64(&body, level.num_intervals);
+          PutVarint64(&body, level.rollup_merges);
+          PutVarint64(&body, level.retained_bytes);
+        }
         break;
       case Request::Op::kSubscribe:
         PutVarint64(&body, response.repl_token);
@@ -310,6 +326,10 @@ std::string EncodeResponse(const Response& response) {
         break;
       case Request::Op::kPromote:
         PutVarint64(&body, response.repl_token);
+        break;
+      case Request::Op::kCompact:
+        PutVarint64(&body, response.compacted);
+        PutVarint64(&body, response.epoch);
         break;
     }
   }
@@ -401,6 +421,21 @@ Result<Response> DecodeResponse(std::string_view body) {
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.stats.repl_connected));
         DD_RETURN_IF_ERROR(
             in.GetVarint64(&response.stats.repl_heartbeat_age_ms));
+        uint64_t n_levels = 0;
+        DD_RETURN_IF_ERROR(in.GetVarint64(&n_levels));
+        // Every level row is at least 5 varint bytes; a count the frame
+        // cannot possibly hold is corruption, not an allocation request.
+        if (n_levels > in.remaining() / 5) {
+          return Status::Corruption("level stats overrun frame");
+        }
+        response.stats.levels.resize(n_levels);
+        for (LevelStatsRow& level : response.stats.levels) {
+          DD_RETURN_IF_ERROR(in.GetVarint64(&level.interval_seconds));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&level.retention_seconds));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&level.num_intervals));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&level.rollup_merges));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&level.retained_bytes));
+        }
         break;
       }
       case Request::Op::kSubscribe:
@@ -409,6 +444,10 @@ Result<Response> DecodeResponse(std::string_view body) {
         break;
       case Request::Op::kPromote:
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.repl_token));
+        break;
+      case Request::Op::kCompact:
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.compacted));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&response.epoch));
         break;
     }
   }
@@ -448,6 +487,14 @@ std::string EncodeReplFrame(const ReplFrame& frame) {
     case ReplFrame::Tag::kFence:
       PutVarint64(&body, frame.token);
       break;
+    case ReplFrame::Tag::kSnapshotChunk:
+      PutVarint64(&body, frame.shard);
+      PutLengthPrefixed(&body, frame.payload);
+      break;
+    case ReplFrame::Tag::kSnapshotEnd:
+      PutVarint64(&body, frame.shard);
+      PutVarint64(&body, frame.epoch);
+      break;
   }
   return EncodeFrame(body);
 }
@@ -458,7 +505,7 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
   DD_RETURN_IF_ERROR(in.GetBytes(1, &tag_byte));
   const uint8_t tag = static_cast<uint8_t>(tag_byte[0]);
   if (tag < static_cast<uint8_t>(ReplFrame::Tag::kSnapshot) ||
-      tag > static_cast<uint8_t>(ReplFrame::Tag::kFence)) {
+      tag > static_cast<uint8_t>(ReplFrame::Tag::kSnapshotEnd)) {
     return Status::Corruption("unknown replication frame tag");
   }
   ReplFrame frame;
@@ -486,6 +533,14 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
       break;
     case ReplFrame::Tag::kFence:
       DD_RETURN_IF_ERROR(in.GetVarint64(&frame.token));
+      break;
+    case ReplFrame::Tag::kSnapshotChunk:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.shard));
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &frame.payload));
+      break;
+    case ReplFrame::Tag::kSnapshotEnd:
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.shard));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&frame.epoch));
       break;
   }
   DD_RETURN_IF_ERROR(CheckDrained(in));

@@ -3,10 +3,10 @@
 // every frame live in docs/PROTOCOL.md; the encodings here reuse the
 // varint/fixed-width codecs (util/varint.h) and CRC-32C (util/crc32.h)
 // that frame the on-disk formats, and are pinned by the golden fixture
-// tests/golden/protocol_v5.bin.
+// tests/golden/protocol_v6.bin.
 //
 // Connection preamble: the client sends 5 hello bytes (magic "DDSP" +
-// version 0x05); the server validates them and echoes the same 5 bytes.
+// version 0x06); the server validates them and echoes the same 5 bytes.
 // After the handshake both directions carry frames:
 //
 //   len   varint    body length in bytes (capped at 64 MiB)
@@ -41,10 +41,13 @@ namespace dd {
 /// sketches its own request latencies and STATS reports the
 /// percentiles); v5 added the replication channel (SUBSCRIBE/PROMOTE
 /// ops, streamed ReplFrames), the FENCED status code, and
-/// replication/fencing fields in STATS. Everything else is unchanged
-/// from v1.
+/// replication/fencing fields in STATS; v6 added the COMPACT op
+/// (explicit rollup-ladder aging), per-level STATS rows, and chunked
+/// replication snapshot frames (kSnapshotChunk/kSnapshotEnd, lifting
+/// the 64 MiB frame cap off bootstrap snapshot size). Everything else
+/// is unchanged from v1.
 inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
-inline constexpr uint8_t kProtocolVersion = 5;
+inline constexpr uint8_t kProtocolVersion = 6;
 inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
 
 /// Upper bound on one frame body; anything larger is corruption before
@@ -68,6 +71,7 @@ struct Request {
     kStats = 5,       ///< store/server statistics
     kSubscribe = 6,   ///< v5: become a replication follower of this server
     kPromote = 7,     ///< v5: become primary (bump fencing token, unfence)
+    kCompact = 8,     ///< v6: age the rollup ladder now, then checkpoint
   };
 
   Op op = Op::kIngest;
@@ -78,6 +82,10 @@ struct Request {
   int64_t start = 0;               // kQuery
   int64_t end = 0;                 // kQuery
   std::vector<double> quantiles;   // kQuery
+
+  // kCompact: the caller's clock; the server clamps it to the data
+  // horizon, so INT64_MAX means "fold everything eligible by data time".
+  int64_t compact_now = 0;
 
   // kSubscribe: the follower's fencing token and per-shard resume
   // positions (epoch, WAL offset), one per shard it already holds.
@@ -127,6 +135,17 @@ struct OpLatencyStats {
   double max_us = 0;
 };
 
+/// One rollup-ladder level's row in the STATS payload (v6), finest
+/// level first. Geometry comes from the store's ladder; the counters
+/// aggregate across shards.
+struct LevelStatsRow {
+  uint64_t interval_seconds = 0;   ///< bucket width at this level
+  uint64_t retention_seconds = 0;  ///< 0 = keep forever (last level)
+  uint64_t num_intervals = 0;      ///< interval sketches held at this level
+  uint64_t rollup_merges = 0;      ///< cumulative sketches folded into it
+  uint64_t retained_bytes = 0;     ///< live bytes at this level
+};
+
 /// STATS response payload. The scalar fields aggregate across shards
 /// (sums, except `epoch` which is the minimum shard epoch); `shards`
 /// carries one row per shard.
@@ -162,6 +181,10 @@ struct StoreStats {
   uint64_t repl_applied_bytes = 0;   ///< follower: WAL bytes applied
   uint64_t repl_connected = 0;       ///< follower: 1 when tailing its primary
   uint64_t repl_heartbeat_age_ms = 0;///< follower: ms since last heartbeat
+
+  // v6 rollup ladder, appended after the v5 fields so their byte
+  // prefix is untouched.
+  std::vector<LevelStatsRow> levels;
 };
 
 /// One server response. Echoes the request's op; `code`/`message` carry
@@ -174,10 +197,11 @@ struct Response {
 
   uint64_t wal_offset = 0;         // kIngest, kMerge: offset after commit
   std::vector<double> values;      // kQuery: one result per requested q
-  uint64_t epoch = 0;              // kCheckpoint: WAL epoch after reset
+  uint64_t epoch = 0;              // kCheckpoint, kCompact: epoch after reset
   StoreStats stats;                // kStats
   uint64_t repl_token = 0;         // kSubscribe, kPromote: fencing token
   uint64_t repl_shards = 0;        // kSubscribe: primary's shard count
+  uint64_t compacted = 0;          // kCompact: interval sketches folded
 };
 
 /// Frames an already-encoded body: len varint + body CRC + body.
@@ -217,16 +241,24 @@ struct ReplFrame {
     kHeartbeat = 3,  ///< primary liveness: fence token + shard positions
     kAck = 4,        ///< follower's durable (epoch, offset) for one shard
     kFence = 5,      ///< observed fencing token (a promotion upstream)
+    // v6 chunked snapshot bootstrap: a large shard snapshot streams as
+    // any number of kSnapshotChunk frames (payload pieces, in order)
+    // closed by one kSnapshotEnd frame, whose epoch stamps the
+    // assembled image — so the 64 MiB frame cap bounds a chunk, not
+    // the bootstrapable shard size. Single-frame kSnapshot remains
+    // valid (and is still what small snapshots ship as).
+    kSnapshotChunk = 6,  ///< one piece of a shard snapshot image
+    kSnapshotEnd = 7,    ///< terminator: install the assembled image
   };
 
   Tag tag = Tag::kSegment;
-  uint64_t shard = 0;         // kSnapshot, kSegment, kAck
-  uint64_t epoch = 0;         // kSnapshot, kSegment, kAck
+  uint64_t shard = 0;         // kSnapshot, kSegment, kAck, kSnapshotChunk/End
+  uint64_t epoch = 0;         // kSnapshot, kSegment, kAck, kSnapshotEnd
   uint64_t start_offset = 0;  // kSegment
   uint64_t offset = 0;        // kAck: durable WAL offset after apply
   uint64_t token = 0;         // kHeartbeat, kFence
   std::vector<std::pair<uint64_t, uint64_t>> positions;  // kHeartbeat
-  std::string payload;        // kSnapshot, kSegment
+  std::string payload;        // kSnapshot, kSegment, kSnapshotChunk
 };
 
 /// Encodes a complete framed replication frame, ready to write.

@@ -208,16 +208,39 @@ bool ReplicationShipper::QueueShipping(Subscriber* sub) {
                          // subscriber, let it retry
         }
       }
-      ReplFrame frame;
-      frame.tag = ReplFrame::Tag::kSnapshot;
-      frame.shard = k;
-      frame.epoch = store.epoch();  // re-read: the fold bumped it
-      frame.payload = store.EncodeReplicationSnapshot();
-      shipped_bytes_.fetch_add(frame.payload.size(),
-                               std::memory_order_relaxed);
+      const uint64_t snap_epoch = store.epoch();  // re-read: the fold
+                                                  // bumped it
+      std::string image = store.EncodeReplicationSnapshot();
+      shipped_bytes_.fetch_add(image.size(), std::memory_order_relaxed);
       snapshot_frames_.fetch_add(1, std::memory_order_relaxed);
-      sub->out += EncodeReplFrame(frame);
-      sent = {frame.epoch, kWalHeaderBytes};
+      if (image.size() <= options_.snapshot_chunk_bytes) {
+        ReplFrame frame;
+        frame.tag = ReplFrame::Tag::kSnapshot;
+        frame.shard = k;
+        frame.epoch = snap_epoch;
+        frame.payload = std::move(image);
+        sub->out += EncodeReplFrame(frame);
+      } else {
+        // v6 chunked bootstrap: the image streams as ≤chunk-sized
+        // pieces closed by a terminating frame, so the per-frame cap
+        // never bounds how large a shard can grow and still be
+        // bootstrapped. The whole train is queued at once — the pump
+        // trickles `out` to the socket as the follower drains it.
+        for (size_t off = 0; off < image.size();
+             off += options_.snapshot_chunk_bytes) {
+          ReplFrame chunk;
+          chunk.tag = ReplFrame::Tag::kSnapshotChunk;
+          chunk.shard = k;
+          chunk.payload = image.substr(off, options_.snapshot_chunk_bytes);
+          sub->out += EncodeReplFrame(chunk);
+        }
+        ReplFrame end;
+        end.tag = ReplFrame::Tag::kSnapshotEnd;
+        end.shard = k;
+        end.epoch = snap_epoch;
+        sub->out += EncodeReplFrame(end);
+      }
+      sent = {snap_epoch, kWalHeaderBytes};
     }
   }
   return true;
@@ -425,7 +448,9 @@ void ReplicationShipper::PumpLoop() {
 
 ReplicationFollower::ReplicationFollower(std::vector<ReplShard> shards,
                                          ReplicationFollowerOptions options)
-    : shards_(std::move(shards)), options_(std::move(options)) {}
+    : shards_(std::move(shards)),
+      options_(std::move(options)),
+      pending_snapshot_(shards_.size()) {}
 
 ReplicationFollower::~ReplicationFollower() { Stop(); }
 
@@ -587,6 +612,9 @@ void ReplicationFollower::RunSession() {
   }
 
   connected_.store(true, std::memory_order_relaxed);
+  // A previous session may have died mid-chunk-train; its partial image
+  // must never be completed by this session's frames.
+  for (std::string& pending : pending_snapshot_) pending.clear();
   while (!stop_.load(std::memory_order_relaxed)) {
     auto frame_body = conn.ReadFrame();
     if (!frame_body.ok()) break;
@@ -600,18 +628,39 @@ void ReplicationFollower::RunSession() {
 Status ReplicationFollower::ApplyFrame(const ReplFrame& frame,
                                        FramedConn* conn) {
   switch (frame.tag) {
+    case ReplFrame::Tag::kSnapshotChunk: {
+      if (frame.shard >= shards_.size()) {
+        return Status::Corruption("replicated frame for unknown shard");
+      }
+      // Reassembly only — nothing durable happened yet, so no ack. The
+      // kSnapshotEnd frame installs and acks the whole image.
+      pending_snapshot_[frame.shard] += frame.payload;
+      return Status::OK();
+    }
     case ReplFrame::Tag::kSnapshot:
+    case ReplFrame::Tag::kSnapshotEnd:
     case ReplFrame::Tag::kSegment: {
       if (frame.shard >= shards_.size()) {
         return Status::Corruption("replicated frame for unknown shard");
       }
       const ReplShard& shard = shards_[frame.shard];
       uint64_t durable_offset = 0;
+      uint64_t payload_bytes = frame.payload.size();
       {
         std::lock_guard<std::mutex> store_lk(*shard.store_mu);
         if (frame.tag == ReplFrame::Tag::kSnapshot) {
           DD_RETURN_IF_ERROR(shard.store->InstallReplicatedSnapshot(
               frame.payload, frame.epoch));
+        } else if (frame.tag == ReplFrame::Tag::kSnapshotEnd) {
+          std::string image = std::move(pending_snapshot_[frame.shard]);
+          pending_snapshot_[frame.shard].clear();
+          if (image.empty()) {
+            return Status::Corruption(
+                "snapshot terminator without preceding chunks");
+          }
+          payload_bytes = image.size();
+          DD_RETURN_IF_ERROR(
+              shard.store->InstallReplicatedSnapshot(image, frame.epoch));
         } else {
           // OutOfRange = "segment does not extend my log": surfaces to
           // the session loop, which reconnects; the re-SUBSCRIBE's
@@ -621,8 +670,7 @@ Status ReplicationFollower::ApplyFrame(const ReplFrame& frame,
         }
         durable_offset = shard.store->wal_offset();
       }
-      applied_bytes_.fetch_add(frame.payload.size(),
-                               std::memory_order_relaxed);
+      applied_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
       ReplFrame ack;
       ack.tag = ReplFrame::Tag::kAck;
       ack.shard = frame.shard;

@@ -77,6 +77,11 @@ struct ReplicationShipperOptions {
   uint64_t outbuf_bytes = 4u << 20;
   /// Max WAL bytes read per segment frame.
   uint64_t segment_bytes = 1u << 20;
+  /// Snapshot images larger than this ship as a kSnapshotChunk train
+  /// closed by kSnapshotEnd instead of one kSnapshot frame, so the
+  /// 64 MiB frame cap bounds a chunk, not the bootstrapable shard
+  /// size. Small images keep the single-frame path.
+  uint64_t snapshot_chunk_bytes = 4u << 20;
 };
 
 /// Primary side: owns subscriber sockets and the ack-gating ledger.
@@ -260,6 +265,13 @@ class ReplicationFollower {
   std::mutex conn_mu_;   // guards fd_ and writes on it (acks vs fence)
   int fd_ = -1;          // guarded by conn_mu_
   bool keep_fd_ = false; // StopTail keeps the socket for FenceUpstream
+
+  /// Per-shard reassembly buffer for a chunked snapshot bootstrap
+  /// (kSnapshotChunk frames accumulate here until kSnapshotEnd
+  /// installs the image). Touched only by the tailer thread; cleared
+  /// at the start of every session so a half-shipped image from a
+  /// dropped connection can never be installed.
+  std::vector<std::string> pending_snapshot_;
 
   mutable std::mutex status_mu_;
   Status incompatible_;  // guarded by status_mu_

@@ -57,6 +57,7 @@ LatencyOp NonIngestLatencyOp(Request::Op op) {
     case Request::Op::kQuery:
       return LatencyOp::kQuery;
     case Request::Op::kCheckpoint:
+    case Request::Op::kCompact:  // a compact IS a checkpoint with aging
       return LatencyOp::kCheckpoint;
     default:
       return LatencyOp::kStats;
@@ -679,6 +680,7 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   ReplicationShipperOptions ship_options;
   ship_options.ack_timeout_ms = options.repl_ack_timeout_ms;
   ship_options.heartbeat_ms = options.repl_heartbeat_ms;
+  ship_options.snapshot_chunk_bytes = options.repl_snapshot_chunk_bytes;
   server->shipper_ = std::make_unique<ReplicationShipper>(
       repl_shards, ship_options,
       [s = server.get()](uint64_t token) { s->FenceSelf(token); });
@@ -929,6 +931,32 @@ Response SketchServer::HandleNonIngest(const Request& request) {
       response.epoch = min_epoch;
       return response;
     }
+    case Request::Op::kCompact: {
+      if (writes_fenced_.load(std::memory_order_relaxed)) {
+        return fail(Status::Fenced(
+            role_follower_.load(std::memory_order_relaxed)
+                ? "this server is a follower; compaction runs on the primary"
+                : "writer fenced: a newer primary holds the fencing token"));
+      }
+      // Like CHECKPOINT: every shard, one lock at a time. The explicit
+      // fold honours the caller's clock (clamped to the data horizon
+      // inside the store); the checkpoint that persists it also ages
+      // anything eligible by data time.
+      uint64_t folded = 0;
+      uint64_t min_epoch = 0;
+      for (size_t k = 0; k < shards_.size(); ++k) {
+        std::lock_guard<std::mutex> lk(shards_[k]->store_mu);
+        auto compacted = store_->shard(k).Compact(request.compact_now);
+        if (!compacted.ok()) return fail(compacted.status());
+        folded += compacted.value();
+        shards_[k]->checkpoint_deadline_base = Clock::now();
+        const uint64_t epoch = store_->shard(k).epoch();
+        min_epoch = k == 0 ? epoch : std::min(min_epoch, epoch);
+      }
+      response.compacted = folded;
+      response.epoch = min_epoch;
+      return response;
+    }
     case Request::Op::kStats: {
       StoreStats& stats = response.stats;
       stats.shards.reserve(shards_.size());
@@ -944,6 +972,21 @@ Response SketchServer::HandleNonIngest(const Request& request) {
           row.background_checkpoints = shards_[k]->background_checkpoints;
           stats.num_intervals += shard_store.store().num_intervals();
           stats.size_in_bytes += shard_store.store().size_in_bytes();
+          // v6: per-level ladder rows, summed across shards (all shards
+          // share one ladder — pinned by each shard's snapshot).
+          const std::vector<LevelUsage> levels = shard_store.LevelStats();
+          if (stats.levels.size() < levels.size()) {
+            stats.levels.resize(levels.size());
+          }
+          for (size_t i = 0; i < levels.size(); ++i) {
+            stats.levels[i].interval_seconds =
+                static_cast<uint64_t>(levels[i].interval_seconds);
+            stats.levels[i].retention_seconds =
+                static_cast<uint64_t>(levels[i].retention_seconds);
+            stats.levels[i].num_intervals += levels[i].num_intervals;
+            stats.levels[i].rollup_merges += levels[i].rollup_merges;
+            stats.levels[i].retained_bytes += levels[i].retained_bytes;
+          }
           // v5: fencing state, aggregated conservatively (max token; one
           // fenced shard fences the server).
           stats.fence_token =

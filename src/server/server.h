@@ -140,6 +140,10 @@ struct SketchServerOptions {
   int64_t repl_ack_timeout_ms = 1000;
   /// Heartbeat cadence on replication connections.
   int64_t repl_heartbeat_ms = 500;
+  /// Bootstrap snapshot images larger than this ship chunked
+  /// (kSnapshotChunk/kSnapshotEnd, protocol v6) instead of as one
+  /// frame. Tests shrink it to exercise chunking with small stores.
+  uint64_t repl_snapshot_chunk_bytes = 4u << 20;
 };
 
 /// The daemon: owns the sharded durable store, the listening socket, and

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include <fcntl.h>
@@ -20,13 +21,18 @@ namespace {
 
 /// The options under which a directory was written must match the options
 /// it is reopened with: silently adopting either side would change query
-/// semantics (time geometry) or break merges (sketch parameters).
+/// semantics (time geometry) or break merges (sketch parameters). The
+/// one sanctioned exception: an empty requested ladder means "adopt the
+/// directory's ladder" (mirroring shards = 0 auto-detection), so v1
+/// directories — whose geometry maps onto a two-level ladder — and
+/// default-flag restarts open in place.
 Status CheckOptionsMatch(const SketchStoreOptions& snapshot,
                          const SketchStoreOptions& requested) {
-  if (snapshot.base_interval_seconds != requested.base_interval_seconds ||
-      snapshot.raw_retention_seconds != requested.raw_retention_seconds ||
-      snapshot.rollup_factor != requested.rollup_factor ||
-      snapshot.sketch.relative_accuracy != requested.sketch.relative_accuracy ||
+  if (!requested.levels.empty() && snapshot.levels != requested.levels) {
+    return Status::Incompatible(
+        "data directory was written with a different rollup ladder");
+  }
+  if (snapshot.sketch.relative_accuracy != requested.sketch.relative_accuracy ||
       snapshot.sketch.mapping != requested.sketch.mapping ||
       snapshot.sketch.store != requested.sketch.store ||
       snapshot.sketch.max_num_buckets != requested.sketch.max_num_buckets) {
@@ -329,6 +335,16 @@ Status DurableSketchStore::IngestBatch(const std::vector<WalRecord>& records) {
 }
 
 Status DurableSketchStore::CheckpointUnguarded() {
+  // Rollup happens here and ONLY here — at an epoch boundary, before
+  // the state is snapshotted. Compact(INT64_MAX) saturates to the data
+  // horizon, so the fold is a pure function of the stored multiset:
+  //  * crash safety — the fold mutates memory only; until the snapshot
+  //    rename lands, recovery is old snapshot + full raw WAL replay,
+  //    and the next checkpoint re-folds to the identical state;
+  //  * replication — a follower crossing this epoch boundary runs its
+  //    own CheckpointUnguarded with bit-identical raw state (it has
+  //    replayed the full epoch), so it folds to bit-identical levels.
+  rollup_folded_ += store_.Compact(std::numeric_limits<int64_t>::max());
   const uint64_t epoch = wal_.epoch();
   const uint64_t end_offset = wal_.offset();
   DD_RETURN_IF_ERROR(
@@ -345,7 +361,11 @@ Status DurableSketchStore::Checkpoint() {
 
 Result<size_t> DurableSketchStore::Compact(int64_t now) {
   DD_RETURN_IF_ERROR(CheckWritable());
+  // The explicit fold honours the caller's clock (clamped to the data
+  // horizon inside SketchStore::Compact); the checkpoint that persists
+  // it then folds anything still eligible by data time.
   const size_t compacted = store_.Compact(now);
+  rollup_folded_ += compacted;
   DD_RETURN_IF_ERROR(CheckpointUnguarded());
   return compacted;
 }

@@ -109,11 +109,20 @@ class DurableSketchStore {
   /// would make recovery silently drop everything after it).
   Status IngestBatch(const std::vector<WalRecord>& records);
 
-  /// Rolls up old raw intervals (SketchStore::Compact), then checkpoints:
-  /// snapshot + WAL reset. Returns the number of intervals compacted.
+  /// Explicitly ages the ladder (SketchStore::Compact, with `now`
+  /// clamped to the data horizon), then checkpoints. Returns the number
+  /// of interval sketches the explicit fold moved or dropped; the
+  /// checkpoint itself may fold more (see Checkpoint). Rollup state
+  /// reaches disk only through the checkpoint's snapshot — the WAL
+  /// stays a raw-ingest log.
   Result<size_t> Compact(int64_t now);
 
-  /// Snapshot + WAL reset without compaction (bounds replay time).
+  /// Snapshot + WAL reset (bounds replay time). Every checkpoint first
+  /// runs the data-time rollup (Compact saturated to the data horizon),
+  /// so aging happens exactly at epoch boundaries and nowhere else:
+  /// crash recovery replays raw records onto the last folded snapshot,
+  /// and a replication follower crossing the boundary folds its own
+  /// identical raw state to the identical ladder.
   Status Checkpoint();
 
   /// fsync the WAL (batch durability when sync_every_ingest is off).
@@ -218,6 +227,14 @@ class DurableSketchStore {
   /// The recovered/live in-memory state.
   const SketchStore& store() const noexcept { return store_; }
 
+  /// Per-level interval counts / rollup merges / retained bytes of the
+  /// live ladder (finest level first).
+  std::vector<LevelUsage> LevelStats() const { return store_.LevelStats(); }
+
+  /// Interval sketches folded or dropped by checkpoint-time rollup over
+  /// this store's lifetime (process-local, like batch counters).
+  uint64_t rollup_folded() const noexcept { return rollup_folded_; }
+
   /// Current WAL generation (advances by one per checkpoint).
   uint64_t epoch() const noexcept { return wal_.epoch(); }
 
@@ -270,6 +287,7 @@ class DurableSketchStore {
   uint64_t fence_token_ = 1;
   bool fenced_ = false;
   uint64_t prior_epoch_end_ = 0;
+  uint64_t rollup_folded_ = 0;
 };
 
 }  // namespace dd

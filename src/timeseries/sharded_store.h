@@ -157,6 +157,12 @@ class ShardedDurableStore {
   // itself because it needs to interleave its per-shard locks).
   size_t TotalSeries() const;
   size_t TotalIntervals() const;
+  /// Per-level usage summed across shards (every shard carries the same
+  /// ladder — the geometry is pinned by each shard's snapshot).
+  std::vector<LevelUsage> LevelStats() const;
+  /// Total interval sketches folded by checkpoint-time rollup across
+  /// shards since open.
+  uint64_t TotalRollupFolded() const;
   /// Minimum epoch across shards — the conservative "generation" of the
   /// directory as a whole (every shard has checkpointed at least
   /// min_epoch - 1 times).

@@ -1,27 +1,68 @@
 #include "timeseries/sketch_store.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace dd {
 
+std::vector<RollupLevel> DefaultRollupLevels() {
+  return {{10, 3600}, {60, 86400}, {3600, 0}};
+}
+
 SketchStore::SketchStore(const SketchStoreOptions& options,
                          DDSketch prototype)
-    : options_(options), prototype_(std::move(prototype)) {}
+    : options_(options),
+      prototype_(std::move(prototype)),
+      rollup_merges_(options_.levels.size(), 0) {}
+
+Status SketchStore::ValidateLevels(const std::vector<RollupLevel>& levels) {
+  if (levels.empty()) {
+    return Status::InvalidArgument("rollup ladder needs at least one level");
+  }
+  if (levels.front().interval_seconds < 1) {
+    return Status::InvalidArgument("level interval must be >= 1 second");
+  }
+  for (size_t i = 1; i < levels.size(); ++i) {
+    const int64_t prev = levels[i - 1].interval_seconds;
+    const int64_t cur = levels[i].interval_seconds;
+    if (cur <= prev || cur % prev != 0) {
+      return Status::InvalidArgument(
+          "each level's interval must be a strict integer multiple of the "
+          "previous level's");
+    }
+  }
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int64_t retention = levels[i].retention_seconds;
+    if (i + 1 == levels.size()) {
+      // Last level: 0 = keep forever; a finite retention must cover at
+      // least one of its own intervals so the hot bucket never expires.
+      if (retention != 0 && retention < levels[i].interval_seconds) {
+        return Status::InvalidArgument(
+            "last-level retention must be 0 (forever) or cover at least one "
+            "interval");
+      }
+    } else if (retention < levels[i + 1].interval_seconds) {
+      return Status::InvalidArgument(
+          "a level's retention must cover at least one next-level interval "
+          "(0 = forever is only legal on the last level)");
+    }
+  }
+  return Status::OK();
+}
 
 Result<SketchStore> SketchStore::Create(const SketchStoreOptions& options) {
-  if (options.base_interval_seconds < 1) {
-    return Status::InvalidArgument("base interval must be >= 1 second");
-  }
-  if (options.rollup_factor < 2) {
-    return Status::InvalidArgument("rollup factor must be >= 2");
-  }
-  if (options.raw_retention_seconds < options.base_interval_seconds) {
-    return Status::InvalidArgument(
-        "raw retention must cover at least one base interval");
-  }
-  auto prototype = DDSketch::Create(options.sketch);
+  SketchStoreOptions resolved = options;
+  if (resolved.levels.empty()) resolved.levels = DefaultRollupLevels();
+  DD_RETURN_IF_ERROR(ValidateLevels(resolved.levels));
+  auto prototype = DDSketch::Create(resolved.sketch);
   if (!prototype.ok()) return prototype.status();
-  return SketchStore(options, std::move(prototype).value());
+  return SketchStore(resolved, std::move(prototype).value());
+}
+
+SketchStore::Series& SketchStore::SeriesFor(const std::string& name) {
+  Series& s = series_[name];
+  if (s.levels.empty()) s.levels.resize(options_.levels.size());
+  return s;
 }
 
 Status SketchStore::Ingest(const std::string& series, int64_t timestamp,
@@ -36,9 +77,9 @@ Status SketchStore::IngestSketch(const std::string& series, int64_t timestamp,
   // Validate before touching the map so a failed ingest leaves no empty
   // series/interval behind.
   DD_RETURN_IF_ERROR(CheckCompatible(sketch));
-  Series& s = series_[series];
+  Series& s = SeriesFor(series);
   const int64_t start = RawStart(timestamp);
-  auto [it, inserted] = s.raw.try_emplace(start, prototype_);
+  auto [it, inserted] = s.levels[0].try_emplace(start, prototype_);
   return it->second.MergeFrom(sketch);
 }
 
@@ -52,9 +93,9 @@ Status SketchStore::CheckCompatible(const DDSketch& sketch) const {
 
 Status SketchStore::IngestValue(const std::string& series, int64_t timestamp,
                                 double value) {
-  Series& s = series_[series];
+  Series& s = SeriesFor(series);
   const int64_t start = RawStart(timestamp);
-  auto [it, inserted] = s.raw.try_emplace(start, prototype_);
+  auto [it, inserted] = s.levels[0].try_emplace(start, prototype_);
   it->second.Add(value);
   return Status::OK();
 }
@@ -62,9 +103,9 @@ Status SketchStore::IngestValue(const std::string& series, int64_t timestamp,
 Status SketchStore::IngestValues(const std::string& series, int64_t timestamp,
                                  std::span<const double> values) {
   if (values.empty()) return Status::OK();
-  Series& s = series_[series];
+  Series& s = SeriesFor(series);
   const int64_t start = RawStart(timestamp);
-  auto [it, inserted] = s.raw.try_emplace(start, prototype_);
+  auto [it, inserted] = s.levels[0].try_emplace(start, prototype_);
   it->second.AddBatch(values);
   return Status::OK();
 }
@@ -89,10 +130,15 @@ Result<DDSketch> SketchStore::QueryRange(const std::string& series,
   if (it == series_.end()) {
     return Status::InvalidArgument("unknown series: " + series);
   }
+  // Every datum lives in exactly one level (rollup moves sketches, never
+  // copies them), so merging the overlapping buckets of every level
+  // yields the finest stored resolution over each part of the window
+  // with no double counting.
   DDSketch merged = prototype_;
-  MergeOverlapping(it->second.raw, options_.base_interval_seconds, start, end,
-                   &merged);
-  MergeOverlapping(it->second.coarse, CoarseWidth(), start, end, &merged);
+  for (size_t i = 0; i < it->second.levels.size(); ++i) {
+    MergeOverlapping(it->second.levels[i], options_.levels[i].interval_seconds,
+                     start, end, &merged);
+  }
   return merged;
 }
 
@@ -121,20 +167,65 @@ Result<std::vector<SeriesPoint>> SketchStore::QuerySeries(
   return points;
 }
 
-size_t SketchStore::Compact(int64_t now) {
-  const int64_t cutoff = RawStart(now - options_.raw_retention_seconds);
-  size_t compacted = 0;
-  for (auto& [name, s] : series_) {
-    auto it = s.raw.begin();
-    while (it != s.raw.end() && it->first < cutoff) {
-      const int64_t coarse_start = CoarseStart(it->first);
-      auto [slot, inserted] = s.coarse.try_emplace(coarse_start, prototype_);
-      (void)slot->second.MergeFrom(it->second);
-      it = s.raw.erase(it);
-      ++compacted;
+int64_t SketchStore::DataHorizon() const {
+  int64_t horizon = std::numeric_limits<int64_t>::min();
+  for (const auto& [name, s] : series_) {
+    for (size_t i = 0; i < s.levels.size(); ++i) {
+      if (s.levels[i].empty()) continue;
+      horizon = std::max(horizon, s.levels[i].rbegin()->first +
+                                      options_.levels[i].interval_seconds);
     }
   }
-  return compacted;
+  return horizon;
+}
+
+size_t SketchStore::Compact(int64_t now) {
+  const int64_t horizon = DataHorizon();
+  if (horizon == std::numeric_limits<int64_t>::min()) return 0;
+  // Clamp against the newest ingested data: a caller clock running
+  // ahead of the ingest timestamps must not age still-hot intervals,
+  // and INT64_MAX deliberately saturates to pure data-time rollup (the
+  // deterministic form checkpoints use).
+  const int64_t effective_now = std::min(now, horizon);
+  size_t folded = 0;
+  for (auto& [name, s] : series_) {
+    // Fine → coarse, so very old data cascades through several levels
+    // in one pass. Ascending map order keeps the fold deterministic.
+    for (size_t i = 0; i + 1 < s.levels.size(); ++i) {
+      const int64_t next_width = options_.levels[i + 1].interval_seconds;
+      // Aligning the cutoff down to the next level's width means a
+      // coarse bucket only ever receives its complete set of finer
+      // intervals in a single pass.
+      const int64_t cutoff = AlignDown(
+          effective_now - options_.levels[i].retention_seconds, next_width);
+      auto& fine = s.levels[i];
+      auto& coarse = s.levels[i + 1];
+      auto it = fine.begin();
+      while (it != fine.end() && it->first < cutoff) {
+        const int64_t coarse_start = AlignDown(it->first, next_width);
+        auto [slot, inserted] = coarse.try_emplace(coarse_start, prototype_);
+        (void)slot->second.MergeFrom(it->second);
+        it = fine.erase(it);
+        ++folded;
+        ++rollup_merges_[i + 1];
+      }
+    }
+    const RollupLevel& last = options_.levels.back();
+    if (last.retention_seconds > 0) {
+      // Only fully-expired buckets go: start < cutoff (both aligned to
+      // the level width) implies start + width <= now - retention.
+      const int64_t cutoff = AlignDown(
+          effective_now - last.retention_seconds, last.interval_seconds);
+      auto& tier = s.levels.back();
+      auto it = tier.begin();
+      while (it != tier.end() && it->first < cutoff) {
+        it = tier.erase(it);
+        ++folded;
+        ++rollup_merges_.back();
+      }
+    }
+  }
+  return folded;
 }
 
 std::vector<std::string> SketchStore::ListSeries() const {
@@ -147,7 +238,7 @@ std::vector<std::string> SketchStore::ListSeries() const {
 size_t SketchStore::num_intervals() const {
   size_t total = 0;
   for (const auto& [name, s] : series_) {
-    total += s.raw.size() + s.coarse.size();
+    for (const auto& tier : s.levels) total += tier.size();
   }
   return total;
 }
@@ -156,10 +247,29 @@ size_t SketchStore::size_in_bytes() const {
   size_t total = sizeof(*this);
   for (const auto& [name, s] : series_) {
     total += name.size();
-    for (const auto& [t, sketch] : s.raw) total += sketch.size_in_bytes();
-    for (const auto& [t, sketch] : s.coarse) total += sketch.size_in_bytes();
+    for (const auto& tier : s.levels) {
+      for (const auto& [t, sketch] : tier) total += sketch.size_in_bytes();
+    }
   }
   return total;
+}
+
+std::vector<LevelUsage> SketchStore::LevelStats() const {
+  std::vector<LevelUsage> stats(options_.levels.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    stats[i].interval_seconds = options_.levels[i].interval_seconds;
+    stats[i].retention_seconds = options_.levels[i].retention_seconds;
+    stats[i].rollup_merges = rollup_merges_[i];
+  }
+  for (const auto& [name, s] : series_) {
+    for (size_t i = 0; i < s.levels.size(); ++i) {
+      stats[i].num_intervals += s.levels[i].size();
+      for (const auto& [t, sketch] : s.levels[i]) {
+        stats[i].retained_bytes += sketch.size_in_bytes();
+      }
+    }
+  }
+  return stats;
 }
 
 }  // namespace dd

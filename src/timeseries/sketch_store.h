@@ -9,9 +9,17 @@
 //    aggregation window is answerable with the full accuracy guarantee
 //    ("rolling up the sums and counts ... over much larger time periods
 //    perfectly accurately" — here for quantiles);
-//  * compaction rolls raw intervals older than a retention horizon into
-//    coarser buckets without any accuracy loss: queries over compacted
-//    history return byte-identical answers.
+//  * retention ages data down a resolution ladder (e.g. 10s → 1m → 1h)
+//    without any accuracy loss: merging six 10s sketches into one 1m
+//    bucket yields byte-identical answers at 1m resolution, so queries
+//    over rolled-up history return exactly what the raw data would have.
+//
+// Determinism invariant (load-bearing for replication and recovery): the
+// same raw multiset of ingests always folds to the same per-level state.
+// Rollup is driven purely by data time — Compact clamps the caller's
+// clock to the data horizon — and folds intervals in ascending key
+// order, so a primary and a follower that replayed the same WAL bytes
+// reach bit-identical ladders when each runs its own rollup.
 
 #ifndef DDSKETCH_TIMESERIES_SKETCH_STORE_H_
 #define DDSKETCH_TIMESERIES_SKETCH_STORE_H_
@@ -27,17 +35,36 @@
 
 namespace dd {
 
+/// One rung of the resolution ladder.
+struct RollupLevel {
+  /// Width of this level's interval buckets, in seconds. Each level's
+  /// interval must be a strict integer multiple of the previous level's.
+  int64_t interval_seconds = 0;
+  /// How long data stays at this resolution before rolling up into the
+  /// next level (counted back from the data horizon, not the wall
+  /// clock). 0 means "keep forever" and is only legal on the last level
+  /// — on the last level a positive value drops expired buckets
+  /// outright (the only lossy operation in the store).
+  int64_t retention_seconds = 0;
+
+  friend bool operator==(const RollupLevel& a, const RollupLevel& b) {
+    return a.interval_seconds == b.interval_seconds &&
+           a.retention_seconds == b.retention_seconds;
+  }
+};
+
+/// The default ladder: 10s raw for an hour, 1m for a day, 1h forever.
+std::vector<RollupLevel> DefaultRollupLevels();
+
 /// Configuration of the store's time geometry.
 struct SketchStoreOptions {
   /// Sketch parameters for every stored interval (all must match for
   /// merging; ingested payloads with other parameters are rejected).
   DDSketchConfig sketch;
-  /// Width of a raw ingestion interval, in seconds.
-  int64_t base_interval_seconds = 10;
-  /// Raw intervals older than this many seconds are eligible for rollup.
-  int64_t raw_retention_seconds = 3600;
-  /// Rollup factor: one coarse bucket covers this many raw intervals.
-  int rollup_factor = 6;
+  /// The resolution ladder, finest first. Empty means "adopt": Create
+  /// substitutes DefaultRollupLevels(), and DurableSketchStore::Open
+  /// adopts whatever ladder an existing directory was created with.
+  std::vector<RollupLevel> levels;
 };
 
 /// One point of a graphing query: interval start and the quantile value.
@@ -47,11 +74,31 @@ struct SeriesPoint {
   double value;
 };
 
+/// Per-level usage for STATS reporting and retention accounting.
+struct LevelUsage {
+  int64_t interval_seconds = 0;
+  int64_t retention_seconds = 0;
+  /// Interval sketches currently held at this level across all series.
+  uint64_t num_intervals = 0;
+  /// Cumulative sketches folded INTO this level by rollup (for the last
+  /// level with finite retention, also counts buckets dropped from it).
+  uint64_t rollup_merges = 0;
+  /// Live memory of this level's sketches.
+  uint64_t retained_bytes = 0;
+};
+
 /// Per-series, per-interval sketch storage with merge-on-read range
-/// queries and lossless time-based rollup. Not thread-safe.
+/// queries and a lossless multi-resolution rollup ladder. Not
+/// thread-safe.
 class SketchStore {
  public:
   static Result<SketchStore> Create(const SketchStoreOptions& options);
+
+  /// Validates a ladder: at least one level, positive intervals, each a
+  /// strict integer multiple of the previous, intermediate retentions
+  /// covering at least one next-level interval, retention 0 only on the
+  /// last level. Exposed so flag parsing can reject bad ladders early.
+  static Status ValidateLevels(const std::vector<RollupLevel>& levels);
 
   /// Merges a serialized worker sketch into `series` at `timestamp`.
   /// Fails with Corruption on malformed payloads and Incompatible on
@@ -80,8 +127,12 @@ class SketchStore {
   Status IngestValues(const std::string& series, int64_t timestamp,
                       std::span<const double> values);
 
-  /// Merged sketch over [start, end) for one series. Fails with
-  /// InvalidArgument for an unknown series or an empty window.
+  /// Merged sketch over [start, end) for one series. Every datum lives
+  /// in exactly one level (rollup moves, never copies), so the planner
+  /// simply merges the overlapping buckets of every level — the finest
+  /// available resolution for each part of the window, stitched at the
+  /// rollup horizons by construction. Fails with InvalidArgument for an
+  /// unknown series or an empty window.
   Result<DDSketch> QueryRange(const std::string& series, int64_t start,
                               int64_t end) const;
 
@@ -96,48 +147,67 @@ class SketchStore {
                                                double q,
                                                int64_t step_seconds) const;
 
-  /// Rolls up raw intervals older than `now - raw_retention_seconds` into
-  /// coarse buckets. Queries before and after compaction return identical
-  /// results (full mergeability); storage shrinks by ~rollup_factor for
-  /// the compacted span. Returns the number of raw intervals compacted.
+  /// Ages data down the ladder. `now` is clamped to the data horizon
+  /// (the exclusive end of the newest stored interval), so a caller
+  /// clock that runs ahead of the ingest timestamps can never roll up
+  /// still-hot intervals, and passing INT64_MAX folds purely by data
+  /// time — the deterministic form the checkpoint scheduler uses. For
+  /// each level, buckets older than `horizon - retention` (aligned down
+  /// to the next level's width so coarse buckets fill in one pass)
+  /// merge into the next level; on a last level with finite retention,
+  /// expired buckets are dropped. Returns the number of interval
+  /// sketches folded or dropped. Queries at coarse resolution return
+  /// identical results before and after (full mergeability).
   size_t Compact(int64_t now);
+
+  /// Exclusive end of the newest stored interval across all series and
+  /// levels; INT64_MIN when the store is empty. Derivable from state
+  /// alone, so snapshot reload and WAL replay reproduce it exactly.
+  int64_t DataHorizon() const;
 
   /// Series names currently stored.
   std::vector<std::string> ListSeries() const;
 
   size_t num_series() const { return series_.size(); }
-  /// Raw + coarse interval sketches currently held across all series.
+  /// Interval sketches currently held across all series and levels.
   size_t num_intervals() const;
   /// Total live memory of all stored sketches.
   size_t size_in_bytes() const;
 
-  const SketchStoreOptions& options() const { return options_; }
+  /// Per-level interval counts, cumulative rollup merges, and retained
+  /// bytes (finest level first).
+  std::vector<LevelUsage> LevelStats() const;
 
-  /// Start of the raw ingestion interval containing `timestamp`. Public so
-  /// batching callers (the WAL group commit) can group records that share
-  /// an interval before handing them to IngestValues.
+  const SketchStoreOptions& options() const { return options_; }
+  size_t num_levels() const { return options_.levels.size(); }
+
+  /// Start of the finest-level ingestion interval containing
+  /// `timestamp`. Public so batching callers (the WAL group commit) can
+  /// group records that share an interval before handing them to
+  /// IngestValues.
   int64_t RawStart(int64_t timestamp) const {
-    return timestamp - Mod(timestamp, options_.base_interval_seconds);
+    return timestamp - Mod(timestamp, options_.levels.front().interval_seconds);
   }
 
  private:
   friend class SketchStoreSnapshotCodec;  // owns the on-disk snapshot format
 
   struct Series {
-    std::map<int64_t, DDSketch> raw;     // keyed by interval start
-    std::map<int64_t, DDSketch> coarse;  // keyed by coarse-interval start
+    /// One interval map per ladder level, finest first; sized to
+    /// num_levels() on creation. Keys are interval starts, always
+    /// aligned to that level's width.
+    std::vector<std::map<int64_t, DDSketch>> levels;
   };
 
   explicit SketchStore(const SketchStoreOptions& options, DDSketch prototype);
-  int64_t CoarseWidth() const {
-    return options_.base_interval_seconds * options_.rollup_factor;
-  }
-  int64_t CoarseStart(int64_t timestamp) const {
-    return timestamp - Mod(timestamp, CoarseWidth());
-  }
+
+  Series& SeriesFor(const std::string& name);
   static int64_t Mod(int64_t x, int64_t m) {
     const int64_t r = x % m;
     return r < 0 ? r + m : r;
+  }
+  int64_t AlignDown(int64_t timestamp, int64_t width) const {
+    return timestamp - Mod(timestamp, width);
   }
 
   /// Merges every bucket of `tier` overlapping [start, end) into `out`.
@@ -148,6 +218,10 @@ class SketchStore {
   SketchStoreOptions options_;
   DDSketch prototype_;  // empty sketch with the configured parameters
   std::map<std::string, Series> series_;
+  /// rollup_merges_[i]: sketches folded into level i (plus buckets
+  /// dropped from a finite-retention last level). Runtime counters, not
+  /// part of snapshotted state.
+  std::vector<uint64_t> rollup_merges_;
 };
 
 }  // namespace dd

@@ -1,5 +1,6 @@
 #include "timeseries/snapshot.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -12,7 +13,11 @@ namespace dd {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'D', 'S', 'S'};
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersionLegacy = 1;  // raw + one coarse tier
+constexpr uint8_t kVersion = 2;        // N-level rollup ladder
+// Ladders deeper than this are rejected as corruption rather than
+// trusted to size allocations (a real ladder has a handful of rungs).
+constexpr uint64_t kMaxLevels = 64;
 
 void EncodeTier(const std::map<int64_t, DDSketch>& tier, std::string* out) {
   PutVarint64(out, tier.size());
@@ -33,9 +38,11 @@ class SketchStoreSnapshotCodec {
     const SketchStoreOptions& options = store.options_;
     std::string body;
     PutVarint64(&body, epoch);
-    PutVarint64(&body, static_cast<uint64_t>(options.base_interval_seconds));
-    PutVarint64(&body, static_cast<uint64_t>(options.raw_retention_seconds));
-    PutVarint64(&body, static_cast<uint64_t>(options.rollup_factor));
+    PutVarint64(&body, options.levels.size());
+    for (const RollupLevel& level : options.levels) {
+      PutVarint64(&body, static_cast<uint64_t>(level.interval_seconds));
+      PutVarint64(&body, static_cast<uint64_t>(level.retention_seconds));
+    }
     PutFixedDouble(&body, options.sketch.relative_accuracy);
     body.push_back(static_cast<char>(options.sketch.mapping));
     body.push_back(static_cast<char>(options.sketch.store));
@@ -44,13 +51,19 @@ class SketchStoreSnapshotCodec {
     for (const auto& [name, series] : store.series_) {
       PutVarint64(&body, name.size());
       body.append(name);
-      EncodeTier(series.raw, &body);
-      EncodeTier(series.coarse, &body);
+      for (size_t i = 0; i < options.levels.size(); ++i) {
+        if (i < series.levels.size()) {
+          EncodeTier(series.levels[i], &body);
+        } else {
+          PutVarint64(&body, 0);  // series created but never sized: empty tier
+        }
+      }
     }
     return body;
   }
 
-  static Result<SnapshotContents> DecodeBody(std::string_view body) {
+  static Result<SnapshotContents> DecodeBody(std::string_view body,
+                                             uint8_t version) {
     Slice in(body);
     uint64_t epoch = 0;
     DD_RETURN_IF_ERROR(in.GetVarint64(&epoch));
@@ -58,16 +71,48 @@ class SketchStoreSnapshotCodec {
       return Status::Corruption("snapshot epoch out of range");
     }
     SketchStoreOptions options;
-    uint64_t base = 0, retention = 0, factor = 0;
-    DD_RETURN_IF_ERROR(in.GetVarint64(&base));
-    DD_RETURN_IF_ERROR(in.GetVarint64(&retention));
-    DD_RETURN_IF_ERROR(in.GetVarint64(&factor));
-    if (base > INT64_MAX || retention > INT64_MAX || factor > INT32_MAX) {
-      return Status::Corruption("snapshot time geometry out of range");
+    if (version == kVersionLegacy) {
+      // v1 geometry (base interval, raw retention, rollup factor) maps
+      // onto the equivalent two-level ladder. The raw retention is
+      // raised to at least one coarse interval when needed — v1 allowed
+      // retention as short as one base interval, which the ladder
+      // validation (an intermediate level must retain a full next-level
+      // interval) would reject; keeping data slightly longer is safe.
+      uint64_t base = 0, retention = 0, factor = 0;
+      DD_RETURN_IF_ERROR(in.GetVarint64(&base));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&retention));
+      DD_RETURN_IF_ERROR(in.GetVarint64(&factor));
+      if (base > INT64_MAX || retention > INT64_MAX || factor > INT32_MAX) {
+        return Status::Corruption("snapshot time geometry out of range");
+      }
+      if (base < 1 || factor < 2 ||
+          base > static_cast<uint64_t>(INT64_MAX) / factor) {
+        return Status::Corruption("snapshot time geometry invalid");
+      }
+      const int64_t coarse =
+          static_cast<int64_t>(base) * static_cast<int64_t>(factor);
+      options.levels = {
+          {static_cast<int64_t>(base),
+           std::max(static_cast<int64_t>(retention), coarse)},
+          {coarse, 0}};
+    } else {
+      uint64_t n_levels = 0;
+      DD_RETURN_IF_ERROR(in.GetVarint64(&n_levels));
+      if (n_levels == 0 || n_levels > kMaxLevels) {
+        return Status::Corruption("snapshot ladder depth out of range");
+      }
+      options.levels.reserve(n_levels);
+      for (uint64_t i = 0; i < n_levels; ++i) {
+        uint64_t interval = 0, retention = 0;
+        DD_RETURN_IF_ERROR(in.GetVarint64(&interval));
+        DD_RETURN_IF_ERROR(in.GetVarint64(&retention));
+        if (interval > INT64_MAX || retention > INT64_MAX) {
+          return Status::Corruption("snapshot level geometry out of range");
+        }
+        options.levels.push_back({static_cast<int64_t>(interval),
+                                  static_cast<int64_t>(retention)});
+      }
     }
-    options.base_interval_seconds = static_cast<int64_t>(base);
-    options.raw_retention_seconds = static_cast<int64_t>(retention);
-    options.rollup_factor = static_cast<int>(factor);
     DD_RETURN_IF_ERROR(in.GetFixedDouble(&options.sketch.relative_accuracy));
     std::string_view tags;
     DD_RETURN_IF_ERROR(in.GetBytes(2, &tags));
@@ -94,6 +139,7 @@ class SketchStoreSnapshotCodec {
                                 store_result.status().message());
     }
     SketchStore store = std::move(store_result).value();
+    const size_t n_levels = store.options_.levels.size();
 
     uint64_t n_series = 0;
     DD_RETURN_IF_ERROR(in.GetVarint64(&n_series));
@@ -110,11 +156,15 @@ class SketchStoreSnapshotCodec {
         return Status::Corruption("snapshot: duplicate series name");
       }
       SketchStore::Series& series = store.series_[name];
-      DD_RETURN_IF_ERROR(DecodeTier(&in, store,
-                                    store.options_.base_interval_seconds,
-                                    &series.raw));
-      DD_RETURN_IF_ERROR(
-          DecodeTier(&in, store, store.CoarseWidth(), &series.coarse));
+      series.levels.resize(n_levels);
+      // A v1 body carries exactly two tiers (raw, coarse) which land on
+      // the two rungs of the mapped ladder; a v2 body carries one tier
+      // per level.
+      for (size_t level = 0; level < n_levels; ++level) {
+        DD_RETURN_IF_ERROR(
+            DecodeTier(&in, store, store.options_.levels[level].interval_seconds,
+                       &series.levels[level]));
+      }
     }
     if (!in.empty()) {
       return Status::Corruption("trailing bytes after snapshot body");
@@ -173,7 +223,8 @@ Result<SnapshotContents> DecodeSnapshot(std::string_view bytes) {
   }
   std::string_view version;
   DD_RETURN_IF_ERROR(in.GetBytes(1, &version));
-  if (static_cast<uint8_t>(version[0]) != kVersion) {
+  const uint8_t version_byte = static_cast<uint8_t>(version[0]);
+  if (version_byte != kVersion && version_byte != kVersionLegacy) {
     return Status::Corruption("unsupported snapshot version");
   }
   uint32_t crc = 0;
@@ -183,7 +234,7 @@ Result<SnapshotContents> DecodeSnapshot(std::string_view bytes) {
   if (crc != Crc32c(body)) {
     return Status::Corruption("snapshot checksum mismatch");
   }
-  return SketchStoreSnapshotCodec::DecodeBody(body);
+  return SketchStoreSnapshotCodec::DecodeBody(body, version_byte);
 }
 
 Status WriteSnapshotFile(const SketchStore& store, uint64_t epoch,

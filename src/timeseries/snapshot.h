@@ -6,25 +6,33 @@
 // snapshot inherits its compactness and its golden-format pinning):
 //
 //   magic     4 bytes  "DDSS"
-//   version   1 byte   0x01
+//   version   1 byte   0x02
 //   crc       fixed32  CRC-32C of everything after this field
-//   body:
+//   body (v2):
 //     epoch             varint   WAL generation folded into this snapshot
-//     base_interval     varint   --+
-//     raw_retention     varint     |
-//     rollup_factor     varint     |
-//     alpha             fixed64 double  SketchStoreOptions
-//     mapping           1 byte     |
-//     store type        1 byte     |
-//     max_buckets       varint   --+
+//     n_levels          varint   rollup ladder, finest first
+//     per level:
+//       interval        varint   seconds
+//       retention       varint   seconds (0 = forever, last level only)
+//     alpha             fixed64 double  --+
+//     mapping           1 byte            | sketch parameters
+//     store type        1 byte            |
+//     max_buckets       varint          --+
 //     n_series          varint
 //     per series (name order):
 //       name            varint length + bytes
-//       n_raw           varint
-//       per raw interval (ascending start):
-//         start         signed varint (zigzag)
-//         sketch        varint length + DDSketch wire bytes
-//       n_coarse        varint, then the same per-interval layout
+//       per level (finest first):
+//         n_intervals   varint
+//         per interval (ascending start):
+//           start       signed varint (zigzag)
+//           sketch      varint length + DDSketch wire bytes
+//
+// Version 0x01 (the raw + one-coarse-tier format that predates the
+// ladder) still decodes: its geometry maps onto the equivalent
+// two-level ladder {base_interval, raw_retention} → {base * factor, ∞}
+// with the raw tier as level 0 and the coarse tier as level 1, so v1
+// directories open in place with every interval preserved. Encoding
+// always writes v2.
 //
 // Snapshots are written atomically (tmp + rename, util/file_io.h), so a
 // reader sees either the previous complete snapshot or the new one. Any
@@ -54,8 +62,9 @@ struct SnapshotContents {
 /// identical bytes (series and intervals are iterated in map order).
 std::string EncodeSnapshot(const SketchStore& store, uint64_t epoch);
 
-/// Decodes a snapshot image. Fails with Corruption on any malformed,
-/// truncated, or bit-flipped input.
+/// Decodes a snapshot image (v2, or v1 mapped onto a two-level ladder).
+/// Fails with Corruption on any malformed, truncated, or bit-flipped
+/// input.
 Result<SnapshotContents> DecodeSnapshot(std::string_view bytes);
 
 /// Encodes and atomically replaces `path`.

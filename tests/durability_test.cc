@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,9 +45,7 @@ class DurabilityTest : public ::testing::Test {
 
   static DurableSketchStoreOptions Options() {
     DurableSketchStoreOptions options;
-    options.store.base_interval_seconds = 10;
-    options.store.raw_retention_seconds = 600;
-    options.store.rollup_factor = 6;
+    options.store.levels = {{10, 600}, {60, 0}};
     return options;
   }
 
@@ -335,6 +334,55 @@ TEST_F(DurabilityTest, InterruptedCheckpointIsNotDoubleApplied) {
   EXPECT_EQ(reopened.epoch(), 2u);
 }
 
+TEST_F(DurabilityTest, InterruptedRollupCheckpointRecoversEitherSide) {
+  // A rollup checkpoint has the same two crash sides as any checkpoint,
+  // but with higher stakes: the fold rewrites tiers, and rollup state
+  // is ONLY persisted via snapshots. Crash before the snapshot rename →
+  // recovery replays raw records (fold simply re-runs at the next
+  // checkpoint). Crash after the rename but before the WAL reset → the
+  // snapshot already contains the folded records, and replaying the log
+  // on top would double every count.
+  const std::string dir = Dir("rollupcrash");
+  std::vector<double> before;
+  uint64_t epoch = 0;
+  {
+    DurableSketchStore store = MustOpen(dir);
+    // Spans ~2000s, far past the 600s raw retention.
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(
+          store.IngestValue("svc", i * 5, 1.0 + (i % 61) * 0.5).ok());
+    }
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      before.push_back(
+          std::move(store.QueryQuantile("svc", 0, 2100, q)).value());
+    }
+    epoch = store.epoch();
+    // Simulate the bad side of the window: fold a clone of the live
+    // state in memory (exactly what Compact's checkpoint does), write
+    // the rolled-up snapshot, and "crash" before the WAL reset.
+    auto clone = DecodeSnapshot(EncodeSnapshot(store.store(), epoch));
+    ASSERT_TRUE(clone.ok()) << clone.status().ToString();
+    EXPECT_GT(clone.value().store.Compact(std::numeric_limits<int64_t>::max()),
+              0u);
+    ASSERT_TRUE(WriteSnapshotFile(clone.value().store, epoch,
+                                  DurableSketchStore::SnapshotPath(dir))
+                    .ok());
+  }
+  DurableSketchStore reopened = MustOpen(dir);
+  // The folded snapshot won; the raw WAL records it already contains
+  // were not replayed on top of it.
+  EXPECT_EQ(reopened.epoch(), epoch + 1);
+  EXPECT_EQ(std::move(reopened.QueryRange("svc", 0, 2100)).value().count(),
+            400u);
+  EXPECT_GT(reopened.store().LevelStats()[1].num_intervals, 0u);
+  size_t i = 0;
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    EXPECT_EQ(std::move(reopened.QueryQuantile("svc", 0, 2100, q)).value(),
+              before[i++])
+        << q;
+  }
+}
+
 TEST_F(DurabilityTest, TornWalHeaderIsRecreated) {
   const std::string dir = Dir("tornheader");
   {
@@ -412,7 +460,7 @@ TEST_F(DurabilityTest, MismatchedOptionsCaughtWithoutCheckpoint) {
     ASSERT_TRUE(store.IngestValue("s", 0, 1.0).ok());
   }
   DurableSketchStoreOptions other = Options();
-  other.store.base_interval_seconds = 60;
+  other.store.levels = {{60, 3600}, {360, 0}};
   auto reopened = DurableSketchStore::Open(dir, other);
   ASSERT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kIncompatible);

@@ -368,9 +368,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWalCorruptionTest,
 
 std::string BuildSnapshotImage(Rng& rng) {
   SketchStoreOptions options;
-  options.base_interval_seconds = 10;
-  options.raw_retention_seconds = 60;
-  options.rollup_factor = 6;
+  options.levels = {{10, 60}, {60, 0}};
   auto store = std::move(SketchStore::Create(options)).value();
   for (int i = 0; i < 200; ++i) {
     EXPECT_TRUE(store
@@ -493,6 +491,27 @@ std::string StatsResponseFrame() {
     shard.background_checkpoints = k;
     response.stats.shards.push_back(shard);
   }
+  // v6 per-level rollup rows.
+  response.stats.levels.push_back({10, 3600, 360, 0, 1 << 16});
+  response.stats.levels.push_back({60, 86400, 1440, 2100, 1 << 18});
+  response.stats.levels.push_back({3600, 0, 24, 35, 1 << 14});
+  return EncodeResponse(response);
+}
+
+/// A v6 COMPACT exchange (request carries a zigzag `now`; the response
+/// reports folded intervals and the post-checkpoint epoch).
+std::string CompactRequestFrame() {
+  Request request;
+  request.op = Request::Op::kCompact;
+  request.compact_now = -1234567;
+  return EncodeRequest(request);
+}
+
+std::string CompactResponseFrame() {
+  Response response;
+  response.op = Request::Op::kCompact;
+  response.compacted = 4096;
+  response.epoch = 9;
   return EncodeResponse(response);
 }
 
@@ -501,7 +520,9 @@ class FuzzProtocolV4CorruptionTest : public ::testing::TestWithParam<uint64_t> {
 
 TEST_P(FuzzProtocolV4CorruptionTest, FrameBitFlipsAlwaysRejected) {
   Rng rng(GetParam() * 68111);
-  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+  for (const std::string& frame :
+       {BusyResponseFrame(), StatsResponseFrame(), CompactRequestFrame(),
+        CompactResponseFrame()}) {
     for (int trial = 0; trial < 400; ++trial) {
       std::string corrupted = frame;
       const int flips = 1 + static_cast<int>(rng.NextBounded(8));
@@ -524,7 +545,8 @@ TEST_P(FuzzProtocolV4CorruptionTest, FrameBitFlipsAlwaysRejected) {
 
 TEST_P(FuzzProtocolV4CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
   Rng rng(GetParam() * 76003);
-  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+  for (const std::string& frame :
+       {BusyResponseFrame(), StatsResponseFrame(), CompactResponseFrame()}) {
     size_t frame_size = 0;
     auto body = DecodeFrame(frame, &frame_size);
     ASSERT_TRUE(body.ok());
@@ -553,7 +575,9 @@ TEST_P(FuzzProtocolV4CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
 }
 
 TEST(FuzzProtocolV4TruncationTest, EveryFramePrefixIsIncomplete) {
-  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+  for (const std::string& frame :
+       {BusyResponseFrame(), StatsResponseFrame(), CompactRequestFrame(),
+        CompactResponseFrame()}) {
     for (size_t cut = 0; cut < frame.size(); ++cut) {
       size_t frame_size = 0;
       auto body =
@@ -566,7 +590,8 @@ TEST(FuzzProtocolV4TruncationTest, EveryFramePrefixIsIncomplete) {
 }
 
 TEST(FuzzProtocolV4TruncationTest, EveryBodyTruncationIsCorruption) {
-  for (const std::string& frame : {BusyResponseFrame(), StatsResponseFrame()}) {
+  for (const std::string& frame :
+       {BusyResponseFrame(), StatsResponseFrame(), CompactResponseFrame()}) {
     size_t frame_size = 0;
     auto body = DecodeFrame(frame, &frame_size);
     ASSERT_TRUE(body.ok());
@@ -636,9 +661,31 @@ std::string HeartbeatReplFrame() {
   return EncodeReplFrame(frame);
 }
 
+/// A v6 chunked-bootstrap frame: one slice of a large snapshot image.
+std::string SnapshotChunkReplFrame() {
+  ReplFrame frame;
+  frame.tag = ReplFrame::Tag::kSnapshotChunk;
+  frame.shard = 1;
+  frame.payload.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    frame.payload.push_back(static_cast<char>(i * 7));
+  }
+  return EncodeReplFrame(frame);
+}
+
+/// The v6 chunk-train terminator carrying the snapshot's epoch.
+std::string SnapshotEndReplFrame() {
+  ReplFrame frame;
+  frame.tag = ReplFrame::Tag::kSnapshotEnd;
+  frame.shard = 1;
+  frame.epoch = 11;
+  return EncodeReplFrame(frame);
+}
+
 std::vector<std::string> V5Frames() {
-  return {SubscribeRequestFrame(), FencedResponseFrame(), SegmentReplFrame(),
-          HeartbeatReplFrame()};
+  return {SubscribeRequestFrame(),  FencedResponseFrame(),
+          SegmentReplFrame(),       HeartbeatReplFrame(),
+          SnapshotChunkReplFrame(), SnapshotEndReplFrame()};
 }
 
 /// Runs every strict body decoder over `body`; any acceptance must
@@ -719,7 +766,9 @@ TEST(FuzzProtocolV5TruncationTest, EveryFramePrefixIsIncomplete) {
 }
 
 TEST(FuzzProtocolV5TruncationTest, EveryReplBodyTruncationIsCorruption) {
-  for (const std::string& frame : {SegmentReplFrame(), HeartbeatReplFrame()}) {
+  for (const std::string& frame :
+       {SegmentReplFrame(), HeartbeatReplFrame(), SnapshotChunkReplFrame(),
+        SnapshotEndReplFrame()}) {
     size_t frame_size = 0;
     auto body = DecodeFrame(frame, &frame_size);
     ASSERT_TRUE(body.ok());

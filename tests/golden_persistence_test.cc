@@ -80,19 +80,18 @@ std::string GoldenWalBytes() {
   return bytes;
 }
 
-/// The scripted snapshot content: two series, raw + compacted intervals.
+/// The scripted snapshot content: two series over a three-level ladder,
+/// compacted so every tier holds intervals.
 std::string GoldenSnapshotBytes() {
   SketchStoreOptions options;
-  options.base_interval_seconds = 10;
-  options.raw_retention_seconds = 60;
-  options.rollup_factor = 6;
+  options.levels = {{10, 60}, {60, 240}, {240, 0}};
   auto store = std::move(SketchStore::Create(options)).value();
   for (int i = 0; i < 40; ++i) {
     EXPECT_TRUE(
-        store.IngestValue("api.latency", i * 5, 1.0 + (i % 7)).ok());
-    EXPECT_TRUE(store.IngestValue("db.errors", i * 3 - 20, 0.5 * i).ok());
+        store.IngestValue("api.latency", i * 20, 1.0 + (i % 7)).ok());
+    EXPECT_TRUE(store.IngestValue("db.errors", i * 13 - 20, 0.5 * i).ok());
   }
-  store.Compact(/*now=*/200);  // populate the coarse tier too
+  store.Compact(/*now=*/800);  // populate the coarse tiers too
   return EncodeSnapshot(store, /*epoch=*/3);
 }
 
@@ -138,10 +137,10 @@ TEST(GoldenPersistenceTest, WalFixtureRoundTripsByteExactly) {
 
 TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenSnapshotBytes();
-  MaybeRegenerate("snapshot_v1.bin", encoded);
-  const std::string fixture = ReadFixture("snapshot_v1.bin");
-  // magic "DDSS", version 1.
-  EXPECT_EQ(Hex(fixture.substr(0, 5)), "4444535301");
+  MaybeRegenerate("snapshot_v2.bin", encoded);
+  const std::string fixture = ReadFixture("snapshot_v2.bin");
+  // magic "DDSS", version 2.
+  EXPECT_EQ(Hex(fixture.substr(0, 5)), "4444535302");
   ASSERT_EQ(Hex(encoded.substr(0, 64)), Hex(fixture.substr(0, 64)));
   ASSERT_EQ(encoded, fixture);
 
@@ -149,6 +148,7 @@ TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded.value().epoch, 3u);
   EXPECT_EQ(decoded.value().store.num_series(), 2u);
+  ASSERT_EQ(decoded.value().store.num_levels(), 3u);
 
   // Decode -> re-encode is the identity on the fixture.
   EXPECT_EQ(EncodeSnapshot(decoded.value().store, decoded.value().epoch),
@@ -156,9 +156,42 @@ TEST(GoldenPersistenceTest, SnapshotFixtureRoundTripsByteExactly) {
 
   // And the decoded store answers queries (sanity that the fixture holds
   // real data, not just parseable bytes).
+  auto q = decoded.value().store.QueryQuantile("api.latency", 0, 800, 0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q.value(), 0.0);
+}
+
+TEST(GoldenPersistenceTest, SnapshotV1FixtureStillDecodes) {
+  // Upgrade path: a v1 snapshot (fixed base/retention/factor geometry,
+  // written by protocol-v5 builds) must keep decoding in place. The v1
+  // fields map onto a two-level ladder; retention is raised to the
+  // coarse interval where v1 allowed shorter (keeping data longer is
+  // always safe).
+  const std::string fixture = ReadFixture("snapshot_v1.bin");
+  EXPECT_EQ(Hex(fixture.substr(0, 5)), "4444535301");
+  auto decoded = DecodeSnapshot(fixture);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().epoch, 3u);
+  EXPECT_EQ(decoded.value().store.num_series(), 2u);
+  // v1 fixture geometry: base=10s, retention=60s, factor=6.
+  const std::vector<RollupLevel> expected = {{10, 60}, {60, 0}};
+  EXPECT_EQ(decoded.value().store.options().levels, expected);
   auto q = decoded.value().store.QueryQuantile("api.latency", 0, 200, 0.5);
   ASSERT_TRUE(q.ok());
   EXPECT_GT(q.value(), 0.0);
+  // Re-encoding writes v2: the old geometry round-trips through the
+  // ladder encoding with identical data.
+  const std::string upgraded =
+      EncodeSnapshot(decoded.value().store, decoded.value().epoch);
+  EXPECT_EQ(Hex(upgraded.substr(0, 5)), "4444535302");
+  auto redecoded = DecodeSnapshot(upgraded);
+  ASSERT_TRUE(redecoded.ok());
+  EXPECT_EQ(redecoded.value().store.options().levels, expected);
+  EXPECT_EQ(
+      std::move(redecoded.value().store.QueryQuantile("api.latency", 0, 200,
+                                                      0.5))
+          .value(),
+      q.value());
 }
 
 /// The scripted protocol traffic: the hello, one request per op, one
@@ -214,6 +247,13 @@ std::string GoldenProtocolBytes() {
   Request promote;
   promote.op = Request::Op::kPromote;
   bytes += EncodeRequest(promote);
+
+  // v6: an operator-driven COMPACT (rollup + retention at a checkpoint
+  // boundary), clamped server-side to the data horizon.
+  Request compact;
+  compact.op = Request::Op::kCompact;
+  compact.compact_now = 1700000000;
+  bytes += EncodeRequest(compact);
 
   Response ingest_ok;
   ingest_ok.op = Request::Op::kIngest;
@@ -306,6 +346,10 @@ std::string GoldenProtocolBytes() {
   stats_ok.stats.repl_applied_bytes = 0;
   stats_ok.stats.repl_connected = 0;
   stats_ok.stats.repl_heartbeat_age_ms = 0;
+  // v6 per-level rollup rows (encoded after the replication fields).
+  stats_ok.stats.levels.push_back({10, 3600, 360, 0, 40960});
+  stats_ok.stats.levels.push_back({60, 86400, 1440, 2100, 131072});
+  stats_ok.stats.levels.push_back({3600, 0, 24, 35, 16384});
   bytes += EncodeResponse(stats_ok);
 
   // v3: an admission-control rejection. The record was never staged —
@@ -328,6 +372,14 @@ std::string GoldenProtocolBytes() {
   promote_ok.op = Request::Op::kPromote;
   promote_ok.repl_token = 4;
   bytes += EncodeResponse(promote_ok);
+
+  // v6: the COMPACT ack — folded interval count plus the epoch of the
+  // checkpoint that persisted the fold.
+  Response compact_ok;
+  compact_ok.op = Request::Op::kCompact;
+  compact_ok.compacted = 354;
+  compact_ok.epoch = 3;
+  bytes += EncodeResponse(compact_ok);
 
   Response ingest_fenced;
   ingest_fenced.op = Request::Op::kIngest;
@@ -372,12 +424,27 @@ std::string GoldenProtocolBytes() {
   fence_frame.token = 4;
   bytes += EncodeReplFrame(fence_frame);
 
+  // v6 chunked snapshot bootstrap: a chunk train closed by a terminator
+  // (a real train slices one image; the fixture pins the frame layout).
+  ReplFrame chunk_frame;
+  chunk_frame.tag = ReplFrame::Tag::kSnapshotChunk;
+  chunk_frame.shard = 0;
+  chunk_frame.payload = GoldenSnapshotBytes().substr(0, 48);
+  bytes += EncodeReplFrame(chunk_frame);
+
+  ReplFrame end_frame;
+  end_frame.tag = ReplFrame::Tag::kSnapshotEnd;
+  end_frame.shard = 0;
+  end_frame.epoch = 2;
+  bytes += EncodeReplFrame(end_frame);
+
   return bytes;
 }
 
 TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
-  // magic "DDSP", version 5 (v5 = WAL-shipping replication + fencing).
-  EXPECT_EQ(Hex(EncodeHello()), "44445350" "05");
+  // magic "DDSP", version 6 (v6 = rollup ladder: COMPACT, per-level
+  // STATS rows, chunked snapshot bootstrap, snapshot v2).
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "06");
 }
 
 TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
@@ -394,18 +461,18 @@ TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
 
 TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenProtocolBytes();
-  MaybeRegenerate("protocol_v5.bin", encoded);
-  const std::string fixture = ReadFixture("protocol_v5.bin");
+  MaybeRegenerate("protocol_v6.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v6.bin");
   ASSERT_EQ(Hex(encoded), Hex(fixture));
 
-  // Walk the fixture: hello, then 7 requests, then 9 responses, then 5
+  // Walk the fixture: hello, then 8 requests, then 10 responses, then 7
   // replication frames — every frame must decode, and re-encoding must
   // reproduce the exact bytes.
   std::string_view rest(fixture);
   ASSERT_TRUE(CheckHello(rest.substr(0, kHelloBytes)).ok());
   std::string reencoded(EncodeHello());
   rest.remove_prefix(kHelloBytes);
-  for (int i = 0; i < 7; ++i) {
+  for (int i = 0; i < 8; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "request " << i << ": "
@@ -417,9 +484,10 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     reencoded += EncodeRequest(request.value());
     rest.remove_prefix(frame_size);
   }
-  // Trailing ops: BUSY ingest, SUBSCRIBE ack, PROMOTE ack, FENCED ingest.
-  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1, 6, 7, 1};
-  for (int i = 0; i < 9; ++i) {
+  // Trailing ops: BUSY ingest, SUBSCRIBE ack, PROMOTE ack, COMPACT ack,
+  // FENCED ingest.
+  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1, 6, 7, 8, 1};
+  for (int i = 0; i < 10; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "response " << i << ": "
@@ -431,7 +499,7 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     reencoded += EncodeResponse(response.value());
     rest.remove_prefix(frame_size);
   }
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < 7; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "repl frame " << i << ": "
@@ -461,30 +529,42 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     return std::string(body.value());
   };
 
-  // Response 1 (frame 8 after the hello): the MERGE error.
+  // Response 1 (frame 9 after the hello): the MERGE error.
   const Response merge_err =
-      std::move(DecodeResponse(kNthFrameBody(8))).value();
+      std::move(DecodeResponse(kNthFrameBody(9))).value();
   EXPECT_EQ(merge_err.code, StatusCode::kIncompatible);
   EXPECT_EQ(merge_err.message, "sketches are not mergeable");
 
   // Response 5: the v3 BUSY rejection — code decodes, no payload fields
   // follow (a refused record has no wal_offset).
-  const Response busy = std::move(DecodeResponse(kNthFrameBody(12))).value();
+  const Response busy = std::move(DecodeResponse(kNthFrameBody(13))).value();
   EXPECT_EQ(busy.code, StatusCode::kBusy);
   EXPECT_EQ(busy.wal_offset, 0u);
 
-  // Response 8: the v5 FENCED refusal from a deposed primary.
+  // Response 8: the v6 COMPACT ack carrying the fold count + epoch.
+  const Response compact_ok =
+      std::move(DecodeResponse(kNthFrameBody(16))).value();
+  EXPECT_EQ(compact_ok.compacted, 354u);
+  EXPECT_EQ(compact_ok.epoch, 3u);
+
+  // Response 9: the v5 FENCED refusal from a deposed primary.
   const Response fenced =
-      std::move(DecodeResponse(kNthFrameBody(15))).value();
+      std::move(DecodeResponse(kNthFrameBody(17))).value();
   EXPECT_EQ(fenced.code, StatusCode::kFenced);
   EXPECT_EQ(fenced.wal_offset, 0u);
 
-  // Repl frame 1 (frame 17): a WAL segment carrying real record bytes.
+  // Repl frame 1 (frame 19): a WAL segment carrying real record bytes.
   const ReplFrame segment =
-      std::move(DecodeReplFrame(kNthFrameBody(17))).value();
+      std::move(DecodeReplFrame(kNthFrameBody(19))).value();
   EXPECT_EQ(segment.tag, ReplFrame::Tag::kSegment);
   EXPECT_EQ(segment.start_offset, 13u);
   EXPECT_EQ(segment.payload, GoldenWalBytes().substr(13));
+
+  // Repl frame 6 (frame 24): the chunk-train terminator names its epoch.
+  const ReplFrame end =
+      std::move(DecodeReplFrame(kNthFrameBody(24))).value();
+  EXPECT_EQ(end.tag, ReplFrame::Tag::kSnapshotEnd);
+  EXPECT_EQ(end.epoch, 2u);
 }
 
 TEST(GoldenPersistenceTest, VersionByteGuardsDecoding) {
@@ -495,7 +575,7 @@ TEST(GoldenPersistenceTest, VersionByteGuardsDecoding) {
   EXPECT_EQ(wal_result.status().code(), StatusCode::kCorruption);
 
   std::string snapshot = GoldenSnapshotBytes();
-  snapshot[4] = 2;
+  snapshot[4] = 3;  // future version (1 and 2 both decode)
   auto snapshot_result = DecodeSnapshot(snapshot);
   ASSERT_FALSE(snapshot_result.ok());
   EXPECT_EQ(snapshot_result.status().code(), StatusCode::kCorruption);

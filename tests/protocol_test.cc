@@ -74,6 +74,12 @@ TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
   std::string v4 = EncodeHello();
   v4[4] = '\x04';
   EXPECT_EQ(CheckHello(v4).code(), StatusCode::kIncompatible);
+
+  // A v5 peer (pre-rollup) must be refused: it has no COMPACT op, no
+  // per-level STATS rows, and no chunked-snapshot repl frames.
+  std::string v5 = EncodeHello();
+  v5[4] = '\x05';
+  EXPECT_EQ(CheckHello(v5).code(), StatusCode::kIncompatible);
 }
 
 TEST(ProtocolTest, IngestRequestRoundTrip) {
@@ -129,6 +135,22 @@ TEST(ProtocolTest, BodylessRequestsRoundTrip) {
   }
 }
 
+TEST(ProtocolTest, CompactRequestRoundTrip) {
+  // v6: COMPACT carries the caller's clock. Zigzag-encoded, so a
+  // negative "now" (clock far behind the data) survives the wire.
+  Request request;
+  request.op = Request::Op::kCompact;
+  request.compact_now = 1700000000;
+  const Request decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.op, Request::Op::kCompact);
+  EXPECT_EQ(decoded.compact_now, 1700000000);
+
+  Request negative;
+  negative.op = Request::Op::kCompact;
+  negative.compact_now = -86400;
+  EXPECT_EQ(RoundTripRequest(negative).compact_now, -86400);
+}
+
 TEST(ProtocolTest, SubscribeRequestRoundTrip) {
   // v5: a follower's handshake carries its fencing token and one resume
   // position per shard it already holds.
@@ -167,6 +189,17 @@ TEST(ProtocolTest, OkResponsesRoundTripPerOp) {
     r.op = Request::Op::kCheckpoint;
     r.epoch = 7;
     EXPECT_EQ(RoundTripResponse(r).epoch, 7u);
+  }
+  {
+    // v6: COMPACT reports how many interval sketches folded plus the
+    // epoch after the checkpoint it triggered.
+    Response r;
+    r.op = Request::Op::kCompact;
+    r.compacted = 354;
+    r.epoch = 9;
+    const Response decoded = RoundTripResponse(r);
+    EXPECT_EQ(decoded.compacted, 354u);
+    EXPECT_EQ(decoded.epoch, 9u);
   }
   {
     Response r;
@@ -266,6 +299,44 @@ TEST(ProtocolTest, StatsV5ReplicationFieldsRoundTrip) {
   EXPECT_EQ(decoded.stats.repl_applied_bytes, static_cast<uint64_t>(1 << 21));
   EXPECT_EQ(decoded.stats.repl_connected, 1u);
   EXPECT_EQ(decoded.stats.repl_heartbeat_age_ms, 137u);
+}
+
+TEST(ProtocolTest, StatsV6LevelRowsRoundTrip) {
+  // v6: STATS appends one row per rollup-ladder level (finest first),
+  // after the v5 replication fields.
+  Response r;
+  r.op = Request::Op::kStats;
+  r.stats.repl_shipped_bytes = 512;  // v5 fields still in front
+  for (uint64_t i = 0; i < 3; ++i) {
+    LevelStatsRow row;
+    row.interval_seconds = 10 * (i + 1);
+    row.retention_seconds = i == 2 ? 0 : 3600 * (i + 1);
+    row.num_intervals = 100 - 30 * i;
+    row.rollup_merges = 7 * i;
+    row.retained_bytes = 1 << (12 + i);
+    r.stats.levels.push_back(row);
+  }
+  const Response decoded = RoundTripResponse(r);
+  EXPECT_EQ(decoded.stats.repl_shipped_bytes, 512u);
+  ASSERT_EQ(decoded.stats.levels.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.stats.levels[i].interval_seconds,
+              r.stats.levels[i].interval_seconds);
+    EXPECT_EQ(decoded.stats.levels[i].retention_seconds,
+              r.stats.levels[i].retention_seconds);
+    EXPECT_EQ(decoded.stats.levels[i].num_intervals,
+              r.stats.levels[i].num_intervals);
+    EXPECT_EQ(decoded.stats.levels[i].rollup_merges,
+              r.stats.levels[i].rollup_merges);
+    EXPECT_EQ(decoded.stats.levels[i].retained_bytes,
+              r.stats.levels[i].retained_bytes);
+  }
+
+  // A server with no durable store reports zero levels; the row count
+  // is data-driven, not pinned like the latency rows.
+  Response empty;
+  empty.op = Request::Op::kStats;
+  EXPECT_TRUE(RoundTripResponse(empty).stats.levels.empty());
 }
 
 TEST(ProtocolTest, SubscribeAndPromoteResponsesRoundTrip) {
@@ -392,6 +463,41 @@ TEST(ProtocolTest, ReplFrameRoundTripsPerTag) {
     EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kFence);
     EXPECT_EQ(decoded.value().token, 11u);
   }
+  {
+    // v6: one piece of a chunked bootstrap snapshot. No epoch — only
+    // the terminator carries it.
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kSnapshotChunk;
+    f.shard = 1;
+    f.payload = std::string("chunk bytes\x00\xff", 13);
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kSnapshotChunk);
+    EXPECT_EQ(decoded.value().shard, 1u);
+    EXPECT_EQ(decoded.value().payload, f.payload);
+  }
+  {
+    // v6: the chunked-snapshot terminator installs the assembled image
+    // under this epoch.
+    ReplFrame f;
+    f.tag = ReplFrame::Tag::kSnapshotEnd;
+    f.shard = 1;
+    f.epoch = 4;
+    const std::string frame = EncodeReplFrame(f);
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    auto decoded = DecodeReplFrame(body.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().tag, ReplFrame::Tag::kSnapshotEnd);
+    EXPECT_EQ(decoded.value().shard, 1u);
+    EXPECT_EQ(decoded.value().epoch, 4u);
+    EXPECT_TRUE(decoded.value().payload.empty());
+  }
 }
 
 TEST(ProtocolTest, DecodeReplFrameRejectsMalformedBodies) {
@@ -400,7 +506,7 @@ TEST(ProtocolTest, DecodeReplFrameRejectsMalformedBodies) {
   // Unknown tag byte (0 and one past the last defined tag).
   EXPECT_EQ(DecodeReplFrame(std::string(1, '\x00')).status().code(),
             StatusCode::kCorruption);
-  EXPECT_EQ(DecodeReplFrame(std::string(1, '\x06')).status().code(),
+  EXPECT_EQ(DecodeReplFrame(std::string(1, '\x08')).status().code(),
             StatusCode::kCorruption);
   // Truncation at every byte of a SEGMENT body.
   ReplFrame f;
@@ -419,6 +525,34 @@ TEST(ProtocolTest, DecodeReplFrameRejectsMalformedBodies) {
   }
   // Trailing bytes after a complete body.
   EXPECT_EQ(DecodeReplFrame(body + "x").status().code(),
+            StatusCode::kCorruption);
+  // Same discipline for the v6 chunked-snapshot frames.
+  ReplFrame chunk;
+  chunk.tag = ReplFrame::Tag::kSnapshotChunk;
+  chunk.shard = 2;
+  chunk.payload = "piece";
+  const std::string chunk_frame = EncodeReplFrame(chunk);
+  const std::string chunk_body(
+      DecodeFrame(chunk_frame, &frame_size).value());
+  for (size_t cut = 1; cut < chunk_body.size(); ++cut) {
+    EXPECT_EQ(DecodeReplFrame(chunk_body.substr(0, cut)).status().code(),
+              StatusCode::kCorruption)
+        << "chunk cut=" << cut;
+  }
+  EXPECT_EQ(DecodeReplFrame(chunk_body + "x").status().code(),
+            StatusCode::kCorruption);
+  ReplFrame end;
+  end.tag = ReplFrame::Tag::kSnapshotEnd;
+  end.shard = 2;
+  end.epoch = 6;
+  const std::string end_frame = EncodeReplFrame(end);
+  const std::string end_body(DecodeFrame(end_frame, &frame_size).value());
+  for (size_t cut = 1; cut < end_body.size(); ++cut) {
+    EXPECT_EQ(DecodeReplFrame(end_body.substr(0, cut)).status().code(),
+              StatusCode::kCorruption)
+        << "end cut=" << cut;
+  }
+  EXPECT_EQ(DecodeReplFrame(end_body + "x").status().code(),
             StatusCode::kCorruption);
 }
 
@@ -445,6 +579,24 @@ TEST(ProtocolTest, StatsRejectsWrongLatencyRowCount) {
               StatusCode::kCorruption)
         << "count=" << static_cast<int>(wrong);
   }
+}
+
+TEST(ProtocolTest, StatsRejectsAbsurdLevelCount) {
+  // v6: the level-row count is length-checked before the resize — a
+  // count that cannot fit in the remaining bytes (≥5 varints per row)
+  // must read as corruption, not a giant allocation.
+  Response r;
+  r.op = Request::Op::kStats;
+  const std::string frame = EncodeResponse(r);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_TRUE(body.ok());
+  std::string mutable_body(body.value());
+  // An all-default STATS body ends with the n_levels varint (0).
+  ASSERT_EQ(mutable_body.back(), '\x00');
+  mutable_body.back() = '\x7f';  // claims 127 rows with 0 bytes left
+  EXPECT_EQ(DecodeResponse(mutable_body).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(ProtocolTest, BusyResponseRoundTrip) {

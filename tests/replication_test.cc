@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <string>
 #include <thread>
 #include <utility>
@@ -33,6 +34,7 @@
 #include "server/server.h"
 #include "timeseries/durable_store.h"
 #include "timeseries/sketch_store.h"
+#include "timeseries/snapshot.h"
 #include "util/status.h"
 
 namespace dd {
@@ -503,6 +505,135 @@ TEST_F(ReplicationTest, CheckpointShipsNoSnapshotToCaughtUpFollower) {
   ASSERT_TRUE(on_follower.ok()) << on_follower.status().ToString();
   for (size_t i = 0; i < qs.size(); ++i) {
     EXPECT_EQ(on_primary.value()[i], on_follower.value()[i]) << "q=" << qs[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The rollup determinism invariant, observed through replication: the
+// ladder folds ONLY at epoch boundaries, and a follower crossing a
+// checkpoint runs the identical fold (Compact at the same boundary over
+// the same applied records, in the same order). So after a rollup
+// checkpoint the two stores are byte-identical — not merely
+// answer-identical — which is what lets snapshots, WAL shipping, and
+// failover stay oblivious to how many resolution tiers exist.
+
+TEST_F(ReplicationTest, FollowerCrossesARollupCheckpointByteExact) {
+  const std::vector<RollupLevel> ladder = {{10, 120}, {60, 0}};
+  SketchServerOptions primary_options;
+  primary_options.durable.store.levels = ladder;
+  auto primary = MustStart(Dir("primary"), primary_options);
+  SketchServerOptions follower_options = FollowerOptions(primary->port());
+  follower_options.durable.store.levels = ladder;
+  auto follower = MustStart(Dir("follower"), follower_options);
+  AwaitSubscribers(primary->port(), 1);
+
+  SketchClient client = MustConnect(primary->port());
+  // Aged data: spans ~2000s, far past the 120s raw retention, so the
+  // COMPACT below has real folding to do.
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        client.IngestValue("lad", i * 5, 1.0 + (i % 61) * 0.5).ok());
+  }
+  auto compacted = client.Compact(std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_GT(compacted.value(), 0u);
+  // Post-rollup ingest streams into the new epoch on both sides.
+  for (int i = 400; i < 500; ++i) {
+    ASSERT_TRUE(
+        client.IngestValue("lad", i * 5, 2.0 + (i % 61) * 0.5).ok());
+  }
+
+  // The last OK ack gated on the follower applying an epoch-2 segment,
+  // which it can only have done by running the rollup fold itself.
+  SketchClient follower_client = MustConnect(follower->port());
+  auto fstats = follower_client.Stats();
+  ASSERT_TRUE(fstats.ok()) << fstats.status().ToString();
+  EXPECT_GE(fstats.value().epoch, 2u);
+  auto pstats = client.Stats();
+  ASSERT_TRUE(pstats.ok()) << pstats.status().ToString();
+  ASSERT_EQ(pstats.value().levels.size(), 2u);
+  ASSERT_EQ(fstats.value().levels.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(pstats.value().levels[i].num_intervals,
+              fstats.value().levels[i].num_intervals)
+        << "level " << i;
+    EXPECT_EQ(pstats.value().levels[i].rollup_merges,
+              fstats.value().levels[i].rollup_merges)
+        << "level " << i;
+  }
+
+  // Answers match bit-for-bit across windows touching every tier.
+  const std::vector<double> qs = {0.1, 0.5, 0.9, 0.999};
+  for (int64_t start = 0; start < 2400; start += 600) {
+    auto on_primary = client.Query("lad", start, start + 600, qs);
+    auto on_follower = follower_client.Query("lad", start, start + 600, qs);
+    ASSERT_TRUE(on_primary.ok()) << on_primary.status().ToString();
+    ASSERT_TRUE(on_follower.ok()) << on_follower.status().ToString();
+    EXPECT_EQ(on_primary.value(), on_follower.value()) << "@" << start;
+  }
+
+  // The strong form: identical fold schedule means identical in-memory
+  // state, so the two stores encode to the same snapshot bytes.
+  follower->Stop();
+  primary->Stop();
+  DurableSketchStoreOptions open_options;
+  open_options.store.levels = ladder;
+  auto p = DurableSketchStore::Open(Dir("primary"), open_options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  DurableSketchStoreOptions follower_open = open_options;
+  follower_open.role = StoreRole::kFollower;
+  auto f = DurableSketchStore::Open(Dir("follower"), follower_open);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(p.value().epoch(), f.value().epoch());
+  EXPECT_EQ(EncodeSnapshot(p.value().store(), 0),
+            EncodeSnapshot(f.value().store(), 0));
+}
+
+// ---------------------------------------------------------------------------
+// Chunked snapshot bootstrap (v6): with the chunk size shrunk far below
+// the image size, a late-joining follower's bootstrap must stream as a
+// kSnapshotChunk train closed by kSnapshotEnd — and land it in exactly
+// the same state a single-frame snapshot would have.
+
+TEST_F(ReplicationTest, LateFollowerBootstrapsViaChunkedSnapshot) {
+  SketchServerOptions primary_options;
+  primary_options.repl_snapshot_chunk_bytes = 128;
+  auto primary = MustStart(Dir("primary"), primary_options);
+  SketchClient client = MustConnect(primary->port());
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(client
+                    .IngestValue("svc." + std::to_string(i % 20), (i % 40) * 10,
+                                 1.0 + (i % 97) * 0.5)
+                    .ok());
+  }
+  // Checkpoint so the pre-join records live only in the snapshot — a
+  // late follower cannot tail its way to them.
+  auto epoch = client.Checkpoint();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+
+  auto follower =
+      MustStart(Dir("follower"), FollowerOptions(primary->port()));
+  AwaitSubscribers(primary->port(), 1);
+  // 20 populated series encode far past 128 bytes: the image cannot
+  // have fit in one frame.
+  EXPECT_GE(primary->repl_snapshot_frames(), 1u);
+
+  // Post-bootstrap tailing still works on top of the installed image.
+  ASSERT_TRUE(client.IngestValue("svc.0", 500, 42.0).ok());
+
+  SketchClient follower_client = MustConnect(follower->port());
+  ASSERT_TRUE(AwaitTrue([&] {
+    auto stats = follower_client.Stats();
+    return stats.ok() && stats.value().repl_applied_bytes > 0;
+  })) << "follower never applied the bootstrap snapshot";
+  const std::vector<double> qs = {0.25, 0.5, 0.99};
+  for (int s = 0; s < 20; ++s) {
+    const std::string name = "svc." + std::to_string(s);
+    auto on_primary = client.Query(name, 0, 600, qs);
+    auto on_follower = follower_client.Query(name, 0, 600, qs);
+    ASSERT_TRUE(on_primary.ok()) << on_primary.status().ToString();
+    ASSERT_TRUE(on_follower.ok()) << on_follower.status().ToString();
+    EXPECT_EQ(on_primary.value(), on_follower.value()) << name;
   }
 }
 

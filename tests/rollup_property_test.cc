@@ -1,0 +1,228 @@
+// Property tests for the rollup ladder (timeseries/sketch_store.h):
+//
+//  * Resolution transparency — a store with a random multi-level ladder
+//    answers QueryRange BIT-identically to an un-rolled single-level
+//    reference fed the same points, for every window aligned to the
+//    coarsest interval. Rollup moves data between tiers without ever
+//    re-summarizing it: DDSketch merge adds integer bucket counts, and
+//    every quantile/count answer is a pure function of those counts, so
+//    coarse answers are not "approximately preserved" — they are the
+//    same doubles to the last bit. (Whole-sketch serialized bytes are
+//    NOT compared across different merge groupings: the sketch's `sum`
+//    is a float accumulator, and float addition is grouping-sensitive.
+//    Replicas still get byte-exact state because primary and follower
+//    run the *same* fold schedule at the same epoch boundaries.)
+//
+//  * Schedule independence (the determinism invariant behind
+//    checkpoint-time rollup) — the same raw multiset folds to the same
+//    per-level bucket layout and counts no matter how many intermediate
+//    Compact calls ran at which clocks, so every answer is identical.
+//
+//  * Snapshot round-trip — a randomly-laddered, partially-folded store
+//    survives EncodeSnapshot/DecodeSnapshot byte-exactly.
+
+#include "timeseries/sketch_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "timeseries/snapshot.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+struct LadderCase {
+  std::vector<RollupLevel> levels;
+  int64_t span;  // seconds of data time to generate
+};
+
+/// Draws a valid random ladder: 2-4 levels, each interval a small
+/// multiple of the previous, retention a small multiple of the next
+/// interval. `forever_tail` forces the last level to keep data forever
+/// (needed when comparing against a reference that never drops).
+LadderCase RandomLadder(Rng& rng, bool forever_tail) {
+  LadderCase c;
+  const size_t n = 2 + rng.NextBounded(3);
+  int64_t interval = 1 + static_cast<int64_t>(rng.NextBounded(10));
+  for (size_t i = 0; i < n; ++i) {
+    RollupLevel level;
+    level.interval_seconds = interval;
+    const int64_t factor = 2 + static_cast<int64_t>(rng.NextBounded(5));
+    const int64_t next = interval * factor;
+    if (i + 1 < n) {
+      // Must cover at least one coarse bucket.
+      level.retention_seconds = next * (1 + static_cast<int64_t>(rng.NextBounded(4)));
+    } else if (forever_tail || rng.NextBounded(2) == 0) {
+      level.retention_seconds = 0;
+    } else {
+      level.retention_seconds =
+          interval * (2 + static_cast<int64_t>(rng.NextBounded(6)));
+    }
+    c.levels.push_back(level);
+    interval = next;
+  }
+  // Enough data time that every tier sees folds.
+  c.span = c.levels.back().interval_seconds * 8;
+  return c;
+}
+
+SketchStore MustCreate(const std::vector<RollupLevel>& levels) {
+  SketchStoreOptions options;
+  options.levels = levels;
+  auto r = SketchStore::Create(options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// One random point: series from a small pool, timestamp in [0, span),
+/// value in a range narrow enough that the sketch never collapses (so
+/// merge order can never matter).
+struct Point {
+  std::string series;
+  int64_t ts;
+  double value;
+};
+
+std::vector<Point> RandomPoints(Rng& rng, int64_t span, size_t count) {
+  std::vector<Point> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Point p;
+    p.series = "s." + std::to_string(rng.NextBounded(3));
+    p.ts = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(span)));
+    p.value = std::exp(rng.NextDouble() * 6 - 3);  // (0.05, 20)
+    points.push_back(p);
+  }
+  return points;
+}
+
+class RollupPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RollupPropertyTest, CoarseWindowsMatchUnrolledReferenceBitExactly) {
+  Rng rng(GetParam() * 7919);
+  const LadderCase c = RandomLadder(rng, /*forever_tail=*/true);
+  SketchStore laddered = MustCreate(c.levels);
+  SketchStore reference =
+      MustCreate({{c.levels.front().interval_seconds, 0}});
+
+  const auto points = RandomPoints(rng, c.span, 4000);
+  for (const Point& p : points) {
+    ASSERT_TRUE(laddered.IngestValue(p.series, p.ts, p.value).ok());
+    ASSERT_TRUE(reference.IngestValue(p.series, p.ts, p.value).ok());
+  }
+  // Fold the ladder at a few random clocks, then saturate (what a
+  // checkpoint runs). The reference is never compacted.
+  for (int i = 0; i < 3; ++i) {
+    laddered.Compact(static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(c.span) * 2)));
+  }
+  laddered.Compact(std::numeric_limits<int64_t>::max());
+
+  // Every window aligned to the coarsest interval, over every series:
+  // identical counts, identical quantiles to the last bit.
+  const int64_t coarse = c.levels.back().interval_seconds;
+  for (const std::string& name : reference.ListSeries()) {
+    for (int64_t start = 0; start < c.span; start += coarse) {
+      for (const int64_t end : {start + coarse, c.span}) {
+        auto lhs = laddered.QueryRange(name, start, end);
+        auto rhs = reference.QueryRange(name, start, end);
+        ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+        ASSERT_TRUE(rhs.ok()) << rhs.status().ToString();
+        ASSERT_EQ(lhs.value().count(), rhs.value().count())
+            << name << " [" << start << "," << end << ")";
+        EXPECT_EQ(lhs.value().min(), rhs.value().min());
+        EXPECT_EQ(lhs.value().max(), rhs.value().max());
+        for (double q = 0.01; q < 1.0; q += 0.03) {
+          const double a = lhs.value().QuantileOrNaN(q);
+          const double b = rhs.value().QuantileOrNaN(q);
+          // Bitwise equality (NaN == NaN for empty windows).
+          ASSERT_EQ(std::isnan(a), std::isnan(b)) << name << " q=" << q;
+          if (!std::isnan(a)) {
+            ASSERT_EQ(a, b) << name << " [" << start << "," << end
+                            << ") q=" << q;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RollupPropertyTest, FoldedStateIsScheduleIndependent) {
+  Rng rng(GetParam() * 104729);
+  const LadderCase c = RandomLadder(rng, /*forever_tail=*/false);
+  SketchStore eager = MustCreate(c.levels);
+  SketchStore lazy = MustCreate(c.levels);
+
+  const auto points = RandomPoints(rng, c.span, 3000);
+  // `eager` compacts repeatedly mid-ingest at whatever clock; `lazy`
+  // folds exactly once at the end. Same multiset, same final state.
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    ASSERT_TRUE(eager.IngestValue(p.series, p.ts, p.value).ok());
+    ASSERT_TRUE(lazy.IngestValue(p.series, p.ts, p.value).ok());
+    if (i % 500 == 499) {
+      eager.Compact(static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(c.span) * 2)));
+    }
+  }
+  eager.Compact(std::numeric_limits<int64_t>::max());
+  lazy.Compact(std::numeric_limits<int64_t>::max());
+
+  // Identical per-level layout...
+  EXPECT_EQ(eager.num_intervals(), lazy.num_intervals());
+  const auto a = eager.LevelStats();
+  const auto b = lazy.LevelStats();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_intervals, b[i].num_intervals) << "level " << i;
+  }
+  // ...and identical answers everywhere data survived retention.
+  const int64_t coarse = c.levels.back().interval_seconds;
+  for (const std::string& name : eager.ListSeries()) {
+    for (int64_t start = 0; start < c.span; start += coarse) {
+      auto lhs = eager.QueryRange(name, start, start + coarse);
+      auto rhs = lazy.QueryRange(name, start, start + coarse);
+      ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+      ASSERT_TRUE(rhs.ok()) << rhs.status().ToString();
+      ASSERT_EQ(lhs.value().count(), rhs.value().count())
+          << name << " @" << start;
+      for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+        const double qa = lhs.value().QuantileOrNaN(q);
+        const double qb = rhs.value().QuantileOrNaN(q);
+        ASSERT_EQ(std::isnan(qa), std::isnan(qb)) << name << " q=" << q;
+        if (!std::isnan(qa)) {
+          ASSERT_EQ(qa, qb) << name << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RollupPropertyTest, SnapshotRoundTripsRandomLadders) {
+  Rng rng(GetParam() * 31337);
+  const LadderCase c = RandomLadder(rng, /*forever_tail=*/false);
+  SketchStore store = MustCreate(c.levels);
+  for (const Point& p : RandomPoints(rng, c.span, 1500)) {
+    ASSERT_TRUE(store.IngestValue(p.series, p.ts, p.value).ok());
+  }
+  // Partially folded: raw + coarse tiers both populated.
+  store.Compact(c.span / 2);
+
+  const std::string image = EncodeSnapshot(store, /*epoch=*/7);
+  auto decoded = DecodeSnapshot(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().epoch, 7u);
+  EXPECT_EQ(decoded.value().store.options().levels, c.levels);
+  EXPECT_EQ(EncodeSnapshot(decoded.value().store, 7), image);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollupPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dd

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -241,6 +242,69 @@ TEST_F(ServerTest, CheckpointOverTheWire) {
   EXPECT_EQ(
       std::move(reopened.value().QueryRange("svc", 0, 600)).value().count(),
       51u);
+}
+
+TEST_F(ServerTest, CompactOverTheWireFoldsAndPreservesAnswers) {
+  // v6: COMPACT ages the rollup ladder through the normal checkpoint
+  // path. Folding moves data between tiers without changing a single
+  // answer, bumps the epoch (rollup state persists only via snapshots),
+  // and the folded layout survives a restart.
+  SketchServerOptions options;
+  options.durable.store.levels = {{10, 120}, {60, 0}};
+  auto server = MustStart(Dir("compact"), options);
+  SketchClient client = MustConnect(*server);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        client.IngestValue("svc", i * 5, 1.0 + (i % 53) * 0.5).ok());
+  }
+  // Windows aligned to the coarse interval (60s): raw and rolled-up
+  // tiers tile them identically, so answers must match bit-for-bit.
+  const std::vector<double> qs = {0.1, 0.5, 0.99};
+  std::vector<std::pair<int64_t, int64_t>> windows = {
+      {0, 600}, {600, 1200}, {1200, 1800}, {0, 2400}};
+  std::vector<std::vector<double>> before;
+  for (const auto& w : windows) {
+    auto q = client.Query("svc", w.first, w.second, qs);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    before.push_back(q.value());
+  }
+
+  auto compacted = client.Compact(std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_GT(compacted.value(), 0u);
+
+  for (size_t i = 0; i < windows.size(); ++i) {
+    auto q = client.Query("svc", windows[i].first, windows[i].second, qs);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q.value(), before[i]) << "window " << i;
+  }
+
+  // STATS now carries one row per ladder level, finest first, with the
+  // fold visible in the coarse level's merge counter.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats.value().epoch, 2u);  // COMPACT checkpoints
+  ASSERT_EQ(stats.value().levels.size(), 2u);
+  EXPECT_EQ(stats.value().levels[0].interval_seconds, 10u);
+  EXPECT_EQ(stats.value().levels[0].retention_seconds, 120u);
+  EXPECT_EQ(stats.value().levels[1].interval_seconds, 60u);
+  EXPECT_EQ(stats.value().levels[1].retention_seconds, 0u);
+  EXPECT_GT(stats.value().levels[1].num_intervals, 0u);
+  EXPECT_GT(stats.value().levels[1].rollup_merges, 0u);
+  const uint64_t total = stats.value().levels[0].num_intervals +
+                         stats.value().levels[1].num_intervals;
+  EXPECT_EQ(total, stats.value().num_intervals);
+
+  // The folded layout is snapshot state: a plain reopen sees it.
+  server->Stop();
+  DurableSketchStoreOptions reopen_options;
+  reopen_options.store.levels = {{10, 120}, {60, 0}};
+  auto reopened = DurableSketchStore::Open(Dir("compact"), reopen_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GT(reopened.value().store().LevelStats()[1].num_intervals, 0u);
+  auto range = reopened.value().QueryRange("svc", 0, 2400);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  EXPECT_EQ(range.value().count(), 400u);
 }
 
 TEST_F(ServerTest, ShardedServerMatchesReferenceAndRecovers) {

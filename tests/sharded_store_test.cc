@@ -223,24 +223,27 @@ TEST_F(ShardedStoreTest, PerShardCheckpointAdvancesOnlyThatShard) {
 
 TEST_F(ShardedStoreTest, CompactRollsUpEveryShardAndPreservesAnswers) {
   ShardedDurableStore store = MustOpen(Dir("s2"), 2);
+  // Default ladder: raw retention is 1h, so span ~2h of data time to
+  // give the (horizon-clamped) compact something old enough to fold.
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(store
-                    .IngestValue("svc." + std::to_string(i % 6), i * 10,
+                    .IngestValue("svc." + std::to_string(i % 6), i * 36,
                                  1.0 + (i % 31))
                     .ok());
   }
   std::vector<double> before;
   for (int s = 0; s < 6; ++s) {
     before.push_back(std::move(store.QueryQuantile("svc." + std::to_string(s),
-                                                   0, 3000, 0.9))
+                                                   0, 7200, 0.9))
                          .value());
   }
   auto compacted = store.Compact(/*now=*/100000);
   ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
   EXPECT_GT(compacted.value(), 0u);
+  EXPECT_GT(store.TotalRollupFolded(), 0u);
   for (int s = 0; s < 6; ++s) {
     EXPECT_EQ(std::move(store.QueryQuantile("svc." + std::to_string(s), 0,
-                                            3000, 0.9))
+                                            7200, 0.9))
                   .value(),
               before[s])
         << "s=" << s;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "data/datasets.h"
@@ -15,9 +16,7 @@ namespace {
 SketchStore MakeStore(int64_t base = 10, int64_t retention = 600,
                       int factor = 6) {
   SketchStoreOptions options;
-  options.base_interval_seconds = base;
-  options.raw_retention_seconds = retention;
-  options.rollup_factor = factor;
+  options.levels = {{base, retention}, {base * factor, 0}};
   auto r = SketchStore::Create(options);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   return std::move(r).value();
@@ -25,17 +24,33 @@ SketchStore MakeStore(int64_t base = 10, int64_t retention = 600,
 
 TEST(SketchStoreTest, CreateValidation) {
   SketchStoreOptions options;
-  options.base_interval_seconds = 0;
+  // Zero base interval.
+  options.levels = {{0, 600}, {60, 0}};
   EXPECT_FALSE(SketchStore::Create(options).ok());
-  options.base_interval_seconds = 10;
-  options.rollup_factor = 1;
+  // Coarse interval not a multiple of the previous level's.
+  options.levels = {{10, 600}, {25, 0}};
   EXPECT_FALSE(SketchStore::Create(options).ok());
-  options.rollup_factor = 6;
-  options.raw_retention_seconds = 5;
+  // Coarse interval equal to fine (factor must be >= 2).
+  options.levels = {{10, 600}, {10, 0}};
   EXPECT_FALSE(SketchStore::Create(options).ok());
-  options.raw_retention_seconds = 600;
+  // Retention shorter than the next level's interval.
+  options.levels = {{10, 5}, {60, 0}};
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+  // retention=0 (keep forever) only allowed on the last level.
+  options.levels = {{10, 0}, {60, 0}};
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+  // Finite last-level retention shorter than its own interval.
+  options.levels = {{10, 600}, {60, 30}};
+  EXPECT_FALSE(SketchStore::Create(options).ok());
+  // Invalid sketch params still rejected.
+  options.levels = {{10, 600}, {60, 0}};
   options.sketch.relative_accuracy = 2.0;
   EXPECT_FALSE(SketchStore::Create(options).ok());
+  // Empty ladder adopts the default.
+  options = SketchStoreOptions{};
+  auto adopted = SketchStore::Create(options);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_EQ(adopted.value().options().levels, DefaultRollupLevels());
 }
 
 TEST(SketchStoreTest, IngestAndQuerySingleInterval) {
@@ -182,6 +197,91 @@ TEST(SketchStoreTest, CompactionShrinksStorage) {
   EXPECT_EQ(before, 360u);
   EXPECT_LE(store.num_intervals(), 360u / 6 + 7);
   EXPECT_GT(store.size_in_bytes(), 0u);
+}
+
+TEST(SketchStoreTest, MultiLevelLadderCascades) {
+  // Three levels: 10s (keep 60s) -> 60s (keep 600s) -> 600s (forever).
+  // Data old enough crosses both boundaries in a single Compact pass.
+  SketchStoreOptions options;
+  options.levels = {{10, 60}, {60, 600}, {600, 0}};
+  auto store = std::move(SketchStore::Create(options)).value();
+  Rng rng(300);
+  for (int64_t ts = 0; ts < 3600; ts += 5) {
+    ASSERT_TRUE(store.IngestValue("svc", ts, 1 + rng.NextDouble()).ok());
+  }
+  auto before = store.QueryRange("svc", 0, 3600);
+  ASSERT_TRUE(before.ok());
+  const size_t folded = store.Compact(3600);
+  EXPECT_GT(folded, 0u);
+  auto levels = store.LevelStats();
+  ASSERT_EQ(levels.size(), 3u);
+  // Oldest data cascaded all the way into the 600s tier.
+  EXPECT_GT(levels[2].num_intervals, 0u);
+  EXPECT_GT(levels[1].num_intervals, 0u);
+  EXPECT_GT(levels[2].rollup_merges, 0u);
+  // Raw tier retains only the freshest ~60s.
+  EXPECT_LE(levels[0].num_intervals, 6u + 1u);
+  // Answers unchanged: rollup moves data between tiers, never drops it.
+  auto after = store.QueryRange("svc", 0, 3600);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().count(), before.value().count());
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(after.value().QuantileOrNaN(q),
+                     before.value().QuantileOrNaN(q));
+  }
+}
+
+TEST(SketchStoreTest, CompactClampsToDataHorizon) {
+  // A wall clock far ahead of the data must not roll up the newest
+  // retention's worth of *data time*: Compact clamps `now` to the data
+  // horizon, so lagging ingest clocks never lose raw resolution.
+  SketchStore store = MakeStore(/*base=*/10, /*retention=*/600, /*factor=*/6);
+  for (int64_t ts = 0; ts < 300; ts += 10) {
+    ASSERT_TRUE(store.IngestValue("svc", ts, 1.0).ok());
+  }
+  EXPECT_EQ(store.DataHorizon(), 300);
+  // Horizon-clamped: effective now is 300, newest 600s stay raw.
+  EXPECT_EQ(store.Compact(/*now=*/1000000), 0u);
+  auto levels = store.LevelStats();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].num_intervals, 30u);
+  EXPECT_EQ(levels[1].num_intervals, 0u);
+  // Saturated compact equals compact at the horizon: both are the pure
+  // data-time fold (this is what checkpoints run).
+  SketchStore a = MakeStore(10, 100, 6);
+  SketchStore b = MakeStore(10, 100, 6);
+  for (int64_t ts = 0; ts < 1200; ts += 10) {
+    ASSERT_TRUE(a.IngestValue("svc", ts, 2.0).ok());
+    ASSERT_TRUE(b.IngestValue("svc", ts, 2.0).ok());
+  }
+  EXPECT_EQ(a.Compact(std::numeric_limits<int64_t>::max()),
+            b.Compact(b.DataHorizon()));
+  EXPECT_EQ(a.num_intervals(), b.num_intervals());
+}
+
+TEST(SketchStoreTest, CompactOnEmptyStoreIsNoop) {
+  SketchStore store = MakeStore();
+  EXPECT_EQ(store.Compact(std::numeric_limits<int64_t>::max()), 0u);
+  EXPECT_EQ(store.DataHorizon(), std::numeric_limits<int64_t>::min());
+}
+
+TEST(SketchStoreTest, LastLevelRetentionDropsExpiredBuckets) {
+  // Finite retention on the last level deletes (not folds) old buckets.
+  SketchStoreOptions options;
+  options.levels = {{10, 60}, {60, 120}};
+  auto store = std::move(SketchStore::Create(options)).value();
+  for (int64_t ts = 0; ts < 600; ts += 10) {
+    ASSERT_TRUE(store.IngestValue("svc", ts, 1.0).ok());
+  }
+  store.Compact(600);
+  // Horizon 600: raw keeps [540,600), 60s tier keeps [480,540); buckets
+  // before AlignDown(600-120, 60)=480 are gone.
+  auto merged = store.QueryRange("svc", 0, 480);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged.value().empty());
+  auto kept = store.QueryRange("svc", 480, 600);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value().count(), 12u);
 }
 
 TEST(SketchStoreTest, SeriesAreIsolated) {

@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end socket smoke test for the sketchd daemon, in five acts:
+# End-to-end socket smoke test for the sketchd daemon, in six acts:
 #
 #  0. doc drift: every --flag named in docs/OPERATIONS.md's flag table
 #     must appear in `sketchd --help`.
@@ -26,6 +26,10 @@
 #     it answers byte-identically and accepts writes, then bring the
 #     deposed primary's directory back as a follower and verify direct
 #     writes to it are refused with FENCED.
+#  5. rollup retention pass: a 10s→10m laddered daemon vs a never-folding
+#     baseline fed the same 8-hour aged stream; remote-compact must preserve
+#     coarse-window answers byte-identically, shrink the snapshot >=4x,
+#     surface per-level remote-stats rows, and survive SIGKILL+restart.
 set -eu
 
 SKETCHD="$1"
@@ -350,6 +354,90 @@ kill "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""
 kill "$PID2"
+wait "$PID2" 2>/dev/null || true
+PID2=""
+
+# --- 5: rollup retention pass ----------------------------------------------
+# Two daemons fed the identical aged stream: one with a 10s→10m rollup
+# ladder (raw kept 10 minutes), one pinned to a single never-folding
+# level. remote-compact must (a) leave every coarse-window answer
+# byte-identical, (b) shrink the laddered snapshot at least 4x below the
+# flat one (the fold merges 60 sketches into one; the merged sketches
+# are denser, so the byte win is smaller than 60x but well past 4x),
+# (c) expose per-level rows
+# in remote-stats, and (d) survive a SIGKILL + restart byte-identically
+# (rollup state lives only in snapshots, so recovery replays cleanly).
+awk '{ print NR * 3, $0 }' "$WORK/values.txt" > "$WORK/aged.txt"
+
+"$SKETCHD" --data-dir "$WORK/dataR" --rollup-levels 10s,10m \
+  --retention 10m,inf --port 0 --port-file "$WORK/portR" \
+  > "$WORK/sketchdR.log" 2>&1 &
+PID=$!
+PORT_R="$(wait_for_port "$WORK/portR")"
+"$SKETCHD" --data-dir "$WORK/dataB" --rollup-levels 10s --retention inf \
+  --port 0 --port-file "$WORK/portB" > "$WORK/sketchdB.log" 2>&1 &
+PID2=$!
+PORT_B="$(wait_for_port "$WORK/portB")"
+
+"$CLI" remote-ingest --port "$PORT_R" --series aged.latency < "$WORK/aged.txt"
+"$CLI" remote-ingest --port "$PORT_B" --series aged.latency < "$WORK/aged.txt"
+
+# Window [0, 30600) is aligned to the 600s coarse interval, so rollup
+# is invisible to it by construction.
+"$CLI" remote-query --port "$PORT_R" --series aged.latency \
+  --start 0 --end 30600 0.5 0.9 0.95 0.99 > "$WORK/qR.txt"
+"$CLI" remote-query --port "$PORT_B" --series aged.latency \
+  --start 0 --end 30600 0.5 0.9 0.95 0.99 > "$WORK/qB.txt"
+cmp "$WORK/qR.txt" "$WORK/qB.txt"
+
+# Fold both (the flat daemon's compact folds nothing but still
+# checkpoints, leaving both stores snapshot-resident and comparable).
+"$CLI" remote-compact --port "$PORT_R" > "$WORK/compactR.txt"
+cat "$WORK/compactR.txt"
+COMPACTED="$(awk '$1 == "compacted" { print $2 }' "$WORK/compactR.txt")"
+[ "${COMPACTED:-0}" -gt 0 ] || { echo "rollup compact folded nothing"; exit 1; }
+"$CLI" remote-compact --port "$PORT_B" > /dev/null
+
+"$CLI" remote-query --port "$PORT_R" --series aged.latency \
+  --start 0 --end 30600 0.5 0.9 0.95 0.99 > "$WORK/qR2.txt"
+cmp "$WORK/qR.txt" "$WORK/qR2.txt"
+
+# Per-level visibility: two rows, geometry as configured, folds counted
+# only into the coarse level.
+"$CLI" remote-stats --port "$PORT_R" > "$WORK/statsR.txt"
+grep -q '^level 0 interval_s=10 retention_s=600 ' "$WORK/statsR.txt" || {
+  echo "remote-stats lacks the raw level row"; cat "$WORK/statsR.txt"; exit 1; }
+grep -Eq '^level 1 interval_s=600 retention_s=0 intervals=[1-9][0-9]* rollup_merges=[1-9][0-9]*' \
+  "$WORK/statsR.txt" || {
+  echo "remote-stats lacks a folded coarse level row"; cat "$WORK/statsR.txt"; exit 1; }
+
+# The on-disk win: the rolled-up snapshot must be at least 4x smaller
+# than the never-folded one (sixty 10s sketches merged into each 10m
+# sketch; identical answers above prove nothing was lost that a coarse
+# window could see).
+SR="$(wc -c < "$WORK/dataR/snapshot.dds")"
+SB="$(wc -c < "$WORK/dataB/snapshot.dds")"
+[ $((SR * 4)) -le "$SB" ] || {
+  echo "rollup snapshot $SR bytes, flat $SB: shrink < 4x"; exit 1; }
+
+# SIGKILL the rolled-up daemon; restart must recover the folded store
+# and answer byte-identically.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+"$SKETCHD" --data-dir "$WORK/dataR" --rollup-levels 10s,10m \
+  --retention 10m,inf --port 0 --port-file "$WORK/portR2" \
+  > "$WORK/sketchdR2.log" 2>&1 &
+PID=$!
+PORT_R="$(wait_for_port "$WORK/portR2")"
+"$CLI" remote-query --port "$PORT_R" --series aged.latency \
+  --start 0 --end 30600 0.5 0.9 0.95 0.99 > "$WORK/qR3.txt"
+cmp "$WORK/qR.txt" "$WORK/qR3.txt"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+kill "$PID2" 2>/dev/null || true
 wait "$PID2" 2>/dev/null || true
 PID2=""
 

@@ -43,6 +43,10 @@
 //   ddsketch_cli remote-stats --port P [--host H]
 //       Aggregate and per-shard store statistics (docs/OPERATIONS.md
 //       documents every field).
+//   ddsketch_cli remote-compact --port P [--host H] [--now T]
+//       Runs rollup + retention on every shard and checkpoints (v6).
+//       Without --now the fold is purely data-driven (the server clamps
+//       the clock to the newest ingested timestamp regardless).
 //   ddsketch_cli remote-promote --port P [--host H]
 //       Promotes a follower to primary (v5 failover): bumps the fencing
 //       token, stops tailing, fences the old primary.
@@ -57,6 +61,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -102,6 +107,7 @@ int Usage() {
       "  ddsketch_cli remote-query --port P [--host H] --series NAME\n"
       "                      --start S --end E [q1 q2 ...]\n"
       "  ddsketch_cli remote-stats --port P [--host H]\n"
+      "  ddsketch_cli remote-compact --port P [--host H] [--now T]\n"
       "  ddsketch_cli remote-promote --port P [--host H]\n"
       "  ddsketch_cli remote-stress --port P [--host H] [--series NAME]\n"
       "                      [--idle-conns N] [--hot-conns K] [--count M]\n");
@@ -238,6 +244,7 @@ struct DurableArgs {
   int64_t start = 0;
   int64_t end = 0;
   int64_t now = 0;
+  bool now_given = false;
   double alpha = 0.01;
   bool sync = false;
   size_t shards = 0;  // 0 = auto-detect the directory's layout
@@ -260,6 +267,7 @@ bool ParseDurableArgs(int argc, char** argv, DurableArgs* out,
       out->end = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--now" && i + 1 < argc) {
       out->now = std::strtoll(argv[++i], nullptr, 10);
+      out->now_given = true;
     } else if (arg == "--host" && i + 1 < argc) {
       out->host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
@@ -552,6 +560,43 @@ int CmdRemoteStats(int argc, char** argv) {
                 static_cast<unsigned long long>(shard.batch_commits),
                 static_cast<unsigned long long>(shard.background_checkpoints));
   }
+  // v6 rollup ladder: one line per resolution level, finest first
+  // (retention 0 = keep forever; rollup_merges counts folds *into* the
+  // level, so it stays 0 for the raw level).
+  for (size_t i = 0; i < s.levels.size(); ++i) {
+    const dd::LevelStatsRow& level = s.levels[i];
+    std::printf("level %zu interval_s=%llu retention_s=%llu intervals=%llu "
+                "rollup_merges=%llu bytes=%llu\n",
+                i, static_cast<unsigned long long>(level.interval_seconds),
+                static_cast<unsigned long long>(level.retention_seconds),
+                static_cast<unsigned long long>(level.num_intervals),
+                static_cast<unsigned long long>(level.rollup_merges),
+                static_cast<unsigned long long>(level.retained_bytes));
+  }
+  return 0;
+}
+
+int CmdRemoteCompact(int argc, char** argv) {
+  DurableArgs args;
+  if (!ParseDurableArgs(argc, argv, &args, /*require_data_dir=*/false)) {
+    return 1;
+  }
+  if (args.port <= 0 || args.port > 65535) {
+    return Fail("--port is required (1-65535)");
+  }
+  auto connected =
+      dd::SketchClient::Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!connected.ok()) return Fail(connected.status().ToString());
+  dd::SketchClient client = std::move(connected).value();
+  // Without --now, fold everything eligible by data time (the server
+  // clamps to the data horizon either way, so INT64_MAX saturates into
+  // the same deterministic fold a scheduled checkpoint runs).
+  const int64_t now =
+      args.now_given ? args.now : std::numeric_limits<int64_t>::max();
+  auto compacted = client.Compact(now);
+  if (!compacted.ok()) return Fail(compacted.status().ToString());
+  std::printf("compacted %llu intervals\n",
+              static_cast<unsigned long long>(compacted.value()));
   return 0;
 }
 
@@ -715,6 +760,7 @@ int main(int argc, char** argv) {
   if (command == "remote-ingest") return CmdRemoteIngest(argc - 2, argv + 2);
   if (command == "remote-query") return CmdRemoteQuery(argc - 2, argv + 2);
   if (command == "remote-stats") return CmdRemoteStats(argc - 2, argv + 2);
+  if (command == "remote-compact") return CmdRemoteCompact(argc - 2, argv + 2);
   if (command == "remote-promote") return CmdRemotePromote(argc - 2, argv + 2);
   if (command == "remote-stress") return CmdRemoteStress(argc - 2, argv + 2);
   if (command == "compact") return CmdCompact(argc - 2, argv + 2);

@@ -16,6 +16,7 @@
 //           [--event-loops 0] [--staged-bytes-budget 67108864]
 //           [--max-conn-inflight 1024] [--idle-timeout-s 300]
 //           [--stall-timeout-ms 10000] [--latency-alpha 0.01]
+//           [--rollup-levels 10s,1m,1h] [--retention 1h,1d,inf]
 //           [--port-file FILE] [--role primary|follower]
 //           [--follow HOST:PORT] [--repl-ack-timeout-ms 1000]
 //
@@ -40,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -47,6 +49,49 @@
 #include "util/file_io.h"
 
 namespace {
+
+/// Parses "10s", "1m", "1h", "2d", or a bare second count into seconds.
+/// Returns -1 on malformed input.
+int64_t ParseDurationSeconds(const std::string& text) {
+  if (text.empty()) return -1;
+  char* end = nullptr;
+  const long long n = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || n < 0) return -1;
+  int64_t scale = 1;
+  if (*end != '\0') {
+    if (end[1] != '\0') return -1;
+    switch (*end) {
+      case 's': scale = 1; break;
+      case 'm': scale = 60; break;
+      case 'h': scale = 3600; break;
+      case 'd': scale = 86400; break;
+      default: return -1;
+    }
+  }
+  return static_cast<int64_t>(n) * scale;
+}
+
+/// Splits a comma-separated list of durations. "inf" (retention only)
+/// maps to 0 = keep forever. Returns false on any malformed entry.
+bool ParseDurationList(const std::string& text, bool allow_inf,
+                       std::vector<int64_t>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    if (allow_inf && (item == "inf" || item == "forever")) {
+      out->push_back(0);
+    } else {
+      const int64_t seconds = ParseDurationSeconds(item);
+      if (seconds <= 0 && !(allow_inf && seconds == 0)) return false;
+      out->push_back(seconds);
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
+}
 
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_promote = 0;
@@ -106,6 +151,19 @@ void PrintUsage(std::FILE* out) {
       "  --latency-alpha A         relative accuracy of the server's own\n"
       "                            per-op ack-latency sketches, reported\n"
       "                            via STATS (default 0.01)\n"
+      "  --rollup-levels L1,L2,..  resolution ladder: comma-separated\n"
+      "                            interval widths, finest first, each a\n"
+      "                            multiple of the previous (e.g.\n"
+      "                            10s,1m,1h; suffixes s/m/h/d). Paired\n"
+      "                            with --retention. Omit both to adopt\n"
+      "                            the directory's ladder (fresh dirs get\n"
+      "                            10s,1m,1h)\n"
+      "  --retention R1,R2,..      per-level retention before data rolls\n"
+      "                            up into the next level (same count and\n"
+      "                            suffixes as --rollup-levels; the last\n"
+      "                            entry may be inf to keep forever, e.g.\n"
+      "                            1h,1d,inf). Rollup and trimming run\n"
+      "                            only at checkpoint boundaries\n"
       "  --role R                  primary | follower (default primary);\n"
       "                            followers refuse writes with FENCED and\n"
       "                            replicate from --follow\n"
@@ -128,6 +186,8 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string data_dir;
   std::string port_file;
+  std::vector<int64_t> rollup_intervals;
+  std::vector<int64_t> rollup_retention;
   dd::SketchServerOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -168,6 +228,22 @@ int main(int argc, char** argv) {
       options.latency_alpha = std::strtod(argv[++i], nullptr);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (arg == "--rollup-levels" && i + 1 < argc) {
+      if (!ParseDurationList(argv[++i], /*allow_inf=*/false,
+                             &rollup_intervals)) {
+        std::fprintf(stderr,
+                     "sketchd: --rollup-levels wants a comma-separated list "
+                     "of durations (e.g. 10s,1m,1h)\n");
+        return Usage();
+      }
+    } else if (arg == "--retention" && i + 1 < argc) {
+      if (!ParseDurationList(argv[++i], /*allow_inf=*/true,
+                             &rollup_retention)) {
+        std::fprintf(stderr,
+                     "sketchd: --retention wants a comma-separated list of "
+                     "durations, last may be inf (e.g. 1h,1d,inf)\n");
+        return Usage();
+      }
     } else if (arg == "--role" && i + 1 < argc) {
       const std::string role = argv[++i];
       if (role == "primary") {
@@ -198,6 +274,21 @@ int main(int argc, char** argv) {
   }
   if (data_dir.empty()) {
     std::fprintf(stderr, "sketchd: --data-dir is required\n");
+    return Usage();
+  }
+  if (rollup_intervals.size() != rollup_retention.size()) {
+    std::fprintf(stderr,
+                 "sketchd: --rollup-levels and --retention must be given "
+                 "together with the same number of entries\n");
+    return Usage();
+  }
+  for (size_t k = 0; k < rollup_intervals.size(); ++k) {
+    options.durable.store.levels.push_back(
+        {rollup_intervals[k], rollup_retention[k]});
+  }
+  if (dd::Status s = dd::SketchStore::ValidateLevels(options.durable.store.levels);
+      !options.durable.store.levels.empty() && !s.ok()) {
+    std::fprintf(stderr, "sketchd: %s\n", s.ToString().c_str());
     return Usage();
   }
 
