@@ -83,7 +83,11 @@ Status SketchClient::CallIngest(const Request& request) {
     if (status.code() != StatusCode::kBusy || attempt >= busy_retries_) {
       return status;
     }
-    ::usleep(static_cast<useconds_t>(backoff.NextDelayUs()));
+    // Honor the server's retry hint (v7): it raises the backoff base,
+    // jitter preserved.
+    const int64_t hint_us =
+        static_cast<int64_t>(response.value().retry_after_ms) * 1000;
+    ::usleep(static_cast<useconds_t>(backoff.NextDelayUs(hint_us)));
   }
 }
 
@@ -136,6 +140,7 @@ Status SketchClient::IngestValues(
       // them and re-send just those after backing off. Any other error
       // aborts (earlier OK acks were durable commits).
       std::vector<std::pair<int64_t, double>> busy;
+      int64_t hint_us = 0;
       for (const auto& point : pending) {
         auto body = conn_->ReadFrame();
         if (!body.ok()) return body.status();
@@ -144,6 +149,9 @@ Status SketchClient::IngestValues(
         const Status status = ResponseStatus(response.value());
         if (status.code() == StatusCode::kBusy) {
           busy.push_back(point);
+          hint_us = std::max(
+              hint_us,
+              static_cast<int64_t>(response.value().retry_after_ms) * 1000);
         } else if (!status.ok()) {
           return status;
         }
@@ -155,7 +163,7 @@ Status SketchClient::IngestValues(
                             " points refused after retries");
       }
       pending.swap(busy);
-      ::usleep(static_cast<useconds_t>(backoff.NextDelayUs()));
+      ::usleep(static_cast<useconds_t>(backoff.NextDelayUs(hint_us)));
     }
   }
   return Status::OK();
@@ -196,6 +204,15 @@ Result<uint64_t> SketchClient::Compact(int64_t now) {
   if (!response.ok()) return response.status();
   DD_RETURN_IF_ERROR(ResponseStatus(response.value()));
   return response.value().compacted;
+}
+
+Status SketchClient::SetTag(const std::string& tag) {
+  Request request;
+  request.op = Request::Op::kSetTag;
+  request.tag = tag;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return ResponseStatus(response.value());
 }
 
 Result<uint64_t> SketchClient::Promote() {

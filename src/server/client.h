@@ -32,6 +32,12 @@ namespace dd {
 /// factor in [0.5, 1.5) — so the exponential envelope survives while
 /// distinct seeds spread the herd out. Deterministic given its seed,
 /// which is what makes the schedule testable.
+///
+/// A BUSY response may carry the server's retry_after_ms hint (v7, the
+/// refusing tag's ledger refill estimate); the hint raises the delay's
+/// base — jitter preserved — and the exponential envelope continues
+/// from the raised base, so a client never retries earlier than the
+/// server asked while the herd still spreads.
 class BusyBackoff {
  public:
   /// Backoff cap: the base stops doubling here (same cap as pre-jitter).
@@ -40,13 +46,16 @@ class BusyBackoff {
   BusyBackoff(int64_t initial_us, uint64_t seed) noexcept
       : base_us_(std::max<int64_t>(1, initial_us)), rng_(seed) {}
 
-  /// The next sleep in microseconds: base * uniform[0.5, 1.5), then the
-  /// base doubles (capped). Never returns less than 1.
-  int64_t NextDelayUs() noexcept {
+  /// The next sleep in microseconds: max(base, hint) * uniform[0.5, 1.5),
+  /// then the base doubles from that effective value (capped). Never
+  /// returns less than 1. `hint_us` 0 = no server hint.
+  int64_t NextDelayUs(int64_t hint_us = 0) noexcept {
+    const int64_t effective =
+        std::min(std::max(base_us_, hint_us), kMaxBackoffUs);
     const double jitter = 0.5 + rng_.NextDouble();
     const int64_t delay = std::max<int64_t>(
-        1, static_cast<int64_t>(static_cast<double>(base_us_) * jitter));
-    base_us_ = std::min<int64_t>(base_us_ * 2, kMaxBackoffUs);
+        1, static_cast<int64_t>(static_cast<double>(effective) * jitter));
+    base_us_ = std::min<int64_t>(effective * 2, kMaxBackoffUs);
     return delay;
   }
 
@@ -99,6 +108,11 @@ class SketchClient {
   /// Promotes the server to primary (v5 failover: bumps the fencing
   /// token, unfences, stops following). Returns the new fencing token.
   Result<uint64_t> Promote();
+
+  /// Declares this connection's admission tag (v7): every later
+  /// ingest/merge is charged to `tag`'s budget ledger. Untagged
+  /// connections use "default". Tags are 1-64 chars of [A-Za-z0-9._-].
+  Status SetTag(const std::string& tag);
 
   /// BUSY retry policy for the ingest/merge paths (protocol v3). A BUSY
   /// response means the server refused the record under admission

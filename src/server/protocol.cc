@@ -11,7 +11,7 @@ namespace {
 /// Request ops are a dense range; anything else on the wire is garbage.
 bool ValidOp(uint8_t op) {
   return op >= static_cast<uint8_t>(Request::Op::kIngest) &&
-         op <= static_cast<uint8_t>(Request::Op::kCompact);
+         op <= static_cast<uint8_t>(Request::Op::kSetTag);
 }
 
 bool ValidStatusCode(uint8_t code) {
@@ -198,6 +198,9 @@ std::string EncodeRequest(const Request& request) {
     case Request::Op::kCompact:
       PutVarintSigned64(&body, request.compact_now);
       break;
+    case Request::Op::kSetTag:
+      PutLengthPrefixed(&body, request.tag);
+      break;
     case Request::Op::kCheckpoint:
     case Request::Op::kStats:
     case Request::Op::kPromote:
@@ -239,6 +242,9 @@ Result<Request> DecodeRequest(std::string_view body) {
       break;
     case Request::Op::kCompact:
       DD_RETURN_IF_ERROR(in.GetVarintSigned64(&request.compact_now));
+      break;
+    case Request::Op::kSetTag:
+      DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &request.tag));
       break;
     case Request::Op::kCheckpoint:
     case Request::Op::kStats:
@@ -319,6 +325,21 @@ std::string EncodeResponse(const Response& response) {
           PutVarint64(&body, level.rollup_merges);
           PutVarint64(&body, level.retained_bytes);
         }
+        // v7: per-tag admission rows, appended after the v6 level rows
+        // so every earlier version's byte prefix is untouched.
+        PutVarint64(&body, response.stats.tags.size());
+        for (const TagStatsRow& tag : response.stats.tags) {
+          PutLengthPrefixed(&body, tag.tag);
+          PutVarint64(&body, tag.floor_bytes);
+          PutVarint64(&body, tag.budget_bytes);
+          PutVarint64(&body, tag.staged_bytes);
+          PutVarint64(&body, tag.busy_rejections);
+          PutVarint64(&body, tag.throttle_permille);
+          PutVarint64(&body, tag.count);
+          PutFixedDouble(&body, tag.p50_us);
+          PutFixedDouble(&body, tag.p99_us);
+          PutFixedDouble(&body, tag.p999_us);
+        }
         break;
       case Request::Op::kSubscribe:
         PutVarint64(&body, response.repl_token);
@@ -331,7 +352,15 @@ std::string EncodeResponse(const Response& response) {
         PutVarint64(&body, response.compacted);
         PutVarint64(&body, response.epoch);
         break;
+      case Request::Op::kSetTag:
+        break;  // acknowledgement only
     }
+  } else if (response.code == StatusCode::kBusy &&
+             (response.op == Request::Op::kIngest ||
+              response.op == Request::Op::kMerge)) {
+    // v7: a BUSY refusal is the one non-OK response with a payload —
+    // the refusing tag's suggested retry delay.
+    PutVarint64(&body, response.retry_after_ms);
   }
   return EncodeFrame(body);
 }
@@ -436,6 +465,27 @@ Result<Response> DecodeResponse(std::string_view body) {
           DD_RETURN_IF_ERROR(in.GetVarint64(&level.rollup_merges));
           DD_RETURN_IF_ERROR(in.GetVarint64(&level.retained_bytes));
         }
+        uint64_t n_tags = 0;
+        DD_RETURN_IF_ERROR(in.GetVarint64(&n_tags));
+        // Every tag row is at least 31 bytes (7 varints + 3 fixed
+        // doubles); a count the frame cannot possibly hold is
+        // corruption, not an allocation request.
+        if (n_tags > in.remaining() / 31) {
+          return Status::Corruption("tag stats overrun frame");
+        }
+        response.stats.tags.resize(n_tags);
+        for (TagStatsRow& tag : response.stats.tags) {
+          DD_RETURN_IF_ERROR(GetLengthPrefixed(&in, &tag.tag));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&tag.floor_bytes));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&tag.budget_bytes));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&tag.staged_bytes));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&tag.busy_rejections));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&tag.throttle_permille));
+          DD_RETURN_IF_ERROR(in.GetVarint64(&tag.count));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&tag.p50_us));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&tag.p99_us));
+          DD_RETURN_IF_ERROR(in.GetFixedDouble(&tag.p999_us));
+        }
         break;
       }
       case Request::Op::kSubscribe:
@@ -449,7 +499,13 @@ Result<Response> DecodeResponse(std::string_view body) {
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.compacted));
         DD_RETURN_IF_ERROR(in.GetVarint64(&response.epoch));
         break;
+      case Request::Op::kSetTag:
+        break;  // acknowledgement only
     }
+  } else if (response.code == StatusCode::kBusy &&
+             (response.op == Request::Op::kIngest ||
+              response.op == Request::Op::kMerge)) {
+    DD_RETURN_IF_ERROR(in.GetVarint64(&response.retry_after_ms));
   }
   DD_RETURN_IF_ERROR(CheckDrained(in));
   return response;

@@ -3,10 +3,10 @@
 // every frame live in docs/PROTOCOL.md; the encodings here reuse the
 // varint/fixed-width codecs (util/varint.h) and CRC-32C (util/crc32.h)
 // that frame the on-disk formats, and are pinned by the golden fixture
-// tests/golden/protocol_v6.bin.
+// tests/golden/protocol_v7.bin.
 //
 // Connection preamble: the client sends 5 hello bytes (magic "DDSP" +
-// version 0x06); the server validates them and echoes the same 5 bytes.
+// version 0x07); the server validates them and echoes the same 5 bytes.
 // After the handshake both directions carry frames:
 //
 //   len   varint    body length in bytes (capped at 64 MiB)
@@ -44,10 +44,13 @@ namespace dd {
 /// replication/fencing fields in STATS; v6 added the COMPACT op
 /// (explicit rollup-ladder aging), per-level STATS rows, and chunked
 /// replication snapshot frames (kSnapshotChunk/kSnapshotEnd, lifting
-/// the 64 MiB frame cap off bootstrap snapshot size). Everything else
-/// is unchanged from v1.
+/// the 64 MiB frame cap off bootstrap snapshot size); v7 added per-tag
+/// admission control (the SET_TAG op declaring a connection's tenant
+/// tag, a retry_after_ms hint on BUSY ingest/merge refusals, and
+/// per-tag STATS rows carrying budgets and ack-latency percentiles).
+/// Everything else is unchanged from v1.
 inline constexpr char kProtocolMagic[4] = {'D', 'D', 'S', 'P'};
-inline constexpr uint8_t kProtocolVersion = 6;
+inline constexpr uint8_t kProtocolVersion = 7;
 inline constexpr size_t kHelloBytes = sizeof(kProtocolMagic) + 1;
 
 /// Upper bound on one frame body; anything larger is corruption before
@@ -72,6 +75,7 @@ struct Request {
     kSubscribe = 6,   ///< v5: become a replication follower of this server
     kPromote = 7,     ///< v5: become primary (bump fencing token, unfence)
     kCompact = 8,     ///< v6: age the rollup ladder now, then checkpoint
+    kSetTag = 9,      ///< v7: declare this connection's admission tag
   };
 
   Op op = Op::kIngest;
@@ -91,6 +95,10 @@ struct Request {
   // positions (epoch, WAL offset), one per shard it already holds.
   uint64_t repl_token = 0;
   std::vector<std::pair<uint64_t, uint64_t>> positions;
+
+  // kSetTag (v7): the admission tag every later INGEST/MERGE on this
+  // connection is charged to. Untagged connections use "default".
+  std::string tag;
 };
 
 /// One shard's row in the STATS payload. A single-shard server reports
@@ -146,6 +154,23 @@ struct LevelStatsRow {
   uint64_t retained_bytes = 0;     ///< live bytes at this level
 };
 
+/// One admission tag's row in the STATS payload (v7). Budgets come from
+/// the server's per-tag ledger; the latency percentiles come from the
+/// tag's own ack-latency sketch (non-BUSY INGEST/MERGE acks only), the
+/// same instrument the throttle controller reads.
+struct TagStatsRow {
+  std::string tag;                  ///< tag name ("default" for untagged)
+  uint64_t floor_bytes = 0;         ///< guaranteed staged-bytes floor
+  uint64_t budget_bytes = 0;        ///< floor + currently borrowable share
+  uint64_t staged_bytes = 0;        ///< bytes this tag has staged right now
+  uint64_t busy_rejections = 0;     ///< records refused with BUSY
+  uint64_t throttle_permille = 1000;///< borrowable-share scale (1000 = full)
+  uint64_t count = 0;               ///< acked ingest/merge latency samples
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
 /// STATS response payload. The scalar fields aggregate across shards
 /// (sums, except `epoch` which is the minimum shard epoch); `shards`
 /// carries one row per shard.
@@ -185,11 +210,16 @@ struct StoreStats {
   // v6 rollup ladder, appended after the v5 fields so their byte
   // prefix is untouched.
   std::vector<LevelStatsRow> levels;
+
+  // v7 per-tag admission rows, appended after the v6 level rows so
+  // every earlier version's byte prefix is untouched.
+  std::vector<TagStatsRow> tags;
 };
 
 /// One server response. Echoes the request's op; `code`/`message` carry
 /// the Status outcome, and the op-specific fields are only present when
-/// code == kOk.
+/// code == kOk — with one v7 exception: a BUSY ingest/merge refusal
+/// carries `retry_after_ms`.
 struct Response {
   Request::Op op = Request::Op::kIngest;
   StatusCode code = StatusCode::kOk;
@@ -202,6 +232,11 @@ struct Response {
   uint64_t repl_token = 0;         // kSubscribe, kPromote: fencing token
   uint64_t repl_shards = 0;        // kSubscribe: primary's shard count
   uint64_t compacted = 0;          // kCompact: interval sketches folded
+
+  // v7: on a BUSY ingest/merge refusal, the refusing tag's suggested
+  // wait before retrying, derived from its ledger refill rate. Only on
+  // the wire when code == kBusy and op is kIngest/kMerge; 0 = no hint.
+  uint64_t retry_after_ms = 0;
 };
 
 /// Frames an already-encoded body: len varint + body CRC + body.

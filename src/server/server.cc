@@ -49,6 +49,10 @@ WalRecord ToWalRecord(const Request& request) {
 /// slot. Keeps tiny records from being "free" under admission control.
 constexpr uint64_t kStagedRecordOverhead = 64;
 
+/// The throttle controller ignores a tag's latency window below this
+/// many samples — a handful of acks is noise, not a p99.
+constexpr uint64_t kThrottleMinSamples = 32;
+
 /// The latency row a non-ingest request's ack is recorded into. Ingests
 /// and merges are routed by their per-entry outcome instead (a BUSY
 /// refusal lands in the BUSY row, see FinishRun).
@@ -101,6 +105,9 @@ struct SketchServer::Conn {
   /// zombie: it stays alive (committers point into the run's entries)
   /// until the completion arrives, then is destroyed.
   bool closed = false;
+  /// Admission tag every INGEST/MERGE on this connection is charged to
+  /// (ledger id; 0 = "default" until a SET_TAG arrives).
+  uint32_t tag_id = TagAdmissionLedger::kDefaultTagId;
   std::unique_ptr<IngestRun> run;  // staged run in flight (reads paused)
   bool have_deferred = false;
   std::string deferred_body;  // non-ingest frame parsed mid-run collection
@@ -113,6 +120,20 @@ struct SketchServer::Conn {
   /// progress does not push it back, which is what defeats a slow
   /// loris. Zero = no unit pending.
   TimePoint stall_deadline{};
+};
+
+/// One tag's ack-latency instrument (v7): a cumulative sketch feeding
+/// the per-tag STATS percentiles and a window sketch the throttle
+/// controller drains every tick. Guarded by its own mutex — loop
+/// threads Add one value per finished run, contending only with runs
+/// of the same tag.
+struct SketchServer::TagLatency {
+  TagLatency(DDSketch cumulative_in, DDSketch window_in)
+      : cumulative(std::move(cumulative_in)), window(std::move(window_in)) {}
+
+  std::mutex mu;
+  DDSketch cumulative;
+  DDSketch window;
 };
 
 /// One epoll event-loop thread. Owns a set of connections; loop 0 also
@@ -389,6 +410,24 @@ class SketchServer::EventLoop {
         if (c->closed) return;  // adopted by the shipper (or shed)
         continue;
       }
+      if (request.value().op == Request::Op::kSetTag) {
+        // Intercepted here (like SUBSCRIBE) because it mutates the
+        // Conn: every later ingest on this connection charges the
+        // declared tag's ledger.
+        Response response;
+        response.op = Request::Op::kSetTag;
+        const std::string& tag = request.value().tag;
+        if (!TagAdmissionLedger::ValidTagName(tag)) {
+          response.code = StatusCode::kInvalidArgument;
+          response.message = "invalid tag: want 1-64 chars of [A-Za-z0-9._-]";
+        } else {
+          c->tag_id = server_->RegisterTag(tag);
+        }
+        c->io.QueueWrite(EncodeResponse(response));
+        RecordLatency(LatencyOp::kStats, unit_start, Clock::now());
+        FlushConn(c);
+        continue;
+      }
       if (!IsIngestOp(request.value().op)) {
         c->io.QueueWrite(
             EncodeResponse(server_->HandleNonIngest(request.value())));
@@ -491,21 +530,32 @@ class SketchServer::EventLoop {
     IngestRun* run = c->run.get();
     std::string out;
     const TimePoint now = Clock::now();
+    size_t acked = 0;
     for (size_t i = 0; i < run->requests.size(); ++i) {
       Response response;
       response.op = run->requests[i].op;
       response.code = run->entries[i].result.code();
       response.message = run->entries[i].result.message();
       response.wal_offset = run->entries[i].wal_offset;
+      response.retry_after_ms = run->entries[i].retry_after_ms;
       out += EncodeResponse(response);
       // A BUSY refusal's ack is the cost of saying no, not an ingest
       // latency; it gets its own row.
-      RecordLatency(response.code == StatusCode::kBusy
-                        ? LatencyOp::kBusy
-                        : (response.op == Request::Op::kIngest
-                               ? LatencyOp::kIngest
-                               : LatencyOp::kMerge),
+      const bool busy = response.code == StatusCode::kBusy;
+      if (!busy) ++acked;
+      RecordLatency(busy ? LatencyOp::kBusy
+                         : (response.op == Request::Op::kIngest
+                                ? LatencyOp::kIngest
+                                : LatencyOp::kMerge),
                     run->start, now);
+    }
+    // The tag's own ack-latency sketch (v7): the instrument the
+    // throttle controller and the per-tag STATS rows read. One value
+    // for the whole run — every entry shares the run's stamp.
+    if (acked > 0) {
+      const double us =
+          std::chrono::duration<double, std::micro>(now - run->start).count();
+      server_->RecordTagAckLatency(c->tag_id, us, acked);
     }
     c->run.reset();
     c->last_activity = Clock::now();
@@ -637,6 +687,27 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   if (options.max_conn_inflight == 0) {
     return Status::InvalidArgument("max_conn_inflight must be at least 1");
   }
+  if (options.tag_floor_fraction < 0.0 || options.tag_floor_fraction > 1.0 ||
+      !(options.tag_floor_fraction == options.tag_floor_fraction)) {
+    return Status::InvalidArgument("tag_floor_fraction must be in [0, 1]");
+  }
+  if (options.tag_p99_target_us < 0) {
+    return Status::InvalidArgument("tag_p99_target_us must be >= 0");
+  }
+  if (options.tag_throttle_interval_ms <= 0) {
+    return Status::InvalidArgument("tag_throttle_interval_ms must be >= 1");
+  }
+  for (const auto& [tag, weight] : options.tag_weights) {
+    if (!TagAdmissionLedger::ValidTagName(tag)) {
+      return Status::InvalidArgument(
+          "invalid tag in tag budget: '" + tag +
+          "' (want 1-64 chars of [A-Za-z0-9._-])");
+    }
+    if (weight == 0) {
+      return Status::InvalidArgument("tag weight must be >= 1 for '" + tag +
+                                     "'");
+    }
+  }
   if (options.durable.role == StoreRole::kFollower &&
       (options.follow_host.empty() || options.follow_port == 0)) {
     return Status::InvalidArgument(
@@ -697,6 +768,10 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
     server->checkpoint_thread_ =
         std::thread([s = server.get()] { s->CheckpointLoop(); });
   }
+  if (options.tag_p99_target_us > 0) {
+    server->throttle_thread_ =
+        std::thread([s = server.get()] { s->ThrottleLoop(); });
+  }
   for (auto& loop : server->loops_) loop->StartThread();
   if (options.durable.role == StoreRole::kFollower) {
     ReplicationFollowerOptions follow_options;
@@ -712,6 +787,9 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
 SketchServer::SketchServer(SketchServerOptions options,
                            ShardedDurableStore store)
     : options_(std::move(options)), store_(std::move(store)) {
+  ledger_ = std::make_unique<TagAdmissionLedger>(options_.staged_bytes_budget,
+                                                 options_.tag_floor_fraction,
+                                                 options_.tag_weights);
   const auto now = Clock::now();
   shards_.reserve(store_->num_shards());
   for (size_t k = 0; k < store_->num_shards(); ++k) {
@@ -757,6 +835,12 @@ void SketchServer::Stop() {
   }
   scheduler_cv_.notify_all();
   if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(throttle_mu_);
+    throttle_stop_ = true;
+  }
+  throttle_cv_.notify_all();
+  if (throttle_thread_.joinable()) throttle_thread_.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
   store_.reset();  // releases every shard's data-dir lock for reopeners
@@ -814,32 +898,23 @@ bool SketchServer::StageIngestRun(IngestRun* run) {
       entry.done = true;
       continue;
     }
-    // Admission control: charge the global staged-bytes budget before
-    // the record can queue. A record that would blow the budget is
-    // refused with BUSY — never staged, never acknowledged — so memory
-    // stays bounded no matter how many clients burst at once.
+    // Admission control: charge the connection's tag ledger before the
+    // record can queue. A record that would blow the tag's allowance
+    // (floor + borrowable pool share) is refused with BUSY — never
+    // staged, never acknowledged — so one flooding tenant exhausts its
+    // own budget while every other tag keeps its floor. The refusal
+    // carries the tag's refill-derived retry hint.
     const uint64_t bytes = entry.record.series.size() +
                            entry.record.payload.size() + kStagedRecordOverhead;
-    const uint64_t budget = options_.staged_bytes_budget;
-    if (budget > 0) {
-      uint64_t current = staged_bytes_.load(std::memory_order_relaxed);
-      bool admitted = false;
-      while (current + bytes <= budget) {
-        if (staged_bytes_.compare_exchange_weak(current, current + bytes,
-                                                std::memory_order_relaxed)) {
-          admitted = true;
-          break;
-        }
-      }
-      if (!admitted) {
-        entry.result =
-            Status::Busy("staged-bytes budget exceeded; retry with backoff");
-        entry.done = true;
-        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-    } else {
-      staged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    entry.tag_id = run->conn->tag_id;
+    uint64_t hint_ms = 0;
+    if (!ledger_->TryAdmit(entry.tag_id, bytes, &hint_ms)) {
+      entry.result =
+          Status::Busy("staged-bytes budget exceeded; retry with backoff");
+      entry.retry_after_ms = hint_ms;
+      entry.done = true;
+      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
     entry.bytes = bytes;
     by_shard[store_->ShardOf(entry.record.series)].push_back(&entry);
@@ -863,7 +938,7 @@ bool SketchServer::StageIngestRun(IngestRun* run) {
       for (PendingIngest* entry : by_shard[k]) {
         entry->result = status;
         entry->done = true;
-        staged_bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+        ledger_->Refund(entry->tag_id, entry->bytes);
         entry->bytes = 0;
       }
       run->remaining.fetch_sub(by_shard[k].size(), std::memory_order_acq_rel);
@@ -1016,7 +1091,29 @@ Response SketchServer::HandleNonIngest(const Request& request) {
           connections_shed_.load(std::memory_order_relaxed);
       stats.busy_rejections =
           busy_rejections_.load(std::memory_order_relaxed);
-      stats.staged_bytes = staged_bytes_.load(std::memory_order_relaxed);
+      stats.staged_bytes = ledger_->total_staged();
+      // v7: one row per admission tag — ledger state plus the tag's own
+      // ack-latency percentiles (the throttle controller's instrument).
+      for (const TagLedgerEntry& row : ledger_->Snapshot()) {
+        TagStatsRow tag_row;
+        tag_row.tag = row.tag;
+        tag_row.floor_bytes = row.floor_bytes;
+        tag_row.budget_bytes = row.budget_bytes;
+        tag_row.staged_bytes = row.staged_bytes;
+        tag_row.busy_rejections = row.busy_rejections;
+        tag_row.throttle_permille =
+            static_cast<uint64_t>(row.borrow_share * 1000.0 + 0.5);
+        if (TagLatency* lat = TagLatencyFor(row.id)) {
+          std::lock_guard<std::mutex> lat_lk(lat->mu);
+          tag_row.count = lat->cumulative.count();
+          if (tag_row.count > 0) {
+            tag_row.p50_us = lat->cumulative.QuantileOrNaN(0.5);
+            tag_row.p99_us = lat->cumulative.QuantileOrNaN(0.99);
+            tag_row.p999_us = lat->cumulative.QuantileOrNaN(0.999);
+          }
+        }
+        stats.tags.push_back(std::move(tag_row));
+      }
       stats.repl_subscribers = shipper_ ? shipper_->subscribers() : 0;
       stats.repl_shipped_bytes = shipper_ ? shipper_->shipped_bytes() : 0;
       if (follower_) {
@@ -1031,6 +1128,10 @@ Response SketchServer::HandleNonIngest(const Request& request) {
       // Intercepted on the event loop (the connection is handed to the
       // shipper before this dispatcher runs); reaching here is a bug.
       return fail(Status::Internal("SUBSCRIBE routed to HandleNonIngest"));
+    case Request::Op::kSetTag:
+      // Intercepted on the event loop (it mutates the Conn's tag);
+      // reaching here is a bug.
+      return fail(Status::Internal("SET_TAG routed to HandleNonIngest"));
     case Request::Op::kPromote: {
       auto token = Promote();
       if (!token.ok()) return fail(token.status());
@@ -1059,6 +1160,92 @@ void SketchServer::FillOpLatencies(StoreStats* stats) const {
     row.p99_us = merged.QuantileOrNaN(0.99);
     row.p999_us = merged.QuantileOrNaN(0.999);
     row.max_us = merged.max();
+  }
+}
+
+SketchServer::TagLatency* SketchServer::TagLatencyFor(uint32_t tag_id) {
+  std::lock_guard<std::mutex> lk(tag_latency_mu_);
+  if (tag_latency_.size() <= tag_id) tag_latency_.resize(tag_id + 1);
+  if (!tag_latency_[tag_id]) {
+    DDSketchConfig config;
+    config.relative_accuracy = options_.latency_alpha;
+    auto cumulative = DDSketch::Create(config);
+    auto window = DDSketch::Create(config);
+    // latency_alpha was validated when the event loops built their own
+    // sketches at Start; a failure here is unreachable.
+    if (!cumulative.ok() || !window.ok()) return nullptr;
+    tag_latency_[tag_id] = std::make_unique<TagLatency>(
+        std::move(cumulative).value(), std::move(window).value());
+  }
+  return tag_latency_[tag_id].get();
+}
+
+uint32_t SketchServer::RegisterTag(std::string_view tag) {
+  const uint32_t id = ledger_->RegisterTag(tag);
+  (void)TagLatencyFor(id);  // the controller ticks over existing slots
+  return id;
+}
+
+void SketchServer::RecordTagAckLatency(uint32_t tag_id, double us, size_t n) {
+  TagLatency* lat = TagLatencyFor(tag_id);
+  if (lat == nullptr || n == 0) return;
+  // Same sub-tick floor as the per-loop rows: a value in the sketch's
+  // zero bucket would stop counting toward the percentiles.
+  const double value = std::max(us, 1e-3);
+  std::lock_guard<std::mutex> lk(lat->mu);
+  lat->cumulative.Add(value, n);
+  lat->window.Add(value, n);
+}
+
+void SketchServer::ThrottleLoop() {
+  const auto interval = std::chrono::milliseconds(
+      std::max<int64_t>(1, options_.tag_throttle_interval_ms));
+  const double target_us = static_cast<double>(options_.tag_p99_target_us);
+  std::unique_lock<std::mutex> lk(throttle_mu_);
+  for (;;) {
+    throttle_cv_.wait_for(lk, interval, [this] { return throttle_stop_; });
+    if (throttle_stop_) return;
+    lk.unlock();
+    size_t n_tags = 0;
+    {
+      std::lock_guard<std::mutex> tags_lk(tag_latency_mu_);
+      n_tags = tag_latency_.size();
+    }
+    for (uint32_t id = 0; id < n_tags; ++id) {
+      TagLatency* lat = nullptr;
+      {
+        std::lock_guard<std::mutex> tags_lk(tag_latency_mu_);
+        lat = tag_latency_[id].get();
+      }
+      if (lat == nullptr) continue;
+      // Drain the tag's window: its p99 over the last tick is the
+      // controller's whole input (dogfooding the paper's sketch —
+      // mergeable, fixed-size, relative-error percentiles).
+      uint64_t window_count = 0;
+      double window_p99 = 0;
+      {
+        std::lock_guard<std::mutex> lat_lk(lat->mu);
+        window_count = lat->window.count();
+        if (window_count > 0) {
+          window_p99 = lat->window.QuantileOrNaN(0.99);
+          DDSketchConfig config;
+          config.relative_accuracy = options_.latency_alpha;
+          auto fresh = DDSketch::Create(config);
+          if (fresh.ok()) lat->window = std::move(fresh).value();
+        }
+      }
+      const double share = ledger_->borrow_share(id);
+      if (window_count >= kThrottleMinSamples && window_p99 > target_us) {
+        // Breach: halve the tag's borrowable share. Its floor is
+        // untouchable, so a throttled tenant degrades, never starves.
+        ledger_->set_borrow_share(id, share * 0.5);
+      } else if (share < 1.0 && window_p99 <= target_us) {
+        // Recovery: decay back toward full borrowing, additive nudge so
+        // a fully-halved share escapes zero-progress multiplication.
+        ledger_->set_borrow_share(id, share * 1.25 + 0.01);
+      }
+    }
+    lk.lock();
   }
 }
 
@@ -1123,10 +1310,12 @@ void SketchServer::CommitOneBatch(size_t shard_index,
     shard.commit_error = status;
   }
   lk->unlock();
-  // Admission charges are refunded as soon as the batch leaves the
-  // staging pipeline — parked bytes below are durable, not staged.
+  // Admission charges are refunded to their tags' ledgers as soon as
+  // the batch leaves the staging pipeline — parked bytes below are
+  // durable, not staged. (The refunds also feed each tag's refill-rate
+  // estimate behind the BUSY retry hint.)
   for (PendingIngest* pending : batch) {
-    staged_bytes_.fetch_sub(pending->bytes, std::memory_order_relaxed);
+    ledger_->Refund(pending->tag_id, pending->bytes);
     pending->bytes = 0;
   }
   // Completion handshake outside queue_mu: fill the entries, then

@@ -26,10 +26,16 @@
 // back to the owning loop through a wake-up queue (eventfd), so the
 // socket write happens on the loop thread, never on a committer.
 //
-// Admission control: a global staged-bytes budget caps the bytes
-// validated-but-not-yet-durable across all shards. A record that would
-// exceed the budget is refused with BUSY (protocol v3) instead of
-// buffering unboundedly; the client retries after backoff. Runs are
+// Admission control: the staged-bytes budget caps the bytes
+// validated-but-not-yet-durable across all shards, split into per-tag
+// ledgers (protocol v7, server/admission.h): each connection charges
+// the tag it declared via SET_TAG ("default" if none), every tag keeps
+// a guaranteed floor, and the rest is a borrowable shared pool — so a
+// flooding tenant exhausts its own allowance and gets BUSY (with a
+// retry_after_ms hint) while honest tags keep their floor. When
+// --tag-p99-target-us is set, a throttle controller thread watches
+// each tag's own ack-latency sketch and halves a breaching tag's
+// borrowable share, decaying it back on recovery. Runs are
 // additionally capped per connection (`max_conn_inflight`), and
 // connections that stall mid-frame (slow loris), stop reading their
 // responses, or sit idle past the configured deadlines are shed.
@@ -72,6 +78,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/admission.h"
 #include "server/protocol.h"
 #include "server/replication.h"
 #include "timeseries/sharded_store.h"
@@ -108,8 +115,23 @@ struct SketchServerOptions {
   size_t event_loops = 0;
   /// Admission control: global cap on bytes staged (validated and
   /// queued, not yet durable) across all shards. Records arriving past
-  /// the cap are refused with BUSY. 0 = unlimited.
+  /// the cap are refused with BUSY. 0 = unlimited. The cap is split
+  /// into per-tag ledgers (v7): each tag's guaranteed floor is its
+  /// weighted slice of tag_floor_fraction × budget, the rest is a
+  /// shared pool any tag may borrow from.
   uint64_t staged_bytes_budget = 64u << 20;
+  /// Pre-registered tag weights (from sketchd --tag-budget). Tags not
+  /// listed here register on first SET_TAG with weight 1; "default"
+  /// always exists.
+  std::vector<std::pair<std::string, uint64_t>> tag_weights;
+  /// Fraction of the budget reserved as guaranteed per-tag floors.
+  double tag_floor_fraction = 0.5;
+  /// Throttle controller: shrink a tag's borrowable share when its own
+  /// ingest/merge ack p99 (microseconds) breaches this target.
+  /// 0 disables the controller (floors still isolate tenants).
+  int64_t tag_p99_target_us = 0;
+  /// Controller tick cadence (also the per-tag latency window length).
+  int64_t tag_throttle_interval_ms = 200;
   /// Per-connection cap on records staged in one run (one run per
   /// connection may be in flight; reads pause until it commits).
   size_t max_conn_inflight = 1024;
@@ -193,6 +215,9 @@ class SketchServer {
   uint64_t busy_rejections() const noexcept {
     return busy_rejections_.load(std::memory_order_relaxed);
   }
+  /// The per-tag admission ledger (always present; unit tests and the
+  /// throttle controller read it).
+  const TagAdmissionLedger& ledger() const noexcept { return *ledger_; }
   /// Full-snapshot frames the replication shipper has sent (a caught-up
   /// follower riding a checkpoint must not bump this).
   uint64_t repl_snapshot_frames() const noexcept {
@@ -225,6 +250,8 @@ class SketchServer {
     Status result;
     uint64_t wal_offset = 0;
     uint64_t bytes = 0;  // admission-budget charge; 0 = never admitted
+    uint32_t tag_id = 0; // ledger the charge (and refund) belongs to
+    uint64_t retry_after_ms = 0;  // BUSY hint carried to the response
     bool done = false;
     IngestRun* run = nullptr;  // completion rendezvous
   };
@@ -297,6 +324,17 @@ class SketchServer {
            options_.checkpoint_interval_ms > 0;
   }
 
+  /// Registers `tag` in the ledger and ensures its latency slot exists;
+  /// returns the tag id (SET_TAG handling on a loop thread).
+  uint32_t RegisterTag(std::string_view tag);
+  /// Records `n` acked ingest/merge latencies of `us` microseconds into
+  /// the tag's cumulative + window sketches (FinishRun, loop threads).
+  void RecordTagAckLatency(uint32_t tag_id, double us, size_t n);
+  /// The tail-latency throttle controller: every tick, drain each tag's
+  /// latency window; a tag whose p99 breaches tag_p99_target_us has its
+  /// borrowable share halved, a recovering tag decays back toward 1.
+  void ThrottleLoop();
+
   SketchServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
@@ -311,9 +349,16 @@ class SketchServer {
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::atomic<size_t> next_loop_{0};
 
-  // Admission control + serving counters (relaxed atomics; STATS reads
-  // are advisory).
-  std::atomic<uint64_t> staged_bytes_{0};
+  // Admission control: the per-tag staged-bytes ledger (v7) plus
+  // serving counters (relaxed atomics; STATS reads are advisory).
+  std::unique_ptr<TagAdmissionLedger> ledger_;
+  /// Per-tag ack-latency sketches, indexed by ledger tag id. The vector
+  /// grows under tag_latency_mu_; the per-tag object is stable once
+  /// created and has its own lock.
+  struct TagLatency;
+  mutable std::mutex tag_latency_mu_;
+  std::vector<std::unique_ptr<TagLatency>> tag_latency_;
+  TagLatency* TagLatencyFor(uint32_t tag_id);
   std::atomic<uint64_t> busy_rejections_{0};
   std::atomic<uint64_t> connections_open_{0};
   std::atomic<uint64_t> connections_accepted_{0};
@@ -334,6 +379,11 @@ class SketchServer {
   std::condition_variable scheduler_cv_;
   bool scheduler_stop_ = false;  // guarded by scheduler_mu_
   std::thread checkpoint_thread_;
+
+  std::mutex throttle_mu_;
+  std::condition_variable throttle_cv_;
+  bool throttle_stop_ = false;  // guarded by throttle_mu_
+  std::thread throttle_thread_;
 
   bool stopped_ = false;  // Stop() ran to completion (main thread only)
 };

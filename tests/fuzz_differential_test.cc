@@ -789,5 +789,160 @@ TEST(FuzzProtocolV5TruncationTest, EveryReplBodyTruncationIsCorruption) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV5CorruptionTest,
                          ::testing::Range<uint64_t>(1, 5));
 
+// ---------------------------------------------------------------------
+// Protocol v7 frame corruption fuzz: the per-tag admission additions —
+// SET_TAG declarations, BUSY refusals carrying the refusing tag's
+// retry_after_ms hint, and STATS responses with per-tag ledger rows
+// (length-prefixed names plus fixed-double percentiles make these the
+// most structurally varied bodies on the wire). Same contract as
+// v4/v5: flips always rejected, truncations incomplete (frame) or
+// corrupt (body), mutations of a verified body never crash.
+
+/// A connection declaring its admission tag.
+std::string SetTagRequestFrame() {
+  Request request;
+  request.op = Request::Op::kSetTag;
+  request.tag = "team-a.prod_42";
+  return EncodeRequest(request);
+}
+
+/// A BUSY ingest refusal with the v7 retry hint payload.
+std::string BusyHintResponseFrame() {
+  Response response;
+  response.op = Request::Op::kIngest;
+  response.code = StatusCode::kBusy;
+  response.message = "staged-bytes budget exceeded; retry with backoff";
+  response.retry_after_ms = 10;
+  return EncodeResponse(response);
+}
+
+/// A STATS response whose payload ends in populated per-tag rows.
+std::string TaggedStatsResponseFrame() {
+  Response response;
+  response.op = Request::Op::kStats;
+  response.stats.busy_rejections = 256;
+  response.stats.staged_bytes = 1 << 19;
+  response.stats.levels.push_back({10, 3600, 360, 0, 1 << 16});
+  const char* names[] = {"default", "gold", "team-b.batch_2"};
+  for (uint64_t k = 0; k < 3; ++k) {
+    TagStatsRow row;
+    row.tag = names[k];
+    row.floor_bytes = (k + 1) << 18;
+    row.budget_bytes = (k + 1) << 20;
+    row.staged_bytes = 777 * k;
+    row.busy_rejections = 42 * k;
+    row.throttle_permille = 1000 - 250 * k;
+    row.count = 100 * (k + 1);
+    row.p50_us = 81.5 * static_cast<double>(k + 1);
+    row.p99_us = 950.25 * static_cast<double>(k + 1);
+    row.p999_us = 4096.0 * static_cast<double>(k + 1);
+    response.stats.tags.push_back(row);
+  }
+  return EncodeResponse(response);
+}
+
+std::vector<std::string> V7Frames() {
+  return {SetTagRequestFrame(), BusyHintResponseFrame(),
+          TaggedStatsResponseFrame()};
+}
+
+class FuzzProtocolV7CorruptionTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FuzzProtocolV7CorruptionTest, FrameBitFlipsAlwaysRejected) {
+  Rng rng(GetParam() * 67867);
+  for (const std::string& frame : V7Frames()) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string corrupted = frame;
+      const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+      for (int f = 0; f < flips; ++f) {
+        const size_t pos = rng.NextBounded(corrupted.size());
+        corrupted[pos] = static_cast<char>(
+            static_cast<uint8_t>(corrupted[pos]) ^ (1u << rng.NextBounded(8)));
+      }
+      if (corrupted == frame) continue;  // flips cancelled out
+      size_t frame_size = 0;
+      auto body = DecodeFrame(corrupted, &frame_size);
+      ASSERT_FALSE(body.ok()) << "flipped v7 frame decoded cleanly";
+      const StatusCode code = body.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kOutOfRange)
+          << body.status().ToString();
+    }
+  }
+}
+
+TEST_P(FuzzProtocolV7CorruptionTest, BodyMutationsNeverCrashStrictDecoders) {
+  Rng rng(GetParam() * 93719);
+  for (const std::string& frame : V7Frames()) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string mutated = original;
+      const int edits = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int e = 0; e < edits; ++e) {
+        const size_t pos = rng.NextBounded(mutated.size());
+        mutated[pos] = static_cast<char>(rng.NextBounded(256));
+      }
+      ExpectStrictDecodersSurvive(mutated);
+    }
+  }
+}
+
+TEST(FuzzProtocolV7TruncationTest, EveryFramePrefixIsIncomplete) {
+  for (const std::string& frame : V7Frames()) {
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      size_t frame_size = 0;
+      auto body =
+          DecodeFrame(std::string_view(frame).substr(0, cut), &frame_size);
+      ASSERT_FALSE(body.ok()) << "cut=" << cut;
+      EXPECT_EQ(body.status().code(), StatusCode::kOutOfRange)
+          << "cut=" << cut << ": " << body.status().ToString();
+    }
+  }
+}
+
+TEST(FuzzProtocolV7TruncationTest, EveryBodyTruncationIsCorruption) {
+  // The response bodies, cut anywhere, must read as corruption — the
+  // retry hint and the tag rows add trailing fields a lenient decoder
+  // might silently default instead.
+  for (const std::string& frame :
+       {BusyHintResponseFrame(), TaggedStatsResponseFrame()}) {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(frame, &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (size_t cut = 0; cut < original.size(); ++cut) {
+      auto decoded =
+          DecodeResponse(std::string_view(original).substr(0, cut));
+      ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+      EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+          << "cut=" << cut << ": " << decoded.status().ToString();
+    }
+    EXPECT_EQ(DecodeResponse(original + '\0').status().code(),
+              StatusCode::kCorruption);
+  }
+  // Same for the SET_TAG request body on the request decoder.
+  {
+    size_t frame_size = 0;
+    auto body = DecodeFrame(SetTagRequestFrame(), &frame_size);
+    ASSERT_TRUE(body.ok());
+    const std::string original(body.value());
+    for (size_t cut = 0; cut < original.size(); ++cut) {
+      auto decoded = DecodeRequest(std::string_view(original).substr(0, cut));
+      ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+      EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+          << "cut=" << cut << ": " << decoded.status().ToString();
+    }
+    EXPECT_EQ(DecodeRequest(original + 'x').status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocolV7CorruptionTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
 }  // namespace
 }  // namespace dd

@@ -255,6 +255,12 @@ std::string GoldenProtocolBytes() {
   compact.compact_now = 1700000000;
   bytes += EncodeRequest(compact);
 
+  // v7: a connection declaring its admission tag.
+  Request set_tag;
+  set_tag.op = Request::Op::kSetTag;
+  set_tag.tag = "team-a.prod";
+  bytes += EncodeRequest(set_tag);
+
   Response ingest_ok;
   ingest_ok.op = Request::Op::kIngest;
   ingest_ok.wal_offset = 13 + 27;
@@ -350,14 +356,40 @@ std::string GoldenProtocolBytes() {
   stats_ok.stats.levels.push_back({10, 3600, 360, 0, 40960});
   stats_ok.stats.levels.push_back({60, 86400, 1440, 2100, 131072});
   stats_ok.stats.levels.push_back({3600, 0, 24, 35, 16384});
+  // v7 per-tag admission rows (encoded after the level rows).
+  {
+    TagStatsRow default_row;
+    default_row.tag = "default";
+    default_row.floor_bytes = 1 << 20;
+    default_row.budget_bytes = (1 << 20) + (1 << 21);
+    default_row.count = 96;
+    default_row.p50_us = 120.5;
+    default_row.p99_us = 800.25;
+    default_row.p999_us = 1500.0;
+    stats_ok.stats.tags.push_back(default_row);
+    TagStatsRow tagged_row;
+    tagged_row.tag = "team-a.prod";
+    tagged_row.floor_bytes = 1 << 20;
+    tagged_row.budget_bytes = (1 << 20) + (1 << 19);
+    tagged_row.staged_bytes = 4096;
+    tagged_row.busy_rejections = 21;
+    tagged_row.throttle_permille = 250;  // mid-throttle
+    tagged_row.count = 2048;
+    tagged_row.p50_us = 95.0;
+    tagged_row.p99_us = 5000.5;
+    tagged_row.p999_us = 12000.0;
+    stats_ok.stats.tags.push_back(tagged_row);
+  }
   bytes += EncodeResponse(stats_ok);
 
   // v3: an admission-control rejection. The record was never staged —
   // no wal_offset — and the client is expected to retry after backoff.
+  // v7: the refusal carries the refusing tag's retry hint.
   Response ingest_busy;
   ingest_busy.op = Request::Op::kIngest;
   ingest_busy.code = StatusCode::kBusy;
   ingest_busy.message = "staged-bytes budget exceeded; retry with backoff";
+  ingest_busy.retry_after_ms = 10;
   bytes += EncodeResponse(ingest_busy);
 
   // v5: the SUBSCRIBE/PROMOTE acks and a FENCED write refusal from a
@@ -380,6 +412,11 @@ std::string GoldenProtocolBytes() {
   compact_ok.compacted = 354;
   compact_ok.epoch = 3;
   bytes += EncodeResponse(compact_ok);
+
+  // v7: the SET_TAG ack — acknowledgement only, no payload.
+  Response set_tag_ok;
+  set_tag_ok.op = Request::Op::kSetTag;
+  bytes += EncodeResponse(set_tag_ok);
 
   Response ingest_fenced;
   ingest_fenced.op = Request::Op::kIngest;
@@ -442,9 +479,9 @@ std::string GoldenProtocolBytes() {
 }
 
 TEST(GoldenPersistenceTest, ProtocolHelloPinned) {
-  // magic "DDSP", version 6 (v6 = rollup ladder: COMPACT, per-level
-  // STATS rows, chunked snapshot bootstrap, snapshot v2).
-  EXPECT_EQ(Hex(EncodeHello()), "44445350" "06");
+  // magic "DDSP", version 7 (v7 = per-tag admission: SET_TAG, per-tag
+  // STATS rows, retry_after_ms on BUSY refusals).
+  EXPECT_EQ(Hex(EncodeHello()), "44445350" "07");
 }
 
 TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
@@ -461,18 +498,18 @@ TEST(GoldenPersistenceTest, ProtocolIngestFramePinned) {
 
 TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
   const std::string encoded = GoldenProtocolBytes();
-  MaybeRegenerate("protocol_v6.bin", encoded);
-  const std::string fixture = ReadFixture("protocol_v6.bin");
+  MaybeRegenerate("protocol_v7.bin", encoded);
+  const std::string fixture = ReadFixture("protocol_v7.bin");
   ASSERT_EQ(Hex(encoded), Hex(fixture));
 
-  // Walk the fixture: hello, then 8 requests, then 10 responses, then 7
+  // Walk the fixture: hello, then 9 requests, then 11 responses, then 7
   // replication frames — every frame must decode, and re-encoding must
   // reproduce the exact bytes.
   std::string_view rest(fixture);
   ASSERT_TRUE(CheckHello(rest.substr(0, kHelloBytes)).ok());
   std::string reencoded(EncodeHello());
   rest.remove_prefix(kHelloBytes);
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < 9; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "request " << i << ": "
@@ -485,9 +522,9 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     rest.remove_prefix(frame_size);
   }
   // Trailing ops: BUSY ingest, SUBSCRIBE ack, PROMOTE ack, COMPACT ack,
-  // FENCED ingest.
-  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1, 6, 7, 8, 1};
-  for (int i = 0; i < 10; ++i) {
+  // SET_TAG ack, FENCED ingest.
+  constexpr uint8_t kResponseOps[] = {1, 2, 3, 4, 5, 1, 6, 7, 8, 9, 1};
+  for (int i = 0; i < 11; ++i) {
     size_t frame_size = 0;
     auto body = DecodeFrame(rest, &frame_size);
     ASSERT_TRUE(body.ok()) << "response " << i << ": "
@@ -529,40 +566,63 @@ TEST(GoldenPersistenceTest, ProtocolFixtureRoundTripsByteExactly) {
     return std::string(body.value());
   };
 
-  // Response 1 (frame 9 after the hello): the MERGE error.
+  // Request 8 (frame 8 after the hello): the v7 SET_TAG declaration.
+  const Request set_tag = std::move(DecodeRequest(kNthFrameBody(8))).value();
+  EXPECT_EQ(set_tag.op, Request::Op::kSetTag);
+  EXPECT_EQ(set_tag.tag, "team-a.prod");
+
+  // Response 1 (frame 10 after the hello): the MERGE error.
   const Response merge_err =
-      std::move(DecodeResponse(kNthFrameBody(9))).value();
+      std::move(DecodeResponse(kNthFrameBody(10))).value();
   EXPECT_EQ(merge_err.code, StatusCode::kIncompatible);
   EXPECT_EQ(merge_err.message, "sketches are not mergeable");
 
-  // Response 5: the v3 BUSY rejection — code decodes, no payload fields
-  // follow (a refused record has no wal_offset).
-  const Response busy = std::move(DecodeResponse(kNthFrameBody(13))).value();
+  // Response 4: the STATS payload carries the v7 per-tag rows after the
+  // v6 level rows.
+  const Response stats_ok =
+      std::move(DecodeResponse(kNthFrameBody(13))).value();
+  ASSERT_EQ(stats_ok.stats.tags.size(), 2u);
+  EXPECT_EQ(stats_ok.stats.tags[0].tag, "default");
+  EXPECT_EQ(stats_ok.stats.tags[1].tag, "team-a.prod");
+  EXPECT_EQ(stats_ok.stats.tags[1].busy_rejections, 21u);
+  EXPECT_EQ(stats_ok.stats.tags[1].throttle_permille, 250u);
+  EXPECT_EQ(stats_ok.stats.tags[1].p999_us, 12000.0);
+
+  // Response 5: the v3 BUSY rejection — a refused record has no
+  // wal_offset, but v7 adds the refusing tag's retry hint.
+  const Response busy = std::move(DecodeResponse(kNthFrameBody(14))).value();
   EXPECT_EQ(busy.code, StatusCode::kBusy);
   EXPECT_EQ(busy.wal_offset, 0u);
+  EXPECT_EQ(busy.retry_after_ms, 10u);
 
   // Response 8: the v6 COMPACT ack carrying the fold count + epoch.
   const Response compact_ok =
-      std::move(DecodeResponse(kNthFrameBody(16))).value();
+      std::move(DecodeResponse(kNthFrameBody(17))).value();
   EXPECT_EQ(compact_ok.compacted, 354u);
   EXPECT_EQ(compact_ok.epoch, 3u);
 
-  // Response 9: the v5 FENCED refusal from a deposed primary.
+  // Response 9: the v7 SET_TAG ack is a bare acknowledgement.
+  const Response set_tag_ok =
+      std::move(DecodeResponse(kNthFrameBody(18))).value();
+  EXPECT_EQ(set_tag_ok.op, Request::Op::kSetTag);
+  EXPECT_EQ(set_tag_ok.code, StatusCode::kOk);
+
+  // Response 10: the v5 FENCED refusal from a deposed primary.
   const Response fenced =
-      std::move(DecodeResponse(kNthFrameBody(17))).value();
+      std::move(DecodeResponse(kNthFrameBody(19))).value();
   EXPECT_EQ(fenced.code, StatusCode::kFenced);
   EXPECT_EQ(fenced.wal_offset, 0u);
 
-  // Repl frame 1 (frame 19): a WAL segment carrying real record bytes.
+  // Repl frame 1 (frame 21): a WAL segment carrying real record bytes.
   const ReplFrame segment =
-      std::move(DecodeReplFrame(kNthFrameBody(19))).value();
+      std::move(DecodeReplFrame(kNthFrameBody(21))).value();
   EXPECT_EQ(segment.tag, ReplFrame::Tag::kSegment);
   EXPECT_EQ(segment.start_offset, 13u);
   EXPECT_EQ(segment.payload, GoldenWalBytes().substr(13));
 
-  // Repl frame 6 (frame 24): the chunk-train terminator names its epoch.
+  // Repl frame 6 (frame 26): the chunk-train terminator names its epoch.
   const ReplFrame end =
-      std::move(DecodeReplFrame(kNthFrameBody(24))).value();
+      std::move(DecodeReplFrame(kNthFrameBody(26))).value();
   EXPECT_EQ(end.tag, ReplFrame::Tag::kSnapshotEnd);
   EXPECT_EQ(end.epoch, 2u);
 }

@@ -80,6 +80,13 @@ TEST(ProtocolTest, HelloRejectsBadMagicAndVersion) {
   std::string v5 = EncodeHello();
   v5[4] = '\x05';
   EXPECT_EQ(CheckHello(v5).code(), StatusCode::kIncompatible);
+
+  // A v6 peer (pre-admission-tags) must be refused: it has no SET_TAG
+  // op, would misread the per-tag STATS rows as trailing garbage, and
+  // cannot parse the retry_after_ms payload a BUSY refusal now carries.
+  std::string v6 = EncodeHello();
+  v6[4] = '\x06';
+  EXPECT_EQ(CheckHello(v6).code(), StatusCode::kIncompatible);
 }
 
 TEST(ProtocolTest, IngestRequestRoundTrip) {
@@ -149,6 +156,23 @@ TEST(ProtocolTest, CompactRequestRoundTrip) {
   negative.op = Request::Op::kCompact;
   negative.compact_now = -86400;
   EXPECT_EQ(RoundTripRequest(negative).compact_now, -86400);
+}
+
+TEST(ProtocolTest, SetTagRequestRoundTrip) {
+  // v7: a connection declares its admission tag once; every later
+  // ingest/merge is charged to that tag's ledger.
+  Request request;
+  request.op = Request::Op::kSetTag;
+  request.tag = "team-a.prod_42";
+  const Request decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.op, Request::Op::kSetTag);
+  EXPECT_EQ(decoded.tag, "team-a.prod_42");
+
+  // The wire carries any length-prefixed string — name validation is
+  // the server's job (it refuses with INVALID_ARGUMENT, not corruption).
+  Request empty;
+  empty.op = Request::Op::kSetTag;
+  EXPECT_EQ(RoundTripRequest(empty).tag, "");
 }
 
 TEST(ProtocolTest, SubscribeRequestRoundTrip) {
@@ -337,6 +361,59 @@ TEST(ProtocolTest, StatsV6LevelRowsRoundTrip) {
   Response empty;
   empty.op = Request::Op::kStats;
   EXPECT_TRUE(RoundTripResponse(empty).stats.levels.empty());
+}
+
+TEST(ProtocolTest, StatsV7TagRowsRoundTrip) {
+  // v7: STATS appends one row per admission tag, after the v6 level
+  // rows — budgets, live staged bytes, refusals, the throttle share,
+  // and the tag's own ack-latency percentiles (fixed doubles).
+  Response r;
+  r.op = Request::Op::kStats;
+  r.stats.staged_bytes = 4096;  // earlier fields still in front
+  {
+    TagStatsRow row;
+    row.tag = "default";
+    row.floor_bytes = 1 << 20;
+    row.budget_bytes = 1 << 22;
+    row.count = 12345;
+    row.p50_us = 81.5;
+    row.p99_us = 950.25;
+    row.p999_us = 4096.0;
+    r.stats.tags.push_back(row);
+  }
+  {
+    TagStatsRow row;
+    row.tag = "team-b";
+    row.budget_bytes = 1 << 21;
+    row.staged_bytes = 777;
+    row.busy_rejections = 42;
+    row.throttle_permille = 125;  // mid-throttle
+    r.stats.tags.push_back(row);
+  }
+  const Response decoded = RoundTripResponse(r);
+  EXPECT_EQ(decoded.stats.staged_bytes, 4096u);
+  ASSERT_EQ(decoded.stats.tags.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(decoded.stats.tags[i].tag, r.stats.tags[i].tag);
+    EXPECT_EQ(decoded.stats.tags[i].floor_bytes, r.stats.tags[i].floor_bytes);
+    EXPECT_EQ(decoded.stats.tags[i].budget_bytes,
+              r.stats.tags[i].budget_bytes);
+    EXPECT_EQ(decoded.stats.tags[i].staged_bytes,
+              r.stats.tags[i].staged_bytes);
+    EXPECT_EQ(decoded.stats.tags[i].busy_rejections,
+              r.stats.tags[i].busy_rejections);
+    EXPECT_EQ(decoded.stats.tags[i].throttle_permille,
+              r.stats.tags[i].throttle_permille);
+    EXPECT_EQ(decoded.stats.tags[i].count, r.stats.tags[i].count);
+    EXPECT_EQ(decoded.stats.tags[i].p50_us, r.stats.tags[i].p50_us);
+    EXPECT_EQ(decoded.stats.tags[i].p99_us, r.stats.tags[i].p99_us);
+    EXPECT_EQ(decoded.stats.tags[i].p999_us, r.stats.tags[i].p999_us);
+  }
+
+  // No tags (a follower with admission idle) is a valid payload.
+  Response empty;
+  empty.op = Request::Op::kStats;
+  EXPECT_TRUE(RoundTripResponse(empty).stats.tags.empty());
 }
 
 TEST(ProtocolTest, SubscribeAndPromoteResponsesRoundTrip) {
@@ -592,26 +669,68 @@ TEST(ProtocolTest, StatsRejectsAbsurdLevelCount) {
   auto body = DecodeFrame(frame, &frame_size);
   ASSERT_TRUE(body.ok());
   std::string mutable_body(body.value());
-  // An all-default STATS body ends with the n_levels varint (0).
-  ASSERT_EQ(mutable_body.back(), '\x00');
+  // An all-default STATS body ends with the n_levels varint (0) then
+  // the v7 n_tags varint (0).
+  ASSERT_GE(mutable_body.size(), 2u);
+  ASSERT_EQ(mutable_body[mutable_body.size() - 2], '\x00');
+  // 127 claimed level rows with only the n_tags byte left cannot fit.
+  mutable_body[mutable_body.size() - 2] = '\x7f';
+  EXPECT_EQ(DecodeResponse(mutable_body).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, StatsRejectsAbsurdTagCount) {
+  // v7: same guard for the per-tag rows — each needs ≥31 bytes (seven
+  // varints + three fixed doubles + the name's length prefix), so a
+  // count the remaining bytes cannot hold is corruption up front.
+  Response r;
+  r.op = Request::Op::kStats;
+  const std::string frame = EncodeResponse(r);
+  size_t frame_size = 0;
+  auto body = DecodeFrame(frame, &frame_size);
+  ASSERT_TRUE(body.ok());
+  std::string mutable_body(body.value());
+  ASSERT_EQ(mutable_body.back(), '\x00');  // n_tags of an empty STATS
   mutable_body.back() = '\x7f';  // claims 127 rows with 0 bytes left
   EXPECT_EQ(DecodeResponse(mutable_body).status().code(),
             StatusCode::kCorruption);
 }
 
 TEST(ProtocolTest, BusyResponseRoundTrip) {
-  // v3: an admission-control refusal. No payload follows the message —
-  // the record was never staged, so there is no wal_offset to report.
+  // v3: an admission-control refusal — the record was never staged, so
+  // there is no wal_offset to report. v7: the one non-OK response with
+  // a payload — the refusing tag's retry_after_ms hint (ingest/merge).
   Response r;
   r.op = Request::Op::kIngest;
   r.code = StatusCode::kBusy;
   r.message = "staged-bytes budget exceeded";
+  r.retry_after_ms = 10;
   const Response decoded = RoundTripResponse(r);
   EXPECT_EQ(decoded.code, StatusCode::kBusy);
   EXPECT_EQ(decoded.wal_offset, 0u);
+  EXPECT_EQ(decoded.retry_after_ms, 10u);
   const Status status = ResponseStatus(decoded);
   EXPECT_EQ(status.code(), StatusCode::kBusy);
   EXPECT_EQ(status.message(), "staged-bytes budget exceeded");
+
+  // A merge refusal carries the hint too; a hint of 0 survives as 0.
+  Response merge;
+  merge.op = Request::Op::kMerge;
+  merge.code = StatusCode::kBusy;
+  merge.retry_after_ms = 250;
+  EXPECT_EQ(RoundTripResponse(merge).retry_after_ms, 250u);
+  Response unhinted;
+  unhinted.op = Request::Op::kIngest;
+  unhinted.code = StatusCode::kBusy;
+  EXPECT_EQ(RoundTripResponse(unhinted).retry_after_ms, 0u);
+
+  // Only ingest/merge refusals carry the payload: a BUSY on any other
+  // op stays bare, so the hint field is dropped on the wire.
+  Response query;
+  query.op = Request::Op::kQuery;
+  query.code = StatusCode::kBusy;
+  query.retry_after_ms = 99;
+  EXPECT_EQ(RoundTripResponse(query).retry_after_ms, 0u);
 
   // A BUSY body with trailing payload bytes is corrupt, not lenient.
   const std::string frame = EncodeResponse(r);
@@ -719,7 +838,10 @@ TEST(ProtocolTest, DecodeFrameConsumesOneFrameFromAStream) {
 TEST(ProtocolTest, DecodeRequestRejectsMalformedBodies) {
   // Empty body.
   EXPECT_EQ(DecodeRequest("").status().code(), StatusCode::kCorruption);
-  // Unknown op.
+  // Unknown op (kSetTag=9 is the v7 ceiling).
+  EXPECT_EQ(DecodeRequest(std::string(1, '\x0a')).status().code(),
+            StatusCode::kCorruption);
+  // A SET_TAG body truncated before its tag field.
   EXPECT_EQ(DecodeRequest(std::string(1, '\x09')).status().code(),
             StatusCode::kCorruption);
   // Truncated INGEST body.

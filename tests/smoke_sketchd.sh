@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end socket smoke test for the sketchd daemon, in six acts:
+# End-to-end socket smoke test for the sketchd daemon, in seven acts:
 #
 #  0. doc drift: every --flag named in docs/OPERATIONS.md's flag table
 #     must appear in `sketchd --help`.
@@ -30,6 +30,11 @@
 #     baseline fed the same 8-hour aged stream; remote-compact must preserve
 #     coarse-window answers byte-identically, shrink the snapshot >=4x,
 #     surface per-level remote-stats rows, and survive SIGKILL+restart.
+#  6. per-tag admission pass (--tag-budget gold=3,bronze=1): tagged
+#     remote-stress traffic from two tenants is fully acked, each tag's
+#     summary line names its ledger, and remote-stats exposes one `tag`
+#     row per tenant with weighted floors, drained staging, and a
+#     per-tag ack-latency sketch that counted every record.
 set -eu
 
 SKETCHD="$1"
@@ -440,5 +445,55 @@ PID=""
 kill "$PID2" 2>/dev/null || true
 wait "$PID2" 2>/dev/null || true
 PID2=""
+
+# --- 6: per-tag admission pass ---------------------------------------------
+"$SKETCHD" --data-dir "$WORK/dataT" --tag-budget "gold=3,bronze=1" \
+  --port 0 --port-file "$WORK/portT" > "$WORK/sketchdT.log" 2>&1 &
+PID=$!
+PORT_T="$(wait_for_port "$WORK/portT")"
+
+# Two tagged tenants ingest through remote-stress. Neither approaches
+# its ledger's floor at this rate, so every record must be acked and
+# each run's summary line must name the ledger it was charged to.
+"$CLI" remote-stress --port "$PORT_T" --series tenant.gold --tag gold \
+  --idle-conns 0 --hot-conns 2 --count 1000 > "$WORK/stressG.txt"
+grep -q '^tag_summary gold acked=2000 refused_busy=0$' "$WORK/stressG.txt" || {
+  echo "gold stress summary wrong"; cat "$WORK/stressG.txt"; exit 1; }
+"$CLI" remote-stress --port "$PORT_T" --series tenant.bronze --tag bronze \
+  --idle-conns 0 --hot-conns 1 --count 500 > "$WORK/stressB.txt"
+grep -q '^tag_summary bronze acked=500 refused_busy=0$' "$WORK/stressB.txt" || {
+  echo "bronze stress summary wrong"; cat "$WORK/stressB.txt"; exit 1; }
+
+# Per-tag visibility over the wire: one row per registered tag, the
+# configured weights skew the guaranteed floors, both ledgers drained
+# back to zero, and each tag's own ack-latency sketch counted every
+# acked record with ordered percentiles.
+"$CLI" remote-stats --port "$PORT_T" > "$WORK/statsT.txt"
+for t in default gold bronze; do
+  grep -q "^tag $t " "$WORK/statsT.txt" || {
+    echo "remote-stats lacks tag row $t"; cat "$WORK/statsT.txt"; exit 1; }
+done
+awk '
+  $1 == "tag" {
+    tag = $2
+    for (i = 3; i <= NF; i++) { split($i, kv, "="); row[tag "." kv[1]] = kv[2] }
+  }
+  END {
+    if (row["gold.floor_bytes"] + 0 < 2 * row["bronze.floor_bytes"]) {
+      print "gold floor not weighted 3x over bronze"; exit 1 }
+    if (row["gold.staged_bytes"] + 0 != 0 || row["bronze.staged_bytes"] + 0 != 0) {
+      print "tag ledgers did not drain"; exit 1 }
+    if (row["gold.busy_rejections"] + 0 != 0) {
+      print "gold was refused below its floor"; exit 1 }
+    if (row["gold.count"] + 0 < 2000) {
+      print "gold latency count " row["gold.count"] " < 2000"; exit 1 }
+    if (row["gold.p50_us"] + 0 <= 0 || row["gold.p50_us"] + 0 > row["gold.p99_us"] + 0 ||
+        row["gold.p99_us"] + 0 > row["gold.p999_us"] + 0) {
+      print "gold latency percentiles not ordered"; exit 1 }
+  }' "$WORK/statsT.txt" || { cat "$WORK/statsT.txt"; exit 1; }
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
 
 echo "smoke_sketchd OK"

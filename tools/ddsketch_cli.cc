@@ -110,7 +110,9 @@ int Usage() {
       "  ddsketch_cli remote-compact --port P [--host H] [--now T]\n"
       "  ddsketch_cli remote-promote --port P [--host H]\n"
       "  ddsketch_cli remote-stress --port P [--host H] [--series NAME]\n"
-      "                      [--idle-conns N] [--hot-conns K] [--count M]\n");
+      "                      [--idle-conns N] [--hot-conns K] [--count M]\n"
+      "                      [--tag NAME]  (charge hot conns to an\n"
+      "                      admission tag; prints a per-tag summary)\n");
   return 2;
 }
 
@@ -573,6 +575,23 @@ int CmdRemoteStats(int argc, char** argv) {
                 static_cast<unsigned long long>(level.rollup_merges),
                 static_cast<unsigned long long>(level.retained_bytes));
   }
+  // v7 per-tag admission: one line per tag ledger — the guaranteed
+  // floor, the full borrowable budget, live staged bytes, refusals, the
+  // throttle controller's current borrow share (permille of the shared
+  // pool), and the tag's cumulative ack-latency percentiles.
+  for (const dd::TagStatsRow& tag : s.tags) {
+    std::printf("tag %s floor_bytes=%llu budget_bytes=%llu staged_bytes=%llu "
+                "busy_rejections=%llu share_permille=%llu count=%llu "
+                "p50_us=%.3f p99_us=%.3f p999_us=%.3f\n",
+                tag.tag.c_str(),
+                static_cast<unsigned long long>(tag.floor_bytes),
+                static_cast<unsigned long long>(tag.budget_bytes),
+                static_cast<unsigned long long>(tag.staged_bytes),
+                static_cast<unsigned long long>(tag.busy_rejections),
+                static_cast<unsigned long long>(tag.throttle_permille),
+                static_cast<unsigned long long>(tag.count), tag.p50_us,
+                tag.p99_us, tag.p999_us);
+  }
   return 0;
 }
 
@@ -629,6 +648,7 @@ int CmdRemotePromote(int argc, char** argv) {
 int CmdRemoteStress(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string series = "stress";
+  std::string tag;
   int port = 0;
   int idle_conns = 1000;
   int hot_conns = 4;
@@ -644,6 +664,9 @@ int CmdRemoteStress(int argc, char** argv) {
       ++i;
     } else if (arg == "--series") {
       series = value;
+      ++i;
+    } else if (arg == "--tag") {
+      tag = value;
       ++i;
     } else if (arg == "--idle-conns") {
       idle_conns = std::atoi(value);
@@ -689,6 +712,14 @@ int CmdRemoteStress(int argc, char** argv) {
         return;
       }
       dd::SketchClient client = std::move(connected).value();
+      if (!tag.empty()) {
+        if (const dd::Status s = client.SetTag(tag); !s.ok()) {
+          std::fprintf(stderr, "remote-stress: SET_TAG: %s\n",
+                       s.ToString().c_str());
+          hard_error.store(true);
+          return;
+        }
+      }
       const std::string name = series + "." + std::to_string(t);
       for (long long i = 0; i < count; ++i) {
         const dd::Status status =
@@ -712,6 +743,11 @@ int CmdRemoteStress(int argc, char** argv) {
   std::printf("parked_conns %zu\n", parked.size());
   std::printf("acked %lld\n", acked.load());
   std::printf("refused_busy %lld\n", refused.load());
+  // Per-tag summary: which ledger the hot connections were charged to
+  // (untagged traffic lands on the server's built-in "default" tag).
+  std::printf("tag_summary %s acked=%lld refused_busy=%lld\n",
+              tag.empty() ? "default" : tag.c_str(), acked.load(),
+              refused.load());
   if (hard_error.load()) return Fail("a hot connection saw a hard error");
   return 0;
 }

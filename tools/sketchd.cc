@@ -16,6 +16,8 @@
 //           [--event-loops 0] [--staged-bytes-budget 67108864]
 //           [--max-conn-inflight 1024] [--idle-timeout-s 300]
 //           [--stall-timeout-ms 10000] [--latency-alpha 0.01]
+//           [--tag-budget tag=weight,..] [--tag-p99-target-us 0]
+//           [--tag-throttle-interval-ms 200]
 //           [--rollup-levels 10s,1m,1h] [--retention 1h,1d,inf]
 //           [--port-file FILE] [--role primary|follower]
 //           [--follow HOST:PORT] [--repl-ack-timeout-ms 1000]
@@ -69,6 +71,34 @@ int64_t ParseDurationSeconds(const std::string& text) {
     }
   }
   return static_cast<int64_t>(n) * scale;
+}
+
+/// Parses a --tag-budget spec: "tag=weight,tag=weight,...". Weights are
+/// positive integers; tag names follow the wire rules (1-64 chars of
+/// [A-Za-z0-9._-], validated server-side). Returns false on malformed
+/// input.
+bool ParseTagBudget(const std::string& text,
+                    std::vector<std::pair<std::string, uint64_t>>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long long weight =
+        std::strtoull(item.c_str() + eq + 1, &end, 10);
+    if (end == item.c_str() + eq + 1 || *end != '\0' || weight == 0) {
+      return false;
+    }
+    out->emplace_back(item.substr(0, eq), static_cast<uint64_t>(weight));
+    start = comma + 1;
+  }
+  return !out->empty();
 }
 
 /// Splits a comma-separated list of durations. "inf" (retention only)
@@ -151,6 +181,21 @@ void PrintUsage(std::FILE* out) {
       "  --latency-alpha A         relative accuracy of the server's own\n"
       "                            per-op ack-latency sketches, reported\n"
       "                            via STATS (default 0.01)\n"
+      "  --tag-budget SPEC         per-tag admission weights as\n"
+      "                            tag=weight,tag=weight,... (e.g.\n"
+      "                            gold=3,bronze=1). Each tag's floor is\n"
+      "                            its weighted slice of half the staged\n"
+      "                            budget; the rest is borrowable. Tags\n"
+      "                            not listed (and untagged peers) share\n"
+      "                            the built-in default tag\n"
+      "  --tag-p99-target-us N     throttle a tag once its ack p99\n"
+      "                            exceeds N microseconds: its borrowable\n"
+      "                            share halves per breach and recovers\n"
+      "                            on good ticks; 0 = throttling off\n"
+      "                            (default 0)\n"
+      "  --tag-throttle-interval-ms N\n"
+      "                            how often the throttle controller\n"
+      "                            samples per-tag p99 (default 200)\n"
       "  --rollup-levels L1,L2,..  resolution ladder: comma-separated\n"
       "                            interval widths, finest first, each a\n"
       "                            multiple of the previous (e.g.\n"
@@ -226,6 +271,17 @@ int main(int argc, char** argv) {
       options.stall_timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--latency-alpha" && i + 1 < argc) {
       options.latency_alpha = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--tag-budget" && i + 1 < argc) {
+      if (!ParseTagBudget(argv[++i], &options.tag_weights)) {
+        std::fprintf(stderr,
+                     "sketchd: --tag-budget wants tag=weight,tag=weight,... "
+                     "with positive integer weights (e.g. gold=3,bronze=1)\n");
+        return Usage();
+      }
+    } else if (arg == "--tag-p99-target-us" && i + 1 < argc) {
+      options.tag_p99_target_us = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--tag-throttle-interval-ms" && i + 1 < argc) {
+      options.tag_throttle_interval_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
     } else if (arg == "--rollup-levels" && i + 1 < argc) {
