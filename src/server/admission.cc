@@ -21,6 +21,7 @@ TagAdmissionLedger::TagAdmissionLedger(
   std::lock_guard<std::mutex> lock(mu_);
   RegisterTagLocked("default", 1);
   for (const auto& [tag, weight] : weights) {
+    if (tags_.size() >= kMaxTags) break;  // callers validate the count; defensive bound
     auto it = ids_.find(tag);
     if (it != ids_.end()) {
       tags_[it->second].weight = std::max<uint64_t>(weight, 1);
@@ -28,7 +29,9 @@ TagAdmissionLedger::TagAdmissionLedger(
       RegisterTagLocked(tag, std::max<uint64_t>(weight, 1));
     }
   }
-  RecomputeFloorsLocked();
+  // Floors are computed once, here: only configured tags hold a slice
+  // of the reserve, and nothing registered later can move it.
+  ComputeFloorsLocked();
 }
 
 bool TagAdmissionLedger::ValidTagName(std::string_view tag) {
@@ -41,13 +44,16 @@ bool TagAdmissionLedger::ValidTagName(std::string_view tag) {
   return true;
 }
 
-uint32_t TagAdmissionLedger::RegisterTag(std::string_view tag) {
+std::optional<uint32_t> TagAdmissionLedger::RegisterTag(
+    std::string_view tag) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = ids_.find(std::string(tag));
   if (it != ids_.end()) return it->second;
-  const uint32_t id = RegisterTagLocked(tag, 1);
-  RecomputeFloorsLocked();
-  return id;
+  if (tags_.size() >= kMaxTags) return std::nullopt;
+  // Weight 0: a late arrival borrows from the shared pool only. Floors
+  // stay exactly where the operator configured them, so registering N
+  // junk tags buys an attacker nothing but pool contention.
+  return RegisterTagLocked(tag, 0);
 }
 
 uint32_t TagAdmissionLedger::RegisterTagLocked(std::string_view tag,
@@ -61,7 +67,7 @@ uint32_t TagAdmissionLedger::RegisterTagLocked(std::string_view tag,
   return id;
 }
 
-void TagAdmissionLedger::RecomputeFloorsLocked() {
+void TagAdmissionLedger::ComputeFloorsLocked() {
   if (total_budget_ == 0) {
     for (Tag& tag : tags_) tag.floor = 0;
     shared_pool_ = 0;
@@ -116,9 +122,9 @@ bool TagAdmissionLedger::TryAdmit(uint32_t tag_id, uint64_t bytes,
   const uint64_t pool_cap = static_cast<uint64_t>(
       static_cast<double>(shared_pool_) * tag.share);
   const uint64_t allowed = tag.floor + pool_cap;
-  // Overflow staged by every *other* tag. A late registration shrinks
-  // floors under outstanding grants, so the pool can be transiently
-  // oversubscribed — clamp instead of underflowing.
+  // Overflow staged by every *other* tag. Floors never move after
+  // construction, so the pool cannot oversubscribe — the clamp is pure
+  // defense against a future bookkeeping bug.
   const uint64_t others =
       SharedUsedLocked() - Overflow(tag.staged, tag.floor);
   const uint64_t shared_free =
@@ -152,7 +158,10 @@ void TagAdmissionLedger::Refund(uint32_t tag_id, uint64_t bytes) {
     tag.refill_mark = now;
     tag.refill_mark_set = true;
   }
-  tag.refund_accum += bytes;
+  // Accumulate the clamped credit, not the requested bytes: an
+  // over-refund must not inflate the refill estimate (and with it the
+  // optimism of BUSY retry hints) beyond what the ledger released.
+  tag.refund_accum += credit;
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(now - tag.refill_mark)
           .count();

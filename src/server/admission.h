@@ -1,10 +1,16 @@
 // Per-tag admission control: the staged-bytes budget split into per-tag
 // ledgers (protocol v7). Every connection charges its staged INGEST /
 // MERGE bytes to one tag ("default" unless the client sent SET_TAG);
-// each tag owns a guaranteed floor — a weighted slice of
-// floor_fraction × budget that no other tag can consume — plus a
-// borrowable share of the remaining pool, so a flooding tag exhausts
-// *its* allowance and gets BUSY while honest tags keep their floor.
+// each *configured* tag (--tag-budget, plus the built-in "default")
+// owns a guaranteed floor — a weighted slice of floor_fraction × budget
+// that no other tag can consume — plus a borrowable share of the
+// remaining pool, so a flooding tag exhausts *its* allowance and gets
+// BUSY while honest tags keep their floor. Floors are fixed at
+// construction: tags registered later (an unanticipated SET_TAG) get no
+// floor and borrow from the shared pool only, and the table is capped
+// at kMaxTags — so an unauthenticated client spraying junk tag names
+// can neither grow server state without bound nor dilute a configured
+// tenant's guarantee.
 // The throttle controller (server.cc) shrinks a misbehaving tag's
 // borrowable share when the tag's own ack-latency p99 breaches the
 // operator's target, and decays it back on recovery.
@@ -20,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -47,6 +54,12 @@ class TagAdmissionLedger {
  public:
   static constexpr uint32_t kDefaultTagId = 0;
   static constexpr size_t kMaxTagLength = 64;
+  /// Hard cap on distinct tags (configured + dynamically registered).
+  /// Ledger entries and their latency sketches live for the server's
+  /// lifetime, and STATS / the throttle tick walk every tag — the cap
+  /// keeps an unauthenticated SET_TAG spray from growing any of that
+  /// without bound.
+  static constexpr size_t kMaxTags = 64;
   /// A throttled tag always keeps a sliver of borrowing power so the
   /// controller's decay has a signal to recover on.
   static constexpr double kMinBorrowShare = 0.02;
@@ -57,9 +70,9 @@ class TagAdmissionLedger {
 
   /// `total_budget` 0 means unlimited: every TryAdmit succeeds but the
   /// per-tag accounting still runs (STATS still shows staged bytes).
-  /// `weights` pre-registers tags (from --tag-budget); tags that show
-  /// up later via RegisterTag get weight 1. "default" is always
-  /// registered, as tag id 0.
+  /// `weights` pre-registers the configured tags (from --tag-budget);
+  /// only these — and "default", always registered as tag id 0 — split
+  /// the floor reserve. At most kMaxTags entries (callers validate).
   TagAdmissionLedger(
       uint64_t total_budget, double floor_fraction,
       const std::vector<std::pair<std::string, uint64_t>>& weights);
@@ -68,11 +81,13 @@ class TagAdmissionLedger {
   /// chars of [A-Za-z0-9._-].
   static bool ValidTagName(std::string_view tag);
 
-  /// Returns the tag's dense id, registering it (weight 1) if unknown.
-  /// Registering recomputes every floor: floors are weighted slices of
-  /// a fixed fraction, so they shrink as tenants arrive and the pool
-  /// stays conserved.
-  uint32_t RegisterTag(std::string_view tag);
+  /// Returns the tag's dense id, registering it if unknown. A tag
+  /// registered here (rather than configured at construction) gets no
+  /// floor — it borrows from the shared pool only — so late arrivals
+  /// never shrink a configured tenant's guarantee. Returns nullopt when
+  /// the table already holds kMaxTags tags (the caller should refuse
+  /// the SET_TAG and leave the connection on its current tag).
+  std::optional<uint32_t> RegisterTag(std::string_view tag);
 
   /// Tries to stage `bytes` for `tag_id`. Admits when the tag stays
   /// within its floor, or when the overflow fits both the shared pool
@@ -100,6 +115,8 @@ class TagAdmissionLedger {
  private:
   struct Tag {
     std::string name;
+    /// Floor-reserve weight. 0 marks a dynamically registered tag:
+    /// excluded from the reserve split, floor stays 0 forever.
     uint64_t weight = 1;
     uint64_t floor = 0;
     uint64_t staged = 0;
@@ -114,7 +131,7 @@ class TagAdmissionLedger {
   };
 
   uint32_t RegisterTagLocked(std::string_view tag, uint64_t weight);
-  void RecomputeFloorsLocked();
+  void ComputeFloorsLocked();
   uint64_t SharedUsedLocked() const;
   uint64_t RetryHintMsLocked(const Tag& tag, uint64_t deficit) const;
 

@@ -35,9 +35,11 @@ namespace dd {
 ///
 /// A BUSY response may carry the server's retry_after_ms hint (v7, the
 /// refusing tag's ledger refill estimate); the hint raises the delay's
-/// base — jitter preserved — and the exponential envelope continues
-/// from the raised base, so a client never retries earlier than the
-/// server asked while the herd still spreads.
+/// base and the jitter shifts *above* it — uniform [1.0, 1.5) instead
+/// of [0.5, 1.5) — so a hinted retry never fires earlier than the
+/// server asked (hints beyond the 100 ms backoff cap are clamped to
+/// it) while the herd still spreads. The exponential envelope continues
+/// from the raised base.
 class BusyBackoff {
  public:
   /// Backoff cap: the base stops doubling here (same cap as pre-jitter).
@@ -46,13 +48,16 @@ class BusyBackoff {
   BusyBackoff(int64_t initial_us, uint64_t seed) noexcept
       : base_us_(std::max<int64_t>(1, initial_us)), rng_(seed) {}
 
-  /// The next sleep in microseconds: max(base, hint) * uniform[0.5, 1.5),
-  /// then the base doubles from that effective value (capped). Never
-  /// returns less than 1. `hint_us` 0 = no server hint.
+  /// The next sleep in microseconds: max(base, hint) scaled by the
+  /// jitter — uniform [0.5, 1.5) unhinted, [1.0, 1.5) with a hint so
+  /// the sleep never undercuts what the server asked for (hint clamped
+  /// to the cap) — then the base doubles from that effective value
+  /// (capped). Never returns less than 1. `hint_us` 0 = no server hint.
   int64_t NextDelayUs(int64_t hint_us = 0) noexcept {
-    const int64_t effective =
-        std::min(std::max(base_us_, hint_us), kMaxBackoffUs);
-    const double jitter = 0.5 + rng_.NextDouble();
+    const int64_t hint = std::min(std::max<int64_t>(hint_us, 0), kMaxBackoffUs);
+    const int64_t effective = std::min(std::max(base_us_, hint), kMaxBackoffUs);
+    const double jitter = hint > 0 ? 1.0 + rng_.NextDouble() * 0.5
+                                   : 0.5 + rng_.NextDouble();
     const int64_t delay = std::max<int64_t>(
         1, static_cast<int64_t>(static_cast<double>(effective) * jitter));
     base_us_ = std::min<int64_t>(effective * 2, kMaxBackoffUs);

@@ -420,8 +420,14 @@ class SketchServer::EventLoop {
         if (!TagAdmissionLedger::ValidTagName(tag)) {
           response.code = StatusCode::kInvalidArgument;
           response.message = "invalid tag: want 1-64 chars of [A-Za-z0-9._-]";
+        } else if (const auto id = server_->RegisterTag(tag)) {
+          c->tag_id = *id;
         } else {
-          c->tag_id = server_->RegisterTag(tag);
+          // Table full: refuse distinctly (not BUSY — retrying cannot
+          // help) and leave the connection on its current tag, so a
+          // junk-tag spray cannot grow server state without bound.
+          response.code = StatusCode::kResourceExhausted;
+          response.message = "tag table full; connection keeps its current tag";
         }
         c->io.QueueWrite(EncodeResponse(response));
         RecordLatency(LatencyOp::kStats, unit_start, Clock::now());
@@ -540,9 +546,11 @@ class SketchServer::EventLoop {
       response.retry_after_ms = run->entries[i].retry_after_ms;
       out += EncodeResponse(response);
       // A BUSY refusal's ack is the cost of saying no, not an ingest
-      // latency; it gets its own row.
+      // latency; it gets its own row. Only committed entries count as
+      // acked for the tag sketch — a validation failure's round trip
+      // would skew the p99 the throttle controller judges by.
       const bool busy = response.code == StatusCode::kBusy;
-      if (!busy) ++acked;
+      if (run->entries[i].result.ok()) ++acked;
       RecordLatency(busy ? LatencyOp::kBusy
                          : (response.op == Request::Op::kIngest
                                 ? LatencyOp::kIngest
@@ -707,6 +715,12 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
       return Status::InvalidArgument("tag weight must be >= 1 for '" + tag +
                                      "'");
     }
+  }
+  if (options.tag_weights.size() + 1 > TagAdmissionLedger::kMaxTags) {
+    return Status::InvalidArgument(
+        "too many tags in tag budget (max " +
+        std::to_string(TagAdmissionLedger::kMaxTags - 1) +
+        " plus the built-in default)");
   }
   if (options.durable.role == StoreRole::kFollower &&
       (options.follow_host.empty() || options.follow_port == 0)) {
@@ -1180,9 +1194,9 @@ SketchServer::TagLatency* SketchServer::TagLatencyFor(uint32_t tag_id) {
   return tag_latency_[tag_id].get();
 }
 
-uint32_t SketchServer::RegisterTag(std::string_view tag) {
-  const uint32_t id = ledger_->RegisterTag(tag);
-  (void)TagLatencyFor(id);  // the controller ticks over existing slots
+std::optional<uint32_t> SketchServer::RegisterTag(std::string_view tag) {
+  const std::optional<uint32_t> id = ledger_->RegisterTag(tag);
+  if (id) (void)TagLatencyFor(*id);  // the controller ticks over existing slots
   return id;
 }
 

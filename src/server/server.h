@@ -325,8 +325,9 @@ class SketchServer {
   }
 
   /// Registers `tag` in the ledger and ensures its latency slot exists;
-  /// returns the tag id (SET_TAG handling on a loop thread).
-  uint32_t RegisterTag(std::string_view tag);
+  /// returns the tag id (SET_TAG handling on a loop thread), or nullopt
+  /// when the tag table is full (the connection keeps its current tag).
+  std::optional<uint32_t> RegisterTag(std::string_view tag);
   /// Records `n` acked ingest/merge latencies of `us` microseconds into
   /// the tag's cumulative + window sketches (FinishRun, loop threads).
   void RecordTagAckLatency(uint32_t tag_id, double us, size_t n);

@@ -59,8 +59,8 @@ TEST(TagAdmissionLedgerTest, WeightedFloorsPartitionTheReserve) {
 
 TEST(TagAdmissionLedgerTest, FloorSurvivesAnotherTagsFlood) {
   TagAdmissionLedger ledger(1000, 0.5, {{"flood", 1}, {"honest", 1}});
-  const uint32_t flood = ledger.RegisterTag("flood");
-  const uint32_t honest = ledger.RegisterTag("honest");
+  const uint32_t flood = ledger.RegisterTag("flood").value();
+  const uint32_t honest = ledger.RegisterTag("honest").value();
   const auto rows = ledger.Snapshot();
   const uint64_t honest_floor = FindTag(rows, "honest").floor_bytes;
   ASSERT_GT(honest_floor, 0u);
@@ -82,7 +82,7 @@ TEST(TagAdmissionLedgerTest, FloorSurvivesAnotherTagsFlood) {
 
 TEST(TagAdmissionLedgerTest, ThrottledShareShrinksBorrowing) {
   TagAdmissionLedger ledger(1000, 0.5, {{"noisy", 1}});
-  const uint32_t noisy = ledger.RegisterTag("noisy");
+  const uint32_t noisy = ledger.RegisterTag("noisy").value();
   const auto before = FindTag(ledger.Snapshot(), "noisy");
 
   // At half share the borrowable slice of the pool halves; the floor is
@@ -140,7 +140,7 @@ TEST(TagAdmissionLedgerTest, RetryHintTracksRefillRateWithinBounds) {
 
 TEST(TagAdmissionLedgerTest, ZeroBudgetAdmitsEverythingButStillAccounts) {
   TagAdmissionLedger ledger(0, 0.5, {{"t", 1}});
-  const uint32_t t = ledger.RegisterTag("t");
+  const uint32_t t = ledger.RegisterTag("t").value();
   uint64_t hint = 0;
   EXPECT_TRUE(ledger.TryAdmit(t, 1 << 30, &hint));
   EXPECT_EQ(ledger.total_staged(), static_cast<uint64_t>(1 << 30));
@@ -159,16 +159,45 @@ TEST(TagAdmissionLedgerTest, RefundClampsInsteadOfUnderflowing) {
   EXPECT_EQ(FindTag(ledger.Snapshot(), "default").staged_bytes, 0u);
 }
 
-TEST(TagAdmissionLedgerTest, LateRegistrationRecomputesFloors) {
+TEST(TagAdmissionLedgerTest, LateRegistrationNeverDilutesConfiguredFloors) {
   TagAdmissionLedger ledger(900, 0.5, {});
   // Alone, default owns the whole 450-byte reserve.
   EXPECT_EQ(FindTag(ledger.Snapshot(), "default").floor_bytes, 450u);
-  const uint32_t late = ledger.RegisterTag("latecomer");
-  EXPECT_EQ(ledger.RegisterTag("latecomer"), late);  // idempotent
+  const uint32_t late = ledger.RegisterTag("latecomer").value();
+  EXPECT_EQ(ledger.RegisterTag("latecomer").value(), late);  // idempotent
   const auto rows = ledger.Snapshot();
-  EXPECT_EQ(FindTag(rows, "default").floor_bytes, 225u);
-  EXPECT_EQ(FindTag(rows, "latecomer").floor_bytes, 225u);
+  // The configured floor is immutable: a tag registered after
+  // construction gets no floor at all (it borrows from the pool only),
+  // so a junk-tag spray cannot shrink a configured tenant's guarantee.
+  EXPECT_EQ(FindTag(rows, "default").floor_bytes, 450u);
+  EXPECT_EQ(FindTag(rows, "latecomer").floor_bytes, 0u);
   EXPECT_EQ(ledger.num_tags(), 2u);
+  // Pool-only still means admittable: the 450-byte shared pool is the
+  // latecomer's whole allowance, and not one byte more.
+  uint64_t hint = 0;
+  EXPECT_TRUE(ledger.TryAdmit(late, 450, &hint));
+  EXPECT_FALSE(ledger.TryAdmit(late, 1, &hint));
+  ledger.Refund(late, 450);
+}
+
+TEST(TagAdmissionLedgerTest, TagTableIsCapped) {
+  TagAdmissionLedger ledger(1000, 0.5, {});
+  // Fill the table (default occupies slot 0), then one more must be
+  // refused — unbounded SET_TAG registration is the memory-growth DoS
+  // the cap exists to stop.
+  for (size_t i = 1; i < TagAdmissionLedger::kMaxTags; ++i) {
+    ASSERT_TRUE(ledger.RegisterTag("tag" + std::to_string(i)).has_value())
+        << "tag " << i;
+  }
+  EXPECT_EQ(ledger.num_tags(), TagAdmissionLedger::kMaxTags);
+  EXPECT_FALSE(ledger.RegisterTag("one-too-many").has_value());
+  EXPECT_EQ(ledger.num_tags(), TagAdmissionLedger::kMaxTags);
+  // Known tags (configured or already registered) still resolve.
+  EXPECT_EQ(ledger.RegisterTag("default").value(),
+            TagAdmissionLedger::kDefaultTagId);
+  EXPECT_TRUE(ledger.RegisterTag("tag1").has_value());
+  // And the full table never dented the configured floor.
+  EXPECT_EQ(FindTag(ledger.Snapshot(), "default").floor_bytes, 500u);
 }
 
 // The headline property: under randomized concurrent admit/refund
@@ -182,8 +211,8 @@ TEST(TagAdmissionLedgerPropertyTest, ConcurrentConservation) {
   TagAdmissionLedger ledger(kBudget, 0.5,
                             {{"alpha", 3}, {"beta", 2}, {"gamma", 1}});
   std::vector<uint32_t> tag_ids = {
-      TagAdmissionLedger::kDefaultTagId, ledger.RegisterTag("alpha"),
-      ledger.RegisterTag("beta"), ledger.RegisterTag("gamma")};
+      TagAdmissionLedger::kDefaultTagId, ledger.RegisterTag("alpha").value(),
+      ledger.RegisterTag("beta").value(), ledger.RegisterTag("gamma").value()};
 
   // Each thread keeps its own record of outstanding grants; the sum of
   // those records is the ground truth the ledger must agree with.
@@ -246,13 +275,13 @@ TEST(TagAdmissionLedgerPropertyTest, ConcurrentConservation) {
 }
 
 // Satellite 2: the BUSY retry hint raises the client's backoff base
-// while the ±50% jitter and the exponential envelope survive.
+// while the jitter and the exponential envelope survive.
 TEST(BusyBackoffHintTest, HintRaisesBaseJitterPreserved) {
   BusyBackoff backoff(1000, /*seed=*/42);
-  // A 50 ms server hint: the delay lands in [25ms, 75ms), never below
-  // what the server asked for scaled by the jitter floor.
+  // A 50 ms server hint: the jitter shifts above the hint, so the
+  // delay lands in [50ms, 75ms) — never earlier than the server asked.
   const int64_t first = backoff.NextDelayUs(50000);
-  EXPECT_GE(first, 25000);
+  EXPECT_GE(first, 50000);
   EXPECT_LT(first, 75000);
   // The base doubled from the hinted value and hit the 100 ms cap.
   const int64_t second = backoff.NextDelayUs(0);
@@ -261,11 +290,12 @@ TEST(BusyBackoffHintTest, HintRaisesBaseJitterPreserved) {
 }
 
 TEST(BusyBackoffHintTest, HintIsCappedAndScheduleDeterministic) {
-  // An absurd hint is clamped to the 100 ms cap.
+  // An absurd hint is clamped to the 100 ms cap; the hinted jitter
+  // keeps the delay at or above the (clamped) ask.
   BusyBackoff capped(1000, 7);
   const int64_t delay = capped.NextDelayUs(60'000'000);
   EXPECT_LT(delay, 150000);
-  EXPECT_GE(delay, 50000);
+  EXPECT_GE(delay, 100000);
 
   // Same seed + same hint sequence = same schedule (testability); a
   // hint of 0 degenerates to the plain jittered exponential.

@@ -96,10 +96,15 @@ class MultiTenantTest : public ::testing::Test {
 
 TEST_F(MultiTenantTest, SetTagRoutesTrafficAndDefaultCatchesUntagged) {
   SketchServerOptions options;
+  // "gold" is a configured tenant (floor guaranteed); "walkin" shows up
+  // only via SET_TAG (no floor, borrows from the pool).
+  options.tag_weights = {{"gold", 2}};
   auto server = MustStart(Dir("settag"), options);
 
   SketchClient tagged = MustConnect(server->port(), "gold");
   ASSERT_TRUE(tagged.IngestValue("svc.gold", 10, 1.0).ok());
+  SketchClient walkin = MustConnect(server->port(), "walkin");
+  ASSERT_TRUE(walkin.IngestValue("svc.walkin", 10, 3.0).ok());
   SketchClient untagged = MustConnect(server->port());
   ASSERT_TRUE(untagged.IngestValue("svc.plain", 10, 2.0).ok());
 
@@ -112,11 +117,18 @@ TEST_F(MultiTenantTest, SetTagRoutesTrafficAndDefaultCatchesUntagged) {
   EXPECT_EQ(gold.throttle_permille, 1000u);
   const TagStatsRow fallback = MustTagRow(untagged, "default");
   EXPECT_GE(fallback.count, 1u);
-  // Budgets are live: a floor plus the borrowable remainder, and with
-  // nothing in flight nothing stays staged.
+  // Budgets are live: a configured tenant holds a floor plus the
+  // borrowable remainder, and with nothing in flight nothing stays
+  // staged. A dynamically registered tag has no floor — pool only —
+  // so it can never dilute gold's guarantee.
   EXPECT_GT(gold.floor_bytes, 0u);
   EXPECT_GT(gold.budget_bytes, gold.floor_bytes);
   EXPECT_EQ(gold.staged_bytes, 0u);
+  const TagStatsRow walkin_row = MustTagRow(untagged, "walkin");
+  EXPECT_GE(walkin_row.count, 1u);
+  EXPECT_EQ(walkin_row.floor_bytes, 0u);
+  EXPECT_GT(walkin_row.budget_bytes, 0u);
+  EXPECT_EQ(walkin_row.staged_bytes, 0u);
 }
 
 TEST_F(MultiTenantTest, InvalidTagIsRefusedWithoutKillingTheConnection) {
@@ -134,6 +146,46 @@ TEST_F(MultiTenantTest, InvalidTagIsRefusedWithoutKillingTheConnection) {
   EXPECT_TRUE(client.SetTag("recovered_1.tag-x").ok());
   ASSERT_TRUE(client.IngestValue("svc.alive", 2, 4.0).ok());
   EXPECT_GE(MustTagRow(client, "recovered_1.tag-x").count, 1u);
+}
+
+TEST_F(MultiTenantTest, TagTableFullIsRefusedDistinctlyAndBounded) {
+  SketchServerOptions options;
+  auto server = MustStart(Dir("tagcap"), options);
+
+  // An unauthenticated spray of unique tag names: past the cap every
+  // SET_TAG gets the distinct refusal — not BUSY (retrying cannot
+  // help), not a dead connection — and server state stops growing.
+  SketchClient sprayer = MustConnect(server->port());
+  size_t granted = 0, refused = 0;
+  for (size_t i = 0; i < TagAdmissionLedger::kMaxTags + 8; ++i) {
+    const Status s = sprayer.SetTag("junk" + std::to_string(i));
+    if (s.ok()) {
+      ++granted;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+      ++refused;
+    }
+  }
+  EXPECT_GT(granted, 0u);
+  EXPECT_GE(refused, 8u);
+  EXPECT_EQ(server->ledger().num_tags(), TagAdmissionLedger::kMaxTags);
+
+  // A fresh connection refused a new tag keeps its current one: its
+  // traffic is charged to "default", and the junk name it asked for
+  // never becomes a STATS row.
+  SketchClient late = MustConnect(server->port());
+  EXPECT_EQ(late.SetTag("one-too-many").code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(late.IngestValue("svc.late", 10, 1.0).ok());
+  EXPECT_GE(MustTagRow(late, "default").count, 1u);
+  auto stats = late.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LE(stats.value().tags.size(), TagAdmissionLedger::kMaxTags);
+  for (const TagStatsRow& row : stats.value().tags) {
+    EXPECT_NE(row.tag, "one-too-many");
+  }
+  // Tags that made it in before the cap still resolve idempotently.
+  EXPECT_TRUE(late.SetTag("junk0").ok());
 }
 
 TEST_F(MultiTenantTest, BusyResponseCarriesRetryAfterHint) {
